@@ -1,0 +1,75 @@
+// E7 ablation: asynchronous binding buffers (the ADL `bufferSize`
+// attribute). Push/pop round-trips against buffer capacity, buffers placed
+// in immortal vs scoped memory, and the overflow (load-shedding) path.
+#include <benchmark/benchmark.h>
+
+#include "comm/message_buffer.hpp"
+#include "rtsj/memory/context.hpp"
+#include "rtsj/memory/memory_area.hpp"
+
+namespace {
+
+using namespace rtcf;
+
+comm::Message make_message() {
+  comm::Message m;
+  m.type_id = 3;
+  std::uint64_t payload = 42;
+  m.store(payload);
+  return m;
+}
+
+void BM_BufferPushPop(benchmark::State& state) {
+  comm::MessageBuffer buffer(rtsj::ImmortalMemory::instance(),
+                             static_cast<std::size_t>(state.range(0)));
+  const comm::Message m = make_message();
+  for (auto _ : state) {
+    buffer.push(m);
+    auto out = buffer.pop();
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_BufferBurstDrain(benchmark::State& state) {
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  comm::MessageBuffer buffer(rtsj::ImmortalMemory::instance(), capacity);
+  const comm::Message m = make_message();
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < capacity; ++i) buffer.push(m);
+    while (auto out = buffer.pop()) benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(capacity));
+}
+
+void BM_BufferOverflowShedding(benchmark::State& state) {
+  comm::MessageBuffer buffer(rtsj::ImmortalMemory::instance(), 8);
+  const comm::Message m = make_message();
+  for (std::size_t i = 0; i < 8; ++i) buffer.push(m);  // saturate
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buffer.push(m));  // always drops
+  }
+}
+
+void BM_BufferInScopedMemory(benchmark::State& state) {
+  rtsj::ScopedMemory scope("buffer-scope", 64 * 1024);
+  rtsj::ThreadContext wedge("bench-wedge", rtsj::ThreadKind::Realtime, 20,
+                            &rtsj::ImmortalMemory::instance());
+  rtsj::ScopePin pin(scope, wedge);
+  comm::MessageBuffer buffer(scope, static_cast<std::size_t>(state.range(0)));
+  const comm::Message m = make_message();
+  for (auto _ : state) {
+    buffer.push(m);
+    auto out = buffer.pop();
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_BufferPushPop)->Arg(1)->Arg(10)->Arg(128)->Arg(1024);
+BENCHMARK(BM_BufferBurstDrain)->Arg(10)->Arg(128)->Arg(1024);
+BENCHMARK(BM_BufferOverflowShedding);
+BENCHMARK(BM_BufferInScopedMemory)->Arg(10)->Arg(128);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// E5 ablation: relative cost of the cross-scope communication patterns
+// (§4.1 memory interceptors). One benchmark per pattern op on both the
+// asynchronous staging path and the synchronous call path.
+#include <benchmark/benchmark.h>
+
+#include "comm/message.hpp"
+#include "membrane/patterns.hpp"
+#include "rtsj/memory/context.hpp"
+#include "rtsj/memory/memory_area.hpp"
+
+namespace {
+
+using namespace rtcf;
+using membrane::PatternOp;
+using membrane::PatternRuntime;
+
+struct EchoServer final : comm::IInvocable {
+  comm::Message invoke(const comm::Message& m) override { return m; }
+};
+
+comm::Message make_message() {
+  comm::Message m;
+  m.type_id = 7;
+  double payload = 3.14;
+  m.store(payload);
+  return m;
+}
+
+struct PatternFixture {
+  rtsj::ScopedMemory outer{"bench-outer", 64 * 1024};
+  rtsj::ScopedMemory server_scope{"bench-server", 64 * 1024};
+  // Sibling scopes: one wedge context each, or the second would be
+  // parented under the first.
+  rtsj::ThreadContext wedge_a{"bench-wedge-a", rtsj::ThreadKind::Realtime, 20,
+                              &rtsj::ImmortalMemory::instance()};
+  rtsj::ThreadContext wedge_b{"bench-wedge-b", rtsj::ThreadKind::Realtime, 20,
+                              &rtsj::ImmortalMemory::instance()};
+  rtsj::ScopePin pin_outer{outer, wedge_a};
+  rtsj::ScopePin pin_server{server_scope, wedge_b};
+
+  PatternRuntime make(PatternOp op) {
+    switch (op) {
+      case PatternOp::ScopeEnter:
+        return PatternRuntime::make(op, &server_scope, nullptr);
+      case PatternOp::SharedScope:
+        return PatternRuntime::make(op, &server_scope, &outer);
+      case PatternOp::Handoff:
+        return PatternRuntime::make(op, &server_scope, &outer);
+      default:
+        return PatternRuntime::make(op, &server_scope, &server_scope);
+    }
+  }
+};
+
+void BM_PatternStage(benchmark::State& state) {
+  PatternFixture fixture;
+  auto pattern = fixture.make(static_cast<PatternOp>(state.range(0)));
+  const comm::Message m = make_message();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&pattern.stage(m));
+  }
+  state.SetLabel(membrane::to_string(static_cast<PatternOp>(state.range(0))));
+}
+
+void BM_PatternSyncCall(benchmark::State& state) {
+  PatternFixture fixture;
+  auto pattern = fixture.make(static_cast<PatternOp>(state.range(0)));
+  EchoServer server;
+  const comm::Message m = make_message();
+  for (auto _ : state) {
+    comm::Message out = pattern.call(server, m);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(membrane::to_string(static_cast<PatternOp>(state.range(0))));
+}
+
+}  // namespace
+
+BENCHMARK(BM_PatternStage)
+    ->Arg(static_cast<int>(PatternOp::Direct))
+    ->Arg(static_cast<int>(PatternOp::DeepCopy))
+    ->Arg(static_cast<int>(PatternOp::ImmortalForward))
+    ->Arg(static_cast<int>(PatternOp::SharedScope))
+    ->Arg(static_cast<int>(PatternOp::Handoff))
+    ->Arg(static_cast<int>(PatternOp::WedgeThread));
+
+BENCHMARK(BM_PatternSyncCall)
+    ->Arg(static_cast<int>(PatternOp::Direct))
+    ->Arg(static_cast<int>(PatternOp::ScopeEnter))
+    ->Arg(static_cast<int>(PatternOp::DeepCopy))
+    ->Arg(static_cast<int>(PatternOp::ImmortalForward));
+
+BENCHMARK_MAIN();

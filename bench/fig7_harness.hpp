@@ -1,0 +1,129 @@
+// Shared measurement harness for the Fig. 7 benchmarks.
+//
+// Methodology follows §5.1: steady-state observations — a warm-up phase is
+// discarded, then a fixed number of observations is collected. Because one
+// pipeline iteration on a modern x86 host runs in hundreds of nanoseconds
+// (the paper's 2.66 GHz P4 + RTSJ VM needed ~32 µs), each observation times
+// a small fixed batch of iterations and reports the per-iteration mean;
+// every variant is treated identically, so medians, jitter, and the
+// distribution shape remain directly comparable.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baseline/oo_production_line.hpp"
+#include "rtsj/time/time.hpp"
+#include "scenario/production_scenario.hpp"
+#include "soleil/application.hpp"
+#include "util/stats.hpp"
+
+namespace rtcf::bench {
+
+inline constexpr int kWarmupObservations = 2'000;
+inline constexpr int kObservations = 10'000;  // as in §5.1
+inline constexpr int kBatch = 64;
+
+struct VariantResult {
+  std::string name;
+  util::SampleSet per_iteration_us;
+};
+
+/// Times `iterate` (one pipeline transaction) with the steady clock.
+inline util::SampleSet measure_steady_state(
+    const std::function<void()>& iterate,
+    int warmup = kWarmupObservations, int observations = kObservations,
+    int batch = kBatch) {
+  auto& clock = rtsj::SteadyClock::instance();
+  for (int i = 0; i < warmup * batch; ++i) iterate();
+  util::SampleSet samples(static_cast<std::size_t>(observations));
+  for (int obs = 0; obs < observations; ++obs) {
+    const auto begin = clock.now();
+    for (int k = 0; k < batch; ++k) iterate();
+    const auto end = clock.now();
+    samples.add((end - begin).to_micros() / static_cast<double>(batch));
+  }
+  return samples;
+}
+
+/// Runs all four §5.1 variants on the motivation scenario and returns their
+/// sample sets in presentation order: OO, SOLEIL, MERGE_ALL, ULTRA_MERGE.
+///
+/// Observations are interleaved in rounds across the variants so that CPU
+/// frequency and thermal drift during the run affect every variant equally
+/// (sequential measurement would bias whichever variant ran while the
+/// machine was slow).
+inline std::vector<VariantResult> run_all_variants(
+    int warmup = kWarmupObservations, int observations = kObservations,
+    int batch = kBatch) {
+  auto& clock = rtsj::SteadyClock::instance();
+
+  baseline::OoApplication oo;
+  const auto arch = scenario::make_production_architecture();
+  auto soleil_app = soleil::build_application(arch, soleil::Mode::Soleil);
+  auto merge_app = soleil::build_application(arch, soleil::Mode::MergeAll);
+  auto ultra_app = soleil::build_application(arch, soleil::Mode::UltraMerge);
+  soleil_app->start();
+  merge_app->start();
+  ultra_app->start();
+
+  std::vector<VariantResult> results;
+  results.push_back({"OO", util::SampleSet(observations)});
+  results.push_back({"SOLEIL", util::SampleSet(observations)});
+  results.push_back({"MERGE_ALL", util::SampleSet(observations)});
+  results.push_back({"ULTRA_MERGE", util::SampleSet(observations)});
+
+  // Resolve release handles once, as generated bootstrap code would; the
+  // timed path is then release + pump with no name lookups.
+  auto soleil_release = soleil_app->release_fn("ProductionLine");
+  auto merge_release = merge_app->release_fn("ProductionLine");
+  auto ultra_release = ultra_app->release_fn("ProductionLine");
+  const std::function<void()> iterations[4] = {
+      [&] { oo.iterate(); },
+      [&] {
+        soleil_release();
+        soleil_app->pump();
+      },
+      [&] {
+        merge_release();
+        merge_app->pump();
+      },
+      [&] {
+        ultra_release();
+        ultra_app->pump();
+      },
+  };
+
+  // Warm-up: every variant reaches steady state before any timing starts.
+  for (int v = 0; v < 4; ++v) {
+    for (int i = 0; i < warmup * batch / 4; ++i) iterations[v]();
+  }
+
+  constexpr int kRoundObservations = 50;
+  const int rounds = (observations + kRoundObservations - 1) /
+                     kRoundObservations;
+  for (int round = 0; round < rounds; ++round) {
+    for (int v = 0; v < 4; ++v) {
+      const auto& iterate = iterations[v];
+      for (int obs = 0; obs < kRoundObservations; ++obs) {
+        if (static_cast<int>(results[v].per_iteration_us.count()) >=
+            observations) {
+          break;
+        }
+        const auto begin = clock.now();
+        for (int k = 0; k < batch; ++k) iterate();
+        const auto end = clock.now();
+        results[v].per_iteration_us.add((end - begin).to_micros() /
+                                        static_cast<double>(batch));
+      }
+    }
+  }
+
+  soleil_app->stop();
+  merge_app->stop();
+  ultra_app->stop();
+  return results;
+}
+
+}  // namespace rtcf::bench

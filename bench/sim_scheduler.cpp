@@ -1,0 +1,91 @@
+// E8 ablation: the scheduler-simulator substrate itself — event throughput
+// against task-set size and utilization, plus preemption-heavy workloads.
+#include <benchmark/benchmark.h>
+
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace rtcf;
+using namespace rtcf::sim;
+
+void BM_PeriodicTaskSet(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    PreemptiveScheduler sched;
+    for (int i = 0; i < tasks; ++i) {
+      TaskConfig cfg;
+      cfg.name = "t" + std::to_string(i);
+      cfg.kind = ThreadKind::Realtime;
+      cfg.priority = rtsj::kMinRtPriority + (i % 28);
+      cfg.release = ReleaseKind::Periodic;
+      cfg.period = rtsj::RelativeTime::milliseconds(1 + i % 10);
+      cfg.cost = rtsj::RelativeTime::microseconds(20);
+      sched.add_task(std::move(cfg));
+    }
+    state.ResumeTiming();
+    sched.run_until(rtsj::AbsoluteTime::epoch() +
+                    rtsj::RelativeTime::seconds(1));
+    benchmark::DoNotOptimize(sched.now());
+  }
+  state.SetLabel(std::to_string(tasks) + " periodic tasks, 1 s horizon");
+}
+
+void BM_PreemptionStorm(benchmark::State& state) {
+  // One low-priority hog and N high-priority preempters.
+  const int preempters = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    PreemptiveScheduler sched;
+    TaskConfig hog;
+    hog.name = "hog";
+    hog.priority = rtsj::kMinRtPriority;
+    hog.release = ReleaseKind::Periodic;
+    hog.period = rtsj::RelativeTime::milliseconds(100);
+    hog.cost = rtsj::RelativeTime::milliseconds(50);
+    sched.add_task(std::move(hog));
+    for (int i = 0; i < preempters; ++i) {
+      TaskConfig cfg;
+      cfg.name = "p" + std::to_string(i);
+      cfg.priority = rtsj::kMinRtPriority + 1 + (i % 27);
+      cfg.release = ReleaseKind::Periodic;
+      cfg.period = rtsj::RelativeTime::milliseconds(1);
+      cfg.cost = rtsj::RelativeTime::microseconds(10);
+      sched.add_task(std::move(cfg));
+    }
+    state.ResumeTiming();
+    sched.run_until(rtsj::AbsoluteTime::epoch() +
+                    rtsj::RelativeTime::seconds(1));
+    benchmark::DoNotOptimize(sched.now());
+  }
+}
+
+void BM_GcModelOverhead(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    PreemptiveScheduler sched;
+    TaskConfig cfg;
+    cfg.name = "worker";
+    cfg.kind = ThreadKind::Regular;
+    cfg.priority = 5;
+    cfg.release = ReleaseKind::Periodic;
+    cfg.period = rtsj::RelativeTime::milliseconds(5);
+    cfg.cost = rtsj::RelativeTime::milliseconds(1);
+    sched.add_task(std::move(cfg));
+    sched.set_gc_model({rtsj::RelativeTime::milliseconds(20),
+                        rtsj::RelativeTime::milliseconds(1)});
+    state.ResumeTiming();
+    sched.run_until(rtsj::AbsoluteTime::epoch() +
+                    rtsj::RelativeTime::seconds(1));
+    benchmark::DoNotOptimize(sched.gc_pause_count());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_PeriodicTaskSet)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_PreemptionStorm)->Arg(1)->Arg(8)->Arg(32);
+BENCHMARK(BM_GcModelOverhead);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// E6 ablation: the generator itself (§4.3) — cost of validating, planning,
+// and assembling the execution infrastructure per mode, and the size of
+// the emitted source per mode (the paper's "code compactness" axis).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "adl/loader.hpp"
+#include "scenario/production_scenario.hpp"
+#include "soleil/application.hpp"
+#include "soleil/code_emitter.hpp"
+#include "util/table.hpp"
+#include "validate/validator.hpp"
+
+namespace {
+
+using namespace rtcf;
+
+void BM_ValidateArchitecture(benchmark::State& state) {
+  const auto arch = scenario::make_production_architecture();
+  for (auto _ : state) {
+    auto report = validate::validate(arch);
+    benchmark::DoNotOptimize(report.ok());
+  }
+}
+
+void BM_LoadAdl(benchmark::State& state) {
+  for (auto _ : state) {
+    auto arch = adl::load_architecture(scenario::production_adl());
+    benchmark::DoNotOptimize(arch.components().size());
+  }
+}
+
+void BM_BuildApplication(benchmark::State& state) {
+  const auto arch = scenario::make_production_architecture();
+  const auto mode = static_cast<soleil::Mode>(state.range(0));
+  for (auto _ : state) {
+    auto app = soleil::build_application(arch, mode);
+    benchmark::DoNotOptimize(app->infrastructure_bytes());
+  }
+  state.SetLabel(soleil::to_string(mode));
+}
+
+void BM_EmitInfrastructure(benchmark::State& state) {
+  const auto arch = scenario::make_production_architecture();
+  const auto mode = static_cast<soleil::Mode>(state.range(0));
+  for (auto _ : state) {
+    auto code = soleil::emit_infrastructure(arch, mode);
+    benchmark::DoNotOptimize(code.total_bytes());
+  }
+  state.SetLabel(soleil::to_string(mode));
+}
+
+}  // namespace
+
+BENCHMARK(BM_ValidateArchitecture);
+BENCHMARK(BM_LoadAdl);
+BENCHMARK(BM_BuildApplication)
+    ->Arg(static_cast<int>(soleil::Mode::Soleil))
+    ->Arg(static_cast<int>(soleil::Mode::MergeAll))
+    ->Arg(static_cast<int>(soleil::Mode::UltraMerge));
+BENCHMARK(BM_EmitInfrastructure)
+    ->Arg(static_cast<int>(soleil::Mode::Soleil))
+    ->Arg(static_cast<int>(soleil::Mode::MergeAll))
+    ->Arg(static_cast<int>(soleil::Mode::UltraMerge));
+
+int main(int argc, char** argv) {
+  // Code-compactness table first (deterministic, no timing needed).
+  using namespace rtcf;
+  const auto arch = scenario::make_production_architecture();
+  util::Table table({"Mode", "Files", "Lines", "Bytes"});
+  for (const soleil::Mode mode :
+       {soleil::Mode::Soleil, soleil::Mode::MergeAll,
+        soleil::Mode::UltraMerge}) {
+    const auto code = soleil::emit_infrastructure(arch, mode);
+    table.add_row({soleil::to_string(mode), std::to_string(code.files.size()),
+                   std::to_string(code.total_lines()),
+                   std::to_string(code.total_bytes())});
+  }
+  std::printf("== E6: emitted infrastructure size per mode ==\n%s\n",
+              table.to_string().c_str());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Runtime adaptation (§4.2): per-component lifecycle control and RTSJ-aware
+// rebinding.
+//
+// The monitoring system's console binding is redirected at runtime to a
+// backup console in immortal memory (legal: direct pattern). A second
+// attempted rebinding to a heap-allocated console is *rejected*, because a
+// synchronous call from an NHRT client into heap state would violate RTSJ —
+// "the reconfiguration process has to adhere to these restrictions as
+// well".
+#include <cstdio>
+
+#include "comm/content.hpp"
+#include "runtime/content_registry.hpp"
+#include "scenario/production_scenario.hpp"
+#include "soleil/application.hpp"
+#include "validate/validator.hpp"
+
+namespace {
+
+using namespace rtcf;
+
+/// Stand-in console deployed in immortal memory.
+class BackupConsoleImpl final : public comm::Content {
+ public:
+  comm::Message on_invoke(const comm::Message& request) override {
+    ++reports_;
+    comm::Message ack;
+    ack.type_id = scenario::kAckType;
+    ack.sequence = request.sequence;
+    return ack;
+  }
+  std::uint64_t reports() const { return reports_; }
+
+ private:
+  std::uint64_t reports_ = 0;
+};
+
+/// Console on the heap — illegal target for the NHRT monitoring system.
+class HeapConsoleImpl final : public comm::Content {
+ public:
+  comm::Message on_invoke(const comm::Message&) override { return {}; }
+};
+
+RTCF_REGISTER_CONTENT(BackupConsoleImpl)
+RTCF_REGISTER_CONTENT(HeapConsoleImpl)
+
+}  // namespace
+
+int main() {
+  using namespace rtcf;
+  using namespace rtcf::model;
+
+  // Extend the Fig. 4 architecture with two alternate consoles.
+  auto arch = scenario::make_production_architecture();
+  auto& backup = arch.add_passive("BackupConsole");
+  backup.set_content_class("BackupConsoleImpl");
+  backup.add_interface({"iConsole", InterfaceRole::Server, "IConsole"});
+  auto& heap_console = arch.add_passive("HeapConsole");
+  heap_console.set_content_class("HeapConsoleImpl");
+  heap_console.add_interface({"iConsole", InterfaceRole::Server, "IConsole"});
+  arch.add_child(*arch.find("Imm1"), backup);       // immortal: legal target
+  arch.add_child(*arch.find("H1"), heap_console);   // heap: illegal target
+
+  auto app = soleil::build_application(arch, soleil::Mode::Soleil);
+  app->start();
+
+  // Phase 1: normal operation (primary console in its 28 KB scope).
+  for (int i = 0; i < 500; ++i) app->iterate("ProductionLine");
+  const auto phase1 = scenario::collect_counters(*app);
+  std::printf("phase 1: %llu anomalies reported to the scoped console\n",
+              static_cast<unsigned long long>(phase1.console_reports));
+
+  // Phase 2: stop the monitoring system, rebind its console port to the
+  // backup, restart — a maintenance swap while the pipeline keeps running.
+  app->set_component_started("MonitoringSystem", false);
+  auto report = app->rebind_sync("MonitoringSystem", "iConsole",
+                                 "BackupConsole");
+  std::printf("rebind to BackupConsole: %s\n",
+              report.ok() ? "accepted" : "REJECTED");
+  app->set_component_started("MonitoringSystem", true);
+  for (int i = 0; i < 500; ++i) app->iterate("ProductionLine");
+
+  const auto* backup_content =
+      dynamic_cast<const BackupConsoleImpl*>(app->content("BackupConsole"));
+  std::printf("phase 2: backup console handled %llu reports\n",
+              static_cast<unsigned long long>(backup_content->reports()));
+
+  // Phase 3: an RTSJ-illegal reconfiguration is refused.
+  auto illegal = app->rebind_sync("MonitoringSystem", "iConsole",
+                                  "HeapConsole");
+  std::printf("rebind to HeapConsole: %s\n",
+              illegal.ok() ? "accepted (BUG!)" : "rejected as expected");
+  for (const auto& d : illegal.diagnostics()) {
+    std::printf("  %s\n", d.to_string().c_str());
+  }
+
+  // Membrane introspection (SOLEIL mode only).
+  auto* membrane = app->find_membrane("MonitoringSystem");
+  std::printf("\nMonitoringSystem membrane: %zu interceptors [",
+              membrane->interceptor_count());
+  bool first = true;
+  for (const auto& kind : membrane->interceptor_kinds()) {
+    std::printf("%s%s", first ? "" : ", ", kind.c_str());
+    first = false;
+  }
+  std::printf("]\n");
+
+  app->stop();
+  return (report.ok() && !illegal.ok() && backup_content->reports() > 0) ? 0
+                                                                         : 1;
+}

@@ -1,0 +1,411 @@
+#include "adl/loader.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "adl/xml.hpp"
+
+namespace rtcf::adl {
+
+using model::ActivationKind;
+using model::ActiveComponent;
+using model::Architecture;
+using model::AreaType;
+using model::Binding;
+using model::BindingDesc;
+using model::Component;
+using model::ComponentKind;
+using model::DomainType;
+using model::InterfaceRole;
+using model::MemoryAreaComponent;
+using model::PassiveComponent;
+using model::Protocol;
+using model::ThreadDomain;
+
+namespace {
+
+std::pair<long long, std::string> split_number_suffix(std::string_view text) {
+  std::size_t i = 0;
+  while (i < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[i])) ||
+          (i == 0 && text[i] == '-'))) {
+    ++i;
+  }
+  if (i == 0 || (i == 1 && text[0] == '-')) {
+    throw AdlError("expected a number in '" + std::string(text) + "'");
+  }
+  long long value = 0;
+  try {
+    value = std::stoll(std::string(text.substr(0, i)));
+  } catch (const std::exception&) {
+    throw AdlError("number out of range in '" + std::string(text) + "'");
+  }
+  std::string suffix(text.substr(i));
+  std::transform(suffix.begin(), suffix.end(), suffix.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return {value, suffix};
+}
+
+}  // namespace
+
+rtsj::RelativeTime parse_duration(std::string_view text) {
+  const auto [value, suffix] = split_number_suffix(text);
+  if (suffix.empty() || suffix == "ns") {
+    return rtsj::RelativeTime::nanoseconds(value);
+  }
+  if (suffix == "us") return rtsj::RelativeTime::microseconds(value);
+  if (suffix == "ms") return rtsj::RelativeTime::milliseconds(value);
+  if (suffix == "s") return rtsj::RelativeTime::seconds(value);
+  throw AdlError("unknown duration unit '" + suffix + "'");
+}
+
+std::size_t parse_size(std::string_view text) {
+  const auto [value, suffix] = split_number_suffix(text);
+  if (value < 0) throw AdlError("sizes must be non-negative");
+  const auto v = static_cast<std::size_t>(value);
+  if (suffix.empty() || suffix == "b") return v;
+  if (suffix == "kb" || suffix == "k") return v * 1024;
+  if (suffix == "mb" || suffix == "m") return v * 1024 * 1024;
+  throw AdlError("unknown size unit '" + suffix + "'");
+}
+
+std::string format_duration(rtsj::RelativeTime t) {
+  const auto n = t.nanos();
+  std::ostringstream os;
+  if (n != 0 && n % 1'000'000'000 == 0) {
+    os << n / 1'000'000'000 << "s";
+  } else if (n != 0 && n % 1'000'000 == 0) {
+    os << n / 1'000'000 << "ms";
+  } else if (n != 0 && n % 1'000 == 0) {
+    os << n / 1'000 << "us";
+  } else {
+    os << n << "ns";
+  }
+  return os.str();
+}
+
+std::string format_size(std::size_t bytes) {
+  std::ostringstream os;
+  if (bytes != 0 && bytes % (1024 * 1024) == 0) {
+    os << bytes / (1024 * 1024) << "MB";
+  } else if (bytes != 0 && bytes % 1024 == 0) {
+    os << bytes / 1024 << "KB";
+  } else {
+    os << bytes;
+  }
+  return os.str();
+}
+
+namespace {
+
+InterfaceRole parse_role(const std::string& role) {
+  if (role == "client") return InterfaceRole::Client;
+  if (role == "server") return InterfaceRole::Server;
+  throw AdlError("unknown interface role '" + role + "'");
+}
+
+ActivationKind parse_activation(const std::string& type) {
+  if (type == "periodic") return ActivationKind::Periodic;
+  if (type == "sporadic") return ActivationKind::Sporadic;
+  throw AdlError("unknown active component type '" + type + "'");
+}
+
+DomainType parse_domain_type(const std::string& type) {
+  if (type == "NHRT") return DomainType::NoHeapRealtime;
+  if (type == "RT") return DomainType::Realtime;
+  if (type == "Regular") return DomainType::Regular;
+  throw AdlError("unknown domain type '" + type + "'");
+}
+
+AreaType parse_area_type(const std::string& type) {
+  if (type == "immortal") return AreaType::Immortal;
+  if (type == "scope") return AreaType::Scoped;
+  if (type == "heap") return AreaType::Heap;
+  throw AdlError("unknown area type '" + type + "'");
+}
+
+void load_interfaces(const XmlNode& node, Component& component) {
+  for (const XmlNode* itf : node.children_named("interface")) {
+    component.add_interface({itf->require_attr("name"),
+                             parse_role(itf->require_attr("role")),
+                             itf->require_attr("signature")});
+  }
+  if (const XmlNode* content = node.child("content")) {
+    const std::string cls = content->require_attr("class");
+    if (auto* active = dynamic_cast<ActiveComponent*>(&component)) {
+      active->set_content_class(cls);
+    } else if (auto* passive = dynamic_cast<PassiveComponent*>(&component)) {
+      passive->set_content_class(cls);
+    }
+  }
+}
+
+void load_active(const XmlNode& node, Architecture& arch) {
+  const std::string name = node.require_attr("name");
+  const auto activation = parse_activation(node.attr_or("type", "sporadic"));
+  rtsj::RelativeTime period;
+  if (auto p = node.attr("periodicity")) period = parse_duration(*p);
+  if (auto p = node.attr("minInterarrival")) period = parse_duration(*p);
+  auto& component = arch.add_active(name, activation, period);
+  if (auto c = node.attr("cost")) component.set_cost(parse_duration(*c));
+  load_interfaces(node, component);
+}
+
+void load_passive(const XmlNode& node, Architecture& arch) {
+  auto& component = arch.add_passive(node.require_attr("name"));
+  load_interfaces(node, component);
+}
+
+void load_binding(const XmlNode& node, Architecture& arch) {
+  const XmlNode* client = node.child("client");
+  const XmlNode* server = node.child("server");
+  if (client == nullptr || server == nullptr) {
+    throw AdlError("<Binding> needs <client> and <server> children");
+  }
+  Binding binding;
+  binding.client = {client->require_attr("cname"),
+                    client->require_attr("iname")};
+  binding.server = {server->require_attr("cname"),
+                    server->require_attr("iname")};
+  if (const XmlNode* desc = node.child("BindDesc")) {
+    const std::string protocol = desc->attr_or("protocol", "synchronous");
+    if (protocol == "synchronous") {
+      binding.desc.protocol = Protocol::Synchronous;
+    } else if (protocol == "asynchronous") {
+      binding.desc.protocol = Protocol::Asynchronous;
+    } else {
+      throw AdlError("unknown binding protocol '" + protocol + "'");
+    }
+    if (auto b = desc->attr("bufferSize")) {
+      binding.desc.buffer_size = parse_size(*b);
+    }
+    binding.desc.pattern = desc->attr_or("pattern", "");
+  }
+  arch.add_binding(std::move(binding));
+}
+
+Component& resolve_ref(const XmlNode& node, Architecture& arch) {
+  const std::string name = node.require_attr("name");
+  Component* c = arch.find(name);
+  if (c == nullptr) {
+    throw AdlError("reference to undeclared component '" + name + "'");
+  }
+  return *c;
+}
+
+void load_thread_domain(const XmlNode& node, Architecture& arch,
+                        Component* parent) {
+  const XmlNode* desc = node.child("DomainDesc");
+  if (desc == nullptr) {
+    throw AdlError("<ThreadDomain> needs a <DomainDesc> child");
+  }
+  auto& domain = arch.add_thread_domain(
+      node.require_attr("name"),
+      parse_domain_type(desc->require_attr("type")),
+      std::stoi(desc->attr_or("priority", "1")));
+  if (parent != nullptr) arch.add_child(*parent, domain);
+  for (const XmlNode* ref : node.children_named("ActiveComp")) {
+    arch.add_child(domain, resolve_ref(*ref, arch));
+  }
+}
+
+void load_memory_area(const XmlNode& node, Architecture& arch,
+                      Component* parent) {
+  const XmlNode* desc = node.child("AreaDesc");
+  if (desc == nullptr) {
+    throw AdlError("<MemoryArea> needs an <AreaDesc> child");
+  }
+  const AreaType type = parse_area_type(desc->require_attr("type"));
+  std::size_t size = 0;
+  if (auto s = desc->attr("size")) size = parse_size(*s);
+  auto& area =
+      arch.add_memory_area(node.require_attr("name"), type, size,
+                           desc->attr_or("name", node.require_attr("name")));
+  if (parent != nullptr) arch.add_child(*parent, area);
+  for (const XmlNode& child : node.children) {
+    if (child.name == "ThreadDomain") {
+      load_thread_domain(child, arch, &area);
+    } else if (child.name == "MemoryArea") {
+      load_memory_area(child, arch, &area);
+    } else if (child.name == "ActiveComp" || child.name == "PassiveComp" ||
+               child.name == "Component") {
+      arch.add_child(area, resolve_ref(child, arch));
+    } else if (child.name != "AreaDesc") {
+      throw AdlError("unexpected <" + child.name + "> inside <MemoryArea>");
+    }
+  }
+}
+
+}  // namespace
+
+Architecture load_architecture(std::string_view adl_text) {
+  const XmlNode root = parse_xml(adl_text);
+  if (root.name != "Architecture") {
+    throw AdlError("root element must be <Architecture>, got <" + root.name +
+                   ">");
+  }
+  Architecture arch;
+  // Pass 1: functional component declarations and bindings.
+  for (const XmlNode& child : root.children) {
+    if (child.name == "ActiveComponent") {
+      load_active(child, arch);
+    } else if (child.name == "PassiveComponent") {
+      load_passive(child, arch);
+    }
+  }
+  for (const XmlNode& child : root.children) {
+    if (child.name == "Binding") load_binding(child, arch);
+  }
+  // Pass 2: non-functional composition referencing pass-1 components.
+  for (const XmlNode& child : root.children) {
+    if (child.name == "MemoryArea") {
+      load_memory_area(child, arch, nullptr);
+    } else if (child.name == "ThreadDomain") {
+      load_thread_domain(child, arch, nullptr);
+    } else if (child.name != "ActiveComponent" &&
+               child.name != "PassiveComponent" && child.name != "Binding") {
+      throw AdlError("unexpected top-level element <" + child.name + ">");
+    }
+  }
+  return arch;
+}
+
+namespace {
+
+XmlNode serialize_functional(const Component& c) {
+  XmlNode node;
+  if (const auto* active = dynamic_cast<const ActiveComponent*>(&c)) {
+    node.name = "ActiveComponent";
+    node.attributes.emplace_back("name", c.name());
+    node.attributes.emplace_back("type",
+                                 model::to_string(active->activation()));
+    if (!active->period().is_zero()) {
+      node.attributes.emplace_back(
+          active->activation() == ActivationKind::Periodic
+              ? "periodicity"
+              : "minInterarrival",
+          format_duration(active->period()));
+    }
+    if (!active->cost().is_zero()) {
+      node.attributes.emplace_back("cost", format_duration(active->cost()));
+    }
+  } else {
+    node.name = "PassiveComponent";
+    node.attributes.emplace_back("name", c.name());
+  }
+  for (const auto& itf : c.interfaces()) {
+    XmlNode i;
+    i.name = "interface";
+    i.attributes.emplace_back("name", itf.name);
+    i.attributes.emplace_back("role", model::to_string(itf.role));
+    i.attributes.emplace_back("signature", itf.signature);
+    node.children.push_back(std::move(i));
+  }
+  std::string content;
+  if (const auto* active = dynamic_cast<const ActiveComponent*>(&c)) {
+    content = active->content_class();
+  } else if (const auto* passive = dynamic_cast<const PassiveComponent*>(&c)) {
+    content = passive->content_class();
+  }
+  if (!content.empty()) {
+    XmlNode n;
+    n.name = "content";
+    n.attributes.emplace_back("class", content);
+    node.children.push_back(std::move(n));
+  }
+  return node;
+}
+
+XmlNode serialize_nonfunctional(const Component& c) {
+  XmlNode node;
+  if (const auto* domain = dynamic_cast<const ThreadDomain*>(&c)) {
+    node.name = "ThreadDomain";
+    node.attributes.emplace_back("name", c.name());
+    for (const Component* sub : c.subs()) {
+      XmlNode ref;
+      ref.name = "ActiveComp";
+      ref.attributes.emplace_back("name", sub->name());
+      node.children.push_back(std::move(ref));
+    }
+    XmlNode desc;
+    desc.name = "DomainDesc";
+    desc.attributes.emplace_back("type", model::to_string(domain->type()));
+    desc.attributes.emplace_back("priority",
+                                 std::to_string(domain->priority()));
+    node.children.push_back(std::move(desc));
+    return node;
+  }
+  const auto* area = dynamic_cast<const MemoryAreaComponent*>(&c);
+  node.name = "MemoryArea";
+  node.attributes.emplace_back("name", c.name());
+  for (const Component* sub : c.subs()) {
+    if (sub->is_functional()) {
+      XmlNode ref;
+      ref.name = sub->kind() == ComponentKind::Active ? "ActiveComp"
+                                                      : "PassiveComp";
+      ref.attributes.emplace_back("name", sub->name());
+      node.children.push_back(std::move(ref));
+    } else {
+      node.children.push_back(serialize_nonfunctional(*sub));
+    }
+  }
+  XmlNode desc;
+  desc.name = "AreaDesc";
+  desc.attributes.emplace_back("type", model::to_string(area->type()));
+  if (area->area_name() != area->name()) {
+    desc.attributes.emplace_back("name", area->area_name());
+  }
+  if (area->size_bytes() != 0) {
+    desc.attributes.emplace_back("size", format_size(area->size_bytes()));
+  }
+  node.children.push_back(std::move(desc));
+  return node;
+}
+
+}  // namespace
+
+std::string save_architecture(const Architecture& arch) {
+  XmlNode root;
+  root.name = "Architecture";
+  for (const auto& owned : arch.components()) {
+    if (owned->is_functional()) {
+      root.children.push_back(serialize_functional(*owned));
+    }
+  }
+  for (const Binding& b : arch.bindings()) {
+    XmlNode node;
+    node.name = "Binding";
+    XmlNode client;
+    client.name = "client";
+    client.attributes.emplace_back("cname", b.client.component);
+    client.attributes.emplace_back("iname", b.client.interface);
+    XmlNode server;
+    server.name = "server";
+    server.attributes.emplace_back("cname", b.server.component);
+    server.attributes.emplace_back("iname", b.server.interface);
+    node.children.push_back(std::move(client));
+    node.children.push_back(std::move(server));
+    XmlNode desc;
+    desc.name = "BindDesc";
+    desc.attributes.emplace_back("protocol",
+                                 model::to_string(b.desc.protocol));
+    if (b.desc.buffer_size != 0) {
+      desc.attributes.emplace_back("bufferSize",
+                                   std::to_string(b.desc.buffer_size));
+    }
+    if (!b.desc.pattern.empty()) {
+      desc.attributes.emplace_back("pattern", b.desc.pattern);
+    }
+    node.children.push_back(std::move(desc));
+    root.children.push_back(std::move(node));
+  }
+  for (Component* top : arch.roots()) {
+    if (!top->is_functional()) {
+      root.children.push_back(serialize_nonfunctional(*top));
+    }
+  }
+  return to_xml(root);
+}
+
+}  // namespace rtcf::adl

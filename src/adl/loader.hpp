@@ -1,0 +1,66 @@
+// ADL loader and serializer for the paper's XML dialect (Fig. 4).
+//
+// The dialect, unchanged from the paper:
+//
+//   <Architecture>
+//     <ActiveComponent name="ProductionLine" type="periodic"
+//                      periodicity="10ms">
+//       <interface name="iMonitor" role="client" signature="IMonitor"/>
+//       <content class="ProductionLineImpl"/>
+//     </ActiveComponent>
+//     <PassiveComponent name="Console"> ... </PassiveComponent>
+//     <Binding>
+//       <client cname="ProductionLine" iname="iMonitor"/>
+//       <server cname="MonitoringSystem" iname="iMonitor"/>
+//       <BindDesc protocol="asynchronous" bufferSize="10"/>
+//     </Binding>
+//     <MemoryArea name="Imm1">
+//       <ThreadDomain name="NHRT1">
+//         <ActiveComp name="ProductionLine"/>
+//         <DomainDesc type="NHRT" priority="30"/>
+//       </ThreadDomain>
+//       <AreaDesc type="immortal" size="600KB"/>
+//     </MemoryArea>
+//   </Architecture>
+//
+// Functional components are declared at the top level and *referenced*
+// inside non-functional composites (<ActiveComp>/<PassiveComp> name refs),
+// which is how the three design views stay independent in one document.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "model/metamodel.hpp"
+#include "rtsj/time/time.hpp"
+
+namespace rtcf::adl {
+
+/// Malformed architecture description (well-formed XML, bad content).
+class AdlError : public std::runtime_error {
+ public:
+  explicit AdlError(const std::string& message)
+      : std::runtime_error("adl: " + message) {}
+};
+
+/// Parses "10ms", "250us", "1s", "5000ns" (bare numbers = nanoseconds).
+rtsj::RelativeTime parse_duration(std::string_view text);
+
+/// Parses "600KB", "28KB", "2MB", "512" (bare numbers = bytes).
+std::size_t parse_size(std::string_view text);
+
+/// Renders a duration/size back into canonical ADL spelling.
+std::string format_duration(rtsj::RelativeTime t);
+std::string format_size(std::size_t bytes);
+
+/// Builds an Architecture from ADL text. Throws XmlParseError on malformed
+/// XML and AdlError on malformed content. The result is *not* validated
+/// against the RTSJ rules — run validate::validate() next, as the design
+/// flow prescribes.
+model::Architecture load_architecture(std::string_view adl_text);
+
+/// Serializes an architecture back to ADL text (round-trip stable).
+std::string save_architecture(const model::Architecture& arch);
+
+}  // namespace rtcf::adl

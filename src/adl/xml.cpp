@@ -1,0 +1,305 @@
+#include "adl/xml.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace rtcf::adl {
+
+XmlParseError::XmlParseError(const std::string& message, std::size_t line,
+                             std::size_t column)
+    : std::runtime_error("xml parse error at " + std::to_string(line) + ":" +
+                         std::to_string(column) + ": " + message),
+      line_(line),
+      column_(column) {}
+
+std::optional<std::string> XmlNode::attr(std::string_view key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::string XmlNode::attr_or(std::string_view key,
+                             std::string fallback) const {
+  auto v = attr(key);
+  return v ? *v : std::move(fallback);
+}
+
+std::string XmlNode::require_attr(std::string_view key) const {
+  auto v = attr(key);
+  if (!v) {
+    throw std::invalid_argument("element <" + name + "> missing attribute '" +
+                                std::string(key) + "'");
+  }
+  return *v;
+}
+
+const XmlNode* XmlNode::child(std::string_view name) const noexcept {
+  for (const auto& c : children) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(
+    std::string_view name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children) {
+    if (c.name == name) out.push_back(&c);
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  XmlNode parse_document() {
+    skip_misc();
+    if (eof()) fail("document has no root element");
+    XmlNode root = parse_element();
+    skip_misc();
+    if (!eof()) fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw XmlParseError(message, line_, column_);
+  }
+
+  bool eof() const noexcept { return pos_ >= input_.size(); }
+  char peek() const noexcept { return eof() ? '\0' : input_[pos_]; }
+  bool starts_with(std::string_view s) const noexcept {
+    return input_.substr(pos_, s.size()) == s;
+  }
+
+  char advance() {
+    if (eof()) fail("unexpected end of input");
+    const char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void advance_n(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) advance();
+  }
+
+  void skip_whitespace() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) {
+      advance();
+    }
+  }
+
+  /// Skips whitespace, comments, declarations and processing instructions.
+  void skip_misc() {
+    for (;;) {
+      skip_whitespace();
+      if (starts_with("<!--")) {
+        advance_n(4);
+        while (!starts_with("-->")) {
+          if (eof()) fail("unterminated comment");
+          advance();
+        }
+        advance_n(3);
+      } else if (starts_with("<?")) {
+        advance_n(2);
+        while (!starts_with("?>")) {
+          if (eof()) fail("unterminated processing instruction");
+          advance();
+        }
+        advance_n(2);
+      } else if (starts_with("<!DOCTYPE")) {
+        while (!eof() && peek() != '>') advance();
+        if (!eof()) advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool is_name_start(char c) noexcept {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+  }
+  static bool is_name_char(char c) noexcept {
+    return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.';
+  }
+
+  std::string parse_name() {
+    if (!is_name_start(peek())) fail("expected a name");
+    std::string name;
+    while (!eof() && is_name_char(peek())) name.push_back(advance());
+    return name;
+  }
+
+  std::string decode_entities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      const auto end = raw.find(';', i);
+      if (end == std::string_view::npos) fail("unterminated entity");
+      const std::string_view entity = raw.substr(i + 1, end - i - 1);
+      if (entity == "lt") {
+        out.push_back('<');
+      } else if (entity == "gt") {
+        out.push_back('>');
+      } else if (entity == "amp") {
+        out.push_back('&');
+      } else if (entity == "quot") {
+        out.push_back('"');
+      } else if (entity == "apos") {
+        out.push_back('\'');
+      } else {
+        fail("unknown entity '&" + std::string(entity) + ";'");
+      }
+      i = end;
+    }
+    return out;
+  }
+
+  std::pair<std::string, std::string> parse_attribute() {
+    std::string key = parse_name();
+    skip_whitespace();
+    if (peek() != '=') fail("expected '=' after attribute name");
+    advance();
+    skip_whitespace();
+    const char quote = peek();
+    if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+    advance();
+    std::string raw;
+    while (peek() != quote) {
+      if (eof()) fail("unterminated attribute value");
+      raw.push_back(advance());
+    }
+    advance();  // closing quote
+    return {std::move(key), decode_entities(raw)};
+  }
+
+  XmlNode parse_element() {
+    if (peek() != '<') fail("expected '<'");
+    advance();
+    XmlNode node;
+    node.name = parse_name();
+    for (;;) {
+      skip_whitespace();
+      if (starts_with("/>")) {
+        advance_n(2);
+        return node;
+      }
+      if (peek() == '>') {
+        advance();
+        break;
+      }
+      node.attributes.push_back(parse_attribute());
+    }
+    // Content until matching close tag.
+    for (;;) {
+      if (starts_with("</")) {
+        advance_n(2);
+        const std::string close = parse_name();
+        if (close != node.name) {
+          fail("mismatched close tag </" + close + "> for <" + node.name +
+               ">");
+        }
+        skip_whitespace();
+        if (peek() != '>') fail("malformed close tag");
+        advance();
+        return node;
+      }
+      if (starts_with("<!--")) {
+        skip_misc();
+        continue;
+      }
+      if (peek() == '<') {
+        node.children.push_back(parse_element());
+        continue;
+      }
+      if (eof()) fail("unterminated element <" + node.name + ">");
+      std::string raw;
+      while (!eof() && peek() != '<') raw.push_back(advance());
+      std::string decoded = decode_entities(raw);
+      // Trim pure-indentation text runs.
+      const auto first =
+          decoded.find_first_not_of(" \t\r\n");
+      if (first != std::string::npos) {
+        const auto last = decoded.find_last_not_of(" \t\r\n");
+        node.text += decoded.substr(first, last - first + 1);
+      }
+    }
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+}  // namespace
+
+XmlNode parse_xml(std::string_view input) {
+  return Parser(input).parse_document();
+}
+
+std::string escape_xml(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string to_xml(const XmlNode& node, std::size_t indent) {
+  std::ostringstream os;
+  const std::string pad(indent * 2, ' ');
+  os << pad << '<' << node.name;
+  for (const auto& [k, v] : node.attributes) {
+    os << ' ' << k << "=\"" << escape_xml(v) << '"';
+  }
+  if (node.children.empty() && node.text.empty()) {
+    os << "/>\n";
+    return os.str();
+  }
+  os << '>';
+  if (!node.text.empty()) os << escape_xml(node.text);
+  if (!node.children.empty()) {
+    os << '\n';
+    for (const auto& c : node.children) os << to_xml(c, indent + 1);
+    os << pad;
+  }
+  os << "</" << node.name << ">\n";
+  return os.str();
+}
+
+}  // namespace rtcf::adl

@@ -1,0 +1,60 @@
+// Minimal, dependency-free XML for the ADL (Fig. 4 dialect).
+//
+// Supports: elements, attributes (single or double quoted), nested
+// children, text content, comments, processing instructions/declarations
+// (skipped), self-closing tags, and the five predefined entities. That is
+// everything the paper's architecture description language needs.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rtcf::adl {
+
+/// Parse failure with 1-based line/column of the offending input.
+class XmlParseError : public std::runtime_error {
+ public:
+  XmlParseError(const std::string& message, std::size_t line,
+                std::size_t column);
+  std::size_t line() const noexcept { return line_; }
+  std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// One element of the DOM.
+struct XmlNode {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<XmlNode> children;
+  std::string text;  ///< Concatenated character data directly inside.
+
+  /// Attribute lookup; nullopt when absent.
+  std::optional<std::string> attr(std::string_view key) const;
+  /// Attribute lookup with default.
+  std::string attr_or(std::string_view key, std::string fallback) const;
+  /// Attribute lookup that throws std::invalid_argument when absent.
+  std::string require_attr(std::string_view key) const;
+
+  /// First child element with the given name, or nullptr.
+  const XmlNode* child(std::string_view name) const noexcept;
+  /// All child elements with the given name, in document order.
+  std::vector<const XmlNode*> children_named(std::string_view name) const;
+};
+
+/// Parses a complete document and returns its root element.
+XmlNode parse_xml(std::string_view input);
+
+/// Escapes the five predefined entities for attribute/text emission.
+std::string escape_xml(std::string_view raw);
+
+/// Serializes a node (and subtree) with two-space indentation.
+std::string to_xml(const XmlNode& node, std::size_t indent = 0);
+
+}  // namespace rtcf::adl

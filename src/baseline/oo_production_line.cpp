@@ -1,0 +1,92 @@
+#include "baseline/oo_production_line.hpp"
+
+namespace rtcf::baseline {
+
+using comm::Message;
+using namespace scenario;
+
+Message OoConsole::report(const Message& request) {
+  const auto alarm = request.load<Alarm>();
+  ++reports_;
+  checksum_ += alarm.value;
+  Message ack;
+  ack.type_id = kAckType;
+  ack.sequence = request.sequence;
+  return ack;
+}
+
+void OoAuditLog::consume(const Message& message) {
+  const auto record = message.load<AuditRecord>();
+  ++records_;
+  checksum_ += record.value;
+}
+
+void OoMonitoringSystem::on_measurement(const Message& message) {
+  const auto m = message.load<Measurement>();
+  ++processed_;
+  const bool anomaly = m.value > kAnomalyThreshold;
+  if (anomaly) {
+    ++anomalies_;
+    Alarm alarm{m.value, m.seq};
+    Message request;
+    request.type_id = kAlarmType;
+    request.sequence = m.seq;
+    request.store(alarm);
+    (void)console_->report(request);
+  }
+  AuditRecord record{m.value, m.seq, anomaly};
+  Message audit;
+  audit.type_id = kAuditType;
+  audit.sequence = m.seq;
+  audit.store(record);
+  audit_buffer_->push(audit);
+}
+
+void OoProductionLine::release() {
+  Measurement m;
+  m.seq = seq_;
+  m.value = measurement_value(seq_);
+  ++seq_;
+  Message msg;
+  msg.type_id = kMeasurementType;
+  msg.sequence = m.seq;
+  msg.store(m);
+  monitor_buffer_->push(msg);
+}
+
+OoApplication::OoApplication() = default;
+
+void OoApplication::drain() {
+  while (auto msg = monitor_buffer_.pop()) {
+    monitoring_.on_measurement(*msg);
+  }
+  while (auto msg = audit_buffer_.pop()) {
+    audit_.consume(*msg);
+  }
+}
+
+void OoApplication::iterate() {
+  production_.release();
+  drain();
+}
+
+scenario::ScenarioCounters OoApplication::counters() const {
+  ScenarioCounters c;
+  c.produced = production_.produced();
+  c.processed = monitoring_.processed();
+  c.anomalies = monitoring_.anomalies();
+  c.console_reports = console_.reports();
+  c.audit_records = audit_.records();
+  c.console_checksum = console_.checksum();
+  c.audit_checksum = audit_.checksum();
+  return c;
+}
+
+std::size_t OoApplication::infrastructure_bytes() const noexcept {
+  // The hand-written variant still needs its two bounded buffers (slots +
+  // bookkeeping); the component objects carry only functional state.
+  return sizeof(monitor_buffer_) + sizeof(audit_buffer_) +
+         2 * 10 * sizeof(Message);
+}
+
+}  // namespace rtcf::baseline

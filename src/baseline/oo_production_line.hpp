@@ -1,0 +1,99 @@
+// The hand-written object-oriented baseline of §5.1 ("denoted as OO, is the
+// manually developed object-oriented application").
+//
+// Deliberately framework-free: plain classes holding direct pointers to
+// each other, plain preallocated ring buffers for the asynchronous hops,
+// and a hand-rolled drain loop. It performs byte-for-byte the same
+// functional work as the framework variants (same Message type, same
+// payloads, same threshold logic), so any timing difference against
+// SOLEIL / MERGE_ALL / ULTRA_MERGE is pure infrastructure overhead — the
+// Fig. 7 comparison.
+#pragma once
+
+#include <cstdint>
+
+#include "comm/message.hpp"
+#include "scenario/production_scenario.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace rtcf::baseline {
+
+class OoConsole {
+ public:
+  comm::Message report(const comm::Message& request);
+  std::uint64_t reports() const noexcept { return reports_; }
+  double checksum() const noexcept { return checksum_; }
+
+ private:
+  std::uint64_t reports_ = 0;
+  double checksum_ = 0.0;
+};
+
+class OoAuditLog {
+ public:
+  void consume(const comm::Message& message);
+  std::uint64_t records() const noexcept { return records_; }
+  double checksum() const noexcept { return checksum_; }
+
+ private:
+  std::uint64_t records_ = 0;
+  double checksum_ = 0.0;
+};
+
+class OoMonitoringSystem {
+ public:
+  OoMonitoringSystem(OoConsole& console,
+                     util::RingBuffer<comm::Message>& audit_buffer)
+      : console_(&console), audit_buffer_(&audit_buffer) {}
+
+  void on_measurement(const comm::Message& message);
+  std::uint64_t processed() const noexcept { return processed_; }
+  std::uint64_t anomalies() const noexcept { return anomalies_; }
+
+ private:
+  OoConsole* console_;
+  util::RingBuffer<comm::Message>* audit_buffer_;
+  std::uint64_t processed_ = 0;
+  std::uint64_t anomalies_ = 0;
+};
+
+class OoProductionLine {
+ public:
+  explicit OoProductionLine(util::RingBuffer<comm::Message>& monitor_buffer)
+      : monitor_buffer_(&monitor_buffer) {}
+
+  void release();
+  std::uint64_t produced() const noexcept { return seq_; }
+
+ private:
+  util::RingBuffer<comm::Message>* monitor_buffer_;
+  std::uint64_t seq_ = 0;
+};
+
+/// The wired baseline application.
+class OoApplication {
+ public:
+  OoApplication();
+
+  /// One complete transaction, identical in work to
+  /// Application::iterate("ProductionLine").
+  void iterate();
+
+  scenario::ScenarioCounters counters() const;
+
+  /// Bytes of infrastructure the hand-written variant needs (the two ring
+  /// buffers plus the component objects) — the OO bar of Fig. 7c.
+  std::size_t infrastructure_bytes() const noexcept;
+
+ private:
+  void drain();
+
+  util::RingBuffer<comm::Message> monitor_buffer_{10};
+  util::RingBuffer<comm::Message> audit_buffer_{10};
+  OoConsole console_;
+  OoAuditLog audit_;
+  OoMonitoringSystem monitoring_{console_, audit_buffer_};
+  OoProductionLine production_{monitor_buffer_};
+};
+
+}  // namespace rtcf::baseline

@@ -1,0 +1,53 @@
+#include "comm/content.hpp"
+
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace rtcf::comm {
+
+void OutPort::send(const Message& message) {
+  switch (fast_) {
+    case FastPath::DirectBuffer: {
+      const Message& out = transform_ != nullptr
+                               ? transform_(transform_arg_, message)
+                               : message;
+      buffer_->push(out);
+      if (notify_ != nullptr) notify_(notify_arg_);
+      return;
+    }
+    case FastPath::DirectInvoke:
+      // One-way send over a synchronous fast path degenerates to invoke.
+      target_->on_message(message);
+      return;
+    case FastPath::None:
+      break;
+  }
+  if (sink_ == nullptr) {
+    throw std::logic_error("port '" + name_ + "' is not bound for send()");
+  }
+  sink_->deliver(message);
+}
+
+Message OutPort::call(const Message& request) {
+  if (fast_ == FastPath::DirectInvoke) {
+    return target_->on_invoke(request);
+  }
+  if (invocable_ == nullptr) {
+    throw std::logic_error("port '" + name_ + "' is not bound for call()");
+  }
+  return invocable_->invoke(request);
+}
+
+OutPort& Content::port(const std::string& name) {
+  for (auto& p : ports_) {
+    if (p.name() == name) return p;
+  }
+  throw std::invalid_argument("unknown port '" + name + "'");
+}
+
+OutPort& Content::add_port(std::string name) {
+  return ports_.emplace_back(std::move(name));
+}
+
+}  // namespace rtcf::comm

@@ -1,0 +1,133 @@
+// The user-facing programming model: content classes and output ports.
+//
+// Developers implement only component *content* (§3.3 step 1: "developers
+// implement only component content classes"); everything else — thread and
+// memory management, cross-scope communication, activation — is generated
+// infrastructure. A content class overrides the hooks relevant to its
+// component type and calls out through its declared client ports.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "comm/message.hpp"
+#include "comm/message_buffer.hpp"
+
+namespace rtcf::comm {
+
+class Content;
+
+/// Client-side stub for one declared client interface. The infrastructure
+/// binds it according to the generation mode:
+///   * SOLEIL      — to the head of an interceptor chain (several reified
+///                   hops);
+///   * MERGE_ALL   — to the target component's merged shell (one hop);
+///   * ULTRA_MERGE — to a flattened fast path (direct buffer push or direct
+///                   content invocation, no infrastructure objects).
+class OutPort {
+ public:
+  explicit OutPort(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  bool bound() const noexcept {
+    return sink_ != nullptr || invocable_ != nullptr ||
+           fast_ != FastPath::None;
+  }
+
+  /// Asynchronous one-way send. Unbound ports drop (counted by caller's
+  /// tests via bound()).
+  void send(const Message& message);
+  /// Synchronous request/response.
+  Message call(const Message& request);
+
+  /// Optional in-place transform applied before a fast-path push (the
+  /// ULTRA_MERGE spelling of a memory pattern's staging copy).
+  using TransformFn = const Message& (*)(void*, const Message&);
+
+  // -- wiring API (BindingController / assembly) --------------------------
+  void bind_sink(IMessageSink* sink) noexcept {
+    sink_ = sink;
+    fast_ = FastPath::None;
+  }
+  void bind_invocable(IInvocable* invocable) noexcept {
+    invocable_ = invocable;
+    fast_ = FastPath::None;
+  }
+  /// ULTRA_MERGE fast path: push straight into `buffer` and tick `notify`.
+  void bind_direct_buffer(MessageBuffer* buffer, void (*notify)(void*),
+                          void* notify_arg, TransformFn transform = nullptr,
+                          void* transform_arg = nullptr) noexcept {
+    buffer_ = buffer;
+    notify_ = notify;
+    notify_arg_ = notify_arg;
+    transform_ = transform;
+    transform_arg_ = transform_arg;
+    fast_ = FastPath::DirectBuffer;
+  }
+  /// ULTRA_MERGE fast path: invoke the server content directly.
+  void bind_direct_content(Content* target) noexcept {
+    target_ = target;
+    fast_ = FastPath::DirectInvoke;
+  }
+  void unbind() noexcept {
+    sink_ = nullptr;
+    invocable_ = nullptr;
+    buffer_ = nullptr;
+    target_ = nullptr;
+    notify_ = nullptr;
+    transform_ = nullptr;
+    fast_ = FastPath::None;
+  }
+
+ private:
+  enum class FastPath { None, DirectBuffer, DirectInvoke };
+
+  std::string name_;
+  FastPath fast_ = FastPath::None;
+  IMessageSink* sink_ = nullptr;
+  IInvocable* invocable_ = nullptr;
+  MessageBuffer* buffer_ = nullptr;
+  Content* target_ = nullptr;
+  void (*notify_)(void*) = nullptr;
+  void* notify_arg_ = nullptr;
+  TransformFn transform_ = nullptr;
+  void* transform_arg_ = nullptr;
+};
+
+/// Base class for user-implemented component logic. Active components get
+/// on_release (periodic) / on_message (sporadic); passive components get
+/// on_invoke; all get lifecycle hooks.
+class Content {
+ public:
+  virtual ~Content() = default;
+
+  /// Lifecycle (driven by the LifecycleController / launcher).
+  virtual void on_start() {}
+  virtual void on_stop() {}
+
+  /// One periodic release (run-to-completion).
+  virtual void on_release() {}
+  /// One sporadic release triggered by a message arrival.
+  virtual void on_message(const Message& message) { (void)message; }
+  /// Synchronous server invocation (passive components).
+  virtual Message on_invoke(const Message& request) {
+    (void)request;
+    return Message{};
+  }
+
+  /// Client port lookup by declared name; throws std::invalid_argument for
+  /// unknown ports.
+  OutPort& port(const std::string& name);
+  /// Fast indexed lookup (indices follow declaration order in the ADL).
+  OutPort& port(std::size_t index) { return ports_.at(index); }
+  std::size_t port_count() const noexcept { return ports_.size(); }
+
+  /// Called by the assembly while wiring; not for user code.
+  OutPort& add_port(std::string name);
+
+ private:
+  std::vector<OutPort> ports_;
+};
+
+}  // namespace rtcf::comm

@@ -1,0 +1,68 @@
+// Fixed-capacity message values exchanged across functional interfaces.
+//
+// RTSJ systems avoid allocation on hot paths: a message here is a flat
+// 96-byte POD passed by value (or staged into preallocated buffers), so
+// sending never allocates and never creates cross-scope references. All
+// four evaluation variants (OO baseline and the three generation modes)
+// move exactly this type, which keeps the Fig. 7 comparison about
+// infrastructure cost only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace rtcf::comm {
+
+/// A flat, trivially copyable message.
+struct Message {
+  static constexpr std::size_t kPayloadCapacity = 64;
+
+  std::uint32_t type_id = 0;   ///< Application-defined discriminator.
+  std::uint32_t size = 0;      ///< Valid payload bytes.
+  std::int64_t timestamp_ns = 0;  ///< Producer timestamp (virtual or wall).
+  std::uint64_t sequence = 0;  ///< Producer sequence number.
+  std::byte payload[kPayloadCapacity] = {};
+
+  /// Serializes a trivially copyable value into the payload.
+  template <typename T>
+  void store(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "message payloads must be trivially copyable");
+    static_assert(sizeof(T) <= kPayloadCapacity,
+                  "payload exceeds message capacity");
+    std::memcpy(payload, &value, sizeof(T));
+    size = sizeof(T);
+  }
+
+  /// Deserializes the payload back into a value.
+  template <typename T>
+  T load() const {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "message payloads must be trivially copyable");
+    static_assert(sizeof(T) <= kPayloadCapacity,
+                  "payload exceeds message capacity");
+    T value;
+    std::memcpy(&value, payload, sizeof(T));
+    return value;
+  }
+};
+
+static_assert(std::is_trivially_copyable_v<Message>);
+
+/// One-way message consumer: the server side of an asynchronous binding.
+class IMessageSink {
+ public:
+  virtual ~IMessageSink() = default;
+  virtual void deliver(const Message& message) = 0;
+};
+
+/// Request/response invocation: the server side of a synchronous binding.
+class IInvocable {
+ public:
+  virtual ~IInvocable() = default;
+  virtual Message invoke(const Message& request) = 0;
+};
+
+}  // namespace rtcf::comm

@@ -1,0 +1,39 @@
+#include "comm/message_buffer.hpp"
+
+#include "util/assert.hpp"
+
+namespace rtcf::comm {
+
+MessageBuffer::MessageBuffer(rtsj::MemoryArea& area, std::size_t capacity)
+    : area_(area), capacity_(capacity) {
+  RTCF_REQUIRE(capacity > 0, "message buffer capacity must be positive");
+  void* storage = area.allocate(sizeof(Message) * capacity, alignof(Message));
+  slots_ = new (storage) Message[capacity];
+}
+
+bool MessageBuffer::push(const Message& message) noexcept {
+  if (full()) {
+    ++dropped_;
+    return false;
+  }
+  slots_[tail_] = message;
+  tail_ = (tail_ + 1 == capacity_) ? 0 : tail_ + 1;
+  ++size_;
+  ++enqueued_;
+  return true;
+}
+
+std::optional<Message> MessageBuffer::pop() noexcept {
+  if (empty()) return std::nullopt;
+  Message out = slots_[head_];
+  head_ = (head_ + 1 == capacity_) ? 0 : head_ + 1;
+  --size_;
+  return out;
+}
+
+void MessageBuffer::clear() noexcept {
+  head_ = tail_ = 0;
+  size_ = 0;
+}
+
+}  // namespace rtcf::comm

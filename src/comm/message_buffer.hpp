@@ -1,0 +1,55 @@
+// Bounded message buffer backing asynchronous bindings.
+//
+// The buffer's storage is carved out of an RTSJ memory area at assembly
+// time (the paper's `BindDesc bufferSize` attribute decides the capacity,
+// the Soleil planner decides the area), after which push/pop never
+// allocate. Overflow drops the newest message and counts it — sporadic
+// consumers with a minimum interarrival time are *expected* to shed load.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "comm/message.hpp"
+#include "rtsj/memory/memory_area.hpp"
+
+namespace rtcf::comm {
+
+/// Fixed-capacity FIFO of Message values with storage in a memory area.
+class MessageBuffer {
+ public:
+  /// Allocates `capacity` message slots inside `area`.
+  MessageBuffer(rtsj::MemoryArea& area, std::size_t capacity);
+
+  MessageBuffer(const MessageBuffer&) = delete;
+  MessageBuffer& operator=(const MessageBuffer&) = delete;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  bool full() const noexcept { return size_ == capacity_; }
+
+  /// Enqueues a copy of `message`; returns false and counts a drop when
+  /// full.
+  bool push(const Message& message) noexcept;
+  std::optional<Message> pop() noexcept;
+  void clear() noexcept;
+
+  std::uint64_t enqueued_total() const noexcept { return enqueued_; }
+  std::uint64_t dropped_total() const noexcept { return dropped_; }
+
+  /// The memory area holding the slots (introspection / tests).
+  const rtsj::MemoryArea& area() const noexcept { return area_; }
+
+ private:
+  rtsj::MemoryArea& area_;
+  Message* slots_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace rtcf::comm

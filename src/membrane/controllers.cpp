@@ -1,0 +1,52 @@
+#include "membrane/controllers.hpp"
+
+#include <algorithm>
+
+namespace rtcf::membrane {
+
+void LifecycleController::start() {
+  if (state_ == State::Started) return;
+  state_ = State::Started;
+  if (content_ != nullptr) content_->on_start();
+}
+
+void LifecycleController::stop() {
+  if (state_ == State::Stopped) return;
+  state_ = State::Stopped;
+  if (content_ != nullptr) content_->on_stop();
+}
+
+std::vector<std::string> BindingController::port_names() const {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < content_->port_count(); ++i) {
+    names.push_back(content_->port(i).name());
+  }
+  return names;
+}
+
+void BindingController::rebind_sink(const std::string& port,
+                                    comm::IMessageSink* sink) {
+  if (sink == nullptr) {
+    content_->port(port).unbind();
+  } else {
+    content_->port(port).bind_sink(sink);
+  }
+}
+
+void BindingController::rebind_invocable(const std::string& port,
+                                         comm::IInvocable* invocable) {
+  if (invocable == nullptr) {
+    content_->port(port).unbind();
+  } else {
+    content_->port(port).bind_invocable(invocable);
+  }
+}
+
+bool ContentController::remove_sub(const std::string& name) {
+  auto it = std::find(subs_.begin(), subs_.end(), name);
+  if (it == subs_.end()) return false;
+  subs_.erase(it);
+  return true;
+}
+
+}  // namespace rtcf::membrane

@@ -1,0 +1,83 @@
+// Membrane control components (§4.2).
+//
+// Controllers split into two groups, as the paper describes: those required
+// by the component's execution (RTSJ controllers, asynchronous-communication
+// state) and the optional ones providing introspection/reconfiguration
+// (Lifecycle, Binding, Content). Access goes through control interfaces
+// hidden from the functional level; here that's simply this header, which
+// functional content never includes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/content.hpp"
+
+namespace rtcf::membrane {
+
+/// Base class for all membrane controllers.
+class Controller {
+ public:
+  virtual ~Controller() = default;
+  /// Stable controller kind ("lifecycle-controller", ...).
+  virtual const char* kind() const noexcept = 0;
+};
+
+/// Component lifecycle state machine: Stopped -> Started -> Stopped.
+/// Interceptors gate invocations on the state; start/stop invoke the
+/// content hooks.
+class LifecycleController final : public Controller {
+ public:
+  enum class State { Stopped, Started };
+
+  explicit LifecycleController(comm::Content* content) : content_(content) {}
+
+  const char* kind() const noexcept override { return "lifecycle-controller"; }
+
+  State state() const noexcept { return state_; }
+  bool started() const noexcept { return state_ == State::Started; }
+
+  void start();
+  void stop();
+
+ private:
+  comm::Content* content_;
+  State state_ = State::Stopped;
+};
+
+/// Exposes (re)binding of the component's client ports — the hook the
+/// runtime reconfiguration manager uses (§4.2 "Runtime Adaptability").
+class BindingController final : public Controller {
+ public:
+  explicit BindingController(comm::Content* content) : content_(content) {}
+
+  const char* kind() const noexcept override { return "binding-controller"; }
+
+  std::vector<std::string> port_names() const;
+  comm::OutPort& port(const std::string& name) {
+    return content_->port(name);
+  }
+  /// Rebinds a port to a new sink/invocable (nullptr = unbind).
+  void rebind_sink(const std::string& port, comm::IMessageSink* sink);
+  void rebind_invocable(const std::string& port, comm::IInvocable* invocable);
+
+ private:
+  comm::Content* content_;
+};
+
+/// Tracks sub-components of composites (ThreadDomain / MemoryArea runtime
+/// components reify their encapsulated components through this).
+class ContentController final : public Controller {
+ public:
+  const char* kind() const noexcept override { return "content-controller"; }
+
+  void add_sub(std::string name) { subs_.push_back(std::move(name)); }
+  bool remove_sub(const std::string& name);
+  const std::vector<std::string>& subs() const noexcept { return subs_; }
+
+ private:
+  std::vector<std::string> subs_;
+};
+
+}  // namespace rtcf::membrane

@@ -1,0 +1,250 @@
+// Membrane interceptors (§4.1): the reified per-hop control objects of the
+// SOLEIL generation mode.
+//
+// An invocation on a SOLEIL assembly traverses, client to server:
+//
+//   OutPort -> MemoryInterceptor -> AsyncSkeleton -(buffer)-> ...
+//     ... activation ... -> ActiveInterceptor -> Content        (async)
+//   OutPort -> MemoryInterceptor -> SyncSkeleton -> Content     (sync)
+//
+// Each arrow is a virtual call on a separately allocated object — exactly
+// the indirection structure whose cost Fig. 7 measures, and which the
+// MERGE-ALL / ULTRA-MERGE modes progressively collapse.
+#pragma once
+
+#include <cstdint>
+
+#include "comm/content.hpp"
+#include "comm/message.hpp"
+#include "comm/message_buffer.hpp"
+#include "membrane/controllers.hpp"
+#include "membrane/patterns.hpp"
+
+namespace rtcf::membrane {
+
+/// Notification hook: tells the activation manager that a sporadic
+/// component has work (function pointer + opaque arg keeps the layer free
+/// of std::function allocations on the hot path).
+using NotifyFn = void (*)(void*);
+
+/// Chain element. Default behaviour forwards to the next hop.
+class Interceptor : public comm::IMessageSink, public comm::IInvocable {
+ public:
+  virtual const char* kind() const noexcept = 0;
+
+  void set_next(comm::IMessageSink* sink,
+                comm::IInvocable* invocable) noexcept {
+    next_sink_ = sink;
+    next_invocable_ = invocable;
+  }
+
+  void deliver(const comm::Message& m) override { next_sink_->deliver(m); }
+  comm::Message invoke(const comm::Message& m) override {
+    return next_invocable_->invoke(m);
+  }
+
+ protected:
+  comm::IMessageSink* next_sink_ = nullptr;
+  comm::IInvocable* next_invocable_ = nullptr;
+};
+
+/// Reified client-interface boundary: the first hop of every SOLEIL
+/// interceptor chain. Fractal-style membranes expose each interface as a
+/// component of the membrane itself; the entry gates on the membrane's
+/// lifecycle state, maintains interface-level statistics, and forwards
+/// into the chain. MERGE-ALL and ULTRA-MERGE compile this hop away.
+class InterfaceEntry final : public Interceptor {
+ public:
+  explicit InterfaceEntry(const LifecycleController* lifecycle)
+      : lifecycle_(lifecycle) {}
+
+  const char* kind() const noexcept override { return "interface-entry"; }
+
+  void deliver(const comm::Message& m) override {
+    if (lifecycle_ != nullptr && !lifecycle_->started()) {
+      ++rejected_;
+      return;
+    }
+    ++traversals_;
+    next_sink_->deliver(m);
+  }
+  comm::Message invoke(const comm::Message& m) override {
+    if (lifecycle_ != nullptr && !lifecycle_->started()) {
+      ++rejected_;
+      return comm::Message{};
+    }
+    ++traversals_;
+    return next_invocable_->invoke(m);
+  }
+
+  std::uint64_t traversal_count() const noexcept { return traversals_; }
+
+ private:
+  const LifecycleController* lifecycle_;
+  std::uint64_t traversals_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+/// Applies the binding's cross-scope communication pattern.
+///
+/// In the fully componentized SOLEIL mode each interceptor is a reified
+/// control component: every traversal consults the owning membrane's
+/// lifecycle control interface and maintains its invocation statistics —
+/// exactly the per-hop bookkeeping MERGE-ALL collapses into one inlined
+/// check (§4.3).
+class MemoryInterceptor final : public Interceptor {
+ public:
+  explicit MemoryInterceptor(PatternRuntime pattern)
+      : pattern_(std::move(pattern)) {}
+
+  const char* kind() const noexcept override { return "memory-interceptor"; }
+
+  /// Installs the membrane-level lifecycle gate (SOLEIL mode).
+  void set_lifecycle_gate(const LifecycleController* lifecycle) noexcept {
+    lifecycle_ = lifecycle;
+  }
+
+  void deliver(const comm::Message& m) override {
+    if (lifecycle_ != nullptr && !lifecycle_->started()) {
+      ++rejected_;
+      return;
+    }
+    ++traversals_;
+    next_sink_->deliver(pattern_.stage(m));
+  }
+  comm::Message invoke(const comm::Message& m) override {
+    if (lifecycle_ != nullptr && !lifecycle_->started()) {
+      ++rejected_;
+      return comm::Message{};
+    }
+    ++traversals_;
+    return pattern_.call(*next_invocable_, m);
+  }
+
+  const PatternRuntime& pattern() const noexcept { return pattern_; }
+  std::uint64_t traversal_count() const noexcept { return traversals_; }
+
+ private:
+  PatternRuntime pattern_;
+  const LifecycleController* lifecycle_ = nullptr;
+  std::uint64_t traversals_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+/// Client-side terminal of an asynchronous binding: enqueues into the
+/// binding's message buffer and notifies the server's activation. Reified
+/// control component like MemoryInterceptor: gated and counted per hop.
+class AsyncSkeleton final : public Interceptor {
+ public:
+  AsyncSkeleton(comm::MessageBuffer* buffer, NotifyFn notify,
+                void* notify_arg)
+      : buffer_(buffer), notify_(notify), notify_arg_(notify_arg) {}
+
+  const char* kind() const noexcept override { return "async-skeleton"; }
+
+  void set_lifecycle_gate(const LifecycleController* lifecycle) noexcept {
+    lifecycle_ = lifecycle;
+  }
+
+  void deliver(const comm::Message& m) override {
+    if (lifecycle_ != nullptr && !lifecycle_->started()) {
+      ++rejected_;
+      return;
+    }
+    ++traversals_;
+    buffer_->push(m);
+    if (notify_ != nullptr) notify_(notify_arg_);
+  }
+
+  const comm::MessageBuffer& buffer() const noexcept { return *buffer_; }
+  std::uint64_t traversal_count() const noexcept { return traversals_; }
+
+ private:
+  comm::MessageBuffer* buffer_;
+  NotifyFn notify_;
+  void* notify_arg_;
+  const LifecycleController* lifecycle_ = nullptr;
+  std::uint64_t traversals_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+/// Server-side execution model of an active component: gates on lifecycle
+/// state and dispatches run-to-completion into the content.
+class ActiveInterceptor final : public Interceptor {
+ public:
+  ActiveInterceptor(const LifecycleController* lifecycle,
+                    comm::Content* content)
+      : lifecycle_(lifecycle), content_(content) {}
+
+  const char* kind() const noexcept override { return "active-interceptor"; }
+
+  void deliver(const comm::Message& m) override {
+    if (lifecycle_ != nullptr && !lifecycle_->started()) {
+      ++rejected_;
+      return;
+    }
+    ++delivered_;
+    content_->on_message(m);
+  }
+
+  /// Periodic release entry (no message).
+  void release() {
+    if (lifecycle_ != nullptr && !lifecycle_->started()) {
+      ++rejected_;
+      return;
+    }
+    ++delivered_;
+    content_->on_release();
+  }
+
+  /// Synchronous invocation on an active component (gated like deliver).
+  comm::Message invoke(const comm::Message& m) override {
+    if (lifecycle_ != nullptr && !lifecycle_->started()) {
+      ++rejected_;
+      return comm::Message{};
+    }
+    ++delivered_;
+    return content_->on_invoke(m);
+  }
+
+  std::uint64_t delivered_count() const noexcept { return delivered_; }
+  std::uint64_t rejected_count() const noexcept { return rejected_; }
+
+ private:
+  const LifecycleController* lifecycle_;
+  comm::Content* content_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+/// Server-side dispatch of a synchronous (passive) interface: lifecycle
+/// gate plus content invocation. Calls against a stopped component return
+/// an empty message and are counted — real-time callers must not block on
+/// reconfiguration.
+class SyncSkeleton final : public Interceptor {
+ public:
+  SyncSkeleton(const LifecycleController* lifecycle, comm::Content* content)
+      : lifecycle_(lifecycle), content_(content) {}
+
+  const char* kind() const noexcept override { return "sync-skeleton"; }
+
+  comm::Message invoke(const comm::Message& m) override {
+    if (lifecycle_ != nullptr && !lifecycle_->started()) {
+      ++rejected_;
+      return comm::Message{};
+    }
+    ++invoked_;
+    return content_->on_invoke(m);
+  }
+
+  std::uint64_t invoked_count() const noexcept { return invoked_; }
+  std::uint64_t rejected_count() const noexcept { return rejected_; }
+
+ private:
+  const LifecycleController* lifecycle_;
+  comm::Content* content_;
+  std::uint64_t invoked_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace rtcf::membrane

@@ -1,0 +1,29 @@
+#include "membrane/membrane.hpp"
+
+namespace rtcf::membrane {
+
+std::vector<std::string> Membrane::interceptor_kinds() const {
+  std::vector<std::string> kinds;
+  kinds.reserve(interceptors_.size());
+  for (const auto& i : interceptors_) kinds.emplace_back(i->kind());
+  return kinds;
+}
+
+std::vector<std::string> Membrane::controller_kinds() const {
+  std::vector<std::string> kinds{lifecycle_.kind(), binding_.kind(),
+                                 content_ctrl_.kind()};
+  for (const auto& c : extra_controllers_) kinds.emplace_back(c->kind());
+  return kinds;
+}
+
+Controller* Membrane::controller(const std::string& kind) noexcept {
+  if (kind == lifecycle_.kind()) return &lifecycle_;
+  if (kind == binding_.kind()) return &binding_;
+  if (kind == content_ctrl_.kind()) return &content_ctrl_;
+  for (const auto& c : extra_controllers_) {
+    if (kind == c->kind()) return c.get();
+  }
+  return nullptr;
+}
+
+}  // namespace rtcf::membrane

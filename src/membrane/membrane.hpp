@@ -1,0 +1,87 @@
+// The component membrane (Fig. 6): the reified controlling environment
+// around one functional component in the SOLEIL generation mode.
+//
+// A membrane owns the component's controllers and the interceptors on its
+// interfaces, and is introspectable at runtime — you can enumerate the
+// control components inside, which is precisely what MERGE-ALL gives up in
+// exchange for fewer indirections.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "membrane/controllers.hpp"
+#include "membrane/interceptors.hpp"
+
+namespace rtcf::membrane {
+
+/// Controlling environment of one functional component.
+class Membrane {
+ public:
+  Membrane(std::string owner, comm::Content* content)
+      : owner_(std::move(owner)),
+        lifecycle_(content),
+        binding_(content),
+        bytes_(sizeof(Membrane)) {}
+
+  Membrane(const Membrane&) = delete;
+  Membrane& operator=(const Membrane&) = delete;
+
+  const std::string& owner() const noexcept { return owner_; }
+
+  LifecycleController& lifecycle() noexcept { return lifecycle_; }
+  const LifecycleController& lifecycle() const noexcept { return lifecycle_; }
+  BindingController& binding() noexcept { return binding_; }
+  ContentController& content_controller() noexcept { return content_ctrl_; }
+
+  /// Creates and owns an interceptor inside this membrane.
+  template <typename T, typename... Args>
+  T& add_interceptor(Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *owned;
+    bytes_ += sizeof(T);
+    interceptors_.push_back(std::move(owned));
+    return ref;
+  }
+
+  /// Creates and owns an additional controller (beyond the basic
+  /// lifecycle/binding/content triple) — e.g. the real-time controllers of
+  /// non-functional components (nf_controllers.hpp).
+  template <typename T, typename... Args>
+  T& add_controller(Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *owned;
+    bytes_ += sizeof(T);
+    extra_controllers_.push_back(std::move(owned));
+    return ref;
+  }
+
+  /// Control-interface lookup by kind; nullptr when this membrane carries
+  /// no such controller.
+  Controller* controller(const std::string& kind) noexcept;
+
+  /// Introspection: kinds of all interceptors, in insertion order.
+  std::vector<std::string> interceptor_kinds() const;
+  /// Introspection: kinds of the controllers in this membrane.
+  std::vector<std::string> controller_kinds() const;
+  std::size_t interceptor_count() const noexcept {
+    return interceptors_.size();
+  }
+
+  /// Bytes of control infrastructure this membrane reifies (footprint
+  /// accounting for Fig. 7c).
+  std::size_t footprint_bytes() const noexcept { return bytes_; }
+
+ private:
+  std::string owner_;
+  LifecycleController lifecycle_;
+  BindingController binding_;
+  ContentController content_ctrl_;
+  std::vector<std::unique_ptr<Interceptor>> interceptors_;
+  std::vector<std::unique_ptr<Controller>> extra_controllers_;
+  std::size_t bytes_;
+};
+
+}  // namespace rtcf::membrane

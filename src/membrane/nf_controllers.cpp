@@ -1,0 +1,36 @@
+#include "membrane/nf_controllers.hpp"
+
+#include "rtsj/threads/params.hpp"
+
+namespace rtcf::membrane {
+
+std::uint64_t ThreadDomainController::total_releases() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto* t : threads_) total += t->release_count();
+  return total;
+}
+
+std::uint64_t ThreadDomainController::total_deadline_misses()
+    const noexcept {
+  std::uint64_t total = 0;
+  for (const auto* t : threads_) total += t->deadline_miss_count();
+  return total;
+}
+
+bool ThreadDomainController::set_priority(int priority) {
+  const bool rt = type_ != model::DomainType::Regular;
+  const int lo = rt ? rtsj::kMinRtPriority : rtsj::kMinRegularPriority;
+  const int hi = rt ? rtsj::kMaxRtPriority : rtsj::kMaxRegularPriority;
+  if (priority < lo || priority > hi) return false;
+  priority_ = priority;
+  for (auto* t : threads_) t->set_priority(priority);
+  return true;
+}
+
+double MemoryAreaController::utilization() const noexcept {
+  if (area_->size() == 0) return 0.0;
+  return static_cast<double>(area_->memory_consumed()) /
+         static_cast<double>(area_->size());
+}
+
+}  // namespace rtcf::membrane

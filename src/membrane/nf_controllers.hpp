@@ -1,0 +1,88 @@
+// Control components of the *non-functional* runtime components (§4.1):
+//
+// "membranes of non-functional components contain real-time controllers
+// and interceptors, which superimpose non-functional concerns over their
+// subcomponents" — Fig. 6 shows the NHRT2 ThreadDomain carrying a
+// ThreadDomain controller.
+//
+// ThreadDomainController manages the logical threads of one domain as a
+// group: introspection (thread list, release totals) and RTSJ-checked
+// priority changes (the whole domain moves together; the new priority must
+// stay inside the domain's thread-type band).
+//
+// MemoryAreaController exposes the RTSJ memory-consumption counters of one
+// area and a budget check against its declared size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "membrane/controllers.hpp"
+#include "model/metamodel.hpp"
+#include "rtsj/memory/memory_area.hpp"
+#include "rtsj/threads/realtime_thread.hpp"
+
+namespace rtcf::membrane {
+
+/// Coarse-grain thread management for one ThreadDomain.
+class ThreadDomainController final : public Controller {
+ public:
+  ThreadDomainController(model::DomainType type, int priority)
+      : type_(type), priority_(priority) {}
+
+  const char* kind() const noexcept override {
+    return "thread-domain-controller";
+  }
+
+  model::DomainType type() const noexcept { return type_; }
+  int priority() const noexcept { return priority_; }
+
+  void attach_thread(rtsj::RealtimeThread* thread) {
+    threads_.push_back(thread);
+  }
+  const std::vector<rtsj::RealtimeThread*>& threads() const noexcept {
+    return threads_;
+  }
+
+  /// Releases executed across all encapsulated threads.
+  std::uint64_t total_releases() const noexcept;
+  /// Deadline misses across all encapsulated threads.
+  std::uint64_t total_deadline_misses() const noexcept;
+
+  /// Moves the whole domain to a new priority. Refused (returns false,
+  /// nothing changes) when the priority leaves the domain type's band —
+  /// the runtime-adaptation analogue of the TD-PRIORITY-RANGE design rule.
+  bool set_priority(int priority);
+
+ private:
+  model::DomainType type_;
+  int priority_;
+  std::vector<rtsj::RealtimeThread*> threads_;
+};
+
+/// Consumption introspection for one memory area.
+class MemoryAreaController final : public Controller {
+ public:
+  explicit MemoryAreaController(rtsj::MemoryArea* area) : area_(area) {}
+
+  const char* kind() const noexcept override {
+    return "memory-area-controller";
+  }
+
+  const rtsj::MemoryArea& area() const noexcept { return *area_; }
+  std::size_t consumed() const noexcept { return area_->memory_consumed(); }
+  std::size_t remaining() const noexcept {
+    return area_->memory_remaining();
+  }
+  /// Fraction of the declared size in use; 0 for unbounded areas.
+  double utilization() const noexcept;
+  /// True when a fixed-size area is at least `threshold` full.
+  bool over_budget(double threshold = 0.9) const noexcept {
+    return utilization() >= threshold;
+  }
+
+ private:
+  rtsj::MemoryArea* area_;
+};
+
+}  // namespace rtcf::membrane

@@ -1,0 +1,127 @@
+#include "membrane/patterns.hpp"
+
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "validate/pattern_catalog.hpp"
+
+namespace rtcf::membrane {
+
+PatternOp pattern_op_from_name(const std::string& name) {
+  if (name == validate::kPatternDirect) return PatternOp::Direct;
+  if (name == validate::kPatternScopeEnter) return PatternOp::ScopeEnter;
+  if (name == validate::kPatternDeepCopy) return PatternOp::DeepCopy;
+  if (name == validate::kPatternImmortalForward) {
+    return PatternOp::ImmortalForward;
+  }
+  if (name == validate::kPatternSharedScope) return PatternOp::SharedScope;
+  if (name == validate::kPatternHandoff) return PatternOp::Handoff;
+  if (name == validate::kPatternWedgeThread) return PatternOp::WedgeThread;
+  throw std::invalid_argument("unknown pattern '" + name + "'");
+}
+
+const char* to_string(PatternOp op) noexcept {
+  switch (op) {
+    case PatternOp::Direct:
+      return validate::kPatternDirect;
+    case PatternOp::ScopeEnter:
+      return validate::kPatternScopeEnter;
+    case PatternOp::DeepCopy:
+      return validate::kPatternDeepCopy;
+    case PatternOp::ImmortalForward:
+      return validate::kPatternImmortalForward;
+    case PatternOp::SharedScope:
+      return validate::kPatternSharedScope;
+    case PatternOp::Handoff:
+      return validate::kPatternHandoff;
+    case PatternOp::WedgeThread:
+      return validate::kPatternWedgeThread;
+  }
+  return "?";
+}
+
+PatternRuntime PatternRuntime::make(PatternOp op,
+                                    rtsj::MemoryArea* server_area,
+                                    rtsj::MemoryArea* staging_area) {
+  PatternRuntime p;
+  p.op_ = op;
+  switch (op) {
+    case PatternOp::Direct:
+      break;
+    case PatternOp::ScopeEnter: {
+      RTCF_REQUIRE(server_area != nullptr &&
+                       server_area->kind() == rtsj::AreaKind::Scoped,
+                   "scope-enter needs a scoped server area");
+      p.enter_scope_ = static_cast<rtsj::ScopedMemory*>(server_area);
+      break;
+    }
+    case PatternOp::DeepCopy:
+    case PatternOp::WedgeThread: {
+      rtsj::MemoryArea* slot_area =
+          staging_area != nullptr ? staging_area : server_area;
+      RTCF_REQUIRE(slot_area != nullptr,
+                   "copying pattern needs a staging area");
+      p.staging_ = slot_area->make<comm::Message>();
+      break;
+    }
+    case PatternOp::ImmortalForward:
+      p.staging_ = rtsj::ImmortalMemory::instance().make<comm::Message>();
+      break;
+    case PatternOp::SharedScope: {
+      RTCF_REQUIRE(staging_area != nullptr,
+                   "shared-scope needs the common ancestor scope");
+      p.staging_ = staging_area->make<comm::Message>();
+      break;
+    }
+    case PatternOp::Handoff: {
+      RTCF_REQUIRE(staging_area != nullptr && server_area != nullptr,
+                   "handoff needs producer and consumer areas");
+      p.staging_ = staging_area->make<comm::Message>();
+      p.exchange_ = server_area->make<comm::Message>();
+      break;
+    }
+  }
+  return p;
+}
+
+const comm::Message& PatternRuntime::stage(const comm::Message& m) {
+  switch (op_) {
+    case PatternOp::Direct:
+    case PatternOp::ScopeEnter:
+      return m;
+    case PatternOp::DeepCopy:
+    case PatternOp::ImmortalForward:
+    case PatternOp::SharedScope:
+    case PatternOp::WedgeThread:
+      *staging_ = m;
+      ++staged_;
+      return *staging_;
+    case PatternOp::Handoff:
+      // Producer fills its own slot, then the slot is handed into the
+      // consumer-side exchange slot (two hops, as in the pattern).
+      *staging_ = m;
+      *exchange_ = *staging_;
+      ++staged_;
+      return *exchange_;
+  }
+  return m;
+}
+
+comm::Message PatternRuntime::call(comm::IInvocable& next,
+                                   const comm::Message& m) {
+  switch (op_) {
+    case PatternOp::ScopeEnter: {
+      comm::Message response;
+      enter_scope_->enter([&] { response = next.invoke(m); });
+      return response;
+    }
+    case PatternOp::Direct:
+      return next.invoke(m);
+    default: {
+      const comm::Message& staged = stage(m);
+      return next.invoke(staged);
+    }
+  }
+}
+
+}  // namespace rtcf::membrane

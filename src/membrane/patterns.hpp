@@ -1,0 +1,89 @@
+// Runtime implementations of the cross-scope communication patterns
+// (paper refs [1,5,17]; design-time catalog in validate/pattern_catalog).
+//
+// A PatternRuntime is instantiated per binding by the Soleil planner and
+// executed by the memory interceptors (§4.1: "Memory Interceptors implement
+// cross-scope communication and are deployed on each binding between
+// different MemoryAreas").
+//
+// With by-value messages the patterns reduce to *where the staged copy
+// lives* and *which scope is entered for the call*:
+//   direct            no staging, no entry;
+//   scope-enter       synchronous call runs inside the server's scope;
+//   deep-copy         payload copied into a slot in the server's area;
+//   immortal-forward  payload staged in immortal memory;
+//   shared-scope      payload staged in a common ancestor scope;
+//   handoff           payload staged in the producer's area, then handed
+//                     into an exchange slot in the consumer's area;
+//   wedge-thread      server scope is kept alive by a pin (the framework
+//                     pins all architecture scopes, so this behaves like
+//                     deep-copy into the pinned scope).
+// Every staged copy is a real memcpy into a slot allocated in the target
+// area at bind time, so the benchmarks price the patterns honestly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "comm/message.hpp"
+#include "rtsj/memory/memory_area.hpp"
+
+namespace rtcf::membrane {
+
+enum class PatternOp {
+  Direct,
+  ScopeEnter,
+  DeepCopy,
+  ImmortalForward,
+  SharedScope,
+  Handoff,
+  WedgeThread,
+};
+
+/// Maps the design-time pattern name to the runtime op; throws
+/// std::invalid_argument for unknown names.
+PatternOp pattern_op_from_name(const std::string& name);
+const char* to_string(PatternOp op) noexcept;
+
+/// Per-binding pattern executor. Copyable view over slots owned by the
+/// memory areas themselves (areas reclaim them with the region).
+class PatternRuntime {
+ public:
+  /// Builds the runtime for `op`.
+  /// @param server_area   Area holding the server's state.
+  /// @param staging_area  Area for the staged copy (planner-chosen:
+  ///                      server area for deep-copy, immortal for
+  ///                      immortal-forward, common scope for shared-scope,
+  ///                      producer area for handoff's first hop).
+  static PatternRuntime make(PatternOp op, rtsj::MemoryArea* server_area,
+                             rtsj::MemoryArea* staging_area);
+
+  PatternOp op() const noexcept { return op_; }
+
+  /// Asynchronous path: stages the message per the pattern and returns the
+  /// message to enqueue (the staged copy, or `m` itself for direct).
+  const comm::Message& stage(const comm::Message& m);
+
+  /// Synchronous path: runs `next.invoke` under the pattern's memory
+  /// discipline (entering the server scope for scope-enter; staging the
+  /// request first for copying patterns).
+  comm::Message call(comm::IInvocable& next, const comm::Message& m);
+
+  std::uint64_t staged_count() const noexcept { return staged_; }
+
+  /// Bytes of staging slots this pattern allocated in memory areas
+  /// (footprint accounting).
+  std::size_t slot_bytes() const noexcept {
+    return (staging_ != nullptr ? sizeof(comm::Message) : 0) +
+           (exchange_ != nullptr ? sizeof(comm::Message) : 0);
+  }
+
+ private:
+  PatternOp op_ = PatternOp::Direct;
+  rtsj::ScopedMemory* enter_scope_ = nullptr;
+  comm::Message* staging_ = nullptr;   ///< First-hop slot.
+  comm::Message* exchange_ = nullptr;  ///< Handoff second-hop slot.
+  std::uint64_t staged_ = 0;
+};
+
+}  // namespace rtcf::membrane

@@ -1,0 +1,208 @@
+#include "model/metamodel.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rtcf::model {
+
+const char* to_string(ComponentKind k) noexcept {
+  switch (k) {
+    case ComponentKind::Active:
+      return "ActiveComponent";
+    case ComponentKind::Passive:
+      return "PassiveComponent";
+    case ComponentKind::ThreadDomain:
+      return "ThreadDomain";
+    case ComponentKind::MemoryArea:
+      return "MemoryArea";
+  }
+  return "?";
+}
+
+const char* to_string(ActivationKind k) noexcept {
+  return k == ActivationKind::Periodic ? "periodic" : "sporadic";
+}
+
+const char* to_string(InterfaceRole r) noexcept {
+  return r == InterfaceRole::Client ? "client" : "server";
+}
+
+const char* to_string(Protocol p) noexcept {
+  return p == Protocol::Synchronous ? "synchronous" : "asynchronous";
+}
+
+const char* to_string(DomainType t) noexcept {
+  switch (t) {
+    case DomainType::NoHeapRealtime:
+      return "NHRT";
+    case DomainType::Realtime:
+      return "RT";
+    case DomainType::Regular:
+      return "Regular";
+  }
+  return "?";
+}
+
+const char* to_string(AreaType t) noexcept {
+  switch (t) {
+    case AreaType::Immortal:
+      return "immortal";
+    case AreaType::Scoped:
+      return "scope";
+    case AreaType::Heap:
+      return "heap";
+  }
+  return "?";
+}
+
+bool Component::has_ancestor(const Component* ancestor) const {
+  for (const Component* super : supers_) {
+    if (super == ancestor || super->has_ancestor(ancestor)) return true;
+  }
+  return false;
+}
+
+void Component::add_interface(InterfaceDecl decl) {
+  RTCF_REQUIRE(find_interface(decl.name) == nullptr,
+               "duplicate interface '" + decl.name + "' on component '" +
+                   name_ + "'");
+  interfaces_.push_back(std::move(decl));
+}
+
+const InterfaceDecl* Component::find_interface(
+    const std::string& name) const noexcept {
+  for (const auto& i : interfaces_) {
+    if (i.name == name) return &i;
+  }
+  return nullptr;
+}
+
+template <typename T, typename... Args>
+T& Architecture::emplace(Args&&... args) {
+  auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+  RTCF_REQUIRE(find(owned->name()) == nullptr,
+               "duplicate component name '" + owned->name() + "'");
+  T& ref = *owned;
+  components_.push_back(std::move(owned));
+  return ref;
+}
+
+ActiveComponent& Architecture::add_active(std::string name,
+                                          ActivationKind activation,
+                                          rtsj::RelativeTime period) {
+  return emplace<ActiveComponent>(std::move(name), activation, period);
+}
+
+PassiveComponent& Architecture::add_passive(std::string name) {
+  return emplace<PassiveComponent>(std::move(name));
+}
+
+ThreadDomain& Architecture::add_thread_domain(std::string name,
+                                              DomainType type, int priority) {
+  return emplace<ThreadDomain>(std::move(name), type, priority);
+}
+
+MemoryAreaComponent& Architecture::add_memory_area(std::string name,
+                                                   AreaType type,
+                                                   std::size_t size_bytes,
+                                                   std::string area_name) {
+  if (area_name.empty()) area_name = name;
+  return emplace<MemoryAreaComponent>(std::move(name), type, size_bytes,
+                                      std::move(area_name));
+}
+
+void Architecture::add_child(Component& parent, Component& child) {
+  RTCF_REQUIRE(&parent != &child, "component cannot contain itself");
+  RTCF_REQUIRE(!parent.has_ancestor(&child),
+               "containment cycle between '" + parent.name() + "' and '" +
+                   child.name() + "'");
+  if (std::find(parent.subs_.begin(), parent.subs_.end(), &child) !=
+      parent.subs_.end()) {
+    return;  // Idempotent.
+  }
+  parent.subs_.push_back(&child);
+  child.supers_.push_back(&parent);
+}
+
+void Architecture::add_binding(Binding binding) {
+  bindings_.push_back(std::move(binding));
+}
+
+Component* Architecture::find(const std::string& name) const noexcept {
+  for (const auto& c : components_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+ThreadDomain* Architecture::thread_domain_of(const Component& c) const {
+  auto domains = thread_domains_of(c);
+  return domains.empty() ? nullptr : domains.front();
+}
+
+std::vector<ThreadDomain*> Architecture::thread_domains_of(
+    const Component& c) const {
+  std::vector<ThreadDomain*> out;
+  for (const auto& owned : components_) {
+    auto* domain = dynamic_cast<ThreadDomain*>(owned.get());
+    if (domain == nullptr) continue;
+    if (std::find(domain->subs().begin(), domain->subs().end(), &c) !=
+            domain->subs().end() ||
+        c.has_ancestor(domain)) {
+      out.push_back(domain);
+    }
+  }
+  return out;
+}
+
+MemoryAreaComponent* Architecture::memory_area_of(const Component& c) const {
+  // Walk supers breadth-first so the *innermost* enclosing area wins.
+  std::vector<const Component*> frontier{&c};
+  while (!frontier.empty()) {
+    std::vector<const Component*> next;
+    for (const auto* node : frontier) {
+      for (Component* super : node->supers()) {
+        if (auto* area = dynamic_cast<MemoryAreaComponent*>(super)) {
+          return area;
+        }
+        next.push_back(super);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return nullptr;
+}
+
+std::vector<MemoryAreaComponent*> Architecture::memory_areas_of(
+    const Component& c) const {
+  std::vector<MemoryAreaComponent*> out;
+  std::vector<const Component*> frontier{&c};
+  while (!frontier.empty()) {
+    std::vector<const Component*> next;
+    for (const auto* node : frontier) {
+      for (Component* super : node->supers()) {
+        if (auto* area = dynamic_cast<MemoryAreaComponent*>(super)) {
+          if (std::find(out.begin(), out.end(), area) == out.end()) {
+            out.push_back(area);
+          }
+          next.push_back(super);
+        } else {
+          next.push_back(super);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+std::vector<Component*> Architecture::roots() const {
+  std::vector<Component*> out;
+  for (const auto& c : components_) {
+    if (c->supers().empty()) out.push_back(c.get());
+  }
+  return out;
+}
+
+}  // namespace rtcf::model

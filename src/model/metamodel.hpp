@@ -1,0 +1,279 @@
+// The real-time component metamodel (Fig. 2 of the paper).
+//
+// A hierarchical component model *with sharing*: every component has a set
+// of sub-components (hierarchy) and a set of super-components (sharing).
+// Functional building blocks are ActiveComponent (own thread of control;
+// periodic or sporadic activation) and PassiveComponent (services).
+// Non-functional composites are ThreadDomain — grouping active components
+// whose threads share a type and priority — and MemoryArea — grouping
+// components allocated in the same RTSJ memory area. A component's set of
+// super-components therefore defines both its business role and its
+// real-time role, which is what lets the design views (views.hpp) assemble
+// real-time concerns independently of the functional architecture.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtsj/time/time.hpp"
+
+namespace rtcf::model {
+
+class Architecture;
+
+/// Concrete metamodel entity kinds.
+enum class ComponentKind { Active, Passive, ThreadDomain, MemoryArea };
+
+/// Activation policy of an active component (the ADL `type` attribute).
+enum class ActivationKind { Periodic, Sporadic };
+
+/// Functional interface direction.
+enum class InterfaceRole { Client, Server };
+
+/// Binding protocol (the ADL `BindDesc protocol` attribute).
+enum class Protocol { Synchronous, Asynchronous };
+
+/// ThreadDomain thread type (the ADL `DomainDesc type` attribute).
+enum class DomainType { NoHeapRealtime, Realtime, Regular };
+
+/// MemoryArea type (the ADL `AreaDesc type` attribute).
+enum class AreaType { Immortal, Scoped, Heap };
+
+const char* to_string(ComponentKind k) noexcept;
+const char* to_string(ActivationKind k) noexcept;
+const char* to_string(InterfaceRole r) noexcept;
+const char* to_string(Protocol p) noexcept;
+const char* to_string(DomainType t) noexcept;
+const char* to_string(AreaType t) noexcept;
+
+/// A functional interface declared on a component.
+struct InterfaceDecl {
+  std::string name;       ///< Port name, e.g. "iMonitor".
+  InterfaceRole role{};   ///< Client (required) or server (provided).
+  std::string signature;  ///< Interface type name, e.g. "IMonitor".
+};
+
+/// Abstract component (metamodel root).
+class Component {
+ public:
+  virtual ~Component() = default;
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  ComponentKind kind() const noexcept { return kind_; }
+  bool is_functional() const noexcept {
+    return kind_ == ComponentKind::Active || kind_ == ComponentKind::Passive;
+  }
+
+  const std::vector<Component*>& subs() const noexcept { return subs_; }
+  const std::vector<Component*>& supers() const noexcept { return supers_; }
+
+  /// True when `ancestor` is reachable via the super-component relation
+  /// (any number of hops; sharing makes this a DAG, not a tree).
+  bool has_ancestor(const Component* ancestor) const;
+
+  const std::vector<InterfaceDecl>& interfaces() const noexcept {
+    return interfaces_;
+  }
+  /// Declares a functional interface; name must be unique per component.
+  void add_interface(InterfaceDecl decl);
+  const InterfaceDecl* find_interface(const std::string& name) const noexcept;
+
+ protected:
+  Component(std::string name, ComponentKind kind)
+      : name_(std::move(name)), kind_(kind) {}
+
+ private:
+  friend class Architecture;
+  std::string name_;
+  ComponentKind kind_;
+  std::vector<Component*> subs_;
+  std::vector<Component*> supers_;
+  std::vector<InterfaceDecl> interfaces_;
+};
+
+/// A component with its own thread of control.
+class ActiveComponent final : public Component {
+ public:
+  ActiveComponent(std::string name, ActivationKind activation,
+                  rtsj::RelativeTime period = rtsj::RelativeTime::zero())
+      : Component(std::move(name), ComponentKind::Active),
+        activation_(activation),
+        period_(period) {}
+
+  ActivationKind activation() const noexcept { return activation_; }
+  /// Release period (periodic) or minimum interarrival time (sporadic);
+  /// zero when unconstrained.
+  rtsj::RelativeTime period() const noexcept { return period_; }
+  /// Name of the user-implemented content class (ADL `content class`).
+  const std::string& content_class() const noexcept { return content_class_; }
+  void set_content_class(std::string cls) { content_class_ = std::move(cls); }
+  /// Modeled per-release execution cost, used by the simulator substrate.
+  rtsj::RelativeTime cost() const noexcept { return cost_; }
+  void set_cost(rtsj::RelativeTime cost) noexcept { cost_ = cost; }
+
+ private:
+  ActivationKind activation_;
+  rtsj::RelativeTime period_;
+  rtsj::RelativeTime cost_{};
+  std::string content_class_;
+};
+
+/// A service component without its own thread of control.
+class PassiveComponent final : public Component {
+ public:
+  explicit PassiveComponent(std::string name)
+      : Component(std::move(name), ComponentKind::Passive) {}
+
+  const std::string& content_class() const noexcept { return content_class_; }
+  void set_content_class(std::string cls) { content_class_ = std::move(cls); }
+
+ private:
+  std::string content_class_;
+};
+
+/// Non-functional composite grouping active components whose threads share
+/// a type and priority. Exclusively composite: it has no functional
+/// behaviour of its own (§3.1).
+class ThreadDomain final : public Component {
+ public:
+  ThreadDomain(std::string name, DomainType type, int priority)
+      : Component(std::move(name), ComponentKind::ThreadDomain),
+        type_(type),
+        priority_(priority) {}
+
+  DomainType type() const noexcept { return type_; }
+  int priority() const noexcept { return priority_; }
+
+ private:
+  DomainType type_;
+  int priority_;
+};
+
+/// Non-functional composite grouping components allocated in one RTSJ
+/// memory area. MemoryAreas may nest (RTSJ scoped-memory hierarchy);
+/// ThreadDomains may not.
+class MemoryAreaComponent final : public Component {
+ public:
+  MemoryAreaComponent(std::string name, AreaType type, std::size_t size_bytes,
+                      std::string area_name = {})
+      : Component(std::move(name), ComponentKind::MemoryArea),
+        type_(type),
+        size_bytes_(size_bytes),
+        area_name_(std::move(area_name)) {}
+
+  AreaType type() const noexcept { return type_; }
+  /// Declared byte size (immortal/scoped); 0 for heap.
+  std::size_t size_bytes() const noexcept { return size_bytes_; }
+  /// RTSJ-level area name (ADL `AreaDesc name`), may differ from the
+  /// component name.
+  const std::string& area_name() const noexcept { return area_name_; }
+
+ private:
+  AreaType type_;
+  std::size_t size_bytes_;
+  std::string area_name_;
+};
+
+/// One endpoint of a binding: (component name, interface name).
+struct BindingEnd {
+  std::string component;
+  std::string interface;
+  bool operator==(const BindingEnd&) const = default;
+};
+
+/// Binding attributes (ADL `BindDesc`).
+struct BindingDesc {
+  Protocol protocol = Protocol::Synchronous;
+  /// Message buffer capacity for asynchronous bindings.
+  std::size_t buffer_size = 0;
+  /// Cross-scope communication pattern selected at design time; empty lets
+  /// the planner choose (see membrane/patterns.hpp for the catalog).
+  std::string pattern;
+};
+
+/// A client->server connection between functional interfaces.
+struct Binding {
+  BindingEnd client;
+  BindingEnd server;
+  BindingDesc desc;
+};
+
+/// A complete component assembly: owns all components, records hierarchy,
+/// sharing, and bindings. This is the "RT System Architecture" of Fig. 3/4
+/// once the three design views have been merged.
+class Architecture {
+ public:
+  Architecture() = default;
+  Architecture(Architecture&&) noexcept = default;
+  Architecture& operator=(Architecture&&) noexcept = default;
+
+  // ---- construction -----------------------------------------------------
+  ActiveComponent& add_active(std::string name, ActivationKind activation,
+                              rtsj::RelativeTime period =
+                                  rtsj::RelativeTime::zero());
+  PassiveComponent& add_passive(std::string name);
+  ThreadDomain& add_thread_domain(std::string name, DomainType type,
+                                  int priority);
+  MemoryAreaComponent& add_memory_area(std::string name, AreaType type,
+                                       std::size_t size_bytes,
+                                       std::string area_name = {});
+
+  /// Records `child` as a sub-component of `parent` (and `parent` as a
+  /// super of `child`). Sharing = calling this with several parents.
+  void add_child(Component& parent, Component& child);
+
+  void add_binding(Binding binding);
+
+  // ---- queries ----------------------------------------------------------
+  Component* find(const std::string& name) const noexcept;
+  /// find() + kind check; throws std::invalid_argument on mismatch.
+  template <typename T>
+  T* find_as(const std::string& name) const {
+    auto* c = find(name);
+    return dynamic_cast<T*>(c);
+  }
+
+  const std::vector<std::unique_ptr<Component>>& components() const noexcept {
+    return components_;
+  }
+  const std::vector<Binding>& bindings() const noexcept { return bindings_; }
+  std::vector<Binding>& mutable_bindings() noexcept { return bindings_; }
+
+  /// All components of a given concrete type, in registration order.
+  template <typename T>
+  std::vector<T*> all_of() const {
+    std::vector<T*> out;
+    for (const auto& c : components_) {
+      if (auto* t = dynamic_cast<T*>(c.get())) out.push_back(t);
+    }
+    return out;
+  }
+
+  /// The unique ThreadDomain enclosing `c` (direct or transitive super), or
+  /// nullptr. Multiple enclosing domains are an architecture error that the
+  /// validator reports; this query returns the first found.
+  ThreadDomain* thread_domain_of(const Component& c) const;
+  /// All ThreadDomains enclosing `c` (for validator diagnostics).
+  std::vector<ThreadDomain*> thread_domains_of(const Component& c) const;
+  /// The innermost MemoryArea enclosing `c`, or nullptr.
+  MemoryAreaComponent* memory_area_of(const Component& c) const;
+  /// All MemoryAreas enclosing `c`, innermost-first.
+  std::vector<MemoryAreaComponent*> memory_areas_of(const Component& c) const;
+
+  /// Components with no super-component (the roots of the DAG).
+  std::vector<Component*> roots() const;
+
+ private:
+  template <typename T, typename... Args>
+  T& emplace(Args&&... args);
+
+  std::vector<std::unique_ptr<Component>> components_;
+  std::vector<Binding> bindings_;
+};
+
+}  // namespace rtcf::model

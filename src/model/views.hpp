@@ -1,0 +1,115 @@
+// Design views (Fig. 3): the methodology that gradually introduces
+// real-time concerns into an architecture.
+//
+//   1. BusinessView          — functional components, ports, bindings only;
+//   2. ThreadManagementView  — creates ThreadDomains and deploys active
+//                              components into them;
+//   3. MemoryManagementView  — creates MemoryArea composites and deploys
+//                              thread domains / passive components / nested
+//                              areas into them.
+//
+// Each view is a restricted facade over the same Architecture, so the type
+// system enforces the paper's separation: you cannot create a ThreadDomain
+// from the business view or a binding from the memory view. The validator
+// (src/validate) is run between stages by DesignFlow, giving the immediate
+// feedback loop of Fig. 3.
+#pragma once
+
+#include "model/metamodel.hpp"
+
+namespace rtcf::model {
+
+/// Stage 1: functional architecture only.
+class BusinessView {
+ public:
+  explicit BusinessView(Architecture& arch) : arch_(arch) {}
+
+  ActiveComponent& active(std::string name, ActivationKind activation,
+                          rtsj::RelativeTime period =
+                              rtsj::RelativeTime::zero()) {
+    return arch_.add_active(std::move(name), activation, period);
+  }
+  PassiveComponent& passive(std::string name) {
+    return arch_.add_passive(std::move(name));
+  }
+
+  /// Declares a provided (server) interface on a component.
+  void server_port(Component& c, std::string port, std::string signature) {
+    c.add_interface({std::move(port), InterfaceRole::Server,
+                     std::move(signature)});
+  }
+  /// Declares a required (client) interface on a component.
+  void client_port(Component& c, std::string port, std::string signature) {
+    c.add_interface({std::move(port), InterfaceRole::Client,
+                     std::move(signature)});
+  }
+
+  /// Functional composition (hierarchy without real-time semantics).
+  void compose(Component& parent, Component& child) {
+    arch_.add_child(parent, child);
+  }
+
+  void bind_sync(const std::string& client_comp, const std::string& client_if,
+                 const std::string& server_comp,
+                 const std::string& server_if) {
+    arch_.add_binding(Binding{{client_comp, client_if},
+                              {server_comp, server_if},
+                              BindingDesc{Protocol::Synchronous, 0, {}}});
+  }
+  void bind_async(const std::string& client_comp, const std::string& client_if,
+                  const std::string& server_comp, const std::string& server_if,
+                  std::size_t buffer_size) {
+    arch_.add_binding(Binding{{client_comp, client_if},
+                              {server_comp, server_if},
+                              BindingDesc{Protocol::Asynchronous, buffer_size,
+                                          {}}});
+  }
+
+ private:
+  Architecture& arch_;
+};
+
+/// Stage 2: deploy active components into thread domains.
+class ThreadManagementView {
+ public:
+  explicit ThreadManagementView(Architecture& arch) : arch_(arch) {}
+
+  ThreadDomain& domain(std::string name, DomainType type, int priority) {
+    return arch_.add_thread_domain(std::move(name), type, priority);
+  }
+
+  /// Deploys an active component into a domain. The RTSJ conformance of the
+  /// resulting assembly (uniqueness, NHRT/heap exclusion, ...) is checked
+  /// by the validator, not here — the view only records the decision.
+  void deploy(ThreadDomain& domain, ActiveComponent& component) {
+    arch_.add_child(domain, component);
+  }
+
+ private:
+  Architecture& arch_;
+};
+
+/// Stage 3: deploy components into memory areas.
+class MemoryManagementView {
+ public:
+  explicit MemoryManagementView(Architecture& arch) : arch_(arch) {}
+
+  MemoryAreaComponent& area(std::string name, AreaType type,
+                            std::size_t size_bytes,
+                            std::string area_name = {}) {
+    return arch_.add_memory_area(std::move(name), type, size_bytes,
+                                 std::move(area_name));
+  }
+
+  /// Deploys a thread domain, passive component, or nested area into an
+  /// area. MemoryAreas may nest arbitrarily (RTSJ scoped hierarchy);
+  /// ThreadDomains may not — the validator enforces both.
+  void deploy(MemoryAreaComponent& area, Component& component) {
+    arch_.add_child(area, component);
+  }
+
+ private:
+  Architecture& arch_;
+};
+
+}  // namespace rtcf::model

@@ -1,0 +1,38 @@
+#include "rtsj/memory/area_registry.hpp"
+
+#include <algorithm>
+
+#include "rtsj/memory/memory_area.hpp"
+
+namespace rtcf::rtsj {
+
+AreaRegistry& AreaRegistry::instance() {
+  static AreaRegistry registry;
+  return registry;
+}
+
+void AreaRegistry::register_area(MemoryArea* area) {
+  std::lock_guard lock(mutex_);
+  areas_.push_back(area);
+}
+
+void AreaRegistry::unregister_area(MemoryArea* area) {
+  std::lock_guard lock(mutex_);
+  areas_.erase(std::remove(areas_.begin(), areas_.end(), area), areas_.end());
+}
+
+MemoryArea* AreaRegistry::area_of(const void* p) const {
+  if (p == nullptr) return nullptr;
+  std::lock_guard lock(mutex_);
+  for (auto* area : areas_) {
+    if (area->contains(p)) return area;
+  }
+  return nullptr;
+}
+
+std::size_t AreaRegistry::area_count() const {
+  std::lock_guard lock(mutex_);
+  return areas_.size();
+}
+
+}  // namespace rtcf::rtsj

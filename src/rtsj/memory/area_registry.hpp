@@ -1,0 +1,39 @@
+// Global pointer-to-area resolution.
+//
+// The RTSJ assignment rules need to answer "which memory area owns this
+// object?" for arbitrary addresses. Every MemoryArea registers itself here;
+// `area_of` scans registered areas and asks each whether the address lies
+// inside one of its arena chunks. Stack/global addresses resolve to nullptr,
+// which the checker treats as a local variable (allowed to reference
+// anything, as in RTSJ).
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+namespace rtcf::rtsj {
+
+class MemoryArea;
+
+/// Process-wide registry of live memory areas.
+class AreaRegistry {
+ public:
+  static AreaRegistry& instance();
+
+  void register_area(MemoryArea* area);
+  void unregister_area(MemoryArea* area);
+
+  /// Owning area of `p`, or nullptr when `p` is not inside any area
+  /// (stack local, static, or plain malloc storage).
+  MemoryArea* area_of(const void* p) const;
+
+  /// Number of currently registered areas (introspection/tests).
+  std::size_t area_count() const;
+
+ private:
+  AreaRegistry() = default;
+  mutable std::mutex mutex_;
+  std::vector<MemoryArea*> areas_;
+};
+
+}  // namespace rtcf::rtsj

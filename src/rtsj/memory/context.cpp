@@ -1,0 +1,87 @@
+#include "rtsj/memory/context.hpp"
+
+#include "rtsj/memory/memory_area.hpp"
+#include "util/assert.hpp"
+
+namespace rtcf::rtsj {
+
+namespace {
+thread_local ThreadContext* g_current = nullptr;
+}  // namespace
+
+const char* to_string(ThreadKind kind) noexcept {
+  switch (kind) {
+    case ThreadKind::Regular:
+      return "Regular";
+    case ThreadKind::Realtime:
+      return "Realtime";
+    case ThreadKind::NoHeapRealtime:
+      return "NoHeapRealtime";
+  }
+  return "?";
+}
+
+ThreadContext::ThreadContext(std::string name, ThreadKind kind, int priority,
+                             MemoryArea* initial_area)
+    : name_(std::move(name)), kind_(kind), priority_(priority) {
+  if (initial_area == nullptr) {
+    initial_area = (kind == ThreadKind::Regular)
+                       ? static_cast<MemoryArea*>(&HeapMemory::instance())
+                       : static_cast<MemoryArea*>(&ImmortalMemory::instance());
+  }
+  stack_.push_back(initial_area);
+}
+
+MemoryArea& ThreadContext::allocation_context() const {
+  if (!overrides_.empty()) return *overrides_.back();
+  RTCF_ASSERT(!stack_.empty());
+  return *stack_.back();
+}
+
+bool ThreadContext::on_stack(const MemoryArea* area) const noexcept {
+  for (const auto* a : stack_) {
+    if (a == area) return true;
+  }
+  return false;
+}
+
+ScopedMemory* ThreadContext::innermost_scope() const noexcept {
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    if ((*it)->kind() == AreaKind::Scoped) {
+      return static_cast<ScopedMemory*>(*it);
+    }
+  }
+  return nullptr;
+}
+
+void ThreadContext::pop_area(MemoryArea* area) {
+  RTCF_ASSERT(!stack_.empty() && stack_.back() == area);
+  stack_.pop_back();
+}
+
+void ThreadContext::pop_override() {
+  RTCF_ASSERT(!overrides_.empty());
+  overrides_.pop_back();
+}
+
+ThreadContext& ThreadContext::current() {
+  if (g_current == nullptr) {
+    // Default context for unmanaged OS threads: a Regular thread whose
+    // allocation context is the heap, as in a plain JVM.
+    thread_local ThreadContext default_ctx("os-thread", ThreadKind::Regular,
+                                           0);
+    g_current = &default_ctx;
+  }
+  return *g_current;
+}
+
+ThreadContext* ThreadContext::current_or_null() noexcept { return g_current; }
+
+ContextGuard::ContextGuard(ThreadContext& ctx) noexcept
+    : previous_(g_current) {
+  g_current = &ctx;
+}
+
+ContextGuard::~ContextGuard() { g_current = previous_; }
+
+}  // namespace rtcf::rtsj

@@ -1,0 +1,96 @@
+// Per-logical-thread execution context: scope stack, allocation context,
+// and the no-heap flag.
+//
+// The framework multiplexes many logical RTSJ threads (RealtimeThread,
+// NoHeapRealtimeThread, RegularThread) over one or more OS threads — the
+// discrete-event simulator runs them all on one OS thread. A ThreadContext
+// carries the RTSJ-visible state of one logical thread, and ContextGuard
+// installs it as "current" for the duration of a release.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtsj/memory/errors.hpp"
+
+namespace rtcf::rtsj {
+
+class MemoryArea;
+class ScopedMemory;
+
+/// RTSJ thread taxonomy (§2.1 of the paper).
+enum class ThreadKind {
+  Regular,          ///< java.lang.Thread: heap-allocating, GC-preemptible.
+  Realtime,         ///< RealtimeThread: precise scheduling, may touch heap.
+  NoHeapRealtime,   ///< NHRT: never preempted by GC, must not touch heap.
+};
+
+const char* to_string(ThreadKind kind) noexcept;
+
+/// RTSJ-visible state of one logical thread.
+class ThreadContext {
+ public:
+  /// @param initial_area  The thread's initial allocation context; defaults
+  ///                      to heap for Regular threads and immortal for
+  ///                      real-time threads (NHRTs must not start on the
+  ///                      heap — enforcing that is the caller's job, the
+  ///                      validator rejects such architectures).
+  ThreadContext(std::string name, ThreadKind kind, int priority,
+                MemoryArea* initial_area = nullptr);
+
+  const std::string& name() const noexcept { return name_; }
+  ThreadKind kind() const noexcept { return kind_; }
+  int priority() const noexcept { return priority_; }
+  /// Priority is mutable at runtime (RTSJ setSchedulingParameters); band
+  /// validation is the caller's responsibility (ThreadDomainController).
+  void set_priority(int priority) noexcept { priority_ = priority; }
+  bool no_heap() const noexcept { return kind_ == ThreadKind::NoHeapRealtime; }
+
+  /// Current allocation context: the executeInArea override when active,
+  /// otherwise the top of the scope stack.
+  MemoryArea& allocation_context() const;
+
+  const std::vector<MemoryArea*>& scope_stack() const noexcept {
+    return stack_;
+  }
+  bool on_stack(const MemoryArea* area) const noexcept;
+  /// Innermost scoped memory on the stack, or nullptr when the stack holds
+  /// only primordial areas; this is the single-parent-rule candidate parent.
+  ScopedMemory* innermost_scope() const noexcept;
+
+  // Stack manipulation — called by MemoryArea::enter/execute_in_area only.
+  void push_area(MemoryArea* area) { stack_.push_back(area); }
+  void pop_area(MemoryArea* area);
+  void push_override(MemoryArea* area) { overrides_.push_back(area); }
+  void pop_override();
+
+  /// Context installed on the calling OS thread, or a lazily created
+  /// default Regular/heap context for unmanaged callers (e.g. main()).
+  static ThreadContext& current();
+  /// Like current() but never creates the default context.
+  static ThreadContext* current_or_null() noexcept;
+
+ private:
+  std::string name_;
+  ThreadKind kind_;
+  int priority_;
+  std::vector<MemoryArea*> stack_;
+  std::vector<MemoryArea*> overrides_;
+
+  friend class ContextGuard;
+};
+
+/// RAII installer: makes `ctx` the current logical thread for this OS
+/// thread, restoring the previous one on destruction.
+class ContextGuard {
+ public:
+  explicit ContextGuard(ThreadContext& ctx) noexcept;
+  ~ContextGuard();
+  ContextGuard(const ContextGuard&) = delete;
+  ContextGuard& operator=(const ContextGuard&) = delete;
+
+ private:
+  ThreadContext* previous_;
+};
+
+}  // namespace rtcf::rtsj

@@ -1,0 +1,68 @@
+// RTSJ error taxonomy (javax.realtime.*), thrown by the memory and thread
+// substrate when a program violates the specification's rules at runtime.
+//
+// The design-time validator (src/validate) exists precisely to reject
+// architectures that would trigger these; the runtime checks are the last
+// line of defence, mirroring a real RTSJ VM.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rtcf::rtsj {
+
+/// Base class for all RTSJ runtime violations.
+class RtsjError : public std::runtime_error {
+ public:
+  explicit RtsjError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Allocation request exceeded the declared size of a memory area.
+class OutOfMemoryError : public RtsjError {
+ public:
+  using RtsjError::RtsjError;
+};
+
+/// Entering a scoped memory would give it a second parent (single parent
+/// rule, §2.1 of the paper) or create a cycle in the scope stack.
+class ScopedCycleException : public RtsjError {
+ public:
+  using RtsjError::RtsjError;
+};
+
+/// A reference store would let a longer-lived object point at a
+/// shorter-lived one (RTSJ assignment rules).
+class IllegalAssignmentError : public RtsjError {
+ public:
+  using RtsjError::RtsjError;
+};
+
+/// A NoHeapRealtimeThread touched the heap (allocation, dereference, or
+/// execution with heap as allocation context).
+class MemoryAccessError : public RtsjError {
+ public:
+  using RtsjError::RtsjError;
+};
+
+/// executeInArea / portal access against a scope that is not on the
+/// caller's scope stack.
+class InaccessibleAreaException : public RtsjError {
+ public:
+  using RtsjError::RtsjError;
+};
+
+/// Sporadic release violating the declared minimum interarrival time, or a
+/// release before the thread was started.
+class IllegalReleaseException : public RtsjError {
+ public:
+  using RtsjError::RtsjError;
+};
+
+/// Thread lifecycle misuse (double start, waitForNextPeriod outside a
+/// periodic thread, ...).
+class IllegalThreadStateException : public RtsjError {
+ public:
+  using RtsjError::RtsjError;
+};
+
+}  // namespace rtcf::rtsj

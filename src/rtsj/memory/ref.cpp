@@ -1,0 +1,36 @@
+#include "rtsj/memory/ref.hpp"
+
+namespace rtcf::rtsj {
+
+void check_store(const MemoryArea* holder, const MemoryArea* target,
+                 const void* target_ptr) {
+  if (target_ptr == nullptr) return;       // null is always storable
+  if (holder == nullptr) return;           // stack/global holder: a "local"
+  if (target == nullptr) return;           // unmanaged target: untracked
+  if (target->kind() != AreaKind::Scoped) return;  // heap/immortal target
+  if (holder->kind() != AreaKind::Scoped) {
+    throw IllegalAssignmentError(
+        "illegal store: object in " + std::string(to_string(holder->kind())) +
+        " memory '" + holder->name() + "' may not reference scoped memory '" +
+        target->name() + "'");
+  }
+  const auto* holder_scope = static_cast<const ScopedMemory*>(holder);
+  const auto* target_scope = static_cast<const ScopedMemory*>(target);
+  if (!holder_scope->descends_from(target_scope)) {
+    throw IllegalAssignmentError(
+        "illegal store: scope '" + holder->name() +
+        "' does not descend from scope '" + target->name() +
+        "' (target may be reclaimed first)");
+  }
+}
+
+void check_read(const MemoryArea* target) {
+  if (target == nullptr || target->kind() != AreaKind::Heap) return;
+  const auto* ctx = ThreadContext::current_or_null();
+  if (ctx != nullptr && ctx->no_heap()) {
+    throw MemoryAccessError("NoHeapRealtimeThread '" + ctx->name() +
+                            "' dereferenced a heap reference");
+  }
+}
+
+}  // namespace rtcf::rtsj

@@ -1,0 +1,91 @@
+// Checked references implementing the RTSJ assignment rules and the NHRT
+// read barrier.
+//
+// An RTSJ VM performs a store check on every reference assignment: an
+// object must never out-live something it points to. We reproduce the rule
+// with Ref<T>, a pointer wrapper whose assignment resolves the memory area
+// of both the *holder* (the object containing the Ref — found by asking the
+// registry which area owns `this`) and the *target*:
+//
+//   target in heap/immortal            -> always storable
+//   target scoped, holder heap/immortal-> IllegalAssignmentError
+//   target scoped, holder scoped       -> legal iff target scope is the
+//                                         holder scope or one of its
+//                                         ancestors (outer == longer-lived)
+//   holder not in any area (stack var) -> always legal, as for Java locals
+//
+// Dereferencing applies the NHRT read barrier: a NoHeapRealtimeThread
+// touching a heap reference gets MemoryAccessError, which is exactly why
+// the paper's validator forbids bindings from NHRT domains into heap areas
+// without an interposed pattern.
+#pragma once
+
+#include "rtsj/memory/area_registry.hpp"
+#include "rtsj/memory/context.hpp"
+#include "rtsj/memory/errors.hpp"
+#include "rtsj/memory/memory_area.hpp"
+
+namespace rtcf::rtsj {
+
+/// Store-check shared by Ref<T> and the communication patterns. `holder` /
+/// `target` may be nullptr for addresses outside any managed area.
+void check_store(const MemoryArea* holder, const MemoryArea* target,
+                 const void* target_ptr);
+
+/// Read barrier shared by Ref<T>::get and the pattern library.
+void check_read(const MemoryArea* target);
+
+/// A checked reference to a T living in some memory area.
+template <typename T>
+class Ref {
+ public:
+  Ref() = default;
+  Ref(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Ref(T* p) { assign(p); }  // NOLINT(google-explicit-constructor)
+  Ref(const Ref& other) { assign(other.ptr_); }
+  Ref& operator=(const Ref& other) {
+    assign(other.ptr_);
+    return *this;
+  }
+  Ref& operator=(T* p) {
+    assign(p);
+    return *this;
+  }
+  Ref& operator=(std::nullptr_t) {
+    ptr_ = nullptr;
+    target_area_ = nullptr;
+    return *this;
+  }
+
+  /// Barrier-checked access.
+  T* get() const {
+    check_read(target_area_);
+    return ptr_;
+  }
+  T& operator*() const { return *get(); }
+  T* operator->() const { return get(); }
+  explicit operator bool() const noexcept { return ptr_ != nullptr; }
+  bool operator==(const Ref& o) const noexcept { return ptr_ == o.ptr_; }
+  bool operator==(const T* p) const noexcept { return ptr_ == p; }
+
+  /// Unchecked access for infrastructure code that has already validated
+  /// area compatibility (e.g. the memory interceptors).
+  T* raw() const noexcept { return ptr_; }
+  /// Memory area the target was resolved to at store time (may be null for
+  /// unmanaged storage).
+  const MemoryArea* target_area() const noexcept { return target_area_; }
+
+ private:
+  void assign(T* p) {
+    const MemoryArea* holder = AreaRegistry::instance().area_of(this);
+    const MemoryArea* target = AreaRegistry::instance().area_of(p);
+    check_store(holder, target, p);
+    ptr_ = p;
+    target_area_ = target;
+  }
+
+  T* ptr_ = nullptr;
+  const MemoryArea* target_area_ = nullptr;
+};
+
+}  // namespace rtcf::rtsj

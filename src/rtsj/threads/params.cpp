@@ -1,0 +1,56 @@
+#include "rtsj/threads/params.hpp"
+
+namespace rtcf::rtsj {
+
+const char* to_string(ReleaseKind kind) noexcept {
+  switch (kind) {
+    case ReleaseKind::Periodic:
+      return "periodic";
+    case ReleaseKind::Sporadic:
+      return "sporadic";
+    case ReleaseKind::Aperiodic:
+      return "aperiodic";
+  }
+  return "?";
+}
+
+RelativeTime ReleaseProfile::effective_deadline() const noexcept {
+  if (!deadline.is_zero()) return deadline;
+  switch (kind) {
+    case ReleaseKind::Periodic:
+      return period;
+    case ReleaseKind::Sporadic:
+      return min_interarrival;
+    case ReleaseKind::Aperiodic:
+      return RelativeTime::zero();  // no deadline
+  }
+  return RelativeTime::zero();
+}
+
+ReleaseProfile ReleaseProfile::periodic(RelativeTime period, RelativeTime cost,
+                                        AbsoluteTime start) {
+  ReleaseProfile p;
+  p.kind = ReleaseKind::Periodic;
+  p.period = period;
+  p.cost = cost;
+  p.start = start;
+  return p;
+}
+
+ReleaseProfile ReleaseProfile::sporadic(RelativeTime min_interarrival,
+                                        RelativeTime cost) {
+  ReleaseProfile p;
+  p.kind = ReleaseKind::Sporadic;
+  p.min_interarrival = min_interarrival;
+  p.cost = cost;
+  return p;
+}
+
+ReleaseProfile ReleaseProfile::aperiodic(RelativeTime cost) {
+  ReleaseProfile p;
+  p.kind = ReleaseKind::Aperiodic;
+  p.cost = cost;
+  return p;
+}
+
+}  // namespace rtcf::rtsj

@@ -1,0 +1,60 @@
+// Scheduling and release parameters (javax.realtime.SchedulingParameters /
+// ReleaseParameters families), consumed by the scheduler simulator and the
+// wall-clock launcher.
+#pragma once
+
+#include "rtsj/time/time.hpp"
+
+namespace rtcf::rtsj {
+
+/// RTSJ base priority bands: the PriorityScheduler exposes 28 real-time
+/// priorities strictly above the 10 regular Java priorities.
+inline constexpr int kMinRegularPriority = 1;
+inline constexpr int kMaxRegularPriority = 10;
+inline constexpr int kMinRtPriority = 11;
+inline constexpr int kMaxRtPriority = 38;
+
+/// Fixed-priority scheduling parameters (PriorityParameters).
+struct PriorityParameters {
+  int priority = kMinRtPriority;
+};
+
+/// How a thread's releases arrive.
+enum class ReleaseKind {
+  Periodic,   ///< time-triggered, fixed period
+  Sporadic,   ///< event-triggered with a minimum interarrival time
+  Aperiodic,  ///< event-triggered, unconstrained
+};
+
+const char* to_string(ReleaseKind kind) noexcept;
+
+/// Merged ReleaseParameters/PeriodicParameters/SporadicParameters record.
+/// Unused fields are ignored for the kinds that do not need them.
+struct ReleaseProfile {
+  ReleaseKind kind = ReleaseKind::Aperiodic;
+  /// First release instant (periodic only; epoch = "at launch").
+  AbsoluteTime start{};
+  /// Release period (periodic only).
+  RelativeTime period{};
+  /// Minimum interarrival time (sporadic only).
+  RelativeTime min_interarrival{};
+  /// Modeled worst-case execution cost per release; drives the
+  /// discrete-event simulator. Zero means "unknown" (simulator treats as
+  /// instantaneous; wall-clock execution measures reality instead).
+  RelativeTime cost{};
+  /// Relative deadline; zero selects the implicit deadline (= period for
+  /// periodic, = min interarrival for sporadic).
+  RelativeTime deadline{};
+
+  /// Effective relative deadline after applying the implicit-deadline rule.
+  RelativeTime effective_deadline() const noexcept;
+
+  static ReleaseProfile periodic(RelativeTime period,
+                                 RelativeTime cost = RelativeTime::zero(),
+                                 AbsoluteTime start = AbsoluteTime::epoch());
+  static ReleaseProfile sporadic(RelativeTime min_interarrival,
+                                 RelativeTime cost = RelativeTime::zero());
+  static ReleaseProfile aperiodic(RelativeTime cost = RelativeTime::zero());
+};
+
+}  // namespace rtcf::rtsj

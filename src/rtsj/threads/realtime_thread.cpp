@@ -1,0 +1,63 @@
+#include "rtsj/threads/realtime_thread.hpp"
+
+#include "rtsj/memory/memory_area.hpp"
+#include "util/assert.hpp"
+
+namespace rtcf::rtsj {
+
+RealtimeThread::RealtimeThread(std::string name, ThreadKind kind, int priority,
+                               ReleaseProfile profile,
+                               MemoryArea* initial_area)
+    : context_(std::move(name), kind, priority, initial_area),
+      profile_(profile) {}
+
+void RealtimeThread::run_release() {
+  if (!logic_) {
+    throw IllegalThreadStateException("thread '" + name() +
+                                      "' released without logic installed");
+  }
+  ContextGuard guard(context_);
+  logic_();
+  ++release_count_;
+}
+
+void RealtimeThread::run_with_context(const std::function<void()>& work) {
+  ContextGuard guard(context_);
+  work();
+  ++release_count_;
+}
+
+bool RealtimeThread::admit_sporadic_arrival(AbsoluteTime arrival) {
+  if (profile_.kind != ReleaseKind::Sporadic) return true;
+  if (has_arrival_ &&
+      arrival - last_arrival_ < profile_.min_interarrival) {
+    return false;
+  }
+  last_arrival_ = arrival;
+  has_arrival_ = true;
+  return true;
+}
+
+void RealtimeThread::notify_deadline_miss(const ReleaseInfo& info) {
+  ++miss_count_;
+  if (miss_handler_) miss_handler_(info);
+}
+
+NoHeapRealtimeThread::NoHeapRealtimeThread(std::string name, int priority,
+                                           ReleaseProfile profile,
+                                           MemoryArea* initial_area)
+    : RealtimeThread(std::move(name), ThreadKind::NoHeapRealtime, priority,
+                     profile, initial_area) {
+  if (context().allocation_context().kind() == AreaKind::Heap) {
+    throw IllegalThreadStateException(
+        "NoHeapRealtimeThread '" + this->name() +
+        "' cannot use the heap as its initial allocation context");
+  }
+}
+
+RegularThread::RegularThread(std::string name, int priority,
+                             ReleaseProfile profile)
+    : RealtimeThread(std::move(name), ThreadKind::Regular, priority, profile,
+                     &HeapMemory::instance()) {}
+
+}  // namespace rtcf::rtsj

@@ -1,0 +1,108 @@
+// Logical RTSJ threads.
+//
+// A RealtimeThread here is a *logical* thread: the unit the paper's
+// ThreadDomain components group and configure. Logical threads carry their
+// RTSJ-visible state (ThreadContext: scope stack, no-heap flag, priority)
+// and a per-release body executed run-to-completion — the execution model
+// the paper's ActiveInterceptor implements (§4.1). They are driven either
+// by the discrete-event simulator (deterministic virtual time) or by the
+// wall-clock launcher.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "rtsj/memory/context.hpp"
+#include "rtsj/threads/params.hpp"
+#include "rtsj/time/time.hpp"
+
+namespace rtcf::rtsj {
+
+class MemoryArea;
+
+/// Per-release bookkeeping passed to deadline-miss handlers.
+struct ReleaseInfo {
+  std::uint64_t sequence = 0;   ///< 0-based release index.
+  AbsoluteTime release_time{};  ///< When the release became eligible.
+  AbsoluteTime finish_time{};   ///< When the handler completed.
+  RelativeTime response() const { return finish_time - release_time; }
+};
+
+/// A schedulable logical thread (javax.realtime.RealtimeThread).
+class RealtimeThread {
+ public:
+  RealtimeThread(std::string name, ThreadKind kind, int priority,
+                 ReleaseProfile profile, MemoryArea* initial_area = nullptr);
+  virtual ~RealtimeThread() = default;
+
+  RealtimeThread(const RealtimeThread&) = delete;
+  RealtimeThread& operator=(const RealtimeThread&) = delete;
+
+  const std::string& name() const noexcept { return context_.name(); }
+  ThreadKind kind() const noexcept { return context_.kind(); }
+  int priority() const noexcept { return context_.priority(); }
+  /// RTSJ setSchedulingParameters: adjusts the base priority. Band checks
+  /// are performed by the ThreadDomainController driving the change.
+  void set_priority(int priority) noexcept {
+    context_.set_priority(priority);
+  }
+  const ReleaseProfile& profile() const noexcept { return profile_; }
+  ThreadContext& context() noexcept { return context_; }
+
+  /// Installs the work performed on each release. Must be set before the
+  /// thread is started by an executor.
+  void set_logic(std::function<void()> logic) { logic_ = std::move(logic); }
+  bool has_logic() const noexcept { return static_cast<bool>(logic_); }
+
+  /// Executes one release with this thread's context installed
+  /// (run-to-completion; exceptions propagate to the executor).
+  void run_release();
+
+  /// Executes arbitrary work under this thread's context and counts it as
+  /// one release. Used by the activation manager, which supplies the work
+  /// per release (e.g. "pop this binding's buffer and dispatch").
+  void run_with_context(const std::function<void()>& work);
+
+  /// Sporadic admission control: returns false (and rejects the release)
+  /// when `arrival` violates the declared minimum interarrival time.
+  bool admit_sporadic_arrival(AbsoluteTime arrival);
+
+  /// Deadline-miss handler (AsyncEventHandler in RTSJ); invoked by
+  /// executors that track deadlines.
+  void set_deadline_miss_handler(std::function<void(const ReleaseInfo&)> h) {
+    miss_handler_ = std::move(h);
+  }
+  void notify_deadline_miss(const ReleaseInfo& info);
+
+  std::uint64_t release_count() const noexcept { return release_count_; }
+  std::uint64_t deadline_miss_count() const noexcept { return miss_count_; }
+
+ private:
+  ThreadContext context_;
+  ReleaseProfile profile_;
+  std::function<void()> logic_;
+  std::function<void(const ReleaseInfo&)> miss_handler_;
+  AbsoluteTime last_arrival_{};
+  bool has_arrival_ = false;
+  std::uint64_t release_count_ = 0;
+  std::uint64_t miss_count_ = 0;
+};
+
+/// RealtimeThread that must never touch the heap. The constructor refuses a
+/// heap initial allocation context, mirroring RTSJ's constructor-time
+/// checks; all other heap barriers are enforced by the memory layer.
+class NoHeapRealtimeThread final : public RealtimeThread {
+ public:
+  NoHeapRealtimeThread(std::string name, int priority, ReleaseProfile profile,
+                       MemoryArea* initial_area = nullptr);
+};
+
+/// Plain (non-realtime) thread wrapper so regular components slot into the
+/// same executor machinery.
+class RegularThread final : public RealtimeThread {
+ public:
+  RegularThread(std::string name, int priority, ReleaseProfile profile);
+};
+
+}  // namespace rtcf::rtsj

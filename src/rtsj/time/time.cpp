@@ -1,0 +1,45 @@
+#include "rtsj/time/time.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace rtcf::rtsj {
+
+std::string RelativeTime::to_string() const {
+  char buf[64];
+  if (nanos_ % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldms",
+                  static_cast<long long>(nanos_ / 1'000'000));
+  } else if (nanos_ % 1'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldus",
+                  static_cast<long long>(nanos_ / 1'000));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(nanos_));
+  }
+  return buf;
+}
+
+std::string AbsoluteTime::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "t+%lldns", static_cast<long long>(nanos_));
+  return buf;
+}
+
+AbsoluteTime SteadyClock::now() const {
+  const auto tp = std::chrono::steady_clock::now().time_since_epoch();
+  return AbsoluteTime(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(tp).count());
+}
+
+SteadyClock& SteadyClock::instance() {
+  static SteadyClock clock;
+  return clock;
+}
+
+void ManualClock::advance_to(AbsoluteTime t) {
+  RTCF_REQUIRE(t >= now_, "manual clock cannot run backwards");
+  now_ = t;
+}
+
+}  // namespace rtcf::rtsj

@@ -1,0 +1,136 @@
+// RTSJ time types (javax.realtime.HighResolutionTime family), modelled as
+// strongly-typed nanosecond values.
+//
+// RTSJ distinguishes AbsoluteTime (a point on a clock's timeline) from
+// RelativeTime (a duration). Keeping them distinct types catches the
+// classic "added a deadline to a deadline" bug at compile time.
+#pragma once
+
+#include <chrono>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace rtcf::rtsj {
+
+class AbsoluteTime;
+
+/// A signed duration with nanosecond resolution.
+class RelativeTime {
+ public:
+  constexpr RelativeTime() = default;
+  constexpr explicit RelativeTime(std::int64_t nanos) : nanos_(nanos) {}
+
+  static constexpr RelativeTime nanoseconds(std::int64_t v) {
+    return RelativeTime(v);
+  }
+  static constexpr RelativeTime microseconds(std::int64_t v) {
+    return RelativeTime(v * 1'000);
+  }
+  static constexpr RelativeTime milliseconds(std::int64_t v) {
+    return RelativeTime(v * 1'000'000);
+  }
+  static constexpr RelativeTime seconds(std::int64_t v) {
+    return RelativeTime(v * 1'000'000'000);
+  }
+  static constexpr RelativeTime zero() { return RelativeTime(0); }
+
+  constexpr std::int64_t nanos() const { return nanos_; }
+  constexpr double to_millis() const {
+    return static_cast<double>(nanos_) / 1e6;
+  }
+  constexpr double to_micros() const {
+    return static_cast<double>(nanos_) / 1e3;
+  }
+  constexpr bool is_zero() const { return nanos_ == 0; }
+  constexpr bool is_negative() const { return nanos_ < 0; }
+
+  constexpr RelativeTime operator+(RelativeTime o) const {
+    return RelativeTime(nanos_ + o.nanos_);
+  }
+  constexpr RelativeTime operator-(RelativeTime o) const {
+    return RelativeTime(nanos_ - o.nanos_);
+  }
+  constexpr RelativeTime operator*(std::int64_t k) const {
+    return RelativeTime(nanos_ * k);
+  }
+  constexpr RelativeTime operator-() const { return RelativeTime(-nanos_); }
+  constexpr auto operator<=>(const RelativeTime&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::int64_t nanos_ = 0;
+};
+
+/// A point in time on some clock's timeline, nanoseconds since the clock
+/// epoch.
+class AbsoluteTime {
+ public:
+  constexpr AbsoluteTime() = default;
+  constexpr explicit AbsoluteTime(std::int64_t nanos_since_epoch)
+      : nanos_(nanos_since_epoch) {}
+
+  static constexpr AbsoluteTime epoch() { return AbsoluteTime(0); }
+
+  constexpr std::int64_t nanos() const { return nanos_; }
+
+  constexpr AbsoluteTime operator+(RelativeTime d) const {
+    return AbsoluteTime(nanos_ + d.nanos());
+  }
+  constexpr AbsoluteTime operator-(RelativeTime d) const {
+    return AbsoluteTime(nanos_ - d.nanos());
+  }
+  constexpr RelativeTime operator-(AbsoluteTime o) const {
+    return RelativeTime(nanos_ - o.nanos_);
+  }
+  constexpr auto operator<=>(const AbsoluteTime&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::int64_t nanos_ = 0;
+};
+
+/// Abstract clock (javax.realtime.Clock).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time on this clock's timeline.
+  virtual AbsoluteTime now() const = 0;
+  /// Smallest distinguishable time increment.
+  virtual RelativeTime resolution() const = 0;
+};
+
+/// Wall clock backed by std::chrono::steady_clock; used by the wall-clock
+/// benchmark harness.
+class SteadyClock final : public Clock {
+ public:
+  AbsoluteTime now() const override;
+  RelativeTime resolution() const override {
+    return RelativeTime::nanoseconds(1);
+  }
+  /// Process-wide instance.
+  static SteadyClock& instance();
+};
+
+/// Manually advanced clock driving the discrete-event scheduler simulator.
+/// All waits in virtual-time executions resolve against this clock, which
+/// is what makes simulation runs deterministic and repeatable.
+class ManualClock final : public Clock {
+ public:
+  AbsoluteTime now() const override { return now_; }
+  RelativeTime resolution() const override {
+    return RelativeTime::nanoseconds(1);
+  }
+
+  /// Moves time forward; never backwards.
+  void advance_to(AbsoluteTime t);
+  void advance_by(RelativeTime d) { advance_to(now_ + d); }
+  void reset() { now_ = AbsoluteTime::epoch(); }
+
+ private:
+  AbsoluteTime now_ = AbsoluteTime::epoch();
+};
+
+}  // namespace rtcf::rtsj

@@ -1,0 +1,29 @@
+#include "runtime/content_registry.hpp"
+
+#include <stdexcept>
+
+namespace rtcf::runtime {
+
+ContentRegistry& ContentRegistry::instance() {
+  static ContentRegistry registry;
+  return registry;
+}
+
+comm::Content* ContentRegistry::create(const std::string& cls,
+                                       rtsj::MemoryArea& area) const {
+  auto it = factories_.find(cls);
+  if (it == factories_.end()) {
+    throw std::invalid_argument("content class '" + cls +
+                                "' is not registered");
+  }
+  return it->second(area);
+}
+
+std::vector<std::string> ContentRegistry::registered() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [cls, factory] : factories_) out.push_back(cls);
+  return out;
+}
+
+}  // namespace rtcf::runtime

@@ -1,0 +1,65 @@
+// Registry mapping ADL content-class names to factories.
+//
+// The paper's generated Java instantiates user classes by name inside the
+// right allocation context; we reproduce that with a process-wide registry.
+// Factories allocate the content *inside a given memory area*, so a
+// Console deployed in a 28 KB scope really lives in that scope.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "comm/content.hpp"
+#include "rtsj/memory/memory_area.hpp"
+
+namespace rtcf::runtime {
+
+/// Process-wide content-class registry.
+class ContentRegistry {
+ public:
+  using Factory = std::function<comm::Content*(rtsj::MemoryArea&)>;
+
+  static ContentRegistry& instance();
+
+  /// Registers T under `cls`. Re-registration replaces (supports test
+  /// fixtures swapping implementations — a crude form of the paper's
+  /// adaptability).
+  template <typename T>
+  void register_class(const std::string& cls) {
+    factories_[cls] = [](rtsj::MemoryArea& area) -> comm::Content* {
+      return area.make<T>();
+    };
+  }
+
+  void register_factory(const std::string& cls, Factory factory) {
+    factories_[cls] = std::move(factory);
+  }
+
+  bool contains(const std::string& cls) const {
+    return factories_.count(cls) != 0;
+  }
+
+  /// Instantiates `cls` inside `area`; throws std::invalid_argument for
+  /// unregistered classes. The object's destructor runs when the area is
+  /// reclaimed.
+  comm::Content* create(const std::string& cls, rtsj::MemoryArea& area) const;
+
+  std::vector<std::string> registered() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace rtcf::runtime
+
+/// Registers ContentClass under its own name at static-init time.
+#define RTCF_REGISTER_CONTENT(ContentClass)                                  \
+  namespace {                                                                \
+  const bool rtcf_registered_##ContentClass = [] {                           \
+    ::rtcf::runtime::ContentRegistry::instance()                             \
+        .register_class<ContentClass>(#ContentClass);                        \
+    return true;                                                             \
+  }();                                                                       \
+  }

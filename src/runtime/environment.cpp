@@ -1,0 +1,166 @@
+#include "runtime/environment.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "validate/area_relation.hpp"
+
+namespace rtcf::runtime {
+
+using model::ActivationKind;
+using model::ActiveComponent;
+using model::Architecture;
+using model::AreaType;
+using model::DomainType;
+using model::MemoryAreaComponent;
+using model::ThreadDomain;
+
+RuntimeEnvironment::RuntimeEnvironment(const Architecture& arch)
+    : arch_(arch),
+      wedge_ctx_("wedge-root", rtsj::ThreadKind::Realtime,
+                 rtsj::kMaxRtPriority,
+                 &rtsj::ImmortalMemory::instance()) {
+  build_areas();
+  build_threads();
+}
+
+RuntimeEnvironment::~RuntimeEnvironment() {
+  // Release pins inner-first so each wedge context pops in stack order and
+  // scope reference counts drain to zero (triggering reclamation).
+  while (!pins_.empty()) pins_.pop_back();
+}
+
+void RuntimeEnvironment::build_areas() {
+  const auto areas = arch_.all_of<MemoryAreaComponent>();
+  // Create scoped areas first.
+  for (const auto* area : areas) {
+    if (area->type() != AreaType::Scoped) continue;
+    scopes_[area] = std::make_unique<rtsj::ScopedMemory>(
+        area->area_name(), area->size_bytes() ? area->size_bytes() : 4096);
+  }
+  // Pin each scope once, entering its design-time ancestors first so the
+  // runtime parent chain mirrors the architecture. All pins share one wedge
+  // context; chains are pinned outermost-first, and because sibling chains
+  // would interleave on a single stack, each scope gets its own context.
+  std::vector<const MemoryAreaComponent*> order;
+  for (const auto* area : areas) {
+    if (area->type() == AreaType::Scoped) order.push_back(area);
+  }
+  // Sort by nesting depth (outermost first) for deterministic pinning.
+  auto depth = [&](const MemoryAreaComponent* a) {
+    int d = 0;
+    for (const auto* s = validate::design_parent_scope(arch_, *a);
+         s != nullptr; s = validate::design_parent_scope(arch_, *s)) {
+      ++d;
+    }
+    return d;
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](const auto* a, const auto* b) {
+                     return depth(a) < depth(b);
+                   });
+  for (const auto* area : order) {
+    // Build the ancestor chain outermost -> area.
+    std::vector<const MemoryAreaComponent*> chain;
+    for (const auto* s = area; s != nullptr;
+         s = validate::design_parent_scope(arch_, *s)) {
+      chain.push_back(s);
+    }
+    std::reverse(chain.begin(), chain.end());
+    auto wedge = std::make_unique<rtsj::ThreadContext>(
+        "wedge-" + area->area_name(), rtsj::ThreadKind::Realtime,
+        rtsj::kMaxRtPriority, &rtsj::ImmortalMemory::instance());
+    for (const auto* link : chain) {
+      pins_.push_back(
+          std::make_unique<rtsj::ScopePin>(*scopes_.at(link), *wedge));
+    }
+    wedges_[area] = std::move(wedge);
+  }
+}
+
+void RuntimeEnvironment::build_threads() {
+  for (const auto* active : arch_.all_of<ActiveComponent>()) {
+    const ThreadDomain* domain = arch_.thread_domain_of(*active);
+    if (domain == nullptr) continue;  // Validator rejects; stay buildable.
+    rtsj::ReleaseProfile profile =
+        active->activation() == ActivationKind::Periodic
+            ? rtsj::ReleaseProfile::periodic(active->period(), active->cost())
+            : rtsj::ReleaseProfile::sporadic(active->period(),
+                                             active->cost());
+    rtsj::MemoryArea& area = area_for(*active);
+    std::unique_ptr<rtsj::RealtimeThread> thread;
+    switch (domain->type()) {
+      case DomainType::NoHeapRealtime:
+        thread = std::make_unique<rtsj::NoHeapRealtimeThread>(
+            active->name(), domain->priority(), profile, &area);
+        break;
+      case DomainType::Realtime:
+        thread = std::make_unique<rtsj::RealtimeThread>(
+            active->name(), rtsj::ThreadKind::Realtime, domain->priority(),
+            profile, &area);
+        break;
+      case DomainType::Regular:
+        thread = std::make_unique<rtsj::RealtimeThread>(
+            active->name(), rtsj::ThreadKind::Regular, domain->priority(),
+            profile, &area);
+        break;
+    }
+    threads_[active] = std::move(thread);
+  }
+}
+
+rtsj::MemoryArea& RuntimeEnvironment::area_runtime(
+    const MemoryAreaComponent& area) {
+  switch (area.type()) {
+    case AreaType::Heap:
+      return rtsj::HeapMemory::instance();
+    case AreaType::Immortal:
+      return rtsj::ImmortalMemory::instance();
+    case AreaType::Scoped:
+      return *scopes_.at(&area);
+  }
+  RTCF_ASSERT(false);
+}
+
+rtsj::MemoryArea& RuntimeEnvironment::area_for(
+    const model::Component& component) {
+  const MemoryAreaComponent* area = arch_.memory_area_of(component);
+  if (area == nullptr) return rtsj::HeapMemory::instance();
+  return area_runtime(*area);
+}
+
+rtsj::RealtimeThread& RuntimeEnvironment::thread_for(
+    const ActiveComponent& component) {
+  auto it = threads_.find(&component);
+  RTCF_REQUIRE(it != threads_.end(),
+               "active component '" + component.name() +
+                   "' has no ThreadDomain (invalid architecture)");
+  return *it->second;
+}
+
+std::vector<rtsj::ScopedMemory*> RuntimeEnvironment::scopes() const {
+  std::vector<rtsj::ScopedMemory*> out;
+  out.reserve(scopes_.size());
+  for (const auto& [model_area, scope] : scopes_) out.push_back(scope.get());
+  return out;
+}
+
+void RuntimeEnvironment::run_in_area(rtsj::MemoryArea& area,
+                                     const std::function<void()>& fn) {
+  if (area.kind() == rtsj::AreaKind::Scoped) {
+    // Use the wedge context that pinned this scope: the scope is on its
+    // stack, so execute_in_area is legal.
+    for (const auto& [model_area, wedge] : wedges_) {
+      if (scopes_.at(model_area).get() == &area) {
+        rtsj::ContextGuard guard(*wedge);
+        area.execute_in_area(fn);
+        return;
+      }
+    }
+    RTCF_REQUIRE(false, "scope '" + area.name() +
+                            "' is not managed by this environment");
+  }
+  area.execute_in_area(fn);
+}
+
+}  // namespace rtcf::runtime

@@ -1,0 +1,77 @@
+// Runtime environment: maps the non-functional half of an architecture
+// onto the RTSJ substrate.
+//
+// For every MemoryArea component it creates (or resolves) the backing
+// rtsj::MemoryArea — scoped areas are instantiated with their declared size
+// and *pinned* for the application's lifetime by an emulated wedge thread,
+// so components allocated inside them survive between releases. For every
+// active component it creates the logical thread its ThreadDomain
+// prescribes (type, priority, release profile).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "model/metamodel.hpp"
+#include "rtsj/memory/context.hpp"
+#include "rtsj/memory/memory_area.hpp"
+#include "rtsj/threads/realtime_thread.hpp"
+
+namespace rtcf::runtime {
+
+/// Owns the RTSJ-substrate objects for one application instance.
+class RuntimeEnvironment {
+ public:
+  /// Builds areas, pins scopes (outermost first), and creates threads.
+  /// The architecture must outlive the environment.
+  explicit RuntimeEnvironment(const model::Architecture& arch);
+  ~RuntimeEnvironment();
+
+  RuntimeEnvironment(const RuntimeEnvironment&) = delete;
+  RuntimeEnvironment& operator=(const RuntimeEnvironment&) = delete;
+
+  const model::Architecture& architecture() const noexcept { return arch_; }
+
+  /// The rtsj area backing a MemoryArea component (heap/immortal resolve to
+  /// the singletons).
+  rtsj::MemoryArea& area_runtime(const model::MemoryAreaComponent& area);
+
+  /// The area a component's state lives in (innermost enclosing MemoryArea;
+  /// heap when undeployed).
+  rtsj::MemoryArea& area_for(const model::Component& component);
+
+  /// The logical thread of an active component; throws for components
+  /// without a ThreadDomain (the validator rejects those architectures).
+  rtsj::RealtimeThread& thread_for(const model::ActiveComponent& component);
+
+  /// All scoped areas created for this environment (tests/introspection).
+  std::vector<rtsj::ScopedMemory*> scopes() const;
+
+  /// Runs `fn` with `area` as the allocation context, using the wedge
+  /// context for scoped areas (which already have the scope on their
+  /// stack). This is how contents get constructed inside their area.
+  void run_in_area(rtsj::MemoryArea& area, const std::function<void()>& fn);
+
+ private:
+  void build_areas();
+  void build_threads();
+
+  const model::Architecture& arch_;
+  std::map<const model::MemoryAreaComponent*,
+           std::unique_ptr<rtsj::ScopedMemory>>
+      scopes_;
+  // Each scope is pinned by its own wedge context (entering the scope's
+  // design-time ancestors first so parenting mirrors the architecture);
+  // pins are released in reverse creation order by the destructor.
+  rtsj::ThreadContext wedge_ctx_;
+  std::map<const model::MemoryAreaComponent*,
+           std::unique_ptr<rtsj::ThreadContext>>
+      wedges_;
+  std::vector<std::unique_ptr<rtsj::ScopePin>> pins_;
+  std::map<const model::ActiveComponent*,
+           std::unique_ptr<rtsj::RealtimeThread>>
+      threads_;
+};
+
+}  // namespace rtcf::runtime

@@ -1,0 +1,217 @@
+#include "scenario/production_scenario.hpp"
+
+#include "model/views.hpp"
+#include "runtime/content_registry.hpp"
+#include "soleil/application.hpp"
+
+namespace rtcf::scenario {
+
+using comm::Message;
+
+void ProductionLineImpl::on_release() {
+  Measurement m;
+  m.seq = seq_;
+  m.value = measurement_value(seq_);
+  ++seq_;
+  Message msg;
+  msg.type_id = kMeasurementType;
+  msg.sequence = m.seq;
+  msg.store(m);
+  port(0).send(msg);  // iMonitor
+}
+
+void MonitoringSystemImpl::on_message(const Message& message) {
+  const auto m = message.load<Measurement>();
+  ++processed_;
+  const bool anomaly = m.value > kAnomalyThreshold;
+  if (anomaly) {
+    ++anomalies_;
+    Alarm alarm{m.value, m.seq};
+    Message request;
+    request.type_id = kAlarmType;
+    request.sequence = m.seq;
+    request.store(alarm);
+    (void)port(0).call(request);  // iConsole, synchronous
+  }
+  AuditRecord record{m.value, m.seq, anomaly};
+  Message audit;
+  audit.type_id = kAuditType;
+  audit.sequence = m.seq;
+  audit.store(record);
+  port(1).send(audit);  // iAudit
+}
+
+Message ConsoleImpl::on_invoke(const Message& request) {
+  const auto alarm = request.load<Alarm>();
+  ++reports_;
+  checksum_ += alarm.value;
+  Message ack;
+  ack.type_id = kAckType;
+  ack.sequence = request.sequence;
+  return ack;
+}
+
+void AuditLogImpl::on_message(const Message& message) {
+  const auto record = message.load<AuditRecord>();
+  ++records_;
+  checksum_ += record.value;
+}
+
+RTCF_REGISTER_CONTENT(ProductionLineImpl)
+RTCF_REGISTER_CONTENT(MonitoringSystemImpl)
+RTCF_REGISTER_CONTENT(ConsoleImpl)
+RTCF_REGISTER_CONTENT(AuditLogImpl)
+
+model::Architecture make_production_architecture() {
+  using namespace model;
+  Architecture arch;
+
+  // 1. Business view: functional components, ports, bindings.
+  BusinessView business(arch);
+  auto& pl = business.active("ProductionLine", ActivationKind::Periodic,
+                             rtsj::RelativeTime::milliseconds(10));
+  pl.set_content_class("ProductionLineImpl");
+  pl.set_cost(rtsj::RelativeTime::microseconds(200));
+  business.client_port(pl, "iMonitor", "IMonitor");
+
+  // Fig. 4 declares MonitoringSystem simply as sporadic (no minimum
+  // interarrival time): its releases are driven by message arrivals.
+  auto& ms = business.active("MonitoringSystem", ActivationKind::Sporadic,
+                             rtsj::RelativeTime::zero());
+  ms.set_content_class("MonitoringSystemImpl");
+  ms.set_cost(rtsj::RelativeTime::microseconds(150));
+  business.server_port(ms, "iMonitor", "IMonitor");
+  business.client_port(ms, "iConsole", "IConsole");
+  business.client_port(ms, "iAudit", "IAudit");
+
+  auto& console = business.passive("Console");
+  console.set_content_class("ConsoleImpl");
+  business.server_port(console, "iConsole", "IConsole");
+
+  auto& audit = business.active("AuditLog", ActivationKind::Sporadic,
+                                rtsj::RelativeTime::zero());
+  audit.set_content_class("AuditLogImpl");
+  audit.set_cost(rtsj::RelativeTime::microseconds(300));
+  business.server_port(audit, "iAudit", "IAudit");
+
+  business.bind_async("ProductionLine", "iMonitor", "MonitoringSystem",
+                      "iMonitor", 10);
+  business.bind_sync("MonitoringSystem", "iConsole", "Console", "iConsole");
+  business.bind_async("MonitoringSystem", "iAudit", "AuditLog", "iAudit", 10);
+
+  // 2. Thread management view: NHRT1/NHRT2 for the hard real-time pair,
+  //    a regular domain for the audit trail.
+  ThreadManagementView threads(arch);
+  auto& nhrt1 = threads.domain("NHRT1", DomainType::NoHeapRealtime, 30);
+  auto& nhrt2 = threads.domain("NHRT2", DomainType::NoHeapRealtime, 25);
+  auto& reg1 = threads.domain("reg1", DomainType::Regular, 5);
+  threads.deploy(nhrt1, pl);
+  threads.deploy(nhrt2, ms);
+  threads.deploy(reg1, audit);
+
+  // 3. Memory management view: Imm1 (600 KB immortal) holds both NHRT
+  //    domains, S1 is the console's 28 KB scope, H1 is the heap.
+  MemoryManagementView memory(arch);
+  auto& imm1 = memory.area("Imm1", AreaType::Immortal, 600 * 1024);
+  auto& s1 = memory.area("S1", AreaType::Scoped, 28 * 1024, "cscope");
+  auto& h1 = memory.area("H1", AreaType::Heap, 0);
+  memory.deploy(imm1, nhrt1);
+  memory.deploy(imm1, nhrt2);
+  memory.deploy(s1, console);
+  memory.deploy(h1, reg1);
+
+  return arch;
+}
+
+const char* production_adl() {
+  return R"(<Architecture>
+  <!-- Functional components -->
+  <ActiveComponent name="ProductionLine" type="periodic" periodicity="10ms"
+                   cost="200us">
+    <interface name="iMonitor" role="client" signature="IMonitor"/>
+    <content class="ProductionLineImpl"/>
+  </ActiveComponent>
+  <ActiveComponent name="MonitoringSystem" type="sporadic" cost="150us">
+    <interface name="iMonitor" role="server" signature="IMonitor"/>
+    <interface name="iConsole" role="client" signature="IConsole"/>
+    <interface name="iAudit" role="client" signature="IAudit"/>
+    <content class="MonitoringSystemImpl"/>
+  </ActiveComponent>
+  <PassiveComponent name="Console">
+    <interface name="iConsole" role="server" signature="IConsole"/>
+    <content class="ConsoleImpl"/>
+  </PassiveComponent>
+  <ActiveComponent name="AuditLog" type="sporadic" cost="300us">
+    <interface name="iAudit" role="server" signature="IAudit"/>
+    <content class="AuditLogImpl"/>
+  </ActiveComponent>
+  <!-- Bindings -->
+  <Binding>
+    <client cname="ProductionLine" iname="iMonitor"/>
+    <server cname="MonitoringSystem" iname="iMonitor"/>
+    <BindDesc protocol="asynchronous" bufferSize="10"/>
+  </Binding>
+  <Binding>
+    <client cname="MonitoringSystem" iname="iConsole"/>
+    <server cname="Console" iname="iConsole"/>
+    <BindDesc protocol="synchronous"/>
+  </Binding>
+  <Binding>
+    <client cname="MonitoringSystem" iname="iAudit"/>
+    <server cname="AuditLog" iname="iAudit"/>
+    <BindDesc protocol="asynchronous" bufferSize="10"/>
+  </Binding>
+  <!-- Non-functional components -->
+  <MemoryArea name="Imm1">
+    <ThreadDomain name="NHRT1">
+      <ActiveComp name="ProductionLine"/>
+      <DomainDesc type="NHRT" priority="30"/>
+    </ThreadDomain>
+    <ThreadDomain name="NHRT2">
+      <ActiveComp name="MonitoringSystem"/>
+      <DomainDesc type="NHRT" priority="25"/>
+    </ThreadDomain>
+    <AreaDesc type="immortal" size="600KB"/>
+  </MemoryArea>
+  <MemoryArea name="S1">
+    <PassiveComp name="Console"/>
+    <AreaDesc type="scope" name="cscope" size="28KB"/>
+  </MemoryArea>
+  <MemoryArea name="H1">
+    <ThreadDomain name="reg1">
+      <ActiveComp name="AuditLog"/>
+      <DomainDesc type="Regular" priority="5"/>
+    </ThreadDomain>
+    <AreaDesc type="heap"/>
+  </MemoryArea>
+</Architecture>
+)";
+}
+
+ScenarioCounters collect_counters(const soleil::Application& app) {
+  ScenarioCounters c;
+  const auto* pl = dynamic_cast<const ProductionLineImpl*>(
+      app.content("ProductionLine"));
+  const auto* ms = dynamic_cast<const MonitoringSystemImpl*>(
+      app.content("MonitoringSystem"));
+  const auto* console =
+      dynamic_cast<const ConsoleImpl*>(app.content("Console"));
+  const auto* audit =
+      dynamic_cast<const AuditLogImpl*>(app.content("AuditLog"));
+  if (pl != nullptr) c.produced = pl->produced();
+  if (ms != nullptr) {
+    c.processed = ms->processed();
+    c.anomalies = ms->anomalies();
+  }
+  if (console != nullptr) {
+    c.console_reports = console->reports();
+    c.console_checksum = console->checksum();
+  }
+  if (audit != nullptr) {
+    c.audit_records = audit->records();
+    c.audit_checksum = audit->checksum();
+  }
+  return c;
+}
+
+}  // namespace rtcf::scenario

@@ -1,0 +1,144 @@
+// The paper's motivation example (§2.2, Fig. 1/4): a factory production
+// line monitored under hard real-time constraints.
+//
+//   ProductionLine   periodic 10 ms, NHRT prio 30, immortal memory
+//     --async(10)--> MonitoringSystem   sporadic, NHRT prio 25, immortal
+//                      --sync--> Console    passive, 28 KB scope
+//                      --async(10)--> AuditLog  sporadic, regular thread, heap
+//
+// One *iteration* (the unit Fig. 7 measures) = ProductionLine produces a
+// measurement -> MonitoringSystem evaluates it -> possibly reports an
+// anomaly to the Console synchronously -> always sends an audit record ->
+// AuditLog consumes it.
+//
+// The same content classes drive all three generation modes; the OO
+// baseline (src/baseline) re-implements the orchestration by hand but
+// shares the payload types and business computations defined here, so the
+// four variants differ only in infrastructure.
+#pragma once
+
+#include <cstdint>
+
+#include "comm/content.hpp"
+#include "model/metamodel.hpp"
+
+namespace rtcf::scenario {
+
+// ---- payloads ------------------------------------------------------------
+
+struct Measurement {
+  double value = 0.0;
+  std::uint64_t seq = 0;
+};
+
+struct Alarm {
+  double value = 0.0;
+  std::uint64_t seq = 0;
+};
+
+struct AuditRecord {
+  double value = 0.0;
+  std::uint64_t seq = 0;
+  bool anomaly = false;
+};
+
+inline constexpr std::uint32_t kMeasurementType = 1;
+inline constexpr std::uint32_t kAlarmType = 2;
+inline constexpr std::uint32_t kAuditType = 3;
+inline constexpr std::uint32_t kAckType = 4;
+
+/// Measurements above this value are anomalies (~5 % of the stream).
+inline constexpr double kAnomalyThreshold = 0.95;
+
+/// Deterministic pseudo-measurement: the fractional part of seq * phi is
+/// uniformly distributed, so anomaly episodes are reproducible across all
+/// variants and runs.
+inline double measurement_value(std::uint64_t seq) noexcept {
+  const double x = static_cast<double>(seq) * 0.6180339887498949;
+  return x - static_cast<std::uint64_t>(x);
+}
+
+// ---- content classes (framework variants) ---------------------------------
+
+/// Periodic producer: one measurement per release through port "iMonitor".
+class ProductionLineImpl final : public comm::Content {
+ public:
+  void on_release() override;
+  std::uint64_t produced() const noexcept { return seq_; }
+
+ private:
+  std::uint64_t seq_ = 0;
+};
+
+/// Sporadic evaluator: threshold check, synchronous anomaly report through
+/// "iConsole", audit record through "iAudit".
+class MonitoringSystemImpl final : public comm::Content {
+ public:
+  void on_message(const comm::Message& message) override;
+  std::uint64_t processed() const noexcept { return processed_; }
+  std::uint64_t anomalies() const noexcept { return anomalies_; }
+
+ private:
+  std::uint64_t processed_ = 0;
+  std::uint64_t anomalies_ = 0;
+};
+
+/// Passive worker console: acknowledges anomaly reports.
+class ConsoleImpl final : public comm::Content {
+ public:
+  comm::Message on_invoke(const comm::Message& request) override;
+  std::uint64_t reports() const noexcept { return reports_; }
+  double checksum() const noexcept { return checksum_; }
+
+ private:
+  std::uint64_t reports_ = 0;
+  double checksum_ = 0.0;
+};
+
+/// Regular-thread audit log: accumulates every record.
+class AuditLogImpl final : public comm::Content {
+ public:
+  void on_message(const comm::Message& message) override;
+  std::uint64_t records() const noexcept { return records_; }
+  double checksum() const noexcept { return checksum_; }
+
+ private:
+  std::uint64_t records_ = 0;
+  double checksum_ = 0.0;
+};
+
+// ---- architecture ---------------------------------------------------------
+
+/// Builds the Fig. 4 architecture programmatically (business view ->
+/// thread view -> memory view, as the design methodology prescribes).
+model::Architecture make_production_architecture();
+
+/// The same architecture as ADL text (the XML of Fig. 4).
+const char* production_adl();
+
+/// Aggregated functional counters, for asserting that every variant
+/// computes exactly the same thing.
+struct ScenarioCounters {
+  std::uint64_t produced = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t anomalies = 0;
+  std::uint64_t console_reports = 0;
+  std::uint64_t audit_records = 0;
+  double console_checksum = 0.0;
+  double audit_checksum = 0.0;
+
+  bool operator==(const ScenarioCounters&) const = default;
+};
+
+}  // namespace rtcf::scenario
+
+namespace rtcf::soleil {
+class Application;
+}
+
+namespace rtcf::scenario {
+
+/// Reads the counters out of a framework-assembled application (any mode).
+ScenarioCounters collect_counters(const soleil::Application& app);
+
+}  // namespace rtcf::scenario

@@ -1,0 +1,74 @@
+#include "sim/architecture_sim.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rtcf::sim {
+
+using model::ActivationKind;
+using model::ActiveComponent;
+using model::Architecture;
+using model::Binding;
+using model::DomainType;
+using model::Protocol;
+using model::ThreadDomain;
+
+namespace {
+
+ThreadKind to_thread_kind(DomainType type) noexcept {
+  switch (type) {
+    case DomainType::NoHeapRealtime:
+      return ThreadKind::NoHeapRealtime;
+    case DomainType::Realtime:
+      return ThreadKind::Realtime;
+    case DomainType::Regular:
+      return ThreadKind::Regular;
+  }
+  return ThreadKind::Regular;
+}
+
+}  // namespace
+
+SimMapping map_architecture(const Architecture& arch,
+                            PreemptiveScheduler& scheduler) {
+  SimMapping mapping;
+  for (const auto* active : arch.all_of<ActiveComponent>()) {
+    const ThreadDomain* domain = arch.thread_domain_of(*active);
+    RTCF_REQUIRE(domain != nullptr,
+                 "active component '" + active->name() +
+                     "' has no ThreadDomain; validate the architecture");
+    TaskConfig config;
+    config.name = active->name();
+    config.kind = to_thread_kind(domain->type());
+    config.priority = domain->priority();
+    config.cost = active->cost();
+    if (active->activation() == ActivationKind::Periodic) {
+      config.release = ReleaseKind::Periodic;
+      config.period = active->period();
+    } else {
+      config.release = ReleaseKind::Sporadic;
+      config.min_interarrival = active->period();
+    }
+    mapping.tasks[active->name()] = scheduler.add_task(std::move(config));
+  }
+  // Chain asynchronous bindings: client completion -> server arrival.
+  for (const auto* active : arch.all_of<ActiveComponent>()) {
+    std::vector<TaskId> downstream;
+    for (const Binding& b : arch.bindings()) {
+      if (b.client.component != active->name()) continue;
+      if (b.desc.protocol != Protocol::Asynchronous) continue;
+      auto it = mapping.tasks.find(b.server.component);
+      if (it != mapping.tasks.end()) downstream.push_back(it->second);
+    }
+    if (downstream.empty()) continue;
+    scheduler.set_on_complete(
+        mapping.tasks.at(active->name()),
+        [&scheduler, downstream](AbsoluteTime t) {
+          for (TaskId target : downstream) scheduler.post_arrival(target, t);
+        });
+  }
+  return mapping;
+}
+
+}  // namespace rtcf::sim

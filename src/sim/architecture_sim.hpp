@@ -1,0 +1,41 @@
+// Maps a component architecture onto the scheduler simulator.
+//
+// Every active component becomes one simulated task configured by its
+// ThreadDomain (thread kind, priority) and activation (periodic with its
+// period, sporadic triggered by arrivals) with the modeled per-release cost
+// from the ADL `cost` attribute. Asynchronous bindings chain completions:
+// when the client task finishes a release, an arrival is posted to the
+// server task at the completion instant — the virtual-time equivalent of
+// the AsyncSkeleton's buffer-push + notify.
+//
+// This is the substrate for the E4 (GC interference) and E8 (scheduler)
+// experiments: end-to-end latencies of the Fig. 4 pipeline in exact virtual
+// time, with and without GC pauses.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "model/metamodel.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rtcf::sim {
+
+/// Task ids per component name for one mapped architecture.
+struct SimMapping {
+  std::map<std::string, TaskId> tasks;
+
+  TaskId task(const std::string& component) const { return tasks.at(component); }
+  bool has(const std::string& component) const {
+    return tasks.count(component) != 0;
+  }
+};
+
+/// Adds one task per active component of `arch` to `scheduler` and chains
+/// asynchronous bindings through completion callbacks. Passive components
+/// execute on their callers (their cost is part of the caller's budget), so
+/// they map to no task.
+SimMapping map_architecture(const model::Architecture& arch,
+                            PreemptiveScheduler& scheduler);
+
+}  // namespace rtcf::sim

@@ -1,0 +1,79 @@
+#include "sim/rta.hpp"
+
+#include "util/assert.hpp"
+
+namespace rtcf::sim {
+
+using rtsj::RelativeTime;
+
+std::optional<RelativeTime> response_time_bound(
+    const std::vector<RtaTask>& tasks, std::size_t index,
+    int max_iterations) {
+  RTCF_REQUIRE(index < tasks.size(), "task index out of range");
+  const RtaTask& task = tasks[index];
+  RTCF_REQUIRE(task.cost > RelativeTime::zero(),
+               "RTA needs a positive cost for '" + task.name + "'");
+  const RelativeTime deadline = task.effective_deadline();
+
+  RelativeTime response = task.cost;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    RelativeTime demand = task.cost;
+    for (std::size_t j = 0; j < tasks.size(); ++j) {
+      if (j == index) continue;
+      const RtaTask& other = tasks[j];
+      if (other.priority < task.priority) continue;  // cannot interfere
+      RTCF_REQUIRE(other.period > RelativeTime::zero(),
+                   "RTA needs positive periods ('" + other.name + "')");
+      // ceil(response / T_j) releases of task j inside the window.
+      const std::int64_t releases =
+          (response.nanos() + other.period.nanos() - 1) /
+          other.period.nanos();
+      demand = demand + other.cost * releases;
+    }
+    if (demand == response) return response;  // fixed point
+    response = demand;
+    if (!deadline.is_zero() && response > deadline) {
+      return std::nullopt;  // diverged past the deadline
+    }
+  }
+  return std::nullopt;  // no fixed point within the iteration budget
+}
+
+RtaResult analyze(const std::vector<RtaTask>& tasks) {
+  RtaResult result;
+  result.all_schedulable = true;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    RtaResult::Entry entry;
+    entry.task = tasks[i];
+    entry.response = response_time_bound(tasks, i);
+    entry.schedulable =
+        entry.response.has_value() &&
+        (entry.task.effective_deadline().is_zero() ||
+         *entry.response <= entry.task.effective_deadline());
+    result.all_schedulable = result.all_schedulable && entry.schedulable;
+    result.entries.push_back(std::move(entry));
+  }
+  return result;
+}
+
+std::vector<RtaTask> tasks_from_architecture(
+    const model::Architecture& arch) {
+  std::vector<RtaTask> tasks;
+  for (const auto* active : arch.all_of<model::ActiveComponent>()) {
+    const auto* domain = arch.thread_domain_of(*active);
+    if (domain == nullptr) continue;
+    if (active->period() <= rtsj::RelativeTime::zero()) {
+      continue;  // unconstrained sporadic: unbounded interference
+    }
+    if (active->cost() <= rtsj::RelativeTime::zero()) continue;
+    RtaTask task;
+    task.name = active->name();
+    task.priority = domain->priority();
+    task.period = active->period();
+    task.cost = active->cost();
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+}  // namespace rtcf::sim

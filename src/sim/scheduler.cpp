@@ -1,0 +1,246 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace rtcf::sim {
+
+const char* to_string(TraceKind k) noexcept {
+  switch (k) {
+    case TraceKind::Release:
+      return "release";
+    case TraceKind::Start:
+      return "start";
+    case TraceKind::Preempt:
+      return "preempt";
+    case TraceKind::Resume:
+      return "resume";
+    case TraceKind::Complete:
+      return "complete";
+    case TraceKind::DeadlineMiss:
+      return "miss";
+    case TraceKind::GcStart:
+      return "gc-start";
+    case TraceKind::GcEnd:
+      return "gc-end";
+  }
+  return "?";
+}
+
+std::string TraceEvent::to_string(const PreemptiveScheduler& sched) const {
+  std::ostringstream os;
+  os << time.nanos() << "ns " << sim::to_string(kind);
+  if (task != kNoTask) {
+    os << " " << sched.config(task).name << "#" << release_seq;
+  }
+  return os.str();
+}
+
+TaskId PreemptiveScheduler::add_task(TaskConfig config) {
+  RTCF_REQUIRE(!config.name.empty(), "task needs a name");
+  RTCF_REQUIRE(config.release != ReleaseKind::Periodic ||
+                   config.period > RelativeTime::zero(),
+               "periodic task needs a positive period");
+  tasks_.push_back(Task{std::move(config), TaskStats{}, 0, {}, false});
+  const TaskId id = tasks_.size() - 1;
+  if (tasks_[id].config.release == ReleaseKind::Periodic) {
+    push_event(tasks_[id].config.start, EventKind::TaskRelease, id);
+  }
+  return id;
+}
+
+void PreemptiveScheduler::set_on_complete(
+    TaskId task, std::function<void(AbsoluteTime)> on_complete) {
+  RTCF_REQUIRE(task < tasks_.size(), "unknown task id");
+  tasks_[task].config.on_complete = std::move(on_complete);
+}
+
+void PreemptiveScheduler::post_arrival(TaskId task, AbsoluteTime t) {
+  RTCF_REQUIRE(task < tasks_.size(), "unknown task id");
+  RTCF_REQUIRE(t >= now_, "arrival posted in the simulated past");
+  Task& tk = tasks_[task];
+  RTCF_REQUIRE(tk.config.release != ReleaseKind::Periodic,
+               "periodic tasks release on their own timeline");
+  if (tk.config.release == ReleaseKind::Sporadic &&
+      !tk.config.min_interarrival.is_zero() && tk.has_arrival &&
+      t - tk.last_arrival < tk.config.min_interarrival) {
+    ++tk.stats.rejected_arrivals;
+    return;
+  }
+  tk.last_arrival = t;
+  tk.has_arrival = true;
+  push_event(t, EventKind::TaskRelease, task);
+}
+
+void PreemptiveScheduler::push_event(AbsoluteTime t, EventKind kind,
+                                     TaskId task) {
+  events_.push(Event{t, event_order_++, kind, task});
+}
+
+void PreemptiveScheduler::record(TraceKind kind, TaskId task,
+                                 std::uint64_t seq) {
+  if (trace_enabled_) trace_.push_back(TraceEvent{now_, kind, task, seq});
+}
+
+bool PreemptiveScheduler::runnable(const Job& job) const noexcept {
+  if (!gc_active_) return true;
+  return tasks_[job.task].config.kind == ThreadKind::NoHeapRealtime;
+}
+
+const PreemptiveScheduler::Job* PreemptiveScheduler::best_ready() const {
+  const Job* best = nullptr;
+  for (const Job& job : ready_) {
+    if (!runnable(job)) continue;
+    if (best == nullptr) {
+      best = &job;
+      continue;
+    }
+    const int pa = tasks_[job.task].config.priority;
+    const int pb = tasks_[best->task].config.priority;
+    if (pa > pb ||
+        (pa == pb && (job.release_time < best->release_time ||
+                      (job.release_time == best->release_time &&
+                       job.enqueue_order < best->enqueue_order)))) {
+      best = &job;
+    }
+  }
+  return best;
+}
+
+void PreemptiveScheduler::dispatch() {
+  const Job* best = best_ready();
+  if (best == nullptr) return;
+  if (running_) {
+    // Preempt only for strictly higher priority; FIFO within a band.
+    if (tasks_[best->task].config.priority <=
+        tasks_[running_->task].config.priority) {
+      return;
+    }
+    Job suspended = *running_;
+    ++tasks_[suspended.task].stats.preemptions;
+    record(TraceKind::Preempt, suspended.task, suspended.seq);
+    running_.reset();
+    ready_.push_back(suspended);
+    // `best` may have been invalidated by the push; re-resolve.
+    best = best_ready();
+    RTCF_ASSERT(best != nullptr);
+  }
+  Job job = *best;
+  ready_.erase(ready_.begin() + (best - ready_.data()));
+  record(job.started ? TraceKind::Resume : TraceKind::Start, job.task,
+         job.seq);
+  job.started = true;
+  running_ = job;
+}
+
+void PreemptiveScheduler::release_job(TaskId task, AbsoluteTime t) {
+  Task& tk = tasks_[task];
+  Job job;
+  job.task = task;
+  job.seq = tk.next_seq++;
+  job.release_time = t;
+  job.remaining = tk.config.cost;
+  job.enqueue_order = enqueue_order_++;
+  record(TraceKind::Release, task, job.seq);
+  ready_.push_back(job);
+  if (tk.config.release == ReleaseKind::Periodic) {
+    // Drift-free: next release anchored on this release's instant.
+    push_event(t + tk.config.period, EventKind::TaskRelease, task);
+  }
+}
+
+void PreemptiveScheduler::complete_running() {
+  RTCF_ASSERT(running_.has_value());
+  Job job = *running_;
+  running_.reset();
+  Task& tk = tasks_[job.task];
+  ++tk.stats.releases_completed;
+  const RelativeTime response = now_ - job.release_time;
+  tk.stats.response_times_us.add(response.to_micros());
+  record(TraceKind::Complete, job.task, job.seq);
+  RelativeTime deadline = tk.config.deadline;
+  if (deadline.is_zero() && tk.config.release == ReleaseKind::Periodic) {
+    deadline = tk.config.period;
+  }
+  if (!deadline.is_zero() && response > deadline) {
+    ++tk.stats.deadline_misses;
+    record(TraceKind::DeadlineMiss, job.task, job.seq);
+  }
+  if (tk.config.on_complete) tk.config.on_complete(now_);
+}
+
+void PreemptiveScheduler::handle_event(const Event& ev) {
+  switch (ev.kind) {
+    case EventKind::TaskRelease:
+      release_job(ev.task, now_);
+      break;
+    case EventKind::GcStart: {
+      gc_active_ = true;
+      ++gc_pauses_;
+      record(TraceKind::GcStart, TraceEvent::kNoTask, 0);
+      if (running_ &&
+          tasks_[running_->task].config.kind != ThreadKind::NoHeapRealtime) {
+        Job suspended = *running_;
+        ++tasks_[suspended.task].stats.preemptions;
+        record(TraceKind::Preempt, suspended.task, suspended.seq);
+        running_.reset();
+        ready_.push_back(suspended);
+      }
+      push_event(now_ + gc_.pause, EventKind::GcEnd, TraceEvent::kNoTask);
+      push_event(now_ + gc_.interval, EventKind::GcStart,
+                 TraceEvent::kNoTask);
+      break;
+    }
+    case EventKind::GcEnd:
+      gc_active_ = false;
+      record(TraceKind::GcEnd, TraceEvent::kNoTask, 0);
+      break;
+  }
+}
+
+void PreemptiveScheduler::run_until(AbsoluteTime end) {
+  if (gc_.enabled() && !gc_scheduled_) {
+    push_event(now_ + gc_.interval, EventKind::GcStart, TraceEvent::kNoTask);
+    gc_scheduled_ = true;
+  }
+  for (;;) {
+    dispatch();
+    // Next instant at which anything can change: the running job finishes,
+    // or the earliest pending event fires.
+    std::optional<AbsoluteTime> boundary;
+    if (running_) boundary = now_ + running_->remaining;
+    if (!events_.empty() &&
+        (!boundary || events_.top().time < *boundary)) {
+      boundary = events_.top().time;
+    }
+
+    if (!boundary || *boundary > end) {
+      // Nothing (relevant) happens before the horizon; burn partial CPU on
+      // the running job and stop at `end`.
+      if (running_) {
+        running_->remaining = running_->remaining - (end - now_);
+      }
+      now_ = end;
+      return;
+    }
+
+    if (running_) {
+      running_->remaining = running_->remaining - (*boundary - now_);
+    }
+    now_ = *boundary;
+
+    if (running_ && running_->remaining <= RelativeTime::zero()) {
+      complete_running();
+      continue;
+    }
+    while (!events_.empty() && events_.top().time == now_) {
+      Event ev = events_.top();
+      events_.pop();
+      handle_event(ev);
+    }
+  }
+}
+
+}  // namespace rtcf::sim

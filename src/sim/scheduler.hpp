@@ -1,0 +1,193 @@
+// Discrete-event simulation of fixed-priority preemptive scheduling with a
+// stop-the-world GC interference model.
+//
+// The paper evaluates on a Sun RTSJ VM over RT-Preempt Linux. We replace
+// that testbed with a deterministic virtual-time scheduler so the
+// determinism claims (§5.1) become *exactly* checkable:
+//   * one simulated CPU, fixed-priority preemptive dispatching;
+//   * periodic tasks release on their timeline, sporadic/aperiodic tasks
+//     release when arrivals are posted (completion callbacks can post
+//     arrivals, which is how the Fig. 4 pipeline is wired end-to-end);
+//   * a GC model injects stop-the-world pauses that block Regular and
+//     Realtime tasks but never NoHeapRealtime tasks — RTSJ's core promise;
+//   * per-release response times, deadline misses, and a full trace of
+//     scheduling decisions are recorded.
+//
+// Everything is deterministic: same inputs, same trace, bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "rtsj/memory/context.hpp"
+#include "rtsj/threads/params.hpp"
+#include "rtsj/time/time.hpp"
+#include "util/stats.hpp"
+
+namespace rtcf::sim {
+
+using rtsj::AbsoluteTime;
+using rtsj::RelativeTime;
+using rtsj::ReleaseKind;
+using rtsj::ThreadKind;
+
+/// Identifies a task inside one scheduler instance.
+using TaskId = std::size_t;
+
+/// Static description of a simulated task.
+struct TaskConfig {
+  std::string name;
+  ThreadKind kind = ThreadKind::Realtime;
+  int priority = rtsj::kMinRtPriority;
+  ReleaseKind release = ReleaseKind::Periodic;
+  AbsoluteTime start{};              ///< First periodic release.
+  RelativeTime period{};             ///< Periodic only.
+  RelativeTime min_interarrival{};   ///< Sporadic only; zero = unconstrained.
+  RelativeTime cost{};               ///< Execution demand per release.
+  RelativeTime deadline{};           ///< Zero = implicit (period).
+  /// Invoked in virtual time when a release completes; may post arrivals to
+  /// other tasks (pipeline chaining) via the scheduler reference.
+  std::function<void(AbsoluteTime completion_time)> on_complete;
+};
+
+/// Periodic stop-the-world collector model: every `interval` of virtual
+/// time, mutator threads that are not NHRT are blocked for `pause`.
+struct GcModel {
+  RelativeTime interval{};
+  RelativeTime pause{};
+  bool enabled() const noexcept {
+    return !interval.is_zero() && !pause.is_zero();
+  }
+};
+
+/// What happened, for trace-based assertions.
+enum class TraceKind {
+  Release,
+  Start,
+  Preempt,
+  Resume,
+  Complete,
+  DeadlineMiss,
+  GcStart,
+  GcEnd,
+};
+
+const char* to_string(TraceKind k) noexcept;
+
+struct TraceEvent {
+  AbsoluteTime time{};
+  TraceKind kind{};
+  TaskId task = kNoTask;
+  std::uint64_t release_seq = 0;
+
+  static constexpr TaskId kNoTask = static_cast<TaskId>(-1);
+  std::string to_string(const class PreemptiveScheduler& sched) const;
+};
+
+/// Accumulated per-task results.
+struct TaskStats {
+  std::uint64_t releases_completed = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t rejected_arrivals = 0;  ///< Sporadic MIT violations.
+  util::SampleSet response_times_us;    ///< Response time per release, µs.
+};
+
+/// The simulator.
+class PreemptiveScheduler {
+ public:
+  PreemptiveScheduler() = default;
+
+  /// Registers a task; returns its id. All tasks must be added before
+  /// run_until().
+  TaskId add_task(TaskConfig config);
+
+  /// Installs/replaces the completion callback after construction (needed
+  /// to chain tasks whose ids are only known once all are added).
+  void set_on_complete(TaskId task,
+                       std::function<void(AbsoluteTime)> on_complete);
+
+  /// Posts an arrival for a sporadic/aperiodic task at time `t` (>= now).
+  /// Arrivals in the past of the simulation clock are rejected.
+  void post_arrival(TaskId task, AbsoluteTime t);
+
+  void set_gc_model(GcModel model) { gc_ = model; }
+
+  /// Runs the simulation until virtual time `end`. May be called
+  /// repeatedly with increasing horizons.
+  void run_until(AbsoluteTime end);
+
+  AbsoluteTime now() const noexcept { return now_; }
+  std::size_t task_count() const noexcept { return tasks_.size(); }
+  const TaskConfig& config(TaskId id) const { return tasks_.at(id).config; }
+  const TaskStats& stats(TaskId id) const { return tasks_.at(id).stats; }
+
+  /// Enables trace recording (off by default; traces grow unbounded).
+  void enable_trace(bool on = true) { trace_enabled_ = on; }
+  const std::vector<TraceEvent>& trace() const noexcept { return trace_; }
+
+  std::uint64_t gc_pause_count() const noexcept { return gc_pauses_; }
+
+ private:
+  struct Job {
+    TaskId task;
+    std::uint64_t seq;
+    AbsoluteTime release_time;
+    RelativeTime remaining;
+    std::uint64_t enqueue_order;  ///< FIFO tie-break within a priority.
+    bool started = false;
+  };
+
+  struct Task {
+    TaskConfig config;
+    TaskStats stats;
+    std::uint64_t next_seq = 0;
+    AbsoluteTime last_arrival{};
+    bool has_arrival = false;
+  };
+
+  enum class EventKind { TaskRelease, GcStart, GcEnd };
+
+  struct Event {
+    AbsoluteTime time;
+    std::uint64_t order;  ///< Global tie-break: earlier-posted first.
+    EventKind kind;
+    TaskId task;
+  };
+
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.order > b.order;
+    }
+  };
+
+  void push_event(AbsoluteTime t, EventKind kind, TaskId task);
+  void handle_event(const Event& ev);
+  void release_job(TaskId task, AbsoluteTime t);
+  void dispatch();
+  bool runnable(const Job& job) const noexcept;
+  void complete_running();
+  void record(TraceKind kind, TaskId task, std::uint64_t seq);
+  const Job* best_ready() const;
+
+  std::vector<Task> tasks_;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
+  std::vector<Job> ready_;
+  std::optional<Job> running_;
+  AbsoluteTime now_{};
+  bool gc_active_ = false;
+  GcModel gc_{};
+  bool gc_scheduled_ = false;
+  std::uint64_t gc_pauses_ = 0;
+  std::uint64_t event_order_ = 0;
+  std::uint64_t enqueue_order_ = 0;
+  bool trace_enabled_ = false;
+  std::vector<TraceEvent> trace_;
+};
+
+}  // namespace rtcf::sim

@@ -1,0 +1,226 @@
+#include "soleil/application.hpp"
+
+#include <stdexcept>
+
+#include "runtime/content_registry.hpp"
+#include "util/assert.hpp"
+#include "validate/area_relation.hpp"
+#include "validate/pattern_catalog.hpp"
+#include "validate/validator.hpp"
+
+namespace rtcf::soleil {
+
+std::size_t ActivationManager::add_target(rtsj::RealtimeThread* thread,
+                                          Work work) {
+  targets_.push_back(Target{thread, std::move(work)});
+  return targets_.size() - 1;
+}
+
+void ActivationManager::notify(std::size_t target) {
+  RTCF_ASSERT(target < targets_.size());
+  pending_.push_back(target);
+}
+
+void ActivationManager::notify_trampoline(void* arg) {
+  auto* na = static_cast<NotifyArg*>(arg);
+  na->manager->notify(na->target);
+}
+
+void ActivationManager::pump() {
+  while (!pending_.empty()) {
+    const std::size_t idx = pending_.front();
+    pending_.pop_front();
+    Target& target = targets_[idx];
+    ++activations_;
+    if (target.thread != nullptr) {
+      target.thread->run_with_context(target.work);
+    } else {
+      target.work();
+    }
+  }
+}
+
+Application::Application(const model::Architecture& arch)
+    : env_(std::make_unique<runtime::RuntimeEnvironment>(arch)),
+      plan_(make_plan(arch, *env_)) {}
+
+void Application::build_contents() {
+  auto& registry = runtime::ContentRegistry::instance();
+  for (const PlannedComponent& pc : plan_.components) {
+    ComponentRuntime rt;
+    rt.planned = &pc;
+    if (pc.content_class.empty()) {
+      throw PlanningError("component '" + pc.component->name() +
+                          "' names no content class");
+    }
+    rt.content = registry.create(pc.content_class, *pc.area);
+    for (const auto& itf : pc.component->interfaces()) {
+      if (itf.role == model::InterfaceRole::Client) {
+        rt.content->add_port(itf.name);
+      }
+    }
+    runtimes_.emplace(pc.component->name(), std::move(rt));
+  }
+}
+
+comm::MessageBuffer& Application::make_buffer(rtsj::MemoryArea& area,
+                                              std::size_t capacity) {
+  buffers_.push_back(std::make_unique<comm::MessageBuffer>(area, capacity));
+  count_infra(sizeof(comm::MessageBuffer) +
+              capacity * sizeof(comm::Message));
+  return *buffers_.back();
+}
+
+ActivationManager::NotifyArg* Application::make_notify_arg(
+    std::size_t target) {
+  notify_args_.push_back(std::make_unique<ActivationManager::NotifyArg>(
+      ActivationManager::NotifyArg{&manager_, target}));
+  count_infra(sizeof(ActivationManager::NotifyArg));
+  return notify_args_.back().get();
+}
+
+Application::ComponentRuntime& Application::runtime_of(
+    const std::string& name) {
+  auto it = runtimes_.find(name);
+  if (it == runtimes_.end()) {
+    throw std::invalid_argument("unknown component '" + name + "'");
+  }
+  return it->second;
+}
+
+const Application::ComponentRuntime& Application::runtime_of(
+    const std::string& name) const {
+  auto it = runtimes_.find(name);
+  if (it == runtimes_.end()) {
+    throw std::invalid_argument("unknown component '" + name + "'");
+  }
+  return it->second;
+}
+
+void Application::start() {
+  for (auto& [name, rt] : runtimes_) rt.content->on_start();
+}
+
+void Application::stop() {
+  for (auto& [name, rt] : runtimes_) rt.content->on_stop();
+}
+
+void Application::release(const std::string& component) {
+  ComponentRuntime& rt = runtime_of(component);
+  RTCF_REQUIRE(rt.release_entry != nullptr,
+               "component '" + component + "' has no release entry "
+               "(passive component?)");
+  if (rt.planned->thread != nullptr) {
+    rt.planned->thread->run_with_context(rt.release_entry);
+  } else {
+    rt.release_entry();
+  }
+}
+
+void Application::iterate(const std::string& component) {
+  release(component);
+  pump();  // Virtual: ULTRA_MERGE substitutes its static drain schedule.
+}
+
+std::function<void()> Application::release_fn(const std::string& component) {
+  ComponentRuntime& rt = runtime_of(component);
+  RTCF_REQUIRE(rt.release_entry != nullptr,
+               "component '" + component + "' has no release entry");
+  rtsj::RealtimeThread* thread = rt.planned->thread;
+  // Copy the entry so the returned function is self-contained.
+  std::function<void()> entry = rt.release_entry;
+  if (thread == nullptr) return entry;
+  return [thread, entry = std::move(entry)] {
+    thread->run_with_context(entry);
+  };
+}
+
+validate::Report Application::rebind_sync(const std::string& client,
+                                          const std::string& port,
+                                          const std::string& server) {
+  (void)port;
+  validate::Report report;
+  report.add(validate::Severity::Error, "MODE-STATIC", client + " -> " + server,
+             std::string(mode_name()) +
+                 " infrastructure is static; rebinding is not available");
+  return report;
+}
+
+bool Application::set_component_started(const std::string& component,
+                                        bool started) {
+  (void)component;
+  (void)started;
+  return false;
+}
+
+validate::Report Application::plan_sync_rebind(const std::string& client,
+                                               const std::string& port,
+                                               const std::string& server,
+                                               PlannedBinding* out) {
+  validate::Report report;
+  const std::string subject = client + "." + port + " -> " + server;
+  const PlannedComponent* pc_client = plan_.find_component(client);
+  const PlannedComponent* pc_server = plan_.find_component(server);
+  if (pc_client == nullptr || pc_server == nullptr) {
+    report.add(validate::Severity::Error, "RECONF-ENDPOINTS", subject,
+               "unknown component");
+    return report;
+  }
+  comm::Content* client_content = runtime_of(client).content;
+  bool port_found = false;
+  for (std::size_t i = 0; i < client_content->port_count(); ++i) {
+    if (client_content->port(i).name() == port) port_found = true;
+  }
+  if (!port_found) {
+    report.add(validate::Severity::Error, "RECONF-ENDPOINTS", subject,
+               "client has no port '" + port + "'");
+    return report;
+  }
+
+  const model::Architecture& arch = *plan_.arch;
+  model::Binding hypothetical;
+  hypothetical.client = {client, port};
+  hypothetical.server = {server, port};
+  hypothetical.desc.protocol = model::Protocol::Synchronous;
+  const std::string pattern =
+      validate::resolve_binding_pattern(arch, hypothetical);
+  if (pattern.empty()) {
+    report.add(validate::Severity::Error, "RECONF-NHRT-HEAP", subject,
+               "no RTSJ-legal pattern exists for the new binding "
+               "(synchronous NHRT client into heap state?)");
+    return report;
+  }
+  report.add(validate::Severity::Info, "RECONF-PATTERN", subject,
+             "rebinding with pattern '" + pattern + "'");
+  if (out != nullptr) {
+    out->client = pc_client->component;
+    out->server = pc_server->component;
+    out->protocol = model::Protocol::Synchronous;
+    out->op = membrane::pattern_op_from_name(pattern);
+    out->server_area = pc_server->area;
+    switch (out->op) {
+      case membrane::PatternOp::Direct:
+      case membrane::PatternOp::ScopeEnter:
+        out->staging_area = nullptr;
+        break;
+      case membrane::PatternOp::ImmortalForward:
+        out->staging_area = &rtsj::ImmortalMemory::instance();
+        break;
+      default:
+        out->staging_area = pc_server->area;
+        break;
+    }
+  }
+  return report;
+}
+
+comm::Content* Application::content(const std::string& component) const {
+  return runtime_of(component).content;
+}
+
+rtsj::RealtimeThread* Application::thread_of(
+    const std::string& component) const {
+  return runtime_of(component).planned->thread;
+}
+
+}  // namespace rtcf::soleil

@@ -1,0 +1,194 @@
+// Assembled applications: the execution infrastructure Soleil generates.
+//
+// An Application is the runtime form of one validated architecture in one
+// generation mode. The common machinery (runtime environment, plan,
+// contents, activation manager) is shared; the modes differ in the
+// dispatch structure they build on top — which is exactly the experimental
+// variable of Fig. 7:
+//
+//   SOLEIL       reified membranes + interceptor chains, introspection and
+//                reconfiguration at membrane and functional level;
+//   MERGE_ALL    one merged shell per functional component, functional-level
+//                reconfiguration only;
+//   ULTRA_MERGE  one flattened static plan, no reconfiguration.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/content.hpp"
+#include "comm/message_buffer.hpp"
+#include "membrane/membrane.hpp"
+#include "model/metamodel.hpp"
+#include "runtime/environment.hpp"
+#include "soleil/plan.hpp"
+#include "validate/report.hpp"
+
+namespace rtcf::soleil {
+
+/// Run-to-completion activation dispatcher.
+///
+/// Asynchronous sends notify the consumer's activation target; pump()
+/// drains pending activations in FIFO order, each executed under the
+/// consumer's logical-thread context (the ActiveInterceptor's
+/// run-to-completion model, §4.1). Notifications raised *during* a pump are
+/// processed in the same drain, so one external trigger runs the whole
+/// downstream transaction — matching the paper's "complete iteration".
+class ActivationManager {
+ public:
+  using Work = std::function<void()>;
+
+  struct NotifyArg {
+    ActivationManager* manager;
+    std::size_t target;
+  };
+
+  /// Registers an activation target; `thread` may be null (work runs on
+  /// the caller's context).
+  std::size_t add_target(rtsj::RealtimeThread* thread, Work work);
+
+  void notify(std::size_t target);
+  /// Trampoline with the signature membrane::NotifyFn expects.
+  static void notify_trampoline(void* arg);
+
+  /// Drains pending activations run-to-completion.
+  void pump();
+  bool idle() const noexcept { return pending_.empty(); }
+  std::uint64_t activation_count() const noexcept { return activations_; }
+
+ private:
+  struct Target {
+    rtsj::RealtimeThread* thread;
+    Work work;
+  };
+
+  std::vector<Target> targets_;
+  std::deque<std::size_t> pending_;
+  std::uint64_t activations_ = 0;
+};
+
+/// Base of all assembled applications.
+class Application {
+ public:
+  explicit Application(const model::Architecture& arch);
+  virtual ~Application() = default;
+
+  Application(const Application&) = delete;
+  Application& operator=(const Application&) = delete;
+
+  virtual Mode mode() const noexcept = 0;
+  const char* mode_name() const noexcept { return to_string(mode()); }
+
+  /// Lifecycle for the whole assembly (starts/stops every component).
+  virtual void start();
+  virtual void stop();
+
+  /// Releases one active component (periodic entry) without draining
+  /// downstream activations.
+  void release(const std::string& component);
+  /// Drains pending activations. ULTRA_MERGE overrides this with its
+  /// flattened static schedule; the other modes dispatch through the
+  /// activation manager.
+  virtual void pump() { manager_.pump(); }
+  /// One complete transaction: release + drain. This is what the Fig. 7
+  /// benchmarks time.
+  void iterate(const std::string& component);
+
+  /// Resolves a component's release entry once. Calling the returned
+  /// function releases the component without the per-call name lookup —
+  /// which is what generated bootstrap code does; benchmarks should use
+  /// this so name resolution is not billed as infrastructure overhead.
+  std::function<void()> release_fn(const std::string& component);
+
+  /// Introspection (availability depends on the mode).
+  virtual membrane::Membrane* find_membrane(const std::string& component) {
+    (void)component;
+    return nullptr;
+  }
+  virtual bool supports_membrane_introspection() const noexcept {
+    return false;
+  }
+  virtual bool supports_reconfiguration() const noexcept { return false; }
+
+  // ---- runtime adaptation (§4.2) -----------------------------------------
+  // "Every manipulation of RTSJ concepts is bounded by their specification
+  // rules, so the reconfiguration process has to adhere to these
+  // restrictions as well": rebinding re-validates the new connection before
+  // touching any wiring.
+
+  /// Rebinds the synchronous client port `port` of `client` to `server`'s
+  /// synchronous entry. Returns the validation report for the *new*
+  /// binding; wiring changes only when the report is clean. Unsupported
+  /// modes return a report with a MODE-STATIC error.
+  virtual validate::Report rebind_sync(const std::string& client,
+                                       const std::string& port,
+                                       const std::string& server);
+
+  /// Starts/stops one component at runtime. Returns false when the mode
+  /// does not expose per-component lifecycle (ULTRA_MERGE).
+  virtual bool set_component_started(const std::string& component,
+                                     bool started);
+
+  /// Bytes of generated infrastructure (membranes, shells, interceptors,
+  /// buffers, staging slots) — the Fig. 7c metric.
+  std::size_t infrastructure_bytes() const noexcept { return infra_bytes_; }
+
+  comm::Content* content(const std::string& component) const;
+  rtsj::RealtimeThread* thread_of(const std::string& component) const;
+  const Plan& plan() const noexcept { return plan_; }
+  runtime::RuntimeEnvironment& environment() noexcept { return *env_; }
+  ActivationManager& activation_manager() noexcept { return manager_; }
+  const std::vector<std::unique_ptr<comm::MessageBuffer>>& buffers()
+      const noexcept {
+    return buffers_;
+  }
+
+ protected:
+  /// Per-component runtime state shared across modes.
+  struct ComponentRuntime {
+    const PlannedComponent* planned = nullptr;
+    comm::Content* content = nullptr;
+    /// Periodic release entry (mode-specific gate + dispatch).
+    std::function<void()> release_entry;
+  };
+
+  /// Instantiates contents (inside their areas) and declares their ports.
+  void build_contents();
+
+  comm::MessageBuffer& make_buffer(rtsj::MemoryArea& area,
+                                   std::size_t capacity);
+  ActivationManager::NotifyArg* make_notify_arg(std::size_t target);
+  void count_infra(std::size_t bytes) noexcept { infra_bytes_ += bytes; }
+
+  ComponentRuntime& runtime_of(const std::string& name);
+  const ComponentRuntime& runtime_of(const std::string& name) const;
+
+  /// Shared half of rebind_sync: validates the hypothetical binding
+  /// against the RTSJ rules and, when legal, fills `out` with the planned
+  /// pattern/areas. Subclasses wire only on a clean report.
+  validate::Report plan_sync_rebind(const std::string& client,
+                                    const std::string& port,
+                                    const std::string& server,
+                                    PlannedBinding* out);
+
+  std::unique_ptr<runtime::RuntimeEnvironment> env_;
+  Plan plan_;
+  std::map<std::string, ComponentRuntime> runtimes_;
+  ActivationManager manager_;
+  std::vector<std::unique_ptr<comm::MessageBuffer>> buffers_;
+  std::vector<std::unique_ptr<ActivationManager::NotifyArg>> notify_args_;
+  std::size_t infra_bytes_ = 0;
+};
+
+/// Builds an application for `arch` in `mode`. The architecture must
+/// already be validated (build_application plans but does not re-run the
+/// full rule engine) and must outlive the application.
+std::unique_ptr<Application> build_application(const model::Architecture& arch,
+                                               Mode mode);
+
+}  // namespace rtcf::soleil

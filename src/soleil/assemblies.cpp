@@ -1,0 +1,423 @@
+// The three generation modes (§4.3), assembled from one shared plan.
+#include <deque>
+
+#include "membrane/membrane.hpp"
+#include "membrane/nf_controllers.hpp"
+#include "soleil/application.hpp"
+#include "soleil/merged_shell.hpp"
+#include "util/assert.hpp"
+
+namespace rtcf::soleil {
+
+using comm::Message;
+using membrane::ActiveInterceptor;
+using membrane::AsyncSkeleton;
+using membrane::Membrane;
+using membrane::MemoryInterceptor;
+using membrane::PatternOp;
+using membrane::PatternRuntime;
+using membrane::SyncSkeleton;
+using model::Protocol;
+
+namespace {
+
+/// Staging trampoline for the ULTRA_MERGE fast path.
+const Message& stage_trampoline(void* pattern, const Message& m) {
+  return static_cast<PatternRuntime*>(pattern)->stage(m);
+}
+
+// ---------------------------------------------------------------- SOLEIL
+
+/// Full componentization: reified membranes, interceptor chains,
+/// introspection and reconfiguration at membrane and functional level.
+class SoleilApplication final : public Application {
+ public:
+  explicit SoleilApplication(const model::Architecture& arch)
+      : Application(arch) {
+    build_contents();
+    wire();
+  }
+
+  Mode mode() const noexcept override { return Mode::Soleil; }
+  bool supports_membrane_introspection() const noexcept override {
+    return true;
+  }
+  bool supports_reconfiguration() const noexcept override { return true; }
+
+  membrane::Membrane* find_membrane(const std::string& component) override {
+    auto it = membranes_.find(component);
+    return it == membranes_.end() ? nullptr : it->second.get();
+  }
+
+  void start() override {
+    for (auto& [name, m] : membranes_) m->lifecycle().start();
+  }
+  void stop() override {
+    for (auto& [name, m] : membranes_) m->lifecycle().stop();
+  }
+
+  validate::Report rebind_sync(const std::string& client,
+                               const std::string& port,
+                               const std::string& server) override {
+    PlannedBinding pb;
+    validate::Report report = plan_sync_rebind(client, port, server, &pb);
+    if (!report.ok()) return report;
+    comm::IInvocable* server_entry = nullptr;
+    if (auto it = sync_entries_.find(server); it != sync_entries_.end()) {
+      server_entry = it->second;
+    } else if (auto it2 = active_entries_.find(server);
+               it2 != active_entries_.end()) {
+      server_entry = it2->second;
+    }
+    RTCF_ASSERT(server_entry != nullptr);
+    Membrane& client_membrane = *membranes_.at(client);
+    auto& mem = client_membrane.add_interceptor<MemoryInterceptor>(
+        PatternRuntime::make(pb.op, pb.server_area, pb.staging_area));
+    mem.set_next(nullptr, server_entry);
+    client_membrane.binding().rebind_invocable(port, &mem);
+    return report;
+  }
+
+  bool set_component_started(const std::string& component,
+                             bool started) override {
+    auto it = membranes_.find(component);
+    if (it == membranes_.end()) return false;
+    if (started) {
+      it->second->lifecycle().start();
+    } else {
+      it->second->lifecycle().stop();
+    }
+    return true;
+  }
+
+ private:
+  void wire() {
+    // Functional membranes with their server-side interceptors.
+    for (const PlannedComponent& pc : plan_.components) {
+      auto& rt = runtime_of(pc.component->name());
+      auto membrane = std::make_unique<Membrane>(pc.component->name(),
+                                                 rt.content);
+      if (pc.active != nullptr) {
+        auto& ai = membrane->add_interceptor<ActiveInterceptor>(
+            &membrane->lifecycle(), rt.content);
+        active_entries_[pc.component->name()] = &ai;
+        rt.release_entry = [&ai] { ai.release(); };
+      } else {
+        auto& ss = membrane->add_interceptor<SyncSkeleton>(
+            &membrane->lifecycle(), rt.content);
+        sync_entries_[pc.component->name()] = &ss;
+      }
+      membranes_.emplace(pc.component->name(), std::move(membrane));
+    }
+    // Non-functional components are reified as membranes too: "the
+    // structure of the latter is also reified at runtime, as well as the
+    // ThreadDomain and MemoryArea composite components", each carrying its
+    // real-time controller (§4.1, Fig. 6).
+    for (const auto& owned : plan_.arch->components()) {
+      if (owned->is_functional()) continue;
+      auto membrane = std::make_unique<Membrane>(owned->name(), nullptr);
+      for (const auto* sub : owned->subs()) {
+        membrane->content_controller().add_sub(sub->name());
+      }
+      if (const auto* domain =
+              dynamic_cast<const model::ThreadDomain*>(owned.get())) {
+        auto& controller =
+            membrane->add_controller<membrane::ThreadDomainController>(
+                domain->type(), domain->priority());
+        for (const auto* sub : domain->subs()) {
+          if (const auto* active =
+                  dynamic_cast<const model::ActiveComponent*>(sub)) {
+            controller.attach_thread(&env_->thread_for(*active));
+          }
+        }
+      } else if (const auto* area =
+                     dynamic_cast<const model::MemoryAreaComponent*>(
+                         owned.get())) {
+        membrane->add_controller<membrane::MemoryAreaController>(
+            &env_->area_runtime(*area));
+      }
+      membranes_.emplace(owned->name(), std::move(membrane));
+    }
+    // Bindings become interceptor chains on the client membrane.
+    for (const PlannedBinding& pb : plan_.bindings) {
+      Membrane& client_membrane = *membranes_.at(pb.client->name());
+      auto& client_rt = runtime_of(pb.client->name());
+      comm::OutPort& port =
+          client_rt.content->port(pb.binding->client.interface);
+      PatternRuntime pattern =
+          PatternRuntime::make(pb.op, pb.server_area, pb.staging_area);
+      count_infra(pattern.slot_bytes());
+      if (pb.protocol == Protocol::Asynchronous) {
+        auto& buffer = make_buffer(*pb.buffer_area, pb.buffer_size);
+        ActiveInterceptor* server_entry =
+            active_entries_.at(pb.server->name());
+        const std::size_t target = manager_.add_target(
+            runtime_of(pb.server->name()).planned->thread,
+            [&buffer, server_entry] {
+              if (auto m = buffer.pop()) server_entry->deliver(*m);
+            });
+        auto* arg = make_notify_arg(target);
+        auto& skeleton = client_membrane.add_interceptor<AsyncSkeleton>(
+            &buffer, &ActivationManager::notify_trampoline, arg);
+        skeleton.set_lifecycle_gate(&client_membrane.lifecycle());
+        auto& mem = client_membrane.add_interceptor<MemoryInterceptor>(
+            std::move(pattern));
+        mem.set_lifecycle_gate(&client_membrane.lifecycle());
+        mem.set_next(&skeleton, nullptr);
+        auto& entry = client_membrane.add_interceptor<membrane::InterfaceEntry>(
+            &client_membrane.lifecycle());
+        entry.set_next(&mem, nullptr);
+        port.bind_sink(&entry);
+      } else {
+        comm::IInvocable* server_entry = nullptr;
+        if (auto it = sync_entries_.find(pb.server->name());
+            it != sync_entries_.end()) {
+          server_entry = it->second;
+        } else {
+          server_entry = active_entries_.at(pb.server->name());
+        }
+        auto& mem = client_membrane.add_interceptor<MemoryInterceptor>(
+            std::move(pattern));
+        mem.set_lifecycle_gate(&client_membrane.lifecycle());
+        mem.set_next(nullptr, server_entry);
+        auto& entry = client_membrane.add_interceptor<membrane::InterfaceEntry>(
+            &client_membrane.lifecycle());
+        entry.set_next(nullptr, &mem);
+        port.bind_invocable(&entry);
+      }
+    }
+    for (const auto& [name, membrane] : membranes_) {
+      count_infra(membrane->footprint_bytes());
+    }
+  }
+
+  std::map<std::string, std::unique_ptr<Membrane>> membranes_;
+  std::map<std::string, ActiveInterceptor*> active_entries_;
+  std::map<std::string, SyncSkeleton*> sync_entries_;
+};
+
+// -------------------------------------------------------------- MERGE_ALL
+
+/// Membrane merged into one shell per functional component.
+class MergeAllApplication final : public Application {
+ public:
+  explicit MergeAllApplication(const model::Architecture& arch)
+      : Application(arch) {
+    build_contents();
+    wire();
+  }
+
+  Mode mode() const noexcept override { return Mode::MergeAll; }
+  /// Reconfiguration stays available at the functional level (ports can be
+  /// rebound through the shells); membrane structure is gone.
+  bool supports_reconfiguration() const noexcept override { return true; }
+
+  void start() override {
+    for (auto& [name, shell] : shells_) shell->start();
+  }
+  void stop() override {
+    for (auto& [name, shell] : shells_) shell->stop();
+  }
+
+  MergedShell* shell(const std::string& component) {
+    auto it = shells_.find(component);
+    return it == shells_.end() ? nullptr : it->second.get();
+  }
+
+  validate::Report rebind_sync(const std::string& client,
+                               const std::string& port,
+                               const std::string& server) override {
+    PlannedBinding pb;
+    validate::Report report = plan_sync_rebind(client, port, server, &pb);
+    if (!report.ok()) return report;
+    MergedShell& client_shell = *shells_.at(client);
+    auto& endpoint = client_shell.add_endpoint();
+    endpoint.pattern =
+        PatternRuntime::make(pb.op, pb.server_area, pb.staging_area);
+    endpoint.target = shells_.at(server).get();
+    runtime_of(client).content->port(port).bind_invocable(&endpoint);
+    return report;
+  }
+
+  bool set_component_started(const std::string& component,
+                             bool started) override {
+    auto it = shells_.find(component);
+    if (it == shells_.end()) return false;
+    if (started) {
+      it->second->start();
+    } else {
+      it->second->stop();
+    }
+    return true;
+  }
+
+ private:
+  void wire() {
+    for (const PlannedComponent& pc : plan_.components) {
+      auto& rt = runtime_of(pc.component->name());
+      auto shell = std::make_unique<MergedShell>(rt.content);
+      if (pc.active != nullptr) {
+        MergedShell* raw = shell.get();
+        rt.release_entry = [raw] { raw->release(); };
+      }
+      count_infra(sizeof(MergedShell));
+      shells_.emplace(pc.component->name(), std::move(shell));
+    }
+    for (const PlannedBinding& pb : plan_.bindings) {
+      MergedShell& client_shell = *shells_.at(pb.client->name());
+      MergedShell& server_shell = *shells_.at(pb.server->name());
+      comm::OutPort& port = runtime_of(pb.client->name())
+                                .content->port(pb.binding->client.interface);
+      auto& endpoint = client_shell.add_endpoint();
+      endpoint.pattern =
+          PatternRuntime::make(pb.op, pb.server_area, pb.staging_area);
+      count_infra(sizeof(MergedShell::OutEndpoint) +
+                  endpoint.pattern.slot_bytes());
+      if (pb.protocol == Protocol::Asynchronous) {
+        auto& buffer = make_buffer(*pb.buffer_area, pb.buffer_size);
+        MergedShell* server_raw = &server_shell;
+        const std::size_t target = manager_.add_target(
+            runtime_of(pb.server->name()).planned->thread,
+            [&buffer, server_raw] {
+              if (auto m = buffer.pop()) server_raw->deliver(*m);
+            });
+        endpoint.buffer = &buffer;
+        endpoint.notify = &ActivationManager::notify_trampoline;
+        endpoint.notify_arg = make_notify_arg(target);
+        port.bind_sink(&endpoint);
+      } else {
+        endpoint.target = &server_shell;
+        port.bind_invocable(&endpoint);
+      }
+    }
+  }
+
+  std::map<std::string, std::unique_ptr<MergedShell>> shells_;
+};
+
+// ------------------------------------------------------------ ULTRA_MERGE
+
+/// Whole infrastructure flattened into a static plan: direct calls, no
+/// per-component infrastructure objects, no reconfiguration.
+class UltraMergeApplication final : public Application {
+ public:
+  explicit UltraMergeApplication(const model::Architecture& arch)
+      : Application(arch) {
+    build_contents();
+    wire();
+  }
+
+  Mode mode() const noexcept override { return Mode::UltraMerge; }
+
+  /// Flattened static schedule: the generated ULTRA_MERGE code "takes into
+  /// account the component activations" directly — no pending queue, no
+  /// per-activation dispatch objects. Buffers are drained in binding order,
+  /// looping until a full pass moves nothing (chains settle).
+  void pump() override {
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (auto& entry : drain_plan_) {
+        while (auto m = entry.buffer->pop()) {
+          rtsj::ContextGuard guard(entry.thread->context());
+          entry.content->on_message(*m);
+          moved = true;
+        }
+      }
+    }
+  }
+
+ private:
+  struct DrainEntry {
+    comm::MessageBuffer* buffer;
+    comm::Content* content;
+    rtsj::RealtimeThread* thread;
+  };
+  /// Adapter invoking a content's synchronous entry (only materialized for
+  /// bindings that need a pattern wrapper).
+  struct ContentInvocable final : comm::IInvocable {
+    comm::Content* content = nullptr;
+    Message invoke(const Message& m) override {
+      return content->on_invoke(m);
+    }
+  };
+
+  struct PatternInvocable final : comm::IInvocable {
+    PatternRuntime pattern;
+    comm::IInvocable* next = nullptr;
+    Message invoke(const Message& m) override {
+      return pattern.call(*next, m);
+    }
+  };
+
+  void wire() {
+    for (const PlannedComponent& pc : plan_.components) {
+      auto& rt = runtime_of(pc.component->name());
+      if (pc.active != nullptr) {
+        comm::Content* content = rt.content;
+        rt.release_entry = [content] { content->on_release(); };
+      }
+    }
+    for (const PlannedBinding& pb : plan_.bindings) {
+      comm::OutPort& port = runtime_of(pb.client->name())
+                                .content->port(pb.binding->client.interface);
+      comm::Content* server_content = runtime_of(pb.server->name()).content;
+      if (pb.protocol == Protocol::Asynchronous) {
+        auto& buffer = make_buffer(*pb.buffer_area, pb.buffer_size);
+        // Static schedule instead of activation-manager dispatch: the
+        // drain order is compiled into the application.
+        drain_plan_.push_back(
+            DrainEntry{&buffer, server_content,
+                       runtime_of(pb.server->name()).planned->thread});
+        count_infra(sizeof(DrainEntry));
+        if (pb.op == PatternOp::Direct) {
+          port.bind_direct_buffer(&buffer, nullptr, nullptr);
+        } else {
+          patterns_.push_back(
+              PatternRuntime::make(pb.op, pb.server_area, pb.staging_area));
+          count_infra(sizeof(PatternRuntime) +
+                      patterns_.back().slot_bytes());
+          port.bind_direct_buffer(&buffer, nullptr, nullptr,
+                                  &stage_trampoline, &patterns_.back());
+        }
+      } else {
+        if (pb.op == PatternOp::Direct) {
+          port.bind_direct_content(server_content);
+        } else {
+          auto& target = content_invocables_.emplace_back();
+          target.content = server_content;
+          auto& wrapper = pattern_invocables_.emplace_back();
+          wrapper.pattern =
+              PatternRuntime::make(pb.op, pb.server_area, pb.staging_area);
+          wrapper.next = &target;
+          count_infra(sizeof(ContentInvocable) + sizeof(PatternInvocable) +
+                      wrapper.pattern.slot_bytes());
+          port.bind_invocable(&wrapper);
+        }
+      }
+    }
+  }
+
+  // Deques: stable addresses for bound adapters.
+  std::deque<PatternRuntime> patterns_;
+  std::deque<ContentInvocable> content_invocables_;
+  std::deque<PatternInvocable> pattern_invocables_;
+  std::vector<DrainEntry> drain_plan_;
+};
+
+}  // namespace
+
+std::unique_ptr<Application> build_application(const model::Architecture& arch,
+                                               Mode mode) {
+  switch (mode) {
+    case Mode::Soleil:
+      return std::make_unique<SoleilApplication>(arch);
+    case Mode::MergeAll:
+      return std::make_unique<MergeAllApplication>(arch);
+    case Mode::UltraMerge:
+      return std::make_unique<UltraMergeApplication>(arch);
+  }
+  RTCF_ASSERT(false);
+}
+
+}  // namespace rtcf::soleil

@@ -1,0 +1,212 @@
+#include "soleil/bootstrap_api.hpp"
+
+#include "runtime/content_registry.hpp"
+#include "util/assert.hpp"
+#include "validate/pattern_catalog.hpp"
+
+namespace rtcf::soleil {
+
+namespace {
+
+/// Lifecycle-free synchronous adapter used by bootstrap-level wiring.
+struct DirectEntry final : comm::IInvocable {
+  comm::Content* content = nullptr;
+  comm::Message invoke(const comm::Message& m) override {
+    return content->on_invoke(m);
+  }
+};
+
+}  // namespace
+
+BootstrapContext::BootstrapContext(const model::Architecture& arch)
+    : arch_(arch), env_(arch) {}
+
+BootstrapContext::~BootstrapContext() = default;
+
+void BootstrapContext::advance_phase(Phase at_most) {
+  if (phase_ > at_most) {
+    throw BootstrapError(
+        "initialization order violated: operation arrived after its phase "
+        "(areas -> domains -> threads -> contents -> wiring -> start)");
+  }
+  phase_ = at_most;
+}
+
+void BootstrapContext::use_immortal(const std::string& area_component) {
+  advance_phase(Phase::Areas);
+  (void)area(area_component);  // resolves + validates the reference
+  record("use_immortal " + area_component);
+}
+
+void BootstrapContext::use_heap(const std::string& area_component) {
+  advance_phase(Phase::Areas);
+  (void)area(area_component);
+  record("use_heap " + area_component);
+}
+
+void BootstrapContext::create_scope(const std::string& area_name,
+                                    std::size_t bytes) {
+  advance_phase(Phase::Areas);
+  // The environment already instantiated + pinned the scope from the
+  // architecture; the generated call validates and records it.
+  for (auto* scope : env_.scopes()) {
+    if (scope->name() == area_name) {
+      RTCF_REQUIRE(bytes == 0 || scope->size() == bytes,
+                   "scope '" + area_name + "' size mismatch");
+      record("create_scope " + area_name + " " + std::to_string(bytes));
+      return;
+    }
+  }
+  throw BootstrapError("unknown scope '" + area_name + "'");
+}
+
+void BootstrapContext::create_domain(const std::string& name,
+                                     const std::string& type, int priority) {
+  advance_phase(Phase::Domains);
+  const auto* domain = arch_.find_as<model::ThreadDomain>(name);
+  if (domain == nullptr) {
+    throw BootstrapError("unknown thread domain '" + name + "'");
+  }
+  if (std::string(model::to_string(domain->type())) != type ||
+      domain->priority() != priority) {
+    throw BootstrapError("domain '" + name +
+                         "' descriptor mismatch with the architecture");
+  }
+  domains_[name] = type + "/" + std::to_string(priority);
+  record("create_domain " + name + " " + type + " " +
+         std::to_string(priority));
+}
+
+void BootstrapContext::create_thread(const std::string& component,
+                                     const std::string& domain) {
+  advance_phase(Phase::Threads);
+  if (domains_.find(domain) == domains_.end()) {
+    throw BootstrapError("thread '" + component +
+                         "' references undeclared domain '" + domain + "'");
+  }
+  (void)thread(component);  // resolves + validates
+  record("create_thread " + component + " in " + domain);
+}
+
+void BootstrapContext::create_content(const std::string& component,
+                                      const std::string& content_class,
+                                      const std::string& area_component) {
+  advance_phase(Phase::Contents);
+  const auto* c = arch_.find(component);
+  if (c == nullptr) {
+    throw BootstrapError("unknown component '" + component + "'");
+  }
+  rtsj::MemoryArea& target = area_component == "heap"
+                                 ? rtsj::HeapMemory::instance()
+                                 : area(area_component);
+  ContentSlot slot;
+  slot.content =
+      runtime::ContentRegistry::instance().create(content_class, target);
+  for (const auto& itf : c->interfaces()) {
+    if (itf.role == model::InterfaceRole::Client) {
+      slot.content->add_port(itf.name);
+    }
+  }
+  auto entry = std::make_unique<DirectEntry>();
+  entry->content = slot.content;
+  slot.entry = std::move(entry);
+  contents_[component] = std::move(slot);
+  record("create_content " + component + " (" + content_class + ") in " +
+         area_component);
+}
+
+comm::Content* BootstrapContext::content(const std::string& component) {
+  auto it = contents_.find(component);
+  if (it == contents_.end()) {
+    throw BootstrapError("content of '" + component +
+                         "' has not been created yet");
+  }
+  return it->second.content;
+}
+
+comm::MessageBuffer& BootstrapContext::make_buffer(
+    const std::string& server_component, std::size_t capacity) {
+  advance_phase(Phase::Wiring);
+  const auto* server = arch_.find(server_component);
+  if (server == nullptr) {
+    throw BootstrapError("unknown buffer consumer '" + server_component +
+                         "'");
+  }
+  // Bootstrap-level default placement: the consumer's area, falling back
+  // to immortal when that is the heap (NHRT-safe, as the planner does).
+  rtsj::MemoryArea* target = &env_.area_for(*server);
+  if (target->kind() == rtsj::AreaKind::Heap) {
+    target = &rtsj::ImmortalMemory::instance();
+  }
+  buffers_.push_back(std::make_unique<comm::MessageBuffer>(*target,
+                                                           capacity));
+  record("make_buffer for " + server_component + " x" +
+         std::to_string(capacity) + " in " + target->name());
+  return *buffers_.back();
+}
+
+membrane::PatternRuntime BootstrapContext::make_pattern(
+    const std::string& pattern_name, const std::string& server_component) {
+  advance_phase(Phase::Wiring);
+  const auto* server = arch_.find(server_component);
+  if (server == nullptr) {
+    throw BootstrapError("unknown pattern target '" + server_component +
+                         "'");
+  }
+  const auto op = membrane::pattern_op_from_name(pattern_name);
+  rtsj::MemoryArea& server_area = env_.area_for(*server);
+  rtsj::MemoryArea* staging = nullptr;
+  switch (op) {
+    case membrane::PatternOp::Direct:
+    case membrane::PatternOp::ScopeEnter:
+      break;
+    case membrane::PatternOp::ImmortalForward:
+      staging = &rtsj::ImmortalMemory::instance();
+      break;
+    default:
+      staging = &server_area;
+      break;
+  }
+  record("make_pattern " + pattern_name + " -> " + server_component);
+  return membrane::PatternRuntime::make(op, &server_area, staging);
+}
+
+comm::IInvocable* BootstrapContext::server_entry(
+    const std::string& component) {
+  auto it = contents_.find(component);
+  if (it == contents_.end()) {
+    throw BootstrapError("server entry of '" + component +
+                         "' requested before its content exists");
+  }
+  return it->second.entry.get();
+}
+
+void* BootstrapContext::notify_arg(const std::string&) { return nullptr; }
+
+void BootstrapContext::start_all() {
+  advance_phase(Phase::Started);
+  for (auto& [name, slot] : contents_) slot.content->on_start();
+  started_ = true;
+  record("start_all");
+}
+
+rtsj::MemoryArea& BootstrapContext::area(const std::string& area_component) {
+  const auto* model_area =
+      arch_.find_as<model::MemoryAreaComponent>(area_component);
+  if (model_area == nullptr) {
+    throw BootstrapError("unknown memory area component '" + area_component +
+                         "'");
+  }
+  return env_.area_runtime(*model_area);
+}
+
+rtsj::RealtimeThread& BootstrapContext::thread(const std::string& component) {
+  const auto* active = arch_.find_as<model::ActiveComponent>(component);
+  if (active == nullptr) {
+    throw BootstrapError("component '" + component +
+                         "' is not an active component");
+  }
+  return env_.thread_for(*active);
+}
+
+}  // namespace rtcf::soleil

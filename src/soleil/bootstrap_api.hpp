@@ -1,0 +1,111 @@
+// The bootstrap API that generated code programs against (§3.3
+// "Initialization Procedures": "the generated code has to be responsible
+// also for bootstrapping procedures ... RTSJ itself introduces a high
+// level of complexity into the bootstrapping process").
+//
+// The CodeEmitter emits `gen/Bootstrap.cpp` files whose statements are
+// calls on a BootstrapContext. This header provides that interface plus a
+// concrete implementation backed by the same substrate the runtime
+// assemblies use, so an emitted bootstrap sequence can be executed (and is
+// executed, in bootstrap_test.cpp) — closing the loop between the
+// generative and the in-memory halves of Soleil.
+//
+// Ordering contract (enforced): memory areas first (immortal/scopes/heap),
+// then thread domains, then threads, then contents, then wiring, then
+// start. Violations throw BootstrapError, mirroring the RTSJ boot
+// complexity the generated code encapsulates.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/content.hpp"
+#include "comm/message_buffer.hpp"
+#include "membrane/patterns.hpp"
+#include "model/metamodel.hpp"
+#include "runtime/environment.hpp"
+
+namespace rtcf::soleil {
+
+class BootstrapError : public std::runtime_error {
+ public:
+  explicit BootstrapError(const std::string& message)
+      : std::runtime_error("bootstrap: " + message) {}
+};
+
+/// Execution context for a generated bootstrap sequence.
+class BootstrapContext {
+ public:
+  /// The architecture the sequence was generated from; used to resolve
+  /// component attributes the emitted calls reference by name.
+  explicit BootstrapContext(const model::Architecture& arch);
+  ~BootstrapContext();
+
+  BootstrapContext(const BootstrapContext&) = delete;
+  BootstrapContext& operator=(const BootstrapContext&) = delete;
+
+  // ---- phase 1: memory areas ---------------------------------------------
+  void use_immortal(const std::string& area_component);
+  void use_heap(const std::string& area_component);
+  void create_scope(const std::string& area_name, std::size_t bytes);
+
+  // ---- phase 2: thread domains and threads --------------------------------
+  void create_domain(const std::string& name, const std::string& type,
+                     int priority);
+  void create_thread(const std::string& component,
+                     const std::string& domain);
+
+  // ---- phase 3: contents ---------------------------------------------------
+  void create_content(const std::string& component,
+                      const std::string& content_class,
+                      const std::string& area_component);
+
+  // ---- wiring primitives referenced by membrane constructors --------------
+  comm::Content* content(const std::string& component);
+  comm::MessageBuffer& make_buffer(const std::string& server_component,
+                                   std::size_t capacity);
+  membrane::PatternRuntime make_pattern(const std::string& pattern_name,
+                                        const std::string& server_component);
+  /// Synchronous entry of a bootstrapped component (lifecycle-free direct
+  /// adapter; the full SOLEIL chains are built by the membrane classes).
+  comm::IInvocable* server_entry(const std::string& component);
+  /// Opaque notification argument for AsyncSkeleton construction; the
+  /// bootstrap-level default is "no notification" (pull-driven drains).
+  void* notify_arg(const std::string& component);
+
+  // ---- phase 4: start ------------------------------------------------------
+  void start_all();
+  void start_all_via_lifecycle_controllers() { start_all(); }
+
+  // ---- introspection -------------------------------------------------------
+  /// Ordered log of every bootstrap operation ("create_scope cscope 28672",
+  /// ...), for tests and audit trails.
+  const std::vector<std::string>& log() const noexcept { return log_; }
+  rtsj::MemoryArea& area(const std::string& area_component);
+  rtsj::RealtimeThread& thread(const std::string& component);
+  bool started() const noexcept { return started_; }
+
+ private:
+  enum class Phase { Areas, Domains, Threads, Contents, Wiring, Started };
+  void advance_phase(Phase at_most);
+  void record(std::string entry) { log_.push_back(std::move(entry)); }
+
+  struct ContentSlot {
+    comm::Content* content = nullptr;
+    std::unique_ptr<comm::IInvocable> entry;
+  };
+
+  const model::Architecture& arch_;
+  runtime::RuntimeEnvironment env_;
+  Phase phase_ = Phase::Areas;
+  bool started_ = false;
+  std::map<std::string, std::string> domains_;  // name -> "type/prio" echo
+  std::map<std::string, ContentSlot> contents_;
+  std::vector<std::unique_ptr<comm::MessageBuffer>> buffers_;
+  std::vector<std::string> log_;
+};
+
+}  // namespace rtcf::soleil

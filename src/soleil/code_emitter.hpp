@@ -1,0 +1,55 @@
+// Soleil's source emitter: the generative-programming half of §4.3.
+//
+// The paper's toolchain (Juliac backend + Spoon transformations) generates
+// Java source for the execution infrastructure — membrane classes, glue
+// and bootstrap — at three optimization levels. This emitter reproduces
+// that step for C++: given a validated architecture it renders the source
+// of the infrastructure that the runtime assemblies in assemblies.cpp
+// build in memory. The *structure* of the output is the point:
+//
+//   SOLEIL       one membrane class per component (functional and
+//                non-functional) + a bootstrap translation unit;
+//   MERGE_ALL    one merged class per *functional* component (membrane
+//                logic inlined) + bootstrap;
+//   ULTRA_MERGE  a single translation unit holding the whole static
+//                application.
+//
+// Generated and hand-written code stay in clearly separated entities
+// (§5.2's code-generation requirements): user content classes are only
+// *referenced*, never re-emitted.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/metamodel.hpp"
+#include "soleil/plan.hpp"
+
+namespace rtcf::soleil {
+
+/// One emitted source file.
+struct GeneratedFile {
+  std::string path;      ///< Relative path, e.g. "gen/MonitoringSystemMembrane.hpp".
+  std::string contents;  ///< Complete file text.
+
+  std::size_t line_count() const;
+};
+
+/// The complete output of one emission run.
+struct GeneratedCode {
+  Mode mode = Mode::Soleil;
+  std::vector<GeneratedFile> files;
+
+  const GeneratedFile* find(const std::string& path) const;
+  /// Total lines across all files (the paper's "code compactness" axis).
+  std::size_t total_lines() const;
+  /// Total bytes across all files.
+  std::size_t total_bytes() const;
+};
+
+/// Emits the execution infrastructure source for `arch` in `mode`.
+/// Deterministic: equal inputs produce byte-identical output.
+GeneratedCode emit_infrastructure(const model::Architecture& arch, Mode mode);
+
+}  // namespace rtcf::soleil

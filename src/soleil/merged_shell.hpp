@@ -1,0 +1,109 @@
+// The MERGE-ALL dispatch structure: one merged shell per functional
+// component.
+//
+// "In this generation mode the implementation of functional component code
+// and its associated membrane are merged into a single Java class ...
+// several indirections introduced by the membrane architecture are replaced
+// by direct method calls." (§4.3)
+//
+// The shell inlines the lifecycle gate and the activation dispatch that
+// SOLEIL spreads over ActiveInterceptor/SyncSkeleton objects, and embeds
+// its outgoing endpoints (pattern + buffer wiring) as member state instead
+// of reified interceptor chains. One virtual hop in, one out — membrane
+// structure is *not* preserved at runtime, so no membrane introspection.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "comm/content.hpp"
+#include "comm/message.hpp"
+#include "comm/message_buffer.hpp"
+#include "membrane/interceptors.hpp"
+#include "membrane/patterns.hpp"
+
+namespace rtcf::soleil {
+
+/// Merged membrane + dispatch for one functional component.
+class MergedShell final : public comm::IMessageSink, public comm::IInvocable {
+ public:
+  explicit MergedShell(comm::Content* content) : content_(content) {}
+
+  // ---- lifecycle (inlined flag, still functional-level controllable) ----
+  bool started() const noexcept { return started_; }
+  void start() {
+    if (!started_) {
+      started_ = true;
+      content_->on_start();
+    }
+  }
+  void stop() {
+    if (started_) {
+      started_ = false;
+      content_->on_stop();
+    }
+  }
+
+  // ---- server-side entries ----------------------------------------------
+  void deliver(const comm::Message& m) override {
+    if (!started_) {
+      ++rejected_;
+      return;
+    }
+    ++delivered_;
+    content_->on_message(m);
+  }
+
+  comm::Message invoke(const comm::Message& m) override {
+    if (!started_) {
+      ++rejected_;
+      return comm::Message{};
+    }
+    ++delivered_;
+    return content_->on_invoke(m);
+  }
+
+  void release() {
+    if (!started_) {
+      ++rejected_;
+      return;
+    }
+    ++delivered_;
+    content_->on_release();
+  }
+
+  // ---- client-side endpoints (embedded, not reified) ---------------------
+  /// Outgoing binding state merged into the shell; exactly one virtual hop
+  /// between the client port and the communication primitive.
+  struct OutEndpoint final : comm::IMessageSink, comm::IInvocable {
+    membrane::PatternRuntime pattern;
+    comm::MessageBuffer* buffer = nullptr;
+    membrane::NotifyFn notify = nullptr;
+    void* notify_arg = nullptr;
+    MergedShell* target = nullptr;
+
+    void deliver(const comm::Message& m) override {
+      buffer->push(pattern.stage(m));
+      if (notify != nullptr) notify(notify_arg);
+    }
+    comm::Message invoke(const comm::Message& m) override {
+      return pattern.call(*target, m);
+    }
+  };
+
+  OutEndpoint& add_endpoint() { return endpoints_.emplace_back(); }
+  std::size_t endpoint_count() const noexcept { return endpoints_.size(); }
+
+  comm::Content* content() const noexcept { return content_; }
+  std::uint64_t delivered_count() const noexcept { return delivered_; }
+  std::uint64_t rejected_count() const noexcept { return rejected_; }
+
+ private:
+  comm::Content* content_;
+  bool started_ = false;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::deque<OutEndpoint> endpoints_;
+};
+
+}  // namespace rtcf::soleil

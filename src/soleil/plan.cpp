@@ -1,0 +1,178 @@
+#include "soleil/plan.hpp"
+
+#include "validate/area_relation.hpp"
+#include "validate/pattern_catalog.hpp"
+#include "validate/validator.hpp"
+
+namespace rtcf::soleil {
+
+using model::ActiveComponent;
+using model::Architecture;
+using model::AreaType;
+using model::Binding;
+using model::Component;
+using model::DomainType;
+using model::MemoryAreaComponent;
+using model::PassiveComponent;
+using model::Protocol;
+using validate::AreaRelation;
+
+const char* to_string(Mode mode) noexcept {
+  switch (mode) {
+    case Mode::Soleil:
+      return "SOLEIL";
+    case Mode::MergeAll:
+      return "MERGE_ALL";
+    case Mode::UltraMerge:
+      return "ULTRA_MERGE";
+  }
+  return "?";
+}
+
+const PlannedComponent* Plan::find_component(const std::string& name) const {
+  for (const auto& c : components) {
+    if (c.component->name() == name) return &c;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// The common design-time scope ancestor of two scoped areas, or nullptr.
+const MemoryAreaComponent* common_scope_ancestor(
+    const Architecture& arch, const MemoryAreaComponent* a,
+    const MemoryAreaComponent* b) {
+  if (a == nullptr || b == nullptr) return nullptr;
+  for (const auto* s = validate::design_parent_scope(arch, *a); s != nullptr;
+       s = validate::design_parent_scope(arch, *s)) {
+    for (const auto* t = b; t != nullptr;
+         t = validate::design_parent_scope(arch, *t)) {
+      if (s == t) return s;
+    }
+  }
+  return nullptr;
+}
+
+bool executes_on_nhrt(const Architecture& arch, const Component& c) {
+  for (const auto* domain : validate::executing_domains(arch, c)) {
+    if (domain->type() == DomainType::NoHeapRealtime) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Plan make_plan(const Architecture& arch, runtime::RuntimeEnvironment& env) {
+  Plan plan;
+  plan.arch = &arch;
+
+  for (const auto& owned : arch.components()) {
+    if (!owned->is_functional()) continue;
+    PlannedComponent pc;
+    pc.component = owned.get();
+    pc.area = &env.area_for(*owned);
+    if (const auto* active = dynamic_cast<const ActiveComponent*>(owned.get())) {
+      pc.active = active;
+      pc.thread = &env.thread_for(*active);
+      pc.content_class = active->content_class();
+    } else {
+      pc.content_class =
+          static_cast<const PassiveComponent*>(owned.get())->content_class();
+    }
+    plan.components.push_back(pc);
+  }
+
+  for (const Binding& binding : arch.bindings()) {
+    PlannedBinding pb;
+    pb.binding = &binding;
+    pb.client = arch.find(binding.client.component);
+    pb.server = arch.find(binding.server.component);
+    if (pb.client == nullptr || pb.server == nullptr) {
+      throw PlanningError("binding endpoint not found: " +
+                          binding.client.component + " -> " +
+                          binding.server.component);
+    }
+    pb.protocol = binding.desc.protocol;
+    pb.buffer_size = binding.desc.buffer_size;
+
+    const MemoryAreaComponent* client_area_model =
+        arch.memory_area_of(*pb.client);
+    const MemoryAreaComponent* server_area_model =
+        arch.memory_area_of(*pb.server);
+    const AreaRelation relation =
+        validate::relate_areas(arch, client_area_model, server_area_model);
+
+    const bool client_no_heap = executes_on_nhrt(arch, *pb.client);
+    const bool server_in_heap =
+        server_area_model == nullptr ||
+        server_area_model->type() == AreaType::Heap;
+
+    std::string pattern_name = binding.desc.pattern;
+    if (pattern_name.empty()) {
+      validate::PatternQuery query;
+      query.relation = relation;
+      query.protocol = pb.protocol;
+      query.client_no_heap = client_no_heap;
+      query.server_in_heap = server_in_heap;
+      query.common_scope_ancestor =
+          common_scope_ancestor(arch, client_area_model, server_area_model) !=
+          nullptr;
+      pattern_name = validate::suggest_pattern(query);
+      if (pattern_name.empty()) {
+        throw PlanningError(
+            "no RTSJ-legal communication pattern for binding " +
+            binding.client.component + " -> " + binding.server.component +
+            " (synchronous NHRT-to-heap?)");
+      }
+    }
+    pb.op = membrane::pattern_op_from_name(pattern_name);
+
+    rtsj::MemoryArea& immortal = rtsj::ImmortalMemory::instance();
+    rtsj::MemoryArea& client_area = env.area_for(*pb.client);
+    rtsj::MemoryArea& server_area = env.area_for(*pb.server);
+    pb.server_area = &server_area;
+
+    switch (pb.op) {
+      case membrane::PatternOp::Direct:
+      case membrane::PatternOp::ScopeEnter:
+        pb.staging_area = nullptr;
+        break;
+      case membrane::PatternOp::DeepCopy:
+      case membrane::PatternOp::WedgeThread:
+        pb.staging_area = &server_area;
+        break;
+      case membrane::PatternOp::ImmortalForward:
+        pb.staging_area = &immortal;
+        break;
+      case membrane::PatternOp::SharedScope: {
+        const auto* shared = common_scope_ancestor(arch, client_area_model,
+                                                   server_area_model);
+        pb.staging_area =
+            shared != nullptr ? &env.area_runtime(*shared) : &immortal;
+        break;
+      }
+      case membrane::PatternOp::Handoff:
+        pb.staging_area = &client_area;
+        break;
+    }
+
+    if (pb.protocol == Protocol::Asynchronous) {
+      // The buffer lives with the staged copy when the pattern stages one;
+      // otherwise on the server side. Either way an NHRT participant must
+      // never be handed heap storage, so heap placements fall back to
+      // immortal memory.
+      rtsj::MemoryArea* candidate =
+          pb.staging_area != nullptr ? pb.staging_area : &server_area;
+      const bool nhrt_involved =
+          client_no_heap || executes_on_nhrt(arch, *pb.server);
+      if (candidate->kind() == rtsj::AreaKind::Heap && nhrt_involved) {
+        candidate = &immortal;
+      }
+      pb.buffer_area = candidate;
+    }
+    plan.bindings.push_back(pb);
+  }
+  return plan;
+}
+
+}  // namespace rtcf::soleil

@@ -1,0 +1,77 @@
+// The infrastructure plan: the validated architecture resolved against the
+// RTSJ substrate, ready for assembly in any generation mode.
+//
+// Planning implements §3.3's "the verification process of the architecture
+// identifies the points where a glue code handling RTSJ concerns needs to
+// be deployed": for every binding it fixes the communication pattern and
+// decides which memory areas hold the staged copies and the message buffer.
+// All three generation modes (and the code emitter) consume the same plan —
+// they differ only in how much of it they reify as objects.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "membrane/patterns.hpp"
+#include "model/metamodel.hpp"
+#include "runtime/environment.hpp"
+
+namespace rtcf::soleil {
+
+/// Generation modes (§4.3).
+enum class Mode { Soleil, MergeAll, UltraMerge };
+
+const char* to_string(Mode mode) noexcept;
+
+/// Raised when an architecture cannot be planned (it would also fail
+/// validation; run validate::validate first for full diagnostics).
+class PlanningError : public std::runtime_error {
+ public:
+  explicit PlanningError(const std::string& message)
+      : std::runtime_error("soleil: " + message) {}
+};
+
+/// One functional component resolved against the substrate.
+struct PlannedComponent {
+  const model::Component* component = nullptr;
+  /// Non-null for active components.
+  const model::ActiveComponent* active = nullptr;
+  rtsj::MemoryArea* area = nullptr;
+  /// Non-null for active components (their logical thread).
+  rtsj::RealtimeThread* thread = nullptr;
+  std::string content_class;
+};
+
+/// One binding resolved: pattern op plus the areas for staging and buffer.
+struct PlannedBinding {
+  const model::Binding* binding = nullptr;
+  const model::Component* client = nullptr;
+  const model::Component* server = nullptr;
+  model::Protocol protocol = model::Protocol::Synchronous;
+  std::size_t buffer_size = 0;
+  membrane::PatternOp op = membrane::PatternOp::Direct;
+  /// Area holding the server's state (pattern construction input).
+  rtsj::MemoryArea* server_area = nullptr;
+  /// Area for the pattern's staged copy (nullptr for direct/scope-enter).
+  rtsj::MemoryArea* staging_area = nullptr;
+  /// Area holding the async message buffer (nullptr for sync bindings).
+  rtsj::MemoryArea* buffer_area = nullptr;
+};
+
+/// The full plan for one application instance.
+struct Plan {
+  const model::Architecture* arch = nullptr;
+  std::vector<PlannedComponent> components;
+  std::vector<PlannedBinding> bindings;
+
+  const PlannedComponent* find_component(const std::string& name) const;
+};
+
+/// Resolves `arch` against `env`. Throws PlanningError when a binding has
+/// no legal pattern or endpoints do not resolve.
+Plan make_plan(const model::Architecture& arch,
+               runtime::RuntimeEnvironment& env);
+
+}  // namespace rtcf::soleil

@@ -1,0 +1,78 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rtcf::util {
+
+namespace {
+std::size_t align_up(std::size_t value, std::size_t align) noexcept {
+  return (value + align - 1) & ~(align - 1);
+}
+}  // namespace
+
+Arena::Arena(std::size_t initial_capacity, bool fixed) : fixed_(fixed) {
+  RTCF_REQUIRE(initial_capacity > 0, "arena capacity must be positive");
+  grow(initial_capacity);
+}
+
+bool Arena::grow(std::size_t at_least) {
+  Chunk chunk;
+  // Double the previous chunk but always satisfy the request.
+  const std::size_t prev = chunks_.empty() ? 0 : chunks_.back().size;
+  chunk.size = std::max(at_least, prev * 2);
+  chunk.data = std::make_unique<std::byte[]>(chunk.size);
+  capacity_ += chunk.size;
+  chunks_.push_back(std::move(chunk));
+  return true;
+}
+
+void* Arena::allocate(std::size_t size, std::size_t align) noexcept {
+  if (size == 0) size = 1;
+  if (align == 0) align = alignof(std::max_align_t);
+  Chunk* chunk = &chunks_.back();
+  auto base = reinterpret_cast<std::uintptr_t>(chunk->data.get());
+  std::size_t offset = align_up(chunk->used + static_cast<std::size_t>(
+                                                  base & (align - 1)),
+                                align) -
+                       static_cast<std::size_t>(base & (align - 1));
+  // Simpler: compute aligned address directly.
+  std::uintptr_t addr = align_up(base + chunk->used, align);
+  offset = static_cast<std::size_t>(addr - base);
+  if (offset + size > chunk->size) {
+    if (fixed_) return nullptr;
+    grow(size + align);
+    chunk = &chunks_.back();
+    base = reinterpret_cast<std::uintptr_t>(chunk->data.get());
+    addr = align_up(base, align);
+    offset = static_cast<std::size_t>(addr - base);
+    if (offset + size > chunk->size) return nullptr;
+  }
+  chunk->used = offset + size;
+  consumed_ += size;
+  high_water_ = std::max(high_water_, consumed_);
+  return reinterpret_cast<void*>(addr);
+}
+
+void Arena::reset() noexcept {
+  for (auto& chunk : chunks_) chunk.used = 0;
+  consumed_ = 0;
+}
+
+std::size_t Arena::remaining() const noexcept {
+  std::size_t total = 0;
+  for (const auto& chunk : chunks_) total += chunk.size - chunk.used;
+  return total;
+}
+
+bool Arena::contains(const void* p) const noexcept {
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  for (const auto& chunk : chunks_) {
+    const auto base = reinterpret_cast<std::uintptr_t>(chunk.data.get());
+    if (addr >= base && addr < base + chunk.size) return true;
+  }
+  return false;
+}
+
+}  // namespace rtcf::util

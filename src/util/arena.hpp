@@ -1,0 +1,69 @@
+// Bump-pointer arena with a high-water mark, the backing store for RTSJ
+// memory areas (ImmortalMemory grows in chunks; ScopedMemory preallocates a
+// single fixed region, matching RTSJ LTMemory's linear-time allocation).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rtcf::util {
+
+/// A bump allocator over one or more owned chunks.
+///
+/// `reset()` frees nothing but rewinds the bump pointer, which is exactly
+/// the reclamation model of an RTSJ scoped memory when its thread reference
+/// count drops to zero.
+class Arena {
+ public:
+  /// @param initial_capacity  Bytes reserved in the first chunk.
+  /// @param fixed             When true, allocation beyond the initial chunk
+  ///                          fails (ScopedMemory semantics: region size is
+  ///                          declared up front). When false, new chunks are
+  ///                          chained on demand (ImmortalMemory semantics).
+  explicit Arena(std::size_t initial_capacity, bool fixed = false);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+
+  /// Allocates `size` bytes aligned to `align`; returns nullptr when the
+  /// arena is fixed and exhausted.
+  void* allocate(std::size_t size, std::size_t align) noexcept;
+
+  /// Rewinds all bump pointers; previously returned pointers become invalid.
+  void reset() noexcept;
+
+  /// Bytes handed out since construction or the last reset().
+  std::size_t consumed() const noexcept { return consumed_; }
+  /// Total bytes owned across all chunks.
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Remaining bytes in the current chunk (fixed arenas: total remaining).
+  std::size_t remaining() const noexcept;
+  /// Largest `consumed()` value ever observed (footprint reporting).
+  std::size_t high_water_mark() const noexcept { return high_water_; }
+  bool fixed() const noexcept { return fixed_; }
+
+  /// True when `p` points into one of the arena's chunks. Used by the RTSJ
+  /// layer to answer "which memory area owns this object?".
+  bool contains(const void* p) const noexcept;
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  bool grow(std::size_t at_least);
+
+  std::vector<Chunk> chunks_;
+  std::size_t consumed_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t high_water_ = 0;
+  bool fixed_;
+};
+
+}  // namespace rtcf::util

@@ -1,0 +1,32 @@
+// Lightweight contract-checking macros used across the framework.
+//
+// RTCF_ASSERT is an internal invariant check (never fires on well-formed
+// usage); RTCF_REQUIRE throws std::invalid_argument and is used to validate
+// caller-supplied values on public API boundaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace rtcf {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "rtcf: invariant violated: %s (%s:%d)\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace rtcf
+
+#define RTCF_ASSERT(expr)                               \
+  do {                                                  \
+    if (!(expr)) ::rtcf::assert_fail(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#define RTCF_REQUIRE(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) throw std::invalid_argument(std::string("rtcf: ") + (msg)); \
+  } while (0)

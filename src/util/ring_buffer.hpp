@@ -1,0 +1,114 @@
+// Bounded ring buffers used by the asynchronous communication layer.
+//
+// Two flavours are provided:
+//   * RingBuffer<T>      — single-threaded bounded FIFO (used inside the
+//                          run-to-completion executor where handlers never
+//                          race);
+//   * SpscRingBuffer<T>  — wait-free single-producer/single-consumer ring
+//                          for wall-clock executions across OS threads.
+//
+// Capacities are fixed at construction: RTSJ-style systems preallocate all
+// communication state up front (the paper's `BindDesc bufferSize` attribute).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rtcf::util {
+
+/// Single-threaded bounded FIFO with preallocated storage.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : slots_(capacity) {
+    RTCF_REQUIRE(capacity > 0, "ring buffer capacity must be positive");
+  }
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  bool full() const noexcept { return size_ == slots_.size(); }
+
+  /// Returns false (and drops nothing) when the buffer is full.
+  bool push(T value) {
+    if (full()) return false;
+    slots_[tail_] = std::move(value);
+    tail_ = next(tail_);
+    ++size_;
+    return true;
+  }
+
+  std::optional<T> pop() {
+    if (empty()) return std::nullopt;
+    T out = std::move(slots_[head_]);
+    head_ = next(head_);
+    --size_;
+    return out;
+  }
+
+  /// Discards all queued elements.
+  void clear() noexcept {
+    head_ = tail_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::size_t next(std::size_t i) const noexcept {
+    return (i + 1 == slots_.size()) ? 0 : i + 1;
+  }
+
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Wait-free bounded SPSC queue (one slot sacrificed to distinguish
+/// full from empty).
+template <typename T>
+class SpscRingBuffer {
+ public:
+  explicit SpscRingBuffer(std::size_t capacity) : slots_(capacity + 1) {
+    RTCF_REQUIRE(capacity > 0, "ring buffer capacity must be positive");
+  }
+
+  std::size_t capacity() const noexcept { return slots_.size() - 1; }
+
+  bool push(T value) {
+    const auto tail = tail_.load(std::memory_order_relaxed);
+    const auto next_tail = next(tail);
+    if (next_tail == head_.load(std::memory_order_acquire)) return false;
+    slots_[tail] = std::move(value);
+    tail_.store(next_tail, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> pop() {
+    const auto head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return std::nullopt;
+    T out = std::move(slots_[head]);
+    head_.store(next(head), std::memory_order_release);
+    return out;
+  }
+
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::size_t next(std::size_t i) const noexcept {
+    return (i + 1 == slots_.size()) ? 0 : i + 1;
+  }
+
+  std::vector<T> slots_;
+  std::atomic<std::size_t> head_{0};
+  std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace rtcf::util

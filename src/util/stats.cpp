@@ -1,0 +1,133 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace rtcf::util {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+const std::vector<double>& SampleSet::sorted() const {
+  if (sorted_.size() != samples_.size()) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+  return sorted_;
+}
+
+double SampleSet::percentile(double p) const {
+  RTCF_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  const auto& s = sorted();
+  RTCF_REQUIRE(!s.empty(), "percentile of empty sample set");
+  if (s.size() == 1) return s.front();
+  const double rank = (p / 100.0) * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= s.size()) return s.back();
+  return s[lo] + frac * (s[lo + 1] - s[lo]);
+}
+
+double SampleSet::min() const {
+  RTCF_REQUIRE(!samples_.empty(), "min of empty sample set");
+  return sorted().front();
+}
+
+double SampleSet::max() const {
+  RTCF_REQUIRE(!samples_.empty(), "max of empty sample set");
+  return sorted().back();
+}
+
+double SampleSet::mean() const {
+  RTCF_REQUIRE(!samples_.empty(), "mean of empty sample set");
+  double sum = 0.0;
+  for (double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::jitter() const {
+  const double med = median();
+  double sum = 0.0;
+  for (double x : samples_) sum += std::abs(x - med);
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::worst_case_deviation() const {
+  const double med = median();
+  double worst = 0.0;
+  for (double x : samples_) worst = std::max(worst, std::abs(x - med));
+  return worst;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  RTCF_REQUIRE(hi > lo, "histogram range must be non-empty");
+  RTCF_REQUIRE(buckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[idx];
+}
+
+double Histogram::bucket_low(std::size_t i) const {
+  RTCF_REQUIRE(i < counts_.size(), "bucket index out of range");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+std::string Histogram::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    os << bucket_low(i) << "," << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+std::string Histogram::to_ascii(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar =
+        static_cast<std::size_t>(counts_[i] * width / peak);
+    os.width(12);
+    os << bucket_low(i) << " |";
+    for (std::size_t b = 0; b < bar; ++b) os << '#';
+    os << " " << counts_[i] << "\n";
+  }
+  if (underflow_ != 0) os << "  (underflow: " << underflow_ << ")\n";
+  if (overflow_ != 0) os << "  (overflow: " << overflow_ << ")\n";
+  return os.str();
+}
+
+}  // namespace rtcf::util

@@ -1,0 +1,97 @@
+// Statistics helpers used by the benchmark harnesses and the scheduler
+// simulator: online mean/variance, exact percentile sets, fixed-bucket
+// histograms, and the jitter definition used throughout EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rtcf::util {
+
+/// Welford online accumulator for mean and variance.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  /// Number of samples accumulated so far.
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects raw samples and answers percentile / dispersion queries.
+///
+/// The evaluation section of the paper reports a median and an "average
+/// jitter" per variant (Fig. 7b). We define jitter as the mean absolute
+/// deviation from the median, which matches the paper's "average jitter"
+/// reading and is robust to one-sided tails.
+class SampleSet {
+ public:
+  SampleSet() = default;
+  explicit SampleSet(std::size_t reserve) { samples_.reserve(reserve); }
+
+  void add(double x) { samples_.push_back(x); }
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+  /// Interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Mean absolute deviation from the median (our Fig. 7b jitter).
+  double jitter() const;
+  /// Maximum observed deviation from the median.
+  double worst_case_deviation() const;
+
+ private:
+  // Sorted lazily; mutable cache invalidated by add().
+  mutable std::vector<double> sorted_;
+  std::vector<double> samples_;
+  const std::vector<double>& sorted() const;
+};
+
+/// Fixed-width-bucket histogram over [lo, hi); used to print the Fig. 7a
+/// execution-time distribution as an ASCII/CSV series.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  double bucket_low(std::size_t i) const;
+  double bucket_width() const noexcept { return width_; }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Renders one "bucket_low,count" line per bucket.
+  std::string to_csv() const;
+  /// Renders a column chart with `width` characters for the modal bucket.
+  std::string to_ascii(std::size_t width = 60) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace rtcf::util

@@ -1,0 +1,33 @@
+// Plain-text table rendering for the benchmark harnesses, so every bench
+// binary can print the same rows the paper's figures/tables report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rtcf::util {
+
+/// Accumulates rows of strings and renders an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Aligned, pipe-separated rendering with a header underline.
+  std::string to_string() const;
+  /// Comma-separated rendering (header row first).
+  std::string to_csv() const;
+
+  /// Formats a double with `digits` fractional digits.
+  static std::string num(double value, int digits = 3);
+  /// Formats a byte count as "N bytes (X.Y KB)".
+  static std::string bytes(std::size_t n);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rtcf::util

@@ -1,0 +1,80 @@
+#include "validate/area_relation.hpp"
+
+namespace rtcf::validate {
+
+using model::AreaType;
+using model::Architecture;
+using model::MemoryAreaComponent;
+
+const char* to_string(AreaRelation r) noexcept {
+  switch (r) {
+    case AreaRelation::Same:
+      return "same";
+    case AreaRelation::ServerOuter:
+      return "server-outer";
+    case AreaRelation::ServerInner:
+      return "server-inner";
+    case AreaRelation::Disjoint:
+      return "disjoint";
+  }
+  return "?";
+}
+
+const MemoryAreaComponent* design_parent_scope(
+    const Architecture& arch, const MemoryAreaComponent& area) {
+  const MemoryAreaComponent* enclosing = arch.memory_area_of(area);
+  while (enclosing != nullptr && enclosing->type() != AreaType::Scoped) {
+    enclosing = arch.memory_area_of(*enclosing);
+  }
+  return enclosing;
+}
+
+namespace {
+
+/// True when `outer` appears on the design-time parent chain of `inner`
+/// (inclusive).
+bool scope_descends_from(const Architecture& arch,
+                         const MemoryAreaComponent* inner,
+                         const MemoryAreaComponent* outer) {
+  for (const MemoryAreaComponent* s = inner; s != nullptr;
+       s = design_parent_scope(arch, *s)) {
+    if (s == outer) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+AreaRelation relate_areas(const Architecture& arch,
+                          const MemoryAreaComponent* client_area,
+                          const MemoryAreaComponent* server_area) {
+  const AreaType client_type =
+      client_area ? client_area->type() : AreaType::Heap;
+  const AreaType server_type =
+      server_area ? server_area->type() : AreaType::Heap;
+
+  // Primordial areas compare by type: all heap is one heap, all immortal
+  // is one immortal.
+  if (client_type != AreaType::Scoped && server_type != AreaType::Scoped) {
+    return client_type == server_type ? AreaRelation::Same
+                                      : AreaRelation::ServerOuter;
+  }
+  if (server_type != AreaType::Scoped) {
+    // Scoped client, primordial server: the server outlives the client.
+    return AreaRelation::ServerOuter;
+  }
+  if (client_type != AreaType::Scoped) {
+    // Primordial client, scoped server: the client must enter the scope.
+    return AreaRelation::ServerInner;
+  }
+  if (client_area == server_area) return AreaRelation::Same;
+  if (scope_descends_from(arch, client_area, server_area)) {
+    return AreaRelation::ServerOuter;  // Server is an ancestor scope.
+  }
+  if (scope_descends_from(arch, server_area, client_area)) {
+    return AreaRelation::ServerInner;  // Server is nested below the client.
+  }
+  return AreaRelation::Disjoint;
+}
+
+}  // namespace rtcf::validate

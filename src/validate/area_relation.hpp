@@ -1,0 +1,41 @@
+// Architecture-level memory-area relationships.
+//
+// The validator and the Soleil planner both need to know how the memory
+// areas of a binding's two endpoints relate: same area, target longer-lived
+// (outer), target shorter-lived (inner scope), or unrelated sibling scopes.
+// Heap and immortal are primordial: everything may reference them (heap
+// subject to the NHRT barrier); they are "outer" to every scope.
+#pragma once
+
+#include "model/metamodel.hpp"
+
+namespace rtcf::validate {
+
+/// Relationship from a *client* component's area to a *server* component's
+/// area, deciding which communication patterns are applicable.
+enum class AreaRelation {
+  Same,          ///< Identical area (or both primordial of the same type).
+  ServerOuter,   ///< Server lives at least as long as the client: direct
+                 ///< references are legal (heap still NHRT-barriered).
+  ServerInner,   ///< Server is in a scope nested below the client: the
+                 ///< client must enter the scope (scope-enter/portal).
+  Disjoint,      ///< Sibling scopes / unrelated: data must be copied or
+                 ///< handed off through a common ancestor.
+};
+
+const char* to_string(AreaRelation r) noexcept;
+
+/// Innermost *scoped* MemoryArea enclosing `area` in the architecture's
+/// containment DAG (its design-time parent scope), or nullptr when the
+/// area's parent is primordial.
+const model::MemoryAreaComponent* design_parent_scope(
+    const model::Architecture& arch, const model::MemoryAreaComponent& area);
+
+/// Computes the relation between the areas of two components. Components
+/// with no memory assignment are treated as heap-allocated (the validator
+/// flags them separately).
+AreaRelation relate_areas(const model::Architecture& arch,
+                          const model::MemoryAreaComponent* client_area,
+                          const model::MemoryAreaComponent* server_area);
+
+}  // namespace rtcf::validate

@@ -1,0 +1,56 @@
+#include "validate/report.hpp"
+
+#include <sstream>
+
+namespace rtcf::validate {
+
+const char* to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::Info:
+      return "info";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << validate::to_string(severity) << " [" << rule << "] " << subject
+     << ": " << message;
+  return os.str();
+}
+
+void Report::add(Severity severity, std::string rule, std::string subject,
+                 std::string message) {
+  if (severity == Severity::Error) ++error_count_;
+  if (severity == Severity::Warning) ++warning_count_;
+  diagnostics_.push_back(Diagnostic{severity, std::move(rule),
+                                    std::move(subject), std::move(message)});
+}
+
+std::vector<Diagnostic> Report::by_rule(const std::string& rule) const {
+  std::vector<Diagnostic> out;
+  for (const auto& d : diagnostics_) {
+    if (d.rule == rule) out.push_back(d);
+  }
+  return out;
+}
+
+bool Report::has_rule(const std::string& rule) const {
+  for (const auto& d : diagnostics_) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+std::string Report::to_string() const {
+  std::ostringstream os;
+  for (const auto& d : diagnostics_) os << d.to_string() << "\n";
+  os << error_count_ << " error(s), " << warning_count_ << " warning(s)";
+  return os.str();
+}
+
+}  // namespace rtcf::validate

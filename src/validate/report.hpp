@@ -1,0 +1,52 @@
+// Validation diagnostics: the "immediate feedback" of the Fig. 3 design
+// flow. Violations are data, not exceptions — the designer inspects the
+// report, fixes the architecture, and re-validates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rtcf::validate {
+
+enum class Severity { Info, Warning, Error };
+
+const char* to_string(Severity s) noexcept;
+
+/// One finding. `rule` is a stable identifier (e.g. "RT-DOMAIN-UNIQUE")
+/// suitable for tests and suppression lists; `subject` names the component
+/// or binding concerned.
+struct Diagnostic {
+  Severity severity{};
+  std::string rule;
+  std::string subject;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Ordered collection of diagnostics for one validation run.
+class Report {
+ public:
+  void add(Severity severity, std::string rule, std::string subject,
+           std::string message);
+
+  bool ok() const noexcept { return error_count_ == 0; }
+  std::size_t error_count() const noexcept { return error_count_; }
+  std::size_t warning_count() const noexcept { return warning_count_; }
+  const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diagnostics_;
+  }
+
+  /// All diagnostics carrying `rule`.
+  std::vector<Diagnostic> by_rule(const std::string& rule) const;
+  bool has_rule(const std::string& rule) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t error_count_ = 0;
+  std::size_t warning_count_ = 0;
+};
+
+}  // namespace rtcf::validate

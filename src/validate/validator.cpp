@@ -1,0 +1,350 @@
+#include "validate/validator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "rtsj/threads/params.hpp"
+#include "validate/area_relation.hpp"
+#include "validate/pattern_catalog.hpp"
+
+namespace rtcf::validate {
+
+using model::ActivationKind;
+using model::ActiveComponent;
+using model::Architecture;
+using model::AreaType;
+using model::Binding;
+using model::Component;
+using model::ComponentKind;
+using model::DomainType;
+using model::InterfaceDecl;
+using model::InterfaceRole;
+using model::MemoryAreaComponent;
+using model::PassiveComponent;
+using model::Protocol;
+using model::ThreadDomain;
+
+namespace {
+
+std::string binding_label(const Binding& b) {
+  return b.client.component + "." + b.client.interface + " -> " +
+         b.server.component + "." + b.server.interface;
+}
+
+/// True when any component reachable downward from `root` satisfies `pred`.
+template <typename Pred>
+bool any_in_subtree(const Component& root, Pred pred) {
+  if (pred(root)) return true;
+  for (const Component* sub : root.subs()) {
+    if (any_in_subtree(*sub, pred)) return true;
+  }
+  return false;
+}
+
+void check_active_components(const Architecture& arch, Report& report) {
+  for (const auto* active : arch.all_of<ActiveComponent>()) {
+    const auto domains = arch.thread_domains_of(*active);
+    if (domains.empty()) {
+      report.add(Severity::Error, "AC-DOMAIN-UNIQUE", active->name(),
+                 "active component is not deployed in any ThreadDomain");
+    } else if (domains.size() > 1) {
+      std::ostringstream os;
+      os << "active component is deployed in " << domains.size()
+         << " ThreadDomains (";
+      for (std::size_t i = 0; i < domains.size(); ++i) {
+        if (i) os << ", ";
+        os << domains[i]->name();
+      }
+      os << "); exactly one is required";
+      report.add(Severity::Error, "AC-DOMAIN-UNIQUE", active->name(),
+                 os.str());
+    }
+    if (active->activation() == ActivationKind::Periodic &&
+        active->period() <= rtsj::RelativeTime::zero()) {
+      report.add(Severity::Error, "AC-PERIOD-POSITIVE", active->name(),
+                 "periodic active component needs a positive period");
+    }
+    if (active->activation() == ActivationKind::Sporadic) {
+      const bool triggered = std::any_of(
+          arch.bindings().begin(), arch.bindings().end(),
+          [&](const Binding& b) {
+            return b.server.component == active->name() &&
+                   b.desc.protocol == Protocol::Asynchronous;
+          });
+      if (!triggered) {
+        report.add(Severity::Warning, "AC-SPORADIC-TRIGGER", active->name(),
+                   "sporadic active component has no incoming asynchronous "
+                   "binding to trigger its releases");
+      }
+    }
+    if (active->content_class().empty()) {
+      report.add(Severity::Warning, "AC-CONTENT-CLASS", active->name(),
+                 "no content class named; the generator cannot attach "
+                 "functional logic");
+    }
+  }
+}
+
+void check_thread_domains(const Architecture& arch, Report& report) {
+  for (const auto* domain : arch.all_of<ThreadDomain>()) {
+    // ThreadDomains must not nest, in either direction.
+    for (const Component* sub : domain->subs()) {
+      if (sub->kind() == ComponentKind::ThreadDomain) {
+        report.add(Severity::Error, "TD-NO-NESTING", domain->name(),
+                   "ThreadDomain contains ThreadDomain '" + sub->name() +
+                       "'; domains must not nest");
+      } else if (sub->kind() != ComponentKind::Active) {
+        report.add(Severity::Error, "TD-ACTIVE-ONLY", domain->name(),
+                   "ThreadDomain contains non-active component '" +
+                       sub->name() +
+                       "'; domains group active components only");
+      }
+    }
+    // Priority bands per thread type.
+    const bool rt = domain->type() != DomainType::Regular;
+    const int lo = rt ? rtsj::kMinRtPriority : rtsj::kMinRegularPriority;
+    const int hi = rt ? rtsj::kMaxRtPriority : rtsj::kMaxRegularPriority;
+    if (domain->priority() < lo || domain->priority() > hi) {
+      std::ostringstream os;
+      os << model::to_string(domain->type()) << " domain priority "
+         << domain->priority() << " outside band [" << lo << ", " << hi
+         << "]";
+      report.add(Severity::Error, "TD-PRIORITY-RANGE", domain->name(),
+                 os.str());
+    }
+    // NHRT domains must not encapsulate heap areas (§3.1) nor be placed in
+    // heap memory.
+    if (domain->type() == DomainType::NoHeapRealtime) {
+      const bool heap_below = any_in_subtree(
+          *domain, [&](const Component& c) {
+            const auto* area = dynamic_cast<const MemoryAreaComponent*>(&c);
+            return area != nullptr && area->type() == AreaType::Heap;
+          });
+      if (heap_below) {
+        report.add(Severity::Error, "TD-NHRT-NO-HEAP", domain->name(),
+                   "NHRT ThreadDomain encapsulates a heap MemoryArea");
+      }
+      for (const Component* sub : domain->subs()) {
+        const auto* area = arch.memory_area_of(*sub);
+        if (area != nullptr && area->type() == AreaType::Heap) {
+          report.add(Severity::Error, "TD-NHRT-NO-HEAP", domain->name(),
+                     "component '" + sub->name() +
+                         "' runs on an NHRT but is allocated in heap "
+                         "MemoryArea '" +
+                         area->name() + "'");
+        }
+      }
+    }
+  }
+}
+
+void check_non_functional_interfaces(const Architecture& arch,
+                                     Report& report) {
+  for (const auto& owned : arch.components()) {
+    if (owned->is_functional()) continue;
+    if (!owned->interfaces().empty()) {
+      report.add(Severity::Error, "NF-NO-INTERFACES", owned->name(),
+                 "non-functional composites are exclusively composite and "
+                 "declare no functional interfaces");
+    }
+  }
+}
+
+void check_memory_areas(const Architecture& arch, Report& report) {
+  for (const auto* area : arch.all_of<MemoryAreaComponent>()) {
+    if (area->type() == AreaType::Scoped) {
+      if (area->size_bytes() == 0) {
+        report.add(Severity::Error, "MA-SCOPED-SIZE", area->name(),
+                   "scoped MemoryArea must declare a positive size");
+      }
+      const auto enclosing = arch.memory_areas_of(*area);
+      if (enclosing.size() > 1) {
+        std::ostringstream os;
+        os << "scoped MemoryArea nested in " << enclosing.size()
+           << " areas; the single parent rule requires at most one";
+        report.add(Severity::Error, "MA-SCOPED-SINGLE-PARENT", area->name(),
+                   os.str());
+      }
+    }
+  }
+  for (const auto& owned : arch.components()) {
+    if (!owned->is_functional()) continue;
+    if (arch.memory_area_of(*owned) == nullptr) {
+      report.add(Severity::Warning, "MA-DEPLOYED", owned->name(),
+                 "functional component has no memory assignment; defaulting "
+                 "to heap");
+    }
+  }
+}
+
+struct ResolvedBinding {
+  const Component* client = nullptr;
+  const Component* server = nullptr;
+  const InterfaceDecl* client_if = nullptr;
+  const InterfaceDecl* server_if = nullptr;
+};
+
+ResolvedBinding resolve(const Architecture& arch, const Binding& b,
+                        Report& report) {
+  ResolvedBinding r;
+  r.client = arch.find(b.client.component);
+  r.server = arch.find(b.server.component);
+  const std::string label = binding_label(b);
+  if (r.client == nullptr) {
+    report.add(Severity::Error, "BIND-ENDPOINTS", label,
+               "client component '" + b.client.component + "' not found");
+  }
+  if (r.server == nullptr) {
+    report.add(Severity::Error, "BIND-ENDPOINTS", label,
+               "server component '" + b.server.component + "' not found");
+  }
+  if (r.client != nullptr) {
+    r.client_if = r.client->find_interface(b.client.interface);
+    if (r.client_if == nullptr) {
+      report.add(Severity::Error, "BIND-ENDPOINTS", label,
+                 "client interface '" + b.client.interface +
+                     "' not declared on '" + b.client.component + "'");
+    } else if (r.client_if->role != InterfaceRole::Client) {
+      report.add(Severity::Error, "BIND-ENDPOINTS", label,
+                 "interface '" + b.client.interface +
+                     "' is not a client interface");
+    }
+  }
+  if (r.server != nullptr) {
+    r.server_if = r.server->find_interface(b.server.interface);
+    if (r.server_if == nullptr) {
+      report.add(Severity::Error, "BIND-ENDPOINTS", label,
+                 "server interface '" + b.server.interface +
+                     "' not declared on '" + b.server.component + "'");
+    } else if (r.server_if->role != InterfaceRole::Server) {
+      report.add(Severity::Error, "BIND-ENDPOINTS", label,
+                 "interface '" + b.server.interface +
+                     "' is not a server interface");
+    }
+  }
+  if (r.client_if != nullptr && r.server_if != nullptr &&
+      r.client_if->signature != r.server_if->signature) {
+    report.add(Severity::Error, "BIND-ENDPOINTS", label,
+               "signature mismatch: client requires '" +
+                   r.client_if->signature + "', server provides '" +
+                   r.server_if->signature + "'");
+  }
+  return r;
+}
+
+void check_bindings(const Architecture& arch, Report& report) {
+  for (const Binding& b : arch.bindings()) {
+    const std::string label = binding_label(b);
+    const ResolvedBinding r = resolve(arch, b, report);
+    if (r.client == nullptr || r.server == nullptr) continue;
+
+    if (b.desc.protocol == Protocol::Asynchronous && b.desc.buffer_size == 0) {
+      report.add(Severity::Error, "BIND-ASYNC-BUFFER", label,
+                 "asynchronous binding needs a positive bufferSize");
+    }
+
+    const auto* client_area = arch.memory_area_of(*r.client);
+    const auto* server_area = arch.memory_area_of(*r.server);
+    const AreaRelation relation =
+        relate_areas(arch, client_area, server_area);
+
+    // Does any NHRT execute the client side?
+    bool client_no_heap = false;
+    for (const auto* domain : executing_domains(arch, *r.client)) {
+      if (domain->type() == DomainType::NoHeapRealtime) client_no_heap = true;
+    }
+    const bool server_in_heap =
+        server_area == nullptr || server_area->type() == AreaType::Heap;
+
+    if (client_no_heap && server_in_heap &&
+        b.desc.protocol == Protocol::Synchronous) {
+      report.add(Severity::Error, "BIND-NHRT-HEAP-SYNC", label,
+                 "synchronous call from an NHRT client into heap-allocated "
+                 "server state would raise MemoryAccessError; use an "
+                 "asynchronous binding staged outside the heap");
+    }
+
+    PatternQuery query;
+    query.relation = relation;
+    query.protocol = b.desc.protocol;
+    query.client_no_heap = client_no_heap;
+    query.server_in_heap = server_in_heap;
+    query.common_scope_ancestor = false;
+    if (client_area != nullptr && server_area != nullptr &&
+        relation == AreaRelation::Disjoint) {
+      // A shared outer scope enables the shared-scope pattern.
+      const auto* a = design_parent_scope(arch, *client_area);
+      const auto* bscope = design_parent_scope(arch, *server_area);
+      query.common_scope_ancestor = (a != nullptr && a == bscope);
+    }
+
+    if (!b.desc.pattern.empty()) {
+      if (!is_known_pattern(b.desc.pattern)) {
+        report.add(Severity::Error, "BIND-PATTERN-KNOWN", label,
+                   "unknown communication pattern '" + b.desc.pattern + "'");
+      } else if (!pattern_applicable(b.desc.pattern, relation,
+                                     b.desc.protocol)) {
+        report.add(Severity::Error, "BIND-PATTERN-KNOWN", label,
+                   "pattern '" + b.desc.pattern +
+                       "' is not applicable to a " +
+                       std::string(to_string(relation)) + " " +
+                       model::to_string(b.desc.protocol) + " binding");
+      }
+    } else if (relation != AreaRelation::Same) {
+      const std::string suggested = suggest_pattern(query);
+      if (!suggested.empty()) {
+        report.add(Severity::Info, "BIND-PATTERN-SUGGEST", label,
+                   "crosses memory areas (" +
+                       std::string(to_string(relation)) +
+                       "); the framework will apply pattern '" + suggested +
+                       "'");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<const ThreadDomain*> executing_domains(
+    const Architecture& arch, const Component& component) {
+  // Fixpoint: active components execute in their own domain; passive
+  // components execute in the domains of their synchronous callers.
+  std::map<const Component*, std::set<const ThreadDomain*>> domains;
+  for (const auto& owned : arch.components()) {
+    if (owned->kind() == ComponentKind::Active) {
+      for (auto* d : arch.thread_domains_of(*owned)) {
+        domains[owned.get()].insert(d);
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Binding& b : arch.bindings()) {
+      if (b.desc.protocol != Protocol::Synchronous) continue;
+      const Component* client = arch.find(b.client.component);
+      const Component* server = arch.find(b.server.component);
+      if (client == nullptr || server == nullptr) continue;
+      if (server->kind() != ComponentKind::Passive) continue;
+      for (const auto* d : domains[client]) {
+        if (domains[server].insert(d).second) changed = true;
+      }
+    }
+  }
+  const auto& set = domains[&component];
+  return {set.begin(), set.end()};
+}
+
+Report validate(const Architecture& arch) {
+  Report report;
+  check_active_components(arch, report);
+  check_thread_domains(arch, report);
+  check_non_functional_interfaces(arch, report);
+  check_memory_areas(arch, report);
+  check_bindings(arch, report);
+  return report;
+}
+
+}  // namespace rtcf::validate

@@ -1,0 +1,48 @@
+// RTSJ conformance validation of component architectures (§3.1–3.2).
+//
+// "The compliance with RTSJ is enforced during the design process. This
+// provides an immediate feedback and the designer can appropriately modify
+// an architecture whenever it violates RTSJ."
+//
+// Rule identifiers (stable, used by tests and tools):
+//   AC-DOMAIN-UNIQUE       active component in exactly one ThreadDomain
+//   AC-PERIOD-POSITIVE     periodic activation needs a positive period
+//   AC-SPORADIC-TRIGGER    sporadic component should have an incoming
+//                          asynchronous binding (its release trigger)
+//   AC-CONTENT-CLASS       functional component should name a content class
+//   TD-NO-NESTING          ThreadDomains must not nest
+//   TD-ACTIVE-ONLY         ThreadDomains contain only active components
+//   TD-PRIORITY-RANGE      domain priority must match its thread type band
+//   TD-NHRT-NO-HEAP        an NHRT domain must not encapsulate heap memory
+//                          nor execute components allocated on the heap
+//   NF-NO-INTERFACES       non-functional composites declare no functional
+//                          interfaces
+//   MA-SCOPED-SINGLE-PARENT design-time single parent rule for scoped areas
+//   MA-SCOPED-SIZE         scoped/immortal areas declare a positive size
+//   MA-DEPLOYED            functional components should have a memory
+//                          assignment (default heap otherwise)
+//   BIND-ENDPOINTS         binding endpoints resolve with matching
+//                          roles/signatures
+//   BIND-ASYNC-BUFFER      asynchronous bindings declare a buffer size
+//   BIND-NHRT-HEAP-SYNC    no synchronous call from an NHRT into heap state
+//   BIND-PATTERN-KNOWN     explicit pattern must exist and be applicable
+//   BIND-PATTERN-SUGGEST   cross-area binding without a pattern: the
+//                          framework proposes one (info)
+#pragma once
+
+#include "model/metamodel.hpp"
+#include "validate/report.hpp"
+
+namespace rtcf::validate {
+
+/// Runs every rule against `arch` and returns the full report.
+Report validate(const model::Architecture& arch);
+
+/// The set of ThreadDomains whose threads can execute `component`: an
+/// active component executes in its own domain; a passive component
+/// executes in the domains of every client that calls it synchronously
+/// (computed as a fixpoint across bindings). Exposed for the planner.
+std::vector<const model::ThreadDomain*> executing_domains(
+    const model::Architecture& arch, const model::Component& component);
+
+}  // namespace rtcf::validate

@@ -1,0 +1,164 @@
+// The ADL loader/serializer against the Fig. 4 dialect.
+#include <gtest/gtest.h>
+
+#include "adl/loader.hpp"
+#include "scenario/production_scenario.hpp"
+#include "validate/validator.hpp"
+
+namespace rtcf::adl {
+namespace {
+
+using model::ActivationKind;
+using model::ActiveComponent;
+using model::AreaType;
+using model::DomainType;
+using model::InterfaceRole;
+using model::MemoryAreaComponent;
+using model::PassiveComponent;
+using model::Protocol;
+using model::ThreadDomain;
+
+TEST(AdlUnitsTest, ParsesDurations) {
+  EXPECT_EQ(parse_duration("10ms"), rtsj::RelativeTime::milliseconds(10));
+  EXPECT_EQ(parse_duration("250us"), rtsj::RelativeTime::microseconds(250));
+  EXPECT_EQ(parse_duration("1s"), rtsj::RelativeTime::seconds(1));
+  EXPECT_EQ(parse_duration("500"), rtsj::RelativeTime::nanoseconds(500));
+  EXPECT_EQ(parse_duration("7ns"), rtsj::RelativeTime::nanoseconds(7));
+  EXPECT_THROW(parse_duration("10min"), AdlError);
+  EXPECT_THROW(parse_duration("ms"), AdlError);
+}
+
+TEST(AdlUnitsTest, ParsesSizes) {
+  EXPECT_EQ(parse_size("600KB"), 600u * 1024u);
+  EXPECT_EQ(parse_size("28KB"), 28u * 1024u);
+  EXPECT_EQ(parse_size("2MB"), 2u * 1024u * 1024u);
+  EXPECT_EQ(parse_size("512"), 512u);
+  EXPECT_EQ(parse_size("10"), 10u);
+  EXPECT_THROW(parse_size("1GB"), AdlError);
+  EXPECT_THROW(parse_size("-5KB"), AdlError);
+}
+
+TEST(AdlUnitsTest, FormatRoundTrips) {
+  for (const char* text : {"10ms", "250us", "1s", "500ns"}) {
+    EXPECT_EQ(format_duration(parse_duration(text)), text);
+  }
+  for (const char* text : {"600KB", "2MB", "513"}) {
+    EXPECT_EQ(format_size(parse_size(text)), text);
+  }
+}
+
+TEST(AdlLoaderTest, LoadsTheFig4Architecture) {
+  const auto arch = load_architecture(scenario::production_adl());
+
+  const auto* pl = arch.find_as<ActiveComponent>("ProductionLine");
+  ASSERT_NE(pl, nullptr);
+  EXPECT_EQ(pl->activation(), ActivationKind::Periodic);
+  EXPECT_EQ(pl->period(), rtsj::RelativeTime::milliseconds(10));
+  EXPECT_EQ(pl->content_class(), "ProductionLineImpl");
+  ASSERT_EQ(pl->interfaces().size(), 1u);
+  EXPECT_EQ(pl->interfaces()[0].role, InterfaceRole::Client);
+  EXPECT_EQ(pl->interfaces()[0].signature, "IMonitor");
+
+  const auto* console = arch.find_as<PassiveComponent>("Console");
+  ASSERT_NE(console, nullptr);
+
+  const auto* s1 = arch.find_as<MemoryAreaComponent>("S1");
+  ASSERT_NE(s1, nullptr);
+  EXPECT_EQ(s1->type(), AreaType::Scoped);
+  EXPECT_EQ(s1->size_bytes(), 28u * 1024u);
+  EXPECT_EQ(s1->area_name(), "cscope");
+
+  const auto* nhrt1 = arch.find_as<ThreadDomain>("NHRT1");
+  ASSERT_NE(nhrt1, nullptr);
+  EXPECT_EQ(nhrt1->type(), DomainType::NoHeapRealtime);
+  EXPECT_EQ(nhrt1->priority(), 30);
+
+  ASSERT_EQ(arch.bindings().size(), 3u);
+  const auto& async = arch.bindings()[0];
+  EXPECT_EQ(async.desc.protocol, Protocol::Asynchronous);
+  EXPECT_EQ(async.desc.buffer_size, 10u);
+
+  // Containment: ProductionLine sits inside NHRT1 inside Imm1.
+  EXPECT_EQ(arch.thread_domain_of(*pl), nhrt1);
+  const auto* imm1 = arch.find_as<MemoryAreaComponent>("Imm1");
+  EXPECT_EQ(arch.memory_area_of(*pl), imm1);
+}
+
+TEST(AdlLoaderTest, LoadedArchitectureValidatesCleanly) {
+  const auto arch = load_architecture(scenario::production_adl());
+  const auto report = validate::validate(arch);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(AdlLoaderTest, RoundTripPreservesStructure) {
+  const auto arch = load_architecture(scenario::production_adl());
+  const std::string serialized = save_architecture(arch);
+  const auto again = load_architecture(serialized);
+  EXPECT_EQ(again.components().size(), arch.components().size());
+  EXPECT_EQ(again.bindings().size(), arch.bindings().size());
+  // Second round trip must be byte-stable.
+  EXPECT_EQ(save_architecture(again), serialized);
+}
+
+TEST(AdlLoaderTest, EquivalentToProgrammaticConstruction) {
+  const auto from_adl = load_architecture(scenario::production_adl());
+  const auto programmatic = scenario::make_production_architecture();
+  EXPECT_EQ(from_adl.components().size(), programmatic.components().size());
+  EXPECT_EQ(from_adl.bindings().size(), programmatic.bindings().size());
+  for (const auto& owned : programmatic.components()) {
+    EXPECT_NE(from_adl.find(owned->name()), nullptr)
+        << "missing component " << owned->name();
+  }
+}
+
+TEST(AdlLoaderTest, RejectsMalformedContent) {
+  EXPECT_THROW(load_architecture("<NotArchitecture/>"), AdlError);
+  EXPECT_THROW(load_architecture("<Architecture><Banana/></Architecture>"),
+               AdlError);
+  // Binding without endpoints.
+  EXPECT_THROW(
+      load_architecture("<Architecture><Binding/></Architecture>"),
+      AdlError);
+  // Reference to an undeclared component.
+  EXPECT_THROW(load_architecture(R"(<Architecture>
+        <MemoryArea name="M">
+          <ActiveComp name="ghost"/>
+          <AreaDesc type="immortal"/>
+        </MemoryArea>
+      </Architecture>)"),
+               AdlError);
+  // ThreadDomain without descriptor.
+  EXPECT_THROW(load_architecture(R"(<Architecture>
+        <ThreadDomain name="T"/>
+      </Architecture>)"),
+               AdlError);
+  // Unknown enum values.
+  EXPECT_THROW(load_architecture(R"(<Architecture>
+        <ActiveComponent name="A" type="continuous"/>
+      </Architecture>)"),
+               AdlError);
+}
+
+TEST(AdlLoaderTest, NestedScopesLoadAsNestedAreas) {
+  const auto arch = load_architecture(R"(<Architecture>
+      <PassiveComponent name="P">
+        <interface name="s" role="server" signature="I"/>
+      </PassiveComponent>
+      <MemoryArea name="Outer">
+        <MemoryArea name="Inner">
+          <PassiveComp name="P"/>
+          <AreaDesc type="scope" size="4KB"/>
+        </MemoryArea>
+        <AreaDesc type="scope" size="16KB"/>
+      </MemoryArea>
+    </Architecture>)");
+  const auto* outer = arch.find_as<MemoryAreaComponent>("Outer");
+  const auto* inner = arch.find_as<MemoryAreaComponent>("Inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(arch.memory_area_of(*inner), outer);
+  EXPECT_EQ(arch.memory_area_of(*arch.find("P")), inner);
+}
+
+}  // namespace
+}  // namespace rtcf::adl

@@ -1,0 +1,170 @@
+// End-to-end equivalence of the four evaluation variants (§5.1): the
+// hand-written OO baseline and the three generation modes must perform
+// byte-for-byte identical functional work on the motivation scenario.
+#include <gtest/gtest.h>
+
+#include "baseline/oo_production_line.hpp"
+#include "scenario/production_scenario.hpp"
+#include "soleil/application.hpp"
+#include "validate/validator.hpp"
+
+namespace rtcf {
+namespace {
+
+using scenario::ScenarioCounters;
+using soleil::Application;
+using soleil::Mode;
+
+class ApplicationModesTest : public ::testing::TestWithParam<Mode> {};
+
+TEST_P(ApplicationModesTest, ArchitectureValidates) {
+  const auto arch = scenario::make_production_architecture();
+  const auto report = validate::validate(arch);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_P(ApplicationModesTest, RunsOneIteration) {
+  const auto arch = scenario::make_production_architecture();
+  auto app = soleil::build_application(arch, GetParam());
+  app->start();
+  app->iterate("ProductionLine");
+  const auto c = scenario::collect_counters(*app);
+  EXPECT_EQ(c.produced, 1u);
+  EXPECT_EQ(c.processed, 1u);
+  EXPECT_EQ(c.audit_records, 1u);
+  app->stop();
+}
+
+TEST_P(ApplicationModesTest, MatchesOoBaselineOverManyIterations) {
+  constexpr int kIterations = 1000;
+  const auto arch = scenario::make_production_architecture();
+  auto app = soleil::build_application(arch, GetParam());
+  app->start();
+  baseline::OoApplication oo;
+  for (int i = 0; i < kIterations; ++i) {
+    app->iterate("ProductionLine");
+    oo.iterate();
+  }
+  const auto framework = scenario::collect_counters(*app);
+  const auto reference = oo.counters();
+  EXPECT_EQ(framework, reference);
+  EXPECT_EQ(framework.produced, static_cast<std::uint64_t>(kIterations));
+  EXPECT_EQ(framework.processed, static_cast<std::uint64_t>(kIterations));
+  EXPECT_EQ(framework.audit_records, static_cast<std::uint64_t>(kIterations));
+  EXPECT_GT(framework.anomalies, 0u) << "threshold path must be exercised";
+  EXPECT_EQ(framework.console_reports, framework.anomalies);
+  app->stop();
+}
+
+TEST_P(ApplicationModesTest, StoppedComponentsRejectWork) {
+  const auto arch = scenario::make_production_architecture();
+  auto app = soleil::build_application(arch, GetParam());
+  // Never started: releases must not reach content.
+  if (GetParam() == Mode::UltraMerge) {
+    // ULTRA_MERGE is purely static: no lifecycle gate exists, releases
+    // always execute (the paper: "the resulting infrastructure is therefore
+    // purely static").
+    app->iterate("ProductionLine");
+    EXPECT_EQ(scenario::collect_counters(*app).produced, 1u);
+    return;
+  }
+  app->iterate("ProductionLine");
+  EXPECT_EQ(scenario::collect_counters(*app).produced, 0u);
+  app->start();
+  app->iterate("ProductionLine");
+  EXPECT_EQ(scenario::collect_counters(*app).produced, 1u);
+}
+
+TEST_P(ApplicationModesTest, ThreadsCarryDomainConfiguration) {
+  const auto arch = scenario::make_production_architecture();
+  auto app = soleil::build_application(arch, GetParam());
+  auto* pl = app->thread_of("ProductionLine");
+  ASSERT_NE(pl, nullptr);
+  EXPECT_EQ(pl->kind(), rtsj::ThreadKind::NoHeapRealtime);
+  EXPECT_EQ(pl->priority(), 30);
+  EXPECT_EQ(pl->profile().kind, rtsj::ReleaseKind::Periodic);
+  EXPECT_EQ(pl->profile().period, rtsj::RelativeTime::milliseconds(10));
+
+  auto* ms = app->thread_of("MonitoringSystem");
+  ASSERT_NE(ms, nullptr);
+  EXPECT_EQ(ms->kind(), rtsj::ThreadKind::NoHeapRealtime);
+  EXPECT_EQ(ms->priority(), 25);
+
+  auto* audit = app->thread_of("AuditLog");
+  ASSERT_NE(audit, nullptr);
+  EXPECT_EQ(audit->kind(), rtsj::ThreadKind::Regular);
+
+  EXPECT_EQ(app->thread_of("Console"), nullptr) << "passive: no thread";
+}
+
+TEST_P(ApplicationModesTest, ContentsLiveInTheirDeclaredAreas) {
+  const auto arch = scenario::make_production_architecture();
+  auto app = soleil::build_application(arch, GetParam());
+  auto& imm = rtsj::ImmortalMemory::instance();
+  EXPECT_TRUE(imm.contains(app->content("ProductionLine")));
+  EXPECT_TRUE(imm.contains(app->content("MonitoringSystem")));
+  EXPECT_TRUE(rtsj::HeapMemory::instance().contains(app->content("AuditLog")));
+  // Console lives inside the 28 KB scope.
+  const auto scopes = app->environment().scopes();
+  ASSERT_EQ(scopes.size(), 1u);
+  EXPECT_EQ(scopes[0]->name(), "cscope");
+  EXPECT_TRUE(scopes[0]->contains(app->content("Console")));
+}
+
+TEST_P(ApplicationModesTest, IntrospectionMatchesModeContract) {
+  const auto arch = scenario::make_production_architecture();
+  auto app = soleil::build_application(arch, GetParam());
+  switch (GetParam()) {
+    case Mode::Soleil:
+      EXPECT_TRUE(app->supports_membrane_introspection());
+      EXPECT_TRUE(app->supports_reconfiguration());
+      EXPECT_NE(app->find_membrane("MonitoringSystem"), nullptr);
+      EXPECT_NE(app->find_membrane("NHRT2"), nullptr)
+          << "non-functional components are reified in SOLEIL mode";
+      break;
+    case Mode::MergeAll:
+      EXPECT_FALSE(app->supports_membrane_introspection());
+      EXPECT_TRUE(app->supports_reconfiguration());
+      EXPECT_EQ(app->find_membrane("MonitoringSystem"), nullptr);
+      break;
+    case Mode::UltraMerge:
+      EXPECT_FALSE(app->supports_membrane_introspection());
+      EXPECT_FALSE(app->supports_reconfiguration());
+      EXPECT_EQ(app->find_membrane("MonitoringSystem"), nullptr);
+      break;
+  }
+}
+
+TEST_P(ApplicationModesTest, BufferOverflowShedsLoadWithoutCorruption) {
+  const auto arch = scenario::make_production_architecture();
+  auto app = soleil::build_application(arch, GetParam());
+  app->start();
+  // Release the producer 25 times without pumping: the 10-slot buffer must
+  // absorb 10 and drop the rest.
+  for (int i = 0; i < 25; ++i) app->release("ProductionLine");
+  app->pump();
+  const auto c = scenario::collect_counters(*app);
+  EXPECT_EQ(c.produced, 25u);
+  EXPECT_EQ(c.processed, 10u);
+  EXPECT_EQ(c.audit_records, 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ApplicationModesTest,
+                         ::testing::Values(Mode::Soleil, Mode::MergeAll,
+                                           Mode::UltraMerge),
+                         [](const auto& info) {
+                           return std::string(soleil::to_string(info.param));
+                         });
+
+TEST(FootprintOrderingTest, ModesShrinkMonotonically) {
+  const auto arch = scenario::make_production_architecture();
+  auto full = soleil::build_application(arch, Mode::Soleil);
+  auto merged = soleil::build_application(arch, Mode::MergeAll);
+  auto ultra = soleil::build_application(arch, Mode::UltraMerge);
+  // Fig. 7c shape: SOLEIL largest, ULTRA_MERGE smallest.
+  EXPECT_GT(full->infrastructure_bytes(), merged->infrastructure_bytes());
+  EXPECT_GT(merged->infrastructure_bytes(), ultra->infrastructure_bytes());
+}
+
+}  // namespace
+}  // namespace rtcf

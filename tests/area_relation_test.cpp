@@ -1,0 +1,96 @@
+// Architecture-level memory-area relationship analysis.
+#include <gtest/gtest.h>
+
+#include "validate/area_relation.hpp"
+#include "validate/report.hpp"
+
+namespace rtcf::validate {
+namespace {
+
+using namespace rtcf::model;
+
+class AreaRelationTest : public ::testing::Test {
+ protected:
+  AreaRelationTest() {
+    imm_ = &arch_.add_memory_area("Imm", AreaType::Immortal, 0);
+    heap_ = &arch_.add_memory_area("Heap", AreaType::Heap, 0);
+    outer_ = &arch_.add_memory_area("Outer", AreaType::Scoped, 4096);
+    inner_ = &arch_.add_memory_area("Inner", AreaType::Scoped, 1024);
+    sibling_ = &arch_.add_memory_area("Sibling", AreaType::Scoped, 1024);
+    arch_.add_child(*outer_, *inner_);
+    arch_.add_child(*outer_, *sibling_);
+  }
+
+  Architecture arch_;
+  MemoryAreaComponent* imm_ = nullptr;
+  MemoryAreaComponent* heap_ = nullptr;
+  MemoryAreaComponent* outer_ = nullptr;
+  MemoryAreaComponent* inner_ = nullptr;
+  MemoryAreaComponent* sibling_ = nullptr;
+};
+
+TEST_F(AreaRelationTest, PrimordialPairs) {
+  EXPECT_EQ(relate_areas(arch_, imm_, imm_), AreaRelation::Same);
+  EXPECT_EQ(relate_areas(arch_, heap_, heap_), AreaRelation::Same);
+  // Distinct primordial types: the server simply outlives everything.
+  EXPECT_EQ(relate_areas(arch_, heap_, imm_), AreaRelation::ServerOuter);
+  EXPECT_EQ(relate_areas(arch_, imm_, heap_), AreaRelation::ServerOuter);
+  // nullptr client/server = undeployed = heap.
+  EXPECT_EQ(relate_areas(arch_, nullptr, nullptr), AreaRelation::Same);
+  EXPECT_EQ(relate_areas(arch_, nullptr, imm_), AreaRelation::ServerOuter);
+}
+
+TEST_F(AreaRelationTest, ScopedVsPrimordial) {
+  EXPECT_EQ(relate_areas(arch_, inner_, imm_), AreaRelation::ServerOuter);
+  EXPECT_EQ(relate_areas(arch_, inner_, heap_), AreaRelation::ServerOuter);
+  EXPECT_EQ(relate_areas(arch_, imm_, inner_), AreaRelation::ServerInner);
+  EXPECT_EQ(relate_areas(arch_, nullptr, inner_), AreaRelation::ServerInner);
+}
+
+TEST_F(AreaRelationTest, ScopedHierarchy) {
+  EXPECT_EQ(relate_areas(arch_, inner_, inner_), AreaRelation::Same);
+  EXPECT_EQ(relate_areas(arch_, inner_, outer_), AreaRelation::ServerOuter);
+  EXPECT_EQ(relate_areas(arch_, outer_, inner_), AreaRelation::ServerInner);
+  EXPECT_EQ(relate_areas(arch_, inner_, sibling_), AreaRelation::Disjoint);
+  EXPECT_EQ(relate_areas(arch_, sibling_, inner_), AreaRelation::Disjoint);
+}
+
+TEST_F(AreaRelationTest, DesignParentScopeSkipsPrimordialWrappers) {
+  // A scope nested inside an immortal area inside a scope: the design
+  // parent is the outer *scope*, not the immortal wrapper.
+  auto& wrapper = arch_.add_memory_area("Wrapper", AreaType::Immortal, 0);
+  auto& deep = arch_.add_memory_area("Deep", AreaType::Scoped, 512);
+  arch_.add_child(*outer_, wrapper);
+  arch_.add_child(wrapper, deep);
+  EXPECT_EQ(design_parent_scope(arch_, deep), outer_);
+  EXPECT_EQ(design_parent_scope(arch_, *outer_), nullptr);
+  EXPECT_EQ(relate_areas(arch_, &deep, outer_), AreaRelation::ServerOuter);
+}
+
+TEST(ReportTest, CountsAndLookup) {
+  Report report;
+  EXPECT_TRUE(report.ok());
+  report.add(Severity::Info, "R1", "x", "info message");
+  report.add(Severity::Warning, "R2", "y", "warning message");
+  report.add(Severity::Error, "R3", "z", "error message");
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.error_count(), 1u);
+  EXPECT_EQ(report.warning_count(), 1u);
+  EXPECT_TRUE(report.has_rule("R2"));
+  EXPECT_FALSE(report.has_rule("R9"));
+  ASSERT_EQ(report.by_rule("R3").size(), 1u);
+  EXPECT_EQ(report.by_rule("R3")[0].subject, "z");
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("error [R3] z: error message"), std::string::npos);
+  EXPECT_NE(text.find("1 error(s), 1 warning(s)"), std::string::npos);
+}
+
+TEST(AreaRelationToStringTest, Coverage) {
+  EXPECT_STREQ(to_string(AreaRelation::Same), "same");
+  EXPECT_STREQ(to_string(AreaRelation::ServerOuter), "server-outer");
+  EXPECT_STREQ(to_string(AreaRelation::ServerInner), "server-inner");
+  EXPECT_STREQ(to_string(AreaRelation::Disjoint), "disjoint");
+}
+
+}  // namespace
+}  // namespace rtcf::validate

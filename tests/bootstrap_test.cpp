@@ -1,0 +1,118 @@
+// The bootstrap API behind generated code: executing the Fig. 4 bootstrap
+// sequence exactly as the CodeEmitter emits it (§3.3 initialization
+// procedures), plus the ordering contract.
+#include <gtest/gtest.h>
+
+#include "scenario/production_scenario.hpp"
+#include "soleil/bootstrap_api.hpp"
+#include "soleil/code_emitter.hpp"
+
+namespace rtcf::soleil {
+namespace {
+
+/// Replays the statements that gen/Bootstrap.cpp (MERGE_ALL flavour)
+/// contains for the Fig. 4 architecture — the same calls, hand-transcribed.
+void replay_generated_bootstrap(BootstrapContext& bootstrap) {
+  bootstrap.use_immortal("Imm1");
+  bootstrap.create_scope("cscope", 28 * 1024);
+  bootstrap.use_heap("H1");
+  bootstrap.create_domain("NHRT1", "NHRT", 30);
+  bootstrap.create_domain("NHRT2", "NHRT", 25);
+  bootstrap.create_domain("reg1", "Regular", 5);
+  bootstrap.create_thread("ProductionLine", "NHRT1");
+  bootstrap.create_thread("MonitoringSystem", "NHRT2");
+  bootstrap.create_thread("AuditLog", "reg1");
+  bootstrap.create_content("ProductionLine", "ProductionLineImpl", "Imm1");
+  bootstrap.create_content("MonitoringSystem", "MonitoringSystemImpl",
+                           "Imm1");
+  bootstrap.create_content("Console", "ConsoleImpl", "S1");
+  bootstrap.create_content("AuditLog", "AuditLogImpl", "H1");
+}
+
+TEST(BootstrapTest, ReplaysTheGeneratedSequence) {
+  const auto arch = scenario::make_production_architecture();
+  BootstrapContext bootstrap(arch);
+  replay_generated_bootstrap(bootstrap);
+
+  // Wiring phase: buffers and patterns as the membranes request them.
+  auto& monitor_buffer = bootstrap.make_buffer("MonitoringSystem", 10);
+  EXPECT_EQ(&monitor_buffer.area(), &rtsj::ImmortalMemory::instance());
+  auto& audit_buffer = bootstrap.make_buffer("AuditLog", 10);
+  EXPECT_EQ(&audit_buffer.area(), &rtsj::ImmortalMemory::instance())
+      << "heap consumers get immortal buffers (NHRT-safe default)";
+  auto pattern = bootstrap.make_pattern("scope-enter", "Console");
+  EXPECT_EQ(pattern.op(), membrane::PatternOp::ScopeEnter);
+
+  bootstrap.start_all();
+  EXPECT_TRUE(bootstrap.started());
+
+  // The bootstrapped pieces are live: contents exist in the right areas,
+  // the sync entry reaches the console.
+  EXPECT_TRUE(rtsj::ImmortalMemory::instance().contains(
+      bootstrap.content("ProductionLine")));
+  comm::Message alarm;
+  alarm.type_id = scenario::kAlarmType;
+  alarm.store(scenario::Alarm{0.99, 1});
+  const auto ack = pattern.call(*bootstrap.server_entry("Console"), alarm);
+  EXPECT_EQ(ack.type_id, scenario::kAckType);
+
+  // The audit trail of operations is complete and ordered.
+  const auto& log = bootstrap.log();
+  ASSERT_GE(log.size(), 12u);
+  EXPECT_EQ(log.front(), "use_immortal Imm1");
+  EXPECT_EQ(log.back(), "start_all");
+}
+
+TEST(BootstrapTest, OrderingContractIsEnforced) {
+  const auto arch = scenario::make_production_architecture();
+  {
+    BootstrapContext bootstrap(arch);
+    bootstrap.create_domain("NHRT1", "NHRT", 30);
+    // Areas after domains: out of order.
+    EXPECT_THROW(bootstrap.use_immortal("Imm1"), BootstrapError);
+  }
+  {
+    BootstrapContext bootstrap(arch);
+    // Threads before their domain is declared.
+    EXPECT_THROW(bootstrap.create_thread("ProductionLine", "NHRT1"),
+                 BootstrapError);
+  }
+  {
+    BootstrapContext bootstrap(arch);
+    // Wiring before contents exist.
+    EXPECT_THROW((void)bootstrap.server_entry("Console"), BootstrapError);
+    EXPECT_THROW((void)bootstrap.content("Console"), BootstrapError);
+  }
+}
+
+TEST(BootstrapTest, RejectsArchitectureMismatches) {
+  const auto arch = scenario::make_production_architecture();
+  BootstrapContext bootstrap(arch);
+  EXPECT_THROW(bootstrap.use_immortal("NoSuchArea"), BootstrapError);
+  EXPECT_THROW(bootstrap.create_scope("ghost-scope", 1024), BootstrapError);
+  EXPECT_THROW(bootstrap.create_domain("NHRT1", "NHRT", 99),
+               BootstrapError)
+      << "descriptor drift between generated code and architecture";
+  EXPECT_THROW(bootstrap.create_domain("NHRT1", "Regular", 30),
+               BootstrapError);
+}
+
+TEST(BootstrapTest, EmittedBootstrapNamesOnlyValidOperations) {
+  // Cross-check: every bootstrap.<op> call the emitter writes is part of
+  // the BootstrapContext API exercised above.
+  const auto arch = scenario::make_production_architecture();
+  const auto code = emit_infrastructure(arch, Mode::MergeAll);
+  const auto* bootstrap_file = code.find("gen/Bootstrap.cpp");
+  ASSERT_NE(bootstrap_file, nullptr);
+  const std::string& text = bootstrap_file->contents;
+  for (const char* op :
+       {"bootstrap.use_immortal", "bootstrap.create_scope",
+        "bootstrap.use_heap", "bootstrap.create_domain",
+        "bootstrap.create_thread", "bootstrap.create_content",
+        "bootstrap.start_all"}) {
+    EXPECT_NE(text.find(op), std::string::npos) << op;
+  }
+}
+
+}  // namespace
+}  // namespace rtcf::soleil

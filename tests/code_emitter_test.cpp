@@ -1,0 +1,116 @@
+// The Soleil source emitter (§4.3): structure and determinism of the
+// generated infrastructure per mode.
+#include <gtest/gtest.h>
+
+#include "scenario/production_scenario.hpp"
+#include "soleil/code_emitter.hpp"
+
+namespace rtcf::soleil {
+namespace {
+
+class CodeEmitterTest : public ::testing::Test {
+ protected:
+  const model::Architecture arch_ = scenario::make_production_architecture();
+};
+
+TEST_F(CodeEmitterTest, SoleilEmitsOneFilePerComponentPlusBootstrap) {
+  const auto code = emit_infrastructure(arch_, Mode::Soleil);
+  // 4 functional membranes + 6 non-functional runtimes + bootstrap.
+  EXPECT_EQ(code.files.size(), 11u);
+  EXPECT_NE(code.find("gen/ProductionLineMembrane.hpp"), nullptr);
+  EXPECT_NE(code.find("gen/ConsoleMembrane.hpp"), nullptr);
+  EXPECT_NE(code.find("gen/NHRT1Runtime.hpp"), nullptr);
+  EXPECT_NE(code.find("gen/Imm1Runtime.hpp"), nullptr);
+  EXPECT_NE(code.find("gen/Bootstrap.cpp"), nullptr);
+}
+
+TEST_F(CodeEmitterTest, MergeAllEmitsFunctionalClassesOnly) {
+  const auto code = emit_infrastructure(arch_, Mode::MergeAll);
+  // One merged class per *functional* component + bootstrap.
+  EXPECT_EQ(code.files.size(), 5u);
+  EXPECT_NE(code.find("gen/MonitoringSystemMerged.hpp"), nullptr);
+  EXPECT_EQ(code.find("gen/NHRT1Runtime.hpp"), nullptr)
+      << "membrane structure is not preserved in MERGE_ALL";
+}
+
+TEST_F(CodeEmitterTest, UltraMergeEmitsExactlyOneFile) {
+  const auto code = emit_infrastructure(arch_, Mode::UltraMerge);
+  ASSERT_EQ(code.files.size(), 1u);
+  EXPECT_EQ(code.files[0].path, "gen/StaticApplication.cpp");
+  // The whole system is in the one class, including every component and
+  // buffer.
+  const std::string& text = code.files[0].contents;
+  for (const char* name :
+       {"ProductionLine", "MonitoringSystem", "Console", "AuditLog"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(text.find("no reconfiguration"), std::string::npos);
+}
+
+TEST_F(CodeEmitterTest, CompactnessOrderingMatchesThePaper) {
+  const auto full = emit_infrastructure(arch_, Mode::Soleil);
+  const auto merged = emit_infrastructure(arch_, Mode::MergeAll);
+  const auto ultra = emit_infrastructure(arch_, Mode::UltraMerge);
+  EXPECT_GT(full.total_lines(), merged.total_lines());
+  EXPECT_GT(merged.total_lines(), ultra.total_lines());
+  EXPECT_GT(full.total_bytes(), ultra.total_bytes());
+}
+
+TEST_F(CodeEmitterTest, EmissionIsDeterministic) {
+  for (const Mode mode : {Mode::Soleil, Mode::MergeAll, Mode::UltraMerge}) {
+    const auto a = emit_infrastructure(arch_, mode);
+    const auto b = emit_infrastructure(arch_, mode);
+    ASSERT_EQ(a.files.size(), b.files.size());
+    for (std::size_t i = 0; i < a.files.size(); ++i) {
+      EXPECT_EQ(a.files[i].path, b.files[i].path);
+      EXPECT_EQ(a.files[i].contents, b.files[i].contents);
+    }
+  }
+}
+
+TEST_F(CodeEmitterTest, GeneratedCodeIsMarkedAndReferencesContentClasses) {
+  for (const Mode mode : {Mode::Soleil, Mode::MergeAll, Mode::UltraMerge}) {
+    const auto code = emit_infrastructure(arch_, mode);
+    for (const auto& file : code.files) {
+      EXPECT_EQ(file.contents.rfind("// GENERATED CODE", 0), 0u)
+          << file.path << " must carry the generated-code banner";
+    }
+  }
+  // §5.2: hand-written content classes referenced, never duplicated — the
+  // generated code names the class but contains no business logic.
+  const auto code = emit_infrastructure(arch_, Mode::MergeAll);
+  const auto* ms = code.find("gen/MonitoringSystemMerged.hpp");
+  ASSERT_NE(ms, nullptr);
+  EXPECT_NE(ms->contents.find("MonitoringSystemImpl"), std::string::npos);
+  EXPECT_EQ(ms->contents.find("kAnomalyThreshold"), std::string::npos);
+}
+
+TEST_F(CodeEmitterTest, BindingsCarryResolvedPatterns) {
+  const auto code = emit_infrastructure(arch_, Mode::Soleil);
+  const auto* ms = code.find("gen/MonitoringSystemMembrane.hpp");
+  ASSERT_NE(ms, nullptr);
+  EXPECT_NE(ms->contents.find("pattern=scope-enter"), std::string::npos);
+  EXPECT_NE(ms->contents.find("pattern=immortal-forward"),
+            std::string::npos);
+}
+
+TEST_F(CodeEmitterTest, BootstrapFollowsInitializationOrder) {
+  const auto code = emit_infrastructure(arch_, Mode::Soleil);
+  const auto* bootstrap = code.find("gen/Bootstrap.cpp");
+  ASSERT_NE(bootstrap, nullptr);
+  const std::string& text = bootstrap->contents;
+  // Areas before domains before threads before contents before membranes.
+  const auto scope_pos = text.find("create_scope(\"cscope\"");
+  const auto domain_pos = text.find("create_domain(\"NHRT1\"");
+  const auto thread_pos = text.find("create_thread(\"ProductionLine\"");
+  const auto content_pos = text.find("create_content(\"ProductionLine\"");
+  const auto membrane_pos = text.find("install_membrane");
+  ASSERT_NE(scope_pos, std::string::npos);
+  EXPECT_LT(scope_pos, domain_pos);
+  EXPECT_LT(domain_pos, thread_pos);
+  EXPECT_LT(thread_pos, content_pos);
+  EXPECT_LT(content_pos, membrane_pos);
+}
+
+}  // namespace
+}  // namespace rtcf::soleil

@@ -1,0 +1,147 @@
+// Full-flow integration: ADL text -> validation -> generation (each mode)
+// -> wall-clock execution -> introspection, i.e. the complete Fig. 3 +
+// Fig. 5 pipeline in one test, plus cross-cutting consistency checks.
+#include <gtest/gtest.h>
+
+#include "adl/loader.hpp"
+#include "runtime/launcher.hpp"
+#include "scenario/production_scenario.hpp"
+#include "sim/architecture_sim.hpp"
+#include "soleil/application.hpp"
+#include "soleil/code_emitter.hpp"
+#include "validate/validator.hpp"
+
+namespace rtcf {
+namespace {
+
+using soleil::Mode;
+
+TEST(IntegrationTest, AdlToExecutionAcrossAllModes) {
+  // 1. Parse the paper's Fig. 4 description.
+  auto arch = adl::load_architecture(scenario::production_adl());
+  // 2. Validate (design-time feedback loop).
+  const auto report = validate::validate(arch);
+  ASSERT_TRUE(report.ok()) << report.to_string();
+  // 3. Generate + execute in every mode; 4. compare counters.
+  scenario::ScenarioCounters reference;
+  bool first = true;
+  for (const Mode mode : {Mode::Soleil, Mode::MergeAll, Mode::UltraMerge}) {
+    auto app = soleil::build_application(arch, mode);
+    app->start();
+    for (int i = 0; i < 500; ++i) app->iterate("ProductionLine");
+    const auto counters = scenario::collect_counters(*app);
+    if (first) {
+      reference = counters;
+      first = false;
+      EXPECT_EQ(counters.produced, 500u);
+      EXPECT_GT(counters.anomalies, 0u);
+    } else {
+      EXPECT_EQ(counters, reference) << soleil::to_string(mode);
+    }
+    app->stop();
+  }
+}
+
+TEST(IntegrationTest, WallClockLaunchOfAdlArchitecture) {
+  auto arch = adl::load_architecture(scenario::production_adl());
+  auto app = soleil::build_application(arch, Mode::Soleil);
+  app->start();
+  runtime::Launcher launcher(*app);
+  runtime::Launcher::Options options;
+  options.duration = rtsj::RelativeTime::milliseconds(60);
+  launcher.run(options);
+  const auto& stats = launcher.stats("ProductionLine");
+  EXPECT_GE(stats.releases, 3u);
+  EXPECT_EQ(scenario::collect_counters(*app).processed, stats.releases);
+  app->stop();
+}
+
+TEST(IntegrationTest, SimAndRuntimeAgreeOnPipelineFanout) {
+  // The discrete-event mapping and the runtime assembly must express the
+  // same pipeline: one PL release -> one MS release -> one audit record.
+  const auto arch = scenario::make_production_architecture();
+
+  sim::PreemptiveScheduler sched;
+  const auto mapping = sim::map_architecture(arch, sched);
+  sched.run_until(rtsj::AbsoluteTime::epoch() +
+                  rtsj::RelativeTime::milliseconds(500));
+  const auto pl = sched.stats(mapping.task("ProductionLine")).releases_completed;
+  const auto ms =
+      sched.stats(mapping.task("MonitoringSystem")).releases_completed;
+  const auto audit = sched.stats(mapping.task("AuditLog")).releases_completed;
+  EXPECT_EQ(pl, ms);
+  EXPECT_EQ(ms, audit);
+
+  auto app = soleil::build_application(arch, Mode::MergeAll);
+  app->start();
+  for (std::uint64_t i = 0; i < pl; ++i) app->iterate("ProductionLine");
+  const auto counters = scenario::collect_counters(*app);
+  EXPECT_EQ(counters.produced, pl);
+  EXPECT_EQ(counters.processed, ms);
+  EXPECT_EQ(counters.audit_records, audit);
+}
+
+TEST(IntegrationTest, EmittedCodeAgreesWithRuntimePlan) {
+  // The source emitter and the runtime assembly resolve patterns through
+  // the same shared function; spot-check they agree on the Fig. 4 bindings.
+  const auto arch = scenario::make_production_architecture();
+  auto app = soleil::build_application(arch, Mode::Soleil);
+  const auto code = soleil::emit_infrastructure(arch, Mode::Soleil);
+  const auto* ms_membrane = code.find("gen/MonitoringSystemMembrane.hpp");
+  ASSERT_NE(ms_membrane, nullptr);
+  for (const auto& pb : app->plan().bindings) {
+    if (pb.client->name() != "MonitoringSystem") continue;
+    const std::string needle =
+        std::string("pattern=") + membrane::to_string(pb.op);
+    EXPECT_NE(ms_membrane->contents.find(needle), std::string::npos)
+        << "emitted code must name the planned pattern " << needle;
+  }
+}
+
+TEST(IntegrationTest, ThreadReleaseCountsMatchActivations) {
+  const auto arch = scenario::make_production_architecture();
+  auto app = soleil::build_application(arch, Mode::Soleil);
+  app->start();
+  constexpr int kIterations = 100;
+  for (int i = 0; i < kIterations; ++i) app->iterate("ProductionLine");
+  // Every component's logical thread saw exactly one release per
+  // transaction (run-to-completion, no lost or duplicated activations).
+  EXPECT_EQ(app->thread_of("ProductionLine")->release_count(),
+            static_cast<std::uint64_t>(kIterations));
+  EXPECT_EQ(app->thread_of("MonitoringSystem")->release_count(),
+            static_cast<std::uint64_t>(kIterations));
+  EXPECT_EQ(app->thread_of("AuditLog")->release_count(),
+            static_cast<std::uint64_t>(kIterations));
+  // Buffer accounting: both async buffers moved one message per iteration.
+  for (const auto& buffer : app->buffers()) {
+    EXPECT_EQ(buffer->enqueued_total(),
+              static_cast<std::uint64_t>(kIterations));
+    EXPECT_EQ(buffer->dropped_total(), 0u);
+    EXPECT_TRUE(buffer->empty());
+  }
+  app->stop();
+}
+
+TEST(IntegrationTest, ScopeConsumptionIsSteadyAcrossIterations) {
+  // RTSJ discipline: steady-state operation must not grow any region
+  // (no per-iteration allocation in immortal or the console scope).
+  const auto arch = scenario::make_production_architecture();
+  auto app = soleil::build_application(arch, Mode::Soleil);
+  app->start();
+  app->iterate("ProductionLine");
+  const auto immortal_after_first =
+      rtsj::ImmortalMemory::instance().memory_consumed();
+  const auto scope_after_first =
+      app->environment().scopes()[0]->memory_consumed();
+  for (int i = 0; i < 1000; ++i) app->iterate("ProductionLine");
+  EXPECT_EQ(rtsj::ImmortalMemory::instance().memory_consumed(),
+            immortal_after_first)
+      << "immortal memory must not grow at steady state";
+  EXPECT_EQ(app->environment().scopes()[0]->memory_consumed(),
+            scope_after_first)
+      << "the console scope must not grow at steady state";
+  app->stop();
+}
+
+}  // namespace
+}  // namespace rtcf

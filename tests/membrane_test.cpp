@@ -1,0 +1,176 @@
+// Membrane architecture (Fig. 6): controllers, interceptors, introspection.
+#include <gtest/gtest.h>
+
+#include "membrane/membrane.hpp"
+#include "scenario/production_scenario.hpp"
+#include "soleil/application.hpp"
+
+namespace rtcf::membrane {
+namespace {
+
+class RecordingContent final : public comm::Content {
+ public:
+  void on_start() override { ++starts; }
+  void on_stop() override { ++stops; }
+  void on_release() override { ++releases; }
+  void on_message(const comm::Message&) override { ++messages; }
+  comm::Message on_invoke(const comm::Message& m) override {
+    ++invokes;
+    comm::Message out = m;
+    out.type_id = 7;
+    return out;
+  }
+  int starts = 0, stops = 0, releases = 0, messages = 0, invokes = 0;
+};
+
+TEST(LifecycleControllerTest, DrivesContentHooksIdempotently) {
+  RecordingContent content;
+  LifecycleController lifecycle(&content);
+  EXPECT_FALSE(lifecycle.started());
+  lifecycle.start();
+  lifecycle.start();  // idempotent
+  EXPECT_TRUE(lifecycle.started());
+  EXPECT_EQ(content.starts, 1);
+  lifecycle.stop();
+  lifecycle.stop();
+  EXPECT_EQ(content.stops, 1);
+  EXPECT_FALSE(lifecycle.started());
+}
+
+TEST(BindingControllerTest, ListsAndRebindsPorts) {
+  RecordingContent content;
+  content.add_port("a");
+  content.add_port("b");
+  BindingController binding(&content);
+  EXPECT_EQ(binding.port_names(), (std::vector<std::string>{"a", "b"}));
+
+  RecordingContent target;
+  LifecycleController target_lc(&target);
+  target_lc.start();
+  SyncSkeleton skeleton(&target_lc, &target);
+  binding.rebind_invocable("a", &skeleton);
+  EXPECT_TRUE(content.port("a").bound());
+  comm::Message m;
+  EXPECT_EQ(content.port("a").call(m).type_id, 7u);
+
+  binding.rebind_invocable("a", nullptr);
+  EXPECT_FALSE(content.port("a").bound());
+  EXPECT_THROW(binding.rebind_invocable("zzz", &skeleton),
+               std::invalid_argument);
+}
+
+TEST(ActiveInterceptorTest, GatesOnLifecycle) {
+  RecordingContent content;
+  LifecycleController lifecycle(&content);
+  ActiveInterceptor interceptor(&lifecycle, &content);
+  comm::Message m;
+  interceptor.deliver(m);
+  interceptor.release();
+  EXPECT_EQ(content.messages, 0);
+  EXPECT_EQ(content.releases, 0);
+  EXPECT_EQ(interceptor.rejected_count(), 2u);
+  lifecycle.start();
+  interceptor.deliver(m);
+  interceptor.release();
+  const comm::Message resp = interceptor.invoke(m);
+  EXPECT_EQ(content.messages, 1);
+  EXPECT_EQ(content.releases, 1);
+  EXPECT_EQ(resp.type_id, 7u);
+  EXPECT_EQ(interceptor.delivered_count(), 3u);
+}
+
+TEST(SyncSkeletonTest, StoppedComponentsAnswerEmpty) {
+  RecordingContent content;
+  LifecycleController lifecycle(&content);
+  SyncSkeleton skeleton(&lifecycle, &content);
+  comm::Message m;
+  m.type_id = 1;
+  EXPECT_EQ(skeleton.invoke(m).type_id, 0u);
+  EXPECT_EQ(skeleton.rejected_count(), 1u);
+  lifecycle.start();
+  EXPECT_EQ(skeleton.invoke(m).type_id, 7u);
+  EXPECT_EQ(skeleton.invoked_count(), 1u);
+}
+
+TEST(InterceptorChainTest, ForwardsThroughAllHops) {
+  RecordingContent content;
+  LifecycleController lifecycle(&content);
+  lifecycle.start();
+
+  comm::MessageBuffer buffer(rtsj::ImmortalMemory::instance(), 4);
+  AsyncSkeleton skeleton(&buffer, nullptr, nullptr);
+  MemoryInterceptor memory(
+      PatternRuntime::make(PatternOp::ImmortalForward, nullptr, nullptr));
+  memory.set_next(&skeleton, nullptr);
+  InterfaceEntry entry(&lifecycle);
+  entry.set_next(&memory, nullptr);
+
+  comm::Message m;
+  double payload = 1.5;
+  m.store(payload);
+  entry.deliver(m);
+  EXPECT_EQ(buffer.size(), 1u);
+  EXPECT_EQ(entry.traversal_count(), 1u);
+  EXPECT_EQ(memory.traversal_count(), 1u);
+  EXPECT_EQ(skeleton.traversal_count(), 1u);
+  EXPECT_EQ(buffer.pop()->load<double>(), 1.5);
+
+  // Stopping the lifecycle gates the whole chain at the entry.
+  lifecycle.stop();
+  entry.deliver(m);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(MembraneTest, ReifiesControllersAndInterceptors) {
+  RecordingContent content;
+  Membrane membrane("X", &content);
+  membrane.add_interceptor<ActiveInterceptor>(&membrane.lifecycle(),
+                                              &content);
+  membrane.add_interceptor<InterfaceEntry>(&membrane.lifecycle());
+  EXPECT_EQ(membrane.owner(), "X");
+  EXPECT_EQ(membrane.interceptor_count(), 2u);
+  EXPECT_EQ(membrane.interceptor_kinds(),
+            (std::vector<std::string>{"active-interceptor",
+                                      "interface-entry"}));
+  EXPECT_EQ(membrane.controller_kinds(),
+            (std::vector<std::string>{"lifecycle-controller",
+                                      "binding-controller",
+                                      "content-controller"}));
+  EXPECT_GT(membrane.footprint_bytes(), sizeof(Membrane));
+}
+
+TEST(MembraneTest, SoleilAppExposesFig6Structure) {
+  const auto arch = scenario::make_production_architecture();
+  auto app = soleil::build_application(arch, soleil::Mode::Soleil);
+  // Fig. 6: the MonitoringSystem membrane holds an ActiveInterceptor and
+  // the per-binding chains (async skeleton for iAudit, memory interceptors
+  // for both outgoing bindings, interface entries).
+  auto* membrane = app->find_membrane("MonitoringSystem");
+  ASSERT_NE(membrane, nullptr);
+  const auto kinds = membrane->interceptor_kinds();
+  const auto count = [&](const char* kind) {
+    return std::count(kinds.begin(), kinds.end(), std::string(kind));
+  };
+  EXPECT_EQ(count("active-interceptor"), 1);
+  EXPECT_EQ(count("async-skeleton"), 1);   // iAudit
+  EXPECT_EQ(count("memory-interceptor"), 2);  // iConsole + iAudit
+  EXPECT_EQ(count("interface-entry"), 2);
+
+  // The NHRT2 ThreadDomain is reified with its sub-component listed.
+  auto* domain = app->find_membrane("NHRT2");
+  ASSERT_NE(domain, nullptr);
+  EXPECT_EQ(domain->content_controller().subs(),
+            (std::vector<std::string>{"MonitoringSystem"}));
+}
+
+TEST(ContentControllerTest, TracksSubComponents) {
+  ContentController ctrl;
+  ctrl.add_sub("a");
+  ctrl.add_sub("b");
+  EXPECT_TRUE(ctrl.remove_sub("a"));
+  EXPECT_FALSE(ctrl.remove_sub("a"));
+  EXPECT_EQ(ctrl.subs(), (std::vector<std::string>{"b"}));
+}
+
+}  // namespace
+}  // namespace rtcf::membrane

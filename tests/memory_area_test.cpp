@@ -1,0 +1,194 @@
+// RTSJ memory-area semantics: allocation contexts, scope reference
+// counting, the single parent rule, executeInArea, and portals.
+#include <gtest/gtest.h>
+
+#include "rtsj/memory/area_registry.hpp"
+#include "rtsj/memory/context.hpp"
+#include "rtsj/memory/memory_area.hpp"
+
+namespace rtcf::rtsj {
+namespace {
+
+TEST(MemoryAreaTest, HeapAndImmortalAreSingletons) {
+  EXPECT_EQ(&HeapMemory::instance(), &HeapMemory::instance());
+  EXPECT_EQ(&ImmortalMemory::instance(), &ImmortalMemory::instance());
+  EXPECT_EQ(HeapMemory::instance().kind(), AreaKind::Heap);
+  EXPECT_EQ(ImmortalMemory::instance().kind(), AreaKind::Immortal);
+}
+
+TEST(MemoryAreaTest, ScopedAllocationStaysInsideRegion) {
+  ScopedMemory scope("s", 4096);
+  auto* x = scope.make<int>(42);
+  EXPECT_EQ(*x, 42);
+  EXPECT_TRUE(scope.contains(x));
+  EXPECT_FALSE(HeapMemory::instance().contains(x));
+  EXPECT_GE(scope.memory_consumed(), sizeof(int));
+}
+
+TEST(MemoryAreaTest, ScopedExhaustionThrowsOutOfMemory) {
+  ScopedMemory scope("tiny", 64);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 100; ++i) scope.allocate(32, 8);
+      },
+      OutOfMemoryError);
+}
+
+TEST(MemoryAreaTest, DeclaredSizeIsReported) {
+  ScopedMemory scope("sized", 28 * 1024);
+  EXPECT_EQ(scope.size(), 28u * 1024u);
+  EXPECT_EQ(scope.memory_consumed(), 0u);
+  EXPECT_LE(scope.memory_remaining(), 28u * 1024u);
+}
+
+TEST(MemoryAreaTest, EnterSetsAllocationContext) {
+  ScopedMemory scope("ctx", 4096);
+  MemoryArea* inside = nullptr;
+  scope.enter([&] { inside = &current_area(); });
+  EXPECT_EQ(inside, &scope);
+  // Outside the enter, the default context allocates on the heap.
+  EXPECT_EQ(current_area().kind(), AreaKind::Heap);
+}
+
+TEST(MemoryAreaTest, ScopeReclaimedWhenLastThreadLeaves) {
+  ScopedMemory scope("reclaim", 4096);
+  scope.enter([&] {
+    scope.make<int>(1);
+    EXPECT_EQ(scope.reference_count(), 1);
+    EXPECT_GT(scope.memory_consumed(), 0u);
+  });
+  EXPECT_EQ(scope.reference_count(), 0);
+  EXPECT_EQ(scope.memory_consumed(), 0u) << "region must rewind on exit";
+}
+
+TEST(MemoryAreaTest, FinalizersRunOnReclamation) {
+  static int destructions = 0;
+  struct Probe {
+    ~Probe() { ++destructions; }
+  };
+  destructions = 0;
+  ScopedMemory scope("finalize", 4096);
+  scope.enter([&] {
+    scope.make<Probe>();
+    scope.make<Probe>();
+    EXPECT_EQ(destructions, 0);
+  });
+  EXPECT_EQ(destructions, 2);
+}
+
+TEST(MemoryAreaTest, NestedEnterEstablishesParentChain) {
+  ScopedMemory outer("outer", 4096);
+  ScopedMemory inner("inner", 4096);
+  outer.enter([&] {
+    inner.enter([&] {
+      EXPECT_EQ(inner.parent(), &outer);
+      EXPECT_TRUE(inner.descends_from(&outer));
+      EXPECT_TRUE(inner.descends_from(&inner));
+      EXPECT_FALSE(outer.descends_from(&inner));
+    });
+  });
+  EXPECT_EQ(inner.parent(), nullptr) << "unparented after reclamation";
+}
+
+TEST(MemoryAreaTest, SingleParentRuleRejectsSecondParent) {
+  ScopedMemory a("a", 4096);
+  ScopedMemory b("b", 4096);
+  ScopedMemory child("child", 4096);
+  // Keep `child` parented under `a` while probing from `b`.
+  ThreadContext pinner("pin", ThreadKind::Realtime, 20,
+                       &ImmortalMemory::instance());
+  ScopePin pin_a(a, pinner);
+  ScopePin pin_child(child, pinner);
+  ASSERT_EQ(child.parent(), &a);
+  b.enter([&] {
+    EXPECT_THROW(child.enter([] {}), ScopedCycleException);
+  });
+}
+
+TEST(MemoryAreaTest, ReEnteringInnermostScopeIsACycle) {
+  ScopedMemory scope("cycle", 4096);
+  scope.enter([&] {
+    EXPECT_THROW(scope.enter([] {}), ScopedCycleException);
+  });
+}
+
+TEST(MemoryAreaTest, ScopeCanBeReparentedAfterReclamation) {
+  ScopedMemory a("a2", 4096);
+  ScopedMemory b("b2", 4096);
+  ScopedMemory child("child2", 4096);
+  a.enter([&] { child.enter([&] { EXPECT_EQ(child.parent(), &a); }); });
+  // Reference count hit zero: the next enter may choose a new parent.
+  b.enter([&] { child.enter([&] { EXPECT_EQ(child.parent(), &b); }); });
+}
+
+TEST(MemoryAreaTest, ExecuteInAreaRequiresScopeOnStack) {
+  ScopedMemory scope("exec", 4096);
+  EXPECT_THROW(scope.execute_in_area([] {}), InaccessibleAreaException);
+  scope.enter([&] {
+    // On the stack now: redirecting the allocation context is fine.
+    ImmortalMemory::instance().execute_in_area([&] {
+      EXPECT_EQ(current_area().kind(), AreaKind::Immortal);
+    });
+    scope.execute_in_area(
+        [&] { EXPECT_EQ(&current_area(), &scope); });
+  });
+}
+
+TEST(MemoryAreaTest, PortalMustLiveInsideTheScope) {
+  ScopedMemory scope("portal", 4096);
+  int heap_obj = 0;
+  scope.enter([&] {
+    auto* inside = scope.make<int>(7);
+    scope.set_portal(inside);
+    EXPECT_EQ(scope.portal(), inside);
+    EXPECT_THROW(scope.set_portal(&heap_obj), IllegalAssignmentError);
+  });
+  // Portal cleared on reclamation; access from outside is illegal anyway.
+  EXPECT_THROW((void)scope.portal(), InaccessibleAreaException);
+}
+
+TEST(MemoryAreaTest, ScopePinKeepsRegionAlive) {
+  ScopedMemory scope("pinned", 4096);
+  ThreadContext wedge("wedge", ThreadKind::Realtime, 20,
+                      &ImmortalMemory::instance());
+  {
+    ScopePin pin(scope, wedge);
+    EXPECT_EQ(scope.reference_count(), 1);
+    scope.enter([&] { scope.make<int>(5); });
+    // A normal enter/exit must not reclaim while pinned.
+    EXPECT_GT(scope.memory_consumed(), 0u);
+  }
+  EXPECT_EQ(scope.reference_count(), 0);
+  EXPECT_EQ(scope.memory_consumed(), 0u);
+}
+
+TEST(MemoryAreaTest, AreaRegistryResolvesOwnership) {
+  ScopedMemory scope("registry", 4096);
+  auto* in_scope = scope.make<double>(1.0);
+  auto* in_immortal = ImmortalMemory::instance().make<double>(2.0);
+  int stack_var = 0;
+  EXPECT_EQ(AreaRegistry::instance().area_of(in_scope), &scope);
+  EXPECT_EQ(AreaRegistry::instance().area_of(in_immortal),
+            &ImmortalMemory::instance());
+  EXPECT_EQ(AreaRegistry::instance().area_of(&stack_var), nullptr);
+  EXPECT_EQ(AreaRegistry::instance().area_of(nullptr), nullptr);
+}
+
+TEST(MemoryAreaTest, NhrtCannotAllocateOnHeap) {
+  ThreadContext nhrt("nhrt", ThreadKind::NoHeapRealtime, 30,
+                     &ImmortalMemory::instance());
+  ContextGuard guard(nhrt);
+  EXPECT_THROW(HeapMemory::instance().allocate(8, 8), MemoryAccessError);
+  // Immortal and scoped allocation remain legal.
+  EXPECT_NO_THROW(ImmortalMemory::instance().allocate(8, 8));
+}
+
+TEST(MemoryAreaTest, RegularThreadAllocatesOnHeapByDefault) {
+  ThreadContext regular("reg", ThreadKind::Regular, 5);
+  ContextGuard guard(regular);
+  EXPECT_EQ(current_area().kind(), AreaKind::Heap);
+  EXPECT_NO_THROW(HeapMemory::instance().allocate(8, 8));
+}
+
+}  // namespace
+}  // namespace rtcf::rtsj

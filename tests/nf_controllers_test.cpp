@@ -1,0 +1,111 @@
+// §4.1 non-functional runtime components: ThreadDomain and MemoryArea
+// controllers inside the reified membranes.
+#include <gtest/gtest.h>
+
+#include "membrane/nf_controllers.hpp"
+#include "scenario/production_scenario.hpp"
+#include "soleil/application.hpp"
+
+namespace rtcf::membrane {
+namespace {
+
+TEST(ThreadDomainControllerTest, AggregatesThreadStatistics) {
+  rtsj::RealtimeThread a("a", rtsj::ThreadKind::Realtime, 20,
+                         rtsj::ReleaseProfile::aperiodic());
+  rtsj::RealtimeThread b("b", rtsj::ThreadKind::Realtime, 20,
+                         rtsj::ReleaseProfile::aperiodic());
+  ThreadDomainController ctrl(model::DomainType::Realtime, 20);
+  ctrl.attach_thread(&a);
+  ctrl.attach_thread(&b);
+  a.run_with_context([] {});
+  a.run_with_context([] {});
+  b.run_with_context([] {});
+  EXPECT_EQ(ctrl.total_releases(), 3u);
+  EXPECT_EQ(ctrl.total_deadline_misses(), 0u);
+  b.notify_deadline_miss({});
+  EXPECT_EQ(ctrl.total_deadline_misses(), 1u);
+}
+
+TEST(ThreadDomainControllerTest, PriorityChangeMovesWholeDomain) {
+  rtsj::RealtimeThread a("a2", rtsj::ThreadKind::Realtime, 20,
+                         rtsj::ReleaseProfile::aperiodic());
+  rtsj::RealtimeThread b("b2", rtsj::ThreadKind::Realtime, 20,
+                         rtsj::ReleaseProfile::aperiodic());
+  ThreadDomainController ctrl(model::DomainType::Realtime, 20);
+  ctrl.attach_thread(&a);
+  ctrl.attach_thread(&b);
+  EXPECT_TRUE(ctrl.set_priority(28));
+  EXPECT_EQ(ctrl.priority(), 28);
+  EXPECT_EQ(a.priority(), 28);
+  EXPECT_EQ(b.priority(), 28);
+}
+
+TEST(ThreadDomainControllerTest, BandViolationIsRefused) {
+  rtsj::RealtimeThread a("a3", rtsj::ThreadKind::Realtime, 20,
+                         rtsj::ReleaseProfile::aperiodic());
+  ThreadDomainController rt(model::DomainType::Realtime, 20);
+  rt.attach_thread(&a);
+  EXPECT_FALSE(rt.set_priority(5)) << "below the RT band";
+  EXPECT_FALSE(rt.set_priority(40)) << "above the RT band";
+  EXPECT_EQ(a.priority(), 20) << "nothing changed";
+
+  ThreadDomainController reg(model::DomainType::Regular, 5);
+  EXPECT_FALSE(reg.set_priority(15)) << "regular band tops out at 10";
+  EXPECT_TRUE(reg.set_priority(10));
+}
+
+TEST(MemoryAreaControllerTest, TracksConsumption) {
+  rtsj::ScopedMemory scope("nf-scope", 1024);
+  MemoryAreaController ctrl(&scope);
+  EXPECT_DOUBLE_EQ(ctrl.utilization(), 0.0);
+  EXPECT_FALSE(ctrl.over_budget());
+  scope.make<std::array<char, 900>>();
+  EXPECT_GT(ctrl.utilization(), 0.85);
+  EXPECT_TRUE(ctrl.over_budget(0.8));
+  EXPECT_EQ(ctrl.consumed(), scope.memory_consumed());
+}
+
+TEST(MemoryAreaControllerTest, UnboundedAreasNeverOverBudget) {
+  MemoryAreaController ctrl(&rtsj::ImmortalMemory::instance());
+  EXPECT_DOUBLE_EQ(ctrl.utilization(), 0.0);
+  EXPECT_FALSE(ctrl.over_budget());
+}
+
+TEST(NfControllersIntegrationTest, SoleilReifiesThemInMembranes) {
+  const auto arch = scenario::make_production_architecture();
+  auto app = soleil::build_application(arch, soleil::Mode::Soleil);
+  app->start();
+  for (int i = 0; i < 10; ++i) app->iterate("ProductionLine");
+
+  auto* nhrt1 = app->find_membrane("NHRT1");
+  ASSERT_NE(nhrt1, nullptr);
+  auto* domain_ctrl = dynamic_cast<ThreadDomainController*>(
+      nhrt1->controller("thread-domain-controller"));
+  ASSERT_NE(domain_ctrl, nullptr);
+  EXPECT_EQ(domain_ctrl->type(), model::DomainType::NoHeapRealtime);
+  EXPECT_EQ(domain_ctrl->priority(), 30);
+  ASSERT_EQ(domain_ctrl->threads().size(), 1u);
+  EXPECT_EQ(domain_ctrl->total_releases(), 10u);
+
+  auto* s1 = app->find_membrane("S1");
+  ASSERT_NE(s1, nullptr);
+  auto* area_ctrl = dynamic_cast<MemoryAreaController*>(
+      s1->controller("memory-area-controller"));
+  ASSERT_NE(area_ctrl, nullptr);
+  EXPECT_GT(area_ctrl->consumed(), 0u)
+      << "the console content lives in the scope";
+  EXPECT_EQ(area_ctrl->area().name(), "cscope");
+
+  // The control interface surfaces in the membrane's introspection.
+  const auto kinds = nhrt1->controller_kinds();
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(),
+                      "thread-domain-controller"),
+            kinds.end());
+  // Runtime adaptation through the controller: drop NHRT1 to priority 28.
+  EXPECT_TRUE(domain_ctrl->set_priority(28));
+  EXPECT_EQ(app->thread_of("ProductionLine")->priority(), 28);
+  app->stop();
+}
+
+}  // namespace
+}  // namespace rtcf::membrane

@@ -1,0 +1,193 @@
+// Cross-scope communication patterns: design-time catalog and runtime
+// semantics.
+#include <gtest/gtest.h>
+
+#include "comm/message.hpp"
+#include "membrane/patterns.hpp"
+#include "rtsj/memory/area_registry.hpp"
+#include "rtsj/memory/context.hpp"
+#include "validate/pattern_catalog.hpp"
+
+namespace rtcf {
+namespace {
+
+using membrane::PatternOp;
+using membrane::PatternRuntime;
+using validate::AreaRelation;
+
+comm::Message message_with(double v) {
+  comm::Message m;
+  m.type_id = 1;
+  m.store(v);
+  return m;
+}
+
+struct EchoServer final : comm::IInvocable {
+  comm::Message invoke(const comm::Message& m) override {
+    comm::Message out = m;
+    out.type_id = 42;
+    // Record where the request payload we received lives.
+    observed_area = rtsj::AreaRegistry::instance().area_of(&m);
+    return out;
+  }
+  const rtsj::MemoryArea* observed_area = nullptr;
+};
+
+TEST(PatternCatalogTest, NamesRoundTripThroughOps) {
+  for (const auto& name : validate::known_patterns()) {
+    const PatternOp op = membrane::pattern_op_from_name(name);
+    EXPECT_EQ(membrane::to_string(op), name);
+  }
+  EXPECT_THROW(membrane::pattern_op_from_name("bogus"),
+               std::invalid_argument);
+}
+
+TEST(PatternCatalogTest, ApplicabilityMatrix) {
+  using model::Protocol;
+  // direct: only same/server-outer.
+  EXPECT_TRUE(validate::pattern_applicable("direct", AreaRelation::Same,
+                                           Protocol::Synchronous));
+  EXPECT_TRUE(validate::pattern_applicable(
+      "direct", AreaRelation::ServerOuter, Protocol::Asynchronous));
+  EXPECT_FALSE(validate::pattern_applicable(
+      "direct", AreaRelation::ServerInner, Protocol::Synchronous));
+  // scope-enter: sync into an inner scope only.
+  EXPECT_TRUE(validate::pattern_applicable(
+      "scope-enter", AreaRelation::ServerInner, Protocol::Synchronous));
+  EXPECT_FALSE(validate::pattern_applicable(
+      "scope-enter", AreaRelation::ServerInner, Protocol::Asynchronous));
+  // wedge-thread: async into an inner scope.
+  EXPECT_TRUE(validate::pattern_applicable(
+      "wedge-thread", AreaRelation::ServerInner, Protocol::Asynchronous));
+  // deep-copy/immortal-forward: universal.
+  for (auto rel : {AreaRelation::Same, AreaRelation::ServerOuter,
+                   AreaRelation::ServerInner, AreaRelation::Disjoint}) {
+    EXPECT_TRUE(validate::pattern_applicable("deep-copy", rel,
+                                             Protocol::Synchronous));
+    EXPECT_TRUE(validate::pattern_applicable("immortal-forward", rel,
+                                             Protocol::Asynchronous));
+  }
+  // handoff: disjoint only.
+  EXPECT_TRUE(validate::pattern_applicable("handoff", AreaRelation::Disjoint,
+                                           Protocol::Asynchronous));
+  EXPECT_FALSE(validate::pattern_applicable("handoff", AreaRelation::Same,
+                                            Protocol::Asynchronous));
+}
+
+TEST(PatternCatalogTest, SuggestionsFollowTheDecisionTable) {
+  using model::Protocol;
+  validate::PatternQuery q;
+  q.relation = AreaRelation::Same;
+  EXPECT_EQ(validate::suggest_pattern(q), "direct");
+
+  q.relation = AreaRelation::ServerInner;
+  q.protocol = Protocol::Synchronous;
+  EXPECT_EQ(validate::suggest_pattern(q), "scope-enter");
+  q.protocol = Protocol::Asynchronous;
+  EXPECT_EQ(validate::suggest_pattern(q), "wedge-thread");
+
+  q.relation = AreaRelation::ServerOuter;
+  q.protocol = Protocol::Synchronous;
+  q.server_in_heap = true;
+  q.client_no_heap = true;
+  EXPECT_EQ(validate::suggest_pattern(q), "") << "sync NHRT->heap: no cure";
+  q.protocol = Protocol::Asynchronous;
+  EXPECT_EQ(validate::suggest_pattern(q), "immortal-forward");
+
+  q = {};
+  q.relation = AreaRelation::Disjoint;
+  q.protocol = Protocol::Synchronous;
+  EXPECT_EQ(validate::suggest_pattern(q), "deep-copy");
+  q.common_scope_ancestor = true;
+  EXPECT_EQ(validate::suggest_pattern(q), "shared-scope");
+}
+
+class PatternRuntimeTest : public ::testing::Test {
+ protected:
+  rtsj::ScopedMemory server_scope_{"pat-server", 16 * 1024};
+  rtsj::ScopedMemory other_scope_{"pat-other", 16 * 1024};
+  rtsj::ThreadContext wedge_a_{"pat-wa", rtsj::ThreadKind::Realtime, 20,
+                               &rtsj::ImmortalMemory::instance()};
+  rtsj::ThreadContext wedge_b_{"pat-wb", rtsj::ThreadKind::Realtime, 20,
+                               &rtsj::ImmortalMemory::instance()};
+  rtsj::ScopePin pin_server_{server_scope_, wedge_a_};
+  rtsj::ScopePin pin_other_{other_scope_, wedge_b_};
+};
+
+TEST_F(PatternRuntimeTest, DirectStagesNothing) {
+  auto p = PatternRuntime::make(PatternOp::Direct, &server_scope_, nullptr);
+  const auto m = message_with(1.0);
+  EXPECT_EQ(&p.stage(m), &m);
+  EXPECT_EQ(p.staged_count(), 0u);
+  EXPECT_EQ(p.slot_bytes(), 0u);
+}
+
+TEST_F(PatternRuntimeTest, DeepCopyStagesIntoServerArea) {
+  auto p = PatternRuntime::make(PatternOp::DeepCopy, &server_scope_,
+                                &server_scope_);
+  const auto m = message_with(2.0);
+  const auto& staged = p.stage(m);
+  EXPECT_NE(&staged, &m);
+  EXPECT_TRUE(server_scope_.contains(&staged));
+  EXPECT_EQ(staged.load<double>(), 2.0);
+  EXPECT_EQ(p.staged_count(), 1u);
+  EXPECT_EQ(p.slot_bytes(), sizeof(comm::Message));
+}
+
+TEST_F(PatternRuntimeTest, ImmortalForwardStagesIntoImmortal) {
+  auto p =
+      PatternRuntime::make(PatternOp::ImmortalForward, &server_scope_, nullptr);
+  const auto& staged = p.stage(message_with(3.0));
+  EXPECT_TRUE(rtsj::ImmortalMemory::instance().contains(&staged));
+}
+
+TEST_F(PatternRuntimeTest, HandoffStagesTwice) {
+  auto p = PatternRuntime::make(PatternOp::Handoff, &server_scope_,
+                                &other_scope_);
+  const auto& staged = p.stage(message_with(4.0));
+  // Final hop lives in the consumer (server) area.
+  EXPECT_TRUE(server_scope_.contains(&staged));
+  EXPECT_EQ(p.slot_bytes(), 2 * sizeof(comm::Message));
+  EXPECT_EQ(staged.load<double>(), 4.0);
+}
+
+TEST_F(PatternRuntimeTest, ScopeEnterRunsInsideServerScope) {
+  auto p =
+      PatternRuntime::make(PatternOp::ScopeEnter, &server_scope_, nullptr);
+  EchoServer server;
+  int before = server_scope_.reference_count();
+  const auto response = p.call(server, message_with(5.0));
+  EXPECT_EQ(response.type_id, 42u);
+  EXPECT_EQ(server_scope_.reference_count(), before)
+      << "enter/exit must balance";
+}
+
+TEST_F(PatternRuntimeTest, ScopeEnterRequiresScopedArea) {
+  EXPECT_THROW(PatternRuntime::make(PatternOp::ScopeEnter,
+                                    &rtsj::ImmortalMemory::instance(),
+                                    nullptr),
+               std::invalid_argument);
+}
+
+TEST_F(PatternRuntimeTest, CopyingSyncCallDeliversStagedRequest) {
+  auto p = PatternRuntime::make(PatternOp::DeepCopy, &server_scope_,
+                                &server_scope_);
+  EchoServer server;
+  const auto response = p.call(server, message_with(6.0));
+  EXPECT_EQ(response.type_id, 42u);
+  EXPECT_EQ(server.observed_area, &server_scope_)
+      << "server must see the copy in its own area, not the caller's";
+}
+
+TEST_F(PatternRuntimeTest, StagedSlotReusedAcrossSends) {
+  auto p = PatternRuntime::make(PatternOp::DeepCopy, &server_scope_,
+                                &server_scope_);
+  const auto& first = p.stage(message_with(1.0));
+  const auto& second = p.stage(message_with(2.0));
+  EXPECT_EQ(&first, &second) << "preallocated slot, no per-send allocation";
+  EXPECT_EQ(second.load<double>(), 2.0);
+  EXPECT_EQ(p.staged_count(), 2u);
+}
+
+}  // namespace
+}  // namespace rtcf

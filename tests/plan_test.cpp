@@ -1,0 +1,139 @@
+// The Soleil planner: pattern resolution and buffer/staging placement.
+#include <gtest/gtest.h>
+
+#include "scenario/production_scenario.hpp"
+#include "soleil/plan.hpp"
+
+namespace rtcf::soleil {
+namespace {
+
+using membrane::PatternOp;
+
+class PlanTest : public ::testing::Test {
+ protected:
+  PlanTest()
+      : arch_(scenario::make_production_architecture()),
+        env_(arch_),
+        plan_(make_plan(arch_, env_)) {}
+
+  const PlannedBinding& binding_to(const std::string& server) const {
+    for (const auto& pb : plan_.bindings) {
+      if (pb.server->name() == server) return pb;
+    }
+    throw std::logic_error("no binding to " + server);
+  }
+
+  model::Architecture arch_;
+  runtime::RuntimeEnvironment env_;
+  Plan plan_;
+};
+
+TEST_F(PlanTest, PlansAllComponentsAndBindings) {
+  EXPECT_EQ(plan_.components.size(), 4u);
+  EXPECT_EQ(plan_.bindings.size(), 3u);
+  ASSERT_NE(plan_.find_component("Console"), nullptr);
+  EXPECT_EQ(plan_.find_component("Console")->active, nullptr);
+  EXPECT_EQ(plan_.find_component("missing"), nullptr);
+}
+
+TEST_F(PlanTest, SameAreaBindingIsDirect) {
+  const auto& pb = binding_to("MonitoringSystem");
+  EXPECT_EQ(pb.op, PatternOp::Direct);
+  EXPECT_EQ(pb.staging_area, nullptr);
+  // Both endpoints in Imm1: the buffer sits in immortal memory.
+  EXPECT_EQ(pb.buffer_area, &rtsj::ImmortalMemory::instance());
+  EXPECT_EQ(pb.buffer_size, 10u);
+}
+
+TEST_F(PlanTest, ScopedServerGetsScopeEnter) {
+  const auto& pb = binding_to("Console");
+  EXPECT_EQ(pb.op, PatternOp::ScopeEnter);
+  EXPECT_EQ(pb.server_area->kind(), rtsj::AreaKind::Scoped);
+  EXPECT_EQ(pb.buffer_area, nullptr) << "synchronous: no buffer";
+}
+
+TEST_F(PlanTest, NhrtToHeapAsyncGetsImmortalForward) {
+  const auto& pb = binding_to("AuditLog");
+  EXPECT_EQ(pb.op, PatternOp::ImmortalForward);
+  EXPECT_EQ(pb.staging_area, &rtsj::ImmortalMemory::instance());
+  EXPECT_EQ(pb.buffer_area, &rtsj::ImmortalMemory::instance())
+      << "an NHRT participant must never be handed heap storage";
+}
+
+TEST_F(PlanTest, ExplicitPatternOverridesSuggestion) {
+  auto arch = scenario::make_production_architecture();
+  arch.mutable_bindings()[0].desc.pattern = "deep-copy";
+  runtime::RuntimeEnvironment env(arch);
+  const auto plan = make_plan(arch, env);
+  EXPECT_EQ(plan.bindings[0].op, PatternOp::DeepCopy);
+}
+
+TEST_F(PlanTest, ThreadsAndAreasResolved) {
+  const auto* pl = plan_.find_component("ProductionLine");
+  ASSERT_NE(pl, nullptr);
+  ASSERT_NE(pl->thread, nullptr);
+  EXPECT_EQ(pl->thread->kind(), rtsj::ThreadKind::NoHeapRealtime);
+  EXPECT_EQ(pl->area, &rtsj::ImmortalMemory::instance());
+  const auto* audit = plan_.find_component("AuditLog");
+  EXPECT_EQ(audit->area, &rtsj::HeapMemory::instance());
+}
+
+TEST(PlanErrorsTest, SyncNhrtToHeapIsUnplannable) {
+  auto arch = scenario::make_production_architecture();
+  // Make the console binding point at heap-allocated state.
+  auto& heap_console = arch.add_passive("HeapConsole");
+  heap_console.set_content_class("X");
+  heap_console.add_interface(
+      {"iConsole", model::InterfaceRole::Server, "IConsole"});
+  arch.add_child(*arch.find("H1"), heap_console);
+  arch.mutable_bindings()[1].server = {"HeapConsole", "iConsole"};
+  runtime::RuntimeEnvironment env(arch);
+  EXPECT_THROW(make_plan(arch, env), PlanningError);
+}
+
+TEST(PlanErrorsTest, UnknownEndpointIsUnplannable) {
+  auto arch = scenario::make_production_architecture();
+  arch.mutable_bindings()[0].server.component = "Ghost";
+  runtime::RuntimeEnvironment env(arch);
+  EXPECT_THROW(make_plan(arch, env), PlanningError);
+}
+
+TEST(PlanSharedScopeTest, SiblingScopesUnderCommonParentShareIt) {
+  using namespace model;
+  Architecture arch;
+  auto& a = arch.add_active("A", ActivationKind::Periodic,
+                            rtsj::RelativeTime::milliseconds(1));
+  a.set_content_class("AI");
+  a.add_interface({"out", InterfaceRole::Client, "I"});
+  auto& b = arch.add_passive("B");
+  b.set_content_class("BI");
+  b.add_interface({"in", InterfaceRole::Server, "I"});
+  auto& domain = arch.add_thread_domain("D", DomainType::Realtime, 20);
+  arch.add_child(domain, a);
+
+  auto& parent = arch.add_memory_area("Parent", AreaType::Scoped, 64 * 1024);
+  auto& sa = arch.add_memory_area("SA", AreaType::Scoped, 8 * 1024);
+  auto& sb = arch.add_memory_area("SB", AreaType::Scoped, 8 * 1024);
+  arch.add_child(parent, sa);
+  arch.add_child(parent, sb);
+  arch.add_child(sa, domain);
+  arch.add_child(sb, b);
+  arch.add_binding({{"A", "out"}, {"B", "in"}, {}});  // sync, disjoint
+
+  runtime::RuntimeEnvironment env(arch);
+  const auto plan = make_plan(arch, env);
+  ASSERT_EQ(plan.bindings.size(), 1u);
+  EXPECT_EQ(plan.bindings[0].op, PatternOp::SharedScope);
+  EXPECT_EQ(plan.bindings[0].staging_area,
+            &env.area_runtime(parent))
+      << "staging belongs in the common ancestor scope";
+}
+
+TEST(PlanModeNamesTest, ToStringCoversAllModes) {
+  EXPECT_STREQ(to_string(Mode::Soleil), "SOLEIL");
+  EXPECT_STREQ(to_string(Mode::MergeAll), "MERGE_ALL");
+  EXPECT_STREQ(to_string(Mode::UltraMerge), "ULTRA_MERGE");
+}
+
+}  // namespace
+}  // namespace rtcf::soleil

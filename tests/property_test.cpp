@@ -1,0 +1,271 @@
+// Property-style parameterized sweeps (TEST_P) over the core invariants:
+// arena/scope allocation, buffer FIFO conservation, percentile
+// monotonicity, scheduler work conservation, and ADL round-trip stability
+// on randomized architectures.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "adl/loader.hpp"
+#include "comm/message_buffer.hpp"
+#include "rtsj/memory/memory_area.hpp"
+#include "sim/scheduler.hpp"
+#include "util/stats.hpp"
+#include "validate/validator.hpp"
+
+namespace rtcf {
+namespace {
+
+// ---------------------------------------------------------------- arenas
+
+class ArenaProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ArenaProperty, RandomAllocationsRespectInvariants) {
+  const std::size_t capacity = GetParam();
+  rtsj::ScopedMemory scope("prop-scope", capacity);
+  std::mt19937 rng(static_cast<unsigned>(capacity));
+  std::uniform_int_distribution<std::size_t> size_dist(1, 128);
+  std::uniform_int_distribution<int> align_exp(0, 6);
+
+  scope.enter([&] {
+    std::size_t requested = 0;
+    for (int i = 0; i < 1000; ++i) {
+      const std::size_t size = size_dist(rng);
+      const std::size_t align = std::size_t{1} << align_exp(rng);
+      void* p = nullptr;
+      try {
+        p = scope.allocate(size, align);
+      } catch (const rtsj::OutOfMemoryError&) {
+        break;  // exhaustion is a legal outcome
+      }
+      ASSERT_NE(p, nullptr);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+          << "alignment violated";
+      EXPECT_TRUE(scope.contains(p));
+      requested += size;
+    }
+    EXPECT_GE(scope.memory_consumed(), requested)
+        << "consumed must cover every granted byte";
+    EXPECT_LE(scope.memory_consumed(), capacity);
+  });
+  EXPECT_EQ(scope.memory_consumed(), 0u) << "reclaimed on exit";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ArenaProperty,
+                         ::testing::Values(256, 1024, 4096, 64 * 1024,
+                                           1024 * 1024));
+
+// --------------------------------------------------------------- buffers
+
+class BufferProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BufferProperty, FifoConservationUnderRandomTraffic) {
+  const std::size_t capacity = GetParam();
+  comm::MessageBuffer buffer(rtsj::ImmortalMemory::instance(), capacity);
+  std::mt19937 rng(static_cast<unsigned>(capacity) * 7u);
+  std::bernoulli_distribution push_coin(0.6);
+
+  std::uint64_t pushed = 0, popped = 0, dropped = 0;
+  std::uint64_t next_expected = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    if (push_coin(rng)) {
+      comm::Message m;
+      m.sequence = pushed + dropped;
+      if (buffer.push(m)) {
+        ++pushed;
+      } else {
+        ++dropped;
+        EXPECT_TRUE(buffer.full());
+      }
+    } else if (auto m = buffer.pop()) {
+      EXPECT_GE(m->sequence, next_expected) << "FIFO order violated";
+      next_expected = m->sequence + 1;
+      ++popped;
+    }
+    EXPECT_LE(buffer.size(), capacity);
+    EXPECT_EQ(buffer.size(), pushed - popped);
+  }
+  EXPECT_EQ(buffer.enqueued_total(), pushed);
+  EXPECT_EQ(buffer.dropped_total(), dropped);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, BufferProperty,
+                         ::testing::Values(1, 2, 10, 128, 1024));
+
+// ----------------------------------------------------------------- stats
+
+class StatsProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StatsProperty, PercentilesAreMonotoneAndBounded) {
+  std::mt19937 rng(GetParam());
+  std::lognormal_distribution<double> dist(0.0, 1.0);
+  util::SampleSet s;
+  for (int i = 0; i < 5000; ++i) s.add(dist(rng));
+  double prev = s.percentile(0);
+  for (double p = 5; p <= 100; p += 5) {
+    const double value = s.percentile(p);
+    EXPECT_GE(value, prev) << "percentiles must be monotone";
+    prev = value;
+  }
+  EXPECT_GE(s.jitter(), 0.0);
+  EXPECT_LE(s.jitter(), s.worst_case_deviation());
+  EXPECT_GE(s.median(), s.min());
+  EXPECT_LE(s.median(), s.max());
+
+  util::OnlineStats online;
+  for (double x : s.samples()) online.add(x);
+  EXPECT_NEAR(online.mean(), s.mean(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsProperty,
+                         ::testing::Values(1u, 42u, 1337u, 99991u));
+
+// ------------------------------------------------------------- scheduler
+
+struct SchedCase {
+  unsigned seed;
+  int tasks;
+};
+
+class SchedulerProperty : public ::testing::TestWithParam<SchedCase> {};
+
+TEST_P(SchedulerProperty, WorkConservationAndPriorityInvariants) {
+  const auto param = GetParam();
+  std::mt19937 rng(param.seed);
+  std::uniform_int_distribution<int> prio(rtsj::kMinRtPriority,
+                                          rtsj::kMaxRtPriority);
+  std::uniform_int_distribution<std::int64_t> period_us(2'000, 20'000);
+
+  sim::PreemptiveScheduler sched;
+  std::vector<sim::TaskId> ids;
+  std::int64_t total_utilization_ppm = 0;
+  int top_priority = 0;
+  for (int i = 0; i < param.tasks; ++i) {
+    sim::TaskConfig cfg;
+    cfg.name = "t" + std::to_string(i);
+    cfg.priority = prio(rng);
+    top_priority = std::max(top_priority, cfg.priority);
+    cfg.release = sim::ReleaseKind::Periodic;
+    const auto period = period_us(rng);
+    // Keep the set schedulable: ~50 % total utilization.
+    const auto cost = period / (2 * param.tasks);
+    cfg.period = rtsj::RelativeTime::microseconds(period);
+    cfg.cost = rtsj::RelativeTime::microseconds(std::max<std::int64_t>(
+        cost, 1));
+    total_utilization_ppm += 1'000'000 * cost / period;
+    ids.push_back(sched.add_task(std::move(cfg)));
+  }
+  const auto horizon =
+      rtsj::AbsoluteTime::epoch() + rtsj::RelativeTime::seconds(2);
+  sched.run_until(horizon);
+
+  for (sim::TaskId id : ids) {
+    const auto& stats = sched.stats(id);
+    const auto& cfg = sched.config(id);
+    // Work conservation at ~50% utilization: every task completes about
+    // horizon/period releases (allow the tail release to be in flight).
+    const auto expected =
+        static_cast<std::uint64_t>(2'000'000 / cfg.period.to_micros());
+    EXPECT_GE(stats.releases_completed + 2, expected) << cfg.name;
+    EXPECT_LE(stats.releases_completed, expected + 1) << cfg.name;
+    // Responses are at least the cost, and any unique top-priority task
+    // never waits.
+    if (stats.releases_completed > 0) {
+      EXPECT_GE(stats.response_times_us.min(), cfg.cost.to_micros() - 1e-9);
+      if (cfg.priority == top_priority) {
+        EXPECT_LE(stats.response_times_us.max(),
+                  cfg.cost.to_micros() * param.tasks + 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SchedulerProperty,
+    ::testing::Values(SchedCase{1, 2}, SchedCase{2, 4}, SchedCase{3, 8},
+                      SchedCase{4, 16}, SchedCase{5, 32}));
+
+// -------------------------------------------------- random architectures
+
+class AdlRoundTripProperty : public ::testing::TestWithParam<unsigned> {};
+
+/// Generates a random but well-formed architecture: N active/passive
+/// components over a random domain/area assignment with random bindings.
+model::Architecture random_architecture(unsigned seed) {
+  using namespace model;
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> count(2, 8);
+  std::bernoulli_distribution coin(0.5);
+  Architecture arch;
+
+  const int actives = count(rng);
+  std::vector<ActiveComponent*> producers;
+  for (int i = 0; i < actives; ++i) {
+    auto& a = arch.add_active(
+        "A" + std::to_string(i),
+        coin(rng) ? ActivationKind::Periodic : ActivationKind::Sporadic,
+        rtsj::RelativeTime::milliseconds(1 + i));
+    a.set_content_class("Impl" + std::to_string(i));
+    a.add_interface({"out", InterfaceRole::Client, "I"});
+    a.add_interface({"in", InterfaceRole::Server, "I"});
+    producers.push_back(&a);
+  }
+  std::uniform_int_distribution<int> dtype(0, 2);
+  auto& nhrt = arch.add_thread_domain("DN", DomainType::NoHeapRealtime, 30);
+  auto& rt = arch.add_thread_domain("DR", DomainType::Realtime, 20);
+  auto& reg = arch.add_thread_domain("DG", DomainType::Regular, 5);
+  auto& imm = arch.add_memory_area("MImm", AreaType::Immortal, 64 * 1024);
+  auto& heap = arch.add_memory_area("MHeap", AreaType::Heap, 0);
+  arch.add_child(imm, nhrt);
+  arch.add_child(imm, rt);
+  arch.add_child(heap, reg);
+  for (auto* a : producers) {
+    switch (dtype(rng)) {
+      case 0:
+        arch.add_child(nhrt, *a);
+        break;
+      case 1:
+        arch.add_child(rt, *a);
+        break;
+      default:
+        arch.add_child(reg, *a);
+        break;
+    }
+  }
+  // Random async bindings between distinct components.
+  std::uniform_int_distribution<int> pick(0, actives - 1);
+  for (int i = 0; i < actives; ++i) {
+    const int from = pick(rng);
+    const int to = pick(rng);
+    if (from == to) continue;
+    arch.add_binding({{"A" + std::to_string(from), "out"},
+                      {"A" + std::to_string(to), "in"},
+                      {Protocol::Asynchronous, 8, ""}});
+  }
+  return arch;
+}
+
+TEST_P(AdlRoundTripProperty, SaveLoadSaveIsStable) {
+  const auto arch = random_architecture(GetParam());
+  const std::string first = adl::save_architecture(arch);
+  const auto loaded = adl::load_architecture(first);
+  const std::string second = adl::save_architecture(loaded);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(loaded.components().size(), arch.components().size());
+  EXPECT_EQ(loaded.bindings().size(), arch.bindings().size());
+}
+
+TEST_P(AdlRoundTripProperty, ValidationIsDeterministicAcrossRoundTrip) {
+  const auto arch = random_architecture(GetParam());
+  const auto loaded = adl::load_architecture(adl::save_architecture(arch));
+  const auto before = validate::validate(arch);
+  const auto after = validate::validate(loaded);
+  EXPECT_EQ(before.error_count(), after.error_count());
+  EXPECT_EQ(before.warning_count(), after.warning_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdlRoundTripProperty,
+                         ::testing::Range(1u, 13u));
+
+}  // namespace
+}  // namespace rtcf

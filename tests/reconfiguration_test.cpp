@@ -1,0 +1,139 @@
+// Runtime adaptation (§4.2): per-component lifecycle and RTSJ-checked
+// rebinding across the generation modes.
+#include <gtest/gtest.h>
+
+#include "comm/content.hpp"
+#include "runtime/content_registry.hpp"
+#include "scenario/production_scenario.hpp"
+#include "soleil/application.hpp"
+
+namespace rtcf {
+namespace {
+
+using soleil::Mode;
+
+class CountingConsole final : public comm::Content {
+ public:
+  comm::Message on_invoke(const comm::Message& request) override {
+    ++calls;
+    comm::Message ack;
+    ack.sequence = request.sequence;
+    return ack;
+  }
+  int calls = 0;
+};
+
+class HeapConsole final : public comm::Content {
+ public:
+  comm::Message on_invoke(const comm::Message&) override { return {}; }
+};
+
+/// Fig. 4 plus a legal (immortal) and an illegal (heap) alternate console.
+model::Architecture extended_architecture() {
+  auto arch = scenario::make_production_architecture();
+  auto& backup = arch.add_passive("BackupConsole");
+  backup.set_content_class("CountingConsole");
+  backup.add_interface(
+      {"iConsole", model::InterfaceRole::Server, "IConsole"});
+  arch.add_child(*arch.find("Imm1"), backup);
+  auto& heap_console = arch.add_passive("HeapConsole");
+  heap_console.set_content_class("HeapConsole");
+  heap_console.add_interface(
+      {"iConsole", model::InterfaceRole::Server, "IConsole"});
+  arch.add_child(*arch.find("H1"), heap_console);
+  return arch;
+}
+
+struct RegisterContent {
+  RegisterContent() {
+    runtime::ContentRegistry::instance().register_class<CountingConsole>(
+        "CountingConsole");
+    runtime::ContentRegistry::instance().register_class<HeapConsole>(
+        "HeapConsole");
+  }
+};
+const RegisterContent register_content;
+
+class ReconfigTest : public ::testing::TestWithParam<Mode> {};
+
+TEST_P(ReconfigTest, LegalRebindRedirectsTraffic) {
+  const auto arch = extended_architecture();
+  auto app = soleil::build_application(arch, GetParam());
+  app->start();
+  for (int i = 0; i < 200; ++i) app->iterate("ProductionLine");
+  const auto before = scenario::collect_counters(*app);
+  ASSERT_GT(before.console_reports, 0u);
+
+  auto report =
+      app->rebind_sync("MonitoringSystem", "iConsole", "BackupConsole");
+  if (GetParam() == Mode::UltraMerge) {
+    EXPECT_FALSE(report.ok()) << "ULTRA_MERGE is static";
+    EXPECT_TRUE(report.has_rule("MODE-STATIC"));
+    return;
+  }
+  ASSERT_TRUE(report.ok()) << report.to_string();
+  EXPECT_TRUE(report.has_rule("RECONF-PATTERN"));
+
+  for (int i = 0; i < 200; ++i) app->iterate("ProductionLine");
+  const auto after = scenario::collect_counters(*app);
+  EXPECT_EQ(after.console_reports, before.console_reports)
+      << "primary console no longer receives reports";
+  const auto* backup =
+      dynamic_cast<const CountingConsole*>(app->content("BackupConsole"));
+  EXPECT_GT(backup->calls, 0);
+}
+
+TEST_P(ReconfigTest, IllegalRebindIsRefusedAndWiringUntouched) {
+  const auto arch = extended_architecture();
+  auto app = soleil::build_application(arch, GetParam());
+  app->start();
+  auto report =
+      app->rebind_sync("MonitoringSystem", "iConsole", "HeapConsole");
+  EXPECT_FALSE(report.ok());
+  if (GetParam() != Mode::UltraMerge) {
+    EXPECT_TRUE(report.has_rule("RECONF-NHRT-HEAP"));
+  }
+  // Traffic still flows to the original console.
+  for (int i = 0; i < 200; ++i) app->iterate("ProductionLine");
+  EXPECT_GT(scenario::collect_counters(*app).console_reports, 0u);
+}
+
+TEST_P(ReconfigTest, UnknownEndpointsAreReported) {
+  const auto arch = extended_architecture();
+  auto app = soleil::build_application(arch, GetParam());
+  if (GetParam() == Mode::UltraMerge) return;
+  EXPECT_FALSE(
+      app->rebind_sync("Ghost", "iConsole", "BackupConsole").ok());
+  EXPECT_FALSE(
+      app->rebind_sync("MonitoringSystem", "noPort", "BackupConsole").ok());
+  EXPECT_FALSE(
+      app->rebind_sync("MonitoringSystem", "iConsole", "Ghost").ok());
+}
+
+TEST_P(ReconfigTest, PerComponentLifecycle) {
+  const auto arch = extended_architecture();
+  auto app = soleil::build_application(arch, GetParam());
+  app->start();
+  if (GetParam() == Mode::UltraMerge) {
+    EXPECT_FALSE(app->set_component_started("MonitoringSystem", false));
+    return;
+  }
+  ASSERT_TRUE(app->set_component_started("MonitoringSystem", false));
+  app->iterate("ProductionLine");
+  const auto counters = scenario::collect_counters(*app);
+  EXPECT_EQ(counters.produced, 1u) << "producer still runs";
+  EXPECT_EQ(counters.processed, 0u) << "stopped component rejects delivery";
+  ASSERT_TRUE(app->set_component_started("MonitoringSystem", true));
+  app->iterate("ProductionLine");
+  EXPECT_EQ(scenario::collect_counters(*app).processed, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ReconfigTest,
+                         ::testing::Values(Mode::Soleil, Mode::MergeAll,
+                                           Mode::UltraMerge),
+                         [](const auto& info) {
+                           return std::string(soleil::to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace rtcf

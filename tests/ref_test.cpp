@@ -1,0 +1,136 @@
+// rtsj::Ref<T>: the RTSJ assignment rules and the NHRT read barrier.
+#include <gtest/gtest.h>
+
+#include "rtsj/memory/ref.hpp"
+
+namespace rtcf::rtsj {
+namespace {
+
+struct Node {
+  Ref<int> value;
+};
+
+TEST(RefTest, NullIsAlwaysStorable) {
+  ScopedMemory scope("ref-null", 4096);
+  auto* node = scope.make<Node>();
+  EXPECT_NO_THROW(node->value = nullptr);
+  EXPECT_FALSE(static_cast<bool>(node->value));
+}
+
+TEST(RefTest, StackHoldersMayReferenceAnything) {
+  ScopedMemory scope("ref-stack", 4096);
+  auto* scoped_int = scope.make<int>(1);
+  auto* heap_int = HeapMemory::instance().make<int>(2);
+  auto* immortal_int = ImmortalMemory::instance().make<int>(3);
+  Node local;  // lives on the C++ stack: a "local variable" in RTSJ terms
+  EXPECT_NO_THROW(local.value = scoped_int);
+  EXPECT_NO_THROW(local.value = heap_int);
+  EXPECT_NO_THROW(local.value = immortal_int);
+}
+
+TEST(RefTest, AnyAreaMayReferenceImmortal) {
+  ScopedMemory scope("ref-imm", 4096);
+  auto* immortal_int = ImmortalMemory::instance().make<int>(9);
+  auto* scoped_node = scope.make<Node>();
+  auto* heap_node = HeapMemory::instance().make<Node>();
+  auto* immortal_node = ImmortalMemory::instance().make<Node>();
+  EXPECT_NO_THROW(scoped_node->value = immortal_int);
+  EXPECT_NO_THROW(heap_node->value = immortal_int);
+  EXPECT_NO_THROW(immortal_node->value = immortal_int);
+}
+
+TEST(RefTest, HeapAndImmortalMayNotReferenceScoped) {
+  ScopedMemory scope("ref-illegal", 4096);
+  auto* scoped_int = scope.make<int>(5);
+  auto* heap_node = HeapMemory::instance().make<Node>();
+  auto* immortal_node = ImmortalMemory::instance().make<Node>();
+  EXPECT_THROW(heap_node->value = scoped_int, IllegalAssignmentError);
+  EXPECT_THROW(immortal_node->value = scoped_int, IllegalAssignmentError);
+}
+
+TEST(RefTest, InnerScopeMayReferenceOuterButNotViceVersa) {
+  ScopedMemory outer("ref-outer", 4096);
+  ScopedMemory inner("ref-inner", 4096);
+  outer.enter([&] {
+    auto* outer_int = outer.make<int>(1);
+    auto* outer_node = outer.make<Node>();
+    inner.enter([&] {
+      auto* inner_int = inner.make<int>(2);
+      auto* inner_node = inner.make<Node>();
+      EXPECT_NO_THROW(inner_node->value = outer_int);
+      EXPECT_THROW(outer_node->value = inner_int, IllegalAssignmentError);
+    });
+  });
+}
+
+TEST(RefTest, SiblingScopesMayNotReferenceEachOther) {
+  ScopedMemory a("ref-sib-a", 4096);
+  ScopedMemory b("ref-sib-b", 4096);
+  ThreadContext wedge_a("wa", ThreadKind::Realtime, 20,
+                        &ImmortalMemory::instance());
+  ThreadContext wedge_b("wb", ThreadKind::Realtime, 20,
+                        &ImmortalMemory::instance());
+  ScopePin pin_a(a, wedge_a);
+  ScopePin pin_b(b, wedge_b);
+  auto* in_a = a.make<int>(1);
+  auto* node_b = b.make<Node>();
+  EXPECT_THROW(node_b->value = in_a, IllegalAssignmentError);
+}
+
+TEST(RefTest, NhrtReadBarrierOnHeapTargets) {
+  auto* heap_int = HeapMemory::instance().make<int>(11);
+  Node local;
+  local.value = heap_int;
+
+  ThreadContext nhrt("ref-nhrt", ThreadKind::NoHeapRealtime, 30,
+                     &ImmortalMemory::instance());
+  {
+    ContextGuard guard(nhrt);
+    EXPECT_THROW((void)*local.value, MemoryAccessError);
+    EXPECT_THROW((void)local.value.get(), MemoryAccessError);
+    // raw() is the unchecked escape hatch for infrastructure.
+    EXPECT_EQ(local.value.raw(), heap_int);
+  }
+  // Off the NHRT, the same reference reads fine.
+  EXPECT_EQ(*local.value, 11);
+}
+
+TEST(RefTest, NhrtMayReadImmortalAndScoped) {
+  ScopedMemory scope("ref-nhrt-ok", 4096);
+  ThreadContext wedge("w", ThreadKind::Realtime, 20,
+                      &ImmortalMemory::instance());
+  ScopePin pin(scope, wedge);
+  auto* scoped_int = scope.make<int>(21);
+  auto* immortal_int = ImmortalMemory::instance().make<int>(22);
+  Node local;
+  ThreadContext nhrt("ref-nhrt2", ThreadKind::NoHeapRealtime, 30,
+                     &ImmortalMemory::instance());
+  ContextGuard guard(nhrt);
+  local.value = scoped_int;
+  EXPECT_EQ(*local.value, 21);
+  local.value = immortal_int;
+  EXPECT_EQ(*local.value, 22);
+}
+
+TEST(RefTest, CopyPropagatesChecks) {
+  ScopedMemory scope("ref-copy", 4096);
+  auto* scoped_int = scope.make<int>(7);
+  Node local;
+  local.value = scoped_int;
+  // Copy-assigning into a heap-held Ref re-runs the store check.
+  auto* heap_node = HeapMemory::instance().make<Node>();
+  EXPECT_THROW(heap_node->value = local.value, IllegalAssignmentError);
+}
+
+TEST(RefTest, TargetAreaIsCachedAtStore) {
+  auto* heap_int = HeapMemory::instance().make<int>(1);
+  Node local;
+  local.value = heap_int;
+  EXPECT_EQ(local.value.target_area(), &HeapMemory::instance());
+  int stack_int = 2;
+  local.value = &stack_int;
+  EXPECT_EQ(local.value.target_area(), nullptr);
+}
+
+}  // namespace
+}  // namespace rtcf::rtsj

@@ -1,0 +1,132 @@
+// Response-time analysis, including cross-validation against the
+// discrete-event simulator: the analytic bound must dominate every
+// simulated response, and be exact for the highest-priority task.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "scenario/production_scenario.hpp"
+#include "sim/rta.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rtcf::sim {
+namespace {
+
+using rtsj::RelativeTime;
+
+RtaTask task(const char* name, int priority, std::int64_t period_us,
+             std::int64_t cost_us) {
+  RtaTask t;
+  t.name = name;
+  t.priority = priority;
+  t.period = RelativeTime::microseconds(period_us);
+  t.cost = RelativeTime::microseconds(cost_us);
+  return t;
+}
+
+TEST(RtaTest, HighestPriorityTaskBoundEqualsItsCost) {
+  const std::vector<RtaTask> tasks = {
+      task("hi", 30, 10'000, 1'000),
+      task("lo", 20, 20'000, 5'000),
+  };
+  const auto bound = response_time_bound(tasks, 0);
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_EQ(*bound, RelativeTime::microseconds(1'000));
+}
+
+TEST(RtaTest, ClassicTextbookExample) {
+  // Liu & Layland-style set: T=(7,2), (12,3), (20,5), priorities by rate.
+  const std::vector<RtaTask> tasks = {
+      task("t1", 30, 7'000, 2'000),
+      task("t2", 25, 12'000, 3'000),
+      task("t3", 20, 20'000, 5'000),
+  };
+  const auto r1 = response_time_bound(tasks, 0);
+  const auto r2 = response_time_bound(tasks, 1);
+  const auto r3 = response_time_bound(tasks, 2);
+  ASSERT_TRUE(r1 && r2 && r3);
+  EXPECT_EQ(r1->to_micros(), 2'000);
+  EXPECT_EQ(r2->to_micros(), 5'000);  // 3 + 2
+  // W3: 5 + 2*ceil(W/7) + 3*ceil(W/12) converges at 12 (two t1 releases,
+  // one t2 release inside [0, 12)).
+  EXPECT_EQ(r3->to_micros(), 12'000);
+  EXPECT_TRUE(analyze(tasks).all_schedulable);
+}
+
+TEST(RtaTest, OverloadedSetIsUnschedulable) {
+  const std::vector<RtaTask> tasks = {
+      task("a", 30, 10'000, 6'000),
+      task("b", 20, 10'000, 6'000),  // 120 % utilization
+  };
+  const auto result = analyze(tasks);
+  EXPECT_FALSE(result.all_schedulable);
+  EXPECT_TRUE(result.entries[0].schedulable);
+  EXPECT_FALSE(result.entries[1].schedulable);
+}
+
+TEST(RtaTest, ArchitectureExtraction) {
+  const auto arch = scenario::make_production_architecture();
+  const auto tasks = tasks_from_architecture(arch);
+  // Only ProductionLine qualifies (periodic with cost); the sporadic
+  // components are unconstrained.
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_EQ(tasks[0].name, "ProductionLine");
+  EXPECT_EQ(tasks[0].priority, 30);
+  EXPECT_EQ(tasks[0].period, RelativeTime::milliseconds(10));
+  const auto result = analyze(tasks);
+  EXPECT_TRUE(result.all_schedulable);
+}
+
+class RtaVsSimulatorProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RtaVsSimulatorProperty, AnalyticBoundDominatesSimulation) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<std::int64_t> period_us(5'000, 50'000);
+  std::uniform_int_distribution<int> task_count(2, 6);
+
+  const int n = task_count(rng);
+  std::vector<std::int64_t> periods;
+  for (int i = 0; i < n; ++i) periods.push_back(period_us(rng));
+  // Rate-monotonic priorities (shortest period highest): the Liu & Layland
+  // bound guarantees schedulability at 60 % total utilization.
+  std::sort(periods.begin(), periods.end());
+  std::vector<RtaTask> tasks;
+  for (int i = 0; i < n; ++i) {
+    tasks.push_back(
+        task(("t" + std::to_string(i)).c_str(), 35 - i, periods[i],
+             std::max<std::int64_t>(periods[i] * 6 / (10 * n), 1)));
+  }
+  const auto result = analyze(tasks);
+  ASSERT_TRUE(result.all_schedulable)
+      << "60 % utilization under RM priorities must fit";
+
+  PreemptiveScheduler sched;
+  std::vector<TaskId> ids;
+  for (const auto& t : tasks) {
+    TaskConfig cfg;
+    cfg.name = t.name;
+    cfg.priority = t.priority;
+    cfg.release = ReleaseKind::Periodic;
+    cfg.period = t.period;
+    cfg.cost = t.cost;
+    ids.push_back(sched.add_task(std::move(cfg)));
+  }
+  sched.run_until(rtsj::AbsoluteTime::epoch() + RelativeTime::seconds(5));
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto& stats = sched.stats(ids[i]);
+    ASSERT_GT(stats.releases_completed, 0u);
+    const double bound_us = result.entries[i].response->to_micros();
+    EXPECT_LE(stats.response_times_us.max(), bound_us + 1e-9)
+        << tasks[i].name << ": simulation exceeded the analytic bound";
+  }
+  // The bound is *tight* for the top-priority task.
+  EXPECT_DOUBLE_EQ(sched.stats(ids[0]).response_times_us.max(),
+                   result.entries[0].response->to_micros());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtaVsSimulatorProperty,
+                         ::testing::Values(7u, 21u, 63u, 189u, 567u));
+
+}  // namespace
+}  // namespace rtcf::sim

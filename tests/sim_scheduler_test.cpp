@@ -1,0 +1,230 @@
+// The discrete-event fixed-priority preemptive scheduler simulator.
+#include <gtest/gtest.h>
+
+#include "sim/architecture_sim.hpp"
+#include "scenario/production_scenario.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rtcf::sim {
+namespace {
+
+using rtsj::AbsoluteTime;
+using rtsj::RelativeTime;
+
+AbsoluteTime at_ms(std::int64_t ms) {
+  return AbsoluteTime::epoch() + RelativeTime::milliseconds(ms);
+}
+
+TaskConfig periodic(const char* name, int priority, std::int64_t period_us,
+                    std::int64_t cost_us,
+                    ThreadKind kind = ThreadKind::Realtime) {
+  TaskConfig cfg;
+  cfg.name = name;
+  cfg.kind = kind;
+  cfg.priority = priority;
+  cfg.release = ReleaseKind::Periodic;
+  cfg.period = RelativeTime::microseconds(period_us);
+  cfg.cost = RelativeTime::microseconds(cost_us);
+  return cfg;
+}
+
+TEST(SimSchedulerTest, SinglePeriodicTaskRunsOnSchedule) {
+  PreemptiveScheduler sched;
+  const TaskId id = sched.add_task(periodic("t", 20, 1000, 100));
+  sched.run_until(at_ms(10));
+  const auto& stats = sched.stats(id);
+  EXPECT_EQ(stats.releases_completed, 10u);
+  EXPECT_EQ(stats.deadline_misses, 0u);
+  // Uncontended: every response equals the cost.
+  EXPECT_DOUBLE_EQ(stats.response_times_us.min(), 100.0);
+  EXPECT_DOUBLE_EQ(stats.response_times_us.max(), 100.0);
+}
+
+TEST(SimSchedulerTest, HigherPriorityPreempts) {
+  PreemptiveScheduler sched;
+  // Low priority, long job released at t=0.
+  const TaskId low = sched.add_task(periodic("low", 12, 100'000, 10'000));
+  // High priority, short job released every 2 ms.
+  const TaskId high = sched.add_task(periodic("high", 30, 2'000, 200));
+  sched.run_until(at_ms(50));
+  const auto& low_stats = sched.stats(low);
+  const auto& high_stats = sched.stats(high);
+  // High always runs immediately: response == cost.
+  EXPECT_DOUBLE_EQ(high_stats.response_times_us.max(), 200.0);
+  // Low was preempted (10 ms of work interleaved with 5 high releases).
+  EXPECT_GT(low_stats.preemptions, 0u);
+  EXPECT_GT(low_stats.response_times_us.max(), 10'000.0);
+}
+
+TEST(SimSchedulerTest, EqualPriorityIsFifoNoPreemption) {
+  PreemptiveScheduler sched;
+  const TaskId a = sched.add_task(periodic("a", 20, 10'000, 3'000));
+  const TaskId b = sched.add_task(periodic("b", 20, 10'000, 3'000));
+  sched.run_until(at_ms(10));
+  // a released first (same instant, lower enqueue order) -> runs first,
+  // b waits: response = 6 ms; neither preempts the other.
+  EXPECT_DOUBLE_EQ(sched.stats(a).response_times_us.max(), 3'000.0);
+  EXPECT_DOUBLE_EQ(sched.stats(b).response_times_us.max(), 6'000.0);
+  EXPECT_EQ(sched.stats(a).preemptions, 0u);
+  EXPECT_EQ(sched.stats(b).preemptions, 0u);
+}
+
+TEST(SimSchedulerTest, DeadlineMissesAreDetected) {
+  PreemptiveScheduler sched;
+  // Cost exceeds the implicit deadline (= period).
+  const TaskId id = sched.add_task(periodic("over", 20, 1'000, 1'500));
+  sched.run_until(at_ms(10));
+  EXPECT_GT(sched.stats(id).deadline_misses, 0u);
+}
+
+TEST(SimSchedulerTest, SporadicReleasesOnArrival) {
+  PreemptiveScheduler sched;
+  TaskConfig cfg;
+  cfg.name = "sporadic";
+  cfg.priority = 25;
+  cfg.release = ReleaseKind::Sporadic;
+  cfg.cost = RelativeTime::microseconds(500);
+  const TaskId id = sched.add_task(std::move(cfg));
+  sched.post_arrival(id, at_ms(1));
+  sched.post_arrival(id, at_ms(5));
+  sched.run_until(at_ms(10));
+  EXPECT_EQ(sched.stats(id).releases_completed, 2u);
+}
+
+TEST(SimSchedulerTest, SporadicMinInterarrivalRejectsBursts) {
+  PreemptiveScheduler sched;
+  TaskConfig cfg;
+  cfg.name = "mit";
+  cfg.priority = 25;
+  cfg.release = ReleaseKind::Sporadic;
+  cfg.min_interarrival = RelativeTime::milliseconds(2);
+  cfg.cost = RelativeTime::microseconds(10);
+  const TaskId id = sched.add_task(std::move(cfg));
+  sched.post_arrival(id, at_ms(1));
+  sched.post_arrival(id, at_ms(2));  // 1 ms gap < 2 ms MIT -> rejected
+  sched.post_arrival(id, at_ms(4));  // 3 ms gap -> admitted
+  sched.run_until(at_ms(10));
+  EXPECT_EQ(sched.stats(id).releases_completed, 2u);
+  EXPECT_EQ(sched.stats(id).rejected_arrivals, 1u);
+}
+
+TEST(SimSchedulerTest, GcBlocksRegularButNotNhrt) {
+  PreemptiveScheduler sched;
+  const TaskId nhrt = sched.add_task(
+      periodic("nhrt", 30, 10'000, 1'000, ThreadKind::NoHeapRealtime));
+  const TaskId regular = sched.add_task(
+      periodic("reg", 5, 10'000, 1'000, ThreadKind::Regular));
+  sched.set_gc_model(
+      {RelativeTime::milliseconds(10), RelativeTime::milliseconds(3)});
+  sched.run_until(at_ms(100));
+  EXPECT_GT(sched.gc_pause_count(), 0u);
+  // NHRT: always response == cost.
+  EXPECT_DOUBLE_EQ(sched.stats(nhrt).response_times_us.max(), 1'000.0);
+  // Regular: at least one release absorbed a 3 ms pause.
+  EXPECT_GE(sched.stats(regular).response_times_us.max(), 3'000.0);
+}
+
+TEST(SimSchedulerTest, GcImmunityMatchesNoGcRunExactly) {
+  auto run = [](bool gc) {
+    PreemptiveScheduler sched;
+    const TaskId nhrt = sched.add_task(
+        periodic("nhrt", 30, 5'000, 750, ThreadKind::NoHeapRealtime));
+    if (gc) {
+      sched.set_gc_model(
+          {RelativeTime::milliseconds(7), RelativeTime::milliseconds(2)});
+    }
+    sched.run_until(at_ms(200));
+    return sched.stats(nhrt).response_times_us.samples();
+  };
+  EXPECT_EQ(run(false), run(true)) << "NHRT timeline must be GC-invariant";
+}
+
+TEST(SimSchedulerTest, DeterministicTraceAcrossRuns) {
+  auto run = [] {
+    PreemptiveScheduler sched;
+    sched.enable_trace();
+    sched.add_task(periodic("a", 20, 1'000, 300));
+    sched.add_task(periodic("b", 25, 1'700, 400));
+    sched.set_gc_model(
+        {RelativeTime::milliseconds(5), RelativeTime::microseconds(500)});
+    sched.run_until(at_ms(20));
+    std::string out;
+    for (const auto& ev : sched.trace()) out += ev.to_string(sched) + "\n";
+    return out;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SimSchedulerTest, CompletionChainingDrivesPipelines) {
+  PreemptiveScheduler sched;
+  const TaskId producer = sched.add_task(periodic("prod", 30, 1'000, 100));
+  TaskConfig consumer_cfg;
+  consumer_cfg.name = "cons";
+  consumer_cfg.priority = 20;
+  consumer_cfg.release = ReleaseKind::Sporadic;
+  consumer_cfg.cost = RelativeTime::microseconds(200);
+  const TaskId consumer = sched.add_task(std::move(consumer_cfg));
+  sched.set_on_complete(producer, [&](AbsoluteTime t) {
+    sched.post_arrival(consumer, t);
+  });
+  sched.run_until(at_ms(10));
+  EXPECT_EQ(sched.stats(producer).releases_completed, 10u);
+  EXPECT_EQ(sched.stats(consumer).releases_completed, 10u);
+}
+
+TEST(SimSchedulerTest, RunUntilIsResumable) {
+  PreemptiveScheduler sched;
+  const TaskId id = sched.add_task(periodic("t", 20, 1'000, 100));
+  sched.run_until(at_ms(5));
+  const auto five = sched.stats(id).releases_completed;
+  sched.run_until(at_ms(10));
+  EXPECT_EQ(sched.stats(id).releases_completed, five + 5);
+}
+
+TEST(ArchitectureSimTest, MapsTheMotivationScenario) {
+  const auto arch = scenario::make_production_architecture();
+  PreemptiveScheduler sched;
+  const auto mapping = map_architecture(arch, sched);
+  ASSERT_TRUE(mapping.has("ProductionLine"));
+  ASSERT_TRUE(mapping.has("MonitoringSystem"));
+  ASSERT_TRUE(mapping.has("AuditLog"));
+  EXPECT_FALSE(mapping.has("Console")) << "passive: no task";
+
+  EXPECT_EQ(sched.config(mapping.task("ProductionLine")).kind,
+            ThreadKind::NoHeapRealtime);
+  EXPECT_EQ(sched.config(mapping.task("ProductionLine")).priority, 30);
+  EXPECT_EQ(sched.config(mapping.task("AuditLog")).kind,
+            ThreadKind::Regular);
+
+  sched.run_until(at_ms(1000));
+  // 100 PL releases in 1 s (10 ms period); each chains MS; each MS chains
+  // the audit log.
+  EXPECT_EQ(sched.stats(mapping.task("ProductionLine")).releases_completed,
+            100u);
+  EXPECT_EQ(sched.stats(mapping.task("MonitoringSystem")).releases_completed,
+            100u);
+  EXPECT_EQ(sched.stats(mapping.task("AuditLog")).releases_completed, 100u);
+}
+
+TEST(ArchitectureSimTest, NhrtPipelineStagesAreGcInvariant) {
+  auto run = [](bool gc) {
+    const auto arch = scenario::make_production_architecture();
+    PreemptiveScheduler sched;
+    const auto mapping = map_architecture(arch, sched);
+    if (gc) {
+      sched.set_gc_model(
+          {RelativeTime::milliseconds(40), RelativeTime::milliseconds(2)});
+    }
+    sched.run_until(at_ms(2000));
+    return std::pair{
+        sched.stats(mapping.task("ProductionLine")).response_times_us.max(),
+        sched.stats(mapping.task("AuditLog")).response_times_us.max()};
+  };
+  const auto [pl_no_gc, audit_no_gc] = run(false);
+  const auto [pl_gc, audit_gc] = run(true);
+  EXPECT_DOUBLE_EQ(pl_no_gc, pl_gc);
+  EXPECT_GT(audit_gc, audit_no_gc);
+}
+
+}  // namespace
+}  // namespace rtcf::sim

@@ -1,0 +1,63 @@
+// RTSJ time types and clocks.
+#include <gtest/gtest.h>
+
+#include "rtsj/time/time.hpp"
+
+namespace rtcf::rtsj {
+namespace {
+
+TEST(RelativeTimeTest, FactoriesAndConversions) {
+  EXPECT_EQ(RelativeTime::milliseconds(10).nanos(), 10'000'000);
+  EXPECT_EQ(RelativeTime::microseconds(5).nanos(), 5'000);
+  EXPECT_EQ(RelativeTime::seconds(2).nanos(), 2'000'000'000);
+  EXPECT_DOUBLE_EQ(RelativeTime::milliseconds(10).to_millis(), 10.0);
+  EXPECT_DOUBLE_EQ(RelativeTime::microseconds(7).to_micros(), 7.0);
+  EXPECT_TRUE(RelativeTime::zero().is_zero());
+  EXPECT_TRUE(RelativeTime::nanoseconds(-1).is_negative());
+}
+
+TEST(RelativeTimeTest, Arithmetic) {
+  const auto a = RelativeTime::milliseconds(3);
+  const auto b = RelativeTime::milliseconds(2);
+  EXPECT_EQ(a + b, RelativeTime::milliseconds(5));
+  EXPECT_EQ(a - b, RelativeTime::milliseconds(1));
+  EXPECT_EQ(a * 4, RelativeTime::milliseconds(12));
+  EXPECT_EQ(-a, RelativeTime::milliseconds(-3));
+  EXPECT_LT(b, a);
+}
+
+TEST(AbsoluteTimeTest, PointArithmetic) {
+  const auto t0 = AbsoluteTime::epoch();
+  const auto t1 = t0 + RelativeTime::milliseconds(10);
+  EXPECT_EQ(t1 - t0, RelativeTime::milliseconds(10));
+  EXPECT_EQ(t1 - RelativeTime::milliseconds(10), t0);
+  EXPECT_GT(t1, t0);
+}
+
+TEST(TimeFormattingTest, PicksNaturalUnits) {
+  EXPECT_EQ(RelativeTime::milliseconds(10).to_string(), "10ms");
+  EXPECT_EQ(RelativeTime::microseconds(250).to_string(), "250us");
+  EXPECT_EQ(RelativeTime::nanoseconds(7).to_string(), "7ns");
+}
+
+TEST(ManualClockTest, AdvancesMonotonically) {
+  ManualClock clock;
+  EXPECT_EQ(clock.now(), AbsoluteTime::epoch());
+  clock.advance_by(RelativeTime::milliseconds(5));
+  EXPECT_EQ(clock.now().nanos(), 5'000'000);
+  clock.advance_to(AbsoluteTime(7'000'000));
+  EXPECT_THROW(clock.advance_to(AbsoluteTime(1)), std::invalid_argument);
+  clock.reset();
+  EXPECT_EQ(clock.now(), AbsoluteTime::epoch());
+}
+
+TEST(SteadyClockTest, IsMonotoneNonDecreasing) {
+  auto& clock = SteadyClock::instance();
+  const auto a = clock.now();
+  const auto b = clock.now();
+  EXPECT_LE(a.nanos(), b.nanos());
+  EXPECT_EQ(clock.resolution(), RelativeTime::nanoseconds(1));
+}
+
+}  // namespace
+}  // namespace rtcf::rtsj

@@ -1,0 +1,189 @@
+// util: stats, histogram, arena, ring buffers, table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/arena.hpp"
+#include "util/ring_buffer.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rtcf::util {
+namespace {
+
+TEST(OnlineStatsTest, MeanVarianceMinMax) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, DegenerateCases) {
+  OnlineStats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(SampleSetTest, PercentilesInterpolate) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.median(), 50.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(99), 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_THROW((void)s.percentile(101), std::invalid_argument);
+}
+
+TEST(SampleSetTest, JitterIsMeanAbsoluteDeviationFromMedian) {
+  SampleSet s;
+  for (double x : {10.0, 10.0, 10.0, 14.0, 6.0}) s.add(x);
+  // median = 10; deviations: 0,0,0,4,4 -> jitter = 8/5.
+  EXPECT_DOUBLE_EQ(s.jitter(), 1.6);
+  EXPECT_DOUBLE_EQ(s.worst_case_deviation(), 4.0);
+}
+
+TEST(SampleSetTest, LazySortSurvivesInterleavedAdds) {
+  SampleSet s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  for (double x : {0.5, 1.5, 1.7, 9.9, -1.0, 10.0, 25.0}) h.add(x);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_DOUBLE_EQ(h.bucket_low(1), 1.0);
+  // CSV has one line per bucket.
+  const std::string csv = h.to_csv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 10);
+}
+
+TEST(ArenaTest, BumpAllocationAndAlignment) {
+  Arena arena(1024);
+  void* a = arena.allocate(10, 8);
+  void* b = arena.allocate(10, 64);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0u);
+  EXPECT_EQ(arena.consumed(), 20u);
+  EXPECT_TRUE(arena.contains(a));
+  EXPECT_TRUE(arena.contains(b));
+  int on_stack = 0;
+  EXPECT_FALSE(arena.contains(&on_stack));
+}
+
+TEST(ArenaTest, FixedArenaRefusesOverflow) {
+  Arena arena(64, /*fixed=*/true);
+  EXPECT_NE(arena.allocate(48, 8), nullptr);
+  EXPECT_EQ(arena.allocate(64, 8), nullptr);
+}
+
+TEST(ArenaTest, GrowableArenaChainsChunks) {
+  Arena arena(64, /*fixed=*/false);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(arena.allocate(64, 8), nullptr);
+  }
+  EXPECT_GE(arena.capacity(), 100u * 64u);
+}
+
+TEST(ArenaTest, ResetRewindsAndTracksHighWater) {
+  Arena arena(1024);
+  arena.allocate(512, 8);
+  EXPECT_EQ(arena.high_water_mark(), 512u);
+  arena.reset();
+  EXPECT_EQ(arena.consumed(), 0u);
+  EXPECT_EQ(arena.high_water_mark(), 512u);
+  arena.allocate(128, 8);
+  EXPECT_EQ(arena.high_water_mark(), 512u);
+}
+
+TEST(RingBufferTest, FifoOrderAndCapacity) {
+  RingBuffer<int> ring(3);
+  EXPECT_TRUE(ring.push(1));
+  EXPECT_TRUE(ring.push(2));
+  EXPECT_TRUE(ring.push(3));
+  EXPECT_FALSE(ring.push(4)) << "full";
+  EXPECT_EQ(ring.pop(), 1);
+  EXPECT_TRUE(ring.push(4));
+  EXPECT_EQ(ring.pop(), 2);
+  EXPECT_EQ(ring.pop(), 3);
+  EXPECT_EQ(ring.pop(), 4);
+  EXPECT_EQ(ring.pop(), std::nullopt);
+}
+
+TEST(RingBufferTest, WrapAroundManyTimes) {
+  RingBuffer<int> ring(5);
+  for (int round = 0; round < 1000; ++round) {
+    EXPECT_TRUE(ring.push(round));
+    EXPECT_EQ(ring.pop(), round);
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRingBufferTest, SingleThreadedSemantics) {
+  SpscRingBuffer<int> ring(2);
+  EXPECT_TRUE(ring.push(1));
+  EXPECT_TRUE(ring.push(2));
+  EXPECT_FALSE(ring.push(3));
+  EXPECT_EQ(ring.pop(), 1);
+  EXPECT_EQ(ring.pop(), 2);
+  EXPECT_EQ(ring.pop(), std::nullopt);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRingBufferTest, CrossThreadTransfer) {
+  SpscRingBuffer<int> ring(64);
+  constexpr int kCount = 100'000;
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) {
+      while (!ring.push(i)) {
+      }
+    }
+  });
+  long long sum = 0;
+  int received = 0;
+  while (received < kCount) {
+    if (auto v = ring.pop()) {
+      sum += *v;
+      ++received;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(sum, static_cast<long long>(kCount) * (kCount - 1) / 2);
+}
+
+TEST(TableTest, AlignedRenderingAndCsv) {
+  Table t({"Name", "Value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string rendered = t.to_string();
+  EXPECT_NE(rendered.find("| Name"), std::string::npos);
+  EXPECT_NE(rendered.find("| longer"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "Name,Value\nx,1\nlonger,22\n");
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::bytes(2048), "2048 bytes (2.0 KB)");
+}
+
+}  // namespace
+}  // namespace rtcf::util

@@ -1,0 +1,102 @@
+// The dependency-free XML layer under the ADL.
+#include <gtest/gtest.h>
+
+#include "adl/xml.hpp"
+
+namespace rtcf::adl {
+namespace {
+
+TEST(XmlTest, ParsesMinimalElement) {
+  const XmlNode root = parse_xml("<a/>");
+  EXPECT_EQ(root.name, "a");
+  EXPECT_TRUE(root.children.empty());
+  EXPECT_TRUE(root.attributes.empty());
+}
+
+TEST(XmlTest, ParsesAttributes) {
+  const XmlNode root =
+      parse_xml(R"(<c name="x" size='28KB' priority="30"/>)");
+  EXPECT_EQ(root.attr_or("name", ""), "x");
+  EXPECT_EQ(root.attr_or("size", ""), "28KB");
+  EXPECT_EQ(root.attr_or("priority", ""), "30");
+  EXPECT_FALSE(root.attr("missing").has_value());
+  EXPECT_EQ(root.attr_or("missing", "fallback"), "fallback");
+}
+
+TEST(XmlTest, RequireAttrThrowsWhenAbsent) {
+  const XmlNode root = parse_xml("<c name='x'/>");
+  EXPECT_EQ(root.require_attr("name"), "x");
+  EXPECT_THROW((void)root.require_attr("nope"), std::invalid_argument);
+}
+
+TEST(XmlTest, ParsesNestedChildren) {
+  const XmlNode root = parse_xml(
+      "<outer><inner a='1'/><inner a='2'><leaf/></inner></outer>");
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].name, "inner");
+  EXPECT_EQ(root.children[1].children.at(0).name, "leaf");
+  EXPECT_EQ(root.children_named("inner").size(), 2u);
+  EXPECT_NE(root.child("inner"), nullptr);
+  EXPECT_EQ(root.child("nothere"), nullptr);
+}
+
+TEST(XmlTest, ParsesTextContent) {
+  const XmlNode root = parse_xml("<msg>  hello world  </msg>");
+  EXPECT_EQ(root.text, "hello world");
+}
+
+TEST(XmlTest, DecodesEntities) {
+  const XmlNode root =
+      parse_xml(R"(<e v="&lt;a&gt; &amp; &quot;b&quot; &apos;c&apos;"/>)");
+  EXPECT_EQ(root.attr_or("v", ""), "<a> & \"b\" 'c'");
+}
+
+TEST(XmlTest, SkipsCommentsAndDeclarations) {
+  const XmlNode root = parse_xml(
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- leading comment -->\n"
+      "<root><!-- inner --><child/></root>\n"
+      "<!-- trailing -->");
+  EXPECT_EQ(root.name, "root");
+  ASSERT_EQ(root.children.size(), 1u);
+}
+
+TEST(XmlTest, ReportsLineAndColumnOnError) {
+  try {
+    parse_xml("<a>\n  <b>\n</a>");
+    FAIL() << "expected XmlParseError";
+  } catch (const XmlParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("mismatched"), std::string::npos);
+  }
+}
+
+TEST(XmlTest, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse_xml(""), XmlParseError);
+  EXPECT_THROW(parse_xml("<a>"), XmlParseError);
+  EXPECT_THROW(parse_xml("<a></b>"), XmlParseError);
+  EXPECT_THROW(parse_xml("<a b=/>"), XmlParseError);
+  EXPECT_THROW(parse_xml("<a/><b/>"), XmlParseError);
+  EXPECT_THROW(parse_xml("<a v='&unknown;'/>"), XmlParseError);
+}
+
+TEST(XmlTest, EscapeRoundTrip) {
+  const std::string raw = "<tag> & \"quoted\" 'single'";
+  XmlNode node;
+  node.name = "t";
+  node.attributes.emplace_back("v", raw);
+  const XmlNode parsed = parse_xml(to_xml(node));
+  EXPECT_EQ(parsed.attr_or("v", ""), raw);
+}
+
+TEST(XmlTest, SerializationIsStable) {
+  const char* text =
+      "<root a=\"1\"><child x=\"y\"/><child2>body</child2></root>";
+  const XmlNode once = parse_xml(text);
+  const std::string emitted = to_xml(once);
+  const XmlNode twice = parse_xml(emitted);
+  EXPECT_EQ(to_xml(twice), emitted);
+}
+
+}  // namespace
+}  // namespace rtcf::adl
