@@ -9,6 +9,7 @@
 // distribution shape remain directly comparable.
 #pragma once
 
+#include <cstdio>
 #include <functional>
 #include <string>
 #include <vector>
@@ -29,6 +30,44 @@ struct VariantResult {
   std::string name;
   util::SampleSet per_iteration_us;
 };
+
+/// One machine-readable result row: a name plus numeric metrics. Every
+/// bench that emits JSON uses the same shape,
+///   {"bench": "<name>", "rows": [{"name": "...", "<metric>": <num>}...]},
+/// so downstream tooling can ingest fig7 and scaling runs identically.
+struct JsonRow {
+  std::string name;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+inline void print_json(const std::string& bench,
+                       const std::vector<JsonRow>& rows) {
+  std::printf("{\"bench\": \"%s\", \"rows\": [", bench.c_str());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::printf("%s{\"name\": \"%s\"", i == 0 ? "" : ", ",
+                rows[i].name.c_str());
+    for (const auto& [key, value] : rows[i].metrics) {
+      std::printf(", \"%s\": %.6g", key.c_str(), value);
+    }
+    std::printf("}");
+  }
+  std::printf("]}\n");
+}
+
+/// The fig7 sample sets as JSON rows (median/jitter/p99, microseconds).
+inline std::vector<JsonRow> to_json_rows(
+    const std::vector<VariantResult>& results) {
+  std::vector<JsonRow> rows;
+  for (const auto& r : results) {
+    JsonRow row;
+    row.name = r.name;
+    row.metrics = {{"median_us", r.per_iteration_us.median()},
+                   {"jitter_us", r.per_iteration_us.jitter()},
+                   {"p99_us", r.per_iteration_us.percentile(99)}};
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
 
 /// Times `iterate` (one pipeline transaction) with the steady clock.
 inline util::SampleSet measure_steady_state(

@@ -1,0 +1,97 @@
+// Multicore scaling of the partitioned executive: the production scenario
+// at 1, 2, and 4 workers.
+//
+// The workload is time-triggered (ProductionLine at 10 ms), so transaction
+// *throughput* is pinned by the period; what partitioning buys is headroom:
+// lower response times per transaction, fewer deadline misses under load,
+// and isolation of the audit path from the NHRT pipeline. Rows report both,
+// plus the cross-worker message accounting (enqueued/dropped) from the
+// binding buffers.
+//
+// Emits the same JSON shape as the fig7 harness:
+//   {"bench": "multicore_scaling", "rows": [{"name": "workers=1", ...}]}
+//
+//   ./bench_multicore_scaling [duration_ms]
+#include <cstdio>
+#include <cstdlib>
+
+#include "fig7_harness.hpp"
+#include "runtime/launcher.hpp"
+#include "scenario/production_scenario.hpp"
+#include "soleil/application.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtcf;
+
+  std::int64_t duration_ms = 400;
+  if (argc > 1) {
+    duration_ms = std::atol(argv[1]);
+    if (duration_ms <= 0) {
+      std::fprintf(stderr, "usage: %s [duration_ms > 0]\n", argv[0]);
+      return 2;
+    }
+  }
+  const auto arch = scenario::make_production_architecture();
+
+  std::printf("== multicore scaling: production scenario, %lld ms per row ==\n\n",
+              static_cast<long long>(duration_ms));
+  util::Table table({"Workers", "Transactions", "Throughput (tx/s)",
+                     "Misses", "Median (us)", "p99 (us)", "Dropped"});
+  std::vector<bench::JsonRow> rows;
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    auto app = soleil::build_application(arch, soleil::Mode::Soleil, workers);
+    app->start();
+    runtime::Launcher launcher(*app);
+    runtime::Launcher::Options options;
+    options.duration = rtsj::RelativeTime::milliseconds(duration_ms);
+    options.workers = workers;
+    launcher.run(options);
+
+    const auto& stats = launcher.stats("ProductionLine");
+    // Durations shorter than the 10 ms period yield no releases; report
+    // zeros instead of asking an empty sample set for percentiles.
+    const bool have_samples = !stats.response_us.empty();
+    const double median_us = have_samples ? stats.response_us.median() : 0.0;
+    const double p99_us =
+        have_samples ? stats.response_us.percentile(99) : 0.0;
+    std::uint64_t misses = 0;
+    for (const auto& [name, cs] : launcher.all_stats()) {
+      misses += cs.deadline_misses;
+    }
+    std::uint64_t dropped = 0;
+    for (const auto& buffer : app->buffers()) {
+      dropped += buffer->dropped_total();
+    }
+    const auto counters = scenario::collect_counters(*app);
+    const double throughput = static_cast<double>(counters.processed) /
+                              (static_cast<double>(duration_ms) / 1e3);
+
+    table.add_row({std::to_string(workers),
+                   std::to_string(counters.processed),
+                   util::Table::num(throughput, 1), std::to_string(misses),
+                   util::Table::num(median_us, 2),
+                   util::Table::num(p99_us, 2),
+                   std::to_string(dropped)});
+    bench::JsonRow row;
+    row.name = "workers=" + std::to_string(workers);
+    row.metrics = {
+        {"workers", static_cast<double>(workers)},
+        {"transactions", static_cast<double>(counters.processed)},
+        {"throughput_per_s", throughput},
+        {"deadline_misses", static_cast<double>(misses)},
+        {"median_us", median_us},
+        {"p99_us", p99_us},
+        {"dropped", static_cast<double>(dropped)},
+    };
+    rows.push_back(std::move(row));
+    app->stop();
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("JSON:\n");
+  bench::print_json("multicore_scaling", rows);
+  return 0;
+}

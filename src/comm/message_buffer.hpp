@@ -1,10 +1,21 @@
-// Bounded message buffer backing asynchronous bindings.
+// Bounded message buffers backing asynchronous bindings.
 //
-// The buffer's storage is carved out of an RTSJ memory area at assembly
+// A buffer's storage is carved out of an RTSJ memory area at assembly
 // time (the paper's `BindDesc bufferSize` attribute decides the capacity,
 // the Soleil planner decides the area), after which push/pop never
-// allocate. Overflow drops the newest message and counts it — sporadic
-// consumers with a minimum interarrival time are *expected* to shed load.
+// allocate. Overflow drops the *newest* message (the one being pushed) and
+// counts it — sporadic consumers with a minimum interarrival time are
+// *expected* to shed load.
+//
+// Two variants share this interface:
+//   * MessageBuffer      — the single-threaded base, used when producer and
+//                          consumer run on the same executive worker (the
+//                          run-to-completion dispatcher guarantees they
+//                          never race);
+//   * SpscMessageBuffer  — lock-free single-producer/single-consumer ring
+//                          (spsc_message_buffer.hpp) carrying cross-worker
+//                          asynchronous bindings in the partitioned
+//                          executive.
 #pragma once
 
 #include <cstdint>
@@ -20,31 +31,40 @@ class MessageBuffer {
  public:
   /// Allocates `capacity` message slots inside `area`.
   MessageBuffer(rtsj::MemoryArea& area, std::size_t capacity);
+  virtual ~MessageBuffer() = default;
 
   MessageBuffer(const MessageBuffer&) = delete;
   MessageBuffer& operator=(const MessageBuffer&) = delete;
 
   std::size_t capacity() const noexcept { return capacity_; }
-  std::size_t size() const noexcept { return size_; }
-  bool empty() const noexcept { return size_ == 0; }
-  bool full() const noexcept { return size_ == capacity_; }
+  virtual std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size() == 0; }
+  bool full() const noexcept { return size() == capacity_; }
 
   /// Enqueues a copy of `message`; returns false and counts a drop when
-  /// full.
-  bool push(const Message& message) noexcept;
-  std::optional<Message> pop() noexcept;
-  void clear() noexcept;
+  /// full (the pushed — newest — message is the one shed).
+  virtual bool push(const Message& message) noexcept;
+  virtual std::optional<Message> pop() noexcept;
+  /// Discards queued messages. Not safe while a concurrent producer or
+  /// consumer is active.
+  virtual void clear() noexcept;
 
-  std::uint64_t enqueued_total() const noexcept { return enqueued_; }
-  std::uint64_t dropped_total() const noexcept { return dropped_; }
+  virtual std::uint64_t enqueued_total() const noexcept { return enqueued_; }
+  virtual std::uint64_t dropped_total() const noexcept { return dropped_; }
+
+  /// True when push and pop may be called from two different OS threads
+  /// (one producer, one consumer) without external synchronization.
+  virtual bool concurrent() const noexcept { return false; }
 
   /// The memory area holding the slots (introspection / tests).
   const rtsj::MemoryArea& area() const noexcept { return area_; }
 
- private:
+ protected:
   rtsj::MemoryArea& area_;
   Message* slots_;
   std::size_t capacity_;
+
+ private:
   std::size_t head_ = 0;
   std::size_t tail_ = 0;
   std::size_t size_ = 0;

@@ -1,0 +1,79 @@
+// Lock-free single-producer/single-consumer variant of MessageBuffer.
+//
+// Carries cross-worker asynchronous bindings in the partitioned executive:
+// the client component's worker pushes, the server component's worker pops,
+// and neither ever blocks or allocates. Head and tail are free-running
+// atomic counters (index = counter % capacity), so `size()` is exact from
+// either side's perspective and full/empty need no sacrificial slot.
+//
+// Storage is still carved from the binding's RTSJ memory area at assembly
+// time, and overflow still sheds the newest message and counts the drop —
+// identical observable semantics to the single-threaded base, minus FIFO
+// interleaving guarantees *across* buffers.
+#pragma once
+
+#include <atomic>
+
+#include "comm/message_buffer.hpp"
+
+namespace rtcf::comm {
+
+/// Wait-free SPSC message ring with storage in a memory area.
+///
+/// Exactly one thread may push and exactly one thread may pop at any time
+/// (they may be the same thread). Counters are safe to read from anywhere.
+class SpscMessageBuffer final : public MessageBuffer {
+ public:
+  SpscMessageBuffer(rtsj::MemoryArea& area, std::size_t capacity)
+      : MessageBuffer(area, capacity) {}
+
+  bool push(const Message& message) noexcept override {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == capacity_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[tail % capacity_] = message;
+    tail_.store(tail + 1, std::memory_order_release);
+    enqueued_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::optional<Message> pop() noexcept override {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return std::nullopt;
+    Message out = slots_[head % capacity_];
+    head_.store(head + 1, std::memory_order_release);
+    return out;
+  }
+
+  void clear() noexcept override {
+    // Drain through the consumer side so the producer's view stays
+    // coherent; only legal when callers are quiesced, like the base.
+    while (pop().has_value()) {
+    }
+  }
+
+  std::size_t size() const noexcept override {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+  }
+
+  std::uint64_t enqueued_total() const noexcept override {
+    return enqueued_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped_total() const noexcept override {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  bool concurrent() const noexcept override { return true; }
+
+ private:
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace rtcf::comm

@@ -183,7 +183,10 @@ class MemoryAreaComponent final : public Component {
 struct BindingEnd {
   std::string component;
   std::string interface;
-  bool operator==(const BindingEnd&) const = default;
+  bool operator==(const BindingEnd& o) const {
+    return component == o.component && interface == o.interface;
+  }
+  bool operator!=(const BindingEnd& o) const { return !(*this == o); }
 };
 
 /// Binding attributes (ADL `BindDesc`).

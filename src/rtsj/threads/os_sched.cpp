@@ -1,0 +1,32 @@
+#include "rtsj/threads/os_sched.hpp"
+
+#include "rtsj/threads/params.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RTCF_HAVE_PTHREAD_SCHED 1
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace rtcf::rtsj {
+
+int to_os_priority(int rtsj_priority) noexcept {
+  if (rtsj_priority < kMinRtPriority) return 0;
+  if (rtsj_priority > kMaxRtPriority) rtsj_priority = kMaxRtPriority;
+  return rtsj_priority - kMinRtPriority + 1;
+}
+
+bool try_set_current_thread_priority(int rtsj_priority) noexcept {
+#ifdef RTCF_HAVE_PTHREAD_SCHED
+  const int level = to_os_priority(rtsj_priority);
+  if (level <= 0) return false;
+  sched_param param{};
+  param.sched_priority = level;
+  return pthread_setschedparam(pthread_self(), SCHED_FIFO, &param) == 0;
+#else
+  (void)rtsj_priority;
+  return false;
+#endif
+}
+
+}  // namespace rtcf::rtsj

@@ -1,0 +1,26 @@
+// Mapping from RTSJ priority bands onto host OS scheduling.
+//
+// The paper's testbed runs the RTSJ VM over RT-Preempt Linux, where the 28
+// real-time priorities map onto SCHED_FIFO. The partitioned executive's
+// worker threads do the same here: each worker asks for the SCHED_FIFO
+// level corresponding to the highest-priority component pinned to it.
+// Hosts without CAP_SYS_NICE (developer machines, CI containers) refuse the
+// request — callers treat that as a soft failure and keep running under
+// SCHED_OTHER, which only weakens latency bounds, never correctness.
+#pragma once
+
+namespace rtcf::rtsj {
+
+/// Maps an RTSJ priority onto a SCHED_FIFO priority level.
+///
+/// The real-time band [kMinRtPriority, kMaxRtPriority] maps linearly onto
+/// [1, 28]; regular Java priorities map to 0, meaning "stay SCHED_OTHER".
+int to_os_priority(int rtsj_priority) noexcept;
+
+/// Attempts to switch the *calling* OS thread to SCHED_FIFO at the level
+/// `to_os_priority(rtsj_priority)`. Returns true on success; false when the
+/// priority maps to 0, the platform has no POSIX scheduling API, or the
+/// process lacks the privilege (EPERM) — all non-fatal.
+bool try_set_current_thread_priority(int rtsj_priority) noexcept;
+
+}  // namespace rtcf::rtsj

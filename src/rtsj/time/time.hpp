@@ -7,7 +7,6 @@
 #pragma once
 
 #include <chrono>
-#include <compare>
 #include <cstdint>
 #include <string>
 
@@ -55,7 +54,12 @@ class RelativeTime {
     return RelativeTime(nanos_ * k);
   }
   constexpr RelativeTime operator-() const { return RelativeTime(-nanos_); }
-  constexpr auto operator<=>(const RelativeTime&) const = default;
+  constexpr bool operator==(RelativeTime o) const { return nanos_ == o.nanos_; }
+  constexpr bool operator!=(RelativeTime o) const { return nanos_ != o.nanos_; }
+  constexpr bool operator<(RelativeTime o) const { return nanos_ < o.nanos_; }
+  constexpr bool operator<=(RelativeTime o) const { return nanos_ <= o.nanos_; }
+  constexpr bool operator>(RelativeTime o) const { return nanos_ > o.nanos_; }
+  constexpr bool operator>=(RelativeTime o) const { return nanos_ >= o.nanos_; }
 
   std::string to_string() const;
 
@@ -84,7 +88,12 @@ class AbsoluteTime {
   constexpr RelativeTime operator-(AbsoluteTime o) const {
     return RelativeTime(nanos_ - o.nanos_);
   }
-  constexpr auto operator<=>(const AbsoluteTime&) const = default;
+  constexpr bool operator==(AbsoluteTime o) const { return nanos_ == o.nanos_; }
+  constexpr bool operator!=(AbsoluteTime o) const { return nanos_ != o.nanos_; }
+  constexpr bool operator<(AbsoluteTime o) const { return nanos_ < o.nanos_; }
+  constexpr bool operator<=(AbsoluteTime o) const { return nanos_ <= o.nanos_; }
+  constexpr bool operator>(AbsoluteTime o) const { return nanos_ > o.nanos_; }
+  constexpr bool operator>=(AbsoluteTime o) const { return nanos_ >= o.nanos_; }
 
   std::string to_string() const;
 

@@ -1,8 +1,11 @@
 #include "runtime/launcher.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <mutex>
 #include <thread>
 
+#include "rtsj/threads/os_sched.hpp"
 #include "util/assert.hpp"
 
 namespace rtcf::runtime {
@@ -22,6 +25,7 @@ Launcher::Launcher(soleil::Application& app) : app_(app) {
     entry.period = pc.active->period();
     entry.deadline = pc.thread->profile().effective_deadline();
     entry.priority = pc.thread->priority();
+    entry.partition = pc.partition;
     periodics_.push_back(std::move(entry));
     stats_.emplace(pc.component->name(), ComponentStats{});
   }
@@ -35,6 +39,37 @@ Launcher::Launcher(soleil::Application& app) : app_(app) {
 }
 
 void Launcher::run(const Options& options) {
+  if (options.workers <= 1) {
+    run_single(options);
+    return;
+  }
+  run_partitioned(options);
+}
+
+void Launcher::dispatch_entry(PeriodicEntry& entry, std::size_t worker,
+                              bool partitioned) {
+  auto& clock = rtsj::SteadyClock::instance();
+  const AbsoluteTime scheduled = entry.next_release;
+  const AbsoluteTime actual_start = clock.now();
+  entry.release();
+  if (partitioned) {
+    app_.pump_partition(worker);
+  } else {
+    app_.pump();
+  }
+  const AbsoluteTime finish = clock.now();
+
+  ComponentStats& cs = stats_.at(entry.name);
+  ++cs.releases;
+  cs.response_us.add((finish - scheduled).to_micros());
+  cs.start_lateness_us.add((actual_start - scheduled).to_micros());
+  if (!entry.deadline.is_zero() && finish - scheduled > entry.deadline) {
+    ++cs.deadline_misses;
+  }
+  entry.next_release = scheduled + entry.period;  // drift-free anchor
+}
+
+void Launcher::run_single(const Options& options) {
   auto& clock = rtsj::SteadyClock::instance();
   const AbsoluteTime start = clock.now();
   const AbsoluteTime end = start + options.duration;
@@ -61,21 +96,103 @@ void Launcher::run(const Options& options) {
     // completion including its downstream activations.
     for (auto& entry : periodics_) {
       if (entry.next_release > next) continue;
-      const AbsoluteTime scheduled = entry.next_release;
-      const AbsoluteTime actual_start = clock.now();
-      entry.release();
-      app_.pump();
-      const AbsoluteTime finish = clock.now();
+      dispatch_entry(entry, 0, /*partitioned=*/false);
+    }
+  }
+}
 
-      ComponentStats& cs = stats_.at(entry.name);
-      ++cs.releases;
-      cs.response_us.add((finish - scheduled).to_micros());
-      cs.start_lateness_us.add((actual_start - scheduled).to_micros());
-      if (!entry.deadline.is_zero() &&
-          finish - scheduled > entry.deadline) {
-        ++cs.deadline_misses;
+void Launcher::run_partitioned(const Options& options) {
+  const std::size_t workers = options.workers;
+  RTCF_REQUIRE(
+      app_.plan().partition_count == workers,
+      "Launcher workers must match the application's plan partition_count "
+      "(build the application with build_application(arch, mode, workers))");
+  os_grants_.store(0, std::memory_order_relaxed);
+
+  auto& clock = rtsj::SteadyClock::instance();
+  const AbsoluteTime start = clock.now();
+  const AbsoluteTime end = start + options.duration;
+
+  // Component logic may throw (area exhaustion, contract violations); the
+  // single-core executive propagates those to the caller, and the
+  // partitioned one must match — capture the first worker failure and
+  // rethrow after the join instead of letting std::terminate fire.
+  std::mutex failure_mutex;
+  std::exception_ptr failure;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([this, w, &options, start, end, &failure_mutex,
+                          &failure] {
+      try {
+        worker_loop(w, options, start, end);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        if (!failure) failure = std::current_exception();
       }
-      entry.next_release = scheduled + entry.period;  // drift-free anchor
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (failure) std::rethrow_exception(failure);
+
+  // Final drain: messages pushed just before the horizon by one worker may
+  // still sit in a cross-partition buffer after its consumer exited. The
+  // workers are joined, so the single-threaded sweep is safe.
+  app_.pump();
+}
+
+void Launcher::worker_loop(std::size_t worker, const Options& options,
+                           AbsoluteTime start, AbsoluteTime end) {
+  auto& clock = rtsj::SteadyClock::instance();
+
+  // This worker's release queue: its pinned periodic components, already in
+  // priority order (periodics_ is globally priority-sorted and filtering
+  // preserves order).
+  std::vector<PeriodicEntry*> mine;
+  int top_priority = 0;
+  for (auto& entry : periodics_) {
+    if (entry.partition != worker) continue;
+    mine.push_back(&entry);
+    top_priority = std::max(top_priority, entry.priority);
+  }
+  // Sporadic components pinned here also count towards the worker's OS
+  // priority even though they release via activation credits.
+  for (const auto& pc : app_.plan().components) {
+    if (pc.partition == worker && pc.thread != nullptr) {
+      top_priority = std::max(top_priority, pc.thread->priority());
+    }
+  }
+  if (options.apply_os_priorities &&
+      rtsj::try_set_current_thread_priority(top_priority)) {
+    os_grants_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  for (auto* entry : mine) entry->next_release = start + entry->period;
+
+  const auto poll = std::chrono::nanoseconds(
+      std::max<std::int64_t>(options.poll_interval.nanos(), 1));
+  for (;;) {
+    AbsoluteTime next = end;
+    for (const auto* entry : mine) {
+      next = std::min(next, entry->next_release);
+    }
+
+    // Wait for the next local release while serving cross-worker
+    // activations destined for this partition.
+    while (clock.now() < next) {
+      const bool moved = app_.pump_partition(worker);
+      if (moved || options.busy_wait) continue;
+      const auto remaining =
+          std::chrono::nanoseconds((next - clock.now()).nanos());
+      if (remaining.count() > 0) {
+        std::this_thread::sleep_for(std::min(poll, remaining));
+      }
+    }
+    if (next >= end) break;
+
+    for (auto* entry : mine) {
+      if (entry->next_release > next) continue;
+      dispatch_entry(*entry, worker, /*partitioned=*/true);
     }
   }
 }

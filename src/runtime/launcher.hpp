@@ -1,16 +1,28 @@
-// Wall-clock cyclic-executive launcher.
+// Wall-clock executive launcher: single-core cyclic executive or
+// partitioned multi-worker.
 //
-// Runs an assembled Application in real time on the calling thread: each
-// periodic active component releases on its own timeline (anchored at
-// launch), releases and the activations they trigger execute
-// run-to-completion in priority order at each dispatch point, and
-// per-component response times / deadline misses are recorded. This is the
-// single-threaded embedded deployment style (cyclic executive over a
-// priority-ordered release queue) — a faithful stand-in for the paper's
-// RTSJ-VM execution that works on a stock host, while the discrete-event
-// simulator (src/sim) covers exact-virtual-time experiments.
+// Single-core mode (workers == 1, the default) runs an assembled
+// Application in real time on the calling thread: each periodic active
+// component releases on its own timeline (anchored at launch), releases and
+// the activations they trigger execute run-to-completion in priority order
+// at each dispatch point, and per-component response times / deadline
+// misses are recorded. This is the single-threaded embedded deployment
+// style (cyclic executive over a priority-ordered release queue) — a
+// faithful stand-in for the paper's RTSJ-VM execution that works on a stock
+// host, while the discrete-event simulator (src/sim) covers exact-virtual-
+// time experiments.
+//
+// Partitioned mode (workers == N > 1) runs one worker OS thread per plan
+// partition: every worker owns a priority-ordered release queue of the
+// periodic components pinned to it and a partition view of the activation
+// dispatcher, so components never migrate and per-partition execution stays
+// run-to-completion. Cross-worker asynchronous bindings ride lock-free SPSC
+// message buffers plus atomic activation credits — no locks anywhere on the
+// steady-state path. The application must have been built with
+// build_application(arch, mode, N).
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <string>
 #include <vector>
@@ -29,13 +41,24 @@ class Launcher {
     /// Spin instead of sleeping between releases (tighter release jitter
     /// at the price of CPU burn).
     bool busy_wait = false;
+    /// Number of executive workers. Must equal the application plan's
+    /// partition_count; 1 selects the single-core cyclic executive.
+    std::size_t workers = 1;
+    /// Ask the OS for SCHED_FIFO worker priorities derived from each
+    /// worker's highest-priority component (rtsj::to_os_priority). Silently
+    /// degraded to SCHED_OTHER without privileges.
+    bool apply_os_priorities = false;
+    /// How long a waiting worker sleeps between polls for cross-worker
+    /// activations (partitioned + !busy_wait only).
+    rtsj::RelativeTime poll_interval = rtsj::RelativeTime::microseconds(200);
   };
 
   struct ComponentStats {
     std::uint64_t releases = 0;
     std::uint64_t deadline_misses = 0;
     /// Response time per release: from the *scheduled* release instant to
-    /// completion of the release and everything it triggered downstream.
+    /// completion of the release and everything it triggered downstream
+    /// (downstream on the same worker, in partitioned mode).
     util::SampleSet response_us;
     /// Release jitter: how late the release actually started, per release.
     util::SampleSet start_lateness_us;
@@ -43,12 +66,19 @@ class Launcher {
 
   explicit Launcher(soleil::Application& app);
 
-  /// Runs until `options.duration` elapses (blocking).
+  /// Runs until `options.duration` elapses (blocking). Partitioned runs
+  /// finish with a final drain, so no in-flight message is left behind.
   void run(const Options& options);
 
   const ComponentStats& stats(const std::string& component) const;
   const std::map<std::string, ComponentStats>& all_stats() const noexcept {
     return stats_;
+  }
+
+  /// How many workers obtained a real-time OS priority in the last run
+  /// (0 on hosts without the privilege — informational).
+  std::size_t os_priority_grants() const noexcept {
+    return os_grants_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -58,12 +88,23 @@ class Launcher {
     rtsj::RelativeTime period;
     rtsj::RelativeTime deadline;
     int priority;
+    std::size_t partition = 0;
     rtsj::AbsoluteTime next_release{};
   };
+
+  void run_single(const Options& options);
+  void run_partitioned(const Options& options);
+  /// One worker's cyclic executive over its pinned entries; also pumps the
+  /// partition's activation credits while waiting.
+  void worker_loop(std::size_t worker, const Options& options,
+                   rtsj::AbsoluteTime start, rtsj::AbsoluteTime end);
+  void dispatch_entry(PeriodicEntry& entry, std::size_t worker,
+                      bool partitioned);
 
   soleil::Application& app_;
   std::vector<PeriodicEntry> periodics_;
   std::map<std::string, ComponentStats> stats_;
+  std::atomic<std::size_t> os_grants_{0};
 };
 
 }  // namespace rtcf::runtime

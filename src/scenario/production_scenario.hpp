@@ -127,7 +127,14 @@ struct ScenarioCounters {
   double console_checksum = 0.0;
   double audit_checksum = 0.0;
 
-  bool operator==(const ScenarioCounters&) const = default;
+  bool operator==(const ScenarioCounters& o) const {
+    return produced == o.produced && processed == o.processed &&
+           anomalies == o.anomalies && console_reports == o.console_reports &&
+           audit_records == o.audit_records &&
+           console_checksum == o.console_checksum &&
+           audit_checksum == o.audit_checksum;
+  }
+  bool operator!=(const ScenarioCounters& o) const { return !(*this == o); }
 };
 
 }  // namespace rtcf::scenario

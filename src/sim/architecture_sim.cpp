@@ -30,8 +30,9 @@ ThreadKind to_thread_kind(DomainType type) noexcept {
 
 }  // namespace
 
-SimMapping map_architecture(const Architecture& arch,
-                            PreemptiveScheduler& scheduler) {
+SimMapping map_architecture(
+    const Architecture& arch, PreemptiveScheduler& scheduler,
+    const std::function<std::size_t(const std::string&)>& cpu_of) {
   SimMapping mapping;
   for (const auto* active : arch.all_of<ActiveComponent>()) {
     const ThreadDomain* domain = arch.thread_domain_of(*active);
@@ -43,6 +44,7 @@ SimMapping map_architecture(const Architecture& arch,
     config.kind = to_thread_kind(domain->type());
     config.priority = domain->priority();
     config.cost = active->cost();
+    config.cpu = cpu_of ? cpu_of(active->name()) : 0;
     if (active->activation() == ActivationKind::Periodic) {
       config.release = ReleaseKind::Periodic;
       config.period = active->period();

@@ -13,6 +13,7 @@
 // time, with and without GC pauses.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 
@@ -35,7 +36,12 @@ struct SimMapping {
 /// asynchronous bindings through completion callbacks. Passive components
 /// execute on their callers (their cost is part of the caller's budget), so
 /// they map to no task.
-SimMapping map_architecture(const model::Architecture& arch,
-                            PreemptiveScheduler& scheduler);
+///
+/// `cpu_of` pins each task to a simulated CPU by component name (e.g.
+/// `[&plan](const std::string& n) { return plan.partition_of(n); }` mirrors
+/// the partitioned executive's assignment); null pins everything to CPU 0.
+SimMapping map_architecture(
+    const model::Architecture& arch, PreemptiveScheduler& scheduler,
+    const std::function<std::size_t(const std::string&)>& cpu_of = nullptr);
 
 }  // namespace rtcf::sim

@@ -34,8 +34,17 @@ std::string TraceEvent::to_string(const PreemptiveScheduler& sched) const {
   os << time.nanos() << "ns " << sim::to_string(kind);
   if (task != kNoTask) {
     os << " " << sched.config(task).name << "#" << release_seq;
+    if (sched.cpu_count() > 1) {
+      os << "@cpu" << sched.config(task).cpu;
+    }
   }
   return os.str();
+}
+
+PreemptiveScheduler::PreemptiveScheduler(std::size_t cpus) {
+  RTCF_REQUIRE(cpus > 0, "scheduler needs at least one simulated CPU");
+  ready_.resize(cpus);
+  running_.resize(cpus);
 }
 
 TaskId PreemptiveScheduler::add_task(TaskConfig config) {
@@ -43,6 +52,10 @@ TaskId PreemptiveScheduler::add_task(TaskConfig config) {
   RTCF_REQUIRE(config.release != ReleaseKind::Periodic ||
                    config.period > RelativeTime::zero(),
                "periodic task needs a positive period");
+  RTCF_REQUIRE(config.cpu < cpu_count(),
+               "task '" + config.name + "' pinned to CPU " +
+                   std::to_string(config.cpu) + " of a " +
+                   std::to_string(cpu_count()) + "-CPU scheduler");
   tasks_.push_back(Task{std::move(config), TaskStats{}, 0, {}, false});
   const TaskId id = tasks_.size() - 1;
   if (tasks_[id].config.release == ReleaseKind::Periodic) {
@@ -89,9 +102,10 @@ bool PreemptiveScheduler::runnable(const Job& job) const noexcept {
   return tasks_[job.task].config.kind == ThreadKind::NoHeapRealtime;
 }
 
-const PreemptiveScheduler::Job* PreemptiveScheduler::best_ready() const {
+const PreemptiveScheduler::Job* PreemptiveScheduler::best_ready(
+    std::size_t cpu) const {
   const Job* best = nullptr;
-  for (const Job& job : ready_) {
+  for (const Job& job : ready_[cpu]) {
     if (!runnable(job)) continue;
     if (best == nullptr) {
       best = &job;
@@ -109,30 +123,35 @@ const PreemptiveScheduler::Job* PreemptiveScheduler::best_ready() const {
   return best;
 }
 
-void PreemptiveScheduler::dispatch() {
-  const Job* best = best_ready();
+void PreemptiveScheduler::suspend_running(std::size_t cpu) {
+  RTCF_ASSERT(running_[cpu].has_value());
+  Job suspended = *running_[cpu];
+  ++tasks_[suspended.task].stats.preemptions;
+  record(TraceKind::Preempt, suspended.task, suspended.seq);
+  running_[cpu].reset();
+  ready_[cpu].push_back(suspended);
+}
+
+void PreemptiveScheduler::dispatch(std::size_t cpu) {
+  const Job* best = best_ready(cpu);
   if (best == nullptr) return;
-  if (running_) {
+  if (running_[cpu]) {
     // Preempt only for strictly higher priority; FIFO within a band.
     if (tasks_[best->task].config.priority <=
-        tasks_[running_->task].config.priority) {
+        tasks_[running_[cpu]->task].config.priority) {
       return;
     }
-    Job suspended = *running_;
-    ++tasks_[suspended.task].stats.preemptions;
-    record(TraceKind::Preempt, suspended.task, suspended.seq);
-    running_.reset();
-    ready_.push_back(suspended);
+    suspend_running(cpu);
     // `best` may have been invalidated by the push; re-resolve.
-    best = best_ready();
+    best = best_ready(cpu);
     RTCF_ASSERT(best != nullptr);
   }
   Job job = *best;
-  ready_.erase(ready_.begin() + (best - ready_.data()));
+  ready_[cpu].erase(ready_[cpu].begin() + (best - ready_[cpu].data()));
   record(job.started ? TraceKind::Resume : TraceKind::Start, job.task,
          job.seq);
   job.started = true;
-  running_ = job;
+  running_[cpu] = job;
 }
 
 void PreemptiveScheduler::release_job(TaskId task, AbsoluteTime t) {
@@ -144,17 +163,17 @@ void PreemptiveScheduler::release_job(TaskId task, AbsoluteTime t) {
   job.remaining = tk.config.cost;
   job.enqueue_order = enqueue_order_++;
   record(TraceKind::Release, task, job.seq);
-  ready_.push_back(job);
+  ready_[tk.config.cpu].push_back(job);
   if (tk.config.release == ReleaseKind::Periodic) {
     // Drift-free: next release anchored on this release's instant.
     push_event(t + tk.config.period, EventKind::TaskRelease, task);
   }
 }
 
-void PreemptiveScheduler::complete_running() {
-  RTCF_ASSERT(running_.has_value());
-  Job job = *running_;
-  running_.reset();
+void PreemptiveScheduler::complete_running(std::size_t cpu) {
+  RTCF_ASSERT(running_[cpu].has_value());
+  Job job = *running_[cpu];
+  running_[cpu].reset();
   Task& tk = tasks_[job.task];
   ++tk.stats.releases_completed;
   const RelativeTime response = now_ - job.release_time;
@@ -180,13 +199,12 @@ void PreemptiveScheduler::handle_event(const Event& ev) {
       gc_active_ = true;
       ++gc_pauses_;
       record(TraceKind::GcStart, TraceEvent::kNoTask, 0);
-      if (running_ &&
-          tasks_[running_->task].config.kind != ThreadKind::NoHeapRealtime) {
-        Job suspended = *running_;
-        ++tasks_[suspended.task].stats.preemptions;
-        record(TraceKind::Preempt, suspended.task, suspended.seq);
-        running_.reset();
-        ready_.push_back(suspended);
+      // One stop-the-world collector stalls every CPU's non-NHRT mutator.
+      for (std::size_t cpu = 0; cpu < running_.size(); ++cpu) {
+        if (running_[cpu] && tasks_[running_[cpu]->task].config.kind !=
+                                 ThreadKind::NoHeapRealtime) {
+          suspend_running(cpu);
+        }
       }
       push_event(now_ + gc_.pause, EventKind::GcEnd, TraceEvent::kNoTask);
       push_event(now_ + gc_.interval, EventKind::GcStart,
@@ -201,16 +219,21 @@ void PreemptiveScheduler::handle_event(const Event& ev) {
 }
 
 void PreemptiveScheduler::run_until(AbsoluteTime end) {
+  const std::size_t cpus = cpu_count();
   if (gc_.enabled() && !gc_scheduled_) {
     push_event(now_ + gc_.interval, EventKind::GcStart, TraceEvent::kNoTask);
     gc_scheduled_ = true;
   }
   for (;;) {
-    dispatch();
-    // Next instant at which anything can change: the running job finishes,
-    // or the earliest pending event fires.
+    for (std::size_t cpu = 0; cpu < cpus; ++cpu) dispatch(cpu);
+    // Next instant at which anything can change: some running job
+    // finishes, or the earliest pending event fires.
     std::optional<AbsoluteTime> boundary;
-    if (running_) boundary = now_ + running_->remaining;
+    for (std::size_t cpu = 0; cpu < cpus; ++cpu) {
+      if (!running_[cpu]) continue;
+      const AbsoluteTime finish = now_ + running_[cpu]->remaining;
+      if (!boundary || finish < *boundary) boundary = finish;
+    }
     if (!events_.empty() &&
         (!boundary || events_.top().time < *boundary)) {
       boundary = events_.top().time;
@@ -218,23 +241,36 @@ void PreemptiveScheduler::run_until(AbsoluteTime end) {
 
     if (!boundary || *boundary > end) {
       // Nothing (relevant) happens before the horizon; burn partial CPU on
-      // the running job and stop at `end`.
-      if (running_) {
-        running_->remaining = running_->remaining - (end - now_);
+      // the running jobs and stop at `end`.
+      for (std::size_t cpu = 0; cpu < cpus; ++cpu) {
+        if (running_[cpu]) {
+          running_[cpu]->remaining =
+              running_[cpu]->remaining - (end - now_);
+        }
       }
       now_ = end;
       return;
     }
 
-    if (running_) {
-      running_->remaining = running_->remaining - (*boundary - now_);
+    for (std::size_t cpu = 0; cpu < cpus; ++cpu) {
+      if (running_[cpu]) {
+        running_[cpu]->remaining =
+            running_[cpu]->remaining - (*boundary - now_);
+      }
     }
     now_ = *boundary;
 
-    if (running_ && running_->remaining <= RelativeTime::zero()) {
-      complete_running();
-      continue;
+    // Completions first (in CPU order, deterministically), then events at
+    // the same instant on the next pass — matching the single-CPU
+    // executive's order exactly.
+    bool completed = false;
+    for (std::size_t cpu = 0; cpu < cpus; ++cpu) {
+      if (running_[cpu] && running_[cpu]->remaining <= RelativeTime::zero()) {
+        complete_running(cpu);
+        completed = true;
+      }
     }
+    if (completed) continue;
     while (!events_.empty() && events_.top().time == now_) {
       Event ev = events_.top();
       events_.pop();

@@ -1,19 +1,27 @@
-// Discrete-event simulation of fixed-priority preemptive scheduling with a
-// stop-the-world GC interference model.
+// Discrete-event simulation of partitioned fixed-priority preemptive
+// scheduling with a stop-the-world GC interference model.
 //
 // The paper evaluates on a Sun RTSJ VM over RT-Preempt Linux. We replace
 // that testbed with a deterministic virtual-time scheduler so the
 // determinism claims (§5.1) become *exactly* checkable:
-//   * one simulated CPU, fixed-priority preemptive dispatching;
+//   * one or more simulated CPUs; each task is pinned to one CPU
+//     (partitioned fixed-priority scheduling — the virtual-time mirror of
+//     the wall-clock partitioned executive), with per-CPU ready queues and
+//     preemption decided independently per CPU;
 //   * periodic tasks release on their timeline, sporadic/aperiodic tasks
 //     release when arrivals are posted (completion callbacks can post
 //     arrivals, which is how the Fig. 4 pipeline is wired end-to-end);
 //   * a GC model injects stop-the-world pauses that block Regular and
-//     Realtime tasks but never NoHeapRealtime tasks — RTSJ's core promise;
+//     Realtime tasks on *every* CPU but never NoHeapRealtime tasks —
+//     RTSJ's core promise, and the reason one collector still stalls a
+//     whole multi-core mutator;
 //   * per-release response times, deadline misses, and a full trace of
 //     scheduling decisions are recorded.
 //
-// Everything is deterministic: same inputs, same trace, bit-for-bit.
+// Everything is deterministic: same inputs, same trace, bit-for-bit — and a
+// multi-CPU scheduler given a single partition records the single-CPU
+// trace() event sequence bit-for-bit (the *rendered* strings differ only in
+// the "@cpu<k>" suffix multi-CPU schedulers append; see TraceEvent).
 #pragma once
 
 #include <cstdint>
@@ -49,6 +57,7 @@ struct TaskConfig {
   RelativeTime min_interarrival{};   ///< Sporadic only; zero = unconstrained.
   RelativeTime cost{};               ///< Execution demand per release.
   RelativeTime deadline{};           ///< Zero = implicit (period).
+  std::size_t cpu = 0;               ///< Simulated CPU the task is pinned to.
   /// Invoked in virtual time when a release completes; may post arrivals to
   /// other tasks (pipeline chaining) via the scheduler reference.
   std::function<void(AbsoluteTime completion_time)> on_complete;
@@ -85,6 +94,9 @@ struct TraceEvent {
   std::uint64_t release_seq = 0;
 
   static constexpr TaskId kNoTask = static_cast<TaskId>(-1);
+  /// Renders "<t>ns <kind> <task>#<seq>"; schedulers with more than one CPU
+  /// append "@cpu<k>" for task events, so single-CPU traces are bit-for-bit
+  /// identical to the historical format.
   std::string to_string(const class PreemptiveScheduler& sched) const;
 };
 
@@ -100,7 +112,11 @@ struct TaskStats {
 /// The simulator.
 class PreemptiveScheduler {
  public:
-  PreemptiveScheduler() = default;
+  /// A scheduler over `cpus` simulated CPUs (partitioned dispatching; tasks
+  /// declare their CPU in TaskConfig::cpu).
+  explicit PreemptiveScheduler(std::size_t cpus = 1);
+
+  std::size_t cpu_count() const noexcept { return running_.size(); }
 
   /// Registers a task; returns its id. All tasks must be added before
   /// run_until().
@@ -169,16 +185,18 @@ class PreemptiveScheduler {
   void push_event(AbsoluteTime t, EventKind kind, TaskId task);
   void handle_event(const Event& ev);
   void release_job(TaskId task, AbsoluteTime t);
-  void dispatch();
+  void dispatch(std::size_t cpu);
   bool runnable(const Job& job) const noexcept;
-  void complete_running();
+  void complete_running(std::size_t cpu);
   void record(TraceKind kind, TaskId task, std::uint64_t seq);
-  const Job* best_ready() const;
+  const Job* best_ready(std::size_t cpu) const;
+  void suspend_running(std::size_t cpu);
 
   std::vector<Task> tasks_;
   std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
-  std::vector<Job> ready_;
-  std::optional<Job> running_;
+  /// Per-CPU ready queue and running job (partitioned dispatching).
+  std::vector<std::vector<Job>> ready_;
+  std::vector<std::optional<Job>> running_;
   AbsoluteTime now_{};
   bool gc_active_ = false;
   GcModel gc_{};

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "comm/spsc_message_buffer.hpp"
 #include "runtime/content_registry.hpp"
 #include "util/assert.hpp"
 #include "validate/area_relation.hpp"
@@ -11,14 +12,37 @@
 namespace rtcf::soleil {
 
 std::size_t ActivationManager::add_target(rtsj::RealtimeThread* thread,
-                                          Work work) {
-  targets_.push_back(Target{thread, std::move(work)});
+                                          Work work, std::size_t partition) {
+  Target target;
+  target.thread = thread;
+  target.work = std::move(work);
+  target.partition = partition;
+  target.credits = std::make_unique<std::atomic<std::uint64_t>>(0);
+  targets_.push_back(std::move(target));
   return targets_.size() - 1;
+}
+
+void ActivationManager::configure_partitions(std::size_t count) {
+  RTCF_REQUIRE(count > 0, "at least one partition");
+  partitions_ = count;
+  by_partition_.assign(count, {});
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    RTCF_REQUIRE(targets_[i].partition < count,
+                 "activation target pinned to a partition out of range");
+    by_partition_[targets_[i].partition].push_back(i);
+  }
 }
 
 void ActivationManager::notify(std::size_t target) {
   RTCF_ASSERT(target < targets_.size());
-  pending_.push_back(target);
+  if (partitions_ == 1) {
+    pending_.push_back(target);
+    return;
+  }
+  // Lock-free cross-worker handoff: the producer's message push
+  // happens-before this release increment, and the consuming worker's
+  // acquire decrement in pump_partition happens-before its buffer pop.
+  targets_[target].credits->fetch_add(1, std::memory_order_release);
 }
 
 void ActivationManager::notify_trampoline(void* arg) {
@@ -26,23 +50,76 @@ void ActivationManager::notify_trampoline(void* arg) {
   na->manager->notify(na->target);
 }
 
+void ActivationManager::run_target(Target& target) {
+  activations_.fetch_add(1, std::memory_order_relaxed);
+  if (target.thread != nullptr) {
+    target.thread->run_with_context(target.work);
+  } else {
+    target.work();
+  }
+}
+
 void ActivationManager::pump() {
-  while (!pending_.empty()) {
-    const std::size_t idx = pending_.front();
-    pending_.pop_front();
-    Target& target = targets_[idx];
-    ++activations_;
-    if (target.thread != nullptr) {
-      target.thread->run_with_context(target.work);
-    } else {
-      target.work();
+  if (partitions_ == 1) {
+    while (!pending_.empty()) {
+      const std::size_t idx = pending_.front();
+      pending_.pop_front();
+      run_target(targets_[idx]);
+    }
+    return;
+  }
+  // Single-threaded drive of a partitioned assembly (tests, final drain
+  // after the workers joined): sweep partitions until a full pass is dry.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (std::size_t p = 0; p < partitions_; ++p) {
+      moved = pump_partition(p) || moved;
     }
   }
 }
 
-Application::Application(const model::Architecture& arch)
+bool ActivationManager::pump_partition(std::size_t partition) {
+  if (partitions_ == 1) {
+    RTCF_ASSERT(partition == 0);
+    const std::uint64_t before = activation_count();
+    pump();
+    return activation_count() != before;
+  }
+  RTCF_ASSERT(partition < by_partition_.size());
+  bool any = false;
+  bool moved = true;
+  // Keep sweeping this partition's targets until a full pass runs nothing:
+  // activations raised *during* the sweep (downstream hops that stayed on
+  // this worker) are drained in the same call, preserving the
+  // run-to-completion transaction semantics per partition.
+  while (moved) {
+    moved = false;
+    for (const std::size_t idx : by_partition_[partition]) {
+      Target& target = targets_[idx];
+      while (target.credits->load(std::memory_order_acquire) > 0) {
+        target.credits->fetch_sub(1, std::memory_order_acq_rel);
+        run_target(target);
+        moved = true;
+        any = true;
+      }
+    }
+  }
+  return any;
+}
+
+bool ActivationManager::idle() const noexcept {
+  if (!pending_.empty()) return false;
+  for (const Target& target : targets_) {
+    if (target.credits->load(std::memory_order_acquire) > 0) return false;
+  }
+  return true;
+}
+
+Application::Application(const model::Architecture& arch,
+                         std::size_t partitions)
     : env_(std::make_unique<runtime::RuntimeEnvironment>(arch)),
-      plan_(make_plan(arch, *env_)) {}
+      plan_(make_plan(arch, *env_, partitions)) {}
 
 void Application::build_contents() {
   auto& registry = runtime::ContentRegistry::instance();
@@ -64,10 +141,18 @@ void Application::build_contents() {
 }
 
 comm::MessageBuffer& Application::make_buffer(rtsj::MemoryArea& area,
-                                              std::size_t capacity) {
-  buffers_.push_back(std::make_unique<comm::MessageBuffer>(area, capacity));
-  count_infra(sizeof(comm::MessageBuffer) +
-              capacity * sizeof(comm::Message));
+                                              std::size_t capacity,
+                                              bool concurrent) {
+  if (concurrent) {
+    buffers_.push_back(
+        std::make_unique<comm::SpscMessageBuffer>(area, capacity));
+    count_infra(sizeof(comm::SpscMessageBuffer) +
+                capacity * sizeof(comm::Message));
+  } else {
+    buffers_.push_back(std::make_unique<comm::MessageBuffer>(area, capacity));
+    count_infra(sizeof(comm::MessageBuffer) +
+                capacity * sizeof(comm::Message));
+  }
   return *buffers_.back();
 }
 

@@ -13,6 +13,7 @@
 //   ULTRA_MERGE  one flattened static plan, no reconfiguration.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -39,6 +40,14 @@ namespace rtcf::soleil {
 /// run-to-completion model, §4.1). Notifications raised *during* a pump are
 /// processed in the same drain, so one external trigger runs the whole
 /// downstream transaction — matching the paper's "complete iteration".
+///
+/// Partitioned mode (configure_partitions(n > 1)): every target belongs to
+/// one executive partition and carries a lock-free credit counter. notify()
+/// increments the target's credits from whichever worker produced the
+/// message; the owning partition's worker drains them in pump_partition(),
+/// so cross-worker activation needs no locks and loses no notifications.
+/// Single-partition mode keeps the exact FIFO deque dispatch of the
+/// single-core executive.
 class ActivationManager {
  public:
   using Work = std::function<void()>;
@@ -49,33 +58,62 @@ class ActivationManager {
   };
 
   /// Registers an activation target; `thread` may be null (work runs on
-  /// the caller's context).
-  std::size_t add_target(rtsj::RealtimeThread* thread, Work work);
+  /// the caller's context). `partition` pins the target to an executive
+  /// partition (ignored until configure_partitions).
+  std::size_t add_target(rtsj::RealtimeThread* thread, Work work,
+                         std::size_t partition = 0);
+
+  /// Switches to credit-based partitioned dispatch (n > 1) or back to the
+  /// FIFO deque (n == 1). Call after all targets are registered and before
+  /// any execution.
+  void configure_partitions(std::size_t count);
+  std::size_t partition_count() const noexcept { return partitions_; }
 
   void notify(std::size_t target);
   /// Trampoline with the signature membrane::NotifyFn expects.
   static void notify_trampoline(void* arg);
 
-  /// Drains pending activations run-to-completion.
+  /// Drains pending activations run-to-completion (all partitions; only
+  /// safe single-threaded).
   void pump();
-  bool idle() const noexcept { return pending_.empty(); }
-  std::uint64_t activation_count() const noexcept { return activations_; }
+  /// Drains one partition's pending activations run-to-completion; safe to
+  /// call concurrently for *different* partitions. Returns true when at
+  /// least one activation ran.
+  bool pump_partition(std::size_t partition);
+  bool idle() const noexcept;
+  std::uint64_t activation_count() const noexcept {
+    return activations_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Target {
     rtsj::RealtimeThread* thread;
     Work work;
+    std::size_t partition = 0;
+    /// Pending-activation count in partitioned mode (heap-boxed so targets
+    /// stay movable during registration).
+    std::unique_ptr<std::atomic<std::uint64_t>> credits;
   };
+
+  void run_target(Target& target);
 
   std::vector<Target> targets_;
   std::deque<std::size_t> pending_;
-  std::uint64_t activations_ = 0;
+  std::size_t partitions_ = 1;
+  /// Target indices per partition, for pump_partition scans.
+  std::vector<std::vector<std::size_t>> by_partition_;
+  std::atomic<std::uint64_t> activations_{0};
 };
 
 /// Base of all assembled applications.
 class Application {
  public:
-  explicit Application(const model::Architecture& arch);
+  /// `partitions` > 1 builds a partitioned assembly: components are pinned
+  /// to executive partitions by the plan, cross-partition asynchronous
+  /// bindings get lock-free SPSC buffers, and activation dispatch is
+  /// credit-based (see ActivationManager).
+  explicit Application(const model::Architecture& arch,
+                       std::size_t partitions = 1);
   virtual ~Application() = default;
 
   Application(const Application&) = delete;
@@ -95,6 +133,12 @@ class Application {
   /// flattened static schedule; the other modes dispatch through the
   /// activation manager.
   virtual void pump() { manager_.pump(); }
+  /// Drains one partition's pending activations; safe to call concurrently
+  /// for different partitions (the partitioned launcher's per-worker
+  /// dispatch point). Returns true when anything ran.
+  virtual bool pump_partition(std::size_t partition) {
+    return manager_.pump_partition(partition);
+  }
   /// One complete transaction: release + drain. This is what the Fig. 7
   /// benchmarks time.
   void iterate(const std::string& component);
@@ -160,8 +204,11 @@ class Application {
   /// Instantiates contents (inside their areas) and declares their ports.
   void build_contents();
 
+  /// `concurrent` selects the lock-free SPSC variant (cross-partition
+  /// bindings); storage always comes from `area`.
   comm::MessageBuffer& make_buffer(rtsj::MemoryArea& area,
-                                   std::size_t capacity);
+                                   std::size_t capacity,
+                                   bool concurrent = false);
   ActivationManager::NotifyArg* make_notify_arg(std::size_t target);
   void count_infra(std::size_t bytes) noexcept { infra_bytes_ += bytes; }
 
@@ -187,8 +234,10 @@ class Application {
 
 /// Builds an application for `arch` in `mode`. The architecture must
 /// already be validated (build_application plans but does not re-run the
-/// full rule engine) and must outlive the application.
+/// full rule engine) and must outlive the application. `partitions` > 1
+/// assembles for the partitioned multi-worker executive.
 std::unique_ptr<Application> build_application(const model::Architecture& arch,
-                                               Mode mode);
+                                               Mode mode,
+                                               std::size_t partitions = 1);
 
 }  // namespace rtcf::soleil

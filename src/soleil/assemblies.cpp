@@ -32,8 +32,8 @@ const Message& stage_trampoline(void* pattern, const Message& m) {
 /// introspection and reconfiguration at membrane and functional level.
 class SoleilApplication final : public Application {
  public:
-  explicit SoleilApplication(const model::Architecture& arch)
-      : Application(arch) {
+  SoleilApplication(const model::Architecture& arch, std::size_t partitions)
+      : Application(arch, partitions) {
     build_contents();
     wire();
   }
@@ -148,14 +148,18 @@ class SoleilApplication final : public Application {
           PatternRuntime::make(pb.op, pb.server_area, pb.staging_area);
       count_infra(pattern.slot_bytes());
       if (pb.protocol == Protocol::Asynchronous) {
-        auto& buffer = make_buffer(*pb.buffer_area, pb.buffer_size);
+        auto& buffer =
+            make_buffer(*pb.buffer_area, pb.buffer_size, pb.cross_partition);
         ActiveInterceptor* server_entry =
             active_entries_.at(pb.server->name());
+        const PlannedComponent& server_pc =
+            *runtime_of(pb.server->name()).planned;
         const std::size_t target = manager_.add_target(
-            runtime_of(pb.server->name()).planned->thread,
+            server_pc.thread,
             [&buffer, server_entry] {
               if (auto m = buffer.pop()) server_entry->deliver(*m);
-            });
+            },
+            server_pc.partition);
         auto* arg = make_notify_arg(target);
         auto& skeleton = client_membrane.add_interceptor<AsyncSkeleton>(
             &buffer, &ActivationManager::notify_trampoline, arg);
@@ -201,8 +205,9 @@ class SoleilApplication final : public Application {
 /// Membrane merged into one shell per functional component.
 class MergeAllApplication final : public Application {
  public:
-  explicit MergeAllApplication(const model::Architecture& arch)
-      : Application(arch) {
+  MergeAllApplication(const model::Architecture& arch,
+                      std::size_t partitions)
+      : Application(arch, partitions) {
     build_contents();
     wire();
   }
@@ -274,13 +279,17 @@ class MergeAllApplication final : public Application {
       count_infra(sizeof(MergedShell::OutEndpoint) +
                   endpoint.pattern.slot_bytes());
       if (pb.protocol == Protocol::Asynchronous) {
-        auto& buffer = make_buffer(*pb.buffer_area, pb.buffer_size);
+        auto& buffer =
+            make_buffer(*pb.buffer_area, pb.buffer_size, pb.cross_partition);
         MergedShell* server_raw = &server_shell;
+        const PlannedComponent& server_pc =
+            *runtime_of(pb.server->name()).planned;
         const std::size_t target = manager_.add_target(
-            runtime_of(pb.server->name()).planned->thread,
+            server_pc.thread,
             [&buffer, server_raw] {
               if (auto m = buffer.pop()) server_raw->deliver(*m);
-            });
+            },
+            server_pc.partition);
         endpoint.buffer = &buffer;
         endpoint.notify = &ActivationManager::notify_trampoline;
         endpoint.notify_arg = make_notify_arg(target);
@@ -301,8 +310,9 @@ class MergeAllApplication final : public Application {
 /// per-component infrastructure objects, no reconfiguration.
 class UltraMergeApplication final : public Application {
  public:
-  explicit UltraMergeApplication(const model::Architecture& arch)
-      : Application(arch) {
+  UltraMergeApplication(const model::Architecture& arch,
+                        std::size_t partitions)
+      : Application(arch, partitions) {
     build_contents();
     wire();
   }
@@ -327,11 +337,33 @@ class UltraMergeApplication final : public Application {
     }
   }
 
+  /// Partitioned static schedule: each worker drains only the entries whose
+  /// server component is pinned to it (cross-partition buffers are SPSC, so
+  /// the producer side needs no coordination).
+  bool pump_partition(std::size_t partition) override {
+    bool any = false;
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (auto& entry : drain_plan_) {
+        if (entry.partition != partition) continue;
+        while (auto m = entry.buffer->pop()) {
+          rtsj::ContextGuard guard(entry.thread->context());
+          entry.content->on_message(*m);
+          moved = true;
+          any = true;
+        }
+      }
+    }
+    return any;
+  }
+
  private:
   struct DrainEntry {
     comm::MessageBuffer* buffer;
     comm::Content* content;
     rtsj::RealtimeThread* thread;
+    std::size_t partition;
   };
   /// Adapter invoking a content's synchronous entry (only materialized for
   /// bindings that need a pattern wrapper).
@@ -363,12 +395,15 @@ class UltraMergeApplication final : public Application {
                                 .content->port(pb.binding->client.interface);
       comm::Content* server_content = runtime_of(pb.server->name()).content;
       if (pb.protocol == Protocol::Asynchronous) {
-        auto& buffer = make_buffer(*pb.buffer_area, pb.buffer_size);
+        auto& buffer =
+            make_buffer(*pb.buffer_area, pb.buffer_size, pb.cross_partition);
         // Static schedule instead of activation-manager dispatch: the
         // drain order is compiled into the application.
-        drain_plan_.push_back(
-            DrainEntry{&buffer, server_content,
-                       runtime_of(pb.server->name()).planned->thread});
+        const PlannedComponent& server_pc =
+            *runtime_of(pb.server->name()).planned;
+        drain_plan_.push_back(DrainEntry{&buffer, server_content,
+                                         server_pc.thread,
+                                         server_pc.partition});
         count_infra(sizeof(DrainEntry));
         if (pb.op == PatternOp::Direct) {
           port.bind_direct_buffer(&buffer, nullptr, nullptr);
@@ -408,16 +443,26 @@ class UltraMergeApplication final : public Application {
 }  // namespace
 
 std::unique_ptr<Application> build_application(const model::Architecture& arch,
-                                               Mode mode) {
+                                               Mode mode,
+                                               std::size_t partitions) {
+  std::unique_ptr<Application> app;
   switch (mode) {
     case Mode::Soleil:
-      return std::make_unique<SoleilApplication>(arch);
+      app = std::make_unique<SoleilApplication>(arch, partitions);
+      break;
     case Mode::MergeAll:
-      return std::make_unique<MergeAllApplication>(arch);
+      app = std::make_unique<MergeAllApplication>(arch, partitions);
+      break;
     case Mode::UltraMerge:
-      return std::make_unique<UltraMergeApplication>(arch);
+      app = std::make_unique<UltraMergeApplication>(arch, partitions);
+      break;
   }
-  RTCF_ASSERT(false);
+  RTCF_ASSERT(app != nullptr);
+  // All targets are registered during wire(); switch the dispatcher into
+  // the mode the plan was partitioned for.
+  app->activation_manager().configure_partitions(
+      app->plan().partition_count);
+  return app;
 }
 
 }  // namespace rtcf::soleil

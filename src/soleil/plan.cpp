@@ -1,5 +1,8 @@
 #include "soleil/plan.hpp"
 
+#include <algorithm>
+
+#include "util/assert.hpp"
 #include "validate/area_relation.hpp"
 #include "validate/pattern_catalog.hpp"
 #include "validate/validator.hpp"
@@ -36,6 +39,14 @@ const PlannedComponent* Plan::find_component(const std::string& name) const {
   return nullptr;
 }
 
+std::size_t Plan::partition_of(const std::string& name) const {
+  const PlannedComponent* pc = find_component(name);
+  if (pc == nullptr) {
+    throw PlanningError("no planned component '" + name + "'");
+  }
+  return pc->partition;
+}
+
 namespace {
 
 /// The common design-time scope ancestor of two scoped areas, or nullptr.
@@ -62,7 +73,125 @@ bool executes_on_nhrt(const Architecture& arch, const Component& c) {
 
 }  // namespace
 
-Plan make_plan(const Architecture& arch, runtime::RuntimeEnvironment& env) {
+namespace {
+
+/// Iterative union-find root lookup with path halving.
+std::size_t uf_find(std::vector<std::size_t>& parent, std::size_t i) {
+  while (parent[i] != i) {
+    parent[i] = parent[parent[i]];
+    i = parent[i];
+  }
+  return i;
+}
+
+/// Modeled CPU demand of one component: utilization for active components
+/// with a declared cost (cost / period, with the sporadic MIT standing in
+/// for the period), plus a small constant so zero-cost actives still spread
+/// instead of piling onto one partition. Passive components weigh nothing —
+/// they execute on their callers.
+double component_weight(const PlannedComponent& pc) {
+  if (pc.active == nullptr) return 0.0;
+  double weight = 1e-3;
+  const auto period = pc.active->period();
+  const auto cost = pc.active->cost();
+  if (!cost.is_zero() && period > rtsj::RelativeTime::zero()) {
+    weight += static_cast<double>(cost.nanos()) /
+              static_cast<double>(period.nanos());
+  }
+  return weight;
+}
+
+}  // namespace
+
+void assign_partitions(Plan& plan, std::size_t partitions) {
+  if (partitions == 0) partitions = 1;
+  plan.partition_count = partitions;
+  const std::size_t n = plan.components.size();
+
+  // 1. Cluster components connected by synchronous bindings: a synchronous
+  //    call executes the server on the client's worker, so both ends must
+  //    be pinned together (this also keeps shared passive servers on one
+  //    worker — no content-level data races).
+  std::vector<std::size_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  auto index_of = [&](const model::Component* c) -> std::size_t {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (plan.components[i].component == c) return i;
+    }
+    return n;
+  };
+  for (const PlannedBinding& pb : plan.bindings) {
+    if (pb.protocol != Protocol::Synchronous) continue;
+    const std::size_t a = index_of(pb.client);
+    const std::size_t b = index_of(pb.server);
+    if (a == n || b == n) continue;
+    // Union by smaller root so cluster identity is deterministic.
+    const std::size_t ra = uf_find(parent, a);
+    const std::size_t rb = uf_find(parent, b);
+    if (ra != rb) parent[std::max(ra, rb)] = std::min(ra, rb);
+  }
+
+  // 2. Aggregate cluster weights (deterministic order: by root index).
+  struct Cluster {
+    std::size_t root;
+    double weight = 0.0;
+  };
+  std::vector<Cluster> clusters;
+  std::vector<std::size_t> cluster_of(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = uf_find(parent, i);
+    std::size_t ci = clusters.size();
+    for (std::size_t k = 0; k < clusters.size(); ++k) {
+      if (clusters[k].root == root) {
+        ci = k;
+        break;
+      }
+    }
+    if (ci == clusters.size()) clusters.push_back(Cluster{root, 0.0});
+    cluster_of[i] = ci;
+    clusters[ci].weight += component_weight(plan.components[i]);
+  }
+
+  // 3. Longest-processing-time-first bin packing: heaviest cluster onto the
+  //    least-loaded partition; ties break towards the lower root index and
+  //    the lower partition id, keeping the assignment fully deterministic.
+  std::vector<std::size_t> order(clusters.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (clusters[a].weight != clusters[b].weight) {
+                       return clusters[a].weight > clusters[b].weight;
+                     }
+                     return clusters[a].root < clusters[b].root;
+                   });
+  std::vector<double> load(partitions, 0.0);
+  std::vector<std::size_t> cluster_partition(clusters.size(), 0);
+  for (const std::size_t ci : order) {
+    std::size_t best = 0;
+    for (std::size_t p = 1; p < partitions; ++p) {
+      if (load[p] < load[best]) best = p;
+    }
+    cluster_partition[ci] = best;
+    load[best] += clusters[ci].weight;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    plan.components[i].partition = cluster_partition[cluster_of[i]];
+  }
+
+  // 4. Mark the bindings that now cross workers.
+  for (PlannedBinding& pb : plan.bindings) {
+    const std::size_t a = index_of(pb.client);
+    const std::size_t b = index_of(pb.server);
+    pb.cross_partition =
+        a != n && b != n &&
+        plan.components[a].partition != plan.components[b].partition;
+    RTCF_ASSERT(!(pb.cross_partition &&
+                  pb.protocol == Protocol::Synchronous));
+  }
+}
+
+Plan make_plan(const Architecture& arch, runtime::RuntimeEnvironment& env,
+               std::size_t partitions) {
   Plan plan;
   plan.arch = &arch;
 
@@ -172,6 +301,7 @@ Plan make_plan(const Architecture& arch, runtime::RuntimeEnvironment& env) {
     }
     plan.bindings.push_back(pb);
   }
+  assign_partitions(plan, partitions);
   return plan;
 }
 

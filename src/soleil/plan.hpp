@@ -42,6 +42,11 @@ struct PlannedComponent {
   /// Non-null for active components (their logical thread).
   rtsj::RealtimeThread* thread = nullptr;
   std::string content_class;
+  /// Executive partition (worker thread / simulated CPU) this component is
+  /// pinned to. Components connected by synchronous bindings always share a
+  /// partition, so synchronous calls never cross workers. 0 in
+  /// single-partition plans.
+  std::size_t partition = 0;
 };
 
 /// One binding resolved: pattern op plus the areas for staging and buffer.
@@ -58,6 +63,10 @@ struct PlannedBinding {
   rtsj::MemoryArea* staging_area = nullptr;
   /// Area holding the async message buffer (nullptr for sync bindings).
   rtsj::MemoryArea* buffer_area = nullptr;
+  /// True when client and server are pinned to different partitions. Only
+  /// asynchronous bindings may cross (synchronous clusters are co-located),
+  /// and crossing bindings get the lock-free SPSC buffer variant.
+  bool cross_partition = false;
 };
 
 /// The full plan for one application instance.
@@ -65,13 +74,28 @@ struct Plan {
   const model::Architecture* arch = nullptr;
   std::vector<PlannedComponent> components;
   std::vector<PlannedBinding> bindings;
+  /// Number of executive partitions the components are assigned across.
+  std::size_t partition_count = 1;
 
   const PlannedComponent* find_component(const std::string& name) const;
+  /// Partition of a planned component; throws for unknown names.
+  std::size_t partition_of(const std::string& name) const;
 };
 
 /// Resolves `arch` against `env`. Throws PlanningError when a binding has
 /// no legal pattern or endpoints do not resolve.
+///
+/// `partitions` spreads the components across that many executive
+/// partitions (worker threads in the wall-clock launcher, CPUs in the
+/// simulator): components connected by synchronous bindings are clustered
+/// with union-find and clusters are balanced across partitions by modeled
+/// utilization (longest-processing-time first). 1 keeps the single-core
+/// plan unchanged.
 Plan make_plan(const model::Architecture& arch,
-               runtime::RuntimeEnvironment& env);
+               runtime::RuntimeEnvironment& env, std::size_t partitions = 1);
+
+/// Re-derives the partition assignment of an existing plan (exposed for
+/// tests and tools; make_plan already calls it).
+void assign_partitions(Plan& plan, std::size_t partitions);
 
 }  // namespace rtcf::soleil

@@ -1,0 +1,97 @@
+// Partition assignment in the Soleil plan: synchronous clusters stay
+// together, assignments are deterministic and balanced, and only crossing
+// asynchronous bindings get the lock-free SPSC buffer variant.
+#include <gtest/gtest.h>
+
+#include "scenario/production_scenario.hpp"
+#include "soleil/application.hpp"
+
+namespace rtcf::soleil {
+namespace {
+
+TEST(PartitionPlanTest, SinglePartitionPlanIsUnchanged) {
+  const auto arch = scenario::make_production_architecture();
+  auto app = build_application(arch, Mode::Soleil);
+  const Plan& plan = app->plan();
+  EXPECT_EQ(plan.partition_count, 1u);
+  for (const auto& pc : plan.components) EXPECT_EQ(pc.partition, 0u);
+  for (const auto& pb : plan.bindings) EXPECT_FALSE(pb.cross_partition);
+  for (const auto& buffer : app->buffers()) {
+    EXPECT_FALSE(buffer->concurrent())
+        << "single-partition assemblies keep the single-threaded buffer";
+  }
+}
+
+TEST(PartitionPlanTest, SyncClustersShareAPartition) {
+  const auto arch = scenario::make_production_architecture();
+  auto app = build_application(arch, Mode::Soleil, 4);
+  const Plan& plan = app->plan();
+  EXPECT_EQ(plan.partition_count, 4u);
+  for (const auto& pc : plan.components) EXPECT_LT(pc.partition, 4u);
+  // MonitoringSystem reports to the Console synchronously: the call runs
+  // the Console on MonitoringSystem's worker, so both must be co-located.
+  EXPECT_EQ(plan.partition_of("MonitoringSystem"),
+            plan.partition_of("Console"));
+  for (const auto& pb : plan.bindings) {
+    if (pb.protocol == model::Protocol::Synchronous) {
+      EXPECT_FALSE(pb.cross_partition)
+          << "synchronous bindings must never cross workers";
+    }
+  }
+}
+
+TEST(PartitionPlanTest, ClustersSpreadAcrossPartitions) {
+  const auto arch = scenario::make_production_architecture();
+  auto app = build_application(arch, Mode::Soleil, 4);
+  const Plan& plan = app->plan();
+  // Three clusters — {ProductionLine}, {MonitoringSystem, Console},
+  // {AuditLog} — over four partitions: all three land on distinct workers.
+  EXPECT_NE(plan.partition_of("ProductionLine"),
+            plan.partition_of("MonitoringSystem"));
+  EXPECT_NE(plan.partition_of("ProductionLine"),
+            plan.partition_of("AuditLog"));
+  EXPECT_NE(plan.partition_of("MonitoringSystem"),
+            plan.partition_of("AuditLog"));
+}
+
+TEST(PartitionPlanTest, AssignmentIsDeterministic) {
+  const auto arch = scenario::make_production_architecture();
+  auto a = build_application(arch, Mode::Soleil, 3);
+  auto b = build_application(arch, Mode::Soleil, 3);
+  for (const auto& pc : a->plan().components) {
+    EXPECT_EQ(pc.partition,
+              b->plan().partition_of(pc.component->name()));
+  }
+}
+
+TEST(PartitionPlanTest, CrossPartitionBindingsGetSpscBuffers) {
+  const auto arch = scenario::make_production_architecture();
+  for (const Mode mode : {Mode::Soleil, Mode::MergeAll, Mode::UltraMerge}) {
+    auto app = build_application(arch, mode, 4);
+    // Buffers are created in plan-binding order; collect the async
+    // bindings' crossing flags the same way.
+    std::vector<bool> crossing;
+    for (const auto& pb : app->plan().bindings) {
+      if (pb.protocol == model::Protocol::Asynchronous) {
+        crossing.push_back(pb.cross_partition);
+      }
+    }
+    ASSERT_EQ(crossing.size(), app->buffers().size());
+    for (std::size_t i = 0; i < crossing.size(); ++i) {
+      EXPECT_EQ(app->buffers()[i]->concurrent(), crossing[i])
+          << to_string(mode) << " buffer " << i;
+    }
+  }
+}
+
+TEST(PartitionPlanTest, MorePartitionsThanClustersLeavesWorkersIdle) {
+  const auto arch = scenario::make_production_architecture();
+  auto app = build_application(arch, Mode::Soleil, 8);
+  EXPECT_EQ(app->plan().partition_count, 8u);
+  for (const auto& pc : app->plan().components) {
+    EXPECT_LT(pc.partition, 8u);
+  }
+}
+
+}  // namespace
+}  // namespace rtcf::soleil

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 
 #include "util/arena.hpp"
 #include "util/ring_buffer.hpp"
