@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -40,18 +41,55 @@ struct JsonRow {
   std::vector<std::pair<std::string, double>> metrics;
 };
 
+inline std::string render_json(const std::string& bench,
+                               const std::vector<JsonRow>& rows) {
+  std::string out = "{\"bench\": \"" + bench + "\", \"rows\": [";
+  char number[64];
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "{\"name\": \"" + rows[i].name + "\"";
+    for (const auto& [key, value] : rows[i].metrics) {
+      std::snprintf(number, sizeof(number), "%.6g", value);
+      out += ", \"" + key + "\": " + number;
+    }
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
 inline void print_json(const std::string& bench,
                        const std::vector<JsonRow>& rows) {
-  std::printf("{\"bench\": \"%s\", \"rows\": [", bench.c_str());
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    std::printf("%s{\"name\": \"%s\"", i == 0 ? "" : ", ",
-                rows[i].name.c_str());
-    for (const auto& [key, value] : rows[i].metrics) {
-      std::printf(", \"%s\": %.6g", key.c_str(), value);
-    }
-    std::printf("}");
+  std::fputs(render_json(bench, rows).c_str(), stdout);
+}
+
+/// Persists the result as BENCH_<bench>.json so runs leave a machine-
+/// readable perf trajectory behind. The file goes to $RTCF_BENCH_OUT (a
+/// directory) when set, else the current working directory — CI runs
+/// benches from the repo root and uploads BENCH_*.json as artifacts.
+inline void write_json_file(const std::string& bench,
+                            const std::vector<JsonRow>& rows) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("RTCF_BENCH_OUT");
+      env != nullptr && env[0] != '\0') {
+    dir = env;
   }
-  std::printf("]}\n");
+  const std::string path = dir + "/BENCH_" + bench + ".json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fputs(render_json(bench, rows).c_str(), file);
+  std::fclose(file);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// print_json + write_json_file in one call (the usual bench epilogue).
+inline void emit_json(const std::string& bench,
+                      const std::vector<JsonRow>& rows) {
+  print_json(bench, rows);
+  write_json_file(bench, rows);
 }
 
 /// The fig7 sample sets as JSON rows (median/jitter/p99, microseconds).

@@ -68,5 +68,14 @@ int main() {
   std::printf("\nIQR(OO)=%.4f us, IQR(SOLEIL)=%.4f us -> spread ratio %.2f "
               "(curves of similar shape; no added non-determinism)\n",
               oo_iqr, soleil_iqr, soleil_iqr / (oo_iqr + 1e-12));
+
+  auto rows = bench::to_json_rows(results);
+  for (std::size_t v = 0; v < rows.size(); ++v) {
+    rows[v].metrics.emplace_back(
+        "iqr_us", results[v].per_iteration_us.percentile(75) -
+                      results[v].per_iteration_us.percentile(25));
+  }
+  std::printf("JSON:\n");
+  bench::emit_json("fig7a_exec_distribution", rows);
   return 0;
 }

@@ -40,6 +40,6 @@ int main() {
   std::printf("%s\n", table.to_string().c_str());
   std::printf("CSV:\n%s", table.to_csv().c_str());
   std::printf("JSON:\n");
-  bench::print_json("fig7b_median_jitter", bench::to_json_rows(results));
+  bench::emit_json("fig7b_median_jitter", bench::to_json_rows(results));
   return 0;
 }

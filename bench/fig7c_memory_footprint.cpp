@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "baseline/oo_production_line.hpp"
+#include "fig7_harness.hpp"
 #include "scenario/production_scenario.hpp"
 #include "soleil/application.hpp"
 #include "util/table.hpp"
@@ -31,6 +32,10 @@ int main() {
                      "Introspection", "Reconfiguration"});
   table.add_row({"OO", util::Table::bytes(oo_bytes), "+0 bytes", "none",
                  "none"});
+  std::vector<bench::JsonRow> rows;
+  rows.push_back(
+      {"OO", {{"infrastructure_bytes", static_cast<double>(oo_bytes)},
+              {"delta_vs_oo_bytes", 0.0}}});
   for (const soleil::Mode mode :
        {soleil::Mode::Soleil, soleil::Mode::MergeAll,
         soleil::Mode::UltraMerge}) {
@@ -45,6 +50,11 @@ int main() {
                        ? "membrane + functional"
                        : "none",
                    app->supports_reconfiguration() ? "yes" : "no"});
+    rows.push_back(
+        {app->mode_name(),
+         {{"infrastructure_bytes", static_cast<double>(bytes)},
+          {"delta_vs_oo_bytes",
+           static_cast<double>(bytes) - static_cast<double>(oo_bytes)}}});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("CSV:\n%s", table.to_csv().c_str());
@@ -60,5 +70,7 @@ int main() {
     std::printf("  scope '%s': %zu / %zu bytes\n", scope->name().c_str(),
                 scope->memory_consumed(), scope->size());
   }
+  std::printf("JSON:\n");
+  bench::emit_json("fig7c_memory_footprint", rows);
   return 0;
 }

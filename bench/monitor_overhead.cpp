@@ -1,0 +1,144 @@
+// Cost of the runtime-monitoring subsystem's hot paths.
+//
+// The monitor's claim is "observability for free": histogram recording,
+// contract checking, and governor admission are allocation-free and
+// lock-free, so they may sit on every dispatch of a real-time executive.
+// This bench puts numbers behind that claim:
+//
+//   * histogram_record        — one LatencyHistogram::record (1 thread)
+//   * histogram_record_mt     — the same under 4 contending writers
+//   * contract_check          — one ContractMonitor::record_execution
+//   * governor_admit          — one OverloadGovernor::admit_release
+//   * pipeline_monitored      — one SOLEIL production-line transaction,
+//                               timing interceptors live (for scale)
+//
+//   ./bench_monitor_overhead [ops_per_round]
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "fig7_harness.hpp"
+#include "monitor/contract.hpp"
+#include "monitor/governor.hpp"
+#include "monitor/telemetry.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// Mean nanoseconds per op over `rounds` timed rounds of `ops` calls.
+double time_ns_per_op(int rounds, std::int64_t ops,
+                      const std::function<void(std::int64_t)>& body) {
+  auto& clock = rtcf::rtsj::SteadyClock::instance();
+  double best = 1e300;
+  for (int r = 0; r < rounds; ++r) {
+    const auto begin = clock.now();
+    body(ops);
+    const auto end = clock.now();
+    const double per_op =
+        static_cast<double>((end - begin).nanos()) / static_cast<double>(ops);
+    if (per_op < best) best = per_op;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rtcf;
+
+  std::int64_t ops = 2'000'000;
+  if (argc > 1) {
+    ops = std::atoll(argv[1]);
+    if (ops <= 0) {
+      std::fprintf(stderr, "usage: %s [ops_per_round > 0]\n", argv[0]);
+      return 2;
+    }
+  }
+  constexpr int kRounds = 5;
+
+  std::printf("== monitor hot-path overhead (%lld ops per round, best of %d) "
+              "==\n\n",
+              static_cast<long long>(ops), kRounds);
+
+  std::vector<bench::JsonRow> rows;
+  util::Table table({"Path", "ns/op"});
+
+  monitor::LatencyHistogram histogram;
+  const double hist_ns = time_ns_per_op(kRounds, ops, [&](std::int64_t n) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      histogram.record(static_cast<std::uint64_t>(i) % 1'000'000);
+    }
+  });
+  table.add_row({"histogram_record", util::Table::num(hist_ns, 2)});
+  rows.push_back({"histogram_record", {{"ns_per_op", hist_ns}}});
+
+  // Contended recording: 4 writers on one histogram, wall-clock per op.
+  monitor::LatencyHistogram shared;
+  const double hist_mt_ns = time_ns_per_op(
+      kRounds, ops, [&](std::int64_t n) {
+        constexpr int kWriters = 4;
+        std::vector<std::thread> writers;
+        for (int w = 0; w < kWriters; ++w) {
+          writers.emplace_back([&shared, n] {
+            for (std::int64_t i = 0; i < n / 4; ++i) {
+              shared.record(static_cast<std::uint64_t>(i) % 1'000'000);
+            }
+          });
+        }
+        for (auto& t : writers) t.join();
+      });
+  table.add_row({"histogram_record_mt4", util::Table::num(hist_mt_ns, 2)});
+  rows.push_back({"histogram_record_mt4", {{"ns_per_op", hist_mt_ns}}});
+
+  model::TimingContract contract;
+  contract.wcet_budget = rtsj::RelativeTime::microseconds(500);
+  contract.miss_ratio_bound = 0.1;
+  contract.window = 32;
+  monitor::ContractMonitor checker("bench", contract);
+  const double contract_ns = time_ns_per_op(
+      kRounds, ops, [&](std::int64_t n) {
+        monitor::Violation out[2];
+        monitor::WindowOutcome outcome;
+        for (std::int64_t i = 0; i < n; ++i) {
+          checker.record_execution(rtsj::RelativeTime::nanoseconds(i % 400),
+                                   false, out, &outcome);
+        }
+      });
+  table.add_row({"contract_check", util::Table::num(contract_ns, 2)});
+  rows.push_back({"contract_check", {{"ns_per_op", contract_ns}}});
+
+  monitor::OverloadGovernor governor;
+  const std::size_t id =
+      governor.add_component("bench", model::Criticality::Low);
+  const double admit_ns = time_ns_per_op(
+      kRounds, ops, [&](std::int64_t n) {
+        for (std::int64_t i = 0; i < n; ++i) {
+          (void)governor.admit_release(id);
+        }
+      });
+  table.add_row({"governor_admit", util::Table::num(admit_ns, 2)});
+  rows.push_back({"governor_admit", {{"ns_per_op", admit_ns}}});
+
+  // One full monitored pipeline transaction, for scale.
+  const auto arch = scenario::make_production_architecture();
+  auto app = soleil::build_application(arch, soleil::Mode::Soleil);
+  app->start();
+  auto release = app->release_fn("ProductionLine");
+  const double pipeline_ns = time_ns_per_op(
+      kRounds, std::min<std::int64_t>(ops / 10, 200'000),
+      [&](std::int64_t n) {
+        for (std::int64_t i = 0; i < n; ++i) {
+          release();
+          app->pump();
+        }
+      });
+  app->stop();
+  table.add_row({"pipeline_monitored", util::Table::num(pipeline_ns, 2)});
+  rows.push_back({"pipeline_monitored", {{"ns_per_op", pipeline_ns}}});
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("JSON:\n");
+  bench::emit_json("monitor_overhead", rows);
+  return 0;
+}

@@ -92,6 +92,6 @@ int main(int argc, char** argv) {
 
   std::printf("%s\n", table.to_string().c_str());
   std::printf("JSON:\n");
-  bench::print_json("multicore_scaling", rows);
+  bench::emit_json("multicore_scaling", rows);
   return 0;
 }

@@ -1,0 +1,123 @@
+// Walkthrough: runtime monitoring and the overload governor.
+//
+// The Fig. 4 production pipeline shares its executive with a
+// low-criticality "BulkAnalytics" batch component that overruns its WCET
+// budget on every release. Watch the monitor catch the violations, the
+// governor escalate (rate-limit, then shed the low-criticality work), and
+// the high-criticality pipeline keep every deadline throughout. Finishes
+// with the per-component telemetry the monitor collected — including
+// where each block physically lives (its component's RTSJ memory area).
+#include <cstdio>
+
+#include "model/views.hpp"
+#include "monitor/governor.hpp"
+#include "monitor/runtime_monitor.hpp"
+#include "runtime/content_registry.hpp"
+#include "runtime/launcher.hpp"
+#include "scenario/production_scenario.hpp"
+#include "soleil/application.hpp"
+#include "util/table.hpp"
+#include "validate/validator.hpp"
+
+namespace {
+
+/// The injected overload: spins 4 ms against a 1 ms budget.
+class BulkAnalyticsExampleImpl final : public rtcf::comm::Content {
+ public:
+  void on_release() override {
+    const auto& clock = rtcf::rtsj::SteadyClock::instance();
+    const auto until =
+        clock.now() + rtcf::rtsj::RelativeTime::microseconds(4000);
+    while (clock.now() < until) {
+    }
+  }
+};
+
+RTCF_REGISTER_CONTENT(BulkAnalyticsExampleImpl)
+
+void print_violation(void*, const rtcf::monitor::Violation& violation) {
+  std::printf("  [violation] %-14s %-12s observed %.1f (bound %.1f), "
+              "window %llu\n",
+              violation.component, to_string(violation.kind),
+              violation.observed, violation.bound,
+              static_cast<unsigned long long>(violation.window_index));
+}
+
+}  // namespace
+
+int main() {
+  using namespace rtcf;
+
+  std::printf("== overload governor: production pipeline + low-criticality "
+              "overrunner ==\n\n");
+
+  auto arch = scenario::make_production_architecture();
+  {
+    model::BusinessView business(arch);
+    auto& analytics = business.active("BulkAnalytics",
+                                      model::ActivationKind::Periodic,
+                                      rtsj::RelativeTime::milliseconds(10));
+    analytics.set_content_class("BulkAnalyticsExampleImpl");
+    analytics.set_cost(rtsj::RelativeTime::microseconds(4000));
+    analytics.set_criticality(model::Criticality::Low);
+    model::TimingContract contract;
+    contract.wcet_budget = rtsj::RelativeTime::milliseconds(1);
+    contract.window = 4;
+    analytics.set_timing_contract(contract);
+    model::ThreadManagementView threads(arch);
+    auto& domain = threads.domain("reg2", model::DomainType::Regular, 4);
+    threads.deploy(domain, analytics);
+    model::MemoryManagementView memory(arch);
+    memory.deploy(*arch.find_as<model::MemoryAreaComponent>("H1"), domain);
+  }
+  const auto report = validate::validate(arch);
+  if (!report.ok()) {
+    std::printf("%s\n", report.to_string().c_str());
+    return 1;
+  }
+
+  auto app = soleil::build_application(arch, soleil::Mode::Soleil);
+  app->monitor().set_violation_callback(&print_violation, nullptr);
+  app->start();
+
+  std::printf("running 400 ms wall-clock, single-core executive...\n");
+  runtime::Launcher launcher(*app);
+  runtime::Launcher::Options options;
+  options.duration = rtsj::RelativeTime::milliseconds(400);
+  launcher.run(options);
+  app->stop();
+
+  std::printf("\ngovernor decisions:\n");
+  for (const auto& decision : app->monitor().governor().decisions()) {
+    std::printf("  #%llu -> %-10s (trigger: %s)\n",
+                static_cast<unsigned long long>(decision.seq),
+                to_string(decision.level), decision.trigger);
+  }
+
+  std::printf("\nper-component telemetry:\n");
+  util::Table table({"Component", "Criticality", "Releases", "Activations",
+                     "Misses", "Shed", "p99 exec (us)", "Area"});
+  for (const auto& entry : app->monitor().entries()) {
+    const auto* planned = app->plan().find_component(entry->name);
+    table.add_row(
+        {entry->name, model::to_string(entry->criticality),
+         std::to_string(entry->telemetry->releases.load()),
+         std::to_string(entry->telemetry->activations.load()),
+         std::to_string(entry->telemetry->deadline_misses.load()),
+         std::to_string(entry->telemetry->shed.load()),
+         util::Table::num(
+             static_cast<double>(
+                 entry->telemetry->exec_ns.percentile_upper_nanos(99)) /
+                 1e3,
+             1),
+         planned != nullptr ? planned->area->name() : "?"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  const auto& pl = launcher.stats("ProductionLine");
+  std::printf("high-criticality ProductionLine: %llu releases, %llu "
+              "deadline misses — protected through the overload.\n",
+              static_cast<unsigned long long>(pl.releases),
+              static_cast<unsigned long long>(pl.deadline_misses));
+  return 0;
+}

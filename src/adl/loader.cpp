@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "adl/xml.hpp"
@@ -125,6 +128,57 @@ AreaType parse_area_type(const std::string& type) {
   throw AdlError("unknown area type '" + type + "'");
 }
 
+model::Criticality parse_criticality(const std::string& text) {
+  if (text == "low") return model::Criticality::Low;
+  if (text == "high") return model::Criticality::High;
+  throw AdlError("unknown criticality '" + text + "'");
+}
+
+double parse_ratio(const std::string& text) {
+  double v = 0.0;
+  std::size_t consumed = 0;
+  try {
+    v = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    throw AdlError("expected a number in '" + text + "'");
+  }
+  // std::stod happily parses "nan"/"inf", which would arm contract checks
+  // with bounds no comparison can ever satisfy (or reject).
+  if (consumed != text.size() || !std::isfinite(v)) {
+    throw AdlError("expected a finite number in '" + text + "'");
+  }
+  return v;
+}
+
+model::TimingContract parse_timing_contract(const XmlNode& node) {
+  model::TimingContract contract;
+  if (auto w = node.attr("wcet")) contract.wcet_budget = parse_duration(*w);
+  if (auto r = node.attr("missRatioBound")) {
+    contract.miss_ratio_bound = parse_ratio(*r);
+  }
+  if (auto a = node.attr("maxArrivalRate")) {
+    contract.max_arrival_rate_hz = parse_ratio(*a);
+  }
+  if (auto w = node.attr("window")) {
+    long long v = 0;
+    std::size_t consumed = 0;
+    try {
+      v = std::stoll(*w, &consumed);
+    } catch (const std::exception&) {
+      throw AdlError("expected a number in TimingContract window '" + *w +
+                     "'");
+    }
+    if (consumed != w->size()) {
+      throw AdlError("trailing junk in TimingContract window '" + *w + "'");
+    }
+    if (v <= 0 || v > std::numeric_limits<std::uint32_t>::max()) {
+      throw AdlError("TimingContract window out of range");
+    }
+    contract.window = static_cast<std::uint32_t>(v);
+  }
+  return contract;
+}
+
 void load_interfaces(const XmlNode& node, Component& component) {
   for (const XmlNode* itf : node.children_named("interface")) {
     component.add_interface({itf->require_attr("name"),
@@ -149,6 +203,12 @@ void load_active(const XmlNode& node, Architecture& arch) {
   if (auto p = node.attr("minInterarrival")) period = parse_duration(*p);
   auto& component = arch.add_active(name, activation, period);
   if (auto c = node.attr("cost")) component.set_cost(parse_duration(*c));
+  if (auto c = node.attr("criticality")) {
+    component.set_criticality(parse_criticality(*c));
+  }
+  if (const XmlNode* contract = node.child("TimingContract")) {
+    component.set_timing_contract(parse_timing_contract(*contract));
+  }
   load_interfaces(node, component);
 }
 
@@ -290,6 +350,10 @@ XmlNode serialize_functional(const Component& c) {
     if (!active->cost().is_zero()) {
       node.attributes.emplace_back("cost", format_duration(active->cost()));
     }
+    if (active->criticality()) {
+      node.attributes.emplace_back("criticality",
+                                   model::to_string(*active->criticality()));
+    }
   } else {
     node.name = "PassiveComponent";
     node.attributes.emplace_back("name", c.name());
@@ -312,6 +376,32 @@ XmlNode serialize_functional(const Component& c) {
     XmlNode n;
     n.name = "content";
     n.attributes.emplace_back("class", content);
+    node.children.push_back(std::move(n));
+  }
+  if (const auto* active = dynamic_cast<const ActiveComponent*>(&c);
+      active != nullptr && active->timing_contract()) {
+    const model::TimingContract& tc = *active->timing_contract();
+    XmlNode n;
+    n.name = "TimingContract";
+    // max_digits10 keeps the save/load round trip value-exact for any
+    // bound (default stream precision would quietly perturb e.g. 1.0/3).
+    const auto ratio = [](double v) {
+      std::ostringstream os;
+      os << std::setprecision(std::numeric_limits<double>::max_digits10)
+         << v;
+      return os.str();
+    };
+    if (!tc.wcet_budget.is_zero()) {
+      n.attributes.emplace_back("wcet", format_duration(tc.wcet_budget));
+    }
+    if (tc.miss_ratio_bound < 1.0) {
+      n.attributes.emplace_back("missRatioBound", ratio(tc.miss_ratio_bound));
+    }
+    if (tc.max_arrival_rate_hz > 0.0) {
+      n.attributes.emplace_back("maxArrivalRate",
+                                ratio(tc.max_arrival_rate_hz));
+    }
+    n.attributes.emplace_back("window", std::to_string(tc.window));
     node.children.push_back(std::move(n));
   }
   return node;

@@ -19,6 +19,7 @@
 #include "comm/message_buffer.hpp"
 #include "membrane/controllers.hpp"
 #include "membrane/patterns.hpp"
+#include "rtsj/time/time.hpp"
 
 namespace rtcf::membrane {
 
@@ -215,6 +216,51 @@ class ActiveInterceptor final : public Interceptor {
   comm::Content* content_;
   std::uint64_t delivered_ = 0;
   std::uint64_t rejected_ = 0;
+};
+
+/// Times the server-side execution of every delivery/invocation that
+/// passes through it and reports the observed duration to a record hook
+/// (function pointer + opaque arg, like NotifyFn — no std::function, no
+/// allocation on the hot path). This is the membrane attachment point of
+/// the runtime monitor (src/monitor): SOLEIL assemblies insert one in
+/// front of each server-side entry so message-driven activations feed the
+/// component's telemetry and its stochastic timing contract. MERGE-ALL and
+/// ULTRA-MERGE compile the hop away along with the rest of the membrane —
+/// trading observability for indirections, like the rest of Fig. 7.
+class TimingInterceptor final : public Interceptor {
+ public:
+  using RecordFn = void (*)(void* arg, std::uint64_t exec_nanos);
+
+  TimingInterceptor(RecordFn record, void* arg) noexcept
+      : record_(record), arg_(arg) {}
+
+  const char* kind() const noexcept override { return "timing-interceptor"; }
+
+  void deliver(const comm::Message& m) override {
+    const auto& clock = rtsj::SteadyClock::instance();
+    const rtsj::AbsoluteTime begin = clock.now();
+    next_sink_->deliver(m);
+    report(clock.now() - begin);
+  }
+
+  comm::Message invoke(const comm::Message& m) override {
+    const auto& clock = rtsj::SteadyClock::instance();
+    const rtsj::AbsoluteTime begin = clock.now();
+    comm::Message reply = next_invocable_->invoke(m);
+    report(clock.now() - begin);
+    return reply;
+  }
+
+ private:
+  void report(rtsj::RelativeTime exec) noexcept {
+    if (record_ != nullptr) {
+      record_(arg_, static_cast<std::uint64_t>(
+                        exec.nanos() < 0 ? 0 : exec.nanos()));
+    }
+  }
+
+  RecordFn record_;
+  void* arg_;
 };
 
 /// Server-side dispatch of a synchronous (passive) interface: lifecycle

@@ -56,6 +56,16 @@ const char* to_string(AreaType t) noexcept {
   return "?";
 }
 
+const char* to_string(Criticality c) noexcept {
+  switch (c) {
+    case Criticality::Low:
+      return "low";
+    case Criticality::High:
+      return "high";
+  }
+  return "?";
+}
+
 bool Component::has_ancestor(const Component* ancestor) const {
   for (const Component* super : supers_) {
     if (super == ancestor || super->has_ancestor(ancestor)) return true;

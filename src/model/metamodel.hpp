@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -42,12 +43,36 @@ enum class DomainType { NoHeapRealtime, Realtime, Regular };
 /// MemoryArea type (the ADL `AreaDesc type` attribute).
 enum class AreaType { Immortal, Scoped, Heap };
 
+/// Importance of an active component to the assembly's mission (the ADL
+/// `criticality` attribute). The overload governor (src/monitor) may shed
+/// or rate-limit Low components under sustained contract violation; High
+/// components are never degraded. Undeclared components are treated as
+/// High — nothing is shed unless the designer opted it in.
+enum class Criticality { Low, High };
+
+/// Stochastic timing contract on an active component (the ADL
+/// `<TimingContract>` element), checked online by the runtime monitor.
+/// Each bound is optional: a zero/neutral value disables that check.
+struct TimingContract {
+  /// Per-release execution-time budget; exceeding it is a WCET overrun.
+  /// Zero disables the check.
+  rtsj::RelativeTime wcet_budget{};
+  /// Upper bound on the deadline-miss ratio per observation window, in
+  /// [0, 1]. 1 disables the check.
+  double miss_ratio_bound = 1.0;
+  /// Upper bound on the sporadic arrival rate in Hz. 0 disables the check.
+  double max_arrival_rate_hz = 0.0;
+  /// Releases per observation window for the stochastic bounds.
+  std::uint32_t window = 32;
+};
+
 const char* to_string(ComponentKind k) noexcept;
 const char* to_string(ActivationKind k) noexcept;
 const char* to_string(InterfaceRole r) noexcept;
 const char* to_string(Protocol p) noexcept;
 const char* to_string(DomainType t) noexcept;
 const char* to_string(AreaType t) noexcept;
+const char* to_string(Criticality c) noexcept;
 
 /// A functional interface declared on a component.
 struct InterfaceDecl {
@@ -115,11 +140,26 @@ class ActiveComponent final : public Component {
   /// Modeled per-release execution cost, used by the simulator substrate.
   rtsj::RelativeTime cost() const noexcept { return cost_; }
   void set_cost(rtsj::RelativeTime cost) noexcept { cost_ = cost; }
+  /// Declared criticality; empty when the designer did not classify the
+  /// component (the monitor then defaults to High).
+  const std::optional<Criticality>& criticality() const noexcept {
+    return criticality_;
+  }
+  void set_criticality(Criticality c) noexcept { criticality_ = c; }
+  /// Stochastic timing contract; empty means unmonitored.
+  const std::optional<TimingContract>& timing_contract() const noexcept {
+    return contract_;
+  }
+  void set_timing_contract(TimingContract contract) noexcept {
+    contract_ = contract;
+  }
 
  private:
   ActivationKind activation_;
   rtsj::RelativeTime period_;
   rtsj::RelativeTime cost_{};
+  std::optional<Criticality> criticality_;
+  std::optional<TimingContract> contract_;
   std::string content_class_;
 };
 

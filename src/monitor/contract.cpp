@@ -1,0 +1,94 @@
+#include "monitor/contract.hpp"
+
+namespace rtcf::monitor {
+
+const char* to_string(ViolationKind kind) noexcept {
+  switch (kind) {
+    case ViolationKind::WcetOverrun:
+      return "wcet-overrun";
+    case ViolationKind::MissRatio:
+      return "miss-ratio";
+    case ViolationKind::ArrivalRate:
+      return "arrival-rate";
+  }
+  return "?";
+}
+
+ContractMonitor::ContractMonitor(
+    const char* component, const model::TimingContract& contract) noexcept
+    : component_(component), contract_(contract) {
+  if (contract_.window == 0) contract_.window = 1;
+}
+
+int ContractMonitor::record_execution(rtsj::RelativeTime exec,
+                                      bool deadline_missed, Violation out[2],
+                                      WindowOutcome* outcome) noexcept {
+  int fired = 0;
+  if (outcome != nullptr) *outcome = WindowOutcome::Open;
+
+  if (!contract_.wcet_budget.is_zero() && exec > contract_.wcet_budget) {
+    overrun_in_window_ = true;
+    ++violations_;
+    out[fired++] = Violation{component_, ViolationKind::WcetOverrun,
+                             exec.to_micros(),
+                             contract_.wcet_budget.to_micros(),
+                             window_index_};
+  }
+
+  ++in_window_;
+  if (deadline_missed) ++misses_in_window_;
+  if (in_window_ < contract_.window) return fired;
+
+  // Window boundary: evaluate the stochastic bound and report the outcome.
+  const double ratio = static_cast<double>(misses_in_window_) /
+                       static_cast<double>(in_window_);
+  const bool ratio_violated =
+      contract_.miss_ratio_bound < 1.0 && ratio > contract_.miss_ratio_bound;
+  if (ratio_violated) {
+    ++violations_;
+    out[fired++] = Violation{component_, ViolationKind::MissRatio, ratio,
+                             contract_.miss_ratio_bound, window_index_};
+  }
+  if (outcome != nullptr) {
+    *outcome = (ratio_violated || overrun_in_window_) ? WindowOutcome::Violated
+                                                      : WindowOutcome::Clean;
+  }
+  ++window_index_;
+  in_window_ = 0;
+  misses_in_window_ = 0;
+  overrun_in_window_ = false;
+  return fired;
+}
+
+bool ContractMonitor::record_arrival(rtsj::AbsoluteTime now,
+                                     Violation* out) noexcept {
+  if (contract_.max_arrival_rate_hz <= 0.0) return false;
+  std::uint32_t window = contract_.window;
+  if (window > kMaxArrivalWindow) window = kMaxArrivalWindow;
+  if (window < 2) window = 2;
+
+  arrivals_[arrival_head_] = now;
+  arrival_head_ = (arrival_head_ + 1) % window;
+  if (arrival_count_ < window) {
+    ++arrival_count_;
+    return false;
+  }
+  // Ring is full: the slot arrival_head_ now points at is the oldest of the
+  // last `window` arrivals.
+  const rtsj::RelativeTime span = now - arrivals_[arrival_head_];
+  if (span <= rtsj::RelativeTime::zero()) return false;
+  const double rate_hz = static_cast<double>(window - 1) * 1e9 /
+                         static_cast<double>(span.nanos());
+  if (rate_hz <= contract_.max_arrival_rate_hz) return false;
+  ++violations_;
+  if (out != nullptr) {
+    *out = Violation{component_, ViolationKind::ArrivalRate, rate_hz,
+                     contract_.max_arrival_rate_hz, window_index_};
+  }
+  // Restart the history so one burst is reported once, not per arrival.
+  arrival_count_ = 0;
+  arrival_head_ = 0;
+  return true;
+}
+
+}  // namespace rtcf::monitor

@@ -1,0 +1,98 @@
+// Stochastic timing contracts checked online.
+//
+// The design-time validator proves structural RTSJ conformance; the
+// contract monitor polices *temporal* behaviour while the system runs,
+// following the runtime-verification line of work (stochastic contracts
+// catch timing violations that component-by-component static analysis
+// misses). A contract bounds three observables of one active component:
+//
+//   * WCET budget        — per-release execution time (hard bound,
+//                          checked on every release);
+//   * miss-ratio bound   — fraction of deadline misses per observation
+//                          window of `window` releases (stochastic bound:
+//                          individual misses are tolerated, sustained
+//                          degradation is not);
+//   * arrival-rate bound — sporadic activation rate in Hz over the last
+//                          `window` arrivals.
+//
+// Checking is allocation-free: all window state is fixed-size and inline.
+// A ContractMonitor is single-consumer — it is fed by the one executive
+// worker that owns the component (components never migrate) — so its
+// window counters need no synchronisation.
+#pragma once
+
+#include <cstdint>
+
+#include "model/metamodel.hpp"
+#include "rtsj/time/time.hpp"
+
+namespace rtcf::monitor {
+
+enum class ViolationKind { WcetOverrun, MissRatio, ArrivalRate };
+
+const char* to_string(ViolationKind kind) noexcept;
+
+/// One observed contract violation, passed to violation callbacks. The
+/// struct is stack-allocated by the checker; callbacks must copy what they
+/// keep (except `component`, which outlives the assembly).
+struct Violation {
+  const char* component = nullptr;
+  ViolationKind kind{};
+  /// Observed value: microseconds (WcetOverrun), ratio in [0,1]
+  /// (MissRatio), or Hz (ArrivalRate).
+  double observed = 0.0;
+  /// The contract bound in the same unit.
+  double bound = 0.0;
+  /// Index of the observation window the violation was detected in.
+  std::uint64_t window_index = 0;
+};
+
+/// What a completed observation window looked like; drives the governor's
+/// sustained-violation / recovery streaks.
+enum class WindowOutcome { Open, Clean, Violated };
+
+/// Online checker for one component's TimingContract.
+class ContractMonitor {
+ public:
+  ContractMonitor(const char* component,
+                  const model::TimingContract& contract) noexcept;
+
+  const model::TimingContract& contract() const noexcept { return contract_; }
+  const char* component() const noexcept { return component_; }
+
+  /// Feeds one completed release/activation. Returns the number of
+  /// violations written to `out` (0..2: a WCET overrun and, when this
+  /// release closes a window, a miss-ratio violation). `*outcome` reports
+  /// whether this call closed an observation window and how it ended.
+  int record_execution(rtsj::RelativeTime exec, bool deadline_missed,
+                       Violation out[2], WindowOutcome* outcome) noexcept;
+
+  /// Feeds one sporadic arrival at time `now`. Returns true when the
+  /// observed arrival rate over the last `window` arrivals exceeds the
+  /// bound, filling `*out`; the arrival history restarts after a violation
+  /// so one burst reports once.
+  bool record_arrival(rtsj::AbsoluteTime now, Violation* out) noexcept;
+
+  std::uint64_t violations_total() const noexcept { return violations_; }
+  std::uint64_t windows_closed() const noexcept { return window_index_; }
+
+  /// Arrival-history capacity; windows larger than this are clamped for
+  /// the rate check (execution windows are not).
+  static constexpr std::uint32_t kMaxArrivalWindow = 64;
+
+ private:
+  const char* component_;
+  model::TimingContract contract_;
+  // Execution window state (single consumer, plain fields).
+  std::uint32_t in_window_ = 0;
+  std::uint32_t misses_in_window_ = 0;
+  bool overrun_in_window_ = false;
+  std::uint64_t window_index_ = 0;
+  std::uint64_t violations_ = 0;
+  // Arrival ring (timestamps of the last kMaxArrivalWindow arrivals).
+  rtsj::AbsoluteTime arrivals_[kMaxArrivalWindow] = {};
+  std::uint32_t arrival_count_ = 0;
+  std::uint32_t arrival_head_ = 0;
+};
+
+}  // namespace rtcf::monitor

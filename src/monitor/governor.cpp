@@ -1,0 +1,111 @@
+#include "monitor/governor.hpp"
+
+#include "util/assert.hpp"
+
+namespace rtcf::monitor {
+
+const char* to_string(GovernorLevel level) noexcept {
+  switch (level) {
+    case GovernorLevel::Normal:
+      return "normal";
+    case GovernorLevel::RateLimit:
+      return "rate-limit";
+    case GovernorLevel::Shed:
+      return "shed";
+  }
+  return "?";
+}
+
+OverloadGovernor::OverloadGovernor() : OverloadGovernor(Options{}) {}
+
+OverloadGovernor::OverloadGovernor(Options options) : options_(options) {
+  if (options_.sustain_windows == 0) options_.sustain_windows = 1;
+  if (options_.clear_windows == 0) options_.clear_windows = 1;
+  if (options_.rate_limit_divisor < 2) options_.rate_limit_divisor = 2;
+  decisions_.reserve(64);  // Transitions are rare; avoid hot-path growth.
+}
+
+std::size_t OverloadGovernor::add_component(const char* name,
+                                            model::Criticality criticality) {
+  RTCF_REQUIRE(name != nullptr, "governor component needs a name");
+  components_.emplace_back(name, criticality);
+  return components_.size() - 1;
+}
+
+OverloadGovernor::Admission OverloadGovernor::admit_release(
+    std::size_t id) noexcept {
+  ComponentState& c = components_[id];
+  const std::uint64_t seq =
+      c.admissions.fetch_add(1, std::memory_order_relaxed);
+  const auto level =
+      static_cast<GovernorLevel>(level_.load(std::memory_order_relaxed));
+  if (level == GovernorLevel::Normal ||
+      c.criticality == model::Criticality::High) {
+    return Admission::Run;
+  }
+  if (level == GovernorLevel::RateLimit) {
+    return seq % options_.rate_limit_divisor == 0 ? Admission::Run
+                                                  : Admission::RateLimited;
+  }
+  return Admission::Shed;
+}
+
+void OverloadGovernor::on_window_violated(std::size_t id) {
+  ComponentState& c = components_[id];
+  c.clean_streak = 0;
+  ++c.violated_streak;
+  if (c.violated_streak < options_.sustain_windows) return;
+  c.violated_streak = 0;  // Re-arm for the next escalation step.
+  c.violator.store(true, std::memory_order_relaxed);
+  const auto level =
+      static_cast<GovernorLevel>(level_.load(std::memory_order_relaxed));
+  if (level == GovernorLevel::Normal) {
+    transition(GovernorLevel::RateLimit, c.name);
+  } else if (level == GovernorLevel::RateLimit) {
+    transition(GovernorLevel::Shed, c.name);
+  }
+}
+
+void OverloadGovernor::on_window_clean(std::size_t id) {
+  ComponentState& c = components_[id];
+  c.violated_streak = 0;
+  if (!c.violator.load(std::memory_order_relaxed)) return;
+  ++c.clean_streak;
+  if (c.clean_streak < options_.clear_windows) return;
+  c.clean_streak = 0;
+  const auto level =
+      static_cast<GovernorLevel>(level_.load(std::memory_order_relaxed));
+  if (level == GovernorLevel::Shed) {
+    transition(GovernorLevel::RateLimit, c.name);
+  } else if (level == GovernorLevel::RateLimit) {
+    c.violator.store(false, std::memory_order_relaxed);
+    transition(GovernorLevel::Normal, c.name);
+  }
+}
+
+void OverloadGovernor::transition(GovernorLevel to, const char* trigger) {
+  const std::lock_guard<std::mutex> lock(transition_mutex_);
+  const auto current =
+      static_cast<GovernorLevel>(level_.load(std::memory_order_relaxed));
+  if (current == to) return;  // Lost a race with a concurrent transition.
+  level_.store(static_cast<int>(to), std::memory_order_relaxed);
+  decisions_.push_back(Decision{decisions_.size(), to, trigger});
+}
+
+std::vector<OverloadGovernor::Decision> OverloadGovernor::decisions() const {
+  const std::lock_guard<std::mutex> lock(transition_mutex_);
+  return decisions_;
+}
+
+void OverloadGovernor::reset() {
+  for (ComponentState& c : components_) {
+    c.violated_streak = 0;
+    c.clean_streak = 0;
+    c.violator.store(false, std::memory_order_relaxed);
+  }
+  if (level() != GovernorLevel::Normal) {
+    transition(GovernorLevel::Normal, "reset");
+  }
+}
+
+}  // namespace rtcf::monitor

@@ -1,0 +1,132 @@
+// The overload governor: criticality-aware load shedding.
+//
+// When a component violates its stochastic timing contract for several
+// consecutive observation windows, the assembly is overloaded and someone
+// has to give. The governor implements the mixed-criticality answer: it
+// degrades only components declared Criticality::Low — first rate-limiting
+// them (admit one release in N), then shedding them outright — so
+// high-criticality components keep meeting their deadlines. De-escalation
+// is driven by the violating components themselves: once a component that
+// triggered the overload delivers enough consecutive clean windows, the
+// governor steps the degradation level back down. A fully shed violator
+// can no longer produce windows, so a Shed level is sticky until reset()
+// — the conservative safe-mode choice for a real-time system.
+//
+// Determinism: admit_release() depends only on the per-component admission
+// sequence number and the current level, and level transitions depend only
+// on the order of window outcomes fed in. Driving the same feed through
+// the governor — wall-clock executive or virtual-time simulator — yields
+// the same decision log, which is what makes governed behaviour replayable
+// in sim::PreemptiveScheduler.
+//
+// Hot path (admit_release) is lock-free and allocation-free; level
+// transitions are rare and take a small mutex only to append the decision
+// log.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "model/metamodel.hpp"
+
+namespace rtcf::monitor {
+
+/// System-wide degradation level.
+enum class GovernorLevel : int { Normal = 0, RateLimit = 1, Shed = 2 };
+
+const char* to_string(GovernorLevel level) noexcept;
+
+class OverloadGovernor {
+ public:
+  struct Options {
+    /// Consecutive violated windows from one component before escalation.
+    std::uint32_t sustain_windows = 2;
+    /// Consecutive clean windows from a violating component before
+    /// de-escalation.
+    std::uint32_t clear_windows = 4;
+    /// While rate-limited, a Low component runs one release in this many.
+    std::uint32_t rate_limit_divisor = 2;
+  };
+
+  /// Verdict for one would-be release/activation.
+  enum class Admission { Run, RateLimited, Shed };
+
+  OverloadGovernor();
+  explicit OverloadGovernor(Options options);
+
+  /// Registers a component; returns its governor id. Registration happens
+  /// at assembly time, before any execution.
+  std::size_t add_component(const char* name, model::Criticality criticality);
+
+  /// Hot path: admission decision for the next release of `id`. Lock-free;
+  /// deterministic in the per-component call sequence and current level.
+  Admission admit_release(std::size_t id) noexcept;
+
+  /// Feeds one closed observation window of `id` (from its contract
+  /// monitor). Not hot: called once per `window` releases.
+  void on_window_violated(std::size_t id);
+  void on_window_clean(std::size_t id);
+
+  GovernorLevel level() const noexcept {
+    return static_cast<GovernorLevel>(
+        level_.load(std::memory_order_relaxed));
+  }
+
+  /// One level transition, for replay comparison and diagnostics.
+  struct Decision {
+    std::uint64_t seq = 0;          ///< Transition index (0-based).
+    GovernorLevel level{};          ///< Level after the transition.
+    const char* trigger = nullptr;  ///< Component whose windows drove it.
+  };
+  /// Snapshot of the decision log (copies under the transition mutex).
+  std::vector<Decision> decisions() const;
+
+  std::size_t component_count() const noexcept { return components_.size(); }
+  const char* component_name(std::size_t id) const {
+    return components_.at(id).name;
+  }
+  model::Criticality component_criticality(std::size_t id) const {
+    return components_.at(id).criticality;
+  }
+
+  /// Operator escape hatch: clears every streak and returns to Normal
+  /// (recorded in the decision log with trigger "reset").
+  void reset();
+
+ private:
+  struct ComponentState {
+    const char* name = nullptr;
+    model::Criticality criticality = model::Criticality::High;
+    /// Admission sequence; drives the deterministic rate-limit pattern.
+    std::atomic<std::uint64_t> admissions{0};
+    // Streaks are only touched by the worker that owns the component.
+    std::uint32_t violated_streak = 0;
+    std::uint32_t clean_streak = 0;
+    /// Set once the component contributed to an escalation; only such
+    /// components may drive de-escalation.
+    std::atomic<bool> violator{false};
+
+    ComponentState(const char* n, model::Criticality c)
+        : name(n), criticality(c) {}
+    ComponentState(ComponentState&& o) noexcept
+        : name(o.name),
+          criticality(o.criticality),
+          admissions(o.admissions.load()),
+          violated_streak(o.violated_streak),
+          clean_streak(o.clean_streak),
+          violator(o.violator.load()) {}
+  };
+
+  void transition(GovernorLevel to, const char* trigger);
+
+  Options options_;
+  std::vector<ComponentState> components_;
+  std::atomic<int> level_{static_cast<int>(GovernorLevel::Normal)};
+  mutable std::mutex transition_mutex_;
+  std::vector<Decision> decisions_;
+};
+
+}  // namespace rtcf::monitor

@@ -1,0 +1,157 @@
+#include "monitor/runtime_monitor.hpp"
+
+#include "util/assert.hpp"
+
+namespace rtcf::monitor {
+
+RuntimeMonitor::RuntimeMonitor(OverloadGovernor::Options options)
+    : governor_(options) {}
+
+RuntimeMonitor::Entry& RuntimeMonitor::add_component(
+    const char* name, rtsj::MemoryArea& area, model::Criticality criticality,
+    const model::TimingContract* contract, rtsj::RelativeTime deadline,
+    bool release_driven) {
+  RTCF_REQUIRE(name != nullptr, "monitored component needs a name");
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->telemetry = area.make<ComponentTelemetry>(name);
+  telemetry_bytes_ += sizeof(ComponentTelemetry);
+  if (contract != nullptr) {
+    contracts_.push_back(std::make_unique<ContractMonitor>(name, *contract));
+    entry->contract = contracts_.back().get();
+  }
+  entry->criticality = criticality;
+  entry->deadline = deadline;
+  entry->release_driven = release_driven;
+  entry->governor_id = governor_.add_component(name, criticality);
+  entry->owner = this;
+  entries_.push_back(std::move(entry));
+  Entry& ref = *entries_.back();
+  by_name_.emplace(name, &ref);
+  return ref;
+}
+
+RuntimeMonitor::Entry* RuntimeMonitor::find(const std::string& name) noexcept {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+const RuntimeMonitor::Entry* RuntimeMonitor::find(
+    const std::string& name) const noexcept {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+OverloadGovernor::Admission RuntimeMonitor::admit_release(
+    Entry& entry) noexcept {
+  const auto admission = governor_.admit_release(entry.governor_id);
+  if (admission != OverloadGovernor::Admission::Run) {
+    // Every governor-dropped release/activation counts as shed, whatever
+    // the level that dropped it — shed_total() is the complete drop
+    // count. rate_limited additionally attributes the subset dropped at
+    // the RateLimit level.
+    entry.telemetry->shed.fetch_add(1, std::memory_order_relaxed);
+    if (admission == OverloadGovernor::Admission::RateLimited) {
+      entry.telemetry->rate_limited.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return admission;
+}
+
+bool RuntimeMonitor::admit_activation(Entry& entry) noexcept {
+  return admit_release(entry) == OverloadGovernor::Admission::Run;
+}
+
+void RuntimeMonitor::record_release(Entry& entry, rtsj::RelativeTime exec,
+                                    rtsj::RelativeTime response,
+                                    rtsj::RelativeTime lateness,
+                                    bool missed) noexcept {
+  entry.telemetry->record_release(
+      static_cast<std::uint64_t>(exec.nanos() < 0 ? 0 : exec.nanos()),
+      static_cast<std::uint64_t>(response.nanos() < 0 ? 0 : response.nanos()),
+      static_cast<std::uint64_t>(lateness.nanos() < 0 ? 0 : lateness.nanos()),
+      missed);
+  if (entry.contract == nullptr) return;
+  Violation violations[2];
+  WindowOutcome outcome = WindowOutcome::Open;
+  const int fired =
+      entry.contract->record_execution(exec, missed, violations, &outcome);
+  for (int i = 0; i < fired; ++i) fire(entry, violations[i]);
+  apply_outcome(entry, outcome);
+}
+
+void RuntimeMonitor::record_activation(Entry& entry,
+                                       std::uint64_t exec_nanos) noexcept {
+  entry.telemetry->record_activation(exec_nanos);
+  if (entry.contract == nullptr) return;
+  // Periodic components get their contract windows from the launcher's
+  // release records (which carry the real deadline verdict); feeding
+  // activation records too would dilute the miss ratio. Only the
+  // arrival-rate bound is checked here for them.
+  if (!entry.release_driven) {
+    const auto exec =
+        rtsj::RelativeTime::nanoseconds(static_cast<std::int64_t>(exec_nanos));
+    // Miss verdict for message-driven releases: execution (from
+    // activation dispatch, i.e. excluding queueing) against the
+    // MIT-derived implicit deadline.
+    const bool missed = !entry.deadline.is_zero() && exec > entry.deadline;
+    if (missed) {
+      entry.telemetry->deadline_misses.fetch_add(1,
+                                                 std::memory_order_relaxed);
+    }
+    Violation violations[2];
+    WindowOutcome outcome = WindowOutcome::Open;
+    const int fired =
+        entry.contract->record_execution(exec, missed, violations, &outcome);
+    for (int i = 0; i < fired; ++i) fire(entry, violations[i]);
+    apply_outcome(entry, outcome);
+  }
+  // Only contracts with an arrival-rate bound pay the clock read.
+  if (entry.contract->contract().max_arrival_rate_hz > 0.0) {
+    Violation arrival;
+    if (entry.contract->record_arrival(rtsj::SteadyClock::instance().now(),
+                                       &arrival)) {
+      fire(entry, arrival);
+    }
+  }
+}
+
+void RuntimeMonitor::record_activation_trampoline(
+    void* entry, std::uint64_t exec_nanos) noexcept {
+  auto* e = static_cast<Entry*>(entry);
+  e->owner->record_activation(*e, exec_nanos);
+}
+
+void RuntimeMonitor::apply_outcome(Entry& entry,
+                                   WindowOutcome outcome) noexcept {
+  if (outcome == WindowOutcome::Violated) {
+    governor_.on_window_violated(entry.governor_id);
+  } else if (outcome == WindowOutcome::Clean) {
+    governor_.on_window_clean(entry.governor_id);
+  }
+}
+
+void RuntimeMonitor::fire(Entry& entry, const Violation& violation) noexcept {
+  entry.telemetry->contract_violations.fetch_add(1,
+                                                 std::memory_order_relaxed);
+  if (violation_fn_ != nullptr) violation_fn_(violation_arg_, violation);
+}
+
+std::uint64_t RuntimeMonitor::violations_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& entry : entries_) {
+    total += entry->telemetry->contract_violations.load(
+        std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t RuntimeMonitor::shed_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& entry : entries_) {
+    total += entry->telemetry->shed.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace rtcf::monitor

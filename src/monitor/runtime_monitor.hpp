@@ -1,0 +1,137 @@
+// The per-assembly runtime monitor: telemetry + contracts + governor.
+//
+// One RuntimeMonitor is built alongside every Application from the same
+// plan the assembly is generated from: each functional component gets a
+// ComponentTelemetry block allocated *inside its own RTSJ memory area*, a
+// ContractMonitor when its metamodel declares a TimingContract, and a slot
+// in the shared OverloadGovernor carrying its declared criticality.
+//
+// Feed paths:
+//   * the wall-clock Launcher records completed periodic releases
+//     (execution, response, lateness, deadline verdict) and asks the
+//     governor for admission before each release;
+//   * the SOLEIL membrane routes message-driven activations through a
+//     TimingInterceptor whose record hook lands here (execution time and
+//     arrival-rate contract checks for sporadic components);
+//   * contract window outcomes drive the governor's escalation streaks,
+//     and every violation is forwarded to the registered callback.
+//
+// All hot-path entry points are allocation-free; per-component contract
+// state is single-consumer because components never migrate between
+// executive workers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/metamodel.hpp"
+#include "monitor/contract.hpp"
+#include "monitor/governor.hpp"
+#include "monitor/telemetry.hpp"
+#include "rtsj/memory/memory_area.hpp"
+
+namespace rtcf::monitor {
+
+class RuntimeMonitor {
+ public:
+  /// Violation callback: function pointer + opaque arg, so firing from a
+  /// worker thread allocates nothing. Fired for every contract violation
+  /// after telemetry and governor bookkeeping.
+  using ViolationFn = void (*)(void* arg, const Violation& violation);
+
+  struct Entry {
+    const char* name = nullptr;
+    /// Area-allocated; owned by the component's memory area, not by us.
+    ComponentTelemetry* telemetry = nullptr;
+    /// Null for uncontracted components.
+    ContractMonitor* contract = nullptr;
+    std::size_t governor_id = 0;
+    model::Criticality criticality = model::Criticality::High;
+    /// Relative deadline for activation-path miss detection (the
+    /// MIT-derived implicit deadline for sporadic components); zero
+    /// disables the check.
+    rtsj::RelativeTime deadline{};
+    /// True for periodic components: their contract windows are fed by
+    /// the launcher's release records (which carry the real deadline
+    /// verdict), so activation-path records must not dilute them.
+    bool release_driven = false;
+    RuntimeMonitor* owner = nullptr;
+  };
+
+  explicit RuntimeMonitor(OverloadGovernor::Options options = {});
+
+  RuntimeMonitor(const RuntimeMonitor&) = delete;
+  RuntimeMonitor& operator=(const RuntimeMonitor&) = delete;
+
+  /// Registers one component: telemetry storage is carved from `area`
+  /// (RTSJ newInstance), the contract checker from the heap (assembly
+  /// time, not hot path). `deadline` enables activation-path miss
+  /// detection; `release_driven` marks periodic components whose contract
+  /// windows the launcher feeds instead. Returns a stable Entry reference.
+  Entry& add_component(const char* name, rtsj::MemoryArea& area,
+                       model::Criticality criticality,
+                       const model::TimingContract* contract,
+                       rtsj::RelativeTime deadline = rtsj::RelativeTime::zero(),
+                       bool release_driven = false);
+
+  Entry* find(const std::string& name) noexcept;
+  const Entry* find(const std::string& name) const noexcept;
+  const std::vector<std::unique_ptr<Entry>>& entries() const noexcept {
+    return entries_;
+  }
+
+  OverloadGovernor& governor() noexcept { return governor_; }
+  const OverloadGovernor& governor() const noexcept { return governor_; }
+
+  void set_violation_callback(ViolationFn fn, void* arg) noexcept {
+    violation_fn_ = fn;
+    violation_arg_ = arg;
+  }
+
+  // ---- hot-path feeds ----------------------------------------------------
+
+  /// Governor admission for one periodic release. A degraded verdict is
+  /// already counted into telemetry (shed/rate_limited) before returning.
+  OverloadGovernor::Admission admit_release(Entry& entry) noexcept;
+
+  /// Same for one message-driven activation: returns false when the
+  /// activation must be dropped (counted as shed).
+  bool admit_activation(Entry& entry) noexcept;
+
+  /// One completed periodic release (launcher).
+  void record_release(Entry& entry, rtsj::RelativeTime exec,
+                      rtsj::RelativeTime response,
+                      rtsj::RelativeTime lateness, bool missed) noexcept;
+
+  /// One message-driven activation (timing interceptor); checks the WCET
+  /// budget and the arrival-rate bound.
+  void record_activation(Entry& entry, std::uint64_t exec_nanos) noexcept;
+
+  /// membrane::TimingInterceptor record hook (arg = Entry*).
+  static void record_activation_trampoline(void* entry,
+                                           std::uint64_t exec_nanos) noexcept;
+
+  // ---- aggregates --------------------------------------------------------
+
+  std::uint64_t violations_total() const noexcept;
+  std::uint64_t shed_total() const noexcept;
+  /// Bytes of telemetry storage carved from RTSJ areas (footprint metric).
+  std::size_t telemetry_bytes() const noexcept { return telemetry_bytes_; }
+
+ private:
+  void apply_outcome(Entry& entry, WindowOutcome outcome) noexcept;
+  void fire(Entry& entry, const Violation& violation) noexcept;
+
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::map<std::string, Entry*> by_name_;
+  std::vector<std::unique_ptr<ContractMonitor>> contracts_;
+  OverloadGovernor governor_;
+  ViolationFn violation_fn_ = nullptr;
+  void* violation_arg_ = nullptr;
+  std::size_t telemetry_bytes_ = 0;
+};
+
+}  // namespace rtcf::monitor

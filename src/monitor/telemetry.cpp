@@ -1,0 +1,25 @@
+#include "monitor/telemetry.hpp"
+
+namespace rtcf::monitor {
+
+std::uint64_t LatencyHistogram::percentile_upper_nanos(double p) const
+    noexcept {
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  // Rank of the requested percentile (1-based, ceiling).
+  const auto rank = static_cast<std::uint64_t>(
+      (p / 100.0) * static_cast<double>(n) + 0.999999);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBins; ++i) {
+    seen += bin(i);
+    if (seen >= rank && seen > 0) {
+      // Ceiling of bin i = floor of bin i+1.
+      return i + 1 < kBins ? bin_floor(i + 1) : max_nanos();
+    }
+  }
+  return max_nanos();
+}
+
+}  // namespace rtcf::monitor

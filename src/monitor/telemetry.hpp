@@ -1,0 +1,141 @@
+// Allocation-free per-component runtime telemetry.
+//
+// The paper validates timing offline (design-time checks plus the Fig. 7
+// measurements); a production deployment must also observe itself online.
+// This layer gives every functional component a fixed-size telemetry block
+// — execution-time / response-latency / release-jitter histograms plus
+// release and deadline counters — that is
+//
+//   * carved out of the component's own RTSJ memory area at assembly time
+//     (a Console deployed in a 28 KB scope keeps its telemetry in that
+//     scope, exactly like its content), and
+//   * updated lock-free from whichever executive worker runs the
+//     component: the record path touches only relaxed atomics, never
+//     allocates, and never takes a lock.
+//
+// Readers (dashboards, benches, the overload governor) tolerate the usual
+// monotonic-counter semantics: totals are exact once the writers quiesce,
+// and never lose increments while they run.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace rtcf::monitor {
+
+/// Lock-free histogram of nanosecond durations over fixed logarithmic bins
+/// (bin i counts samples in [2^i, 2^(i+1)) ns; the last bin absorbs the
+/// tail). Log bins give full dynamic range — sub-microsecond membrane hops
+/// to multi-second stalls — in a fixed 48-slot footprint, which is what
+/// lets the whole structure live inside a bounded RTSJ area.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBins = 48;
+
+  /// Records one sample. Wait-free: two relaxed fetch_adds, one bounded CAS
+  /// loop for the maximum, no allocation.
+  void record(std::uint64_t nanos) noexcept {
+    bins_[bin_index(nanos)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(nanos, std::memory_order_relaxed);
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (nanos > prev &&
+           !max_.compare_exchange_weak(prev, nanos,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  static std::size_t bin_index(std::uint64_t nanos) noexcept {
+    if (nanos <= 1) return 0;
+#if defined(__GNUC__) || defined(__clang__)
+    const auto b =
+        static_cast<std::size_t>(63 - __builtin_clzll(nanos));
+#else
+    std::size_t b = 0;
+    while (nanos >>= 1) ++b;
+    nanos = 0;
+#endif
+    return b < kBins - 1 ? b : kBins - 1;
+  }
+  /// Lower edge of bin `i` in nanoseconds.
+  static std::uint64_t bin_floor(std::size_t i) noexcept {
+    return i == 0 ? 0 : std::uint64_t{1} << i;
+  }
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bin(std::size_t i) const noexcept {
+    return bins_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t max_nanos() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  double mean_nanos() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+                        static_cast<double>(n);
+  }
+
+  /// Upper bound (bin ceiling) of the p-th percentile, p in [0, 100].
+  /// Coarse by construction (one bin = a factor of two) but allocation-free
+  /// and exact enough to flag order-of-magnitude latency regressions.
+  std::uint64_t percentile_upper_nanos(double p) const noexcept;
+
+ private:
+  std::atomic<std::uint64_t> bins_[kBins] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// One component's telemetry block. Plain trivially-destructible data so it
+/// can be placed in any RTSJ area (including scopes — no finalizer needed)
+/// and read after the workers joined without teardown ordering concerns.
+struct ComponentTelemetry {
+  explicit ComponentTelemetry(const char* component) noexcept
+      : name(component) {}
+
+  /// Component name; points at the Architecture-owned string, which
+  /// outlives every assembly built from it.
+  const char* name;
+
+  LatencyHistogram exec_ns;      ///< Per-activation execution time.
+  LatencyHistogram response_ns;  ///< Release-to-completion latency.
+  LatencyHistogram jitter_ns;    ///< Release start lateness.
+
+  std::atomic<std::uint64_t> releases{0};         ///< Periodic dispatches.
+  std::atomic<std::uint64_t> activations{0};      ///< Message-driven runs.
+  std::atomic<std::uint64_t> deadline_misses{0};
+  /// Releases/activations dropped by the overload governor, at any
+  /// degradation level — the complete drop count for this component.
+  std::atomic<std::uint64_t> shed{0};
+  /// Subset of `shed` dropped while the governor was at RateLimit.
+  std::atomic<std::uint64_t> rate_limited{0};
+  std::atomic<std::uint64_t> contract_violations{0};
+
+  /// Records one completed periodic release (launcher hot path).
+  void record_release(std::uint64_t exec_nanos, std::uint64_t response_nanos,
+                      std::uint64_t lateness_nanos, bool missed) noexcept {
+    releases.fetch_add(1, std::memory_order_relaxed);
+    exec_ns.record(exec_nanos);
+    response_ns.record(response_nanos);
+    jitter_ns.record(lateness_nanos);
+    if (missed) deadline_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Records one message-driven activation (membrane timing interceptor).
+  void record_activation(std::uint64_t exec_nanos) noexcept {
+    activations.fetch_add(1, std::memory_order_relaxed);
+    exec_ns.record(exec_nanos);
+  }
+};
+
+static_assert(std::is_trivially_destructible_v<ComponentTelemetry>,
+              "telemetry must not need finalizers so it can live in any "
+              "RTSJ memory area");
+
+}  // namespace rtcf::monitor

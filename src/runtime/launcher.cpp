@@ -26,6 +26,7 @@ Launcher::Launcher(soleil::Application& app) : app_(app) {
     entry.deadline = pc.thread->profile().effective_deadline();
     entry.priority = pc.thread->priority();
     entry.partition = pc.partition;
+    entry.mon = app.monitor().find(entry.name);
     periodics_.push_back(std::move(entry));
     stats_.emplace(pc.component->name(), ComponentStats{});
   }
@@ -36,6 +37,7 @@ Launcher::Launcher(soleil::Application& app) : app_(app) {
                    [](const PeriodicEntry& a, const PeriodicEntry& b) {
                      return a.priority > b.priority;
                    });
+  for (auto& entry : periodics_) entry.stats = &stats_.at(entry.name);
 }
 
 void Launcher::run(const Options& options) {
@@ -50,8 +52,25 @@ void Launcher::dispatch_entry(PeriodicEntry& entry, std::size_t worker,
                               bool partitioned) {
   auto& clock = rtsj::SteadyClock::instance();
   const AbsoluteTime scheduled = entry.next_release;
+
+  // Overload-governor admission: a degraded release is skipped entirely —
+  // the period still advances (drift-free timeline), and the skip is
+  // counted both here and in the component's telemetry block.
+  if (entry.mon != nullptr &&
+      app_.monitor().admit_release(*entry.mon) !=
+          monitor::OverloadGovernor::Admission::Run) {
+    ++entry.stats->shed;
+    entry.next_release = scheduled + entry.period;
+    return;
+  }
+
   const AbsoluteTime actual_start = clock.now();
   entry.release();
+  // The component's own execution ends here; the pump below runs
+  // *downstream* components' activations, which record their own
+  // execution via their timing interceptors. Billing the drain to this
+  // component would blame the wrong party in its WCET-budget contract.
+  const AbsoluteTime release_done = clock.now();
   if (partitioned) {
     app_.pump_partition(worker);
   } else {
@@ -59,12 +78,17 @@ void Launcher::dispatch_entry(PeriodicEntry& entry, std::size_t worker,
   }
   const AbsoluteTime finish = clock.now();
 
-  ComponentStats& cs = stats_.at(entry.name);
+  ComponentStats& cs = *entry.stats;
   ++cs.releases;
   cs.response_us.add((finish - scheduled).to_micros());
   cs.start_lateness_us.add((actual_start - scheduled).to_micros());
-  if (!entry.deadline.is_zero() && finish - scheduled > entry.deadline) {
-    ++cs.deadline_misses;
+  const bool missed =
+      !entry.deadline.is_zero() && finish - scheduled > entry.deadline;
+  if (missed) ++cs.deadline_misses;
+  if (entry.mon != nullptr) {
+    app_.monitor().record_release(*entry.mon, release_done - actual_start,
+                                  finish - scheduled,
+                                  actual_start - scheduled, missed);
   }
   entry.next_release = scheduled + entry.period;  // drift-free anchor
 }
@@ -137,7 +161,13 @@ void Launcher::run_partitioned(const Options& options) {
 
   // Final drain: messages pushed just before the horizon by one worker may
   // still sit in a cross-partition buffer after its consumer exited. The
-  // workers are joined, so the single-threaded sweep is safe.
+  // workers are joined, so the single-threaded sweep is safe. The drain
+  // runs *activations* only — per-component release/deadline-miss stats
+  // and telemetry release counters are written exclusively in
+  // dispatch_entry, which never executes here, so nothing is aggregated
+  // twice; each drained activation is recorded exactly once by the
+  // consumer's timing interceptor, same as when a worker pumps it.
+  // (Regression: PartitionedLauncherTest.FinalDrainAggregatesStatsOnce.)
   app_.pump();
 }
 

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "monitor/runtime_monitor.hpp"
 #include "soleil/application.hpp"
 #include "util/stats.hpp"
 
@@ -56,6 +57,9 @@ class Launcher {
   struct ComponentStats {
     std::uint64_t releases = 0;
     std::uint64_t deadline_misses = 0;
+    /// Releases skipped by the overload governor (shed or rate-limited);
+    /// also counted in the component's telemetry block.
+    std::uint64_t shed = 0;
     /// Response time per release: from the *scheduled* release instant to
     /// completion of the release and everything it triggered downstream
     /// (downstream on the same worker, in partitioned mode).
@@ -90,6 +94,11 @@ class Launcher {
     int priority;
     std::size_t partition = 0;
     rtsj::AbsoluteTime next_release{};
+    /// Runtime-monitor slot (telemetry + contract + governor id).
+    monitor::RuntimeMonitor::Entry* mon = nullptr;
+    /// Cached stats slot; the map is not mutated after construction, so
+    /// workers touch disjoint entries without synchronisation.
+    ComponentStats* stats = nullptr;
   };
 
   void run_single(const Options& options);

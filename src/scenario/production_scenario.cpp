@@ -72,6 +72,15 @@ model::Architecture make_production_architecture() {
                              rtsj::RelativeTime::milliseconds(10));
   pl.set_content_class("ProductionLineImpl");
   pl.set_cost(rtsj::RelativeTime::microseconds(200));
+  pl.set_criticality(Criticality::High);
+  // Stochastic contract for the runtime monitor: the bounds are generous
+  // relative to the 10 ms period (a healthy host runs a release in
+  // microseconds), so violations mean genuine overload, not noise.
+  TimingContract pl_contract;
+  pl_contract.wcet_budget = rtsj::RelativeTime::milliseconds(8);
+  pl_contract.miss_ratio_bound = 0.5;
+  pl_contract.window = 16;
+  pl.set_timing_contract(pl_contract);
   business.client_port(pl, "iMonitor", "IMonitor");
 
   // Fig. 4 declares MonitoringSystem simply as sporadic (no minimum
@@ -80,6 +89,7 @@ model::Architecture make_production_architecture() {
                              rtsj::RelativeTime::zero());
   ms.set_content_class("MonitoringSystemImpl");
   ms.set_cost(rtsj::RelativeTime::microseconds(150));
+  ms.set_criticality(Criticality::High);
   business.server_port(ms, "iMonitor", "IMonitor");
   business.client_port(ms, "iConsole", "IConsole");
   business.client_port(ms, "iAudit", "IAudit");
@@ -88,10 +98,13 @@ model::Architecture make_production_architecture() {
   console.set_content_class("ConsoleImpl");
   business.server_port(console, "iConsole", "IConsole");
 
+  // The audit trail is best-effort: the one component the overload
+  // governor may shed to protect the NHRT pipeline.
   auto& audit = business.active("AuditLog", ActivationKind::Sporadic,
                                 rtsj::RelativeTime::zero());
   audit.set_content_class("AuditLogImpl");
   audit.set_cost(rtsj::RelativeTime::microseconds(300));
+  audit.set_criticality(Criticality::Low);
   business.server_port(audit, "iAudit", "IAudit");
 
   business.bind_async("ProductionLine", "iMonitor", "MonitoringSystem",
@@ -127,11 +140,13 @@ const char* production_adl() {
   return R"(<Architecture>
   <!-- Functional components -->
   <ActiveComponent name="ProductionLine" type="periodic" periodicity="10ms"
-                   cost="200us">
+                   cost="200us" criticality="high">
     <interface name="iMonitor" role="client" signature="IMonitor"/>
     <content class="ProductionLineImpl"/>
+    <TimingContract wcet="8ms" missRatioBound="0.5" window="16"/>
   </ActiveComponent>
-  <ActiveComponent name="MonitoringSystem" type="sporadic" cost="150us">
+  <ActiveComponent name="MonitoringSystem" type="sporadic" cost="150us"
+                   criticality="high">
     <interface name="iMonitor" role="server" signature="IMonitor"/>
     <interface name="iConsole" role="client" signature="IConsole"/>
     <interface name="iAudit" role="client" signature="IAudit"/>
@@ -141,7 +156,8 @@ const char* production_adl() {
     <interface name="iConsole" role="server" signature="IConsole"/>
     <content class="ConsoleImpl"/>
   </PassiveComponent>
-  <ActiveComponent name="AuditLog" type="sporadic" cost="300us">
+  <ActiveComponent name="AuditLog" type="sporadic" cost="300us"
+                   criticality="low">
     <interface name="iAudit" role="server" signature="IAudit"/>
     <content class="AuditLogImpl"/>
   </ActiveComponent>

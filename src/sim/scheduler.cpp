@@ -25,6 +25,8 @@ const char* to_string(TraceKind k) noexcept {
       return "gc-start";
     case TraceKind::GcEnd:
       return "gc-end";
+    case TraceKind::Shed:
+      return "shed";
   }
   return "?";
 }
@@ -68,6 +70,12 @@ void PreemptiveScheduler::set_on_complete(
     TaskId task, std::function<void(AbsoluteTime)> on_complete) {
   RTCF_REQUIRE(task < tasks_.size(), "unknown task id");
   tasks_[task].config.on_complete = std::move(on_complete);
+}
+
+void PreemptiveScheduler::set_release_gate(
+    TaskId task, std::function<bool(TaskId, std::uint64_t)> release_gate) {
+  RTCF_REQUIRE(task < tasks_.size(), "unknown task id");
+  tasks_[task].config.release_gate = std::move(release_gate);
 }
 
 void PreemptiveScheduler::post_arrival(TaskId task, AbsoluteTime t) {
@@ -156,6 +164,18 @@ void PreemptiveScheduler::dispatch(std::size_t cpu) {
 
 void PreemptiveScheduler::release_job(TaskId task, AbsoluteTime t) {
   Task& tk = tasks_[task];
+  // Admission gate (overload governor mirror): a shed release consumes its
+  // sequence number and advances the periodic timeline but queues no job.
+  if (tk.config.release_gate &&
+      !tk.config.release_gate(task, tk.next_seq)) {
+    const std::uint64_t seq = tk.next_seq++;
+    ++tk.stats.shed_releases;
+    record(TraceKind::Shed, task, seq);
+    if (tk.config.release == ReleaseKind::Periodic) {
+      push_event(t + tk.config.period, EventKind::TaskRelease, task);
+    }
+    return;
+  }
   Job job;
   job.task = task;
   job.seq = tk.next_seq++;

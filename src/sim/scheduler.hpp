@@ -61,6 +61,14 @@ struct TaskConfig {
   /// Invoked in virtual time when a release completes; may post arrivals to
   /// other tasks (pipeline chaining) via the scheduler reference.
   std::function<void(AbsoluteTime completion_time)> on_complete;
+  /// Admission gate consulted at every would-be release (periodic timeline
+  /// and posted arrivals alike). Returning false sheds the release: no job
+  /// is queued, the sequence number is consumed, stats.shed_releases is
+  /// incremented and a Shed trace event is recorded — the virtual-time
+  /// mirror of the overload governor's admit_release(), which is what
+  /// makes governed behaviour deterministically replayable here. Null
+  /// admits everything (and leaves traces bit-for-bit unchanged).
+  std::function<bool(TaskId task, std::uint64_t seq)> release_gate;
 };
 
 /// Periodic stop-the-world collector model: every `interval` of virtual
@@ -83,6 +91,7 @@ enum class TraceKind {
   DeadlineMiss,
   GcStart,
   GcEnd,
+  Shed,  ///< Release rejected by the task's admission gate.
 };
 
 const char* to_string(TraceKind k) noexcept;
@@ -106,6 +115,7 @@ struct TaskStats {
   std::uint64_t deadline_misses = 0;
   std::uint64_t preemptions = 0;
   std::uint64_t rejected_arrivals = 0;  ///< Sporadic MIT violations.
+  std::uint64_t shed_releases = 0;      ///< Admission-gate rejections.
   util::SampleSet response_times_us;    ///< Response time per release, µs.
 };
 
@@ -126,6 +136,10 @@ class PreemptiveScheduler {
   /// to chain tasks whose ids are only known once all are added).
   void set_on_complete(TaskId task,
                        std::function<void(AbsoluteTime)> on_complete);
+
+  /// Installs/replaces the admission gate (see TaskConfig::release_gate).
+  void set_release_gate(
+      TaskId task, std::function<bool(TaskId, std::uint64_t)> release_gate);
 
   /// Posts an arrival for a sporadic/aperiodic task at time `t` (>= now).
   /// Arrivals in the past of the simulation clock are rejected.

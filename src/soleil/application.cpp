@@ -119,7 +119,25 @@ bool ActivationManager::idle() const noexcept {
 Application::Application(const model::Architecture& arch,
                          std::size_t partitions)
     : env_(std::make_unique<runtime::RuntimeEnvironment>(arch)),
-      plan_(make_plan(arch, *env_, partitions)) {}
+      plan_(make_plan(arch, *env_, partitions)),
+      monitor_(std::make_unique<monitor::RuntimeMonitor>()) {
+  // Telemetry is part of the assembly, whatever the generation mode: every
+  // functional component gets its block inside its own memory area, plus a
+  // contract checker and a governor slot when the metamodel declares them.
+  for (const PlannedComponent& pc : plan_.components) {
+    rtsj::RelativeTime deadline;
+    bool release_driven = false;
+    if (pc.active != nullptr) {
+      deadline = pc.thread->profile().effective_deadline();
+      release_driven =
+          pc.active->activation() == model::ActivationKind::Periodic;
+    }
+    monitor_->add_component(pc.component->name().c_str(), *pc.area,
+                            pc.criticality, pc.contract, deadline,
+                            release_driven);
+  }
+  count_infra(monitor_->telemetry_bytes());
+}
 
 void Application::build_contents() {
   auto& registry = runtime::ContentRegistry::instance();
@@ -154,6 +172,19 @@ comm::MessageBuffer& Application::make_buffer(rtsj::MemoryArea& area,
                 capacity * sizeof(comm::Message));
   }
   return *buffers_.back();
+}
+
+ActivationManager::Work Application::make_gated_pump(
+    comm::MessageBuffer& buffer, comm::IMessageSink& sink,
+    monitor::RuntimeMonitor::Entry* mon) {
+  comm::MessageBuffer* buf = &buffer;
+  comm::IMessageSink* out = &sink;
+  return [buf, out, mon] {
+    if (auto m = buf->pop()) {
+      if (mon != nullptr && !mon->owner->admit_activation(*mon)) return;
+      out->deliver(*m);
+    }
+  };
 }
 
 ActivationManager::NotifyArg* Application::make_notify_arg(

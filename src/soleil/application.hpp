@@ -26,6 +26,7 @@
 #include "comm/message_buffer.hpp"
 #include "membrane/membrane.hpp"
 #include "model/metamodel.hpp"
+#include "monitor/runtime_monitor.hpp"
 #include "runtime/environment.hpp"
 #include "soleil/plan.hpp"
 #include "validate/report.hpp"
@@ -187,6 +188,14 @@ class Application {
   const Plan& plan() const noexcept { return plan_; }
   runtime::RuntimeEnvironment& environment() noexcept { return *env_; }
   ActivationManager& activation_manager() noexcept { return manager_; }
+  /// Runtime monitor (telemetry, contracts, overload governor). Built for
+  /// every mode: telemetry blocks live in each component's memory area;
+  /// the SOLEIL membrane additionally feeds message-driven activations
+  /// through its timing interceptors.
+  monitor::RuntimeMonitor& monitor() noexcept { return *monitor_; }
+  const monitor::RuntimeMonitor& monitor() const noexcept {
+    return *monitor_;
+  }
   const std::vector<std::unique_ptr<comm::MessageBuffer>>& buffers()
       const noexcept {
     return buffers_;
@@ -209,6 +218,16 @@ class Application {
   comm::MessageBuffer& make_buffer(rtsj::MemoryArea& area,
                                    std::size_t capacity,
                                    bool concurrent = false);
+
+  /// Activation-target body shared by the generation modes that dispatch
+  /// through the activation manager: pop one message from `buffer`,
+  /// consult the overload governor for the consumer (`mon`, may be null),
+  /// and either deliver through `sink` or drop the activation counted as
+  /// shed. Dropping still pops, so degraded low-criticality consumers
+  /// never backpressure real-time producers.
+  ActivationManager::Work make_gated_pump(comm::MessageBuffer& buffer,
+                                          comm::IMessageSink& sink,
+                                          monitor::RuntimeMonitor::Entry* mon);
   ActivationManager::NotifyArg* make_notify_arg(std::size_t target);
   void count_infra(std::size_t bytes) noexcept { infra_bytes_ += bytes; }
 
@@ -229,6 +248,9 @@ class Application {
   ActivationManager manager_;
   std::vector<std::unique_ptr<comm::MessageBuffer>> buffers_;
   std::vector<std::unique_ptr<ActivationManager::NotifyArg>> notify_args_;
+  /// Telemetry pointers reference areas owned by env_, which outlives the
+  /// monitor (declared after env_, destroyed first).
+  std::unique_ptr<monitor::RuntimeMonitor> monitor_;
   std::size_t infra_bytes_ = 0;
 };
 

@@ -17,7 +17,9 @@ using membrane::MemoryInterceptor;
 using membrane::PatternOp;
 using membrane::PatternRuntime;
 using membrane::SyncSkeleton;
+using membrane::TimingInterceptor;
 using model::Protocol;
+using MonitorEntry = monitor::RuntimeMonitor::Entry;
 
 namespace {
 
@@ -63,11 +65,9 @@ class SoleilApplication final : public Application {
     validate::Report report = plan_sync_rebind(client, port, server, &pb);
     if (!report.ok()) return report;
     comm::IInvocable* server_entry = nullptr;
-    if (auto it = sync_entries_.find(server); it != sync_entries_.end()) {
+    if (auto it = server_invocables_.find(server);
+        it != server_invocables_.end()) {
       server_entry = it->second;
-    } else if (auto it2 = active_entries_.find(server);
-               it2 != active_entries_.end()) {
-      server_entry = it2->second;
     }
     RTCF_ASSERT(server_entry != nullptr);
     Membrane& client_membrane = *membranes_.at(client);
@@ -92,21 +92,32 @@ class SoleilApplication final : public Application {
 
  private:
   void wire() {
-    // Functional membranes with their server-side interceptors.
+    // Functional membranes with their server-side interceptors. Every
+    // server entry is fronted by a TimingInterceptor feeding the runtime
+    // monitor, so message-driven activations are observed per component
+    // (periodic releases bypass it — the launcher records those with the
+    // full release-to-completion picture).
     for (const PlannedComponent& pc : plan_.components) {
       auto& rt = runtime_of(pc.component->name());
       auto membrane = std::make_unique<Membrane>(pc.component->name(),
                                                  rt.content);
+      MonitorEntry* mon = monitor_->find(pc.component->name());
+      RTCF_ASSERT(mon != nullptr);
+      auto& timing = membrane->add_interceptor<TimingInterceptor>(
+          &monitor::RuntimeMonitor::record_activation_trampoline, mon);
       if (pc.active != nullptr) {
         auto& ai = membrane->add_interceptor<ActiveInterceptor>(
             &membrane->lifecycle(), rt.content);
         active_entries_[pc.component->name()] = &ai;
         rt.release_entry = [&ai] { ai.release(); };
+        timing.set_next(&ai, &ai);
       } else {
         auto& ss = membrane->add_interceptor<SyncSkeleton>(
             &membrane->lifecycle(), rt.content);
-        sync_entries_[pc.component->name()] = &ss;
+        timing.set_next(nullptr, &ss);
       }
+      server_sinks_[pc.component->name()] = &timing;
+      server_invocables_[pc.component->name()] = &timing;
       membranes_.emplace(pc.component->name(), std::move(membrane));
     }
     // Non-functional components are reified as membranes too: "the
@@ -148,17 +159,23 @@ class SoleilApplication final : public Application {
           PatternRuntime::make(pb.op, pb.server_area, pb.staging_area);
       count_infra(pattern.slot_bytes());
       if (pb.protocol == Protocol::Asynchronous) {
+        // Fail fast on an async binding into a passive server: delivery
+        // needs an activation entry, which only active components have
+        // (matching the pre-monitor assembly behaviour).
+        RTCF_REQUIRE(
+            active_entries_.count(pb.server->name()) != 0,
+            "asynchronous binding server '" + pb.server->name() +
+                "' is not an active component");
         auto& buffer =
             make_buffer(*pb.buffer_area, pb.buffer_size, pb.cross_partition);
-        ActiveInterceptor* server_entry =
-            active_entries_.at(pb.server->name());
+        comm::IMessageSink* server_entry =
+            server_sinks_.at(pb.server->name());
+        MonitorEntry* server_mon = monitor_->find(pb.server->name());
         const PlannedComponent& server_pc =
             *runtime_of(pb.server->name()).planned;
         const std::size_t target = manager_.add_target(
             server_pc.thread,
-            [&buffer, server_entry] {
-              if (auto m = buffer.pop()) server_entry->deliver(*m);
-            },
+            make_gated_pump(buffer, *server_entry, server_mon),
             server_pc.partition);
         auto* arg = make_notify_arg(target);
         auto& skeleton = client_membrane.add_interceptor<AsyncSkeleton>(
@@ -173,13 +190,8 @@ class SoleilApplication final : public Application {
         entry.set_next(&mem, nullptr);
         port.bind_sink(&entry);
       } else {
-        comm::IInvocable* server_entry = nullptr;
-        if (auto it = sync_entries_.find(pb.server->name());
-            it != sync_entries_.end()) {
-          server_entry = it->second;
-        } else {
-          server_entry = active_entries_.at(pb.server->name());
-        }
+        comm::IInvocable* server_entry =
+            server_invocables_.at(pb.server->name());
         auto& mem = client_membrane.add_interceptor<MemoryInterceptor>(
             std::move(pattern));
         mem.set_lifecycle_gate(&client_membrane.lifecycle());
@@ -197,7 +209,10 @@ class SoleilApplication final : public Application {
 
   std::map<std::string, std::unique_ptr<Membrane>> membranes_;
   std::map<std::string, ActiveInterceptor*> active_entries_;
-  std::map<std::string, SyncSkeleton*> sync_entries_;
+  /// Server-side entries with the timing interceptor in front: async
+  /// delivery targets and synchronous invocation targets.
+  std::map<std::string, comm::IMessageSink*> server_sinks_;
+  std::map<std::string, comm::IInvocable*> server_invocables_;
 };
 
 // -------------------------------------------------------------- MERGE_ALL
@@ -281,14 +296,16 @@ class MergeAllApplication final : public Application {
       if (pb.protocol == Protocol::Asynchronous) {
         auto& buffer =
             make_buffer(*pb.buffer_area, pb.buffer_size, pb.cross_partition);
-        MergedShell* server_raw = &server_shell;
+        MonitorEntry* server_mon = monitor_->find(pb.server->name());
         const PlannedComponent& server_pc =
             *runtime_of(pb.server->name()).planned;
+        // Governor gate as in SOLEIL; the merged shell keeps the
+        // activation manager, so shedding stays available. (ULTRA_MERGE's
+        // flattened static plan compiles the hook away — it trades
+        // adaptability for speed across the board.)
         const std::size_t target = manager_.add_target(
             server_pc.thread,
-            [&buffer, server_raw] {
-              if (auto m = buffer.pop()) server_raw->deliver(*m);
-            },
+            make_gated_pump(buffer, server_shell, server_mon),
             server_pc.partition);
         endpoint.buffer = &buffer;
         endpoint.notify = &ActivationManager::notify_trampoline;

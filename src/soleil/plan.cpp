@@ -204,6 +204,11 @@ Plan make_plan(const Architecture& arch, runtime::RuntimeEnvironment& env,
       pc.active = active;
       pc.thread = &env.thread_for(*active);
       pc.content_class = active->content_class();
+      pc.criticality =
+          active->criticality().value_or(model::Criticality::High);
+      if (active->timing_contract()) {
+        pc.contract = &*active->timing_contract();
+      }
     } else {
       pc.content_class =
           static_cast<const PassiveComponent*>(owned.get())->content_class();

@@ -47,6 +47,14 @@ struct PlannedComponent {
   /// partition, so synchronous calls never cross workers. 0 in
   /// single-partition plans.
   std::size_t partition = 0;
+  /// Declared criticality, defaulted to High when the architecture does
+  /// not classify the component — the overload governor may only degrade
+  /// components explicitly marked Low.
+  model::Criticality criticality = model::Criticality::High;
+  /// Stochastic timing contract to monitor at runtime; nullptr when the
+  /// component is uncontracted. Points into the Architecture, which
+  /// outlives every plan made from it.
+  const model::TimingContract* contract = nullptr;
 };
 
 /// One binding resolved: pattern op plus the areas for staging and buffer.

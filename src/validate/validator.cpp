@@ -1,6 +1,7 @@
 #include "validate/validator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 #include <sstream>
@@ -43,6 +44,8 @@ bool any_in_subtree(const Component& root, Pred pred) {
   return false;
 }
 
+void check_timing_contract(const ActiveComponent& active, Report& report);
+
 void check_active_components(const Architecture& arch, Report& report) {
   for (const auto* active : arch.all_of<ActiveComponent>()) {
     const auto domains = arch.thread_domains_of(*active);
@@ -84,6 +87,50 @@ void check_active_components(const Architecture& arch, Report& report) {
                  "no content class named; the generator cannot attach "
                  "functional logic");
     }
+    check_timing_contract(*active, report);
+  }
+}
+
+/// A stochastic timing contract is only meaningful on a component with a
+/// deadline (the implicit deadline comes from the period / minimum
+/// interarrival time) and a declared criticality — the overload governor
+/// cannot act on a violation without knowing what it may degrade.
+void check_timing_contract(const ActiveComponent& active, Report& report) {
+  if (!active.timing_contract()) return;
+  const model::TimingContract& tc = *active.timing_contract();
+  if (active.period() <= rtsj::RelativeTime::zero()) {
+    report.add(Severity::Error, "AC-CONTRACT-COMPLETE", active.name(),
+               "timing contract on a component without a period / minimum "
+               "interarrival time: no deadline exists for the miss-ratio "
+               "bound to be checked against");
+  }
+  if (!active.criticality()) {
+    report.add(Severity::Error, "AC-CONTRACT-COMPLETE", active.name(),
+               "timing contract without a declared criticality; the "
+               "overload governor needs to know whether this component may "
+               "be shed");
+  }
+  // Negated range predicates so NaN bounds (all comparisons false) are
+  // reported instead of slipping through as "configured".
+  if (!(tc.miss_ratio_bound >= 0.0 && tc.miss_ratio_bound <= 1.0)) {
+    std::ostringstream os;
+    os << "miss-ratio bound " << tc.miss_ratio_bound
+       << " outside [0, 1]";
+    report.add(Severity::Error, "AC-CONTRACT-BOUNDS", active.name(),
+               os.str());
+  }
+  if (tc.wcet_budget.is_negative()) {
+    report.add(Severity::Error, "AC-CONTRACT-BOUNDS", active.name(),
+               "negative WCET budget");
+  }
+  if (!std::isfinite(tc.max_arrival_rate_hz) ||
+      tc.max_arrival_rate_hz < 0.0) {
+    report.add(Severity::Error, "AC-CONTRACT-BOUNDS", active.name(),
+               "arrival-rate bound must be a non-negative finite number");
+  }
+  if (tc.window == 0) {
+    report.add(Severity::Error, "AC-CONTRACT-BOUNDS", active.name(),
+               "observation window must be at least one release");
   }
 }
 

@@ -84,6 +84,68 @@ TEST(AdlLoaderTest, LoadsTheFig4Architecture) {
   EXPECT_EQ(arch.memory_area_of(*pl), imm1);
 }
 
+TEST(AdlLoaderTest, ParsesCriticalityAndTimingContract) {
+  const auto arch = load_architecture(scenario::production_adl());
+
+  const auto* pl = arch.find_as<ActiveComponent>("ProductionLine");
+  ASSERT_NE(pl, nullptr);
+  ASSERT_TRUE(pl->criticality().has_value());
+  EXPECT_EQ(*pl->criticality(), model::Criticality::High);
+  ASSERT_TRUE(pl->timing_contract().has_value());
+  EXPECT_EQ(pl->timing_contract()->wcet_budget,
+            rtsj::RelativeTime::milliseconds(8));
+  EXPECT_DOUBLE_EQ(pl->timing_contract()->miss_ratio_bound, 0.5);
+  EXPECT_EQ(pl->timing_contract()->window, 16u);
+
+  const auto* audit = arch.find_as<ActiveComponent>("AuditLog");
+  ASSERT_NE(audit, nullptr);
+  ASSERT_TRUE(audit->criticality().has_value());
+  EXPECT_EQ(*audit->criticality(), model::Criticality::Low);
+  EXPECT_FALSE(audit->timing_contract().has_value());
+
+  // Serialization preserves both: a reloaded copy agrees.
+  const auto again = load_architecture(save_architecture(arch));
+  const auto* pl2 = again.find_as<ActiveComponent>("ProductionLine");
+  ASSERT_TRUE(pl2->timing_contract().has_value());
+  EXPECT_DOUBLE_EQ(pl2->timing_contract()->miss_ratio_bound, 0.5);
+  EXPECT_EQ(*again.find_as<ActiveComponent>("AuditLog")->criticality(),
+            model::Criticality::Low);
+}
+
+TEST(AdlLoaderTest, RejectsMalformedTimingContract) {
+  EXPECT_THROW(load_architecture(R"(<Architecture>
+        <ActiveComponent name="A" type="periodic" periodicity="5ms"
+                         criticality="medium"/>
+      </Architecture>)"),
+               AdlError);
+  EXPECT_THROW(load_architecture(R"(<Architecture>
+        <ActiveComponent name="A" type="periodic" periodicity="5ms">
+          <TimingContract missRatioBound="lots"/>
+        </ActiveComponent>
+      </Architecture>)"),
+               AdlError);
+  EXPECT_THROW(load_architecture(R"(<Architecture>
+        <ActiveComponent name="A" type="periodic" periodicity="5ms">
+          <TimingContract window="0"/>
+        </ActiveComponent>
+      </Architecture>)"),
+               AdlError);
+  // Non-numeric and trailing-junk windows are AdlErrors, not raw
+  // std::invalid_argument escapes or silent truncation.
+  EXPECT_THROW(load_architecture(R"(<Architecture>
+        <ActiveComponent name="A" type="periodic" periodicity="5ms">
+          <TimingContract window="sixteen"/>
+        </ActiveComponent>
+      </Architecture>)"),
+               AdlError);
+  EXPECT_THROW(load_architecture(R"(<Architecture>
+        <ActiveComponent name="A" type="periodic" periodicity="5ms">
+          <TimingContract window="16ms"/>
+        </ActiveComponent>
+      </Architecture>)"),
+               AdlError);
+}
+
 TEST(AdlLoaderTest, LoadedArchitectureValidatesCleanly) {
   const auto arch = load_architecture(scenario::production_adl());
   const auto report = validate::validate(arch);

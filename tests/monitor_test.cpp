@@ -1,0 +1,346 @@
+// The runtime-monitoring subsystem: lock-free telemetry histograms (area
+// storage, concurrent exactness), stochastic contract checking (WCET /
+// miss-ratio / arrival-rate windows), the overload governor's escalation
+// policy, and the violation callback end-to-end through an assembled
+// application with an overrunning component.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "model/views.hpp"
+#include "monitor/contract.hpp"
+#include "monitor/governor.hpp"
+#include "monitor/runtime_monitor.hpp"
+#include "monitor/telemetry.hpp"
+#include "runtime/content_registry.hpp"
+#include "runtime/launcher.hpp"
+#include "rtsj/memory/memory_area.hpp"
+#include "soleil/application.hpp"
+
+namespace rtcf::monitor {
+namespace {
+
+using model::ActivationKind;
+using model::Architecture;
+using model::AreaType;
+using model::Criticality;
+using model::DomainType;
+using model::TimingContract;
+
+// ---- telemetry -----------------------------------------------------------
+
+TEST(LatencyHistogramTest, BinsCoverTheFullRange) {
+  EXPECT_EQ(LatencyHistogram::bin_index(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bin_index(1), 0u);
+  EXPECT_EQ(LatencyHistogram::bin_index(2), 1u);
+  EXPECT_EQ(LatencyHistogram::bin_index(3), 1u);
+  EXPECT_EQ(LatencyHistogram::bin_index(1024), 10u);
+  // The tail bin absorbs everything beyond 2^47 ns (~1.6 days).
+  EXPECT_EQ(LatencyHistogram::bin_index(~std::uint64_t{0}),
+            LatencyHistogram::kBins - 1);
+  EXPECT_EQ(LatencyHistogram::bin_floor(10), 1024u);
+}
+
+// N writer threads hammer one histogram; every recorded sample must land
+// in exactly one bin — exact totals, no bin loss. The record path is
+// relaxed atomics only (no locks, no allocation), so this also serves as
+// the ASan/UBSan stress for the monitoring hot path.
+TEST(LatencyHistogramTest, ConcurrentRecordingLosesNothing) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 200'000;
+
+  LatencyHistogram hist;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&hist, t] {
+      // Deterministic per-thread pseudo-random walk over many decades.
+      std::uint64_t x = 0x9e3779b97f4a7c15ull * (t + 1);
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        hist.record(x % 50'000'000);  // 0 .. 50 ms in ns
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+
+  const std::uint64_t expected = kThreads * kPerThread;
+  EXPECT_EQ(hist.count(), expected);
+  std::uint64_t across_bins = 0;
+  for (std::size_t b = 0; b < LatencyHistogram::kBins; ++b) {
+    across_bins += hist.bin(b);
+  }
+  EXPECT_EQ(across_bins, expected) << "bin loss under concurrency";
+  EXPECT_LE(hist.max_nanos(), 50'000'000u);
+  EXPECT_GT(hist.percentile_upper_nanos(99), 0u);
+}
+
+TEST(TelemetryTest, StorageComesFromTheRtsjArea) {
+  auto& immortal = rtsj::ImmortalMemory::instance();
+  const std::size_t before = immortal.memory_consumed();
+  auto* telemetry = immortal.make<ComponentTelemetry>("X");
+  EXPECT_TRUE(immortal.contains(telemetry));
+  EXPECT_GE(immortal.memory_consumed() - before, sizeof(ComponentTelemetry));
+  telemetry->record_release(1'000, 2'000, 10, false);
+  telemetry->record_release(3'000, 4'000, 20, true);
+  EXPECT_EQ(telemetry->releases.load(), 2u);
+  EXPECT_EQ(telemetry->deadline_misses.load(), 1u);
+  EXPECT_EQ(telemetry->response_ns.count(), 2u);
+}
+
+// ---- contract monitor ----------------------------------------------------
+
+TEST(ContractMonitorTest, WcetOverrunFiresImmediately) {
+  TimingContract contract;
+  contract.wcet_budget = rtsj::RelativeTime::microseconds(500);
+  contract.window = 4;
+  ContractMonitor monitor("C", contract);
+
+  Violation out[2];
+  WindowOutcome outcome = WindowOutcome::Open;
+  EXPECT_EQ(monitor.record_execution(rtsj::RelativeTime::microseconds(400),
+                                     false, out, &outcome),
+            0);
+  EXPECT_EQ(monitor.record_execution(rtsj::RelativeTime::microseconds(900),
+                                     false, out, &outcome),
+            1);
+  EXPECT_EQ(out[0].kind, ViolationKind::WcetOverrun);
+  EXPECT_STREQ(out[0].component, "C");
+  EXPECT_DOUBLE_EQ(out[0].observed, 900.0);
+  EXPECT_DOUBLE_EQ(out[0].bound, 500.0);
+}
+
+TEST(ContractMonitorTest, MissRatioEvaluatedAtWindowBoundary) {
+  TimingContract contract;
+  contract.miss_ratio_bound = 0.25;
+  contract.window = 8;
+  ContractMonitor monitor("C", contract);
+
+  Violation out[2];
+  WindowOutcome outcome = WindowOutcome::Open;
+  // 3 misses in 8 releases -> ratio 0.375 > 0.25, reported exactly once,
+  // when the 8th release closes the window.
+  int fired_total = 0;
+  for (int i = 0; i < 8; ++i) {
+    const int fired = monitor.record_execution(
+        rtsj::RelativeTime::microseconds(10), i < 3, out, &outcome);
+    fired_total += fired;
+    if (i < 7) {
+      EXPECT_EQ(outcome, WindowOutcome::Open);
+    }
+  }
+  EXPECT_EQ(fired_total, 1);
+  EXPECT_EQ(outcome, WindowOutcome::Violated);
+  EXPECT_EQ(out[0].kind, ViolationKind::MissRatio);
+  EXPECT_DOUBLE_EQ(out[0].observed, 0.375);
+  EXPECT_DOUBLE_EQ(out[0].bound, 0.25);
+
+  // A clean window afterwards reports Clean and fires nothing.
+  int fired_clean = 0;
+  for (int i = 0; i < 8; ++i) {
+    fired_clean += monitor.record_execution(
+        rtsj::RelativeTime::microseconds(10), false, out, &outcome);
+  }
+  EXPECT_EQ(fired_clean, 0);
+  EXPECT_EQ(outcome, WindowOutcome::Clean);
+  EXPECT_EQ(monitor.windows_closed(), 2u);
+}
+
+TEST(ContractMonitorTest, ArrivalRateBound) {
+  TimingContract contract;
+  contract.max_arrival_rate_hz = 1000.0;  // at most one per millisecond
+  contract.window = 8;
+  ContractMonitor monitor("C", contract);
+
+  // 10 kHz burst: 8 arrivals 100 us apart must trip the bound once the
+  // window fills.
+  Violation v{};
+  bool fired = false;
+  for (int i = 0; i < 16 && !fired; ++i) {
+    fired = monitor.record_arrival(
+        rtsj::AbsoluteTime::epoch() +
+            rtsj::RelativeTime::microseconds(100 * i),
+        &v);
+  }
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(v.kind, ViolationKind::ArrivalRate);
+  EXPECT_GT(v.observed, 1000.0);
+
+  // Arrivals at 100 Hz never violate.
+  ContractMonitor slow("S", contract);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(slow.record_arrival(
+        rtsj::AbsoluteTime::epoch() + rtsj::RelativeTime::milliseconds(10 * i),
+        &v));
+  }
+}
+
+// ---- governor ------------------------------------------------------------
+
+TEST(OverloadGovernorTest, EscalatesOnSustainedViolationOnly) {
+  OverloadGovernor::Options options;
+  options.sustain_windows = 2;
+  OverloadGovernor governor(options);
+  const auto low = governor.add_component("low", Criticality::Low);
+  const auto high = governor.add_component("high", Criticality::High);
+
+  EXPECT_EQ(governor.level(), GovernorLevel::Normal);
+  governor.on_window_violated(high);
+  EXPECT_EQ(governor.level(), GovernorLevel::Normal) << "one window is noise";
+  governor.on_window_clean(high);
+  governor.on_window_violated(high);
+  EXPECT_EQ(governor.level(), GovernorLevel::Normal)
+      << "clean window resets the streak";
+
+  governor.on_window_violated(high);
+  governor.on_window_violated(high);
+  EXPECT_EQ(governor.level(), GovernorLevel::RateLimit);
+  // High-criticality components are never degraded, whatever the level.
+  EXPECT_EQ(governor.admit_release(high), OverloadGovernor::Admission::Run);
+
+  // Low components run one release in rate_limit_divisor while limited.
+  int admitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (governor.admit_release(low) == OverloadGovernor::Admission::Run) {
+      ++admitted;
+    }
+  }
+  EXPECT_EQ(admitted, 5);
+
+  governor.on_window_violated(high);
+  governor.on_window_violated(high);
+  EXPECT_EQ(governor.level(), GovernorLevel::Shed);
+  EXPECT_EQ(governor.admit_release(low), OverloadGovernor::Admission::Shed);
+  EXPECT_EQ(governor.admit_release(high), OverloadGovernor::Admission::Run);
+
+  const auto decisions = governor.decisions();
+  ASSERT_EQ(decisions.size(), 2u);
+  EXPECT_EQ(decisions[0].level, GovernorLevel::RateLimit);
+  EXPECT_EQ(decisions[1].level, GovernorLevel::Shed);
+  EXPECT_STREQ(decisions[0].trigger, "high");
+}
+
+TEST(OverloadGovernorTest, RecoversWhenTheViolatorGoesClean) {
+  OverloadGovernor::Options options;
+  options.sustain_windows = 1;
+  options.clear_windows = 2;
+  OverloadGovernor governor(options);
+  const auto noisy = governor.add_component("noisy", Criticality::High);
+  const auto bystander = governor.add_component("quiet", Criticality::High);
+
+  governor.on_window_violated(noisy);
+  EXPECT_EQ(governor.level(), GovernorLevel::RateLimit);
+
+  // Clean windows from components that never violated do not de-escalate.
+  for (int i = 0; i < 8; ++i) governor.on_window_clean(bystander);
+  EXPECT_EQ(governor.level(), GovernorLevel::RateLimit);
+
+  governor.on_window_clean(noisy);
+  EXPECT_EQ(governor.level(), GovernorLevel::RateLimit);
+  governor.on_window_clean(noisy);
+  EXPECT_EQ(governor.level(), GovernorLevel::Normal);
+}
+
+// ---- violation callback through a real assembly --------------------------
+
+/// Content that busy-spins a configurable duration per release — the
+/// injected overrunner.
+class OverrunContent final : public comm::Content {
+ public:
+  static std::int64_t spin_micros;
+  void on_release() override {
+    const auto& clock = rtsj::SteadyClock::instance();
+    const auto until =
+        clock.now() + rtsj::RelativeTime::microseconds(spin_micros);
+    while (clock.now() < until) {
+    }
+  }
+};
+std::int64_t OverrunContent::spin_micros = 0;
+
+RTCF_REGISTER_CONTENT(OverrunContent)
+
+struct CapturedViolation {
+  std::string component;
+  ViolationKind kind{};
+  double observed = 0.0;
+  double bound = 0.0;
+};
+
+TEST(RuntimeMonitorTest, ViolationCallbackFiresWithComponentAndRatio) {
+  // One periodic component whose content overruns both its WCET budget and
+  // its deadline on every release.
+  Architecture arch;
+  auto& hog = arch.add_active("Hog", ActivationKind::Periodic,
+                              rtsj::RelativeTime::milliseconds(2));
+  hog.set_content_class("OverrunContent");
+  hog.set_criticality(Criticality::High);
+  TimingContract contract;
+  contract.wcet_budget = rtsj::RelativeTime::microseconds(500);
+  contract.miss_ratio_bound = 0.5;
+  contract.window = 4;
+  hog.set_timing_contract(contract);
+  auto& domain = arch.add_thread_domain("D", DomainType::Realtime, 20);
+  arch.add_child(domain, hog);
+  auto& area = arch.add_memory_area("M", AreaType::Immortal, 0);
+  arch.add_child(area, domain);
+
+  OverrunContent::spin_micros = 3000;  // 3 ms > 2 ms period > 500 us budget
+  auto app = soleil::build_application(arch, soleil::Mode::Soleil);
+
+  std::vector<CapturedViolation> captured;
+  app->monitor().set_violation_callback(
+      [](void* arg, const Violation& v) {
+        auto* sink = static_cast<std::vector<CapturedViolation>*>(arg);
+        sink->push_back(
+            CapturedViolation{v.component, v.kind, v.observed, v.bound});
+      },
+      &captured);
+
+  app->start();
+  runtime::Launcher launcher(*app);
+  runtime::Launcher::Options options;
+  options.duration = rtsj::RelativeTime::milliseconds(40);
+  launcher.run(options);
+  app->stop();
+  OverrunContent::spin_micros = 0;
+
+  ASSERT_GE(launcher.stats("Hog").releases, 8u);
+  ASSERT_FALSE(captured.empty());
+  bool saw_overrun = false;
+  bool saw_ratio = false;
+  for (const auto& v : captured) {
+    EXPECT_EQ(v.component, "Hog");
+    if (v.kind == ViolationKind::WcetOverrun) {
+      saw_overrun = true;
+      EXPECT_GE(v.observed, 3000.0);  // at least the spin, in us
+      EXPECT_DOUBLE_EQ(v.bound, 500.0);
+    }
+    if (v.kind == ViolationKind::MissRatio) {
+      saw_ratio = true;
+      // Every release overruns a 2 ms period by construction.
+      EXPECT_DOUBLE_EQ(v.observed, 1.0);
+      EXPECT_DOUBLE_EQ(v.bound, 0.5);
+    }
+  }
+  EXPECT_TRUE(saw_overrun);
+  EXPECT_TRUE(saw_ratio);
+
+  // Sustained violation escalated the governor even though nothing could
+  // be shed (the only component is high-criticality).
+  EXPECT_NE(app->monitor().governor().level(), GovernorLevel::Normal);
+  // Telemetry counted every violation and kept its storage in the area.
+  const auto* entry = app->monitor().find("Hog");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->telemetry->contract_violations.load(), captured.size());
+  EXPECT_TRUE(app->plan().find_component("Hog")->area->contains(
+      entry->telemetry));
+}
+
+}  // namespace
+}  // namespace rtcf::monitor

@@ -80,6 +80,45 @@ TEST(PartitionedLauncherTest, PartitionedAssemblyIsFunctionallyIdentical) {
   split->stop();
 }
 
+// Regression for the multi-worker drain audit: the final single-threaded
+// pump() after the workers join re-runs leftover *activations*, and must
+// not touch per-component release/deadline-miss aggregation. Launcher
+// stats are written only in dispatch_entry (never during the drain), and
+// each drained activation is recorded exactly once by the consumer's
+// telemetry — so producer counts, consumer counts, and launcher stats all
+// reconcile exactly.
+TEST(PartitionedLauncherTest, FinalDrainAggregatesStatsOnce) {
+  const auto arch = scenario::make_production_architecture();
+  auto app = soleil::build_application(arch, soleil::Mode::Soleil, 4);
+  app->start();
+  Launcher launcher(*app);
+  Launcher::Options options;
+  options.duration = rtsj::RelativeTime::milliseconds(150);
+  options.workers = 4;
+  launcher.run(options);
+
+  const auto counters = collect_counters(*app);
+  const auto& pl = launcher.stats("ProductionLine");
+  // One stats record per dispatched release — a double-counting drain
+  // would break every one of these equalities.
+  EXPECT_EQ(pl.releases, counters.produced);
+  EXPECT_EQ(pl.response_us.count(), pl.releases);
+  EXPECT_EQ(pl.start_lateness_us.count(), pl.releases);
+  EXPECT_LE(pl.deadline_misses, pl.releases);
+
+  // Telemetry side: periodic releases counted once by the launcher,
+  // message-driven activations counted once by the timing interceptor —
+  // whether a worker pumped them or the final drain did.
+  auto& mon = app->monitor();
+  EXPECT_EQ(mon.find("ProductionLine")->telemetry->releases.load(),
+            pl.releases);
+  EXPECT_EQ(mon.find("MonitoringSystem")->telemetry->activations.load(),
+            counters.processed);
+  EXPECT_EQ(mon.find("AuditLog")->telemetry->activations.load(),
+            counters.audit_records);
+  app->stop();
+}
+
 TEST(PartitionedLauncherTest, PerComponentDeadlineStatsReported) {
   const auto arch = scenario::make_production_architecture();
   auto app = soleil::build_application(arch, soleil::Mode::Soleil, 4);

@@ -1,6 +1,8 @@
 // The RTSJ conformance rule engine (§3.1–3.2), rule by rule.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "model/views.hpp"
 #include "scenario/production_scenario.hpp"
 #include "validate/validator.hpp"
@@ -251,6 +253,74 @@ TEST(ValidatorTest, CrossAreaBindingGetsPatternSuggestion) {
   EXPECT_NE(suggestions[0].message.find("scope-enter"), std::string::npos);
   EXPECT_NE(suggestions[1].message.find("immortal-forward"),
             std::string::npos);
+}
+
+TEST(ValidatorTest, ContractedComponentIsCompleteAndClean) {
+  auto arch = base_architecture();
+  auto* a = arch.find_as<ActiveComponent>("A");
+  a->set_criticality(Criticality::Low);
+  TimingContract contract;
+  contract.wcet_budget = rtsj::RelativeTime::milliseconds(1);
+  contract.miss_ratio_bound = 0.1;
+  contract.window = 8;
+  a->set_timing_contract(contract);
+  const auto report = validate(arch);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_FALSE(report.has_rule("AC-CONTRACT-COMPLETE"));
+}
+
+TEST(ValidatorTest, ContractWithoutCriticalityIsAnError) {
+  auto arch = base_architecture();
+  auto* a = arch.find_as<ActiveComponent>("A");
+  TimingContract contract;
+  contract.wcet_budget = rtsj::RelativeTime::milliseconds(1);
+  a->set_timing_contract(contract);
+  const auto report = validate(arch);
+  EXPECT_FALSE(report.ok());
+  ASSERT_TRUE(report.has_rule("AC-CONTRACT-COMPLETE"));
+  EXPECT_EQ(report.by_rule("AC-CONTRACT-COMPLETE")[0].severity,
+            Severity::Error);
+  EXPECT_EQ(report.by_rule("AC-CONTRACT-COMPLETE")[0].subject, "A");
+}
+
+TEST(ValidatorTest, ContractWithoutDeadlineIsAnError) {
+  // A sporadic component with no minimum interarrival time has no implicit
+  // deadline, so a miss-ratio contract on it is unverifiable.
+  Architecture arch;
+  auto& s = arch.add_active("S", ActivationKind::Sporadic);
+  s.set_content_class("X");
+  s.set_criticality(Criticality::Low);
+  TimingContract contract;
+  contract.miss_ratio_bound = 0.2;
+  s.set_timing_contract(contract);
+  auto& domain = arch.add_thread_domain("D", DomainType::Realtime, 20);
+  arch.add_child(domain, s);
+  const auto report = validate(arch);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has_rule("AC-CONTRACT-COMPLETE"));
+}
+
+TEST(ValidatorTest, ContractBoundsMustBeSane) {
+  auto arch = base_architecture();
+  auto* a = arch.find_as<ActiveComponent>("A");
+  a->set_criticality(Criticality::High);
+  TimingContract contract;
+  contract.miss_ratio_bound = 1.5;   // outside [0, 1]
+  contract.max_arrival_rate_hz = -3; // negative
+  contract.window = 0;               // empty window
+  a->set_timing_contract(contract);
+  const auto report = validate(arch);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.by_rule("AC-CONTRACT-BOUNDS").size(), 3u);
+
+  // NaN bounds must be rejected too (every comparison against NaN is
+  // false, so naive range checks would let them through).
+  contract.miss_ratio_bound = std::numeric_limits<double>::quiet_NaN();
+  contract.max_arrival_rate_hz = std::numeric_limits<double>::quiet_NaN();
+  contract.window = 8;
+  a->set_timing_contract(contract);
+  const auto nan_report = validate(arch);
+  EXPECT_EQ(nan_report.by_rule("AC-CONTRACT-BOUNDS").size(), 2u);
 }
 
 TEST(ValidatorTest, ExecutingDomainsPropagateThroughSyncBindings) {
