@@ -1,0 +1,93 @@
+// Mode-transition latency: how long a running assembly takes to swap
+// modes, from the request to the executive resuming on the new release
+// plan (quiescence wait + drain + lifecycle/binding swap).
+//
+// The moded Fig. 4 scenario is toggled Normal <-> Degraded continuously
+// while the wall-clock executive runs; every applied transition records
+// its measured latency. Reported (not asserted): the median, p99, and the
+// observed worst case per worker count — the bound the quiescence protocol
+// promises is "longest release-to-completion + drain", and the trajectory
+// of these numbers across commits is what CI's bench-trajectory job
+// watches. Emits BENCH_mode_transition_latency.json (honors
+// RTCF_BENCH_OUT).
+//
+//   bench_mode_transition_latency [duration_ms_per_worker_count]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "fig7_harness.hpp"
+#include "reconfig/mode_manager.hpp"
+#include "runtime/launcher.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtcf;
+
+  int duration_ms = 1000;
+  if (argc > 1) duration_ms = std::atoi(argv[1]);
+  if (duration_ms <= 0) duration_ms = 1000;
+
+  util::Table table(
+      {"workers", "transitions", "median_us", "p99_us", "worst_us"});
+  std::vector<bench::JsonRow> rows;
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    const auto arch = scenario::make_moded_production_architecture();
+    auto app = soleil::build_application(arch, soleil::Mode::Soleil, workers);
+    app->start();
+    reconfig::ModeManager manager(*app);
+    runtime::Launcher launcher(*app);
+
+    runtime::Launcher::Options options;
+    options.duration = rtsj::RelativeTime::milliseconds(duration_ms);
+    options.workers = workers;
+    options.mode_manager = &manager;
+
+    // Toggle as fast as transitions complete: request, wait for the
+    // apply, request the way back.
+    std::thread executive([&] { launcher.run(options); });
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(duration_ms);
+    bool degraded = false;
+    while (std::chrono::steady_clock::now() < deadline) {
+      manager.request_transition(degraded ? "Normal" : "Degraded");
+      degraded = !degraded;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    executive.join();
+    app->stop();
+
+    const auto transitions = manager.transitions();
+    util::SampleSet latency_us(transitions.size() + 1);
+    for (const auto& t : transitions) {
+      latency_us.add(t.latency.to_micros());
+    }
+    const double median = transitions.empty() ? 0.0 : latency_us.median();
+    const double p99 =
+        transitions.empty() ? 0.0 : latency_us.percentile(99);
+    const double worst = transitions.empty() ? 0.0 : latency_us.max();
+
+    table.add_row({std::to_string(workers),
+                   std::to_string(transitions.size()),
+                   util::Table::num(median, 1), util::Table::num(p99, 1),
+                   util::Table::num(worst, 1)});
+    bench::JsonRow row;
+    row.name = "workers=" + std::to_string(workers);
+    row.metrics = {
+        {"workers", static_cast<double>(workers)},
+        {"transitions", static_cast<double>(transitions.size())},
+        {"median_us", median},
+        {"p99_us", p99},
+        {"worst_us", worst},
+    };
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  bench::emit_json("mode_transition_latency", rows);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Walkthrough: operational modes and quiescence-based hot-swap.
+//
+// The Fig. 4 production pipeline runs its declared mode cycle on the
+// partitioned executive: Normal (10 ms production, primary console) is
+// demoted to Degraded (40 ms production, relaxed contract, anomaly
+// reports hot-swapped onto the standby console) and then recovered back —
+// all while the assembly keeps running. Every transition is a quiescence
+// point: the workers park between dispatches, in-flight messages drain
+// through the ordinary buffer paths, the membranes' lifecycle and binding
+// controllers do the swap, and the workers resume on the new release plan.
+// The walkthrough ends with the transition log (measured latencies) and a
+// message-conservation audit showing the cycle lost nothing.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "reconfig/mode_manager.hpp"
+#include "runtime/launcher.hpp"
+#include "scenario/production_scenario.hpp"
+#include "soleil/application.hpp"
+#include "util/table.hpp"
+#include "validate/validator.hpp"
+
+int main() {
+  using namespace rtcf;
+
+  std::printf("== mode change: normal -> degraded -> recovery ==\n\n");
+
+  const auto arch = scenario::make_moded_production_architecture();
+  const auto report = validate::validate(arch);
+  if (!report.ok()) {
+    std::printf("%s\n", report.to_string().c_str());
+    return 1;
+  }
+  std::printf("validated: %zu modes declared, degraded mode '%s'\n",
+              arch.modes().size(), arch.degraded_mode()->name.c_str());
+
+  auto app = soleil::build_application(arch, soleil::Mode::Soleil, 2);
+  app->start();
+  reconfig::ModeManager manager(*app);
+  runtime::Launcher launcher(*app);
+
+  runtime::Launcher::Options options;
+  options.duration = rtsj::RelativeTime::milliseconds(300);
+  options.workers = 2;
+  options.mode_manager = &manager;
+
+  // Operator console on the side: degrade at 100 ms, recover at 200 ms.
+  std::thread executive([&] { launcher.run(options); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  manager.request_transition("Degraded");
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  manager.request_transition("Normal");
+  executive.join();
+
+  std::printf("\n-- transitions --\n");
+  util::Table table({"#", "from", "to", "trigger", "latency"});
+  for (const auto& t : manager.transitions()) {
+    table.add_row({std::to_string(t.seq), t.from, t.to, t.trigger,
+                   util::Table::num(t.latency.to_micros(), 1) + " us"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  const auto counters = scenario::collect_counters(*app);
+  const auto* standby = dynamic_cast<const scenario::ConsoleImpl*>(
+      app->content("StandbyConsole"));
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : app->buffers()) {
+    dropped += buffer->dropped_total();
+  }
+
+  std::printf("-- message conservation across the cycle --\n");
+  std::printf("  produced          %llu\n",
+              static_cast<unsigned long long>(counters.produced));
+  std::printf("  processed         %llu\n",
+              static_cast<unsigned long long>(counters.processed));
+  std::printf("  audit records     %llu\n",
+              static_cast<unsigned long long>(counters.audit_records));
+  std::printf("  anomalies         %llu (primary console %llu, standby "
+              "console %llu)\n",
+              static_cast<unsigned long long>(counters.anomalies),
+              static_cast<unsigned long long>(counters.console_reports),
+              static_cast<unsigned long long>(standby->reports()));
+  std::printf("  buffer drops      %llu\n",
+              static_cast<unsigned long long>(dropped));
+
+  const bool conserved =
+      counters.produced == counters.processed &&
+      counters.produced == counters.audit_records && dropped == 0 &&
+      counters.console_reports + standby->reports() == counters.anomalies;
+  std::printf("\nzero lost messages: %s\n", conserved ? "OK" : "VIOLATED");
+  std::printf("final mode: %s\n", manager.current_mode().c_str());
+  app->stop();
+  return conserved ? 0 : 1;
+}

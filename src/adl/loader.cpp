@@ -195,6 +195,13 @@ void load_interfaces(const XmlNode& node, Component& component) {
   }
 }
 
+bool parse_bool(const std::string& text, const char* what) {
+  if (text == "true") return true;
+  if (text == "false") return false;
+  throw AdlError(std::string("expected true/false in ") + what + " '" +
+                 text + "'");
+}
+
 void load_active(const XmlNode& node, Architecture& arch) {
   const std::string name = node.require_attr("name");
   const auto activation = parse_activation(node.attr_or("type", "sporadic"));
@@ -206,6 +213,9 @@ void load_active(const XmlNode& node, Architecture& arch) {
   if (auto c = node.attr("criticality")) {
     component.set_criticality(parse_criticality(*c));
   }
+  if (auto s = node.attr("swappable")) {
+    component.set_swappable(parse_bool(*s, "swappable"));
+  }
   if (const XmlNode* contract = node.child("TimingContract")) {
     component.set_timing_contract(parse_timing_contract(*contract));
   }
@@ -214,7 +224,41 @@ void load_active(const XmlNode& node, Architecture& arch) {
 
 void load_passive(const XmlNode& node, Architecture& arch) {
   auto& component = arch.add_passive(node.require_attr("name"));
+  if (auto s = node.attr("swappable")) {
+    component.set_swappable(parse_bool(*s, "swappable"));
+  }
   load_interfaces(node, component);
+}
+
+/// `<Mode name="Degraded" degraded="true">` with `<Component>` children
+/// (the mode's enabled set plus per-mode overrides) and `<Rebind>` children
+/// (port redirections applied for the mode's duration).
+void load_mode(const XmlNode& node, Architecture& arch) {
+  model::ModeDecl mode;
+  mode.name = node.require_attr("name");
+  if (auto d = node.attr("degraded")) {
+    mode.degraded = parse_bool(*d, "degraded");
+  }
+  for (const XmlNode& child : node.children) {
+    if (child.name == "Component") {
+      model::ModeComponentConfig cfg;
+      cfg.component = child.require_attr("name");
+      if (auto p = child.attr("periodicity")) {
+        cfg.period = parse_duration(*p);
+      }
+      if (const XmlNode* contract = child.child("TimingContract")) {
+        cfg.contract = parse_timing_contract(*contract);
+      }
+      mode.components.push_back(std::move(cfg));
+    } else if (child.name == "Rebind") {
+      mode.rebinds.push_back({child.require_attr("client"),
+                              child.require_attr("port"),
+                              child.require_attr("server")});
+    } else {
+      throw AdlError("unexpected <" + child.name + "> inside <Mode>");
+    }
+  }
+  arch.add_mode(std::move(mode));
 }
 
 void load_binding(const XmlNode& node, Architecture& arch) {
@@ -317,12 +361,15 @@ Architecture load_architecture(std::string_view adl_text) {
   for (const XmlNode& child : root.children) {
     if (child.name == "Binding") load_binding(child, arch);
   }
-  // Pass 2: non-functional composition referencing pass-1 components.
+  // Pass 2: non-functional composition and operational modes, both
+  // referencing pass-1 components.
   for (const XmlNode& child : root.children) {
     if (child.name == "MemoryArea") {
       load_memory_area(child, arch, nullptr);
     } else if (child.name == "ThreadDomain") {
       load_thread_domain(child, arch, nullptr);
+    } else if (child.name == "Mode") {
+      load_mode(child, arch);
     } else if (child.name != "ActiveComponent" &&
                child.name != "PassiveComponent" && child.name != "Binding") {
       throw AdlError("unexpected top-level element <" + child.name + ">");
@@ -332,6 +379,31 @@ Architecture load_architecture(std::string_view adl_text) {
 }
 
 namespace {
+
+/// One `<TimingContract>` element (max_digits10 keeps the save/load round
+/// trip value-exact for any bound; default stream precision would quietly
+/// perturb e.g. 1.0/3).
+XmlNode contract_node(const model::TimingContract& tc) {
+  XmlNode n;
+  n.name = "TimingContract";
+  const auto ratio = [](double v) {
+    std::ostringstream os;
+    os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+    return os.str();
+  };
+  if (!tc.wcet_budget.is_zero()) {
+    n.attributes.emplace_back("wcet", format_duration(tc.wcet_budget));
+  }
+  if (tc.miss_ratio_bound < 1.0) {
+    n.attributes.emplace_back("missRatioBound", ratio(tc.miss_ratio_bound));
+  }
+  if (tc.max_arrival_rate_hz > 0.0) {
+    n.attributes.emplace_back("maxArrivalRate",
+                              ratio(tc.max_arrival_rate_hz));
+  }
+  n.attributes.emplace_back("window", std::to_string(tc.window));
+  return n;
+}
 
 XmlNode serialize_functional(const Component& c) {
   XmlNode node;
@@ -358,6 +430,9 @@ XmlNode serialize_functional(const Component& c) {
     node.name = "PassiveComponent";
     node.attributes.emplace_back("name", c.name());
   }
+  if (c.swappable()) {
+    node.attributes.emplace_back("swappable", "true");
+  }
   for (const auto& itf : c.interfaces()) {
     XmlNode i;
     i.name = "interface";
@@ -380,29 +455,33 @@ XmlNode serialize_functional(const Component& c) {
   }
   if (const auto* active = dynamic_cast<const ActiveComponent*>(&c);
       active != nullptr && active->timing_contract()) {
-    const model::TimingContract& tc = *active->timing_contract();
-    XmlNode n;
-    n.name = "TimingContract";
-    // max_digits10 keeps the save/load round trip value-exact for any
-    // bound (default stream precision would quietly perturb e.g. 1.0/3).
-    const auto ratio = [](double v) {
-      std::ostringstream os;
-      os << std::setprecision(std::numeric_limits<double>::max_digits10)
-         << v;
-      return os.str();
-    };
-    if (!tc.wcet_budget.is_zero()) {
-      n.attributes.emplace_back("wcet", format_duration(tc.wcet_budget));
+    node.children.push_back(contract_node(*active->timing_contract()));
+  }
+  return node;
+}
+
+XmlNode serialize_mode(const model::ModeDecl& mode) {
+  XmlNode node;
+  node.name = "Mode";
+  node.attributes.emplace_back("name", mode.name);
+  if (mode.degraded) node.attributes.emplace_back("degraded", "true");
+  for (const auto& cfg : mode.components) {
+    XmlNode c;
+    c.name = "Component";
+    c.attributes.emplace_back("name", cfg.component);
+    if (!cfg.period.is_zero()) {
+      c.attributes.emplace_back("periodicity", format_duration(cfg.period));
     }
-    if (tc.miss_ratio_bound < 1.0) {
-      n.attributes.emplace_back("missRatioBound", ratio(tc.miss_ratio_bound));
-    }
-    if (tc.max_arrival_rate_hz > 0.0) {
-      n.attributes.emplace_back("maxArrivalRate",
-                                ratio(tc.max_arrival_rate_hz));
-    }
-    n.attributes.emplace_back("window", std::to_string(tc.window));
-    node.children.push_back(std::move(n));
+    if (cfg.contract) c.children.push_back(contract_node(*cfg.contract));
+    node.children.push_back(std::move(c));
+  }
+  for (const auto& rebind : mode.rebinds) {
+    XmlNode r;
+    r.name = "Rebind";
+    r.attributes.emplace_back("client", rebind.client);
+    r.attributes.emplace_back("port", rebind.port);
+    r.attributes.emplace_back("server", rebind.server);
+    node.children.push_back(std::move(r));
   }
   return node;
 }
@@ -494,6 +573,9 @@ std::string save_architecture(const Architecture& arch) {
     if (!top->is_functional()) {
       root.children.push_back(serialize_nonfunctional(*top));
     }
+  }
+  for (const model::ModeDecl& mode : arch.modes()) {
+    root.children.push_back(serialize_mode(mode));
   }
   return to_xml(root);
 }

@@ -66,6 +66,14 @@ const char* to_string(Criticality c) noexcept {
   return "?";
 }
 
+const ModeComponentConfig* ModeDecl::find(
+    const std::string& component) const noexcept {
+  for (const auto& cfg : components) {
+    if (cfg.component == component) return &cfg;
+  }
+  return nullptr;
+}
+
 bool Component::has_ancestor(const Component* ancestor) const {
   for (const Component* super : supers_) {
     if (super == ancestor || super->has_ancestor(ancestor)) return true;
@@ -137,6 +145,36 @@ void Architecture::add_child(Component& parent, Component& child) {
 
 void Architecture::add_binding(Binding binding) {
   bindings_.push_back(std::move(binding));
+}
+
+ModeDecl& Architecture::add_mode(ModeDecl mode) {
+  RTCF_REQUIRE(!mode.name.empty(), "mode needs a name");
+  RTCF_REQUIRE(find_mode(mode.name) == nullptr,
+               "duplicate mode name '" + mode.name + "'");
+  modes_.push_back(std::move(mode));
+  return modes_.back();
+}
+
+const ModeDecl* Architecture::find_mode(
+    const std::string& name) const noexcept {
+  for (const auto& mode : modes_) {
+    if (mode.name == name) return &mode;
+  }
+  return nullptr;
+}
+
+const ModeDecl* Architecture::degraded_mode() const noexcept {
+  for (const auto& mode : modes_) {
+    if (mode.degraded) return &mode;
+  }
+  return nullptr;
+}
+
+bool Architecture::mode_managed(const std::string& component) const noexcept {
+  for (const auto& mode : modes_) {
+    if (mode.find(component) != nullptr) return true;
+  }
+  return false;
 }
 
 Component* Architecture::find(const std::string& name) const noexcept {

@@ -66,6 +66,49 @@ struct TimingContract {
   std::uint32_t window = 32;
 };
 
+/// Per-mode configuration of one component enabled in that mode (the ADL
+/// `<Mode><Component>` element). Listing a component in a mode enables it
+/// there; overrides default to the component's declared attributes.
+struct ModeComponentConfig {
+  std::string component;
+  /// Release-rate override (period / minimum interarrival) for this mode;
+  /// zero keeps the declared rate.
+  rtsj::RelativeTime period{};
+  /// Timing-contract override for this mode; empty keeps the declared
+  /// contract.
+  std::optional<TimingContract> contract;
+};
+
+/// A client-port redirection applied on entry to a mode (the ADL
+/// `<Mode><Rebind>` element). Leaving the mode restores the binding that
+/// the architecture declares for the port.
+struct ModeRebind {
+  std::string client;
+  std::string port;
+  std::string server;
+};
+
+/// An operational mode (the ADL `<Mode>` element): the set of active
+/// components enabled while the mode is in force, their per-mode rates and
+/// contracts, and the bindings redirected for the mode's duration.
+///
+/// Components listed in at least one mode are *mode-managed*: a managed
+/// component absent from the current mode is quiesced (its releases stop
+/// and its membrane lifecycle is stopped). Components never listed are
+/// untouched by mode transitions. The validator requires every mode to be
+/// independently schedulable and every component whose configuration
+/// differs between modes to be declared swappable.
+struct ModeDecl {
+  std::string name;
+  /// Marks the mode the overload governor demotes into under sustained
+  /// contract violation (at most one mode may carry the flag).
+  bool degraded = false;
+  std::vector<ModeComponentConfig> components;
+  std::vector<ModeRebind> rebinds;
+
+  const ModeComponentConfig* find(const std::string& component) const noexcept;
+};
+
 const char* to_string(ComponentKind k) noexcept;
 const char* to_string(ActivationKind k) noexcept;
 const char* to_string(InterfaceRole r) noexcept;
@@ -108,6 +151,14 @@ class Component {
   void add_interface(InterfaceDecl decl);
   const InterfaceDecl* find_interface(const std::string& name) const noexcept;
 
+  /// True when the designer allows mode transitions to touch this
+  /// component (quiesce it, change its rate or contract, rebind its
+  /// ports). The validator rejects modes that reconfigure non-swappable
+  /// components — the static part of the assembly is contractually
+  /// untouched by runtime reconfiguration.
+  bool swappable() const noexcept { return swappable_; }
+  void set_swappable(bool swappable) noexcept { swappable_ = swappable; }
+
  protected:
   Component(std::string name, ComponentKind kind)
       : name_(std::move(name)), kind_(kind) {}
@@ -116,6 +167,7 @@ class Component {
   friend class Architecture;
   std::string name_;
   ComponentKind kind_;
+  bool swappable_ = false;
   std::vector<Component*> subs_;
   std::vector<Component*> supers_;
   std::vector<InterfaceDecl> interfaces_;
@@ -272,6 +324,10 @@ class Architecture {
 
   void add_binding(Binding binding);
 
+  /// Declares an operational mode. Declaration order is significant: the
+  /// first mode is the initial mode of a launched assembly.
+  ModeDecl& add_mode(ModeDecl mode);
+
   // ---- queries ----------------------------------------------------------
   Component* find(const std::string& name) const noexcept;
   /// find() + kind check; throws std::invalid_argument on mismatch.
@@ -311,12 +367,22 @@ class Architecture {
   /// Components with no super-component (the roots of the DAG).
   std::vector<Component*> roots() const;
 
+  const std::vector<ModeDecl>& modes() const noexcept { return modes_; }
+  const ModeDecl* find_mode(const std::string& name) const noexcept;
+  /// The mode flagged `degraded`, or nullptr. Multiple degraded modes are
+  /// an architecture error the validator reports; this returns the first.
+  const ModeDecl* degraded_mode() const noexcept;
+  /// True when `component` appears in at least one mode's component set —
+  /// i.e. mode transitions may quiesce or reconfigure it.
+  bool mode_managed(const std::string& component) const noexcept;
+
  private:
   template <typename T, typename... Args>
   T& emplace(Args&&... args);
 
   std::vector<std::unique_ptr<Component>> components_;
   std::vector<Binding> bindings_;
+  std::vector<ModeDecl> modes_;
 };
 
 }  // namespace rtcf::model

@@ -31,6 +31,20 @@ RuntimeMonitor::Entry& RuntimeMonitor::add_component(
   return ref;
 }
 
+void RuntimeMonitor::rearm(Entry& entry,
+                           const model::TimingContract* contract) {
+  if (contract == nullptr) {
+    entry.contract = nullptr;
+    return;
+  }
+  // Fresh checker, not a reset: the previous one may still be referenced
+  // by diagnostics; transitions are rare, so the retired monitors are a
+  // bounded assembly-time cost, never a hot-path one.
+  contracts_.push_back(std::make_unique<ContractMonitor>(entry.name,
+                                                         *contract));
+  entry.contract = contracts_.back().get();
+}
+
 RuntimeMonitor::Entry* RuntimeMonitor::find(const std::string& name) noexcept {
   auto it = by_name_.find(name);
   return it == by_name_.end() ? nullptr : it->second;

@@ -77,6 +77,14 @@ class RuntimeMonitor {
                        rtsj::RelativeTime deadline = rtsj::RelativeTime::zero(),
                        bool release_driven = false);
 
+  /// Re-arms one component's contract checking — the mode-transition hook:
+  /// the entry gets a *fresh* ContractMonitor for `contract` (or none when
+  /// null), so window streaks, arrival history, and violation counts start
+  /// clean in the new mode. Must be called at a quiescence point (no
+  /// worker is feeding the entry); the old checker stays allocated so a
+  /// stale pointer read cannot fault, it just stops being fed.
+  void rearm(Entry& entry, const model::TimingContract* contract);
+
   Entry* find(const std::string& name) noexcept;
   const Entry* find(const std::string& name) const noexcept;
   const std::vector<std::unique_ptr<Entry>>& entries() const noexcept {

@@ -1,0 +1,290 @@
+#include "reconfig/mode_manager.hpp"
+
+#include "util/assert.hpp"
+
+namespace rtcf::reconfig {
+
+using model::ActiveComponent;
+using model::ModeDecl;
+
+ModeManager::ModeManager(soleil::Application& app)
+    : ModeManager(app, Options()) {}
+
+ModeManager::ModeManager(soleil::Application& app, Options options)
+    : app_(app), options_(std::move(options)) {
+  const model::Architecture& arch = *app.plan().arch;
+  RTCF_REQUIRE(!arch.modes().empty(),
+               "ModeManager needs an architecture with <Mode> declarations");
+  for (const auto& mode : arch.modes()) modes_.push_back(&mode);
+  degraded_ = arch.degraded_mode();
+
+  // Rate-only mode sets work on any generation mode; quiescing components
+  // or redirecting ports needs the per-component lifecycle and binding
+  // hooks that ULTRA_MERGE compiles away.
+  bool needs_reconfiguration = false;
+  for (const ModeDecl* mode : modes_) {
+    if (!mode->rebinds.empty()) needs_reconfiguration = true;
+  }
+  for (const auto* active : arch.all_of<ActiveComponent>()) {
+    if (!arch.mode_managed(active->name())) continue;
+    for (const ModeDecl* mode : modes_) {
+      if (mode->find(active->name()) == nullptr) {
+        needs_reconfiguration = true;
+      }
+    }
+  }
+  RTCF_REQUIRE(!needs_reconfiguration || app.supports_reconfiguration(),
+               "mode set quiesces components or rebinds ports, which needs "
+               "a generation mode with runtime reconfiguration (SOLEIL or "
+               "MERGE_ALL)");
+
+  std::size_t initial = 0;
+  if (!options_.initial_mode.empty()) {
+    initial = mode_index(options_.initial_mode);
+    RTCF_REQUIRE(initial != modes_.size(),
+                 "unknown initial mode '" + options_.initial_mode + "'");
+  }
+  current_.store(initial, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  enter_mode_locked(nullptr, *modes_[initial]);
+}
+
+const std::string& ModeManager::current_mode() const noexcept {
+  return modes_[current_.load(std::memory_order_acquire)]->name;
+}
+
+std::size_t ModeManager::mode_index(const std::string& name) const noexcept {
+  for (std::size_t i = 0; i < modes_.size(); ++i) {
+    if (modes_[i]->name == name) return i;
+  }
+  return modes_.size();  // not found
+}
+
+const ComponentSetting* ModeManager::setting(
+    const std::string& component) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = settings_.find(component);
+  return it == settings_.end() ? nullptr : &it->second;
+}
+
+std::vector<ModeManager::TransitionRecord> ModeManager::transitions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+bool ModeManager::request_transition(const std::string& mode,
+                                     const char* trigger) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t idx = mode_index(mode);
+  if (idx == modes_.size()) return false;
+  if (idx == current_.load(std::memory_order_relaxed)) return false;
+  if (pending_.load(std::memory_order_relaxed)) return false;
+  pending_target_ = idx;
+  pending_trigger_ = trigger;
+  requested_at_ = rtsj::SteadyClock::instance().now();
+  pending_.store(true, std::memory_order_release);
+  if (workers_ == 0) {
+    // No executive running: the caller's thread is the quiescence point.
+    execute_pending_locked();
+  }
+  return true;
+}
+
+void ModeManager::begin_run(std::size_t workers) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  RTCF_REQUIRE(workers_ == 0, "one launcher run at a time per ModeManager");
+  RTCF_REQUIRE(workers > 0, "at least one executive worker");
+  workers_ = workers;
+  arrived_ = 0;
+  retired_ = 0;
+}
+
+void ModeManager::poll(std::size_t worker) {
+  (void)worker;
+  maybe_demote();
+  if (!pending_.load(std::memory_order_acquire)) return;  // hot path out
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!pending_.load(std::memory_order_relaxed)) return;
+  const std::uint64_t gen = generation_;
+  ++arrived_;
+  if (arrived_ + retired_ >= workers_) {
+    // Last worker in: everyone else is parked below — the assembly is
+    // quiescent, so this thread performs the whole swap.
+    execute_pending_locked();
+  } else {
+    cv_.wait(lock, [&] { return generation_ != gen; });
+  }
+}
+
+void ModeManager::retire() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++retired_;
+  if (pending_.load(std::memory_order_relaxed) && workers_ != 0 &&
+      arrived_ + retired_ >= workers_) {
+    // The workers still polling are all parked; the retiring worker
+    // completes the rendezvous so they are not stranded.
+    execute_pending_locked();
+  }
+}
+
+void ModeManager::end_run() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (pending_.load(std::memory_order_relaxed)) {
+    // Requested after the last dispatch boundary; the workers are joined,
+    // so apply single-threaded.
+    execute_pending_locked();
+  }
+  workers_ = 0;
+  arrived_ = 0;
+  retired_ = 0;
+}
+
+void ModeManager::execute_pending_locked() {
+  // Release the rendezvous on *every* exit path: if the swap throws (e.g.
+  // a rebind the validator could not prove fails at runtime), the parked
+  // workers must still wake and the pending flag must clear — the
+  // exception then propagates out of the executing worker's launcher run
+  // instead of stranding the others on the condition variable.
+  struct ReleaseBarrier {
+    ModeManager* manager;
+    ~ReleaseBarrier() {
+      manager->arrived_ = 0;
+      manager->pending_.store(false, std::memory_order_release);
+      ++manager->generation_;
+      manager->cv_.notify_all();
+    }
+  } release{this};
+  apply_transition_locked();
+}
+
+void ModeManager::maybe_demote() {
+  if (!options_.governor_demotion || degraded_ == nullptr) return;
+  if (pending_.load(std::memory_order_acquire)) return;
+  if (modes_[current_.load(std::memory_order_relaxed)] == degraded_) return;
+  if (static_cast<int>(app_.monitor().governor().level()) <
+      static_cast<int>(options_.demote_at)) {
+    return;
+  }
+  request_transition(degraded_->name, "governor");
+}
+
+void ModeManager::apply_transition_locked() {
+  const std::size_t target = pending_target_;
+  const ModeDecl* from = modes_[current_.load(std::memory_order_relaxed)];
+  const ModeDecl& to = *modes_[target];
+
+  // Answer the overload before draining: a Shed-level governor would drop
+  // low-criticality activations during the drain, and the whole point of a
+  // demotion is to change the assembly's shape *instead of* shedding.
+  app_.monitor().governor().reset();
+
+  // Drain while every lifecycle is still started and every binding still
+  // points at its old target: in-flight messages ride the existing
+  // MessageBuffer/SPSC paths to their consumers, so the transition itself
+  // loses nothing.
+  app_.pump();
+
+  enter_mode_locked(from, to);
+  current_.store(target, std::memory_order_release);
+
+  TransitionRecord record;
+  record.seq = records_.size();
+  record.from = from->name;
+  record.to = to.name;
+  record.trigger = pending_trigger_;
+  record.latency = rtsj::SteadyClock::instance().now() - requested_at_;
+  records_.push_back(std::move(record));
+}
+
+void ModeManager::enter_mode_locked(const ModeDecl* from,
+                                    const ModeDecl& to) {
+  const model::Architecture& arch = *app_.plan().arch;
+
+  // Stop the components leaving the mode (membrane lifecycle controllers;
+  // idempotent, so the initial mode can stop absentees unconditionally).
+  for (const auto* active : arch.all_of<ActiveComponent>()) {
+    if (!arch.mode_managed(active->name())) continue;
+    if (to.find(active->name()) == nullptr) {
+      app_.set_component_started(active->name(), false);
+    }
+  }
+
+  // Restore the old mode's redirections that the new mode does not carry:
+  // the port goes back to the server the architecture declares for it.
+  const auto same_rebind = [](const model::ModeRebind& a,
+                              const model::ModeRebind& b) {
+    return a.client == b.client && a.port == b.port;
+  };
+  if (from != nullptr) {
+    for (const auto& old : from->rebinds) {
+      bool carried = false;
+      for (const auto& next : to.rebinds) {
+        if (same_rebind(old, next)) carried = true;
+      }
+      if (carried) continue;
+      for (const auto& pb : app_.plan().bindings) {
+        if (pb.binding->client.component == old.client &&
+            pb.binding->client.interface == old.port) {
+          const auto report =
+              app_.rebind_sync(old.client, old.port, pb.server->name());
+          RTCF_REQUIRE(report.ok(),
+                       "restoring declared binding failed: " +
+                           report.to_string());
+          break;
+        }
+      }
+    }
+  }
+  // Apply the new mode's redirections (skipping those already in force).
+  for (const auto& rebind : to.rebinds) {
+    bool in_force = false;
+    if (from != nullptr) {
+      for (const auto& old : from->rebinds) {
+        if (same_rebind(old, rebind) && old.server == rebind.server) {
+          in_force = true;
+        }
+      }
+    }
+    if (in_force) continue;
+    const auto report =
+        app_.rebind_sync(rebind.client, rebind.port, rebind.server);
+    RTCF_REQUIRE(report.ok(),
+                 "mode rebind failed (validate the architecture): " +
+                     report.to_string());
+  }
+
+  // Re-arm contracts with fresh windows for every component enabled in the
+  // new mode (override or declared), and republish the release settings.
+  for (const auto* active : arch.all_of<ActiveComponent>()) {
+    if (!arch.mode_managed(active->name())) continue;
+    const model::ModeComponentConfig* cfg = to.find(active->name());
+    ComponentSetting setting;
+    setting.enabled = cfg != nullptr;
+    setting.period = (cfg != nullptr && !cfg->period.is_zero())
+                         ? cfg->period
+                         : active->period();
+    settings_[active->name()] = setting;
+    if (cfg == nullptr) continue;
+    monitor::RuntimeMonitor::Entry* entry =
+        app_.monitor().find(active->name());
+    if (entry == nullptr) continue;
+    const soleil::PlannedComponent* pc =
+        app_.plan().find_component(active->name());
+    const model::TimingContract* contract =
+        cfg->contract ? &*cfg->contract
+                      : (pc != nullptr ? pc->contract : nullptr);
+    app_.monitor().rearm(*entry, contract);
+  }
+  epoch_.fetch_add(1, std::memory_order_release);
+
+  // Start the components entering the mode last: they wake into the new
+  // wiring and the new contracts.
+  for (const auto* active : arch.all_of<ActiveComponent>()) {
+    if (!arch.mode_managed(active->name())) continue;
+    if (to.find(active->name()) != nullptr) {
+      app_.set_component_started(active->name(), true);
+    }
+  }
+}
+
+}  // namespace rtcf::reconfig

@@ -1,0 +1,174 @@
+// Safe dynamic reconfiguration: operational modes and quiescence-based
+// component hot-swap.
+//
+// The paper's membranes carry lifecycle and binding controllers precisely
+// so assemblies can be re-wired at runtime (§4.2); this subsystem drives
+// them. An architecture declares operational modes (<Mode> in the ADL):
+// per-mode component sets, release rates, timing contracts, and port
+// redirections. The ModeManager transitions a running assembly between
+// modes with a bounded, measured latency and without losing a message:
+//
+//   1. quiescence — every executive worker parks at its next dispatch
+//      boundary (a release or activation in progress always runs to
+//      completion first), so no new release can start;
+//   2. drain     — in-flight messages ride the existing MessageBuffer /
+//      SPSC paths to their consumers while all lifecycles are still
+//      started and all bindings still point at the old targets;
+//   3. stop      — components leaving the mode are stopped through their
+//      membrane lifecycle controllers;
+//   4. rebind    — the old mode's redirections are restored to the
+//      architecture-declared servers and the new mode's redirections are
+//      applied through the binding controllers (RTSJ-checked, §4.2);
+//   5. re-arm    — per-mode timing contracts replace the old checkers with
+//      fresh windows, and the overload governor is reset (the demotion
+//      answered the overload — start clean in the new mode);
+//   6. restart   — components entering the mode are started, the per-
+//      component release settings (enabled, period) are republished under
+//      a new plan epoch, and the workers resume: each one re-reads its own
+//      partition's settings before its next dispatch, so no release is
+//      lost or double-fired.
+//
+// The transition latency (request to resume) is therefore bounded by the
+// longest release-to-completion time across the workers plus the drain;
+// bench/mode_transition_latency.cpp measures it.
+//
+// The overload-governor hook: when sustained contract violation escalates
+// the governor to `Options::demote_at` and the architecture declares a
+// degraded mode, the next dispatch boundary transitions into it — the
+// assembly changes shape under overload instead of only shedding work.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "model/metamodel.hpp"
+#include "monitor/governor.hpp"
+#include "rtsj/time/time.hpp"
+#include "soleil/application.hpp"
+
+namespace rtcf::reconfig {
+
+/// Effective executive settings of one mode-managed component in the
+/// current mode, read by the launcher when the plan epoch changes.
+struct ComponentSetting {
+  bool enabled = true;
+  /// Effective release rate (mode override or declared period).
+  rtsj::RelativeTime period{};
+};
+
+/// Drives one Application through its declared operational modes.
+///
+/// Construct after Application::start(): the initial mode (first declared,
+/// or Options::initial_mode) is applied immediately — components absent
+/// from it are stopped, its rebinds and contract overrides armed.
+///
+/// Threading: request_transition() may be called from any thread; the
+/// transition is applied at the next quiescence point of the running
+/// launcher (or inline when no launcher is running). poll()/retire()/
+/// begin_run()/end_run() are the executive-side protocol and are called by
+/// the Launcher, one poll per dispatch boundary.
+class ModeManager {
+ public:
+  struct Options {
+    /// Starting mode; empty selects the first declared mode.
+    std::string initial_mode;
+    /// Demote into the architecture's degraded mode when the governor
+    /// escalates to `demote_at` or beyond.
+    bool governor_demotion = true;
+    monitor::GovernorLevel demote_at = monitor::GovernorLevel::Shed;
+  };
+
+  /// One applied transition, for diagnostics and the latency bench.
+  struct TransitionRecord {
+    std::uint64_t seq = 0;
+    std::string from;
+    std::string to;
+    /// "request" for explicit transitions, "governor" for overload
+    /// demotions.
+    std::string trigger;
+    /// Request to resume: quiescence wait + drain + swap.
+    rtsj::RelativeTime latency{};
+  };
+
+  explicit ModeManager(soleil::Application& app);
+  ModeManager(soleil::Application& app, Options options);
+
+  ModeManager(const ModeManager&) = delete;
+  ModeManager& operator=(const ModeManager&) = delete;
+
+  const std::string& current_mode() const noexcept;
+  /// Bumped on every applied transition; the launcher re-reads its
+  /// entries' settings when the epoch it last saw differs.
+  std::uint64_t plan_epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  /// Current setting of a mode-managed component; nullptr for components
+  /// no mode lists (they are untouched by transitions).
+  const ComponentSetting* setting(const std::string& component) const;
+
+  /// Requests a transition. Returns false when the mode is unknown, is
+  /// already current, or another transition is still pending.
+  bool request_transition(const std::string& mode,
+                          const char* trigger = "request");
+
+  /// Executive protocol. begin_run declares the worker count; every worker
+  /// calls poll() at each dispatch boundary (parking there while a
+  /// transition is pending — the quiescence point) and retire() when it
+  /// exits; end_run applies any still-pending transition single-threaded.
+  void begin_run(std::size_t workers);
+  void poll(std::size_t worker);
+  void retire();
+  void end_run();
+
+  std::vector<TransitionRecord> transitions() const;
+  const model::ModeDecl* degraded_mode() const noexcept {
+    return degraded_;
+  }
+
+ private:
+  void maybe_demote();
+  /// Applies the pending transition and releases the rendezvous (barrier
+  /// counters, pending flag, generation, waiters) on every exit path —
+  /// including a throwing swap, so parked workers are never stranded.
+  /// Caller holds mutex_ and guarantees quiescence (all workers parked,
+  /// or no launcher running).
+  void execute_pending_locked();
+  void apply_transition_locked();
+  /// Mode-entry state shared by the constructor and transitions: settings
+  /// table, lifecycle stops/starts, rebinds, contract re-arms.
+  void enter_mode_locked(const model::ModeDecl* from,
+                         const model::ModeDecl& to);
+  /// Index of a declared mode, or modes_.size() when unknown.
+  std::size_t mode_index(const std::string& name) const noexcept;
+
+  soleil::Application& app_;
+  Options options_;
+  std::vector<const model::ModeDecl*> modes_;
+  const model::ModeDecl* degraded_ = nullptr;
+
+  std::atomic<std::size_t> current_{0};
+  std::atomic<std::uint64_t> epoch_{1};
+  std::atomic<bool> pending_{false};
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  // Guarded by mutex_: pending request, barrier bookkeeping, records.
+  std::size_t pending_target_ = 0;
+  std::string pending_trigger_;
+  rtsj::AbsoluteTime requested_at_{};
+  std::size_t workers_ = 0;   ///< 0 = no launcher running.
+  std::size_t arrived_ = 0;
+  std::size_t retired_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<TransitionRecord> records_;
+  /// Current settings of every mode-managed component. Written only at
+  /// quiescence points; the epoch release-store publishes it.
+  std::map<std::string, ComponentSetting> settings_;
+};
+
+}  // namespace rtcf::reconfig

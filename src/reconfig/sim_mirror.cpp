@@ -1,0 +1,32 @@
+#include "reconfig/sim_mirror.hpp"
+
+namespace rtcf::reconfig {
+
+std::vector<sim::PreemptiveScheduler::TaskMod> mode_task_mods(
+    const model::Architecture& arch, const model::ModeDecl& mode,
+    const sim::SimMapping& mapping) {
+  std::vector<sim::PreemptiveScheduler::TaskMod> mods;
+  for (const auto* active : arch.all_of<model::ActiveComponent>()) {
+    if (!arch.mode_managed(active->name())) continue;
+    if (!mapping.has(active->name())) continue;
+    const model::ModeComponentConfig* cfg = mode.find(active->name());
+    sim::PreemptiveScheduler::TaskMod mod;
+    mod.task = mapping.task(active->name());
+    mod.enabled = cfg != nullptr;
+    if (cfg != nullptr && !cfg->period.is_zero() &&
+        active->activation() == model::ActivationKind::Periodic) {
+      mod.period = cfg->period;
+    }
+    mods.push_back(mod);
+  }
+  return mods;
+}
+
+void schedule_mode(sim::PreemptiveScheduler& scheduler,
+                   const model::Architecture& arch,
+                   const model::ModeDecl& mode, const sim::SimMapping& mapping,
+                   rtsj::AbsoluteTime t) {
+  scheduler.schedule_mode_change(t, mode_task_mods(arch, mode, mapping));
+}
+
+}  // namespace rtcf::reconfig

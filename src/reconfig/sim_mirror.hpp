@@ -1,0 +1,33 @@
+// Virtual-time mirror of mode transitions: replays the ModeManager's
+// release-plan swap on sim::PreemptiveScheduler, so a mode-change schedule
+// is deterministic and bit-for-bit reproducible (TraceKind::ModeChange).
+//
+// The simulator models load, not wiring: a mode's component set and rate
+// overrides map to task enable/disable and period mods; its rebinds and
+// contract overrides have no timing effect at the sim's abstraction level
+// and map to nothing.
+#pragma once
+
+#include <vector>
+
+#include "model/metamodel.hpp"
+#include "sim/architecture_sim.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rtcf::reconfig {
+
+/// The task mods realizing `mode` for an architecture mapped onto the
+/// simulator: every mode-managed active component is enabled/disabled per
+/// the mode's component set, with the mode's rate overrides applied.
+std::vector<sim::PreemptiveScheduler::TaskMod> mode_task_mods(
+    const model::Architecture& arch, const model::ModeDecl& mode,
+    const sim::SimMapping& mapping);
+
+/// Schedules entering `mode` at virtual time `t` (one ModeChange trace
+/// event, all mods atomic at that instant).
+void schedule_mode(sim::PreemptiveScheduler& scheduler,
+                   const model::Architecture& arch,
+                   const model::ModeDecl& mode, const sim::SimMapping& mapping,
+                   rtsj::AbsoluteTime t);
+
+}  // namespace rtcf::reconfig

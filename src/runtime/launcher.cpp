@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "reconfig/mode_manager.hpp"
 #include "rtsj/threads/os_sched.hpp"
 #include "util/assert.hpp"
 
@@ -93,35 +94,121 @@ void Launcher::dispatch_entry(PeriodicEntry& entry, std::size_t worker,
   entry.next_release = scheduled + entry.period;  // drift-free anchor
 }
 
+void Launcher::apply_mode_setting(PeriodicEntry& entry,
+                                  const reconfig::ComponentSetting& setting,
+                                  AbsoluteTime now) {
+  const bool was_enabled = entry.enabled;
+  if (!setting.period.is_zero() && setting.period != entry.period) {
+    // The implicit deadline follows the mode's rate; an explicit deadline
+    // (deadline != period) is a property of the component and stays.
+    if (entry.deadline == entry.period) entry.deadline = setting.period;
+    entry.period = setting.period;
+    // The already-scheduled release keeps its instant; releases after it
+    // use the new period (drift-free from that instant on).
+  }
+  entry.enabled = setting.enabled;
+  if (!was_enabled && setting.enabled) {
+    // Resume on the anchor grid, strictly in the future: the releases
+    // skipped while disabled are gone by design, not fired as a burst.
+    const std::int64_t period = entry.period.nanos();
+    const std::int64_t elapsed = (now - entry.anchor).nanos();
+    const std::int64_t k =
+        (period <= 0 || elapsed < 0) ? 1 : elapsed / period + 1;
+    entry.next_release =
+        entry.anchor + RelativeTime::nanoseconds(k * std::max<std::int64_t>(
+                                                         period, 1));
+  }
+}
+
 void Launcher::run_single(const Options& options) {
   auto& clock = rtsj::SteadyClock::instance();
   const AbsoluteTime start = clock.now();
   const AbsoluteTime end = start + options.duration;
-  for (auto& entry : periodics_) entry.next_release = start + entry.period;
+  reconfig::ModeManager* mm = options.mode_manager;
+  for (auto& entry : periodics_) {
+    entry.anchor = start;
+    entry.enabled = true;
+    entry.next_release = start + entry.period;
+  }
+  std::uint64_t seen_epoch = 0;
+  const auto sync_mode = [&] {
+    if (mm == nullptr || mm->plan_epoch() == seen_epoch) return;
+    seen_epoch = mm->plan_epoch();
+    const AbsoluteTime now = clock.now();
+    for (auto& entry : periodics_) {
+      if (const auto* setting = mm->setting(entry.name)) {
+        apply_mode_setting(entry, *setting, now);
+      }
+    }
+  };
+  if (mm != nullptr) mm->begin_run(1);
+  sync_mode();
+  const auto poll = std::chrono::nanoseconds(
+      std::max<std::int64_t>(options.poll_interval.nanos(), 1));
 
   for (;;) {
-    // Earliest pending release across all periodic components.
+    if (mm != nullptr) {
+      mm->poll(0);  // dispatch boundary: pending transitions apply here
+      sync_mode();
+    }
+    // Earliest pending release across the enabled periodic components.
     AbsoluteTime next = end;
     for (const auto& entry : periodics_) {
+      if (!entry.enabled) continue;
       next = std::min(next, entry.next_release);
     }
-    if (next >= end) break;
+    if (next >= end && (mm == nullptr || clock.now() >= end)) break;
 
+    // A transition applied while waiting invalidates `next`: resync and
+    // recompute instead of dispatching against the stale plan (which
+    // could fire a release before its scheduled instant).
+    bool replanned = false;
     if (options.busy_wait) {
       while (clock.now() < next) {
+        if (mm == nullptr) continue;
+        mm->poll(0);
+        if (mm->plan_epoch() != seen_epoch) {
+          sync_mode();
+          replanned = true;
+          break;
+        }
       }
     } else if (clock.now() < next) {
-      std::this_thread::sleep_for(
-          std::chrono::nanoseconds((next - clock.now()).nanos()));
+      if (mm == nullptr) {
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds((next - clock.now()).nanos()));
+      } else {
+        // Sleep in poll_interval chunks so externally requested
+        // transitions keep their dispatch-boundary latency bound even
+        // while the executive is idle.
+        while (clock.now() < next) {
+          mm->poll(0);
+          if (mm->plan_epoch() != seen_epoch) {
+            sync_mode();
+            replanned = true;
+            break;
+          }
+          const auto remaining =
+              std::chrono::nanoseconds((next - clock.now()).nanos());
+          if (remaining.count() > 0) {
+            std::this_thread::sleep_for(std::min(poll, remaining));
+          }
+        }
+      }
     }
+    if (replanned) continue;
 
-    // Dispatch every component due at (or before) `next`, highest priority
-    // first (periodics_ is priority-sorted); each release runs to
+    // Dispatch every enabled component due at (or before) `next`, highest
+    // priority first (periodics_ is priority-sorted); each release runs to
     // completion including its downstream activations.
     for (auto& entry : periodics_) {
-      if (entry.next_release > next) continue;
+      if (!entry.enabled || entry.next_release > next) continue;
       dispatch_entry(entry, 0, /*partitioned=*/false);
     }
+  }
+  if (mm != nullptr) {
+    mm->retire();
+    mm->end_run();
   }
 }
 
@@ -143,6 +230,9 @@ void Launcher::run_partitioned(const Options& options) {
   // rethrow after the join instead of letting std::terminate fire.
   std::mutex failure_mutex;
   std::exception_ptr failure;
+  if (options.mode_manager != nullptr) {
+    options.mode_manager->begin_run(workers);
+  }
   std::vector<std::thread> threads;
   threads.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
@@ -154,9 +244,13 @@ void Launcher::run_partitioned(const Options& options) {
         const std::lock_guard<std::mutex> lock(failure_mutex);
         if (!failure) failure = std::current_exception();
       }
+      // Retire on every exit path: a worker that died mid-run must not
+      // strand the others at a transition rendezvous.
+      if (options.mode_manager != nullptr) options.mode_manager->retire();
     });
   }
   for (auto& t : threads) t.join();
+  if (options.mode_manager != nullptr) options.mode_manager->end_run();
   if (failure) std::rethrow_exception(failure);
 
   // Final drain: messages pushed just before the horizon by one worker may
@@ -174,6 +268,7 @@ void Launcher::run_partitioned(const Options& options) {
 void Launcher::worker_loop(std::size_t worker, const Options& options,
                            AbsoluteTime start, AbsoluteTime end) {
   auto& clock = rtsj::SteadyClock::instance();
+  reconfig::ModeManager* mm = options.mode_manager;
 
   // This worker's release queue: its pinned periodic components, already in
   // priority order (periodics_ is globally priority-sorted and filtering
@@ -197,19 +292,52 @@ void Launcher::worker_loop(std::size_t worker, const Options& options,
     os_grants_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  for (auto* entry : mine) entry->next_release = start + entry->period;
+  for (auto* entry : mine) {
+    entry->anchor = start;
+    entry->enabled = true;
+    entry->next_release = start + entry->period;
+  }
+  // Per-worker release-plan swap: each worker re-reads only its own pinned
+  // entries' settings when the mode manager publishes a new plan epoch —
+  // always between dispatches, never mid-release.
+  std::uint64_t seen_epoch = 0;
+  const auto sync_mode = [&] {
+    if (mm == nullptr || mm->plan_epoch() == seen_epoch) return;
+    seen_epoch = mm->plan_epoch();
+    const AbsoluteTime now = clock.now();
+    for (auto* entry : mine) {
+      if (const auto* setting = mm->setting(entry->name)) {
+        apply_mode_setting(*entry, *setting, now);
+      }
+    }
+  };
+  sync_mode();
 
   const auto poll = std::chrono::nanoseconds(
       std::max<std::int64_t>(options.poll_interval.nanos(), 1));
   for (;;) {
+    if (mm != nullptr) {
+      mm->poll(worker);  // dispatch boundary: the quiescence point
+      sync_mode();
+    }
     AbsoluteTime next = end;
     for (const auto* entry : mine) {
+      if (!entry->enabled) continue;
       next = std::min(next, entry->next_release);
     }
 
     // Wait for the next local release while serving cross-worker
-    // activations destined for this partition.
+    // activations destined for this partition (and transition requests).
+    bool replanned = false;
     while (clock.now() < next) {
+      if (mm != nullptr) {
+        mm->poll(worker);
+        if (mm->plan_epoch() != seen_epoch) {
+          sync_mode();
+          replanned = true;  // release set changed; recompute `next`
+          break;
+        }
+      }
       const bool moved = app_.pump_partition(worker);
       if (moved || options.busy_wait) continue;
       const auto remaining =
@@ -218,10 +346,11 @@ void Launcher::worker_loop(std::size_t worker, const Options& options,
         std::this_thread::sleep_for(std::min(poll, remaining));
       }
     }
+    if (replanned) continue;
     if (next >= end) break;
 
     for (auto* entry : mine) {
-      if (entry->next_release > next) continue;
+      if (!entry->enabled || entry->next_release > next) continue;
       dispatch_entry(*entry, worker, /*partitioned=*/true);
     }
   }

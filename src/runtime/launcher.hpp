@@ -31,6 +31,11 @@
 #include "soleil/application.hpp"
 #include "util/stats.hpp"
 
+namespace rtcf::reconfig {
+class ModeManager;
+struct ComponentSetting;
+}  // namespace rtcf::reconfig
+
 namespace rtcf::runtime {
 
 /// Drives one Application in wall-clock time.
@@ -50,8 +55,16 @@ class Launcher {
     /// degraded to SCHED_OTHER without privileges.
     bool apply_os_priorities = false;
     /// How long a waiting worker sleeps between polls for cross-worker
-    /// activations (partitioned + !busy_wait only).
+    /// activations (partitioned + !busy_wait only; also the mode-manager
+    /// poll cadence of a sleeping single-core executive).
     rtsj::RelativeTime poll_interval = rtsj::RelativeTime::microseconds(200);
+    /// Drives mode transitions (src/reconfig): every worker polls the
+    /// manager at each dispatch boundary — parking there while a
+    /// transition is pending, which is the quiescence point — and re-reads
+    /// its own entries' release settings (enabled, period) whenever the
+    /// plan epoch changes. The swap is per worker and between dispatches,
+    /// so no release is lost or double-fired across a transition.
+    reconfig::ModeManager* mode_manager = nullptr;
   };
 
   struct ComponentStats {
@@ -94,6 +107,13 @@ class Launcher {
     int priority;
     std::size_t partition = 0;
     rtsj::AbsoluteTime next_release{};
+    /// Enabled in the current operational mode (mode-managed components
+    /// absent from the mode release nothing).
+    bool enabled = true;
+    /// Release-timeline anchor (run start): a component re-enabled by a
+    /// mode transition resumes on its original grid, strictly in the
+    /// future — no catch-up burst of the releases skipped while disabled.
+    rtsj::AbsoluteTime anchor{};
     /// Runtime-monitor slot (telemetry + contract + governor id).
     monitor::RuntimeMonitor::Entry* mon = nullptr;
     /// Cached stats slot; the map is not mutated after construction, so
@@ -103,6 +123,11 @@ class Launcher {
 
   void run_single(const Options& options);
   void run_partitioned(const Options& options);
+  /// Re-reads one entry's mode settings (enabled, period) after a plan-
+  /// epoch change; `now` realigns re-enabled entries on their anchor grid.
+  void apply_mode_setting(PeriodicEntry& entry,
+                          const reconfig::ComponentSetting& setting,
+                          rtsj::AbsoluteTime now);
   /// One worker's cyclic executive over its pinned entries; also pumps the
   /// partition's activation credits while waiting.
   void worker_loop(std::size_t worker, const Options& options,

@@ -136,6 +136,55 @@ model::Architecture make_production_architecture() {
   return arch;
 }
 
+model::Architecture make_moded_production_architecture() {
+  using namespace model;
+  Architecture arch = make_production_architecture();
+
+  // Standby console: same content class, own instance, immortal memory so
+  // the NHRT monitoring system may call it synchronously.
+  auto& standby = arch.add_passive("StandbyConsole");
+  standby.set_content_class("ConsoleImpl");
+  standby.add_interface(
+      {"iConsole", InterfaceRole::Server, "IConsole"});
+  arch.add_child(*arch.find("Imm1"), standby);
+
+  arch.find("ProductionLine")->set_swappable(true);
+  arch.find("MonitoringSystem")->set_swappable(true);
+
+  ModeDecl normal;
+  normal.name = "Normal";
+  normal.components.push_back({"ProductionLine", {}, {}});
+  normal.components.push_back({"MonitoringSystem", {}, {}});
+  normal.components.push_back({"AuditLog", {}, {}});
+  arch.add_mode(std::move(normal));
+
+  ModeDecl degraded;
+  degraded.name = "Degraded";
+  degraded.degraded = true;
+  ModeComponentConfig slow_pl;
+  slow_pl.component = "ProductionLine";
+  slow_pl.period = rtsj::RelativeTime::milliseconds(40);
+  TimingContract relaxed;
+  relaxed.wcet_budget = rtsj::RelativeTime::milliseconds(32);
+  relaxed.miss_ratio_bound = 0.9;
+  relaxed.window = 8;
+  slow_pl.contract = relaxed;
+  degraded.components.push_back(std::move(slow_pl));
+  degraded.components.push_back({"MonitoringSystem", {}, {}});
+  degraded.components.push_back({"AuditLog", {}, {}});
+  degraded.rebinds.push_back(
+      {"MonitoringSystem", "iConsole", "StandbyConsole"});
+  arch.add_mode(std::move(degraded));
+
+  ModeDecl maintenance;
+  maintenance.name = "Maintenance";
+  maintenance.components.push_back({"MonitoringSystem", {}, {}});
+  maintenance.components.push_back({"AuditLog", {}, {}});
+  arch.add_mode(std::move(maintenance));
+
+  return arch;
+}
+
 const char* production_adl() {
   return R"(<Architecture>
   <!-- Functional components -->

@@ -116,6 +116,21 @@ model::Architecture make_production_architecture();
 /// The same architecture as ADL text (the XML of Fig. 4).
 const char* production_adl();
 
+/// Fig. 4 extended with operational modes (src/reconfig) and a standby
+/// console in immortal memory as a hot-swap target:
+///
+///   Normal      everything at declared rates, primary console;
+///   Degraded    ProductionLine slowed to 40 ms with a relaxed contract,
+///               anomaly reports redirected to the standby console — the
+///               overload governor's demotion target (degraded="true");
+///   Maintenance the production source quiesced; the monitoring pipeline
+///               stays up to drain whatever is still in flight.
+///
+/// ProductionLine and MonitoringSystem are declared swappable (their
+/// configuration differs between modes); the audit trail is identical in
+/// every mode and stays non-swappable.
+model::Architecture make_moded_production_architecture();
+
 /// Aggregated functional counters, for asserting that every variant
 /// computes exactly the same thing.
 struct ScenarioCounters {

@@ -27,6 +27,8 @@ const char* to_string(TraceKind k) noexcept {
       return "gc-end";
     case TraceKind::Shed:
       return "shed";
+    case TraceKind::ModeChange:
+      return "mode-change";
   }
   return "?";
 }
@@ -93,6 +95,19 @@ void PreemptiveScheduler::post_arrival(TaskId task, AbsoluteTime t) {
   tk.last_arrival = t;
   tk.has_arrival = true;
   push_event(t, EventKind::TaskRelease, task);
+}
+
+void PreemptiveScheduler::schedule_mode_change(AbsoluteTime t,
+                                               std::vector<TaskMod> mods) {
+  RTCF_REQUIRE(t >= now_, "mode change scheduled in the simulated past");
+  for (const TaskMod& mod : mods) {
+    RTCF_REQUIRE(mod.task < tasks_.size(), "unknown task id in mode change");
+    RTCF_REQUIRE(mod.period.is_zero() ||
+                     mod.period > RelativeTime::zero(),
+                 "mode-change period override must be positive");
+  }
+  mode_changes_.push_back(std::move(mods));
+  push_event(t, EventKind::ModeChange, mode_changes_.size() - 1);
 }
 
 void PreemptiveScheduler::push_event(AbsoluteTime t, EventKind kind,
@@ -164,6 +179,16 @@ void PreemptiveScheduler::dispatch(std::size_t cpu) {
 
 void PreemptiveScheduler::release_job(TaskId task, AbsoluteTime t) {
   Task& tk = tasks_[task];
+  // Mode gate: a task disabled by a mode change releases nothing. The
+  // periodic timeline keeps ticking silently — no job, no sequence number,
+  // no trace — so a later re-enabling change resumes on the original grid
+  // with no catch-up burst (the launcher's anchor realignment, mirrored).
+  if (!tk.enabled) {
+    if (tk.config.release == ReleaseKind::Periodic) {
+      push_event(t + tk.config.period, EventKind::TaskRelease, task);
+    }
+    return;
+  }
   // Admission gate (overload governor mirror): a shed release consumes its
   // sequence number and advances the periodic timeline but queues no job.
   if (tk.config.release_gate &&
@@ -235,6 +260,20 @@ void PreemptiveScheduler::handle_event(const Event& ev) {
       gc_active_ = false;
       record(TraceKind::GcEnd, TraceEvent::kNoTask, 0);
       break;
+    case EventKind::ModeChange: {
+      // Atomic at this instant: jobs already released run to completion
+      // (the drain), future releases follow the new settings.
+      for (const TaskMod& mod : mode_changes_[ev.task]) {
+        Task& tk = tasks_[mod.task];
+        tk.enabled = mod.enabled;
+        if (!mod.period.is_zero() &&
+            tk.config.release == ReleaseKind::Periodic) {
+          tk.config.period = mod.period;
+        }
+      }
+      record(TraceKind::ModeChange, TraceEvent::kNoTask, ev.task);
+      break;
+    }
   }
 }
 

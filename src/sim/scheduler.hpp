@@ -91,7 +91,8 @@ enum class TraceKind {
   DeadlineMiss,
   GcStart,
   GcEnd,
-  Shed,  ///< Release rejected by the task's admission gate.
+  Shed,        ///< Release rejected by the task's admission gate.
+  ModeChange,  ///< A scheduled mode change was applied (seq = change index).
 };
 
 const char* to_string(TraceKind k) noexcept;
@@ -145,6 +146,29 @@ class PreemptiveScheduler {
   /// Arrivals in the past of the simulation clock are rejected.
   void post_arrival(TaskId task, AbsoluteTime t);
 
+  /// One task's new settings inside a scheduled mode change — the virtual-
+  /// time mirror of the launcher's per-worker release-plan swap.
+  struct TaskMod {
+    TaskId task = 0;
+    /// Disabled tasks release nothing: periodic timelines keep ticking
+    /// silently (so a re-enabling change resumes on the original grid, no
+    /// catch-up burst) and posted arrivals are ignored. Jobs already
+    /// released run to completion — the drain half of quiescence.
+    bool enabled = true;
+    /// New period for periodic tasks; zero keeps the current one. The
+    /// already-scheduled next release keeps its instant; releases after it
+    /// use the new period.
+    RelativeTime period{};
+  };
+
+  /// Schedules a mode change at virtual time `t` (>= now): all mods apply
+  /// atomically at that instant and a ModeChange trace event is recorded
+  /// with the change index as its seq. Deterministic like everything else:
+  /// the same schedule yields bit-for-bit identical traces.
+  void schedule_mode_change(AbsoluteTime t, std::vector<TaskMod> mods);
+
+  bool task_enabled(TaskId id) const { return tasks_.at(id).enabled; }
+
   void set_gc_model(GcModel model) { gc_ = model; }
 
   /// Runs the simulation until virtual time `end`. May be called
@@ -178,9 +202,10 @@ class PreemptiveScheduler {
     std::uint64_t next_seq = 0;
     AbsoluteTime last_arrival{};
     bool has_arrival = false;
+    bool enabled = true;  ///< Cleared/set by mode-change events.
   };
 
-  enum class EventKind { TaskRelease, GcStart, GcEnd };
+  enum class EventKind { TaskRelease, GcStart, GcEnd, ModeChange };
 
   struct Event {
     AbsoluteTime time;
@@ -207,6 +232,8 @@ class PreemptiveScheduler {
   void suspend_running(std::size_t cpu);
 
   std::vector<Task> tasks_;
+  /// Scheduled mode changes, indexed by Event::task for ModeChange events.
+  std::vector<std::vector<TaskMod>> mode_changes_;
   std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
   /// Per-CPU ready queue and running job (partitioned dispatching).
   std::vector<std::vector<Job>> ready_;

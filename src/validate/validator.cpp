@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "rtsj/threads/params.hpp"
+#include "sim/rta.hpp"
 #include "validate/area_relation.hpp"
 #include "validate/pattern_catalog.hpp"
 
@@ -352,6 +353,176 @@ void check_bindings(const Architecture& arch, Report& report) {
   }
 }
 
+// ---- operational modes ----------------------------------------------------
+
+/// Effective per-mode configuration of one managed component, for the
+/// cross-mode difference check.
+struct EffectiveModeConfig {
+  bool present = false;
+  rtsj::RelativeTime period{};
+  std::optional<model::TimingContract> contract;
+};
+
+bool same_contract(const std::optional<model::TimingContract>& a,
+                   const std::optional<model::TimingContract>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (!a.has_value()) return true;
+  return a->wcet_budget == b->wcet_budget &&
+         a->miss_ratio_bound == b->miss_ratio_bound &&
+         a->max_arrival_rate_hz == b->max_arrival_rate_hz &&
+         a->window == b->window;
+}
+
+EffectiveModeConfig effective_config(const model::ModeDecl& mode,
+                                     const ActiveComponent& active) {
+  EffectiveModeConfig out;
+  const model::ModeComponentConfig* cfg = mode.find(active.name());
+  if (cfg == nullptr) return out;
+  out.present = true;
+  out.period = cfg->period.is_zero() ? active.period() : cfg->period;
+  out.contract =
+      cfg->contract ? cfg->contract : active.timing_contract();
+  return out;
+}
+
+/// Response-time analysis of one mode's enabled task set: managed
+/// components absent from the mode contribute no load; rate overrides
+/// replace the declared period. Mirrors sim::tasks_from_architecture's
+/// extraction otherwise (unconstrained sporadics and cost-free components
+/// are skipped — their interference is not analysable).
+void check_mode_schedulable(const Architecture& arch,
+                            const model::ModeDecl& mode, Report& report) {
+  std::vector<sim::RtaTask> tasks;
+  for (const auto* active : arch.all_of<ActiveComponent>()) {
+    if (arch.mode_managed(active->name()) &&
+        mode.find(active->name()) == nullptr) {
+      continue;  // quiesced in this mode
+    }
+    const auto* domain = arch.thread_domain_of(*active);
+    if (domain == nullptr) continue;
+    const EffectiveModeConfig cfg = effective_config(mode, *active);
+    const rtsj::RelativeTime period =
+        cfg.present ? cfg.period : active->period();
+    if (period <= rtsj::RelativeTime::zero()) continue;
+    if (active->cost() <= rtsj::RelativeTime::zero()) continue;
+    sim::RtaTask task;
+    task.name = active->name();
+    task.priority = domain->priority();
+    task.period = period;
+    task.cost = active->cost();
+    tasks.push_back(std::move(task));
+  }
+  const sim::RtaResult result = sim::analyze(tasks);
+  if (result.all_schedulable) return;
+  for (const auto& entry : result.entries) {
+    if (entry.schedulable) continue;
+    std::ostringstream os;
+    os << "task set of mode '" << mode.name
+       << "' is not schedulable: response-time analysis finds no bound "
+          "within the deadline for '"
+       << entry.task.name << "' (period "
+       << entry.task.period.to_micros() << "us, cost "
+       << entry.task.cost.to_micros() << "us)";
+    report.add(Severity::Error, "MODE-SCHEDULABLE", mode.name, os.str());
+  }
+}
+
+void check_modes(const Architecture& arch, Report& report) {
+  const auto& modes = arch.modes();
+  if (modes.empty()) return;
+
+  std::size_t degraded = 0;
+  for (const auto& mode : modes) {
+    if (mode.degraded && ++degraded > 1) {
+      report.add(Severity::Error, "MODE-DEGRADED-UNIQUE", mode.name,
+                 "more than one mode is flagged degraded; the overload "
+                 "governor needs a single demotion target");
+    }
+  }
+
+  for (const auto& mode : modes) {
+    for (const auto& cfg : mode.components) {
+      const Component* c = arch.find(cfg.component);
+      if (c == nullptr || c->kind() != ComponentKind::Active) {
+        report.add(Severity::Error, "MODE-COMPONENT-KNOWN", mode.name,
+                   "mode lists '" + cfg.component +
+                       "', which is not a declared active component");
+      }
+    }
+    for (const auto& rebind : mode.rebinds) {
+      const std::string subject =
+          mode.name + ": " + rebind.client + "." + rebind.port + " -> " +
+          rebind.server;
+      const Component* client = arch.find(rebind.client);
+      const Component* server = arch.find(rebind.server);
+      if (client == nullptr || server == nullptr) {
+        report.add(Severity::Error, "MODE-COMPONENT-KNOWN", subject,
+                   "rebind endpoint is not a declared component");
+        continue;
+      }
+      const InterfaceDecl* port = client->find_interface(rebind.port);
+      if (port == nullptr || port->role != InterfaceRole::Client) {
+        report.add(Severity::Error, "MODE-COMPONENT-KNOWN", subject,
+                   "rebind names no client port '" + rebind.port +
+                       "' on '" + rebind.client + "'");
+      }
+      if (!client->swappable()) {
+        report.add(Severity::Error, "MODE-SWAPPABLE", rebind.client,
+                   "mode '" + mode.name + "' rebinds port '" + rebind.port +
+                       "' of a component not declared swappable");
+      }
+      if (port == nullptr) continue;
+      // The rebind must be as legal as a declared binding: the server
+      // provides the port's signature, and an RTSJ-legal communication
+      // pattern exists — catching at design time what would otherwise
+      // abort the transition at runtime.
+      const InterfaceDecl* provided = nullptr;
+      for (const auto& itf : server->interfaces()) {
+        if (itf.role == InterfaceRole::Server &&
+            itf.signature == port->signature) {
+          provided = &itf;
+        }
+      }
+      if (provided == nullptr) {
+        report.add(Severity::Error, "MODE-REBIND-LEGAL", subject,
+                   "rebind server provides no interface with signature '" +
+                       port->signature + "'");
+        continue;
+      }
+      model::Binding hypothetical;
+      hypothetical.client = {rebind.client, rebind.port};
+      hypothetical.server = {rebind.server, provided->name};
+      hypothetical.desc.protocol = Protocol::Synchronous;
+      if (resolve_binding_pattern(arch, hypothetical).empty()) {
+        report.add(Severity::Error, "MODE-REBIND-LEGAL", subject,
+                   "no RTSJ-legal pattern exists for the rebind "
+                   "(synchronous NHRT client into heap state?)");
+      }
+    }
+  }
+
+  // Components whose effective configuration differs between any two modes
+  // are touched by transitions and must be declared swappable.
+  for (const auto* active : arch.all_of<ActiveComponent>()) {
+    if (!arch.mode_managed(active->name()) || active->swappable()) continue;
+    const EffectiveModeConfig first = effective_config(modes[0], *active);
+    for (std::size_t i = 1; i < modes.size(); ++i) {
+      const EffectiveModeConfig other = effective_config(modes[i], *active);
+      if (other.present == first.present && other.period == first.period &&
+          same_contract(other.contract, first.contract)) {
+        continue;
+      }
+      report.add(Severity::Error, "MODE-SWAPPABLE", active->name(),
+                 "configuration differs between modes '" + modes[0].name +
+                     "' and '" + modes[i].name +
+                     "' but the component is not declared swappable");
+      break;
+    }
+  }
+
+  for (const auto& mode : modes) check_mode_schedulable(arch, mode, report);
+}
+
 }  // namespace
 
 std::vector<const ThreadDomain*> executing_domains(
@@ -391,6 +562,7 @@ Report validate(const Architecture& arch) {
   check_non_functional_interfaces(arch, report);
   check_memory_areas(arch, report);
   check_bindings(arch, report);
+  check_modes(arch, report);
   return report;
 }
 

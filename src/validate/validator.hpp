@@ -28,6 +28,16 @@
 //   BIND-PATTERN-KNOWN     explicit pattern must exist and be applicable
 //   BIND-PATTERN-SUGGEST   cross-area binding without a pattern: the
 //                          framework proposes one (info)
+//   MODE-COMPONENT-KNOWN   mode entries and rebind endpoints reference
+//                          declared components of the right kind
+//   MODE-REBIND-LEGAL      a mode rebind is as legal as a declared
+//                          binding: matching server signature, RTSJ-legal
+//                          communication pattern
+//   MODE-DEGRADED-UNIQUE   at most one mode carries the degraded flag
+//   MODE-SWAPPABLE         mode transitions only touch components declared
+//                          swappable (presence, rate, contract, rebinds)
+//   MODE-SCHEDULABLE       every mode's enabled task set passes
+//                          response-time analysis independently
 #pragma once
 
 #include "model/metamodel.hpp"

@@ -1,0 +1,183 @@
+// Quiescence-based mode transitions on the wall-clock executive: no
+// message lost across the drain, contracts re-armed in the new mode,
+// governor-triggered demotion into the declared degraded mode.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "reconfig/mode_manager.hpp"
+#include "runtime/launcher.hpp"
+#include "scenario/production_scenario.hpp"
+#include "soleil/application.hpp"
+
+namespace rtcf {
+namespace {
+
+using reconfig::ModeManager;
+using runtime::Launcher;
+using soleil::Mode;
+
+std::uint64_t dropped_total(const soleil::Application& app) {
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : app.buffers()) dropped += buffer->dropped_total();
+  return dropped;
+}
+
+TEST(ModeChangeTest, TransitionLosesNoMessagesAcrossDrain) {
+  const auto arch = scenario::make_moded_production_architecture();
+  auto app = soleil::build_application(arch, Mode::Soleil, 2);
+  app->start();
+  ModeManager manager(*app);
+  Launcher launcher(*app);
+
+  Launcher::Options options;
+  options.duration = rtsj::RelativeTime::milliseconds(150);
+  options.workers = 2;
+  options.mode_manager = &manager;
+
+  // Drive the full cycle from outside while the partitioned executive
+  // runs: normal -> degraded -> recovery.
+  std::thread executive([&] { launcher.run(options); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(manager.request_transition("Degraded"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(manager.request_transition("Normal"));
+  executive.join();
+
+  const auto transitions = manager.transitions();
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0].to, "Degraded");
+  EXPECT_EQ(transitions[1].to, "Normal");
+  for (const auto& t : transitions) {
+    EXPECT_GT(t.latency.nanos(), 0);
+    EXPECT_LT(t.latency.nanos(), options.duration.nanos())
+        << "transition latency must be bounded by the run";
+  }
+  EXPECT_EQ(manager.current_mode(), "Normal");
+
+  // Conservation across both transitions: every measurement produced was
+  // processed, every audit record arrived, nothing was dropped in a
+  // buffer, and the anomaly reports all landed on one of the two consoles.
+  const auto counters = scenario::collect_counters(*app);
+  EXPECT_GT(counters.produced, 0u);
+  EXPECT_EQ(counters.produced, counters.processed);
+  EXPECT_EQ(counters.produced, counters.audit_records);
+  EXPECT_EQ(dropped_total(*app), 0u);
+  const auto* standby =
+      dynamic_cast<const scenario::ConsoleImpl*>(app->content("StandbyConsole"));
+  ASSERT_NE(standby, nullptr);
+  EXPECT_EQ(counters.console_reports + standby->reports(),
+            counters.anomalies);
+}
+
+TEST(ModeChangeTest, ContractsAreRearmedInTheNewMode) {
+  const auto arch = scenario::make_moded_production_architecture();
+  auto app = soleil::build_application(arch, Mode::Soleil);
+  app->start();
+  ModeManager manager(*app);
+
+  const auto* entry = app->monitor().find("ProductionLine");
+  ASSERT_NE(entry, nullptr);
+  ASSERT_NE(entry->contract, nullptr);
+  EXPECT_EQ(entry->contract->contract().wcet_budget,
+            rtsj::RelativeTime::milliseconds(8));
+
+  // No launcher running: the transition applies inline at the request.
+  ASSERT_TRUE(manager.request_transition("Degraded"));
+  ASSERT_NE(entry->contract, nullptr);
+  EXPECT_EQ(entry->contract->contract().wcet_budget,
+            rtsj::RelativeTime::milliseconds(32));
+  EXPECT_EQ(entry->contract->contract().window, 8u);
+  EXPECT_EQ(entry->contract->windows_closed(), 0u)
+      << "the new mode starts with fresh windows";
+
+  ASSERT_TRUE(manager.request_transition("Normal"));
+  ASSERT_NE(entry->contract, nullptr);
+  EXPECT_EQ(entry->contract->contract().wcet_budget,
+            rtsj::RelativeTime::milliseconds(8));
+  EXPECT_EQ(entry->contract->contract().window, 16u);
+}
+
+TEST(ModeChangeTest, GovernorEscalationTriggersDemotion) {
+  const auto arch = scenario::make_moded_production_architecture();
+  auto app = soleil::build_application(arch, Mode::Soleil);
+  app->start();
+  ModeManager::Options mode_options;
+  mode_options.demote_at = monitor::GovernorLevel::RateLimit;
+  ModeManager manager(*app, mode_options);
+
+  // Sustained contract violation from the low-criticality audit trail:
+  // two violated windows escalate the governor (sustain_windows default).
+  auto& governor = app->monitor().governor();
+  const auto* audit = app->monitor().find("AuditLog");
+  ASSERT_NE(audit, nullptr);
+  governor.on_window_violated(audit->governor_id);
+  governor.on_window_violated(audit->governor_id);
+  ASSERT_GE(static_cast<int>(governor.level()),
+            static_cast<int>(monitor::GovernorLevel::RateLimit));
+
+  Launcher launcher(*app);
+  Launcher::Options options;
+  options.duration = rtsj::RelativeTime::milliseconds(40);
+  options.mode_manager = &manager;
+  launcher.run(options);
+
+  EXPECT_EQ(manager.current_mode(), "Degraded");
+  const auto transitions = manager.transitions();
+  ASSERT_GE(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].to, "Degraded");
+  EXPECT_EQ(transitions[0].trigger, "governor");
+  // The demotion answered the overload: the governor restarts clean in
+  // the degraded mode instead of keeping its shed level.
+  EXPECT_EQ(governor.level(), monitor::GovernorLevel::Normal);
+}
+
+TEST(ModeChangeTest, MaintenanceModeQuiescesTheSourceAndDrains) {
+  const auto arch = scenario::make_moded_production_architecture();
+  auto app = soleil::build_application(arch, Mode::Soleil);
+  app->start();
+  ModeManager manager(*app);
+  Launcher launcher(*app);
+
+  Launcher::Options options;
+  options.duration = rtsj::RelativeTime::milliseconds(45);
+  options.mode_manager = &manager;
+  launcher.run(options);
+  const auto in_normal = scenario::collect_counters(*app);
+  EXPECT_GT(in_normal.produced, 0u);
+
+  ASSERT_TRUE(manager.request_transition("Maintenance"));
+  launcher.run(options);
+  const auto in_maintenance = scenario::collect_counters(*app);
+  EXPECT_EQ(in_maintenance.produced, in_normal.produced)
+      << "quiesced source must release nothing";
+  EXPECT_EQ(in_maintenance.processed, in_maintenance.produced)
+      << "everything in flight at the transition was drained";
+
+  ASSERT_TRUE(manager.request_transition("Normal"));
+  launcher.run(options);
+  const auto recovered = scenario::collect_counters(*app);
+  EXPECT_GT(recovered.produced, in_maintenance.produced)
+      << "recovery resumes the source";
+  EXPECT_EQ(recovered.processed, recovered.produced);
+  EXPECT_EQ(dropped_total(*app), 0u);
+}
+
+TEST(ModeChangeTest, RateOnlyModesWorkInEveryGenerationMode) {
+  // MERGE_ALL supports the full protocol too; the static ULTRA_MERGE is
+  // rejected because the scenario's modes quiesce components and rebind.
+  const auto arch = scenario::make_moded_production_architecture();
+  auto merge = soleil::build_application(arch, Mode::MergeAll);
+  merge->start();
+  ModeManager manager(*merge);
+  ASSERT_TRUE(manager.request_transition("Degraded"));
+  EXPECT_EQ(manager.current_mode(), "Degraded");
+
+  auto ultra = soleil::build_application(arch, Mode::UltraMerge);
+  ultra->start();
+  EXPECT_THROW(ModeManager rejected(*ultra), std::exception);
+}
+
+}  // namespace
+}  // namespace rtcf

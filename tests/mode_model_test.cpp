@@ -1,0 +1,205 @@
+// Operational modes in the metamodel, the ADL, and the validator
+// (MODE-COMPONENT-KNOWN, MODE-DEGRADED-UNIQUE, MODE-SWAPPABLE,
+// MODE-SCHEDULABLE).
+#include <gtest/gtest.h>
+
+#include "adl/loader.hpp"
+#include "scenario/production_scenario.hpp"
+#include "validate/validator.hpp"
+
+namespace rtcf {
+namespace {
+
+using model::Architecture;
+using model::ModeComponentConfig;
+using model::ModeDecl;
+
+TEST(ModeModelTest, ModedProductionArchitectureValidates) {
+  const auto arch = scenario::make_moded_production_architecture();
+  const auto report = validate::validate(arch);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  ASSERT_EQ(arch.modes().size(), 3u);
+  ASSERT_NE(arch.degraded_mode(), nullptr);
+  EXPECT_EQ(arch.degraded_mode()->name, "Degraded");
+  EXPECT_TRUE(arch.mode_managed("ProductionLine"));
+  EXPECT_FALSE(arch.mode_managed("Console"));
+}
+
+TEST(ModeModelTest, AdlRoundTripPreservesModes) {
+  const auto arch = scenario::make_moded_production_architecture();
+  const std::string xml = adl::save_architecture(arch);
+  const auto loaded = adl::load_architecture(xml);
+
+  ASSERT_EQ(loaded.modes().size(), arch.modes().size());
+  for (std::size_t i = 0; i < arch.modes().size(); ++i) {
+    const ModeDecl& a = arch.modes()[i];
+    const ModeDecl& b = loaded.modes()[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.degraded, b.degraded);
+    ASSERT_EQ(a.components.size(), b.components.size());
+    for (std::size_t j = 0; j < a.components.size(); ++j) {
+      EXPECT_EQ(a.components[j].component, b.components[j].component);
+      EXPECT_EQ(a.components[j].period, b.components[j].period);
+      ASSERT_EQ(a.components[j].contract.has_value(),
+                b.components[j].contract.has_value());
+      if (a.components[j].contract) {
+        EXPECT_EQ(a.components[j].contract->wcet_budget,
+                  b.components[j].contract->wcet_budget);
+        EXPECT_EQ(a.components[j].contract->miss_ratio_bound,
+                  b.components[j].contract->miss_ratio_bound);
+        EXPECT_EQ(a.components[j].contract->window,
+                  b.components[j].contract->window);
+      }
+    }
+    ASSERT_EQ(a.rebinds.size(), b.rebinds.size());
+    for (std::size_t j = 0; j < a.rebinds.size(); ++j) {
+      EXPECT_EQ(a.rebinds[j].client, b.rebinds[j].client);
+      EXPECT_EQ(a.rebinds[j].port, b.rebinds[j].port);
+      EXPECT_EQ(a.rebinds[j].server, b.rebinds[j].server);
+    }
+  }
+  EXPECT_TRUE(loaded.find("ProductionLine")->swappable());
+  EXPECT_TRUE(loaded.find("MonitoringSystem")->swappable());
+  EXPECT_FALSE(loaded.find("AuditLog")->swappable());
+  EXPECT_TRUE(validate::validate(loaded).ok());
+}
+
+TEST(ModeModelTest, LoaderParsesModeElements) {
+  const auto arch = adl::load_architecture(R"(<Architecture>
+    <ActiveComponent name="A" type="periodic" periodicity="5ms" cost="100us"
+                     swappable="true">
+      <content class="X"/>
+    </ActiveComponent>
+    <Mode name="Full">
+      <Component name="A"/>
+    </Mode>
+    <Mode name="Slow" degraded="true">
+      <Component name="A" periodicity="20ms">
+        <TimingContract wcet="1ms" window="4"/>
+      </Component>
+    </Mode>
+  </Architecture>)");
+  ASSERT_EQ(arch.modes().size(), 2u);
+  EXPECT_FALSE(arch.modes()[0].degraded);
+  EXPECT_TRUE(arch.modes()[1].degraded);
+  const ModeComponentConfig* slow = arch.modes()[1].find("A");
+  ASSERT_NE(slow, nullptr);
+  EXPECT_EQ(slow->period, rtsj::RelativeTime::milliseconds(20));
+  ASSERT_TRUE(slow->contract.has_value());
+  EXPECT_EQ(slow->contract->wcet_budget, rtsj::RelativeTime::milliseconds(1));
+  EXPECT_EQ(slow->contract->window, 4u);
+  EXPECT_TRUE(arch.find("A")->swappable());
+}
+
+TEST(ModeModelTest, ValidatorFlagsUnknownModeComponent) {
+  auto arch = scenario::make_moded_production_architecture();
+  ModeDecl bad;
+  bad.name = "Ghostly";
+  bad.components.push_back({"Ghost", {}, {}});
+  bad.rebinds.push_back({"Ghost", "iConsole", "Console"});
+  arch.add_mode(std::move(bad));
+  const auto report = validate::validate(arch);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has_rule("MODE-COMPONENT-KNOWN"));
+}
+
+TEST(ModeModelTest, ValidatorRequiresSwappableForDifferingConfig) {
+  auto arch = scenario::make_moded_production_architecture();
+  arch.find("ProductionLine")->set_swappable(false);
+  const auto report = validate::validate(arch);
+  EXPECT_FALSE(report.ok());
+  ASSERT_TRUE(report.has_rule("MODE-SWAPPABLE"));
+  EXPECT_EQ(report.by_rule("MODE-SWAPPABLE").front().subject,
+            "ProductionLine");
+}
+
+TEST(ModeModelTest, ValidatorChecksRebindLegality) {
+  // Signature mismatch: AuditLog serves IAudit, not the port's IConsole.
+  auto arch = scenario::make_moded_production_architecture();
+  ModeDecl wrong_signature;
+  wrong_signature.name = "WrongSignature";
+  wrong_signature.components.push_back({"ProductionLine", {}, {}});
+  wrong_signature.components.push_back({"MonitoringSystem", {}, {}});
+  wrong_signature.components.push_back({"AuditLog", {}, {}});
+  wrong_signature.rebinds.push_back(
+      {"MonitoringSystem", "iConsole", "AuditLog"});
+  arch.add_mode(std::move(wrong_signature));
+  const auto mismatch_report = validate::validate(arch);
+  EXPECT_FALSE(mismatch_report.ok());
+  EXPECT_TRUE(mismatch_report.has_rule("MODE-REBIND-LEGAL"));
+
+  // RTSJ violation: redirecting the NHRT monitoring system's synchronous
+  // console calls into heap state has no legal pattern.
+  auto heap_arch = scenario::make_moded_production_architecture();
+  auto& heap_console = heap_arch.add_passive("HeapConsole");
+  heap_console.set_content_class("ConsoleImpl");
+  heap_console.add_interface(
+      {"iConsole", model::InterfaceRole::Server, "IConsole"});
+  heap_arch.add_child(*heap_arch.find("H1"), heap_console);
+  ModeDecl into_heap;
+  into_heap.name = "IntoHeap";
+  into_heap.components.push_back({"ProductionLine", {}, {}});
+  into_heap.components.push_back({"MonitoringSystem", {}, {}});
+  into_heap.components.push_back({"AuditLog", {}, {}});
+  into_heap.rebinds.push_back({"MonitoringSystem", "iConsole", "HeapConsole"});
+  heap_arch.add_mode(std::move(into_heap));
+  const auto heap_report = validate::validate(heap_arch);
+  EXPECT_FALSE(heap_report.ok());
+  EXPECT_TRUE(heap_report.has_rule("MODE-REBIND-LEGAL"));
+}
+
+TEST(ModeModelTest, ValidatorRequiresSwappableRebindClient) {
+  auto arch = scenario::make_moded_production_architecture();
+  arch.find("MonitoringSystem")->set_swappable(false);
+  const auto report = validate::validate(arch);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has_rule("MODE-SWAPPABLE"));
+}
+
+TEST(ModeModelTest, ValidatorChecksPerModeSchedulability) {
+  auto arch = scenario::make_moded_production_architecture();
+  // An "Overdrive" mode running the 200 us producer every 100 us is over
+  // 100 % utilization on its own — unschedulable however it is dispatched.
+  ModeDecl overdrive;
+  overdrive.name = "Overdrive";
+  ModeComponentConfig fast;
+  fast.component = "ProductionLine";
+  fast.period = rtsj::RelativeTime::microseconds(100);
+  overdrive.components.push_back(std::move(fast));
+  overdrive.components.push_back({"MonitoringSystem", {}, {}});
+  overdrive.components.push_back({"AuditLog", {}, {}});
+  arch.add_mode(std::move(overdrive));
+  const auto report = validate::validate(arch);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has_rule("MODE-SCHEDULABLE"));
+  // The declared modes stay schedulable — only the new one is flagged.
+  for (const auto& d : report.by_rule("MODE-SCHEDULABLE")) {
+    EXPECT_EQ(d.subject, "Overdrive");
+  }
+}
+
+TEST(ModeModelTest, ValidatorFlagsDuplicateDegradedModes) {
+  auto arch = scenario::make_moded_production_architecture();
+  ModeDecl second;
+  second.name = "AlsoDegraded";
+  second.degraded = true;
+  second.components.push_back({"ProductionLine", {}, {}});
+  second.components.push_back({"MonitoringSystem", {}, {}});
+  second.components.push_back({"AuditLog", {}, {}});
+  arch.add_mode(std::move(second));
+  const auto report = validate::validate(arch);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has_rule("MODE-DEGRADED-UNIQUE"));
+}
+
+TEST(ModeModelTest, ArchitecturesWithoutModesGetNoModeDiagnostics) {
+  const auto arch = scenario::make_production_architecture();
+  const auto report = validate::validate(arch);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  for (const auto& d : report.diagnostics()) {
+    EXPECT_EQ(d.rule.rfind("MODE-", 0), std::string::npos) << d.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace rtcf

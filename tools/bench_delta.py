@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Perf-trajectory delta table for the BENCH_*.json artifacts.
+
+Compares the current run's bench JSON against the previous run's (restored
+from the branch-keyed actions/cache) and renders a markdown table for the
+CI job summary. Exits non-zero only when a *gated* metric regresses by
+more than the threshold — by default the medians of multicore_scaling and
+monitor_overhead (>2x); everything else is reported, never enforced, so a
+noisy CI runner cannot fail the build on an un-gated number.
+
+Usage:
+    bench_delta.py PREV_DIR CUR_DIR [--threshold 2.0]
+                   [--gate bench:metric ...]
+
+Stdlib only: the CI image must not need a pip install for this.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+DEFAULT_GATES = ["multicore_scaling:median_us", "monitor_overhead:ns_per_op"]
+
+# Metrics worth a row in the summary table (others stay in the artifacts).
+REPORTED_SUBSTRINGS = (
+    "median",
+    "ns_per_op",
+    "p99",
+    "worst",
+    "jitter",
+    "throughput",
+    "bytes",
+    "transitions",
+)
+
+
+def load_dir(path):
+    """{bench: {row_name: {metric: value}}} for every BENCH_*.json in path."""
+    out = {}
+    for file in sorted(glob.glob(os.path.join(path, "BENCH_*.json"))):
+        try:
+            with open(file, encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"warning: skipping {file}: {error}", file=sys.stderr)
+            continue
+        bench = doc.get("bench")
+        if not bench:
+            continue
+        rows = {}
+        for row in doc.get("rows", []):
+            name = row.get("name")
+            if name is None:
+                continue
+            rows[name] = {
+                key: value
+                for key, value in row.items()
+                if key != "name" and isinstance(value, (int, float))
+            }
+        out[bench] = rows
+    return out
+
+
+def reported(metric):
+    return any(s in metric for s in REPORTED_SUBSTRINGS)
+
+
+def fmt(value):
+    return f"{value:.6g}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("prev_dir")
+    parser.add_argument("cur_dir")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="gated metrics may grow at most this factor")
+    parser.add_argument("--gate", action="append", default=None,
+                        metavar="bench:metric",
+                        help=f"gated metric (default: {DEFAULT_GATES})")
+    args = parser.parse_args()
+    gates = set(args.gate if args.gate is not None else DEFAULT_GATES)
+
+    cur = load_dir(args.cur_dir)
+    prev = load_dir(args.prev_dir) if os.path.isdir(args.prev_dir) else {}
+
+    print("## Bench trajectory")
+    print()
+    if not cur:
+        print(f"No `BENCH_*.json` found in `{args.cur_dir}` — did the bench "
+              "step run?")
+        return 1
+    if not prev:
+        print("No previous run cached for this branch yet; this run becomes "
+              "the baseline.")
+
+    print("| bench | row | metric | previous | current | delta | |")
+    print("|---|---|---|---:|---:|---:|---|")
+    regressions = []
+    for bench in sorted(cur):
+        for row in cur[bench]:
+            for metric, value in cur[bench][row].items():
+                if not reported(metric):
+                    continue
+                gated = f"{bench}:{metric}" in gates
+                before = prev.get(bench, {}).get(row, {}).get(metric)
+                if before is None:
+                    delta, flag = "new", "gated" if gated else ""
+                elif abs(before) < 1e-12:
+                    delta, flag = "n/a", "gated" if gated else ""
+                else:
+                    ratio = value / before
+                    delta = f"{(ratio - 1.0) * 100.0:+.1f}%"
+                    flag = "gated" if gated else ""
+                    if gated and ratio > args.threshold:
+                        flag = f"**regression >{args.threshold:g}x**"
+                        regressions.append(
+                            f"{bench}/{row}/{metric}: {fmt(before)} -> "
+                            f"{fmt(value)} ({ratio:.2f}x)")
+                print(f"| {bench} | {row} | {metric} | "
+                      f"{'—' if before is None else fmt(before)} | "
+                      f"{fmt(value)} | {delta} | {flag} |")
+    print()
+    if regressions:
+        print(f"### :x: gated regressions (>{args.threshold:g}x)")
+        for line in regressions:
+            print(f"- {line}")
+        return 1
+    print("No gated regression.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
