@@ -1,0 +1,161 @@
+// Live-reload latency: how long a running assembly takes to apply a
+// structural plan delta, from request_reload() to the executive resuming
+// on the reshaped plan (planning/validation + quiescence wait + drain +
+// add/remove/rebind swap + release-plan growth).
+//
+// A two-stage pipeline is toggled between two architectures while the
+// wall-clock executive runs: each reload removes the current sink, adds
+// its replacement, and re-targets the producer's asynchronous port onto
+// it through the AsyncSkeleton — the full plan-delta machinery on every
+// iteration. Reported (not asserted): reload count, median, p99, and
+// worst latency per worker count; CI's bench-trajectory job tracks the
+// numbers across commits. Emits BENCH_reload_latency.json (honors
+// RTCF_BENCH_OUT).
+//
+//   bench_reload_latency [duration_ms_per_worker_count]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "fig7_harness.hpp"
+#include "reconfig/mode_manager.hpp"
+#include "reconfig/plan_delta.hpp"
+#include "runtime/content_registry.hpp"
+#include "runtime/launcher.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rtcf;
+
+class PulseImpl final : public comm::Content {
+ public:
+  void on_release() override {
+    comm::Message m;
+    m.sequence = sent_++;
+    port(0).send(m);
+  }
+
+ private:
+  std::uint64_t sent_ = 0;
+};
+
+class DrainImpl final : public comm::Content {
+ public:
+  void on_message(const comm::Message&) override { ++received_; }
+
+ private:
+  std::uint64_t received_ = 0;
+};
+
+RTCF_REGISTER_CONTENT(PulseImpl)
+RTCF_REGISTER_CONTENT(DrainImpl)
+
+/// Producer --async--> <sink_name>, everything swappable; the reload
+/// toggles sink_name between "SinkA" and "SinkB".
+model::Architecture make_arch(const char* sink_name) {
+  using namespace model;
+  Architecture arch;
+  auto& producer = arch.add_active("Producer", ActivationKind::Periodic,
+                                   rtsj::RelativeTime::milliseconds(2));
+  producer.set_content_class("PulseImpl");
+  producer.set_cost(rtsj::RelativeTime::microseconds(30));
+  producer.set_swappable(true);
+  producer.add_interface({"out", InterfaceRole::Client, "IDrain"});
+  auto& sink = arch.add_active(sink_name, ActivationKind::Sporadic,
+                               rtsj::RelativeTime::zero());
+  sink.set_content_class("DrainImpl");
+  sink.set_criticality(Criticality::Low);
+  sink.set_swappable(true);
+  sink.add_interface({"in", InterfaceRole::Server, "IDrain"});
+  Binding binding;
+  binding.client = {"Producer", "out"};
+  binding.server = {sink_name, "in"};
+  binding.desc.protocol = Protocol::Asynchronous;
+  binding.desc.buffer_size = 32;
+  arch.add_binding(binding);
+  auto& rt = arch.add_thread_domain("RT1", DomainType::Realtime, 20);
+  auto& reg = arch.add_thread_domain("reg1", DomainType::Regular, 5);
+  arch.add_child(rt, *arch.find("Producer"));
+  arch.add_child(reg, *arch.find(sink_name));
+  auto& heap = arch.add_memory_area("H1", AreaType::Heap, 0);
+  arch.add_child(heap, rt);
+  arch.add_child(heap, reg);
+  ModeDecl mode;
+  mode.name = "Run";
+  mode.components.push_back({"Producer", {}, {}});
+  mode.components.push_back({sink_name, {}, {}});
+  arch.add_mode(std::move(mode));
+  return arch;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int duration_ms = 1000;
+  if (argc > 1) duration_ms = std::atoi(argv[1]);
+  if (duration_ms <= 0) duration_ms = 1000;
+
+  util::Table table({"workers", "reloads", "median_us", "p99_us",
+                     "worst_us"});
+  std::vector<bench::JsonRow> rows;
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
+    const auto arch = make_arch("SinkA");
+    const auto alt_a = make_arch("SinkA");
+    const auto alt_b = make_arch("SinkB");
+    auto app = soleil::build_application(arch, soleil::Mode::Soleil, workers);
+    app->start();
+    reconfig::ModeManager manager(*app);
+    runtime::Launcher launcher(*app);
+
+    runtime::Launcher::Options options;
+    options.duration = rtsj::RelativeTime::milliseconds(duration_ms);
+    options.workers = workers;
+    options.mode_manager = &manager;
+
+    // Toggle as fast as reloads apply: request, wait, request the
+    // opposite shape.
+    std::thread executive([&] { launcher.run(options); });
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(duration_ms);
+    bool on_b = false;
+    while (std::chrono::steady_clock::now() < deadline) {
+      manager.request_reload(on_b ? alt_a : alt_b);
+      on_b = !on_b;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    executive.join();
+    app->stop();
+
+    const auto transitions = manager.transitions();
+    util::SampleSet latency_us(transitions.size() + 1);
+    for (const auto& t : transitions) {
+      latency_us.add(t.latency.to_micros());
+    }
+    const double median = transitions.empty() ? 0.0 : latency_us.median();
+    const double p99 = transitions.empty() ? 0.0 : latency_us.percentile(99);
+    const double worst = transitions.empty() ? 0.0 : latency_us.max();
+
+    table.add_row({std::to_string(workers),
+                   std::to_string(transitions.size()),
+                   util::Table::num(median, 1), util::Table::num(p99, 1),
+                   util::Table::num(worst, 1)});
+    bench::JsonRow row;
+    row.name = "workers=" + std::to_string(workers);
+    row.metrics = {
+        {"workers", static_cast<double>(workers)},
+        {"reloads", static_cast<double>(transitions.size())},
+        {"median_us", median},
+        {"p99_us", p99},
+        {"worst_us", worst},
+    };
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  bench::emit_json("reload_latency", rows);
+  return 0;
+}

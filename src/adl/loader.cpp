@@ -230,32 +230,61 @@ void load_passive(const XmlNode& node, Architecture& arch) {
   load_interfaces(node, component);
 }
 
+/// Re-runs `fn`, anchoring any failure at `node`'s element name and input
+/// line — malformed <Mode>/<Rebind> content reports *where* it is broken
+/// instead of a bare parse failure.
+template <typename Fn>
+void with_element_context(const XmlNode& node, Fn&& fn) {
+  try {
+    fn();
+  } catch (const AdlError& e) {
+    if (e.line() != 0) throw;  // already anchored at an inner element
+    std::string reason = e.what();
+    if (reason.rfind("adl: ", 0) == 0) reason = reason.substr(5);
+    throw AdlError("in <" + node.name + "> (line " +
+                       std::to_string(node.line) + "): " + reason,
+                   node.line);
+  } catch (const std::exception& e) {
+    throw AdlError("in <" + node.name + "> (line " +
+                       std::to_string(node.line) + "): " + e.what(),
+                   node.line);
+  }
+}
+
 /// `<Mode name="Degraded" degraded="true">` with `<Component>` children
 /// (the mode's enabled set plus per-mode overrides) and `<Rebind>` children
 /// (port redirections applied for the mode's duration).
 void load_mode(const XmlNode& node, Architecture& arch) {
   model::ModeDecl mode;
-  mode.name = node.require_attr("name");
-  if (auto d = node.attr("degraded")) {
-    mode.degraded = parse_bool(*d, "degraded");
-  }
+  with_element_context(node, [&] {
+    mode.name = node.require_attr("name");
+    if (auto d = node.attr("degraded")) {
+      mode.degraded = parse_bool(*d, "degraded");
+    }
+  });
   for (const XmlNode& child : node.children) {
     if (child.name == "Component") {
-      model::ModeComponentConfig cfg;
-      cfg.component = child.require_attr("name");
-      if (auto p = child.attr("periodicity")) {
-        cfg.period = parse_duration(*p);
-      }
-      if (const XmlNode* contract = child.child("TimingContract")) {
-        cfg.contract = parse_timing_contract(*contract);
-      }
-      mode.components.push_back(std::move(cfg));
+      with_element_context(child, [&] {
+        model::ModeComponentConfig cfg;
+        cfg.component = child.require_attr("name");
+        if (auto p = child.attr("periodicity")) {
+          cfg.period = parse_duration(*p);
+        }
+        if (const XmlNode* contract = child.child("TimingContract")) {
+          cfg.contract = parse_timing_contract(*contract);
+        }
+        mode.components.push_back(std::move(cfg));
+      });
     } else if (child.name == "Rebind") {
-      mode.rebinds.push_back({child.require_attr("client"),
-                              child.require_attr("port"),
-                              child.require_attr("server")});
+      with_element_context(child, [&] {
+        mode.rebinds.push_back({child.require_attr("client"),
+                                child.require_attr("port"),
+                                child.require_attr("server")});
+      });
     } else {
-      throw AdlError("unexpected <" + child.name + "> inside <Mode>");
+      throw AdlError("unexpected <" + child.name + "> inside <Mode> (line " +
+                         std::to_string(child.line) + ")",
+                     child.line);
     }
   }
   arch.add_mode(std::move(mode));

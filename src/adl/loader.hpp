@@ -39,10 +39,22 @@
 namespace rtcf::adl {
 
 /// Malformed architecture description (well-formed XML, bad content).
+/// Errors raised while loading an element carry the element's 1-based
+/// input line (0 when no element context applies), and the message names
+/// the element — "in <Rebind> (line 12): …" — instead of a bare parse
+/// failure.
 class AdlError : public std::runtime_error {
  public:
   explicit AdlError(const std::string& message)
       : std::runtime_error("adl: " + message) {}
+  AdlError(const std::string& message, std::size_t line)
+      : std::runtime_error("adl: " + message), line_(line) {}
+
+  /// Input line of the element the error is anchored to; 0 = none.
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_ = 0;
 };
 
 /// Parses "10ms", "250us", "1s", "5000ns" (bare numbers = nanoseconds).

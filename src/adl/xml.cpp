@@ -190,8 +190,10 @@ class Parser {
 
   XmlNode parse_element() {
     if (peek() != '<') fail("expected '<'");
+    const std::size_t open_line = line_;
     advance();
     XmlNode node;
+    node.line = open_line;
     node.name = parse_name();
     for (;;) {
       skip_whitespace();

@@ -34,6 +34,9 @@ struct XmlNode {
   std::vector<std::pair<std::string, std::string>> attributes;
   std::vector<XmlNode> children;
   std::string text;  ///< Concatenated character data directly inside.
+  /// 1-based input line of the element's open tag (0 for synthesized
+  /// nodes); loaders use it to anchor content diagnostics.
+  std::size_t line = 0;
 
   /// Attribute lookup; nullopt when absent.
   std::optional<std::string> attr(std::string_view key) const;

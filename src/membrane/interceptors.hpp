@@ -125,6 +125,14 @@ class MemoryInterceptor final : public Interceptor {
   const PatternRuntime& pattern() const noexcept { return pattern_; }
   std::uint64_t traversal_count() const noexcept { return traversals_; }
 
+  /// Replaces the staging pattern — the binding controller's half of an
+  /// asynchronous re-target (the new server may live in a different area,
+  /// so the staged copy moves with it). Only legal at a quiescence point:
+  /// no traversal may be in flight.
+  void reset_pattern(PatternRuntime pattern) noexcept {
+    pattern_ = std::move(pattern);
+  }
+
  private:
   PatternRuntime pattern_;
   const LifecycleController* lifecycle_ = nullptr;
@@ -159,6 +167,19 @@ class AsyncSkeleton final : public Interceptor {
 
   const comm::MessageBuffer& buffer() const noexcept { return *buffer_; }
   std::uint64_t traversal_count() const noexcept { return traversals_; }
+
+  /// Re-targets the skeleton onto a new buffer and activation hook — the
+  /// mechanism behind asynchronous port rebinding (mode <Rebind> over an
+  /// async binding, and the plan-delta engine's synthesized rebinds). Only
+  /// legal at a quiescence point, *after* the old buffer has been drained
+  /// to its old consumer: the swap itself then moves no message, so the
+  /// conservation audit holds across the rebind.
+  void retarget(comm::MessageBuffer* buffer, NotifyFn notify,
+                void* notify_arg) noexcept {
+    buffer_ = buffer;
+    notify_ = notify;
+    notify_arg_ = notify_arg;
+  }
 
  private:
   comm::MessageBuffer* buffer_;

@@ -1,0 +1,66 @@
+#include "model/assembly_plan.hpp"
+
+namespace rtcf::model {
+
+const InterfaceDecl* ComponentSpec::find_interface(
+    const std::string& n) const noexcept {
+  for (const auto& itf : interfaces) {
+    if (itf.name == n) return &itf;
+  }
+  return nullptr;
+}
+
+const ComponentSpec* AssemblyPlan::find(const std::string& name) const
+    noexcept {
+  for (const auto& c : components_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const AreaSpec* AssemblyPlan::find_area(const std::string& name) const
+    noexcept {
+  for (const auto& a : areas_) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+const BindingSpec* AssemblyPlan::binding_for(const BindingEnd& client) const
+    noexcept {
+  for (const auto& b : bindings_) {
+    if (b.client == client) return &b;
+  }
+  return nullptr;
+}
+
+const ModeDecl* AssemblyPlan::find_mode(const std::string& name) const
+    noexcept {
+  for (const auto& m : modes_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+const ModeDecl* AssemblyPlan::degraded_mode() const noexcept {
+  for (const auto& m : modes_) {
+    if (m.degraded) return &m;
+  }
+  return nullptr;
+}
+
+bool AssemblyPlan::mode_managed(const std::string& component) const noexcept {
+  for (const auto& m : modes_) {
+    if (m.find(component) != nullptr) return true;
+  }
+  return false;
+}
+
+ComponentSpec* AssemblyPlanBuilder::find(const std::string& name) {
+  for (auto& c : plan.components_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace rtcf::model

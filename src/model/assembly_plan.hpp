@@ -1,0 +1,149 @@
+// The immutable assembly snapshot: everything the runtime needs to know
+// about one planned assembly — components, bindings, partitions, contracts,
+// modes — captured *by value*, with no pointers into the Architecture that
+// produced it.
+//
+// The snapshot is the unit of live reconfiguration: the loader/planner
+// produces one per <Architecture>, the running Application keeps the one it
+// was assembled from, and reconfig::diff_plans() compares two snapshots to
+// synthesize a reload transition. Because the snapshot owns its strings and
+// mode declarations, a freshly loaded Architecture may be discarded as soon
+// as it has been snapshotted — the running assembly never dangles into a
+// dead object graph.
+//
+// Produced by soleil::snapshot_assembly() (the planner owns partition
+// assignment and the RTSJ-pattern helpers); consumed by soleil::make_plan,
+// reconfig::ModeManager, the plan-delta engine, and the sim mirror.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/metamodel.hpp"
+#include "rtsj/time/time.hpp"
+
+namespace rtcf::model {
+
+/// Value snapshot of one functional component.
+struct ComponentSpec {
+  std::string name;
+  /// Active or Passive (non-functional composites are captured as the
+  /// per-component deployment fields below, not as specs of their own).
+  ComponentKind kind = ComponentKind::Passive;
+  ActivationKind activation = ActivationKind::Sporadic;
+  /// Release period (periodic) / minimum interarrival (sporadic).
+  rtsj::RelativeTime period{};
+  rtsj::RelativeTime cost{};
+  std::string content_class;
+  Criticality criticality = Criticality::High;
+  std::optional<TimingContract> contract;
+  bool swappable = false;
+  std::vector<InterfaceDecl> interfaces;
+
+  // -- deployment (the non-functional views, flattened) ---------------------
+  /// Innermost enclosing MemoryArea component name; empty = heap.
+  std::string memory_area;
+  AreaType area_type = AreaType::Heap;
+  /// Enclosing ThreadDomain (active components); empty for passives.
+  std::string thread_domain;
+  DomainType domain_type = DomainType::Regular;
+  int domain_priority = 1;
+  /// True when the component's code executes on a no-heap real-time thread
+  /// (its own domain, or — for passives — any synchronous caller's).
+  bool executes_on_nhrt = false;
+
+  /// Executive partition assigned by the planner.
+  std::size_t partition = 0;
+
+  bool is_active() const noexcept { return kind == ComponentKind::Active; }
+  const InterfaceDecl* find_interface(const std::string& n) const noexcept;
+};
+
+/// Value snapshot of one binding, including the planner's RTSJ resolution
+/// (pattern + area placement, by area-component name so a later assembly
+/// can re-resolve them against its own substrate).
+struct BindingSpec {
+  BindingEnd client;
+  BindingEnd server;
+  Protocol protocol = Protocol::Synchronous;
+  std::size_t buffer_size = 0;
+  /// Resolved cross-scope communication pattern name (never empty after
+  /// planning; planning fails where no RTSJ-legal pattern exists).
+  std::string pattern;
+  /// Staging-copy placement: a MemoryArea component name, or the sentinels
+  /// "@immortal" / "@none" (direct and scope-enter patterns stage nothing).
+  std::string staging_area = "@none";
+  /// Message-buffer placement for asynchronous bindings ("@none" for sync).
+  std::string buffer_area = "@none";
+  /// True when client and server sit on different executive partitions.
+  bool cross_partition = false;
+};
+
+/// Area-placement sentinels used by BindingSpec.
+inline constexpr const char* kAreaNone = "@none";
+inline constexpr const char* kAreaImmortal = "@immortal";
+inline constexpr const char* kAreaHeap = "@heap";
+
+/// One declared MemoryArea of the assembly (the full inventory, including
+/// areas no component currently occupies — a reload may deploy into them).
+struct AreaSpec {
+  std::string name;
+  AreaType type = AreaType::Heap;
+  std::size_t size_bytes = 0;
+};
+
+/// The immutable snapshot. Construction goes through the planner
+/// (soleil::snapshot_assembly); everything here is plain value data.
+class AssemblyPlan {
+ public:
+  AssemblyPlan() = default;
+
+  const std::vector<ComponentSpec>& components() const noexcept {
+    return components_;
+  }
+  const std::vector<BindingSpec>& bindings() const noexcept {
+    return bindings_;
+  }
+  const std::vector<AreaSpec>& areas() const noexcept { return areas_; }
+  const std::vector<ModeDecl>& modes() const noexcept { return modes_; }
+  std::size_t partition_count() const noexcept { return partition_count_; }
+
+  const ComponentSpec* find(const std::string& name) const noexcept;
+  const AreaSpec* find_area(const std::string& name) const noexcept;
+  /// The binding whose client end is (component, interface); nullptr when
+  /// the port is unbound.
+  const BindingSpec* binding_for(const BindingEnd& client) const noexcept;
+  const ModeDecl* find_mode(const std::string& name) const noexcept;
+  /// The mode flagged degraded, or nullptr.
+  const ModeDecl* degraded_mode() const noexcept;
+  /// True when `component` appears in at least one mode's component set.
+  bool mode_managed(const std::string& component) const noexcept;
+
+ private:
+  friend struct AssemblyPlanBuilder;
+  std::vector<ComponentSpec> components_;
+  std::vector<BindingSpec> bindings_;
+  std::vector<AreaSpec> areas_;
+  std::vector<ModeDecl> modes_;
+  std::size_t partition_count_ = 1;
+};
+
+/// Mutable access for the planner (and only the planner): the builder is
+/// the single place an AssemblyPlan changes; everyone downstream sees the
+/// const interface above.
+struct AssemblyPlanBuilder {
+  AssemblyPlan& plan;
+
+  std::vector<ComponentSpec>& components() { return plan.components_; }
+  std::vector<BindingSpec>& bindings() { return plan.bindings_; }
+  std::vector<AreaSpec>& areas() { return plan.areas_; }
+  std::vector<ModeDecl>& modes() { return plan.modes_; }
+  void set_partition_count(std::size_t count) {
+    plan.partition_count_ = count == 0 ? 1 : count;
+  }
+  ComponentSpec* find(const std::string& name);
+};
+
+}  // namespace rtcf::model

@@ -4,33 +4,31 @@
 
 namespace rtcf::reconfig {
 
-using model::ActiveComponent;
+using model::AssemblyPlan;
+using model::ComponentSpec;
 using model::ModeDecl;
+using model::Protocol;
 
 ModeManager::ModeManager(soleil::Application& app)
     : ModeManager(app, Options()) {}
 
 ModeManager::ModeManager(soleil::Application& app, Options options)
     : app_(app), options_(std::move(options)) {
-  const model::Architecture& arch = *app.plan().arch;
-  RTCF_REQUIRE(!arch.modes().empty(),
+  const AssemblyPlan& assembly = app.assembly();
+  RTCF_REQUIRE(!assembly.modes().empty(),
                "ModeManager needs an architecture with <Mode> declarations");
-  for (const auto& mode : arch.modes()) modes_.push_back(&mode);
-  degraded_ = arch.degraded_mode();
 
   // Rate-only mode sets work on any generation mode; quiescing components
   // or redirecting ports needs the per-component lifecycle and binding
   // hooks that ULTRA_MERGE compiles away.
   bool needs_reconfiguration = false;
-  for (const ModeDecl* mode : modes_) {
-    if (!mode->rebinds.empty()) needs_reconfiguration = true;
+  for (const ModeDecl& mode : assembly.modes()) {
+    if (!mode.rebinds.empty()) needs_reconfiguration = true;
   }
-  for (const auto* active : arch.all_of<ActiveComponent>()) {
-    if (!arch.mode_managed(active->name())) continue;
-    for (const ModeDecl* mode : modes_) {
-      if (mode->find(active->name()) == nullptr) {
-        needs_reconfiguration = true;
-      }
+  for (const ComponentSpec& spec : assembly.components()) {
+    if (!spec.is_active() || !assembly.mode_managed(spec.name)) continue;
+    for (const ModeDecl& mode : assembly.modes()) {
+      if (mode.find(spec.name) == nullptr) needs_reconfiguration = true;
     }
   }
   RTCF_REQUIRE(!needs_reconfiguration || app.supports_reconfiguration(),
@@ -38,19 +36,35 @@ ModeManager::ModeManager(soleil::Application& app, Options options)
                "a generation mode with runtime reconfiguration (SOLEIL or "
                "MERGE_ALL)");
 
-  std::size_t initial = 0;
-  if (!options_.initial_mode.empty()) {
-    initial = mode_index(options_.initial_mode);
-    RTCF_REQUIRE(initial != modes_.size(),
-                 "unknown initial mode '" + options_.initial_mode + "'");
-  }
-  current_.store(initial, std::memory_order_relaxed);
   const std::lock_guard<std::mutex> lock(mutex_);
-  enter_mode_locked(nullptr, *modes_[initial]);
+  bind_modes_locked(options_.initial_mode.empty()
+                        ? assembly.modes().front().name
+                        : options_.initial_mode);
+  enter_mode_locked(nullptr,
+                    *modes_[current_.load(std::memory_order_relaxed)]);
+}
+
+void ModeManager::bind_modes_locked(const std::string& current_name) {
+  // Own a copy: the application's snapshot is replaced wholesale by every
+  // reload, and lock-free readers must never chase pointers into a
+  // destroyed one.
+  mode_generations_.push_back(app_.assembly().modes());
+  const std::vector<ModeDecl>& generation = mode_generations_.back();
+  modes_.clear();
+  degraded_ = nullptr;
+  for (const ModeDecl& mode : generation) {
+    modes_.push_back(&mode);
+    if (mode.degraded && degraded_ == nullptr) degraded_ = &mode;
+  }
+  const std::size_t idx = mode_index(current_name);
+  RTCF_REQUIRE(idx != modes_.size(),
+               "unknown mode '" + current_name + "'");
+  current_.store(idx, std::memory_order_relaxed);
+  current_decl_.store(modes_[idx], std::memory_order_release);
 }
 
 const std::string& ModeManager::current_mode() const noexcept {
-  return modes_[current_.load(std::memory_order_acquire)]->name;
+  return current_decl_.load(std::memory_order_acquire)->name;
 }
 
 std::size_t ModeManager::mode_index(const std::string& name) const noexcept {
@@ -72,6 +86,12 @@ std::vector<ModeManager::TransitionRecord> ModeManager::transitions() const {
   return records_;
 }
 
+void ModeManager::set_structure_hook(
+    std::function<void(const StructureChange&)> hook) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  structure_hook_ = std::move(hook);
+}
+
 bool ModeManager::request_transition(const std::string& mode,
                                      const char* trigger) {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -79,12 +99,66 @@ bool ModeManager::request_transition(const std::string& mode,
   if (idx == modes_.size()) return false;
   if (idx == current_.load(std::memory_order_relaxed)) return false;
   if (pending_.load(std::memory_order_relaxed)) return false;
+  pending_kind_ = PendingKind::Mode;
   pending_target_ = idx;
   pending_trigger_ = trigger;
   requested_at_ = rtsj::SteadyClock::instance().now();
   pending_.store(true, std::memory_order_release);
   if (workers_ == 0) {
     // No executive running: the caller's thread is the quiescence point.
+    execute_pending_locked();
+  }
+  return true;
+}
+
+bool ModeManager::request_reload(const model::Architecture& target,
+                                 validate::Report* report) {
+  // Snapshot the running plan and epoch under the lock, then plan outside
+  // it: validation and placement are heavyweight and touch neither the
+  // pending state nor the running wiring. The epoch re-check below drops
+  // the request if another transition applied meanwhile (stale diff).
+  model::AssemblyPlan running;
+  std::uint64_t planned_at = 0;
+  std::string mode_name;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    running = app_.assembly();
+    planned_at = epoch_.load(std::memory_order_relaxed);
+    mode_name = modes_[current_.load(std::memory_order_relaxed)]->name;
+  }
+  ReloadPlan rp = plan_reload(running, target);
+  if (!app_.supports_structural_reload()) {
+    rp.report.add(validate::Severity::Error, "RELOAD-STATIC",
+                  app_.mode_name(),
+                  "generation mode cannot apply structural plan deltas "
+                  "(only SOLEIL reifies the controllers a live reload "
+                  "needs)");
+  }
+  if (rp.target.modes().empty()) {
+    rp.report.add(validate::Severity::Error, "DELTA-MODE-CURRENT", "-",
+                  "target architecture declares no modes");
+  } else if (rp.target.find_mode(mode_name) == nullptr) {
+    rp.report.add(validate::Severity::Error, "DELTA-MODE-CURRENT",
+                  mode_name,
+                  "target architecture no longer declares the running "
+                  "mode");
+  }
+  if (report != nullptr) *report = rp.report;
+  if (!rp.report.ok()) return false;
+  if (rp.delta.empty()) return false;  // no-op reload: nothing to stage
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (pending_.load(std::memory_order_relaxed)) return false;
+  if (epoch_.load(std::memory_order_relaxed) != planned_at) {
+    // Another transition applied while we planned: the diff is stale.
+    return false;
+  }
+  pending_kind_ = PendingKind::Reload;
+  pending_reload_ = std::move(rp);
+  pending_trigger_ = "reload";
+  requested_at_ = rtsj::SteadyClock::instance().now();
+  pending_.store(true, std::memory_order_release);
+  if (workers_ == 0) {
     execute_pending_locked();
   }
   return true;
@@ -154,13 +228,17 @@ void ModeManager::execute_pending_locked() {
       manager->cv_.notify_all();
     }
   } release{this};
-  apply_transition_locked();
+  if (pending_kind_ == PendingKind::Reload) {
+    apply_reload_locked();
+  } else {
+    apply_transition_locked();
+  }
 }
 
 void ModeManager::maybe_demote() {
   if (!options_.governor_demotion || degraded_ == nullptr) return;
   if (pending_.load(std::memory_order_acquire)) return;
-  if (modes_[current_.load(std::memory_order_relaxed)] == degraded_) return;
+  if (current_decl_.load(std::memory_order_acquire) == degraded_) return;
   if (static_cast<int>(app_.monitor().governor().level()) <
       static_cast<int>(options_.demote_at)) {
     return;
@@ -185,7 +263,8 @@ void ModeManager::apply_transition_locked() {
   app_.pump();
 
   enter_mode_locked(from, to);
-  current_.store(target, std::memory_order_release);
+  current_.store(target, std::memory_order_relaxed);
+  current_decl_.store(&to, std::memory_order_release);
 
   TransitionRecord record;
   record.seq = records_.size();
@@ -196,18 +275,121 @@ void ModeManager::apply_transition_locked() {
   records_.push_back(std::move(record));
 }
 
+void ModeManager::apply_reload_locked() {
+  ReloadPlan rp = std::move(pending_reload_);
+  pending_reload_ = ReloadPlan{};
+  const std::string mode_name = current_mode();
+
+  // The same prologue as a mode transition: answer the overload, then
+  // drain with every lifecycle still started and every binding still
+  // pointing at its old target — in-flight messages reach their consumers
+  // before any structure moves.
+  app_.monitor().governor().reset();
+  app_.pump();
+
+  // Structural swap: add/remove real components, re-target ports. The
+  // apply-time drains inside (buffer re-targets, removals) are the audit
+  // trail — normally zero, never lost.
+  const std::uint64_t drained = app_.apply_plan_delta(rp.delta, rp.target);
+  drain_audit_.store(drained, std::memory_order_release);
+
+  // The assembly snapshot was replaced wholesale; re-point the mode
+  // declarations and republish the settings of the (unchanged) current
+  // mode over the new declared values.
+  bind_modes_locked(mode_name);
+  const ModeDecl& mode =
+      *modes_[current_.load(std::memory_order_relaxed)];
+  publish_settings_locked(mode);
+
+  // Re-arm contracts whose bounds the reload changed (fresh windows, like
+  // a mode entry); the mode's own overrides still win where declared.
+  const AssemblyPlan& assembly = app_.assembly();
+  for (const SettingDelta& setting : rp.delta.settings) {
+    if (!setting.contract_changed) continue;
+    monitor::RuntimeMonitor::Entry* entry =
+        app_.monitor().find(setting.component);
+    if (entry == nullptr) continue;
+    const model::ModeComponentConfig* cfg = mode.find(setting.component);
+    const ComponentSpec* spec = assembly.find(setting.component);
+    const model::TimingContract* contract = nullptr;
+    if (cfg != nullptr && cfg->contract) {
+      contract = &*cfg->contract;
+    } else if (spec != nullptr && spec->contract) {
+      contract = &*spec->contract;
+    }
+    app_.monitor().rearm(*entry, contract);
+  }
+
+  // Release-plan growth/shrink: the launcher adds timelines for new
+  // periodic components (anchor grid) and retires removed ones, all while
+  // the workers are parked.
+  if (structure_hook_) {
+    StructureChange change;
+    for (const ComponentSpec& spec : rp.delta.add_components) {
+      change.added.push_back(spec.name);
+    }
+    for (const ComponentSpec& spec : rp.delta.remove_components) {
+      change.removed.push_back(spec.name);
+    }
+    structure_hook_(change);
+  }
+  epoch_.fetch_add(1, std::memory_order_release);
+
+  TransitionRecord record;
+  record.seq = records_.size();
+  record.from = mode_name;
+  record.to = mode_name;
+  record.trigger = pending_trigger_;
+  record.latency = rtsj::SteadyClock::instance().now() - requested_at_;
+  records_.push_back(std::move(record));
+}
+
+void ModeManager::publish_settings_locked(const ModeDecl& mode) {
+  const AssemblyPlan& assembly = app_.assembly();
+  settings_.clear();
+  for (const ComponentSpec& spec : assembly.components()) {
+    if (!spec.is_active()) continue;
+    const bool managed = assembly.mode_managed(spec.name);
+    const model::ModeComponentConfig* cfg = mode.find(spec.name);
+    ComponentSetting setting;
+    setting.enabled = managed ? cfg != nullptr : true;
+    setting.period = (cfg != nullptr && !cfg->period.is_zero())
+                         ? cfg->period
+                         : spec.period;
+    settings_[spec.name] = setting;
+  }
+}
+
 void ModeManager::enter_mode_locked(const ModeDecl* from,
                                     const ModeDecl& to) {
-  const model::Architecture& arch = *app_.plan().arch;
+  const AssemblyPlan& assembly = app_.assembly();
 
   // Stop the components leaving the mode (membrane lifecycle controllers;
   // idempotent, so the initial mode can stop absentees unconditionally).
-  for (const auto* active : arch.all_of<ActiveComponent>()) {
-    if (!arch.mode_managed(active->name())) continue;
-    if (to.find(active->name()) == nullptr) {
-      app_.set_component_started(active->name(), false);
+  for (const ComponentSpec& spec : assembly.components()) {
+    if (!spec.is_active() || !assembly.mode_managed(spec.name)) continue;
+    if (to.find(spec.name) == nullptr) {
+      app_.set_component_started(spec.name, false);
     }
   }
+
+  // A mode rebind redirects the port with the *declared* binding's
+  // protocol: synchronous ports re-route through the invocation chain,
+  // asynchronous ports re-target their buffer through the AsyncSkeleton
+  // (drain-before-swap) — the sync-only limitation is gone.
+  const auto apply_rebind = [&](const std::string& client,
+                                const std::string& port,
+                                const std::string& server,
+                                const char* what) {
+    const model::BindingSpec* declared =
+        assembly.binding_for({client, port});
+    const bool async = declared != nullptr &&
+                       declared->protocol == Protocol::Asynchronous;
+    const auto report = async ? app_.rebind_async(client, port, server)
+                              : app_.rebind_sync(client, port, server);
+    RTCF_REQUIRE(report.ok(),
+                 std::string(what) + " failed: " + report.to_string());
+  };
 
   // Restore the old mode's redirections that the new mode does not carry:
   // the port goes back to the server the architecture declares for it.
@@ -222,16 +404,11 @@ void ModeManager::enter_mode_locked(const ModeDecl* from,
         if (same_rebind(old, next)) carried = true;
       }
       if (carried) continue;
-      for (const auto& pb : app_.plan().bindings) {
-        if (pb.binding->client.component == old.client &&
-            pb.binding->client.interface == old.port) {
-          const auto report =
-              app_.rebind_sync(old.client, old.port, pb.server->name());
-          RTCF_REQUIRE(report.ok(),
-                       "restoring declared binding failed: " +
-                           report.to_string());
-          break;
-        }
+      const model::BindingSpec* declared =
+          assembly.binding_for({old.client, old.port});
+      if (declared != nullptr) {
+        apply_rebind(old.client, old.port, declared->server.component,
+                     "restoring declared binding");
       }
     }
   }
@@ -246,43 +423,35 @@ void ModeManager::enter_mode_locked(const ModeDecl* from,
       }
     }
     if (in_force) continue;
-    const auto report =
-        app_.rebind_sync(rebind.client, rebind.port, rebind.server);
-    RTCF_REQUIRE(report.ok(),
-                 "mode rebind failed (validate the architecture): " +
-                     report.to_string());
+    apply_rebind(rebind.client, rebind.port, rebind.server,
+                 "mode rebind (validate the architecture)");
   }
 
   // Re-arm contracts with fresh windows for every component enabled in the
   // new mode (override or declared), and republish the release settings.
-  for (const auto* active : arch.all_of<ActiveComponent>()) {
-    if (!arch.mode_managed(active->name())) continue;
-    const model::ModeComponentConfig* cfg = to.find(active->name());
-    ComponentSetting setting;
-    setting.enabled = cfg != nullptr;
-    setting.period = (cfg != nullptr && !cfg->period.is_zero())
-                         ? cfg->period
-                         : active->period();
-    settings_[active->name()] = setting;
+  for (const ComponentSpec& spec : assembly.components()) {
+    if (!spec.is_active() || !assembly.mode_managed(spec.name)) continue;
+    const model::ModeComponentConfig* cfg = to.find(spec.name);
     if (cfg == nullptr) continue;
-    monitor::RuntimeMonitor::Entry* entry =
-        app_.monitor().find(active->name());
+    monitor::RuntimeMonitor::Entry* entry = app_.monitor().find(spec.name);
     if (entry == nullptr) continue;
-    const soleil::PlannedComponent* pc =
-        app_.plan().find_component(active->name());
-    const model::TimingContract* contract =
-        cfg->contract ? &*cfg->contract
-                      : (pc != nullptr ? pc->contract : nullptr);
+    const model::TimingContract* contract = nullptr;
+    if (cfg->contract) {
+      contract = &*cfg->contract;
+    } else if (spec.contract) {
+      contract = &*spec.contract;
+    }
     app_.monitor().rearm(*entry, contract);
   }
+  publish_settings_locked(to);
   epoch_.fetch_add(1, std::memory_order_release);
 
   // Start the components entering the mode last: they wake into the new
   // wiring and the new contracts.
-  for (const auto* active : arch.all_of<ActiveComponent>()) {
-    if (!arch.mode_managed(active->name())) continue;
-    if (to.find(active->name()) != nullptr) {
-      app_.set_component_started(active->name(), true);
+  for (const ComponentSpec& spec : assembly.components()) {
+    if (!spec.is_active() || !assembly.mode_managed(spec.name)) continue;
+    if (to.find(spec.name) != nullptr) {
+      app_.set_component_started(spec.name, true);
     }
   }
 }

@@ -36,11 +36,23 @@
 // the governor to `Options::demote_at` and the architecture declares a
 // degraded mode, the next dispatch boundary transitions into it — the
 // assembly changes shape under overload instead of only shedding work.
+//
+// Live ADL reload (request_reload): a freshly loaded <Architecture> is
+// planned against the running AssemblyPlan snapshot by the plan-delta
+// engine (plan_delta.hpp) and, when the delta validates, staged exactly
+// like a mode transition: the same quiescence rendezvous, the same
+// governor-reset + drain prologue, then Application::apply_plan_delta
+// swaps real structure — components added and removed, sync and async
+// ports re-targeted — and the launcher grows/shrinks its release plan
+// through the structure hook before the workers resume. An empty delta
+// short-circuits: nothing is staged, no epoch is published.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -48,6 +60,7 @@
 
 #include "model/metamodel.hpp"
 #include "monitor/governor.hpp"
+#include "reconfig/plan_delta.hpp"
 #include "rtsj/time/time.hpp"
 #include "soleil/application.hpp"
 
@@ -59,6 +72,14 @@ struct ComponentSetting {
   bool enabled = true;
   /// Effective release rate (mode override or declared period).
   rtsj::RelativeTime period{};
+};
+
+/// Structural change applied by a live reload, delivered to the launcher's
+/// structure hook at the quiescence point so the per-worker release plans
+/// can grow and shrink before the workers resume.
+struct StructureChange {
+  std::vector<std::string> added;
+  std::vector<std::string> removed;
 };
 
 /// Drives one Application through its declared operational modes.
@@ -107,14 +128,39 @@ class ModeManager {
   std::uint64_t plan_epoch() const noexcept {
     return epoch_.load(std::memory_order_acquire);
   }
-  /// Current setting of a mode-managed component; nullptr for components
-  /// no mode lists (they are untouched by transitions).
+  /// Current effective setting of an active component (declared rate
+  /// overlaid with the current mode's overrides); nullptr for components
+  /// the manager does not know (removed by a reload, or passive).
   const ComponentSetting* setting(const std::string& component) const;
 
   /// Requests a transition. Returns false when the mode is unknown, is
   /// already current, or another transition is still pending.
   bool request_transition(const std::string& mode,
                           const char* trigger = "request");
+
+  /// Requests a live reload: `target` is diffed against the running
+  /// snapshot (plan_reload: full target validation, placement, DELTA-*
+  /// rules) and the synthesized delta is applied at the next quiescence
+  /// point. Returns false — staging nothing — when the plan does not
+  /// validate, the delta is empty (no-op reload short-circuits), another
+  /// transition is pending, or the generation mode cannot reload
+  /// structurally; `report` (optional) receives the full diagnostics
+  /// either way. The target architecture is captured by value and may be
+  /// discarded immediately after the call.
+  bool request_reload(const model::Architecture& target,
+                      validate::Report* report = nullptr);
+
+  /// Messages moved by the apply-time drain audit of the last reload
+  /// (0 when the quiescence pump had already emptied every buffer —
+  /// either way, nothing is lost).
+  std::uint64_t last_drain_audit() const noexcept {
+    return drain_audit_.load(std::memory_order_acquire);
+  }
+
+  /// Installs the launcher's release-plan growth/shrink hook, invoked at
+  /// the quiescence point of every applied reload (single-threaded, all
+  /// workers parked). Pass nullptr to clear.
+  void set_structure_hook(std::function<void(const StructureChange&)> hook);
 
   /// Executive protocol. begin_run declares the worker count; every worker
   /// calls poll() at each dispatch boundary (parking there while a
@@ -131,6 +177,8 @@ class ModeManager {
   }
 
  private:
+  enum class PendingKind { Mode, Reload };
+
   void maybe_demote();
   /// Applies the pending transition and releases the rendezvous (barrier
   /// counters, pending flag, generation, waiters) on every exit path —
@@ -139,35 +187,59 @@ class ModeManager {
   /// or no launcher running).
   void execute_pending_locked();
   void apply_transition_locked();
+  void apply_reload_locked();
   /// Mode-entry state shared by the constructor and transitions: settings
   /// table, lifecycle stops/starts, rebinds, contract re-arms.
   void enter_mode_locked(const model::ModeDecl* from,
                          const model::ModeDecl& to);
+  /// Rebuilds the settings table for `mode` over the current assembly
+  /// snapshot (every active component, not only mode-managed ones — a
+  /// reload may change declared rates of unmanaged components too).
+  void publish_settings_locked(const model::ModeDecl& mode);
+  /// Adopts the current assembly snapshot's mode declarations: a fresh
+  /// owned copy is appended to mode_generations_ (earlier generations are
+  /// never freed, so lock-free readers of current_decl_ can never
+  /// dangle), modes_/degraded_/current_ re-point into it.
+  void bind_modes_locked(const std::string& current_name);
   /// Index of a declared mode, or modes_.size() when unknown.
   std::size_t mode_index(const std::string& name) const noexcept;
 
   soleil::Application& app_;
   Options options_;
+  /// Owned mode declarations, one vector per adopted assembly snapshot.
+  /// Reloads append; nothing is ever destroyed (transitions are rare, so
+  /// retired generations are a bounded reload-time cost, like retired
+  /// contract monitors) — current_mode() stays lock-free and safe even
+  /// while a reload replaces the application's snapshot.
+  std::deque<std::vector<model::ModeDecl>> mode_generations_;
   std::vector<const model::ModeDecl*> modes_;
   const model::ModeDecl* degraded_ = nullptr;
 
   std::atomic<std::size_t> current_{0};
+  /// The current mode declaration, for lock-free readers (current_mode,
+  /// the demotion check). Always points into mode_generations_.
+  std::atomic<const model::ModeDecl*> current_decl_{nullptr};
   std::atomic<std::uint64_t> epoch_{1};
   std::atomic<bool> pending_{false};
+  std::atomic<std::uint64_t> drain_audit_{0};
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   // Guarded by mutex_: pending request, barrier bookkeeping, records.
+  PendingKind pending_kind_ = PendingKind::Mode;
   std::size_t pending_target_ = 0;
+  ReloadPlan pending_reload_;
   std::string pending_trigger_;
+  std::function<void(const StructureChange&)> structure_hook_;
   rtsj::AbsoluteTime requested_at_{};
   std::size_t workers_ = 0;   ///< 0 = no launcher running.
   std::size_t arrived_ = 0;
   std::size_t retired_ = 0;
   std::uint64_t generation_ = 0;
   std::vector<TransitionRecord> records_;
-  /// Current settings of every mode-managed component. Written only at
-  /// quiescence points; the epoch release-store publishes it.
+  /// Current settings of every active component (declared rate overlaid
+  /// with the current mode's overrides). Written only at quiescence
+  /// points; the epoch release-store publishes it.
   std::map<std::string, ComponentSetting> settings_;
 };
 

@@ -29,4 +29,67 @@ void schedule_mode(sim::PreemptiveScheduler& scheduler,
   scheduler.schedule_mode_change(t, mode_task_mods(arch, mode, mapping));
 }
 
+namespace {
+
+sim::ThreadKind thread_kind_of(model::DomainType type) {
+  switch (type) {
+    case model::DomainType::NoHeapRealtime:
+      return sim::ThreadKind::NoHeapRealtime;
+    case model::DomainType::Realtime:
+      return sim::ThreadKind::Realtime;
+    case model::DomainType::Regular:
+      break;
+  }
+  return sim::ThreadKind::Regular;
+}
+
+}  // namespace
+
+void schedule_plan_delta(sim::PreemptiveScheduler& scheduler,
+                         const PlanDelta& delta, sim::SimMapping& mapping,
+                         rtsj::AbsoluteTime t, rtsj::AbsoluteTime anchor) {
+  sim::PreemptiveScheduler::PlanChange change;
+  for (const model::ComponentSpec& spec : delta.remove_components) {
+    if (!mapping.has(spec.name)) continue;
+    sim::PreemptiveScheduler::TaskMod mod;
+    mod.task = mapping.task(spec.name);
+    mod.enabled = false;
+    change.mods.push_back(mod);
+  }
+  for (const SettingDelta& setting : delta.settings) {
+    if (!setting.period_changed || !mapping.has(setting.component)) continue;
+    sim::PreemptiveScheduler::TaskMod mod;
+    mod.task = mapping.task(setting.component);
+    mod.enabled = true;
+    mod.period = setting.new_period;
+    change.mods.push_back(mod);
+  }
+  std::vector<std::string> added_names;
+  for (const model::ComponentSpec& spec : delta.add_components) {
+    if (!spec.is_active()) continue;  // passives execute on their callers
+    sim::TaskConfig config;
+    config.name = spec.name;
+    config.kind = thread_kind_of(spec.domain_type);
+    config.priority = spec.domain_priority;
+    config.release = spec.activation == model::ActivationKind::Periodic
+                         ? sim::ReleaseKind::Periodic
+                         : sim::ReleaseKind::Sporadic;
+    config.start = anchor;
+    if (config.release == sim::ReleaseKind::Periodic) {
+      config.period = spec.period;
+    } else {
+      config.min_interarrival = spec.period;
+    }
+    config.cost = spec.cost;
+    config.cpu = spec.partition;
+    change.additions.push_back(std::move(config));
+    added_names.push_back(spec.name);
+  }
+  const std::vector<sim::TaskId> added =
+      scheduler.schedule_plan_change(t, std::move(change));
+  for (std::size_t i = 0; i < added.size(); ++i) {
+    mapping.tasks[added_names[i]] = added[i];
+  }
+}
+
 }  // namespace rtcf::reconfig

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "model/metamodel.hpp"
+#include "reconfig/plan_delta.hpp"
 #include "sim/architecture_sim.hpp"
 #include "sim/scheduler.hpp"
 
@@ -29,5 +30,21 @@ void schedule_mode(sim::PreemptiveScheduler& scheduler,
                    const model::Architecture& arch,
                    const model::ModeDecl& mode, const sim::SimMapping& mapping,
                    rtsj::AbsoluteTime t);
+
+/// The virtual-time mirror of a live ADL reload: maps a synthesized plan
+/// delta onto a running simulated assembly at virtual time `t`. Removed
+/// components retire (their timelines tick silently forever), setting
+/// changes re-period surviving tasks, and added active components become
+/// new tasks configured from their specs (thread kind, priority, rate,
+/// cost, partition→CPU) anchored at `anchor` — their first release falls
+/// on the first grid point strictly after `t`, exactly like the launcher's
+/// anchor-grid entry. `mapping` is extended with the added tasks' ids, so
+/// later deltas and assertions can address them by name. Rebinds and
+/// contract changes have no timing effect at the sim's abstraction level
+/// and map to nothing. Deterministic: the same delta schedule replays a
+/// bit-for-bit identical trace (TraceKind::PlanChange marks the apply).
+void schedule_plan_delta(sim::PreemptiveScheduler& scheduler,
+                         const PlanDelta& delta, sim::SimMapping& mapping,
+                         rtsj::AbsoluteTime t, rtsj::AbsoluteTime anchor);
 
 }  // namespace rtcf::reconfig

@@ -9,21 +9,46 @@ ContentRegistry& ContentRegistry::instance() {
   return registry;
 }
 
+void ContentRegistry::register_factory(const std::string& cls,
+                                       Factory factory) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  factories_[cls] = std::move(factory);
+  ++revision_;
+}
+
+bool ContentRegistry::contains(const std::string& cls) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(cls) != 0;
+}
+
 comm::Content* ContentRegistry::create(const std::string& cls,
                                        rtsj::MemoryArea& area) const {
-  auto it = factories_.find(cls);
-  if (it == factories_.end()) {
-    throw std::invalid_argument("content class '" + cls +
-                                "' is not registered");
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = factories_.find(cls);
+    if (it == factories_.end()) {
+      throw std::invalid_argument("content class '" + cls +
+                                  "' is not registered");
+    }
+    // Copy so the factory runs outside the lock (it may allocate inside a
+    // scoped area, which can itself take time or throw).
+    factory = it->second;
   }
-  return it->second(area);
+  return factory(area);
 }
 
 std::vector<std::string> ContentRegistry::registered() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
   out.reserve(factories_.size());
   for (const auto& [cls, factory] : factories_) out.push_back(cls);
   return out;
+}
+
+std::uint64_t ContentRegistry::revision() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return revision_;
 }
 
 }  // namespace rtcf::runtime

@@ -4,10 +4,21 @@
 // right allocation context; we reproduce that with a process-wide registry.
 // Factories allocate the content *inside a given memory area*, so a
 // Console deployed in a 28 KB scope really lives in that scope.
+//
+// Hot registration: classes may be registered while an assembly is running
+// (the prerequisite for a live ADL reload that adds components whose
+// implementations were not linked in at launch — the C++ stand-in for the
+// paper's dynamic class loading). All entry points are mutex-guarded, and
+// `revision()` counts registrations so a reload planner can tell whether
+// the class set changed since it last validated a delta. The lock is never
+// on a real-time path: creation happens at assembly time or inside the
+// quiescence window of a reload.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,23 +34,19 @@ class ContentRegistry {
 
   static ContentRegistry& instance();
 
-  /// Registers T under `cls`. Re-registration replaces (supports test
-  /// fixtures swapping implementations — a crude form of the paper's
-  /// adaptability).
+  /// Registers T under `cls`. Re-registration replaces — new instances use
+  /// the new implementation; running instances are untouched (the paper's
+  /// adaptability story: swap the class, then reload the assembly).
   template <typename T>
   void register_class(const std::string& cls) {
-    factories_[cls] = [](rtsj::MemoryArea& area) -> comm::Content* {
+    register_factory(cls, [](rtsj::MemoryArea& area) -> comm::Content* {
       return area.make<T>();
-    };
+    });
   }
 
-  void register_factory(const std::string& cls, Factory factory) {
-    factories_[cls] = std::move(factory);
-  }
+  void register_factory(const std::string& cls, Factory factory);
 
-  bool contains(const std::string& cls) const {
-    return factories_.count(cls) != 0;
-  }
+  bool contains(const std::string& cls) const;
 
   /// Instantiates `cls` inside `area`; throws std::invalid_argument for
   /// unregistered classes. The object's destructor runs when the area is
@@ -48,8 +55,14 @@ class ContentRegistry {
 
   std::vector<std::string> registered() const;
 
+  /// Bumped on every (re)registration; lets a reload planner detect that
+  /// the class set changed since a delta was validated.
+  std::uint64_t revision() const noexcept;
+
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, Factory> factories_;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace rtcf::runtime

@@ -14,34 +14,84 @@ namespace rtcf::runtime {
 using rtsj::AbsoluteTime;
 using rtsj::RelativeTime;
 
+namespace {
+
+/// Clears the mode manager's structure hook on every exit path (a release
+/// that throws must not leave a hook referencing a dead stack frame).
+struct HookGuard {
+  reconfig::ModeManager* mm;
+  ~HookGuard() {
+    if (mm != nullptr) mm->set_structure_hook(nullptr);
+  }
+};
+
+/// First grid point strictly after `now` on the anchored timeline.
+AbsoluteTime align_to_grid(AbsoluteTime anchor, RelativeTime period,
+                           AbsoluteTime now) {
+  const std::int64_t p = period.nanos();
+  const std::int64_t elapsed = (now - anchor).nanos();
+  const std::int64_t k = (p <= 0 || elapsed < 0) ? 1 : elapsed / p + 1;
+  return anchor +
+         RelativeTime::nanoseconds(k * std::max<std::int64_t>(p, 1));
+}
+
+}  // namespace
+
+void Launcher::add_entry(const soleil::PlannedComponent& pc) {
+  PeriodicEntry entry;
+  entry.name = pc.component->name();
+  entry.release = app_.release_fn(entry.name);
+  entry.period = pc.active->period();
+  entry.deadline = pc.thread->profile().effective_deadline();
+  entry.priority = pc.thread->priority();
+  entry.partition = pc.partition;
+  entry.mon = app_.monitor().find(entry.name);
+  // emplace keeps accumulated stats when a name is re-added after an
+  // earlier removal — retirement never loses recorded releases.
+  stats_.emplace(entry.name, ComponentStats{});
+  periodics_.push_back(std::move(entry));
+  periodics_.back().stats = &stats_.at(periodics_.back().name);
+}
+
 Launcher::Launcher(soleil::Application& app) : app_(app) {
   for (const auto& pc : app.plan().components) {
-    if (pc.active == nullptr ||
+    if (pc.retired || pc.active == nullptr ||
         pc.active->activation() != model::ActivationKind::Periodic) {
       continue;
     }
-    PeriodicEntry entry;
-    entry.name = pc.component->name();
-    entry.release = app.release_fn(entry.name);
-    entry.period = pc.active->period();
-    entry.deadline = pc.thread->profile().effective_deadline();
-    entry.priority = pc.thread->priority();
-    entry.partition = pc.partition;
-    entry.mon = app.monitor().find(entry.name);
-    periodics_.push_back(std::move(entry));
-    stats_.emplace(pc.component->name(), ComponentStats{});
+    add_entry(pc);
   }
   RTCF_REQUIRE(!periodics_.empty(),
                "launcher needs at least one periodic active component");
-  // Dispatch ties at the same instant in priority order.
-  std::stable_sort(periodics_.begin(), periodics_.end(),
-                   [](const PeriodicEntry& a, const PeriodicEntry& b) {
-                     return a.priority > b.priority;
-                   });
-  for (auto& entry : periodics_) entry.stats = &stats_.at(entry.name);
+}
+
+void Launcher::reconcile_with_plan() {
+  // Entries whose planned component was retired by an inter-run reload.
+  for (auto& entry : periodics_) {
+    if (!entry.retired &&
+        app_.plan().find_component(entry.name) == nullptr) {
+      entry.retired = true;
+      entry.enabled = false;
+    }
+  }
+  // Periodic components admitted by an inter-run reload.
+  for (const auto& pc : app_.plan().components) {
+    if (pc.retired || pc.active == nullptr ||
+        pc.active->activation() != model::ActivationKind::Periodic) {
+      continue;
+    }
+    bool known = false;
+    for (const auto& entry : periodics_) {
+      if (!entry.retired && entry.name == pc.component->name()) known = true;
+    }
+    if (!known) add_entry(pc);
+  }
 }
 
 void Launcher::run(const Options& options) {
+  // Reloads applied while no run was active (inline quiescence) changed
+  // the plan without a structure hook; catch up before dispatching.
+  reconcile_with_plan();
   if (options.workers <= 1) {
     run_single(options);
     return;
@@ -110,13 +160,49 @@ void Launcher::apply_mode_setting(PeriodicEntry& entry,
   if (!was_enabled && setting.enabled) {
     // Resume on the anchor grid, strictly in the future: the releases
     // skipped while disabled are gone by design, not fired as a burst.
-    const std::int64_t period = entry.period.nanos();
-    const std::int64_t elapsed = (now - entry.anchor).nanos();
-    const std::int64_t k =
-        (period <= 0 || elapsed < 0) ? 1 : elapsed / period + 1;
-    entry.next_release =
-        entry.anchor + RelativeTime::nanoseconds(k * std::max<std::int64_t>(
-                                                         period, 1));
+    entry.next_release = align_to_grid(entry.anchor, entry.period, now);
+  }
+}
+
+void Launcher::rebuild_queue(std::vector<PeriodicEntry*>& mine,
+                             std::size_t worker, bool all) {
+  mine.clear();
+  for (auto& entry : periodics_) {
+    if (entry.retired) continue;
+    if (!all && entry.partition != worker) continue;
+    mine.push_back(&entry);
+  }
+  std::stable_sort(mine.begin(), mine.end(),
+                   [](const PeriodicEntry* a, const PeriodicEntry* b) {
+                     return a->priority > b->priority;
+                   });
+}
+
+void Launcher::ingest_structure_change(
+    const reconfig::StructureChange& change, AbsoluteTime start) {
+  const AbsoluteTime now = rtsj::SteadyClock::instance().now();
+  for (const auto& name : change.removed) {
+    for (auto& entry : periodics_) {
+      if (entry.name == name && !entry.retired) {
+        entry.retired = true;
+        entry.enabled = false;
+      }
+    }
+  }
+  for (const auto& name : change.added) {
+    const auto* pc = app_.plan().find_component(name);
+    if (pc == nullptr || pc->active == nullptr ||
+        pc->active->activation() != model::ActivationKind::Periodic) {
+      continue;  // sporadic/passive additions release via activations
+    }
+    add_entry(*pc);
+    PeriodicEntry& entry = periodics_.back();
+    entry.anchor = start;
+    entry.enabled = true;
+    // The new timeline enters on the run-start anchor grid, strictly in
+    // the future — exactly like a re-enabled component, so releases stay
+    // phase-aligned with the rest of the assembly.
+    entry.next_release = align_to_grid(start, entry.period, now);
   }
 }
 
@@ -126,22 +212,34 @@ void Launcher::run_single(const Options& options) {
   const AbsoluteTime end = start + options.duration;
   reconfig::ModeManager* mm = options.mode_manager;
   for (auto& entry : periodics_) {
+    if (entry.retired) continue;
     entry.anchor = start;
     entry.enabled = true;
     entry.next_release = start + entry.period;
   }
+  std::vector<PeriodicEntry*> mine;
+  rebuild_queue(mine, 0, /*all=*/true);
   std::uint64_t seen_epoch = 0;
   const auto sync_mode = [&] {
     if (mm == nullptr || mm->plan_epoch() == seen_epoch) return;
     seen_epoch = mm->plan_epoch();
+    // Reloads may have grown or shrunk the entry list.
+    rebuild_queue(mine, 0, /*all=*/true);
     const AbsoluteTime now = clock.now();
-    for (auto& entry : periodics_) {
-      if (const auto* setting = mm->setting(entry.name)) {
-        apply_mode_setting(entry, *setting, now);
+    for (auto* entry : mine) {
+      if (const auto* setting = mm->setting(entry->name)) {
+        apply_mode_setting(*entry, *setting, now);
       }
     }
   };
-  if (mm != nullptr) mm->begin_run(1);
+  HookGuard hook_guard{mm};
+  if (mm != nullptr) {
+    mm->set_structure_hook(
+        [this, start](const reconfig::StructureChange& change) {
+          ingest_structure_change(change, start);
+        });
+    mm->begin_run(1);
+  }
   sync_mode();
   const auto poll = std::chrono::nanoseconds(
       std::max<std::int64_t>(options.poll_interval.nanos(), 1));
@@ -153,9 +251,9 @@ void Launcher::run_single(const Options& options) {
     }
     // Earliest pending release across the enabled periodic components.
     AbsoluteTime next = end;
-    for (const auto& entry : periodics_) {
-      if (!entry.enabled) continue;
-      next = std::min(next, entry.next_release);
+    for (const auto* entry : mine) {
+      if (!entry->enabled) continue;
+      next = std::min(next, entry->next_release);
     }
     if (next >= end && (mm == nullptr || clock.now() >= end)) break;
 
@@ -199,11 +297,11 @@ void Launcher::run_single(const Options& options) {
     if (replanned) continue;
 
     // Dispatch every enabled component due at (or before) `next`, highest
-    // priority first (periodics_ is priority-sorted); each release runs to
+    // priority first (the queue is priority-sorted); each release runs to
     // completion including its downstream activations.
-    for (auto& entry : periodics_) {
-      if (!entry.enabled || entry.next_release > next) continue;
-      dispatch_entry(entry, 0, /*partitioned=*/false);
+    for (auto* entry : mine) {
+      if (!entry->enabled || entry->next_release > next) continue;
+      dispatch_entry(*entry, 0, /*partitioned=*/false);
     }
   }
   if (mm != nullptr) {
@@ -230,7 +328,12 @@ void Launcher::run_partitioned(const Options& options) {
   // rethrow after the join instead of letting std::terminate fire.
   std::mutex failure_mutex;
   std::exception_ptr failure;
+  HookGuard hook_guard{options.mode_manager};
   if (options.mode_manager != nullptr) {
+    options.mode_manager->set_structure_hook(
+        [this, start](const reconfig::StructureChange& change) {
+          ingest_structure_change(change, start);
+        });
     options.mode_manager->begin_run(workers);
   }
   std::vector<std::thread> threads;
@@ -270,20 +373,18 @@ void Launcher::worker_loop(std::size_t worker, const Options& options,
   auto& clock = rtsj::SteadyClock::instance();
   reconfig::ModeManager* mm = options.mode_manager;
 
-  // This worker's release queue: its pinned periodic components, already in
-  // priority order (periodics_ is globally priority-sorted and filtering
-  // preserves order).
+  // This worker's release queue: its pinned periodic components in
+  // priority order.
   std::vector<PeriodicEntry*> mine;
+  rebuild_queue(mine, worker, /*all=*/false);
   int top_priority = 0;
-  for (auto& entry : periodics_) {
-    if (entry.partition != worker) continue;
-    mine.push_back(&entry);
-    top_priority = std::max(top_priority, entry.priority);
+  for (const auto* entry : mine) {
+    top_priority = std::max(top_priority, entry->priority);
   }
   // Sporadic components pinned here also count towards the worker's OS
   // priority even though they release via activation credits.
   for (const auto& pc : app_.plan().components) {
-    if (pc.partition == worker && pc.thread != nullptr) {
+    if (!pc.retired && pc.partition == worker && pc.thread != nullptr) {
       top_priority = std::max(top_priority, pc.thread->priority());
     }
   }
@@ -299,11 +400,14 @@ void Launcher::worker_loop(std::size_t worker, const Options& options,
   }
   // Per-worker release-plan swap: each worker re-reads only its own pinned
   // entries' settings when the mode manager publishes a new plan epoch —
-  // always between dispatches, never mid-release.
+  // always between dispatches, never mid-release. A reload additionally
+  // rebuilds the queue, adopting hot-added timelines pinned to this
+  // partition and dropping retired ones.
   std::uint64_t seen_epoch = 0;
   const auto sync_mode = [&] {
     if (mm == nullptr || mm->plan_epoch() == seen_epoch) return;
     seen_epoch = mm->plan_epoch();
+    rebuild_queue(mine, worker, /*all=*/false);
     const AbsoluteTime now = clock.now();
     for (auto* entry : mine) {
       if (const auto* setting = mm->setting(entry->name)) {

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <map>
 #include <string>
 #include <vector>
@@ -34,6 +35,7 @@
 namespace rtcf::reconfig {
 class ModeManager;
 struct ComponentSetting;
+struct StructureChange;
 }  // namespace rtcf::reconfig
 
 namespace rtcf::runtime {
@@ -58,12 +60,16 @@ class Launcher {
     /// activations (partitioned + !busy_wait only; also the mode-manager
     /// poll cadence of a sleeping single-core executive).
     rtsj::RelativeTime poll_interval = rtsj::RelativeTime::microseconds(200);
-    /// Drives mode transitions (src/reconfig): every worker polls the
-    /// manager at each dispatch boundary — parking there while a
-    /// transition is pending, which is the quiescence point — and re-reads
-    /// its own entries' release settings (enabled, period) whenever the
-    /// plan epoch changes. The swap is per worker and between dispatches,
-    /// so no release is lost or double-fired across a transition.
+    /// Drives mode transitions and live reloads (src/reconfig): every
+    /// worker polls the manager at each dispatch boundary — parking there
+    /// while a transition is pending, which is the quiescence point — and
+    /// re-reads its own entries' release settings (enabled, period)
+    /// whenever the plan epoch changes. The swap is per worker and between
+    /// dispatches, so no release is lost or double-fired across a
+    /// transition. Reloads additionally grow/shrink the release plan
+    /// through the manager's structure hook: new periodic components enter
+    /// on the run-start anchor grid (first release strictly in the
+    /// future), removed ones retire with their accumulated stats intact.
     reconfig::ModeManager* mode_manager = nullptr;
   };
 
@@ -110,14 +116,20 @@ class Launcher {
     /// Enabled in the current operational mode (mode-managed components
     /// absent from the mode release nothing).
     bool enabled = true;
+    /// Permanently retired by a live reload (component removed). Workers
+    /// drop retired entries from their queues on the next epoch sync; the
+    /// entry itself stays so its accumulated stats survive.
+    bool retired = false;
     /// Release-timeline anchor (run start): a component re-enabled by a
     /// mode transition resumes on its original grid, strictly in the
     /// future — no catch-up burst of the releases skipped while disabled.
+    /// Hot-added components anchor on the same run-start grid.
     rtsj::AbsoluteTime anchor{};
     /// Runtime-monitor slot (telemetry + contract + governor id).
     monitor::RuntimeMonitor::Entry* mon = nullptr;
-    /// Cached stats slot; the map is not mutated after construction, so
-    /// workers touch disjoint entries without synchronisation.
+    /// Cached stats slot; stats_ is a node-based map mutated only at
+    /// quiescence points, so workers touch disjoint entries without
+    /// synchronisation and pointers stay valid across reloads.
     ComponentStats* stats = nullptr;
   };
 
@@ -128,6 +140,24 @@ class Launcher {
   void apply_mode_setting(PeriodicEntry& entry,
                           const reconfig::ComponentSetting& setting,
                           rtsj::AbsoluteTime now);
+  /// Release-plan growth/shrink at a reload's quiescence point (runs on
+  /// the swap-executing worker while every other worker is parked): added
+  /// periodic components get a timeline on the run-start anchor grid,
+  /// removed ones are retired. periodics_ is a deque, so existing entries
+  /// never move and parked workers' pointers stay valid.
+  void ingest_structure_change(const reconfig::StructureChange& change,
+                               rtsj::AbsoluteTime start);
+  /// Reconciles the entry list against the application's *current* plan
+  /// at the top of every run: reloads applied inline between runs (no
+  /// structure hook installed) still grow/shrink the release plan.
+  void reconcile_with_plan();
+  /// Appends one entry for a live periodic planned component.
+  void add_entry(const soleil::PlannedComponent& pc);
+  /// Rebuilds one executive's priority-ordered release queue from the
+  /// (possibly reload-grown) entry list. `all` selects every partition
+  /// (single-core executive).
+  void rebuild_queue(std::vector<PeriodicEntry*>& mine, std::size_t worker,
+                     bool all);
   /// One worker's cyclic executive over its pinned entries; also pumps the
   /// partition's activation credits while waiting.
   void worker_loop(std::size_t worker, const Options& options,
@@ -136,7 +166,9 @@ class Launcher {
                       bool partitioned);
 
   soleil::Application& app_;
-  std::vector<PeriodicEntry> periodics_;
+  /// Deque: live reload appends entries while parked workers hold stable
+  /// pointers to existing ones.
+  std::deque<PeriodicEntry> periodics_;
   std::map<std::string, ComponentStats> stats_;
   std::atomic<std::size_t> os_grants_{0};
 };

@@ -29,6 +29,8 @@ const char* to_string(TraceKind k) noexcept {
       return "shed";
     case TraceKind::ModeChange:
       return "mode-change";
+    case TraceKind::PlanChange:
+      return "plan-change";
   }
   return "?";
 }
@@ -51,7 +53,8 @@ PreemptiveScheduler::PreemptiveScheduler(std::size_t cpus) {
   running_.resize(cpus);
 }
 
-TaskId PreemptiveScheduler::add_task(TaskConfig config) {
+TaskId PreemptiveScheduler::add_task_internal(TaskConfig config,
+                                              bool release_timeline) {
   RTCF_REQUIRE(!config.name.empty(), "task needs a name");
   RTCF_REQUIRE(config.release != ReleaseKind::Periodic ||
                    config.period > RelativeTime::zero(),
@@ -62,10 +65,15 @@ TaskId PreemptiveScheduler::add_task(TaskConfig config) {
                    std::to_string(cpu_count()) + "-CPU scheduler");
   tasks_.push_back(Task{std::move(config), TaskStats{}, 0, {}, false});
   const TaskId id = tasks_.size() - 1;
-  if (tasks_[id].config.release == ReleaseKind::Periodic) {
+  if (release_timeline &&
+      tasks_[id].config.release == ReleaseKind::Periodic) {
     push_event(tasks_[id].config.start, EventKind::TaskRelease, id);
   }
   return id;
+}
+
+TaskId PreemptiveScheduler::add_task(TaskConfig config) {
+  return add_task_internal(std::move(config), /*release_timeline=*/true);
 }
 
 void PreemptiveScheduler::set_on_complete(
@@ -108,6 +116,30 @@ void PreemptiveScheduler::schedule_mode_change(AbsoluteTime t,
   }
   mode_changes_.push_back(std::move(mods));
   push_event(t, EventKind::ModeChange, mode_changes_.size() - 1);
+}
+
+std::vector<TaskId> PreemptiveScheduler::schedule_plan_change(
+    AbsoluteTime t, PlanChange change) {
+  RTCF_REQUIRE(t >= now_, "plan change scheduled in the simulated past");
+  for (const TaskMod& mod : change.mods) {
+    RTCF_REQUIRE(mod.task < tasks_.size(), "unknown task id in plan change");
+    RTCF_REQUIRE(mod.period.is_zero() || mod.period > RelativeTime::zero(),
+                 "plan-change period override must be positive");
+  }
+  PlanChangeRec rec;
+  rec.mods = std::move(change.mods);
+  for (TaskConfig& config : change.additions) {
+    // The task exists now (stable id, wireable) but is dormant: disabled
+    // and with no timeline event until the change instant.
+    const TaskId id =
+        add_task_internal(std::move(config), /*release_timeline=*/false);
+    tasks_[id].enabled = false;
+    rec.added.push_back(id);
+  }
+  plan_changes_.push_back(std::move(rec));
+  const std::size_t index = plan_changes_.size() - 1;
+  push_event(t, EventKind::PlanChange, index);
+  return plan_changes_[index].added;
 }
 
 void PreemptiveScheduler::push_event(AbsoluteTime t, EventKind kind,
@@ -272,6 +304,42 @@ void PreemptiveScheduler::handle_event(const Event& ev) {
         }
       }
       record(TraceKind::ModeChange, TraceEvent::kNoTask, ev.task);
+      break;
+    }
+    case EventKind::PlanChange: {
+      // The live-reload mirror, atomic at this instant: retired tasks'
+      // jobs already released run to completion (the drain half of
+      // quiescence); added tasks wake onto their anchor grid — the first
+      // release is the first grid point strictly after now, matching the
+      // wall-clock launcher.
+      const PlanChangeRec& rec = plan_changes_[ev.task];
+      for (const TaskMod& mod : rec.mods) {
+        Task& tk = tasks_[mod.task];
+        tk.enabled = mod.enabled;
+        if (!mod.period.is_zero() &&
+            tk.config.release == ReleaseKind::Periodic) {
+          tk.config.period = mod.period;
+        }
+      }
+      for (const TaskId id : rec.added) {
+        Task& tk = tasks_[id];
+        tk.enabled = true;
+        if (tk.config.release != ReleaseKind::Periodic) continue;
+        // First release at the first grid point strictly after max(now,
+        // anchor) — the exact formula of the launcher's align_to_grid (k
+        // clamped to >= 1, so a future anchor releases at anchor+period,
+        // matching a run-start timeline whose first release is one period
+        // after its anchor).
+        const std::int64_t period = tk.config.period.nanos();
+        const std::int64_t elapsed = (now_ - tk.config.start).nanos();
+        const std::int64_t k =
+            (period <= 0 || elapsed < 0) ? 1 : elapsed / period + 1;
+        push_event(tk.config.start +
+                       RelativeTime::nanoseconds(
+                           k * std::max<std::int64_t>(period, 1)),
+                   EventKind::TaskRelease, id);
+      }
+      record(TraceKind::PlanChange, TraceEvent::kNoTask, ev.task);
       break;
     }
   }

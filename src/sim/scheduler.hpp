@@ -93,6 +93,8 @@ enum class TraceKind {
   GcEnd,
   Shed,        ///< Release rejected by the task's admission gate.
   ModeChange,  ///< A scheduled mode change was applied (seq = change index).
+  PlanChange,  ///< A scheduled plan change (live reload mirror) was
+               ///< applied: tasks added/retired atomically (seq = index).
 };
 
 const char* to_string(TraceKind k) noexcept;
@@ -167,6 +169,26 @@ class PreemptiveScheduler {
   /// the same schedule yields bit-for-bit identical traces.
   void schedule_mode_change(AbsoluteTime t, std::vector<TaskMod> mods);
 
+  /// A scheduled structural plan change — the virtual-time mirror of a
+  /// live ADL reload: `mods` retire removed tasks (enabled=false, their
+  /// timelines tick silently forever) and re-period surviving ones;
+  /// `additions` are brand-new tasks that exist from the change instant
+  /// on. Each addition's `start` is its anchor: the first release falls
+  /// on the first grid point strictly after the change instant, exactly
+  /// like the wall-clock launcher's anchor-grid entry.
+  struct PlanChange {
+    std::vector<TaskMod> mods;
+    std::vector<TaskConfig> additions;
+  };
+
+  /// Schedules a plan change at virtual time `t` (>= now). The added
+  /// tasks' ids are assigned immediately (returned in `additions` order)
+  /// so callers can wire mappings/gates before the change applies, but
+  /// they release nothing until the change instant. One PlanChange trace
+  /// event records the apply, seq = change index; the same schedule
+  /// replays bit-for-bit.
+  std::vector<TaskId> schedule_plan_change(AbsoluteTime t, PlanChange change);
+
   bool task_enabled(TaskId id) const { return tasks_.at(id).enabled; }
 
   void set_gc_model(GcModel model) { gc_ = model; }
@@ -205,7 +227,12 @@ class PreemptiveScheduler {
     bool enabled = true;  ///< Cleared/set by mode-change events.
   };
 
-  enum class EventKind { TaskRelease, GcStart, GcEnd, ModeChange };
+  enum class EventKind { TaskRelease, GcStart, GcEnd, ModeChange, PlanChange };
+
+  struct PlanChangeRec {
+    std::vector<TaskMod> mods;
+    std::vector<TaskId> added;
+  };
 
   struct Event {
     AbsoluteTime time;
@@ -231,9 +258,13 @@ class PreemptiveScheduler {
   const Job* best_ready(std::size_t cpu) const;
   void suspend_running(std::size_t cpu);
 
+  TaskId add_task_internal(TaskConfig config, bool release_timeline);
+
   std::vector<Task> tasks_;
   /// Scheduled mode changes, indexed by Event::task for ModeChange events.
   std::vector<std::vector<TaskMod>> mode_changes_;
+  /// Scheduled plan changes, indexed by Event::task for PlanChange events.
+  std::vector<PlanChangeRec> plan_changes_;
   std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
   /// Per-CPU ready queue and running job (partitioned dispatching).
   std::vector<std::vector<Job>> ready_;

@@ -19,7 +19,15 @@ std::size_t ActivationManager::add_target(rtsj::RealtimeThread* thread,
   target.partition = partition;
   target.credits = std::make_unique<std::atomic<std::uint64_t>>(0);
   targets_.push_back(std::move(target));
-  return targets_.size() - 1;
+  const std::size_t id = targets_.size() - 1;
+  if (!by_partition_.empty()) {
+    // Late registration (hot-added component at a quiescence point): the
+    // dispatcher is already configured, so index the target immediately.
+    RTCF_REQUIRE(partition < partitions_,
+                 "activation target pinned to a partition out of range");
+    by_partition_[partition].push_back(id);
+  }
+  return id;
 }
 
 void ActivationManager::configure_partitions(std::size_t count) {
@@ -33,8 +41,15 @@ void ActivationManager::configure_partitions(std::size_t count) {
   }
 }
 
+void ActivationManager::retire_target(std::size_t target) {
+  RTCF_ASSERT(target < targets_.size());
+  targets_[target].retired = true;
+  targets_[target].credits->store(0, std::memory_order_release);
+}
+
 void ActivationManager::notify(std::size_t target) {
   RTCF_ASSERT(target < targets_.size());
+  if (targets_[target].retired) return;
   if (partitions_ == 1) {
     pending_.push_back(target);
     return;
@@ -64,6 +79,7 @@ void ActivationManager::pump() {
     while (!pending_.empty()) {
       const std::size_t idx = pending_.front();
       pending_.pop_front();
+      if (targets_[idx].retired) continue;
       run_target(targets_[idx]);
     }
     return;
@@ -97,6 +113,7 @@ bool ActivationManager::pump_partition(std::size_t partition) {
     moved = false;
     for (const std::size_t idx : by_partition_[partition]) {
       Target& target = targets_[idx];
+      if (target.retired) continue;
       while (target.credits->load(std::memory_order_acquire) > 0) {
         target.credits->fetch_sub(1, std::memory_order_acq_rel);
         run_target(target);
@@ -120,6 +137,7 @@ Application::Application(const model::Architecture& arch,
                          std::size_t partitions)
     : env_(std::make_unique<runtime::RuntimeEnvironment>(arch)),
       plan_(make_plan(arch, *env_, partitions)),
+      assembly_(plan_.assembly),
       monitor_(std::make_unique<monitor::RuntimeMonitor>()) {
   // Telemetry is part of the assembly, whatever the generation mode: every
   // functional component gets its block inside its own memory area, plus a
@@ -262,6 +280,28 @@ validate::Report Application::rebind_sync(const std::string& client,
   return report;
 }
 
+validate::Report Application::rebind_async(const std::string& client,
+                                           const std::string& port,
+                                           const std::string& server) {
+  (void)port;
+  validate::Report report;
+  report.add(validate::Severity::Error, "MODE-STATIC", client + " -> " + server,
+             std::string(mode_name()) +
+                 " does not reify asynchronous endpoints; async rebinding "
+                 "is not available");
+  return report;
+}
+
+std::uint64_t Application::apply_plan_delta(const reconfig::PlanDelta& delta,
+                                            const model::AssemblyPlan& target) {
+  (void)delta;
+  (void)target;
+  RTCF_REQUIRE(false, std::string(mode_name()) +
+                          " cannot apply structural plan deltas; check "
+                          "supports_structural_reload() before reloading");
+  return 0;
+}
+
 bool Application::set_component_started(const std::string& component,
                                         bool started) {
   (void)component;
@@ -269,15 +309,22 @@ bool Application::set_component_started(const std::string& component,
   return false;
 }
 
-validate::Report Application::plan_sync_rebind(const std::string& client,
-                                               const std::string& port,
-                                               const std::string& server,
-                                               PlannedBinding* out) {
+validate::Report Application::plan_rebind(const std::string& client,
+                                          const std::string& port,
+                                          const std::string& server,
+                                          model::Protocol protocol,
+                                          std::size_t buffer_size,
+                                          PlannedBinding* out) {
   validate::Report report;
   const std::string subject = client + "." + port + " -> " + server;
   const PlannedComponent* pc_client = plan_.find_component(client);
   const PlannedComponent* pc_server = plan_.find_component(server);
-  if (pc_client == nullptr || pc_server == nullptr) {
+  // Specs come from the running snapshot, so hot-added endpoints resolve
+  // exactly like launch-declared ones.
+  const model::ComponentSpec* spec_client = assembly_.find(client);
+  const model::ComponentSpec* spec_server = assembly_.find(server);
+  if (pc_client == nullptr || pc_server == nullptr ||
+      spec_client == nullptr || spec_server == nullptr) {
     report.add(validate::Severity::Error, "RECONF-ENDPOINTS", subject,
                "unknown component");
     return report;
@@ -292,14 +339,33 @@ validate::Report Application::plan_sync_rebind(const std::string& client,
                "client has no port '" + port + "'");
     return report;
   }
+  if (protocol == model::Protocol::Asynchronous &&
+      !spec_server->is_active()) {
+    report.add(validate::Severity::Error, "RECONF-ASYNC-SERVER", subject,
+               "asynchronous rebind server is not an active component");
+    return report;
+  }
 
   const model::Architecture& arch = *plan_.arch;
-  model::Binding hypothetical;
-  hypothetical.client = {client, port};
-  hypothetical.server = {server, port};
-  hypothetical.desc.protocol = model::Protocol::Synchronous;
-  const std::string pattern =
-      validate::resolve_binding_pattern(arch, hypothetical);
+  const auto area_model = [&](const std::string& name) {
+    return name.empty() ? nullptr
+                        : arch.find_as<model::MemoryAreaComponent>(name);
+  };
+  const model::MemoryAreaComponent* client_area =
+      area_model(spec_client->memory_area);
+  const model::MemoryAreaComponent* server_area =
+      area_model(spec_server->memory_area);
+  const model::MemoryAreaComponent* shared =
+      common_scope_ancestor(arch, client_area, server_area);
+
+  validate::PatternQuery query;
+  query.relation = validate::relate_areas(arch, client_area, server_area);
+  query.protocol = protocol;
+  query.client_no_heap = spec_client->executes_on_nhrt;
+  query.server_in_heap = server_area == nullptr ||
+                         server_area->type() == model::AreaType::Heap;
+  query.common_scope_ancestor = shared != nullptr;
+  const std::string pattern = validate::suggest_pattern(query);
   if (pattern.empty()) {
     report.add(validate::Severity::Error, "RECONF-NHRT-HEAP", subject,
                "no RTSJ-legal pattern exists for the new binding "
@@ -311,7 +377,8 @@ validate::Report Application::plan_sync_rebind(const std::string& client,
   if (out != nullptr) {
     out->client = pc_client->component;
     out->server = pc_server->component;
-    out->protocol = model::Protocol::Synchronous;
+    out->protocol = protocol;
+    out->buffer_size = buffer_size;
     out->op = membrane::pattern_op_from_name(pattern);
     out->server_area = pc_server->area;
     switch (out->op) {
@@ -326,8 +393,207 @@ validate::Report Application::plan_sync_rebind(const std::string& client,
         out->staging_area = pc_server->area;
         break;
     }
+    out->cross_partition = pc_client->partition != pc_server->partition;
+    if (protocol == model::Protocol::Asynchronous) {
+      rtsj::MemoryArea* candidate = out->staging_area != nullptr
+                                        ? out->staging_area
+                                        : out->server_area;
+      if (candidate->kind() == rtsj::AreaKind::Heap &&
+          (spec_client->executes_on_nhrt || spec_server->executes_on_nhrt)) {
+        candidate = &rtsj::ImmortalMemory::instance();
+      }
+      out->buffer_area = candidate;
+    }
   }
   return report;
+}
+
+validate::Report Application::plan_sync_rebind(const std::string& client,
+                                               const std::string& port,
+                                               const std::string& server,
+                                               PlannedBinding* out) {
+  return plan_rebind(client, port, server, model::Protocol::Synchronous, 0,
+                     out);
+}
+
+rtsj::MemoryArea& Application::resolve_component_area(
+    const model::ComponentSpec& spec) {
+  if (!spec.memory_area.empty()) {
+    if (rtsj::MemoryArea* area =
+            resolve_area_name(spec.memory_area, *plan_.arch, *env_)) {
+      return *area;
+    }
+  }
+  // Areas the running assembly does not have degrade to the primordial
+  // singletons — except scopes, which cannot be instantiated live (the
+  // delta validator rejects those reloads; this is the defensive fence).
+  switch (spec.area_type) {
+    case model::AreaType::Immortal:
+      return rtsj::ImmortalMemory::instance();
+    case model::AreaType::Heap:
+      return rtsj::HeapMemory::instance();
+    case model::AreaType::Scoped:
+      break;
+  }
+  if (spec.memory_area.empty()) return rtsj::HeapMemory::instance();
+  throw PlanningError("component '" + spec.name +
+                      "' deploys into scoped area '" + spec.memory_area +
+                      "', which the running assembly did not create");
+}
+
+soleil::PlannedComponent& Application::admit_component(
+    const model::ComponentSpec& spec) {
+  RTCF_REQUIRE(plan_.find_component(spec.name) == nullptr,
+               "component '" + spec.name + "' is already live");
+  model::Component* shadow = nullptr;
+  model::ActiveComponent* active = nullptr;
+  if (spec.is_active()) {
+    auto owned = std::make_unique<model::ActiveComponent>(
+        spec.name, spec.activation, spec.period);
+    owned->set_cost(spec.cost);
+    owned->set_content_class(spec.content_class);
+    owned->set_criticality(spec.criticality);
+    if (spec.contract) owned->set_timing_contract(*spec.contract);
+    active = owned.get();
+    shadow = owned.get();
+    dynamic_components_.push_back(std::move(owned));
+  } else {
+    auto owned = std::make_unique<model::PassiveComponent>(spec.name);
+    owned->set_content_class(spec.content_class);
+    shadow = owned.get();
+    dynamic_components_.push_back(std::move(owned));
+  }
+  shadow->set_swappable(spec.swappable);
+  for (const auto& itf : spec.interfaces) shadow->add_interface(itf);
+
+  rtsj::MemoryArea& area = resolve_component_area(spec);
+  PlannedComponent pc;
+  pc.component = shadow;
+  pc.active = active;
+  pc.area = &area;
+  pc.content_class = spec.content_class;
+  pc.criticality = spec.criticality;
+  pc.partition = spec.partition;
+  if (active != nullptr) {
+    if (active->timing_contract()) pc.contract = &*active->timing_contract();
+    const rtsj::ReleaseProfile profile =
+        spec.activation == model::ActivationKind::Periodic
+            ? rtsj::ReleaseProfile::periodic(spec.period, spec.cost)
+            : rtsj::ReleaseProfile::sporadic(spec.period, spec.cost);
+    std::unique_ptr<rtsj::RealtimeThread> thread;
+    switch (spec.domain_type) {
+      case model::DomainType::NoHeapRealtime:
+        thread = std::make_unique<rtsj::NoHeapRealtimeThread>(
+            spec.name, spec.domain_priority, profile, &area);
+        break;
+      case model::DomainType::Realtime:
+        thread = std::make_unique<rtsj::RealtimeThread>(
+            spec.name, rtsj::ThreadKind::Realtime, spec.domain_priority,
+            profile, &area);
+        break;
+      case model::DomainType::Regular:
+        thread = std::make_unique<rtsj::RealtimeThread>(
+            spec.name, rtsj::ThreadKind::Regular, spec.domain_priority,
+            profile, &area);
+        break;
+    }
+    pc.thread = thread.get();
+    dynamic_threads_.push_back(std::move(thread));
+  }
+  plan_.components.push_back(pc);
+  PlannedComponent& planned = plan_.components.back();
+
+  rtsj::RelativeTime deadline;
+  bool release_driven = false;
+  if (planned.active != nullptr) {
+    deadline = planned.thread->profile().effective_deadline();
+    release_driven = spec.activation == model::ActivationKind::Periodic;
+  }
+  monitor_->add_component(planned.component->name().c_str(), *planned.area,
+                          planned.criticality, planned.contract, deadline,
+                          release_driven);
+
+  ComponentRuntime rt;
+  rt.planned = &planned;
+  if (spec.content_class.empty()) {
+    throw PlanningError("component '" + spec.name +
+                        "' names no content class");
+  }
+  rt.content = runtime::ContentRegistry::instance().create(
+      spec.content_class, *planned.area);
+  for (const auto& itf : spec.interfaces) {
+    if (itf.role == model::InterfaceRole::Client) {
+      rt.content->add_port(itf.name);
+    }
+  }
+  // insert_or_assign: a component re-added under a name that was removed
+  // earlier supersedes the retired runtime entry (the old content object
+  // stays in its area until the area is reclaimed).
+  runtimes_.insert_or_assign(spec.name, std::move(rt));
+  return planned;
+}
+
+soleil::PlannedBinding Application::resolve_binding_spec(
+    const model::BindingSpec& spec) {
+  PlannedComponent* client = plan_.find_component(spec.client.component);
+  PlannedComponent* server = plan_.find_component(spec.server.component);
+  RTCF_REQUIRE(client != nullptr && server != nullptr,
+               "binding endpoint not live: " + spec.client.component +
+                   " -> " + spec.server.component);
+  PlannedBinding pb;
+  pb.client = client->component;
+  pb.server = server->component;
+  pb.protocol = spec.protocol;
+  pb.buffer_size = spec.buffer_size;
+  pb.op = membrane::pattern_op_from_name(spec.pattern);
+  pb.server_area = server->area;
+  pb.staging_area = resolve_area_name(spec.staging_area, *plan_.arch, *env_);
+  pb.buffer_area = resolve_area_name(spec.buffer_area, *plan_.arch, *env_);
+  if (spec.protocol == model::Protocol::Asynchronous) {
+    RTCF_REQUIRE(pb.buffer_area != nullptr,
+                 "binding " + spec.client.component + " -> " +
+                     spec.server.component +
+                     " has no resolvable buffer area");
+  }
+  pb.cross_partition = spec.cross_partition;
+  return pb;
+}
+
+soleil::PlannedBinding& Application::admit_binding(
+    const model::BindingSpec& spec) {
+  PlannedBinding pb = resolve_binding_spec(spec);
+  model::Binding shadow;
+  shadow.client = spec.client;
+  shadow.server = spec.server;
+  shadow.desc.protocol = spec.protocol;
+  shadow.desc.buffer_size = spec.buffer_size;
+  shadow.desc.pattern = spec.pattern;
+  dynamic_bindings_.push_back(std::move(shadow));
+  pb.binding = &dynamic_bindings_.back();
+  plan_.bindings.push_back(pb);
+  return plan_.bindings.back();
+}
+
+void Application::retire_component_runtime(const std::string& name) {
+  PlannedComponent* pc = plan_.find_component(name);
+  RTCF_REQUIRE(pc != nullptr, "no live component '" + name + "' to retire");
+  auto it = runtimes_.find(name);
+  if (it != runtimes_.end()) {
+    it->second.removed = true;
+    it->second.release_entry = nullptr;
+    // The content's client ports must never fire into infrastructure the
+    // reload is about to dismantle.
+    for (std::size_t i = 0; i < it->second.content->port_count(); ++i) {
+      it->second.content->port(i).unbind();
+    }
+  }
+  for (auto& pb : plan_.bindings) {
+    if (!pb.retired &&
+        (pb.client == pc->component || pb.server == pc->component)) {
+      pb.retired = true;
+    }
+  }
+  pc->retired = true;
 }
 
 comm::Content* Application::content(const std::string& component) const {

@@ -25,11 +25,16 @@
 #include "comm/content.hpp"
 #include "comm/message_buffer.hpp"
 #include "membrane/membrane.hpp"
+#include "model/assembly_plan.hpp"
 #include "model/metamodel.hpp"
 #include "monitor/runtime_monitor.hpp"
 #include "runtime/environment.hpp"
 #include "soleil/plan.hpp"
 #include "validate/report.hpp"
+
+namespace rtcf::reconfig {
+struct PlanDelta;
+}
 
 namespace rtcf::soleil {
 
@@ -60,13 +65,22 @@ class ActivationManager {
 
   /// Registers an activation target; `thread` may be null (work runs on
   /// the caller's context). `partition` pins the target to an executive
-  /// partition (ignored until configure_partitions).
+  /// partition (ignored until configure_partitions). Late registration —
+  /// after configure_partitions, for hot-added components — is legal at a
+  /// quiescence point only (the per-partition index is not concurrently
+  /// readable while it grows).
   std::size_t add_target(rtsj::RealtimeThread* thread, Work work,
                          std::size_t partition = 0);
 
+  /// Permanently disables a target (live component removal): pending
+  /// credits are dropped, future notifies are ignored, pump passes skip
+  /// it. Only legal at a quiescence point after the target's buffer was
+  /// drained — the drain audit, not this call, guarantees zero loss.
+  void retire_target(std::size_t target);
+
   /// Switches to credit-based partitioned dispatch (n > 1) or back to the
-  /// FIFO deque (n == 1). Call after all targets are registered and before
-  /// any execution.
+  /// FIFO deque (n == 1). Call after all launch-time targets are
+  /// registered and before any execution.
   void configure_partitions(std::size_t count);
   std::size_t partition_count() const noexcept { return partitions_; }
 
@@ -94,6 +108,8 @@ class ActivationManager {
     /// Pending-activation count in partitioned mode (heap-boxed so targets
     /// stay movable during registration).
     std::unique_ptr<std::atomic<std::uint64_t>> credits;
+    /// Set by retire_target (live component removal).
+    bool retired = false;
   };
 
   void run_target(Target& target);
@@ -174,10 +190,37 @@ class Application {
                                        const std::string& port,
                                        const std::string& server);
 
+  /// Rebinds the asynchronous client port `port` of `client` onto
+  /// `server`'s activation entry: the old buffer is drained to the old
+  /// consumer (zero loss), then the port's AsyncSkeleton is re-targeted
+  /// onto a fresh buffer feeding the new server (SPSC when the binding now
+  /// crosses partitions). Only legal at a quiescence point. Unsupported
+  /// modes return a MODE-STATIC error.
+  virtual validate::Report rebind_async(const std::string& client,
+                                        const std::string& port,
+                                        const std::string& server);
+
   /// Starts/stops one component at runtime. Returns false when the mode
   /// does not expose per-component lifecycle (ULTRA_MERGE).
   virtual bool set_component_started(const std::string& component,
                                      bool started);
+
+  // ---- live reload (plan-delta engine) -----------------------------------
+
+  /// True when the mode can apply structural plan deltas (add/remove real
+  /// components) live. Only the fully reified SOLEIL membrane carries the
+  /// controllers this needs.
+  virtual bool supports_structural_reload() const noexcept { return false; }
+
+  /// Applies a validated plan delta at a quiescence point: removals are
+  /// stopped, drained and retired; additions are instantiated (content in
+  /// its area, thread, telemetry, membrane) and wired; rebinds re-target
+  /// ports sync or async. On return `assembly()` is `target`. Throws in
+  /// modes without structural reload (check supports_structural_reload).
+  /// Messages drained out of removed consumers' buffers are returned (the
+  /// drain audit input; 0 when the pre-swap pump already emptied them).
+  virtual std::uint64_t apply_plan_delta(const reconfig::PlanDelta& delta,
+                                         const model::AssemblyPlan& target);
 
   /// Bytes of generated infrastructure (membranes, shells, interceptors,
   /// buffers, staging slots) — the Fig. 7c metric.
@@ -186,6 +229,10 @@ class Application {
   comm::Content* content(const std::string& component) const;
   rtsj::RealtimeThread* thread_of(const std::string& component) const;
   const Plan& plan() const noexcept { return plan_; }
+  /// The immutable snapshot of the *currently running* assembly: the
+  /// launch-time plan, replaced wholesale by every applied reload. This is
+  /// what the plan-delta engine diffs a freshly loaded ADL against.
+  const model::AssemblyPlan& assembly() const noexcept { return assembly_; }
   runtime::RuntimeEnvironment& environment() noexcept { return *env_; }
   ActivationManager& activation_manager() noexcept { return manager_; }
   /// Runtime monitor (telemetry, contracts, overload governor). Built for
@@ -208,10 +255,47 @@ class Application {
     comm::Content* content = nullptr;
     /// Periodic release entry (mode-specific gate + dispatch).
     std::function<void()> release_entry;
+    /// Set once a live reload removed the component. The content object
+    /// stays readable (counters survive for audits) but releases nothing.
+    bool removed = false;
   };
 
   /// Instantiates contents (inside their areas) and declares their ports.
   void build_contents();
+
+  // ---- hot admission (mode-independent half of a live reload) ------------
+
+  /// Admits one added component into the running substrate: shadow
+  /// metamodel object (the spec captured by value outlives any source
+  /// architecture), RTSJ thread per its declared domain, content inside
+  /// its area, monitor entry, plan slot. The generation mode wires its
+  /// dispatch structure on top (membrane/shell).
+  PlannedComponent& admit_component(const model::ComponentSpec& spec);
+
+  /// Admits one added binding: shadow model::Binding plus the planned
+  /// resolution from the spec's pattern/area placement.
+  PlannedBinding& admit_binding(const model::BindingSpec& spec);
+
+  /// Resolves a snapshot binding spec against the live plan (endpoints,
+  /// pattern op, areas); the result's `binding` pointer is null — it
+  /// describes wiring, not a declared binding.
+  PlannedBinding resolve_binding_spec(const model::BindingSpec& spec);
+
+  /// Resolves a snapshot area placement against this application's
+  /// substrate (named areas of the launch architecture, or the
+  /// heap/immortal singletons); throws PlanningError for unknown scoped
+  /// areas — the delta validator rejects those reloads before apply.
+  rtsj::MemoryArea& resolve_component_area(const model::ComponentSpec& spec);
+
+  /// Marks a removed component's plan slot and runtime entry retired and
+  /// unbinds its client ports. Lifecycle stop and dispatch detachment are
+  /// the generation mode's job (it owns the membrane/shell).
+  void retire_component_runtime(const std::string& name);
+
+  /// Replaces the running snapshot (the final step of apply_plan_delta).
+  void commit_assembly(const model::AssemblyPlan& target) {
+    assembly_ = target;
+  }
 
   /// `concurrent` selects the lock-free SPSC variant (cross-partition
   /// bindings); storage always comes from `area`.
@@ -234,9 +318,15 @@ class Application {
   ComponentRuntime& runtime_of(const std::string& name);
   const ComponentRuntime& runtime_of(const std::string& name) const;
 
-  /// Shared half of rebind_sync: validates the hypothetical binding
-  /// against the RTSJ rules and, when legal, fills `out` with the planned
-  /// pattern/areas. Subclasses wire only on a clean report.
+  /// Shared half of rebind_sync/rebind_async: validates the hypothetical
+  /// binding against the RTSJ rules and, when legal, fills `out` with the
+  /// planned pattern/areas (including the buffer area for asynchronous
+  /// rebinds). Subclasses wire only on a clean report.
+  validate::Report plan_rebind(const std::string& client,
+                               const std::string& port,
+                               const std::string& server,
+                               model::Protocol protocol,
+                               std::size_t buffer_size, PlannedBinding* out);
   validate::Report plan_sync_rebind(const std::string& client,
                                     const std::string& port,
                                     const std::string& server,
@@ -244,10 +334,19 @@ class Application {
 
   std::unique_ptr<runtime::RuntimeEnvironment> env_;
   Plan plan_;
+  /// Current-assembly snapshot; starts as plan_.assembly, replaced by
+  /// every applied reload.
+  model::AssemblyPlan assembly_;
   std::map<std::string, ComponentRuntime> runtimes_;
   ActivationManager manager_;
   std::vector<std::unique_ptr<comm::MessageBuffer>> buffers_;
   std::vector<std::unique_ptr<ActivationManager::NotifyArg>> notify_args_;
+  /// Hot-added metamodel shadows: live reload captures added components
+  /// and bindings by value, so the target architecture can be discarded;
+  /// these deques give the plan stable objects to point at instead.
+  std::deque<std::unique_ptr<model::Component>> dynamic_components_;
+  std::deque<model::Binding> dynamic_bindings_;
+  std::deque<std::unique_ptr<rtsj::RealtimeThread>> dynamic_threads_;
   /// Telemetry pointers reference areas owned by env_, which outlives the
   /// monitor (declared after env_, destroyed first).
   std::unique_ptr<monitor::RuntimeMonitor> monitor_;

@@ -3,6 +3,7 @@
 
 #include "membrane/membrane.hpp"
 #include "membrane/nf_controllers.hpp"
+#include "reconfig/plan_delta.hpp"
 #include "soleil/application.hpp"
 #include "soleil/merged_shell.hpp"
 #include "util/assert.hpp"
@@ -32,6 +33,9 @@ const Message& stage_trampoline(void* pattern, const Message& m) {
 
 /// Full componentization: reified membranes, interceptor chains,
 /// introspection and reconfiguration at membrane and functional level.
+/// The only generation mode with *structural* runtime reconfiguration:
+/// live plan deltas add and remove real components and re-target
+/// asynchronous endpoints through the reified AsyncSkeletons.
 class SoleilApplication final : public Application {
  public:
   SoleilApplication(const model::Architecture& arch, std::size_t partitions)
@@ -45,6 +49,7 @@ class SoleilApplication final : public Application {
     return true;
   }
   bool supports_reconfiguration() const noexcept override { return true; }
+  bool supports_structural_reload() const noexcept override { return true; }
 
   membrane::Membrane* find_membrane(const std::string& component) override {
     auto it = membranes_.find(component);
@@ -52,9 +57,11 @@ class SoleilApplication final : public Application {
   }
 
   void start() override {
+    started_ = true;
     for (auto& [name, m] : membranes_) m->lifecycle().start();
   }
   void stop() override {
+    started_ = false;
     for (auto& [name, m] : membranes_) m->lifecycle().stop();
   }
 
@@ -64,17 +71,28 @@ class SoleilApplication final : public Application {
     PlannedBinding pb;
     validate::Report report = plan_sync_rebind(client, port, server, &pb);
     if (!report.ok()) return report;
-    comm::IInvocable* server_entry = nullptr;
-    if (auto it = server_invocables_.find(server);
-        it != server_invocables_.end()) {
-      server_entry = it->second;
+    wire_sync_rebind(client, port, pb);
+    return report;
+  }
+
+  validate::Report rebind_async(const std::string& client,
+                                const std::string& port,
+                                const std::string& server) override {
+    validate::Report report;
+    const model::BindingSpec* declared =
+        assembly().binding_for({client, port});
+    if (declared == nullptr ||
+        declared->protocol != Protocol::Asynchronous) {
+      report.add(validate::Severity::Error, "RECONF-ENDPOINTS",
+                 client + "." + port + " -> " + server,
+                 "port is not asynchronously bound");
+      return report;
     }
-    RTCF_ASSERT(server_entry != nullptr);
-    Membrane& client_membrane = *membranes_.at(client);
-    auto& mem = client_membrane.add_interceptor<MemoryInterceptor>(
-        PatternRuntime::make(pb.op, pb.server_area, pb.staging_area));
-    mem.set_next(nullptr, server_entry);
-    client_membrane.binding().rebind_invocable(port, &mem);
+    PlannedBinding pb;
+    report = plan_rebind(client, port, server, Protocol::Asynchronous,
+                         declared->buffer_size, &pb);
+    if (!report.ok()) return report;
+    retarget_async(client, port, pb, nullptr);
     return report;
   }
 
@@ -90,7 +108,272 @@ class SoleilApplication final : public Application {
     return true;
   }
 
+  /// Applies one validated plan delta at a quiescence point. Order
+  /// matters for the conservation audit: additions first (so rebinds can
+  /// target them), then added bindings, then rebinds and port removals
+  /// (each drains its old buffer to the *still-started* old consumer
+  /// before swapping), then component removals (drain remaining inbound
+  /// buffers, stop, retire). Returns the number of messages the drains
+  /// moved (0 when the pre-swap pump already emptied every buffer).
+  std::uint64_t apply_plan_delta(const reconfig::PlanDelta& delta,
+                                 const model::AssemblyPlan& target) override {
+    std::uint64_t drained = 0;
+    for (const auto& spec : delta.add_components) {
+      PlannedComponent& pc = admit_component(spec);
+      wire_component(pc);
+      count_infra(membranes_.at(spec.name)->footprint_bytes());
+      if (started_) membranes_.at(spec.name)->lifecycle().start();
+    }
+    for (const auto& spec : delta.add_bindings) {
+      wire_binding(admit_binding(spec));
+    }
+    for (const auto& rb : delta.rebinds) {
+      // Wire from the target spec directly (already validated by
+      // plan_reload against the target plan): re-planning through
+      // rebind_sync would resolve against the *pre-reload* snapshot and
+      // miss servers added by this very delta.
+      if (rb.protocol == Protocol::Synchronous) {
+        wire_sync_rebind(rb.client.component, rb.client.interface,
+                         resolve_binding_spec(rb.target));
+      } else {
+        retarget_async(rb.client.component, rb.client.interface,
+                       resolve_binding_spec(rb.target), &drained);
+      }
+    }
+    for (const auto& end : delta.remove_bindings) {
+      auto it = async_ports_.find({end.component, end.interface});
+      if (it != async_ports_.end()) {
+        drained += drain_to(*it->second.buffer, it->second.server);
+        async_ports_.erase(it);
+      }
+      runtime_of(end.component).content->port(end.interface).unbind();
+      if (auto* planned = plan_.find_binding(end.component, end.interface)) {
+        planned->retired = true;
+      }
+    }
+    // Two-phase removal: first drain every buffer touching a removed
+    // component while *all* lifecycles are still started and every server
+    // entry still exists (a removed producer feeding a removed consumer
+    // must not lose the messages between them), then dismantle.
+    for (const auto& spec : delta.remove_components) {
+      for (auto& [key, w] : async_ports_) {
+        if (w.server == spec.name || key.first == spec.name) {
+          drained += drain_to(*w.buffer, w.server);
+        }
+      }
+    }
+    for (const auto& spec : delta.remove_components) {
+      drained += remove_component(spec.name);
+    }
+    commit_assembly(target);
+    return drained;
+  }
+
  private:
+  struct AsyncWiring {
+    MemoryInterceptor* mem = nullptr;
+    AsyncSkeleton* skeleton = nullptr;
+    comm::MessageBuffer* buffer = nullptr;
+    std::string server;
+    std::size_t target = 0;
+  };
+
+  /// Builds the membrane of one functional component: server-side
+  /// interceptor chain (timing -> active/sync skeleton), monitor feed,
+  /// dispatch entries. Shared by launch-time wiring and hot admission.
+  void wire_component(const PlannedComponent& pc) {
+    auto& rt = runtime_of(pc.component->name());
+    auto membrane =
+        std::make_unique<Membrane>(pc.component->name(), rt.content);
+    MonitorEntry* mon = monitor_->find(pc.component->name());
+    RTCF_ASSERT(mon != nullptr);
+    auto& timing = membrane->add_interceptor<TimingInterceptor>(
+        &monitor::RuntimeMonitor::record_activation_trampoline, mon);
+    if (pc.active != nullptr) {
+      auto& ai = membrane->add_interceptor<ActiveInterceptor>(
+          &membrane->lifecycle(), rt.content);
+      active_entries_[pc.component->name()] = &ai;
+      rt.release_entry = [&ai] { ai.release(); };
+      timing.set_next(&ai, &ai);
+    } else {
+      auto& ss = membrane->add_interceptor<SyncSkeleton>(
+          &membrane->lifecycle(), rt.content);
+      timing.set_next(nullptr, &ss);
+    }
+    server_sinks_[pc.component->name()] = &timing;
+    server_invocables_[pc.component->name()] = &timing;
+    // insert_or_assign: re-adding a previously removed name replaces the
+    // erased membrane slot.
+    membranes_.insert_or_assign(pc.component->name(), std::move(membrane));
+  }
+
+  /// Builds the client-side interceptor chain of one binding. Shared by
+  /// launch-time wiring and hot admission.
+  void wire_binding(const PlannedBinding& pb) {
+    Membrane& client_membrane = *membranes_.at(pb.client->name());
+    auto& client_rt = runtime_of(pb.client->name());
+    comm::OutPort& port = client_rt.content->port(client_port_name(pb));
+    PatternRuntime pattern =
+        PatternRuntime::make(pb.op, pb.server_area, pb.staging_area);
+    count_infra(pattern.slot_bytes());
+    if (pb.protocol == Protocol::Asynchronous) {
+      // Fail fast on an async binding into a passive server: delivery
+      // needs an activation entry, which only active components have
+      // (matching the pre-monitor assembly behaviour).
+      RTCF_REQUIRE(active_entries_.count(pb.server->name()) != 0,
+                   "asynchronous binding server '" + pb.server->name() +
+                       "' is not an active component");
+      auto& buffer =
+          make_buffer(*pb.buffer_area, pb.buffer_size, pb.cross_partition);
+      const std::size_t target = make_async_target(pb, buffer);
+      auto* arg = make_notify_arg(target);
+      auto& skeleton = client_membrane.add_interceptor<AsyncSkeleton>(
+          &buffer, &ActivationManager::notify_trampoline, arg);
+      skeleton.set_lifecycle_gate(&client_membrane.lifecycle());
+      auto& mem = client_membrane.add_interceptor<MemoryInterceptor>(
+          std::move(pattern));
+      mem.set_lifecycle_gate(&client_membrane.lifecycle());
+      mem.set_next(&skeleton, nullptr);
+      auto& entry = client_membrane.add_interceptor<membrane::InterfaceEntry>(
+          &client_membrane.lifecycle());
+      entry.set_next(&mem, nullptr);
+      port.bind_sink(&entry);
+      async_ports_[{pb.client->name(), client_port_name(pb)}] =
+          AsyncWiring{&mem, &skeleton, &buffer, pb.server->name(), target};
+    } else {
+      comm::IInvocable* server_entry =
+          server_invocables_.at(pb.server->name());
+      auto& mem = client_membrane.add_interceptor<MemoryInterceptor>(
+          std::move(pattern));
+      mem.set_lifecycle_gate(&client_membrane.lifecycle());
+      mem.set_next(nullptr, server_entry);
+      auto& entry = client_membrane.add_interceptor<membrane::InterfaceEntry>(
+          &client_membrane.lifecycle());
+      entry.set_next(nullptr, &mem);
+      port.bind_invocable(&entry);
+    }
+  }
+
+  /// Registers the consumer-side activation target of one async binding.
+  std::size_t make_async_target(const PlannedBinding& pb,
+                                comm::MessageBuffer& buffer) {
+    comm::IMessageSink* server_entry = server_sinks_.at(pb.server->name());
+    MonitorEntry* server_mon = monitor_->find(pb.server->name());
+    const PlannedComponent& server_pc =
+        *runtime_of(pb.server->name()).planned;
+    const std::size_t target = manager_.add_target(
+        server_pc.thread, make_gated_pump(buffer, *server_entry, server_mon),
+        server_pc.partition);
+    targets_by_server_.emplace(pb.server->name(), target);
+    return target;
+  }
+
+  static std::string client_port_name(const PlannedBinding& pb) {
+    return pb.binding != nullptr ? pb.binding->client.interface
+                                 : std::string();
+  }
+
+  void wire_sync_rebind(const std::string& client, const std::string& port,
+                        const PlannedBinding& pb) {
+    comm::IInvocable* server_entry = nullptr;
+    if (auto it = server_invocables_.find(pb.server->name());
+        it != server_invocables_.end()) {
+      server_entry = it->second;
+    }
+    RTCF_ASSERT(server_entry != nullptr);
+    Membrane& client_membrane = *membranes_.at(client);
+    auto& mem = client_membrane.add_interceptor<MemoryInterceptor>(
+        PatternRuntime::make(pb.op, pb.server_area, pb.staging_area));
+    mem.set_next(nullptr, server_entry);
+    client_membrane.binding().rebind_invocable(port, &mem);
+    if (auto* planned = plan_.find_binding(client, port)) {
+      planned->server = pb.server;
+      planned->op = pb.op;
+      planned->server_area = pb.server_area;
+      planned->staging_area = pb.staging_area;
+      planned->cross_partition = pb.cross_partition;
+    }
+  }
+
+  /// Pops everything out of `buffer` into `server`'s entry (used while the
+  /// old consumer is still started — the drain half of drain-before-swap).
+  std::uint64_t drain_to(comm::MessageBuffer& buffer,
+                         const std::string& server) {
+    std::uint64_t drained = 0;
+    comm::IMessageSink* sink = server_sinks_.at(server);
+    while (auto m = buffer.pop()) {
+      sink->deliver(*m);
+      ++drained;
+    }
+    return drained;
+  }
+
+  /// Drain-before-swap re-target of one async client port: the old buffer
+  /// empties into the old consumer, then the AsyncSkeleton is pointed at a
+  /// fresh buffer (SPSC when the new route crosses partitions) feeding the
+  /// new server's activation entry, and the memory interceptor's staging
+  /// pattern moves with the server's area.
+  void retarget_async(const std::string& client, const std::string& port,
+                      const PlannedBinding& pb, std::uint64_t* drained) {
+    auto it = async_ports_.find({client, port});
+    RTCF_REQUIRE(it != async_ports_.end(),
+                 "port " + client + "." + port +
+                     " has no asynchronous wiring to re-target");
+    AsyncWiring& w = it->second;
+    const std::uint64_t moved = drain_to(*w.buffer, w.server);
+    if (drained != nullptr) *drained += moved;
+    auto& buffer =
+        make_buffer(*pb.buffer_area, pb.buffer_size, pb.cross_partition);
+    const std::size_t target = make_async_target(pb, buffer);
+    w.mem->reset_pattern(
+        PatternRuntime::make(pb.op, pb.server_area, pb.staging_area));
+    w.skeleton->retarget(&buffer, &ActivationManager::notify_trampoline,
+                         make_notify_arg(target));
+    w.buffer = &buffer;
+    w.server = pb.server->name();
+    w.target = target;
+    if (auto* planned = plan_.find_binding(client, port)) {
+      planned->server = pb.server;
+      planned->protocol = pb.protocol;
+      planned->buffer_size = pb.buffer_size;
+      planned->op = pb.op;
+      planned->server_area = pb.server_area;
+      planned->staging_area = pb.staging_area;
+      planned->buffer_area = pb.buffer_area;
+      planned->cross_partition = pb.cross_partition;
+    }
+  }
+
+  /// Removes one component live: drain its remaining inbound buffers to
+  /// it (the drain audit — normally empty: the quiescence pump and the
+  /// two-phase pre-drain in apply_plan_delta ran first), stop it through
+  /// its lifecycle controller, retire its activation targets and plan
+  /// slots, and dismantle its membrane.
+  std::uint64_t remove_component(const std::string& name) {
+    std::uint64_t drained = 0;
+    for (auto& [key, w] : async_ports_) {
+      if (w.server == name && server_sinks_.count(name) != 0) {
+        drained += drain_to(*w.buffer, name);
+      }
+    }
+    set_component_started(name, false);
+    const auto range = targets_by_server_.equal_range(name);
+    for (auto it = range.first; it != range.second; ++it) {
+      manager_.retire_target(it->second);
+    }
+    targets_by_server_.erase(name);
+    retire_component_runtime(name);
+    // Outgoing async wiring dies with the component's membrane.
+    for (auto it = async_ports_.begin(); it != async_ports_.end();) {
+      it = it->first.first == name ? async_ports_.erase(it) : std::next(it);
+    }
+    active_entries_.erase(name);
+    server_sinks_.erase(name);
+    server_invocables_.erase(name);
+    membranes_.erase(name);
+    return drained;
+  }
+
   void wire() {
     // Functional membranes with their server-side interceptors. Every
     // server entry is fronted by a TimingInterceptor feeding the runtime
@@ -98,27 +381,7 @@ class SoleilApplication final : public Application {
     // (periodic releases bypass it — the launcher records those with the
     // full release-to-completion picture).
     for (const PlannedComponent& pc : plan_.components) {
-      auto& rt = runtime_of(pc.component->name());
-      auto membrane = std::make_unique<Membrane>(pc.component->name(),
-                                                 rt.content);
-      MonitorEntry* mon = monitor_->find(pc.component->name());
-      RTCF_ASSERT(mon != nullptr);
-      auto& timing = membrane->add_interceptor<TimingInterceptor>(
-          &monitor::RuntimeMonitor::record_activation_trampoline, mon);
-      if (pc.active != nullptr) {
-        auto& ai = membrane->add_interceptor<ActiveInterceptor>(
-            &membrane->lifecycle(), rt.content);
-        active_entries_[pc.component->name()] = &ai;
-        rt.release_entry = [&ai] { ai.release(); };
-        timing.set_next(&ai, &ai);
-      } else {
-        auto& ss = membrane->add_interceptor<SyncSkeleton>(
-            &membrane->lifecycle(), rt.content);
-        timing.set_next(nullptr, &ss);
-      }
-      server_sinks_[pc.component->name()] = &timing;
-      server_invocables_[pc.component->name()] = &timing;
-      membranes_.emplace(pc.component->name(), std::move(membrane));
+      wire_component(pc);
     }
     // Non-functional components are reified as membranes too: "the
     // structure of the latter is also reified at runtime, as well as the
@@ -151,68 +414,25 @@ class SoleilApplication final : public Application {
     }
     // Bindings become interceptor chains on the client membrane.
     for (const PlannedBinding& pb : plan_.bindings) {
-      Membrane& client_membrane = *membranes_.at(pb.client->name());
-      auto& client_rt = runtime_of(pb.client->name());
-      comm::OutPort& port =
-          client_rt.content->port(pb.binding->client.interface);
-      PatternRuntime pattern =
-          PatternRuntime::make(pb.op, pb.server_area, pb.staging_area);
-      count_infra(pattern.slot_bytes());
-      if (pb.protocol == Protocol::Asynchronous) {
-        // Fail fast on an async binding into a passive server: delivery
-        // needs an activation entry, which only active components have
-        // (matching the pre-monitor assembly behaviour).
-        RTCF_REQUIRE(
-            active_entries_.count(pb.server->name()) != 0,
-            "asynchronous binding server '" + pb.server->name() +
-                "' is not an active component");
-        auto& buffer =
-            make_buffer(*pb.buffer_area, pb.buffer_size, pb.cross_partition);
-        comm::IMessageSink* server_entry =
-            server_sinks_.at(pb.server->name());
-        MonitorEntry* server_mon = monitor_->find(pb.server->name());
-        const PlannedComponent& server_pc =
-            *runtime_of(pb.server->name()).planned;
-        const std::size_t target = manager_.add_target(
-            server_pc.thread,
-            make_gated_pump(buffer, *server_entry, server_mon),
-            server_pc.partition);
-        auto* arg = make_notify_arg(target);
-        auto& skeleton = client_membrane.add_interceptor<AsyncSkeleton>(
-            &buffer, &ActivationManager::notify_trampoline, arg);
-        skeleton.set_lifecycle_gate(&client_membrane.lifecycle());
-        auto& mem = client_membrane.add_interceptor<MemoryInterceptor>(
-            std::move(pattern));
-        mem.set_lifecycle_gate(&client_membrane.lifecycle());
-        mem.set_next(&skeleton, nullptr);
-        auto& entry = client_membrane.add_interceptor<membrane::InterfaceEntry>(
-            &client_membrane.lifecycle());
-        entry.set_next(&mem, nullptr);
-        port.bind_sink(&entry);
-      } else {
-        comm::IInvocable* server_entry =
-            server_invocables_.at(pb.server->name());
-        auto& mem = client_membrane.add_interceptor<MemoryInterceptor>(
-            std::move(pattern));
-        mem.set_lifecycle_gate(&client_membrane.lifecycle());
-        mem.set_next(nullptr, server_entry);
-        auto& entry = client_membrane.add_interceptor<membrane::InterfaceEntry>(
-            &client_membrane.lifecycle());
-        entry.set_next(nullptr, &mem);
-        port.bind_invocable(&entry);
-      }
+      wire_binding(pb);
     }
     for (const auto& [name, membrane] : membranes_) {
       count_infra(membrane->footprint_bytes());
     }
   }
 
+  bool started_ = false;
   std::map<std::string, std::unique_ptr<Membrane>> membranes_;
   std::map<std::string, ActiveInterceptor*> active_entries_;
   /// Server-side entries with the timing interceptor in front: async
   /// delivery targets and synchronous invocation targets.
   std::map<std::string, comm::IMessageSink*> server_sinks_;
   std::map<std::string, comm::IInvocable*> server_invocables_;
+  /// Client-side async wiring per (component, port): the re-target handle
+  /// of the plan-delta engine and mode <Rebind>.
+  std::map<std::pair<std::string, std::string>, AsyncWiring> async_ports_;
+  /// Activation targets feeding each server (retired with the server).
+  std::multimap<std::string, std::size_t> targets_by_server_;
 };
 
 // -------------------------------------------------------------- MERGE_ALL

@@ -12,8 +12,12 @@ namespace rtcf::soleil {
 using model::ActiveComponent;
 using model::Architecture;
 using model::AreaType;
+using model::AssemblyPlan;
+using model::AssemblyPlanBuilder;
 using model::Binding;
+using model::BindingSpec;
 using model::Component;
+using model::ComponentSpec;
 using model::DomainType;
 using model::MemoryAreaComponent;
 using model::PassiveComponent;
@@ -34,7 +38,26 @@ const char* to_string(Mode mode) noexcept {
 
 const PlannedComponent* Plan::find_component(const std::string& name) const {
   for (const auto& c : components) {
-    if (c.component->name() == name) return &c;
+    if (!c.retired && c.component->name() == name) return &c;
+  }
+  return nullptr;
+}
+
+PlannedComponent* Plan::find_component(const std::string& name) {
+  for (auto& c : components) {
+    if (!c.retired && c.component->name() == name) return &c;
+  }
+  return nullptr;
+}
+
+PlannedBinding* Plan::find_binding(const std::string& client,
+                                   const std::string& port) {
+  for (auto& b : bindings) {
+    if (!b.retired && b.binding != nullptr &&
+        b.binding->client.component == client &&
+        b.binding->client.interface == port) {
+      return &b;
+    }
   }
   return nullptr;
 }
@@ -47,9 +70,6 @@ std::size_t Plan::partition_of(const std::string& name) const {
   return pc->partition;
 }
 
-namespace {
-
-/// The common design-time scope ancestor of two scoped areas, or nullptr.
 const MemoryAreaComponent* common_scope_ancestor(
     const Architecture& arch, const MemoryAreaComponent* a,
     const MemoryAreaComponent* b) {
@@ -64,16 +84,14 @@ const MemoryAreaComponent* common_scope_ancestor(
   return nullptr;
 }
 
+namespace {
+
 bool executes_on_nhrt(const Architecture& arch, const Component& c) {
   for (const auto* domain : validate::executing_domains(arch, c)) {
     if (domain->type() == DomainType::NoHeapRealtime) return true;
   }
   return false;
 }
-
-}  // namespace
-
-namespace {
 
 /// Iterative union-find root lookup with path halving.
 std::size_t uf_find(std::vector<std::size_t>& parent, std::size_t i) {
@@ -89,24 +107,37 @@ std::size_t uf_find(std::vector<std::size_t>& parent, std::size_t i) {
 /// for the period), plus a small constant so zero-cost actives still spread
 /// instead of piling onto one partition. Passive components weigh nothing —
 /// they execute on their callers.
-double component_weight(const PlannedComponent& pc) {
-  if (pc.active == nullptr) return 0.0;
+double component_weight(const ComponentSpec& spec) {
+  if (!spec.is_active()) return 0.0;
   double weight = 1e-3;
-  const auto period = pc.active->period();
-  const auto cost = pc.active->cost();
-  if (!cost.is_zero() && period > rtsj::RelativeTime::zero()) {
-    weight += static_cast<double>(cost.nanos()) /
-              static_cast<double>(period.nanos());
+  if (!spec.cost.is_zero() && spec.period > rtsj::RelativeTime::zero()) {
+    weight += static_cast<double>(spec.cost.nanos()) /
+              static_cast<double>(spec.period.nanos());
   }
   return weight;
 }
 
+/// Snapshot area-placement name of a memory-area model object.
+std::string area_placement_name(const MemoryAreaComponent* area) {
+  return area == nullptr ? model::kAreaHeap : area->name();
+}
+
+/// True when a snapshot placement name resolves to heap storage.
+bool placement_is_heap(const Architecture& arch, const std::string& name) {
+  if (name == model::kAreaHeap) return true;
+  if (name == model::kAreaImmortal || name == model::kAreaNone) return false;
+  const auto* area = arch.find_as<MemoryAreaComponent>(name);
+  return area != nullptr && area->type() == AreaType::Heap;
+}
+
 }  // namespace
 
-void assign_partitions(Plan& plan, std::size_t partitions) {
+void assign_partitions(AssemblyPlan& plan, std::size_t partitions) {
   if (partitions == 0) partitions = 1;
-  plan.partition_count = partitions;
-  const std::size_t n = plan.components.size();
+  AssemblyPlanBuilder builder{plan};
+  builder.set_partition_count(partitions);
+  auto& components = builder.components();
+  const std::size_t n = components.size();
 
   // 1. Cluster components connected by synchronous bindings: a synchronous
   //    call executes the server on the client's worker, so both ends must
@@ -114,20 +145,20 @@ void assign_partitions(Plan& plan, std::size_t partitions) {
   //    worker — no content-level data races).
   std::vector<std::size_t> parent(n);
   for (std::size_t i = 0; i < n; ++i) parent[i] = i;
-  auto index_of = [&](const model::Component* c) -> std::size_t {
+  auto index_of = [&](const std::string& name) -> std::size_t {
     for (std::size_t i = 0; i < n; ++i) {
-      if (plan.components[i].component == c) return i;
+      if (components[i].name == name) return i;
     }
     return n;
   };
-  for (const PlannedBinding& pb : plan.bindings) {
-    if (pb.protocol != Protocol::Synchronous) continue;
-    const std::size_t a = index_of(pb.client);
-    const std::size_t b = index_of(pb.server);
-    if (a == n || b == n) continue;
+  for (const BindingSpec& b : plan.bindings()) {
+    if (b.protocol != Protocol::Synchronous) continue;
+    const std::size_t a = index_of(b.client.component);
+    const std::size_t s = index_of(b.server.component);
+    if (a == n || s == n) continue;
     // Union by smaller root so cluster identity is deterministic.
     const std::size_t ra = uf_find(parent, a);
-    const std::size_t rb = uf_find(parent, b);
+    const std::size_t rb = uf_find(parent, s);
     if (ra != rb) parent[std::max(ra, rb)] = std::min(ra, rb);
   }
 
@@ -149,7 +180,7 @@ void assign_partitions(Plan& plan, std::size_t partitions) {
     }
     if (ci == clusters.size()) clusters.push_back(Cluster{root, 0.0});
     cluster_of[i] = ci;
-    clusters[ci].weight += component_weight(plan.components[i]);
+    clusters[ci].weight += component_weight(components[i]);
   }
 
   // 3. Longest-processing-time-first bin packing: heaviest cluster onto the
@@ -175,138 +206,206 @@ void assign_partitions(Plan& plan, std::size_t partitions) {
     load[best] += clusters[ci].weight;
   }
   for (std::size_t i = 0; i < n; ++i) {
-    plan.components[i].partition = cluster_partition[cluster_of[i]];
+    components[i].partition = cluster_partition[cluster_of[i]];
   }
 
   // 4. Mark the bindings that now cross workers.
-  for (PlannedBinding& pb : plan.bindings) {
-    const std::size_t a = index_of(pb.client);
-    const std::size_t b = index_of(pb.server);
-    pb.cross_partition =
-        a != n && b != n &&
-        plan.components[a].partition != plan.components[b].partition;
-    RTCF_ASSERT(!(pb.cross_partition &&
-                  pb.protocol == Protocol::Synchronous));
+  for (BindingSpec& b : builder.bindings()) {
+    const std::size_t a = index_of(b.client.component);
+    const std::size_t s = index_of(b.server.component);
+    b.cross_partition = a != n && s != n &&
+                        components[a].partition != components[s].partition;
+    RTCF_ASSERT(
+        !(b.cross_partition && b.protocol == Protocol::Synchronous));
   }
 }
 
-Plan make_plan(const Architecture& arch, runtime::RuntimeEnvironment& env,
-               std::size_t partitions) {
-  Plan plan;
-  plan.arch = &arch;
+AssemblyPlan snapshot_assembly(const Architecture& arch,
+                               std::size_t partitions) {
+  AssemblyPlan plan;
+  AssemblyPlanBuilder builder{plan};
 
   for (const auto& owned : arch.components()) {
     if (!owned->is_functional()) continue;
-    PlannedComponent pc;
-    pc.component = owned.get();
-    pc.area = &env.area_for(*owned);
-    if (const auto* active = dynamic_cast<const ActiveComponent*>(owned.get())) {
-      pc.active = active;
-      pc.thread = &env.thread_for(*active);
-      pc.content_class = active->content_class();
-      pc.criticality =
+    ComponentSpec spec;
+    spec.name = owned->name();
+    spec.kind = owned->kind();
+    spec.swappable = owned->swappable();
+    spec.interfaces = owned->interfaces();
+    if (const auto* active =
+            dynamic_cast<const ActiveComponent*>(owned.get())) {
+      spec.activation = active->activation();
+      spec.period = active->period();
+      spec.cost = active->cost();
+      spec.content_class = active->content_class();
+      spec.criticality =
           active->criticality().value_or(model::Criticality::High);
-      if (active->timing_contract()) {
-        pc.contract = &*active->timing_contract();
+      spec.contract = active->timing_contract();
+      if (const auto* domain = arch.thread_domain_of(*owned)) {
+        spec.thread_domain = domain->name();
+        spec.domain_type = domain->type();
+        spec.domain_priority = domain->priority();
       }
     } else {
-      pc.content_class =
+      spec.content_class =
           static_cast<const PassiveComponent*>(owned.get())->content_class();
     }
-    plan.components.push_back(pc);
+    if (const auto* area = arch.memory_area_of(*owned)) {
+      spec.memory_area = area->name();
+      spec.area_type = area->type();
+    }
+    spec.executes_on_nhrt = executes_on_nhrt(arch, *owned);
+    builder.components().push_back(std::move(spec));
   }
 
   for (const Binding& binding : arch.bindings()) {
-    PlannedBinding pb;
-    pb.binding = &binding;
-    pb.client = arch.find(binding.client.component);
-    pb.server = arch.find(binding.server.component);
-    if (pb.client == nullptr || pb.server == nullptr) {
+    const Component* client = arch.find(binding.client.component);
+    const Component* server = arch.find(binding.server.component);
+    if (client == nullptr || server == nullptr) {
       throw PlanningError("binding endpoint not found: " +
                           binding.client.component + " -> " +
                           binding.server.component);
     }
-    pb.protocol = binding.desc.protocol;
-    pb.buffer_size = binding.desc.buffer_size;
+    BindingSpec spec;
+    spec.client = binding.client;
+    spec.server = binding.server;
+    spec.protocol = binding.desc.protocol;
+    spec.buffer_size = binding.desc.buffer_size;
 
-    const MemoryAreaComponent* client_area_model =
-        arch.memory_area_of(*pb.client);
-    const MemoryAreaComponent* server_area_model =
-        arch.memory_area_of(*pb.server);
+    const MemoryAreaComponent* client_area = arch.memory_area_of(*client);
+    const MemoryAreaComponent* server_area = arch.memory_area_of(*server);
     const AreaRelation relation =
-        validate::relate_areas(arch, client_area_model, server_area_model);
-
-    const bool client_no_heap = executes_on_nhrt(arch, *pb.client);
+        validate::relate_areas(arch, client_area, server_area);
+    const bool client_no_heap = executes_on_nhrt(arch, *client);
     const bool server_in_heap =
-        server_area_model == nullptr ||
-        server_area_model->type() == AreaType::Heap;
+        server_area == nullptr || server_area->type() == AreaType::Heap;
 
-    std::string pattern_name = binding.desc.pattern;
-    if (pattern_name.empty()) {
+    spec.pattern = binding.desc.pattern;
+    if (spec.pattern.empty()) {
       validate::PatternQuery query;
       query.relation = relation;
-      query.protocol = pb.protocol;
+      query.protocol = spec.protocol;
       query.client_no_heap = client_no_heap;
       query.server_in_heap = server_in_heap;
       query.common_scope_ancestor =
-          common_scope_ancestor(arch, client_area_model, server_area_model) !=
-          nullptr;
-      pattern_name = validate::suggest_pattern(query);
-      if (pattern_name.empty()) {
+          common_scope_ancestor(arch, client_area, server_area) != nullptr;
+      spec.pattern = validate::suggest_pattern(query);
+      if (spec.pattern.empty()) {
         throw PlanningError(
             "no RTSJ-legal communication pattern for binding " +
             binding.client.component + " -> " + binding.server.component +
             " (synchronous NHRT-to-heap?)");
       }
     }
-    pb.op = membrane::pattern_op_from_name(pattern_name);
 
-    rtsj::MemoryArea& immortal = rtsj::ImmortalMemory::instance();
-    rtsj::MemoryArea& client_area = env.area_for(*pb.client);
-    rtsj::MemoryArea& server_area = env.area_for(*pb.server);
-    pb.server_area = &server_area;
-
-    switch (pb.op) {
+    switch (membrane::pattern_op_from_name(spec.pattern)) {
       case membrane::PatternOp::Direct:
       case membrane::PatternOp::ScopeEnter:
-        pb.staging_area = nullptr;
+        spec.staging_area = model::kAreaNone;
         break;
       case membrane::PatternOp::DeepCopy:
       case membrane::PatternOp::WedgeThread:
-        pb.staging_area = &server_area;
+        spec.staging_area = area_placement_name(server_area);
         break;
       case membrane::PatternOp::ImmortalForward:
-        pb.staging_area = &immortal;
+        spec.staging_area = model::kAreaImmortal;
         break;
       case membrane::PatternOp::SharedScope: {
-        const auto* shared = common_scope_ancestor(arch, client_area_model,
-                                                   server_area_model);
-        pb.staging_area =
-            shared != nullptr ? &env.area_runtime(*shared) : &immortal;
+        const auto* shared =
+            common_scope_ancestor(arch, client_area, server_area);
+        spec.staging_area =
+            shared != nullptr ? shared->name() : model::kAreaImmortal;
         break;
       }
       case membrane::PatternOp::Handoff:
-        pb.staging_area = &client_area;
+        spec.staging_area = area_placement_name(client_area);
         break;
     }
 
-    if (pb.protocol == Protocol::Asynchronous) {
+    if (spec.protocol == Protocol::Asynchronous) {
       // The buffer lives with the staged copy when the pattern stages one;
       // otherwise on the server side. Either way an NHRT participant must
       // never be handed heap storage, so heap placements fall back to
       // immortal memory.
-      rtsj::MemoryArea* candidate =
-          pb.staging_area != nullptr ? pb.staging_area : &server_area;
+      std::string candidate = spec.staging_area != model::kAreaNone
+                                  ? spec.staging_area
+                                  : area_placement_name(server_area);
       const bool nhrt_involved =
-          client_no_heap || executes_on_nhrt(arch, *pb.server);
-      if (candidate->kind() == rtsj::AreaKind::Heap && nhrt_involved) {
-        candidate = &immortal;
+          client_no_heap || executes_on_nhrt(arch, *server);
+      if (nhrt_involved && placement_is_heap(arch, candidate)) {
+        candidate = model::kAreaImmortal;
       }
-      pb.buffer_area = candidate;
+      spec.buffer_area = std::move(candidate);
     }
+    builder.bindings().push_back(std::move(spec));
+  }
+
+  for (const auto* area : arch.all_of<MemoryAreaComponent>()) {
+    builder.areas().push_back(
+        model::AreaSpec{area->name(), area->type(), area->size_bytes()});
+  }
+  builder.modes() = arch.modes();
+  assign_partitions(plan, partitions);
+  return plan;
+}
+
+rtsj::MemoryArea* resolve_area_name(const std::string& name,
+                                    const Architecture& arch,
+                                    runtime::RuntimeEnvironment& env) {
+  if (name == model::kAreaNone) return nullptr;
+  if (name == model::kAreaImmortal) return &rtsj::ImmortalMemory::instance();
+  if (name == model::kAreaHeap) return &rtsj::HeapMemory::instance();
+  const auto* area = arch.find_as<MemoryAreaComponent>(name);
+  if (area == nullptr) return nullptr;
+  return &env.area_runtime(*area);
+}
+
+Plan make_plan(const Architecture& arch, runtime::RuntimeEnvironment& env,
+               std::size_t partitions) {
+  Plan plan;
+  plan.arch = &arch;
+  plan.assembly = snapshot_assembly(arch, partitions);
+  plan.partition_count = plan.assembly.partition_count();
+
+  for (const ComponentSpec& spec : plan.assembly.components()) {
+    const Component* component = arch.find(spec.name);
+    RTCF_ASSERT(component != nullptr);
+    PlannedComponent pc;
+    pc.component = component;
+    pc.area = &env.area_for(*component);
+    pc.partition = spec.partition;
+    pc.content_class = spec.content_class;
+    pc.criticality = spec.criticality;
+    if (const auto* active = dynamic_cast<const ActiveComponent*>(component)) {
+      pc.active = active;
+      pc.thread = &env.thread_for(*active);
+      if (active->timing_contract()) {
+        pc.contract = &*active->timing_contract();
+      }
+    }
+    plan.components.push_back(pc);
+  }
+
+  for (const BindingSpec& spec : plan.assembly.bindings()) {
+    PlannedBinding pb;
+    for (const Binding& binding : arch.bindings()) {
+      if (binding.client == spec.client && binding.server == spec.server) {
+        pb.binding = &binding;
+        break;
+      }
+    }
+    RTCF_ASSERT(pb.binding != nullptr);
+    pb.client = arch.find(spec.client.component);
+    pb.server = arch.find(spec.server.component);
+    pb.protocol = spec.protocol;
+    pb.buffer_size = spec.buffer_size;
+    pb.op = membrane::pattern_op_from_name(spec.pattern);
+    pb.server_area = &env.area_for(*pb.server);
+    pb.staging_area = resolve_area_name(spec.staging_area, arch, env);
+    pb.buffer_area = resolve_area_name(spec.buffer_area, arch, env);
+    pb.cross_partition = spec.cross_partition;
     plan.bindings.push_back(pb);
   }
-  assign_partitions(plan, partitions);
   return plan;
 }
 

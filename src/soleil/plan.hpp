@@ -10,11 +10,13 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "membrane/patterns.hpp"
+#include "model/assembly_plan.hpp"
 #include "model/metamodel.hpp"
 #include "runtime/environment.hpp"
 
@@ -53,8 +55,14 @@ struct PlannedComponent {
   model::Criticality criticality = model::Criticality::High;
   /// Stochastic timing contract to monitor at runtime; nullptr when the
   /// component is uncontracted. Points into the Architecture, which
-  /// outlives every plan made from it.
+  /// outlives every plan made from it (or, for hot-added components, into
+  /// the application-owned shadow metamodel object).
   const model::TimingContract* contract = nullptr;
+  /// True once a live reload removed the component: its releases and
+  /// activations are retired, but the slot stays (deque references into
+  /// the plan must remain valid, and its area-allocated state persists
+  /// until the area is reclaimed — RTSJ semantics).
+  bool retired = false;
 };
 
 /// One binding resolved: pattern op plus the areas for staging and buffer.
@@ -75,35 +83,72 @@ struct PlannedBinding {
   /// asynchronous bindings may cross (synchronous clusters are co-located),
   /// and crossing bindings get the lock-free SPSC buffer variant.
   bool cross_partition = false;
+  /// True once a live reload removed or superseded the binding.
+  bool retired = false;
 };
 
 /// The full plan for one application instance.
+///
+/// `components` and `bindings` are deques: live reload appends hot-added
+/// components and bindings while ComponentRuntime entries keep stable
+/// references into them (deques never relocate on push_back). Removed
+/// entries are flagged `retired`, never erased.
 struct Plan {
   const model::Architecture* arch = nullptr;
-  std::vector<PlannedComponent> components;
-  std::vector<PlannedBinding> bindings;
+  /// The immutable value snapshot this plan was resolved from (the unit
+  /// the plan-delta engine diffs against a freshly loaded architecture).
+  model::AssemblyPlan assembly;
+  std::deque<PlannedComponent> components;
+  std::deque<PlannedBinding> bindings;
   /// Number of executive partitions the components are assigned across.
   std::size_t partition_count = 1;
 
+  /// Finds the live (non-retired) planned component of that name.
   const PlannedComponent* find_component(const std::string& name) const;
+  PlannedComponent* find_component(const std::string& name);
+  /// The live planned binding whose client end is (component, port).
+  PlannedBinding* find_binding(const std::string& client,
+                               const std::string& port);
   /// Partition of a planned component; throws for unknown names.
   std::size_t partition_of(const std::string& name) const;
 };
 
-/// Resolves `arch` against `env`. Throws PlanningError when a binding has
-/// no legal pattern or endpoints do not resolve.
-///
-/// `partitions` spreads the components across that many executive
-/// partitions (worker threads in the wall-clock launcher, CPUs in the
-/// simulator): components connected by synchronous bindings are clustered
-/// with union-find and clusters are balanced across partitions by modeled
-/// utilization (longest-processing-time first). 1 keeps the single-core
-/// plan unchanged.
+/// Captures `arch` as an immutable value snapshot: components with their
+/// deployment, bindings with their resolved RTSJ pattern and area
+/// placement, modes, and the partition assignment for `partitions`
+/// executive partitions. Throws PlanningError when a binding has no legal
+/// pattern or endpoints do not resolve. The snapshot owns everything; the
+/// architecture may be discarded afterwards.
+model::AssemblyPlan snapshot_assembly(const model::Architecture& arch,
+                                      std::size_t partitions = 1);
+
+/// Partition assignment on a snapshot: components connected by synchronous
+/// bindings are clustered with union-find and clusters are balanced across
+/// partitions by modeled utilization (longest-processing-time first).
+/// Exposed for the plan-delta engine, which re-partitions a target snapshot
+/// under the constraint that surviving components keep their partitions.
+void assign_partitions(model::AssemblyPlan& plan, std::size_t partitions);
+
+/// The common design-time scope ancestor of two scoped areas, or nullptr
+/// (shared by the planner's pattern placement and the runtime rebind
+/// planner — one walk, one behaviour).
+const model::MemoryAreaComponent* common_scope_ancestor(
+    const model::Architecture& arch, const model::MemoryAreaComponent* a,
+    const model::MemoryAreaComponent* b);
+
+/// Resolves a snapshot area placement name against the running substrate:
+/// the "@none"/"@immortal"/"@heap" sentinels map to null and the RTSJ
+/// singletons, anything else to the named MemoryArea component of `arch`
+/// (nullptr when the area is unknown — the delta validator rejects those
+/// reloads up front).
+rtsj::MemoryArea* resolve_area_name(const std::string& name,
+                                    const model::Architecture& arch,
+                                    runtime::RuntimeEnvironment& env);
+
+/// Resolves `arch` against `env` (snapshot first, then the RTSJ substrate
+/// objects). Throws PlanningError when a binding has no legal pattern or
+/// endpoints do not resolve.
 Plan make_plan(const model::Architecture& arch,
                runtime::RuntimeEnvironment& env, std::size_t partitions = 1);
-
-/// Re-derives the partition assignment of an existing plan (exposed for
-/// tests and tools; make_plan already calls it).
-void assign_partitions(Plan& plan, std::size_t partitions);
 
 }  // namespace rtcf::soleil

@@ -489,10 +489,28 @@ void check_modes(const Architecture& arch, Report& report) {
                        port->signature + "'");
         continue;
       }
+      // The rebind inherits the *declared* binding's protocol for the
+      // port: synchronous ports re-route invocations, asynchronous ports
+      // re-target their buffer through the AsyncSkeleton — so an async
+      // rebind additionally needs an active server (activation entry).
+      Protocol protocol = Protocol::Synchronous;
+      for (const auto& binding : arch.bindings()) {
+        if (binding.client.component == rebind.client &&
+            binding.client.interface == rebind.port) {
+          protocol = binding.desc.protocol;
+        }
+      }
+      if (protocol == Protocol::Asynchronous &&
+          server->kind() != ComponentKind::Active) {
+        report.add(Severity::Error, "MODE-REBIND-LEGAL", subject,
+                   "asynchronous rebind server is not an active component "
+                   "(no activation entry)");
+        continue;
+      }
       model::Binding hypothetical;
       hypothetical.client = {rebind.client, rebind.port};
       hypothetical.server = {rebind.server, provided->name};
-      hypothetical.desc.protocol = Protocol::Synchronous;
+      hypothetical.desc.protocol = protocol;
       if (resolve_binding_pattern(arch, hypothetical).empty()) {
         report.add(Severity::Error, "MODE-REBIND-LEGAL", subject,
                    "no RTSJ-legal pattern exists for the rebind "

@@ -201,6 +201,108 @@ TEST(AdlLoaderTest, RejectsMalformedContent) {
                AdlError);
 }
 
+TEST(AdlLoaderTest, ModeErrorsCarryLineAndElementContext) {
+  // Malformed <Rebind>: the error names the element and its input line
+  // instead of surfacing a bare attribute failure.
+  const char* bad_rebind = R"(<Architecture>
+  <ActiveComponent name="A" type="periodic" periodicity="10ms"/>
+  <Mode name="M">
+    <Rebind client="A" port="p"/>
+  </Mode>
+</Architecture>)";
+  try {
+    load_architecture(bad_rebind);
+    FAIL() << "expected AdlError";
+  } catch (const AdlError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("<Rebind>"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("server"), std::string::npos) << what;
+    EXPECT_EQ(e.line(), 4u);
+  }
+
+  // Malformed <Mode><Component>: a broken duration is anchored at the
+  // <Component> element.
+  const char* bad_period = R"(<Architecture>
+  <ActiveComponent name="A" type="periodic" periodicity="10ms"/>
+  <Mode name="M">
+    <Component name="A" periodicity="fast"/>
+  </Mode>
+</Architecture>)";
+  try {
+    load_architecture(bad_period);
+    FAIL() << "expected AdlError";
+  } catch (const AdlError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("<Component>"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    EXPECT_EQ(e.line(), 4u);
+  }
+
+  // A <Mode> missing its name anchors at the <Mode> element itself, and
+  // stray children are located too.
+  try {
+    load_architecture("<Architecture>\n  <Mode degraded=\"true\"/>\n"
+                      "</Architecture>");
+    FAIL() << "expected AdlError";
+  } catch (const AdlError& e) {
+    EXPECT_NE(std::string(e.what()).find("<Mode>"), std::string::npos);
+    EXPECT_EQ(e.line(), 2u);
+  }
+  try {
+    load_architecture(R"(<Architecture>
+  <Mode name="M">
+    <Banana/>
+  </Mode>
+</Architecture>)");
+    FAIL() << "expected AdlError";
+  } catch (const AdlError& e) {
+    EXPECT_NE(std::string(e.what()).find("Banana"), std::string::npos);
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(AdlLoaderTest, ModeWithRebindsRoundTrips) {
+  const char* text = R"(<Architecture>
+  <ActiveComponent name="A" type="periodic" periodicity="10ms"
+                   swappable="true">
+    <interface name="out" role="client" signature="I"/>
+  </ActiveComponent>
+  <PassiveComponent name="B">
+    <interface name="in" role="server" signature="I"/>
+  </PassiveComponent>
+  <PassiveComponent name="C">
+    <interface name="in" role="server" signature="I"/>
+  </PassiveComponent>
+  <Binding>
+    <client cname="A" iname="out"/>
+    <server cname="B" iname="in"/>
+    <BindDesc protocol="synchronous"/>
+  </Binding>
+  <Mode name="Normal">
+    <Component name="A"/>
+  </Mode>
+  <Mode name="Alt" degraded="true">
+    <Component name="A" periodicity="40ms"/>
+    <Rebind client="A" port="out" server="C"/>
+  </Mode>
+</Architecture>)";
+  const auto first = load_architecture(text);
+  const auto second = load_architecture(save_architecture(first));
+  ASSERT_EQ(second.modes().size(), 2u);
+  const auto* alt = second.find_mode("Alt");
+  ASSERT_NE(alt, nullptr);
+  EXPECT_TRUE(alt->degraded);
+  ASSERT_EQ(alt->rebinds.size(), 1u);
+  EXPECT_EQ(alt->rebinds[0].client, "A");
+  EXPECT_EQ(alt->rebinds[0].port, "out");
+  EXPECT_EQ(alt->rebinds[0].server, "C");
+  ASSERT_NE(alt->find("A"), nullptr);
+  EXPECT_EQ(alt->find("A")->period, rtsj::RelativeTime::milliseconds(40));
+  // Serialization is a fixpoint: a second round trip is byte-identical.
+  EXPECT_EQ(save_architecture(first), save_architecture(second));
+}
+
 TEST(AdlLoaderTest, NestedScopesLoadAsNestedAreas) {
   const auto arch = load_architecture(R"(<Architecture>
       <PassiveComponent name="P">

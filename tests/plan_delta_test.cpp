@@ -1,0 +1,872 @@
+// Live ADL reload: the plan-delta engine end to end.
+//
+// Covers the diff itself (add/remove/rebind/settings classification and
+// the no-op short-circuit), the DELTA-* validation rules including
+// partition-aware rebind planning (REBIND-CROSS-PARTITION), the
+// drain-before-swap conservation guarantees (component removal with
+// queued messages, async buffer re-targeting), reload under an escalated
+// governor, mode <Rebind> over asynchronous ports, launcher release-plan
+// growth/shrink across a wall-clock reload, and the deterministic
+// virtual-time mirror (TraceKind::PlanChange).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "reconfig/mode_manager.hpp"
+#include "reconfig/plan_delta.hpp"
+#include "reconfig/sim_mirror.hpp"
+#include "runtime/content_registry.hpp"
+#include "runtime/launcher.hpp"
+#include "sim/scheduler.hpp"
+#include "soleil/application.hpp"
+#include "soleil/plan.hpp"
+#include "validate/validator.hpp"
+
+namespace rtcf {
+namespace {
+
+using model::ActivationKind;
+using model::Architecture;
+using model::AreaType;
+using model::Criticality;
+using model::DomainType;
+using model::InterfaceRole;
+using model::Protocol;
+
+// ---- contents -------------------------------------------------------------
+
+class ProducerImpl final : public comm::Content {
+ public:
+  void on_release() override {
+    comm::Message m;
+    m.sequence = sent_++;
+    port(0).send(m);
+  }
+  std::uint64_t sent() const noexcept { return sent_; }
+
+ private:
+  std::uint64_t sent_ = 0;
+};
+
+class CallerImpl final : public comm::Content {
+ public:
+  void on_release() override {
+    comm::Message m;
+    m.sequence = calls_++;
+    (void)port(0).call(m);
+  }
+
+ private:
+  std::uint64_t calls_ = 0;
+};
+
+class EchoImpl final : public comm::Content {
+ public:
+  comm::Message on_invoke(const comm::Message& request) override {
+    ++invoked_;
+    return request;
+  }
+  std::uint64_t invoked() const noexcept { return invoked_; }
+
+ private:
+  std::uint64_t invoked_ = 0;
+};
+
+class SinkImpl final : public comm::Content {
+ public:
+  void on_message(const comm::Message&) override { ++received_; }
+  void on_release() override { ++released_; }  // doubles as periodic no-op
+  std::uint64_t received() const noexcept { return received_; }
+  std::uint64_t released() const noexcept { return released_; }
+
+ private:
+  std::uint64_t received_ = 0;
+  std::uint64_t released_ = 0;
+};
+
+RTCF_REGISTER_CONTENT(ProducerImpl)
+RTCF_REGISTER_CONTENT(CallerImpl)
+RTCF_REGISTER_CONTENT(EchoImpl)
+RTCF_REGISTER_CONTENT(SinkImpl)
+
+// ---- architecture builders ------------------------------------------------
+
+/// Producer --async(16)--> Sink, one mode listing both; everything
+/// swappable, deployed on the heap under RT/Regular domains.
+Architecture make_base(bool sink_swappable = true) {
+  Architecture arch;
+  auto& producer = arch.add_active("Producer", ActivationKind::Periodic,
+                                   rtsj::RelativeTime::milliseconds(5));
+  producer.set_content_class("ProducerImpl");
+  producer.set_cost(rtsj::RelativeTime::microseconds(50));
+  producer.set_swappable(true);
+  producer.add_interface({"out", InterfaceRole::Client, "ISink"});
+
+  auto& sink = arch.add_active("Sink", ActivationKind::Sporadic,
+                               rtsj::RelativeTime::zero());
+  sink.set_content_class("SinkImpl");
+  sink.set_criticality(Criticality::Low);
+  sink.set_swappable(sink_swappable);
+  sink.add_interface({"in", InterfaceRole::Server, "ISink"});
+
+  model::Binding binding;
+  binding.client = {"Producer", "out"};
+  binding.server = {"Sink", "in"};
+  binding.desc.protocol = Protocol::Asynchronous;
+  binding.desc.buffer_size = 16;
+  arch.add_binding(binding);
+
+  auto& rt = arch.add_thread_domain("RT1", DomainType::Realtime, 20);
+  auto& reg = arch.add_thread_domain("reg1", DomainType::Regular, 5);
+  arch.add_child(rt, *arch.find("Producer"));
+  arch.add_child(reg, *arch.find("Sink"));
+  auto& heap = arch.add_memory_area("H1", AreaType::Heap, 0);
+  arch.add_child(heap, rt);
+  arch.add_child(heap, reg);
+
+  model::ModeDecl mode;
+  mode.name = "Run";
+  mode.components.push_back({"Producer", {}, {}});
+  mode.components.push_back({"Sink", {}, {}});
+  arch.add_mode(std::move(mode));
+  return arch;
+}
+
+/// Base with Sink replaced by Sink2 (same role) and the Producer port
+/// re-targeted — one remove + one add + one async rebind.
+Architecture make_swapped_sink() {
+  Architecture arch;
+  auto& producer = arch.add_active("Producer", ActivationKind::Periodic,
+                                   rtsj::RelativeTime::milliseconds(5));
+  producer.set_content_class("ProducerImpl");
+  producer.set_cost(rtsj::RelativeTime::microseconds(50));
+  producer.set_swappable(true);
+  producer.add_interface({"out", InterfaceRole::Client, "ISink"});
+
+  auto& sink2 = arch.add_active("Sink2", ActivationKind::Sporadic,
+                                rtsj::RelativeTime::zero());
+  sink2.set_content_class("SinkImpl");
+  sink2.set_criticality(Criticality::Low);
+  sink2.set_swappable(true);
+  sink2.add_interface({"in", InterfaceRole::Server, "ISink"});
+
+  model::Binding binding;
+  binding.client = {"Producer", "out"};
+  binding.server = {"Sink2", "in"};
+  binding.desc.protocol = Protocol::Asynchronous;
+  binding.desc.buffer_size = 16;
+  arch.add_binding(binding);
+
+  auto& rt = arch.add_thread_domain("RT1", DomainType::Realtime, 20);
+  auto& reg = arch.add_thread_domain("reg2", DomainType::Regular, 5);
+  arch.add_child(rt, *arch.find("Producer"));
+  arch.add_child(reg, *arch.find("Sink2"));
+  auto& heap = arch.add_memory_area("H1", AreaType::Heap, 0);
+  arch.add_child(heap, rt);
+  arch.add_child(heap, reg);
+
+  model::ModeDecl mode;
+  mode.name = "Run";
+  mode.components.push_back({"Producer", {}, {}});
+  mode.components.push_back({"Sink2", {}, {}});
+  arch.add_mode(std::move(mode));
+  return arch;
+}
+
+// ---- diff -----------------------------------------------------------------
+
+TEST(PlanDeltaTest, IdenticalArchitecturesDiffEmpty) {
+  const auto base = make_base();
+  const auto again = make_base();
+  const auto running = soleil::snapshot_assembly(base, 1);
+  const auto rp = reconfig::plan_reload(running, again);
+  EXPECT_TRUE(rp.ok()) << rp.report.to_string();
+  EXPECT_TRUE(rp.delta.empty()) << rp.delta.summary();
+}
+
+TEST(PlanDeltaTest, DiffClassifiesAddRemoveRebindAndSettings) {
+  const auto base = make_base();
+  const auto target = make_swapped_sink();
+  const auto running = soleil::snapshot_assembly(base, 1);
+  const auto rp = reconfig::plan_reload(running, target);
+  EXPECT_TRUE(rp.ok()) << rp.report.to_string();
+  ASSERT_EQ(rp.delta.add_components.size(), 1u);
+  EXPECT_EQ(rp.delta.add_components[0].name, "Sink2");
+  ASSERT_EQ(rp.delta.remove_components.size(), 1u);
+  EXPECT_EQ(rp.delta.remove_components[0].name, "Sink");
+  ASSERT_EQ(rp.delta.rebinds.size(), 1u);
+  EXPECT_EQ(rp.delta.rebinds[0].old_server, "Sink");
+  EXPECT_EQ(rp.delta.rebinds[0].new_server, "Sink2");
+  EXPECT_EQ(rp.delta.rebinds[0].protocol, Protocol::Asynchronous);
+  EXPECT_TRUE(rp.delta.add_bindings.empty());
+  EXPECT_TRUE(rp.delta.remove_bindings.empty());
+  EXPECT_TRUE(rp.report.has_rule("DELTA-ASYNC-RETARGET"));
+}
+
+TEST(PlanDeltaTest, PeriodChangeIsASettingDelta) {
+  const auto base = make_base();
+  const auto running = soleil::snapshot_assembly(base, 1);
+  // ActiveComponent period is fixed at construction, so build the slowed
+  // target from scratch.
+  Architecture target2;
+  {
+    auto& producer = target2.add_active(
+        "Producer", ActivationKind::Periodic,
+        rtsj::RelativeTime::milliseconds(8));
+    producer.set_content_class("ProducerImpl");
+    producer.set_cost(rtsj::RelativeTime::microseconds(50));
+    producer.set_swappable(true);
+    producer.add_interface({"out", InterfaceRole::Client, "ISink"});
+    auto& sink = target2.add_active("Sink", ActivationKind::Sporadic,
+                                    rtsj::RelativeTime::zero());
+    sink.set_content_class("SinkImpl");
+    sink.set_criticality(Criticality::Low);
+    sink.set_swappable(true);
+    sink.add_interface({"in", InterfaceRole::Server, "ISink"});
+    model::Binding binding;
+    binding.client = {"Producer", "out"};
+    binding.server = {"Sink", "in"};
+    binding.desc.protocol = Protocol::Asynchronous;
+    binding.desc.buffer_size = 16;
+    target2.add_binding(binding);
+    auto& rt = target2.add_thread_domain("RT1", DomainType::Realtime, 20);
+    auto& reg = target2.add_thread_domain("reg1", DomainType::Regular, 5);
+    target2.add_child(rt, *target2.find("Producer"));
+    target2.add_child(reg, *target2.find("Sink"));
+    auto& heap = target2.add_memory_area("H1", AreaType::Heap, 0);
+    target2.add_child(heap, rt);
+    target2.add_child(heap, reg);
+    model::ModeDecl mode;
+    mode.name = "Run";
+    mode.components.push_back({"Producer", {}, {}});
+    mode.components.push_back({"Sink", {}, {}});
+    target2.add_mode(std::move(mode));
+  }
+  const auto rp = reconfig::plan_reload(running, target2);
+  EXPECT_TRUE(rp.ok()) << rp.report.to_string();
+  ASSERT_EQ(rp.delta.settings.size(), 1u);
+  EXPECT_EQ(rp.delta.settings[0].component, "Producer");
+  EXPECT_TRUE(rp.delta.settings[0].period_changed);
+  EXPECT_EQ(rp.delta.settings[0].new_period,
+            rtsj::RelativeTime::milliseconds(8));
+  EXPECT_TRUE(rp.delta.add_components.empty());
+  EXPECT_TRUE(rp.delta.remove_components.empty());
+}
+
+// ---- delta validation -----------------------------------------------------
+
+TEST(PlanDeltaTest, RemovingNonSwappableComponentIsRejected) {
+  const auto base = make_base(/*sink_swappable=*/false);
+  const auto target = make_swapped_sink();
+  const auto running = soleil::snapshot_assembly(base, 1);
+  const auto rp = reconfig::plan_reload(running, target);
+  EXPECT_FALSE(rp.ok());
+  EXPECT_TRUE(rp.report.has_rule("DELTA-REMOVE-SWAPPABLE"))
+      << rp.report.to_string();
+}
+
+TEST(PlanDeltaTest, UnregisteredContentClassIsRejected) {
+  const auto base = make_base();
+  auto target = make_base();
+  auto& extra = target.add_active("Mystery", ActivationKind::Periodic,
+                                  rtsj::RelativeTime::milliseconds(10));
+  extra.set_content_class("NeverRegisteredAnywhere");
+  target.add_child(*target.find("RT1"), extra);
+  const auto running = soleil::snapshot_assembly(base, 1);
+  const auto rp = reconfig::plan_reload(running, target);
+  EXPECT_FALSE(rp.ok());
+  EXPECT_TRUE(rp.report.has_rule("DELTA-CONTENT-UNKNOWN"))
+      << rp.report.to_string();
+}
+
+TEST(PlanDeltaTest, ProtocolFlipIsRejected) {
+  const auto base = make_base();
+  auto target = make_base();
+  target.mutable_bindings()[0].desc.protocol = Protocol::Synchronous;
+  target.mutable_bindings()[0].desc.buffer_size = 0;
+  const auto running = soleil::snapshot_assembly(base, 1);
+  const auto rp = reconfig::plan_reload(running, target);
+  EXPECT_FALSE(rp.ok());
+  EXPECT_TRUE(rp.report.has_rule("DELTA-PROTOCOL-CHANGE"))
+      << rp.report.to_string();
+}
+
+namespace {
+
+/// Two heavy synchronous clusters that LPT splits across two partitions:
+/// A->X on one, B->Y on the other.
+Architecture make_two_clusters(const char* a_server, const char* b_server) {
+  Architecture arch;
+  for (const char* name : {"A", "B"}) {
+    auto& active = arch.add_active(name, ActivationKind::Periodic,
+                                   rtsj::RelativeTime::milliseconds(10));
+    active.set_content_class("ProducerImpl");
+    active.set_cost(rtsj::RelativeTime::milliseconds(5));
+    active.set_swappable(true);
+    active.add_interface({"out", InterfaceRole::Client, "ISvc"});
+  }
+  for (const char* name : {"X", "Y"}) {
+    auto& passive = arch.add_passive(name);
+    passive.set_content_class("SinkImpl");
+    passive.set_swappable(true);
+    passive.add_interface({"in", InterfaceRole::Server, "ISvc"});
+  }
+  const auto bind_sync = [&](const char* client, const char* server) {
+    model::Binding binding;
+    binding.client = {client, "out"};
+    binding.server = {server, "in"};
+    binding.desc.protocol = Protocol::Synchronous;
+    arch.add_binding(binding);
+  };
+  bind_sync("A", a_server);
+  bind_sync("B", b_server);
+  auto& rt = arch.add_thread_domain("RT1", DomainType::Realtime, 20);
+  arch.add_child(rt, *arch.find("A"));
+  arch.add_child(rt, *arch.find("B"));
+  auto& heap = arch.add_memory_area("H1", AreaType::Heap, 0);
+  arch.add_child(heap, rt);
+  arch.add_child(heap, *arch.find("X"));
+  arch.add_child(heap, *arch.find("Y"));
+  model::ModeDecl mode;
+  mode.name = "Run";
+  mode.components.push_back({"A", {}, {}});
+  mode.components.push_back({"B", {}, {}});
+  arch.add_mode(std::move(mode));
+  return arch;
+}
+
+}  // namespace
+
+TEST(PlanDeltaTest, CrossPartitionRebindIsReportedNotRejected) {
+  const auto base = make_two_clusters("X", "Y");
+  const auto target = make_two_clusters("Y", "Y");  // A re-targets onto Y
+  const auto running = soleil::snapshot_assembly(base, 2);
+  // Sanity: the two sync clusters landed on different partitions.
+  ASSERT_NE(running.find("A")->partition, running.find("B")->partition);
+  ASSERT_EQ(running.find("X")->partition, running.find("A")->partition);
+  ASSERT_EQ(running.find("Y")->partition, running.find("B")->partition);
+  const auto rp = reconfig::plan_reload(running, target);
+  EXPECT_TRUE(rp.ok()) << rp.report.to_string();
+  EXPECT_TRUE(rp.report.has_rule("REBIND-CROSS-PARTITION"))
+      << rp.report.to_string();
+  // Both endpoints are pinned survivors: the placement must not migrate
+  // them to co-locate the rebind.
+  EXPECT_EQ(rp.target.find("A")->partition, running.find("A")->partition);
+  EXPECT_EQ(rp.target.find("Y")->partition, running.find("Y")->partition);
+}
+
+TEST(PlanDeltaTest, AddedConsumerIsCoLocatedWithItsAsyncPeer) {
+  const auto base = make_base();
+  const auto target = make_swapped_sink();
+  const auto running = soleil::snapshot_assembly(base, 2);
+  const auto rp = reconfig::plan_reload(running, target);
+  EXPECT_TRUE(rp.ok()) << rp.report.to_string();
+  // Sink2 (added, async-fed by Producer) co-locates with Producer when
+  // legal — no REBIND-CROSS-PARTITION noise for a placeable addition.
+  EXPECT_EQ(rp.target.find("Sink2")->partition,
+            running.find("Producer")->partition);
+  EXPECT_FALSE(rp.report.has_rule("REBIND-CROSS-PARTITION"))
+      << rp.report.to_string();
+}
+
+// ---- reload through the ModeManager --------------------------------------
+
+TEST(PlanDeltaTest, NoOpReloadShortCircuits) {
+  const auto arch = make_base();
+  auto app = soleil::build_application(arch, soleil::Mode::Soleil);
+  app->start();
+  reconfig::ModeManager manager(*app);
+  const std::uint64_t epoch = manager.plan_epoch();
+
+  const auto again = make_base();
+  validate::Report report;
+  EXPECT_FALSE(manager.request_reload(again, &report));
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(manager.plan_epoch(), epoch);
+  EXPECT_TRUE(manager.transitions().empty());
+  app->stop();
+}
+
+TEST(PlanDeltaTest, ReloadRemovesComponentWithQueuedMessagesZeroLoss) {
+  const auto arch = make_base();
+  auto app = soleil::build_application(arch, soleil::Mode::Soleil);
+  app->start();
+  reconfig::ModeManager manager(*app);
+
+  // Queue messages without pumping: they sit in the Producer->Sink buffer
+  // when the reload arrives.
+  for (int i = 0; i < 6; ++i) app->release("Producer");
+  const auto* producer =
+      dynamic_cast<const ProducerImpl*>(app->content("Producer"));
+  const auto* sink = dynamic_cast<const SinkImpl*>(app->content("Sink"));
+  ASSERT_NE(producer, nullptr);
+  ASSERT_NE(sink, nullptr);
+  ASSERT_EQ(producer->sent(), 6u);
+  ASSERT_EQ(sink->received(), 0u);
+
+  const auto target = make_swapped_sink();
+  validate::Report report;
+  ASSERT_TRUE(manager.request_reload(target, &report))
+      << report.to_string();
+  // Inline apply (no launcher): the quiescence pump drained the queued
+  // messages into the old Sink before it was stopped and removed.
+  EXPECT_EQ(sink->received(), 6u);
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : app->buffers()) dropped += buffer->dropped_total();
+  EXPECT_EQ(dropped, 0u);
+
+  // The pipeline now feeds Sink2.
+  app->iterate("Producer");
+  const auto* sink2 = dynamic_cast<const SinkImpl*>(app->content("Sink2"));
+  ASSERT_NE(sink2, nullptr);
+  EXPECT_EQ(sink2->received(), 1u);
+  EXPECT_EQ(sink->received(), 6u);  // the removed component got no more
+  ASSERT_EQ(manager.transitions().size(), 1u);
+  EXPECT_EQ(manager.transitions()[0].trigger, "reload");
+  app->stop();
+}
+
+TEST(PlanDeltaTest, ApplyTimeDrainAuditCountsBufferedMessages) {
+  // Bypass the ModeManager's quiescence pump and apply the delta directly:
+  // the buffered messages must ride the apply-time drain (audited) into
+  // the old consumer before the swap — drain-before-swap at the buffer
+  // re-target.
+  const auto arch = make_base();
+  auto app = soleil::build_application(arch, soleil::Mode::Soleil);
+  app->start();
+  const auto running = app->assembly();
+  for (int i = 0; i < 4; ++i) app->release("Producer");
+
+  const auto target = make_swapped_sink();
+  const auto rp = reconfig::plan_reload(running, target);
+  ASSERT_TRUE(rp.ok()) << rp.report.to_string();
+  const std::uint64_t drained = app->apply_plan_delta(rp.delta, rp.target);
+  EXPECT_EQ(drained, 4u);
+  const auto* sink = dynamic_cast<const SinkImpl*>(app->content("Sink"));
+  ASSERT_NE(sink, nullptr);
+  EXPECT_EQ(sink->received(), 4u);
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : app->buffers()) dropped += buffer->dropped_total();
+  EXPECT_EQ(dropped, 0u);
+  app->stop();
+}
+
+TEST(PlanDeltaTest, ReloadWhileGovernorEscalatedResetsAndApplies) {
+  const auto arch = make_base();
+  auto app = soleil::build_application(arch, soleil::Mode::Soleil);
+  app->start();
+  reconfig::ModeManager manager(*app);
+
+  // Escalate the governor the way sustained contract violation would.
+  auto* entry = app->monitor().find("Sink");
+  ASSERT_NE(entry, nullptr);
+  auto& governor = app->monitor().governor();
+  for (int i = 0; i < 4; ++i) governor.on_window_violated(entry->governor_id);
+  ASSERT_NE(governor.level(), monitor::GovernorLevel::Normal);
+
+  const auto target = make_swapped_sink();
+  validate::Report report;
+  ASSERT_TRUE(manager.request_reload(target, &report))
+      << report.to_string();
+  // The reload answered the overload: the governor starts clean and the
+  // new structure is live.
+  EXPECT_EQ(governor.level(), monitor::GovernorLevel::Normal);
+  app->iterate("Producer");
+  const auto* sink2 = dynamic_cast<const SinkImpl*>(app->content("Sink2"));
+  ASSERT_NE(sink2, nullptr);
+  EXPECT_EQ(sink2->received(), 1u);
+  app->stop();
+}
+
+TEST(PlanDeltaTest, ModeRebindOverAsyncPortRetargetsBuffer) {
+  // Mode <Rebind> across an asynchronous binding: previously sync-only,
+  // now re-targeted through the AsyncSkeleton with drain-before-swap.
+  Architecture arch;
+  auto& producer = arch.add_active("Producer", ActivationKind::Periodic,
+                                   rtsj::RelativeTime::milliseconds(5));
+  producer.set_content_class("ProducerImpl");
+  producer.set_cost(rtsj::RelativeTime::microseconds(50));
+  producer.set_swappable(true);
+  producer.add_interface({"out", InterfaceRole::Client, "ISink"});
+  for (const char* name : {"Sink", "Standby"}) {
+    auto& sink = arch.add_active(name, ActivationKind::Sporadic,
+                                 rtsj::RelativeTime::zero());
+    sink.set_content_class("SinkImpl");
+    sink.set_criticality(Criticality::Low);
+    sink.set_swappable(true);
+    sink.add_interface({"in", InterfaceRole::Server, "ISink"});
+  }
+  model::Binding binding;
+  binding.client = {"Producer", "out"};
+  binding.server = {"Sink", "in"};
+  binding.desc.protocol = Protocol::Asynchronous;
+  binding.desc.buffer_size = 16;
+  arch.add_binding(binding);
+  auto& rt = arch.add_thread_domain("RT1", DomainType::Realtime, 20);
+  auto& reg = arch.add_thread_domain("reg1", DomainType::Regular, 5);
+  arch.add_child(rt, *arch.find("Producer"));
+  arch.add_child(reg, *arch.find("Sink"));
+  arch.add_child(reg, *arch.find("Standby"));
+  auto& heap = arch.add_memory_area("H1", AreaType::Heap, 0);
+  arch.add_child(heap, rt);
+  arch.add_child(heap, reg);
+  model::ModeDecl run;
+  run.name = "Run";
+  run.components.push_back({"Producer", {}, {}});
+  run.components.push_back({"Sink", {}, {}});
+  run.components.push_back({"Standby", {}, {}});
+  arch.add_mode(std::move(run));
+  model::ModeDecl alt;
+  alt.name = "Alt";
+  alt.components.push_back({"Producer", {}, {}});
+  alt.components.push_back({"Sink", {}, {}});
+  alt.components.push_back({"Standby", {}, {}});
+  alt.rebinds.push_back({"Producer", "out", "Standby"});
+  arch.add_mode(std::move(alt));
+  ASSERT_TRUE(validate::validate(arch).ok())
+      << validate::validate(arch).to_string();
+
+  auto app = soleil::build_application(arch, soleil::Mode::Soleil);
+  app->start();
+  reconfig::ModeManager manager(*app);
+  const auto* sink = dynamic_cast<const SinkImpl*>(app->content("Sink"));
+  const auto* standby_content =
+      dynamic_cast<const SinkImpl*>(app->content("Standby"));
+
+  app->iterate("Producer");
+  EXPECT_EQ(sink->received(), 1u);
+
+  ASSERT_TRUE(manager.request_transition("Alt"));
+  app->iterate("Producer");
+  EXPECT_EQ(standby_content->received(), 1u);
+  EXPECT_EQ(sink->received(), 1u);
+
+  ASSERT_TRUE(manager.request_transition("Run"));
+  app->iterate("Producer");
+  EXPECT_EQ(sink->received(), 2u);
+  EXPECT_EQ(standby_content->received(), 1u);
+  app->stop();
+}
+
+namespace {
+
+/// Caller --sync--> <echo_name> (passive), single mode; the reload swaps
+/// the echo service for a freshly added one.
+Architecture make_sync_arch(const char* echo_name) {
+  Architecture arch;
+  auto& caller = arch.add_active("Caller", ActivationKind::Periodic,
+                                 rtsj::RelativeTime::milliseconds(5));
+  caller.set_content_class("CallerImpl");
+  caller.set_cost(rtsj::RelativeTime::microseconds(20));
+  caller.set_swappable(true);
+  caller.add_interface({"svc", InterfaceRole::Client, "IEcho"});
+  auto& echo = arch.add_passive(echo_name);
+  echo.set_content_class("EchoImpl");
+  echo.set_swappable(true);
+  echo.add_interface({"svc", InterfaceRole::Server, "IEcho"});
+  model::Binding binding;
+  binding.client = {"Caller", "svc"};
+  binding.server = {echo_name, "svc"};
+  binding.desc.protocol = Protocol::Synchronous;
+  arch.add_binding(binding);
+  auto& rt = arch.add_thread_domain("RT1", DomainType::Realtime, 20);
+  arch.add_child(rt, *arch.find("Caller"));
+  auto& heap = arch.add_memory_area("H1", AreaType::Heap, 0);
+  arch.add_child(heap, rt);
+  arch.add_child(heap, *arch.find(echo_name));
+  model::ModeDecl mode;
+  mode.name = "Run";
+  mode.components.push_back({"Caller", {}, {}});
+  arch.add_mode(std::move(mode));
+  return arch;
+}
+
+}  // namespace
+
+TEST(PlanDeltaTest, SyncRebindOntoComponentAddedBySameDelta) {
+  // The rebind's new server does not exist until this very delta admits
+  // it — wiring must resolve against the in-progress plan, not the
+  // pre-reload snapshot.
+  const auto arch = make_sync_arch("EchoA");
+  auto app = soleil::build_application(arch, soleil::Mode::Soleil);
+  app->start();
+  reconfig::ModeManager manager(*app);
+
+  app->iterate("Caller");
+  const auto* echo_a = dynamic_cast<const EchoImpl*>(app->content("EchoA"));
+  ASSERT_NE(echo_a, nullptr);
+  EXPECT_EQ(echo_a->invoked(), 1u);
+
+  const auto target = make_sync_arch("EchoB");
+  validate::Report report;
+  ASSERT_TRUE(manager.request_reload(target, &report))
+      << report.to_string();
+  app->iterate("Caller");
+  const auto* echo_b = dynamic_cast<const EchoImpl*>(app->content("EchoB"));
+  ASSERT_NE(echo_b, nullptr);
+  EXPECT_EQ(echo_b->invoked(), 1u);
+  EXPECT_EQ(echo_a->invoked(), 1u);  // the removed service got no more
+  app->stop();
+}
+
+TEST(PlanDeltaTest, InlineReloadBeforeRunGrowsTheLauncher) {
+  // A reload applied while no run is active (inline quiescence, no
+  // structure hook) must still reach the next run's release plan.
+  const auto arch = make_base();
+  auto app = soleil::build_application(arch, soleil::Mode::Soleil);
+  app->start();
+  reconfig::ModeManager manager(*app);
+  runtime::Launcher launcher(*app);  // built before the reload
+
+  Architecture target = make_base();
+  auto& beacon = target.add_active("Beacon", ActivationKind::Periodic,
+                                   rtsj::RelativeTime::milliseconds(10));
+  beacon.set_content_class("SinkImpl");
+  beacon.set_cost(rtsj::RelativeTime::microseconds(20));
+  beacon.set_swappable(true);
+  target.add_child(*target.find("RT1"), beacon);
+  target.add_child(*target.find("H1"), beacon);
+  {
+    // List it in the mode so the manager publishes its settings.
+    model::ModeDecl& mode =
+        const_cast<model::ModeDecl&>(target.modes()[0]);
+    mode.components.push_back({"Beacon", {}, {}});
+  }
+  validate::Report report;
+  ASSERT_TRUE(manager.request_reload(target, &report))
+      << report.to_string();
+
+  runtime::Launcher::Options options;
+  options.duration = rtsj::RelativeTime::milliseconds(80);
+  options.mode_manager = &manager;
+  launcher.run(options);
+  EXPECT_GT(launcher.stats("Beacon").releases, 0u);
+  EXPECT_GT(launcher.stats("Producer").releases, 0u);
+  app->stop();
+}
+
+TEST(PlanDeltaTest, ReloadDeploysIntoDeclaredUnoccupiedScope) {
+  // The running architecture declares a scoped area nobody occupies; a
+  // reload may deploy into it (the environment created every declared
+  // area at launch).
+  Architecture arch = make_sync_arch("EchoA");
+  arch.add_memory_area("S2", AreaType::Scoped, 8 * 1024, "spare");
+  auto app = soleil::build_application(arch, soleil::Mode::Soleil);
+  app->start();
+  reconfig::ModeManager manager(*app);
+
+  Architecture target = make_sync_arch("EchoA");
+  auto& s2 = target.add_memory_area("S2", AreaType::Scoped, 8 * 1024,
+                                    "spare");
+  auto& svc = target.add_passive("ScopedSvc");
+  svc.set_content_class("EchoImpl");
+  svc.set_swappable(true);
+  svc.add_interface({"svc", InterfaceRole::Server, "IEcho"});
+  target.add_child(s2, svc);
+  auto& user = target.add_active("ScopedUser", ActivationKind::Periodic,
+                                 rtsj::RelativeTime::milliseconds(10));
+  user.set_content_class("CallerImpl");
+  user.set_cost(rtsj::RelativeTime::microseconds(20));
+  user.set_swappable(true);
+  user.add_interface({"svc", InterfaceRole::Client, "IEcho"});
+  target.add_child(*target.find("RT1"), user);
+  target.add_child(*target.find("H1"), user);
+  model::Binding binding;
+  binding.client = {"ScopedUser", "svc"};
+  binding.server = {"ScopedSvc", "svc"};
+  binding.desc.protocol = Protocol::Synchronous;
+  target.add_binding(binding);
+  {
+    model::ModeDecl& mode =
+        const_cast<model::ModeDecl&>(target.modes()[0]);
+    mode.components.push_back({"ScopedUser", {}, {}});
+  }
+
+  validate::Report report;
+  ASSERT_TRUE(manager.request_reload(target, &report))
+      << report.to_string();
+  app->iterate("ScopedUser");
+  const auto* scoped =
+      dynamic_cast<const EchoImpl*>(app->content("ScopedSvc"));
+  ASSERT_NE(scoped, nullptr);
+  EXPECT_EQ(scoped->invoked(), 1u);
+  app->stop();
+}
+
+// ---- launcher growth/shrink ----------------------------------------------
+
+TEST(PlanDeltaTest, LauncherGrowsAndShrinksAcrossReload) {
+  // Wall-clock partitioned run: mid-run the reload removes the periodic
+  // Producer (and its pipeline tail) and adds a fresh periodic Beacon —
+  // the removed timeline retires, the new one enters on the anchor grid.
+  const auto arch = make_base();
+  auto app = soleil::build_application(arch, soleil::Mode::Soleil, 2);
+  app->start();
+  reconfig::ModeManager manager(*app);
+  runtime::Launcher launcher(*app);
+
+  runtime::Launcher::Options options;
+  options.duration = rtsj::RelativeTime::milliseconds(300);
+  options.workers = 2;
+  options.mode_manager = &manager;
+
+  Architecture target;
+  {
+    auto& beacon = target.add_active("Beacon", ActivationKind::Periodic,
+                                     rtsj::RelativeTime::milliseconds(10));
+    beacon.set_content_class("SinkImpl");
+    beacon.set_cost(rtsj::RelativeTime::microseconds(20));
+    beacon.set_swappable(true);
+    auto& rt = target.add_thread_domain("RT1", DomainType::Realtime, 20);
+    target.add_child(rt, beacon);
+    auto& heap = target.add_memory_area("H1", AreaType::Heap, 0);
+    target.add_child(heap, rt);
+    model::ModeDecl mode;
+    mode.name = "Run";
+    mode.components.push_back({"Beacon", {}, {}});
+    target.add_mode(std::move(mode));
+  }
+
+  std::thread executive([&] { launcher.run(options); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  validate::Report report;
+  const bool accepted = manager.request_reload(target, &report);
+  executive.join();
+  ASSERT_TRUE(accepted) << report.to_string();
+
+  const auto& producer_stats = launcher.stats("Producer");
+  const auto& beacon_stats = launcher.stats("Beacon");
+  EXPECT_GT(producer_stats.releases, 0u);
+  EXPECT_GT(beacon_stats.releases, 0u);
+  const auto* beacon =
+      dynamic_cast<const SinkImpl*>(app->content("Beacon"));
+  ASSERT_NE(beacon, nullptr);
+  EXPECT_EQ(beacon->released(), beacon_stats.releases);
+  // Conservation across the removal: everything the producer sent was
+  // consumed by the sink before the pipeline retired.
+  const auto* producer =
+      dynamic_cast<const ProducerImpl*>(app->content("Producer"));
+  const auto* sink = dynamic_cast<const SinkImpl*>(app->content("Sink"));
+  EXPECT_EQ(producer->sent(), sink->received());
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : app->buffers()) dropped += buffer->dropped_total();
+  EXPECT_EQ(dropped, 0u);
+  app->stop();
+}
+
+// ---- sim mirror -----------------------------------------------------------
+
+TEST(PlanDeltaTest, SimPlanChangeReplaysBitForBit) {
+  const auto base = make_base();
+  const auto target = make_swapped_sink();
+  const auto running = soleil::snapshot_assembly(base, 1);
+  const auto rp = reconfig::plan_reload(running, target);
+  ASSERT_TRUE(rp.ok()) << rp.report.to_string();
+
+  const auto run_once = [&] {
+    sim::PreemptiveScheduler sched(1);
+    sched.enable_trace();
+    sim::SimMapping mapping;
+    sim::TaskConfig producer;
+    producer.name = "Producer";
+    producer.priority = 20;
+    producer.release = sim::ReleaseKind::Periodic;
+    producer.start = rtsj::AbsoluteTime::epoch();
+    producer.period = rtsj::RelativeTime::milliseconds(5);
+    producer.cost = rtsj::RelativeTime::microseconds(50);
+    mapping.tasks["Producer"] = sched.add_task(producer);
+    sim::TaskConfig sink;
+    sink.name = "Sink";
+    sink.priority = 5;
+    sink.release = sim::ReleaseKind::Sporadic;
+    sink.cost = rtsj::RelativeTime::microseconds(30);
+    mapping.tasks["Sink"] = sched.add_task(sink);
+
+    reconfig::schedule_plan_delta(
+        sched, rp.delta, mapping,
+        rtsj::AbsoluteTime::epoch() + rtsj::RelativeTime::milliseconds(23),
+        rtsj::AbsoluteTime::epoch());
+    sched.run_until(rtsj::AbsoluteTime::epoch() +
+                    rtsj::RelativeTime::milliseconds(60));
+
+    std::vector<std::string> rendered;
+    for (const auto& ev : sched.trace()) {
+      rendered.push_back(ev.to_string(sched));
+    }
+    return std::make_pair(std::move(rendered), mapping);
+  };
+
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first.first, second.first);  // bit-for-bit
+  EXPECT_TRUE(first.second.has("Sink2"));
+
+  // The removed task ticks silently after the change; the added one
+  // exists and is enabled.
+  sim::PreemptiveScheduler sched(1);
+  sched.enable_trace();
+  sim::SimMapping mapping;
+  sim::TaskConfig producer;
+  producer.name = "Producer";
+  producer.priority = 20;
+  producer.release = sim::ReleaseKind::Periodic;
+  producer.start = rtsj::AbsoluteTime::epoch();
+  producer.period = rtsj::RelativeTime::milliseconds(5);
+  producer.cost = rtsj::RelativeTime::microseconds(50);
+  mapping.tasks["Producer"] = sched.add_task(producer);
+  sim::TaskConfig sink;
+  sink.name = "Sink";
+  sink.priority = 5;
+  sink.release = sim::ReleaseKind::Sporadic;
+  mapping.tasks["Sink"] = sched.add_task(sink);
+  reconfig::schedule_plan_delta(
+      sched, rp.delta, mapping,
+      rtsj::AbsoluteTime::epoch() + rtsj::RelativeTime::milliseconds(23),
+      rtsj::AbsoluteTime::epoch());
+  sched.run_until(rtsj::AbsoluteTime::epoch() +
+                  rtsj::RelativeTime::milliseconds(60));
+  EXPECT_FALSE(sched.task_enabled(mapping.task("Sink")));
+  EXPECT_TRUE(sched.task_enabled(mapping.task("Sink2")));
+  std::size_t plan_changes = 0;
+  for (const auto& ev : sched.trace()) {
+    if (ev.kind == sim::TraceKind::PlanChange) ++plan_changes;
+  }
+  EXPECT_EQ(plan_changes, 1u);
+}
+
+TEST(SimPlanChangeTest, AddedPeriodicEntersOnAnchorGrid) {
+  sim::PreemptiveScheduler sched(1);
+  sched.enable_trace();
+  sim::PreemptiveScheduler::PlanChange change;
+  sim::TaskConfig added;
+  added.name = "Late";
+  added.priority = 10;
+  added.release = sim::ReleaseKind::Periodic;
+  added.start = rtsj::AbsoluteTime::epoch();  // anchor
+  added.period = rtsj::RelativeTime::milliseconds(10);
+  added.cost = rtsj::RelativeTime::microseconds(100);
+  change.additions.push_back(added);
+  const auto ids = sched.schedule_plan_change(
+      rtsj::AbsoluteTime::epoch() + rtsj::RelativeTime::milliseconds(25),
+      std::move(change));
+  ASSERT_EQ(ids.size(), 1u);
+  sched.run_until(rtsj::AbsoluteTime::epoch() +
+                  rtsj::RelativeTime::milliseconds(60));
+  // First release at 30 ms: the first grid point strictly after the
+  // change instant; then every 10 ms.
+  std::vector<std::int64_t> releases;
+  for (const auto& ev : sched.trace()) {
+    if (ev.kind == sim::TraceKind::Release && ev.task == ids[0]) {
+      releases.push_back(ev.time.nanos());
+    }
+  }
+  ASSERT_GE(releases.size(), 3u);
+  EXPECT_EQ(releases[0], rtsj::RelativeTime::milliseconds(30).nanos());
+  EXPECT_EQ(releases[1], rtsj::RelativeTime::milliseconds(40).nanos());
+  EXPECT_EQ(releases[2], rtsj::RelativeTime::milliseconds(50).nanos());
+}
+
+}  // namespace
+}  // namespace rtcf

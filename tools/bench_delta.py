@@ -33,6 +33,7 @@ REPORTED_SUBSTRINGS = (
     "throughput",
     "bytes",
     "transitions",
+    "reloads",
 )
 
 
