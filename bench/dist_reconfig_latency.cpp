@@ -1,0 +1,180 @@
+// Distributed two-phase transition latency: how long one coordinated
+// cluster reload takes end to end — slice + diff + PREPARE (both nodes
+// validate and park) + unanimous vote + COMMIT (apply at quiescence) +
+// acknowledgements — over the in-process loopback transport.
+//
+// A two-node cluster (periodic producer on node A bridged to a sporadic
+// sink on node B) toggles between two target shapes: each reload removes
+// the current sink, adds its replacement, and re-targets the bridged
+// binding across nodes. Reported (not asserted): commits, coordinator
+// round-trip median/p99/worst, and the per-node commit latencies the
+// nodes measured themselves. Emits BENCH_dist_reconfig_latency.json
+// (honors RTCF_BENCH_OUT).
+//
+//   bench_dist_reconfig_latency [duration_ms]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+
+#include "dist/coordinator.hpp"
+#include "dist/node_runtime.hpp"
+#include "fig7_harness.hpp"
+#include "runtime/content_registry.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rtcf;
+
+class PulseImpl final : public comm::Content {
+ public:
+  void on_release() override {
+    comm::Message m;
+    m.sequence = ++sent_;
+    port(0).send(m);
+  }
+
+ private:
+  std::uint64_t sent_ = 0;
+};
+
+class DrainImpl final : public comm::Content {
+ public:
+  void on_message(const comm::Message&) override { ++received_; }
+
+ private:
+  std::uint64_t received_ = 0;
+};
+
+RTCF_REGISTER_CONTENT(PulseImpl)
+RTCF_REGISTER_CONTENT(DrainImpl)
+
+/// Producer@a --bridged async--> <sink>@b.
+model::Architecture make_arch(const char* sink_name) {
+  using namespace model;
+  Architecture arch;
+  auto& producer = arch.add_active("Producer", ActivationKind::Periodic,
+                                   rtsj::RelativeTime::milliseconds(2));
+  producer.set_content_class("PulseImpl");
+  producer.set_cost(rtsj::RelativeTime::microseconds(30));
+  producer.set_swappable(true);
+  producer.add_interface({"out", InterfaceRole::Client, "IDrain"});
+  auto& sink = arch.add_active(sink_name, ActivationKind::Sporadic);
+  sink.set_content_class("DrainImpl");
+  sink.set_criticality(Criticality::Low);
+  sink.set_swappable(true);
+  sink.add_interface({"in", InterfaceRole::Server, "IDrain"});
+  Binding binding;
+  binding.client = {"Producer", "out"};
+  binding.server = {sink_name, "in"};
+  binding.desc.protocol = Protocol::Asynchronous;
+  binding.desc.buffer_size = 32;
+  arch.add_binding(binding);
+  auto& rt = arch.add_thread_domain("RT1", DomainType::Realtime, 20);
+  arch.add_child(rt, producer);
+  auto& reg = arch.add_thread_domain("reg1", DomainType::Regular, 5);
+  arch.add_child(reg, *arch.find(sink_name));
+  model::ModeDecl mode;
+  mode.name = "Run";
+  mode.components.push_back({"Producer", {}, {}});
+  arch.add_mode(std::move(mode));
+  return arch;
+}
+
+validate::NodeMap make_map() {
+  validate::NodeMap map;
+  map.nodes = {"a", "b"};
+  map.assignment = {{"Producer", "a"}, {"SinkA", "b"}, {"SinkB", "b"}};
+  return map;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int duration_ms = 1000;
+  if (argc > 1) duration_ms = std::atoi(argv[1]);
+  if (duration_ms <= 0) duration_ms = 1000;
+
+  const auto global = make_arch("SinkA");
+  const auto alt_a = make_arch("SinkA");
+  const auto alt_b = make_arch("SinkB");
+  const auto map = make_map();
+
+  dist::NodeRuntime::Options node_options;
+  node_options.run_duration =
+      rtsj::RelativeTime::milliseconds(duration_ms + 100);
+  dist::NodeRuntime node_a(global, map, "a", node_options);
+  dist::NodeRuntime node_b(global, map, "b", node_options);
+  dist::ReconfigCoordinator coordinator(map);
+  auto [a_node, a_coord] = comm::LoopbackChannel::make_pair();
+  auto [b_node, b_coord] = comm::LoopbackChannel::make_pair();
+  node_a.attach_control(a_node);
+  node_b.attach_control(b_node);
+  coordinator.attach("a", a_coord, global);
+  coordinator.attach("b", b_coord, global);
+  auto [ab, ba] = comm::LoopbackChannel::make_pair();
+  node_a.connect_peer("b", ab);
+  node_b.connect_peer("a", ba);
+  node_a.start();
+  node_b.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  util::SampleSet round_trip_us(4096);
+  util::SampleSet node_commit_us(8192);
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  bool on_b = false;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(duration_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto outcome =
+        coordinator.coordinate_reload(on_b ? alt_a : alt_b);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - start);
+    if (outcome.committed) {
+      ++commits;
+      round_trip_us.add(static_cast<double>(elapsed.count()) / 1000.0);
+      for (const auto& node : outcome.nodes) {
+        node_commit_us.add(static_cast<double>(node.latency_ns) / 1000.0);
+      }
+      on_b = !on_b;
+    } else {
+      ++aborts;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  node_a.join_executive();
+  node_b.join_executive();
+  node_a.stop();
+  node_b.stop();
+
+  const double median = commits > 0 ? round_trip_us.median() : 0.0;
+  const double p99 = commits > 0 ? round_trip_us.percentile(99) : 0.0;
+  const double worst = commits > 0 ? round_trip_us.max() : 0.0;
+  const double node_median = commits > 0 ? node_commit_us.median() : 0.0;
+
+  util::Table table({"commits", "aborts", "median_us", "p99_us", "worst_us",
+                     "node_median_us"});
+  table.add_row({std::to_string(commits), std::to_string(aborts),
+                 util::Table::num(median, 1), util::Table::num(p99, 1),
+                 util::Table::num(worst, 1),
+                 util::Table::num(node_median, 1)});
+  std::printf("%s\n", table.to_string().c_str());
+
+  bench::JsonRow row;
+  row.name = "two_node_loopback";
+  row.metrics = {
+      {"commits", static_cast<double>(commits)},
+      {"aborts", static_cast<double>(aborts)},
+      {"median_us", median},
+      {"p99_us", p99},
+      {"worst_us", worst},
+      {"node_median_us", node_median},
+  };
+  bench::emit_json("dist_reconfig_latency", {row});
+  return 0;
+}

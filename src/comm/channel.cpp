@@ -1,0 +1,293 @@
+#include "comm/channel.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+
+namespace rtcf::comm {
+
+// ---- LoopbackChannel -------------------------------------------------------
+
+struct LoopbackChannel::Shared {
+  std::mutex mutex;
+  std::condition_variable cv;
+  /// queues[0]: frames travelling side false -> side true; queues[1] the
+  /// reverse direction.
+  std::deque<Frame> queues[2];
+  bool closed = false;
+};
+
+LoopbackChannel::LoopbackChannel(std::shared_ptr<Shared> shared, bool side)
+    : shared_(std::move(shared)), side_(side) {}
+
+std::pair<std::shared_ptr<LoopbackChannel>, std::shared_ptr<LoopbackChannel>>
+LoopbackChannel::make_pair() {
+  auto shared = std::make_shared<Shared>();
+  // make_shared cannot reach the private constructor; the channel is tiny,
+  // so the extra allocation is irrelevant (control plane only).
+  return {std::shared_ptr<LoopbackChannel>(
+              new LoopbackChannel(shared, false)),
+          std::shared_ptr<LoopbackChannel>(new LoopbackChannel(shared, true))};
+}
+
+bool LoopbackChannel::send(const Frame& frame) {
+  const std::lock_guard<std::mutex> lock(shared_->mutex);
+  if (shared_->closed) return false;
+  shared_->queues[side_ ? 1 : 0].push_back(frame);
+  shared_->cv.notify_all();
+  return true;
+}
+
+bool LoopbackChannel::receive(Frame& frame, rtsj::RelativeTime timeout) {
+  std::unique_lock<std::mutex> lock(shared_->mutex);
+  auto& queue = shared_->queues[side_ ? 0 : 1];
+  if (queue.empty() && !shared_->closed && timeout.nanos() > 0) {
+    shared_->cv.wait_for(lock, std::chrono::nanoseconds(timeout.nanos()),
+                         [&] { return !queue.empty() || shared_->closed; });
+  }
+  if (queue.empty()) return false;
+  frame = std::move(queue.front());
+  queue.pop_front();
+  return true;
+}
+
+void LoopbackChannel::close() {
+  const std::lock_guard<std::mutex> lock(shared_->mutex);
+  shared_->closed = true;
+  shared_->cv.notify_all();
+}
+
+bool LoopbackChannel::open() const {
+  const std::lock_guard<std::mutex> lock(shared_->mutex);
+  return !shared_->closed;
+}
+
+// ---- TcpChannel ------------------------------------------------------------
+
+namespace {
+
+void store_u32(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t load_u32(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         static_cast<std::uint32_t>(in[1]) << 8 |
+         static_cast<std::uint32_t>(in[2]) << 16 |
+         static_cast<std::uint32_t>(in[3]) << 24;
+}
+
+void store_u16(std::uint8_t* out, std::uint16_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+std::uint16_t load_u16(const std::uint8_t* in) {
+  return static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(in[0]) |
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(in[1]) << 8));
+}
+
+/// Upper bound on one frame, against corrupt/hostile length prefixes.
+constexpr std::uint32_t kMaxFrameBytes = 64u * 1024u * 1024u;
+
+}  // namespace
+
+std::unique_ptr<TcpChannel> TcpChannel::listen(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 1) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  auto channel = std::unique_ptr<TcpChannel>(new TcpChannel());
+  channel->listen_fd_ = fd;
+  channel->bound_port_ = ntohs(addr.sin_port);
+  return channel;
+}
+
+std::unique_ptr<TcpChannel> TcpChannel::connect(const std::string& host,
+                                                std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto channel = std::unique_ptr<TcpChannel>(new TcpChannel());
+  channel->fd_ = fd;
+  return channel;
+}
+
+TcpChannel::~TcpChannel() {
+  close();
+  // The destructor is the only place the fd numbers are released: by the
+  // time it runs no other thread may touch this channel, so the kernel
+  // recycling the numbers is safe here (and only here).
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+bool TcpChannel::accept_one() {
+  if (fd_ >= 0) return true;
+  if (listen_fd_ < 0 || closed_) return false;
+  const int fd = ::accept(listen_fd_, nullptr, nullptr);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return true;
+}
+
+bool TcpChannel::ensure_peer() {
+  if (fd_ >= 0) return true;
+  return accept_one();
+}
+
+bool TcpChannel::send(const Frame& frame) {
+  const std::lock_guard<std::mutex> lock(send_mutex_);
+  if (closed_ || !ensure_peer()) return false;
+  // Wire layout (docs/PROTOCOL.md): u32 length of everything after the
+  // prefix, then u16 wire version, u16 frame type, payload bytes.
+  std::vector<std::uint8_t> buffer(8 + frame.payload.size());
+  store_u32(buffer.data(),
+            static_cast<std::uint32_t>(4 + frame.payload.size()));
+  store_u16(buffer.data() + 4, kWireVersion);
+  store_u16(buffer.data() + 6, frame.type);
+  if (!frame.payload.empty()) {
+    std::memcpy(buffer.data() + 8, frame.payload.data(),
+                frame.payload.size());
+  }
+  std::size_t sent = 0;
+  while (sent < buffer.size()) {
+    const ssize_t n =
+        ::send(fd_, buffer.data() + sent, buffer.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool TcpChannel::read_exact(std::uint8_t* data, std::size_t size,
+                            rtsj::RelativeTime timeout) {
+  std::size_t got = 0;
+  auto& clock = rtsj::SteadyClock::instance();
+  const auto deadline = clock.now() + timeout;
+  // Once a frame is underway the peer has committed to finishing it, so
+  // mid-frame reads get a grace period beyond the caller's timeout — but
+  // a *bounded* one: a stalled peer must not wedge the receiver forever
+  // (the channel is closed below; a half-frame is unrecoverable anyway).
+  const auto stall_deadline =
+      deadline + rtsj::RelativeTime::milliseconds(2000);
+  while (got < size) {
+    if (closed_) return false;
+    const auto now = clock.now();
+    if (got > 0 && now >= stall_deadline) {
+      close();  // stream desynchronized mid-frame: unrecoverable
+      return false;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const auto remaining = (got > 0 ? stall_deadline : deadline) - now;
+    const int wait_ms = static_cast<int>(std::min<std::int64_t>(
+        std::max<std::int64_t>(remaining.nanos(), 0) / 1000000, 100));
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready < 0) return false;
+    if (ready == 0) {
+      if (got == 0 && clock.now() >= deadline) {
+        return false;  // clean timeout between frames
+      }
+      continue;  // re-check closed_/deadlines, keep waiting
+    }
+    const ssize_t n = ::recv(fd_, data + got, size - got, 0);
+    if (n <= 0) return false;  // peer closed or error
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool TcpChannel::receive(Frame& frame, rtsj::RelativeTime timeout) {
+  if (closed_) return false;
+  if (fd_ < 0) {
+    // Listening endpoint with no peer yet: wait for the connection only
+    // as long as the caller's timeout allows — receive() must never
+    // out-wait its contract (a serve loop polling with timeout 0 would
+    // otherwise block in accept() forever and become unjoinable).
+    if (listen_fd_ < 0) return false;
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int wait_ms = static_cast<int>(
+        std::max<std::int64_t>(timeout.nanos(), 0) / 1000000);
+    if (::poll(&pfd, 1, wait_ms) <= 0) return false;
+    if (!accept_one()) return false;
+  }
+  std::uint8_t header[4];
+  if (!read_exact(header, sizeof(header), timeout)) return false;
+  const std::uint32_t length = load_u32(header);
+  if (length < 4 || length > kMaxFrameBytes) {
+    // Framing violation: the stream position is lost for good (the next
+    // read would interpret payload bytes as a header). Close rather than
+    // hand back garbage frames forever.
+    close();
+    return false;
+  }
+  std::vector<std::uint8_t> body(length);
+  if (!read_exact(body.data(), body.size(),
+                  rtsj::RelativeTime::milliseconds(1000))) {
+    return false;
+  }
+  if (load_u16(body.data()) != kWireVersion) {
+    close();  // same: version mismatch mid-stream is unrecoverable
+    return false;
+  }
+  frame.type = load_u16(body.data() + 2);
+  frame.payload.assign(body.begin() + 4, body.end());
+  return true;
+}
+
+void TcpChannel::close() {
+  closed_.store(true, std::memory_order_release);
+  // Shutdown unblocks a receiver inside recv() (it returns 0) without
+  // releasing the fd number; the receive loops observe closed_ on their
+  // next poll tick. Listening sockets cannot be shut down — the
+  // bounded-poll receive path re-checks closed_ instead.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+bool TcpChannel::open() const {
+  return !closed_.load(std::memory_order_acquire);
+}
+
+}  // namespace rtcf::comm

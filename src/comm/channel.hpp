@@ -1,0 +1,144 @@
+// Length-prefixed control channels: the byte-stream transport under the
+// distributed reconfiguration protocol (src/dist).
+//
+// A channel moves *frames* — small typed byte payloads — between exactly
+// two endpoints, in order, reliably. Two transports implement the same
+// interface:
+//
+//   * LoopbackChannel  — an in-process pair of bounded-latency queues, for
+//                        tests and single-process multi-node examples;
+//   * TcpChannel       — a real socket with the wire framing documented in
+//                        docs/PROTOCOL.md (u32 little-endian length prefix,
+//                        u16 protocol version, u16 frame type, payload).
+//
+// Channels are deliberately dumb: no topics, no fan-out, no retransmission
+// policy. Everything protocol-shaped (transactions, prepare/commit,
+// serialized plans) lives above, in src/dist, so a second implementation
+// only has to reproduce the framing here and the payload encodings in
+// docs/PROTOCOL.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rtsj/time/time.hpp"
+
+namespace rtcf::comm {
+
+/// Protocol version stamped into every frame header. Receivers reject
+/// frames from a different major version (kWireVersion is the only
+/// version so far).
+inline constexpr std::uint16_t kWireVersion = 1;
+
+/// One typed message on a control channel. The payload encoding depends on
+/// the type and is specified in docs/PROTOCOL.md; the channel layer treats
+/// it as opaque bytes.
+struct Frame {
+  /// Frame type discriminator (see dist::FrameType for the reconfiguration
+  /// protocol's assignments).
+  std::uint16_t type = 0;
+  /// Opaque payload bytes (encoding per type).
+  std::vector<std::uint8_t> payload;
+};
+
+/// A reliable, ordered, bidirectional frame channel between two endpoints.
+class Channel {
+ public:
+  /// Closes nothing by itself; concrete transports close in their own
+  /// destructors.
+  virtual ~Channel() = default;
+
+  /// Sends one frame. Returns false when the channel is closed or the
+  /// peer is unreachable; blocking behaviour is transport-specific (the
+  /// loopback never blocks, TCP may block on a full socket buffer).
+  virtual bool send(const Frame& frame) = 0;
+
+  /// Receives the next frame, waiting up to `timeout` (zero = poll without
+  /// waiting). Returns false on timeout or when the channel is closed and
+  /// drained.
+  virtual bool receive(Frame& frame, rtsj::RelativeTime timeout) = 0;
+
+  /// Closes the channel; pending receives on either side unblock.
+  virtual void close() = 0;
+
+  /// True until close() is called on either endpoint.
+  virtual bool open() const = 0;
+};
+
+/// In-process transport: a pair of endpoints sharing two frame queues.
+class LoopbackChannel final : public Channel {
+ public:
+  /// Creates a connected pair; frames sent on one endpoint are received on
+  /// the other, in order.
+  static std::pair<std::shared_ptr<LoopbackChannel>,
+                   std::shared_ptr<LoopbackChannel>>
+  make_pair();
+
+  bool send(const Frame& frame) override;
+  bool receive(Frame& frame, rtsj::RelativeTime timeout) override;
+  void close() override;
+  bool open() const override;
+
+ private:
+  struct Shared;
+  explicit LoopbackChannel(std::shared_ptr<Shared> shared, bool side);
+
+  std::shared_ptr<Shared> shared_;
+  /// Which of the two directional queues this endpoint sends into.
+  bool side_ = false;
+};
+
+/// TCP transport with the docs/PROTOCOL.md framing. Connection setup is
+/// synchronous and out of band (the distributed protocol assumes the
+/// operator wires the cluster before coordinating transitions).
+class TcpChannel final : public Channel {
+ public:
+  /// Listens on `port` (0 picks an ephemeral port, readable via
+  /// bound_port()) and accepts exactly one peer on the first receive/
+  /// accept_one() call.
+  static std::unique_ptr<TcpChannel> listen(std::uint16_t port);
+  /// Connects to a listening endpoint. Returns nullptr on failure.
+  static std::unique_ptr<TcpChannel> connect(const std::string& host,
+                                             std::uint16_t port);
+
+  /// Closes the socket (and the listening socket, if any).
+  ~TcpChannel() override;
+
+  /// The locally bound port (listening endpoints; 0 otherwise).
+  std::uint16_t bound_port() const noexcept { return bound_port_; }
+  /// Blocks until a peer connects (listening endpoints). Returns false on
+  /// failure or when already connected.
+  bool accept_one();
+
+  bool send(const Frame& frame) override;
+  bool receive(Frame& frame, rtsj::RelativeTime timeout) override;
+  /// Thread-safe shutdown: marks the channel closed and shuts the socket
+  /// down so a blocked receiver unblocks, but defers the actual ::close
+  /// to the destructor — the fd number must not be recycled while
+  /// another thread may still be inside poll()/recv() on it.
+  void close() override;
+  bool open() const override;
+
+ private:
+  TcpChannel() = default;
+
+  bool ensure_peer();
+  bool read_exact(std::uint8_t* data, std::size_t size,
+                  rtsj::RelativeTime timeout);
+
+  int listen_fd_ = -1;
+  int fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  /// Set by close() (possibly from another thread); polled by the
+  /// receive loops.
+  std::atomic<bool> closed_{false};
+  std::mutex send_mutex_;
+};
+
+}  // namespace rtcf::comm

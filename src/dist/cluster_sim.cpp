@@ -1,0 +1,71 @@
+#include "dist/cluster_sim.hpp"
+
+#include <stdexcept>
+
+#include "dist/gateway.hpp"
+#include "dist/slice.hpp"
+#include "util/assert.hpp"
+
+namespace rtcf::dist {
+
+std::vector<NodeMirror> map_cluster(const model::Architecture& global,
+                                    const validate::NodeMap& map,
+                                    sim::PreemptiveScheduler& scheduler,
+                                    rtsj::RelativeTime link_latency) {
+  RTCF_REQUIRE(scheduler.cpu_count() >= map.nodes.size(),
+               "cluster mirror needs one simulated CPU per node");
+  std::vector<NodeMirror> mirrors;
+  mirrors.reserve(map.nodes.size());
+  // Slices are mapped one node at a time; the slice architectures only
+  // have to live until their tasks are registered.
+  std::vector<model::Architecture> slices;
+  slices.reserve(map.nodes.size());
+  for (std::size_t k = 0; k < map.nodes.size(); ++k) {
+    slices.push_back(slice_architecture(global, map, map.nodes[k]));
+    NodeMirror mirror;
+    mirror.node = map.nodes[k];
+    mirror.cpu = k;
+    mirror.mapping = sim::map_architecture(
+        slices.back(), scheduler,
+        [k](const std::string&) { return k; });
+    mirrors.push_back(std::move(mirror));
+  }
+  // Chain bridged bindings: the exit task's completion posts an arrival
+  // to the remote server task, link_latency later — one virtual clock,
+  // so the cluster-wide causality is exact and replayable.
+  for (const GatewayRoute& route : compute_routes(global, map)) {
+    const std::size_t client_idx = map.node_index(route.client_node);
+    const std::size_t server_idx = map.node_index(route.server_node);
+    if (client_idx >= mirrors.size() || server_idx >= mirrors.size()) {
+      continue;
+    }
+    const std::string exit_name =
+        gateway_exit_name(route.client, route.port);
+    if (!mirrors[client_idx].mapping.has(exit_name) ||
+        !mirrors[server_idx].mapping.has(route.server)) {
+      continue;  // passive endpoints map to no task
+    }
+    const sim::TaskId exit_task = mirrors[client_idx].mapping.task(exit_name);
+    const sim::TaskId server_task =
+        mirrors[server_idx].mapping.task(route.server);
+    scheduler.set_on_complete(
+        exit_task, [&scheduler, server_task,
+                    link_latency](rtsj::AbsoluteTime completion) {
+          scheduler.post_arrival(server_task, completion + link_latency);
+        });
+  }
+  return mirrors;
+}
+
+void schedule_node_delta(sim::PreemptiveScheduler& scheduler,
+                         reconfig::PlanDelta delta, NodeMirror& mirror,
+                         rtsj::AbsoluteTime t, rtsj::AbsoluteTime anchor) {
+  // The slice's partition numbers are node-local (single-partition
+  // slices); on the shared scheduler the node's CPU is its identity.
+  for (model::ComponentSpec& spec : delta.add_components) {
+    spec.partition = mirror.cpu;
+  }
+  reconfig::schedule_plan_delta(scheduler, delta, mirror.mapping, t, anchor);
+}
+
+}  // namespace rtcf::dist

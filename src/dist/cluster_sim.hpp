@@ -1,0 +1,51 @@
+// Virtual-time mirror of a distributed assembly: per-node mirrors sharing
+// one virtual clock.
+//
+// Each node's slice is mapped onto its own simulated CPU of a single
+// sim::PreemptiveScheduler — one clock, N nodes — so a coordinated
+// transition replays as one deterministic trace: every node's PlanChange /
+// ModeChange event carries the same virtual commit instant, and the
+// cluster-wide schedule is bit-for-bit reproducible. Cross-node bridged
+// bindings are chained through completion callbacks with a configurable
+// link latency, the virtual-time stand-in for the DATA hop.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/metamodel.hpp"
+#include "reconfig/plan_delta.hpp"
+#include "reconfig/sim_mirror.hpp"
+#include "sim/architecture_sim.hpp"
+#include "sim/scheduler.hpp"
+#include "validate/distribution.hpp"
+
+namespace rtcf::dist {
+
+/// One node's share of a cluster mirror.
+struct NodeMirror {
+  std::string node;          ///< Node name.
+  std::size_t cpu = 0;       ///< Simulated CPU (= node index).
+  sim::SimMapping mapping;   ///< Task ids of the node's slice.
+};
+
+/// Maps every node's slice of `global` onto `scheduler` (which must have
+/// at least map.nodes.size() CPUs): node k's tasks — including its
+/// gateway exits — run on CPU k. Cross-node asynchronous bindings are
+/// chained exit -> remote server with `link_latency` added to the arrival
+/// instant. Returns the per-node mirrors in cluster order.
+std::vector<NodeMirror> map_cluster(
+    const model::Architecture& global, const validate::NodeMap& map,
+    sim::PreemptiveScheduler& scheduler,
+    rtsj::RelativeTime link_latency = rtsj::RelativeTime::zero());
+
+/// Schedules one node's slice delta at virtual time `t` on its mirror —
+/// the virtual-time half of a coordinated commit: call it for every node
+/// with the same `t` (the commit instant) and `anchor` (the run start) to
+/// replay the cluster transition atomically. Added tasks are pinned to
+/// the mirror's CPU.
+void schedule_node_delta(sim::PreemptiveScheduler& scheduler,
+                         reconfig::PlanDelta delta, NodeMirror& mirror,
+                         rtsj::AbsoluteTime t, rtsj::AbsoluteTime anchor);
+
+}  // namespace rtcf::dist

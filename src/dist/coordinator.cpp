@@ -1,0 +1,334 @@
+#include "dist/coordinator.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "dist/plan_codec.hpp"
+#include "dist/slice.hpp"
+#include "reconfig/plan_delta.hpp"
+#include "soleil/plan.hpp"
+#include "validate/validator.hpp"
+
+namespace rtcf::dist {
+
+using model::AssemblyPlan;
+using validate::NodeMap;
+using validate::Severity;
+
+ReconfigCoordinator::ReconfigCoordinator(NodeMap map)
+    : ReconfigCoordinator(std::move(map), Options()) {}
+
+ReconfigCoordinator::ReconfigCoordinator(NodeMap map, Options options)
+    : map_(std::move(map)), options_(std::move(options)) {}
+
+void ReconfigCoordinator::attach(const std::string& node,
+                                 std::shared_ptr<comm::Channel> channel,
+                                 const model::Architecture& global) {
+  if (!map_.has_node(node)) {
+    throw std::invalid_argument("attach: undeclared node '" + node + "'");
+  }
+  Peer peer;
+  peer.channel = std::move(channel);
+  peer.snapshot =
+      soleil::snapshot_assembly(slice_architecture(global, map_, node),
+                                /*partitions=*/1);
+  peers_[node] = std::move(peer);
+}
+
+const AssemblyPlan& ReconfigCoordinator::node_snapshot(
+    const std::string& node) const {
+  auto it = peers_.find(node);
+  if (it == peers_.end()) {
+    throw std::invalid_argument("node_snapshot: unattached node '" + node +
+                                "'");
+  }
+  return it->second.snapshot;
+}
+
+bool ReconfigCoordinator::await_reply(const std::string& node,
+                                      std::uint64_t txn,
+                                      NodeReplyPayload& payload,
+                                      std::uint16_t& type,
+                                      rtsj::AbsoluteTime deadline) {
+  Peer& peer = peers_.at(node);
+  auto& clock = rtsj::SteadyClock::instance();
+  for (;;) {
+    const rtsj::AbsoluteTime now = clock.now();
+    if (now >= deadline) return false;
+    comm::Frame frame;
+    if (!peer.channel->receive(frame, deadline - now)) return false;
+    switch (static_cast<FrameType>(frame.type)) {
+      case FrameType::DemoteRequest:
+        try {
+          demote_queue_.push_back(parse_demote(frame));
+        } catch (const WireError&) {
+        }
+        continue;
+      case FrameType::Hello:
+        continue;  // attach-time greeting, no state
+      case FrameType::PrepareOk:
+      case FrameType::PrepareFail:
+      case FrameType::Committed:
+      case FrameType::Aborted:
+        try {
+          payload = parse_node_reply(frame);
+        } catch (const WireError&) {
+          continue;
+        }
+        if (payload.txn != txn) {
+          // A straggler of an earlier transaction (late vote, unsolicited
+          // presumed-abort notice): record the epoch, drop the frame —
+          // it must never be mistaken for the current transaction's
+          // reply.
+          peer.epoch = payload.epoch;
+          continue;
+        }
+        type = frame.type;
+        peer.epoch = payload.epoch;
+        return true;
+      default:
+        continue;  // not coordinator-bound; skip
+    }
+  }
+}
+
+ReconfigCoordinator::Outcome ReconfigCoordinator::coordinate_reload(
+    const model::Architecture& global_target) {
+  Outcome outcome;
+  outcome.txn = next_txn_++;
+
+  // Phase 0: global validation — the full rule engine on the target
+  // architecture, plus the DIST-* cut rules under the node map.
+  outcome.report = validate::validate(global_target);
+  const AssemblyPlan global_plan =
+      soleil::snapshot_assembly(global_target, /*partitions=*/1);
+  const validate::Report dist_report =
+      validate_distribution(global_plan, map_);
+  for (const auto& d : dist_report.diagnostics()) {
+    outcome.report.add(d.severity, d.rule, d.subject, d.message);
+  }
+  if (!outcome.report.ok()) {
+    outcome.reason = "global validation failed";
+    return outcome;
+  }
+
+  // Every node must be attached *before* the first PREPARE goes out: a
+  // transition partially announced and then dropped would leave the
+  // early nodes parked at the rendezvous with nobody to decide.
+  for (const std::string& node : map_.nodes) {
+    if (peers_.find(node) == peers_.end()) {
+      outcome.reason = "node '" + node + "' is not attached";
+      return outcome;
+    }
+  }
+
+  // Phase 1: slice, diff, PREPARE. The staged snapshots become the new
+  // baseline only when the whole cluster commits.
+  staged_.clear();
+  const std::vector<GatewayRoute> routes =
+      compute_routes(global_target, map_);
+  bool any_delta = false;
+  std::vector<std::string> participants;
+  for (const std::string& node : map_.nodes) {
+    auto it = peers_.find(node);
+    AssemblyPlan target = soleil::snapshot_assembly(
+        slice_architecture(global_target, map_, node), /*partitions=*/1);
+    const reconfig::PlanDelta delta =
+        reconfig::diff_plans(it->second.snapshot, target);
+    if (!delta.empty()) any_delta = true;
+    PrepareReloadPayload payload;
+    payload.txn = outcome.txn;
+    payload.expect_epoch = it->second.epoch;  // 0 before the first reply
+    payload.plan = encode_plan(target);
+    payload.delta = encode_delta(delta);
+    payload.routes = routes;
+    staged_[node] = std::move(target);
+    participants.push_back(node);
+    NodeResult result;
+    result.node = node;
+    outcome.nodes.push_back(std::move(result));
+    if (!it->second.channel->send(make_prepare_reload(payload))) {
+      outcome.reason = "node '" + node + "' is unreachable";
+    }
+  }
+  if (!any_delta && outcome.reason.empty()) {
+    // Cluster-wide no-op: abort the already-sent prepares and say so.
+    outcome.reason = "empty delta on every node (no-op reload)";
+  }
+  decide(outcome, participants);
+  return outcome;
+}
+
+ReconfigCoordinator::Outcome ReconfigCoordinator::coordinate_transition(
+    const std::string& mode) {
+  Outcome outcome;
+  outcome.txn = next_txn_++;
+  staged_.clear();  // mode transitions do not move snapshots
+
+  // All-attached check before the first PREPARE (see coordinate_reload).
+  for (const std::string& node : map_.nodes) {
+    if (peers_.find(node) == peers_.end()) {
+      outcome.reason = "node '" + node + "' is not attached";
+      return outcome;
+    }
+  }
+  std::vector<std::string> participants;
+  for (const std::string& node : map_.nodes) {
+    auto it = peers_.find(node);
+    PrepareModePayload payload;
+    payload.txn = outcome.txn;
+    payload.mode = mode;
+    participants.push_back(node);
+    NodeResult result;
+    result.node = node;
+    outcome.nodes.push_back(std::move(result));
+    if (!it->second.channel->send(make_prepare_mode(payload))) {
+      outcome.reason = "node '" + node + "' is unreachable";
+    }
+  }
+  decide(outcome, participants);
+  return outcome;
+}
+
+void ReconfigCoordinator::decide(Outcome& outcome,
+                                 const std::vector<std::string>& participants) {
+  auto& clock = rtsj::SteadyClock::instance();
+  const rtsj::AbsoluteTime prepare_deadline =
+      clock.now() + options_.prepare_timeout;
+
+  // Collect every vote — even when the transition is already doomed (a
+  // launch failure or a cluster no-op), nodes that prepared must be
+  // aborted below and their votes must not linger in the channels.
+  bool all_prepared = outcome.reason.empty();
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    NodeResult& result = outcome.nodes[i];
+    NodeReplyPayload payload;
+    std::uint16_t type = 0;
+    if (!await_reply(participants[i], outcome.txn, payload, type,
+                     prepare_deadline)) {
+      all_prepared = false;
+      if (outcome.reason.empty()) {
+        outcome.reason =
+            "straggler: node '" + participants[i] + "' missed the deadline";
+      }
+      result.detail = "no vote before the prepare deadline";
+      continue;
+    }
+    result.epoch = payload.epoch;
+    if (type == static_cast<std::uint16_t>(FrameType::PrepareOk)) {
+      result.prepared = true;
+    } else {
+      all_prepared = false;
+      result.detail = payload.reason;
+      if (outcome.reason.empty()) {
+        outcome.reason = "node '" + participants[i] +
+                         "' rejected the prepare: " + payload.reason;
+      }
+    }
+  }
+
+  // Decide.
+  DecisionPayload decision;
+  decision.txn = outcome.txn;
+  const FrameType verdict =
+      all_prepared ? FrameType::Commit : FrameType::Abort;
+  if (!all_prepared) decision.reason = outcome.reason;
+  for (const std::string& node : participants) {
+    peers_.at(node).channel->send(make_decision(verdict, decision));
+  }
+  const rtsj::AbsoluteTime decision_deadline =
+      clock.now() + options_.decision_timeout;
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    NodeResult& result = outcome.nodes[i];
+    NodeReplyPayload payload;
+    std::uint16_t type = 0;
+    if (!await_reply(participants[i], outcome.txn, payload, type,
+                     decision_deadline)) {
+      if (result.detail.empty()) {
+        result.detail = "no decision acknowledgement";
+      }
+      continue;
+    }
+    result.epoch = payload.epoch;
+    if (all_prepared &&
+        type == static_cast<std::uint16_t>(FrameType::Committed)) {
+      result.committed = true;
+      result.drained = payload.drained;
+      result.latency_ns = payload.latency_ns;
+    } else if (result.detail.empty()) {
+      result.detail = payload.reason;
+    }
+  }
+
+  outcome.committed = all_prepared;
+  for (const NodeResult& result : outcome.nodes) {
+    if (!result.committed) outcome.committed = false;
+  }
+  if (all_prepared) {
+    // The COMMIT decision is made the moment it is sent: a node whose
+    // acknowledgement merely missed the deadline has still applied (the
+    // channel is reliable), so its staged snapshot must advance — or
+    // every later reload would diff against a stale baseline and abort
+    // on the delta-agreement check forever. Only an explicit ABORTED
+    // reply (the lapsed-quiescence edge) proves the node did not apply
+    // and keeps its old snapshot.
+    for (std::size_t i = 0; i < participants.size(); ++i) {
+      NodeResult& result = outcome.nodes[i];
+      const bool node_aborted =
+          !result.committed && !result.detail.empty() &&
+          result.detail != "no decision acknowledgement";
+      if (node_aborted) continue;
+      auto staged = staged_.find(participants[i]);
+      if (staged != staged_.end()) {
+        Peer& peer = peers_.at(participants[i]);
+        peer.snapshot = std::move(staged->second);
+        if (!result.committed) {
+          // Epoch unknown until the node is heard from again; 0 skips
+          // the stale-epoch check on the next PREPARE.
+          peer.epoch = 0;
+        }
+      }
+    }
+  }
+  staged_.clear();
+}
+
+std::optional<DemotePayload> ReconfigCoordinator::poll_demote_request(
+    rtsj::RelativeTime wait) {
+  if (!demote_queue_.empty()) {
+    DemotePayload payload = demote_queue_.front();
+    demote_queue_.pop_front();
+    return payload;
+  }
+  auto& clock = rtsj::SteadyClock::instance();
+  const rtsj::AbsoluteTime deadline = clock.now() + wait;
+  for (;;) {
+    bool any = false;
+    for (auto& [node, peer] : peers_) {
+      (void)node;
+      comm::Frame frame;
+      while (peer.channel->receive(frame, rtsj::RelativeTime::zero())) {
+        any = true;
+        if (frame.type ==
+            static_cast<std::uint16_t>(FrameType::DemoteRequest)) {
+          try {
+            demote_queue_.push_back(parse_demote(frame));
+          } catch (const WireError&) {
+          }
+        }
+      }
+    }
+    if (!demote_queue_.empty()) {
+      DemotePayload payload = demote_queue_.front();
+      demote_queue_.pop_front();
+      return payload;
+    }
+    if (clock.now() >= deadline) return std::nullopt;
+    if (!any) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+}  // namespace rtcf::dist

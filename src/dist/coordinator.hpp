@@ -1,0 +1,141 @@
+// The reconfiguration coordinator: one logical transition across N nodes.
+//
+// The coordinator owns the cluster-level half of the protocol
+// (docs/PROTOCOL.md):
+//
+//   1. *Plan.* A coordinated reload validates the global target
+//      architecture with the full rule engine plus the DIST-* cut rules,
+//      slices it per node (dist/slice.hpp), and diffs every slice against
+//      its view of that node's running snapshot. The canonical plan and
+//      delta encodings (dist/plan_codec.hpp) are the unit of agreement.
+//   2. *Prepare.* Every node receives its slice + delta + the post-commit
+//      route table, re-validates the delta locally (DELTA-* rules, the
+//      byte-exact agreement check), parks its executive at the quiescence
+//      rendezvous, and votes. A PREPARE_FAIL or a straggler that misses
+//      `Options::prepare_timeout` turns the transition into a clean
+//      global abort — every prepared node releases with its old epoch.
+//   3. *Decide.* On unanimous PREPARE_OK the coordinator commits: each
+//      node applies its slice on the decision thread while its workers
+//      stay parked, reports its drain audit and epoch, and resumes. The
+//      coordinator's per-node snapshots advance only on COMMITTED.
+//
+// Coordinated *mode transitions* ride the same two-phase machinery with a
+// mode name instead of a slice (a node whose filtered mode has no local
+// components quiesces everything it manages — how a cluster demotion
+// shuts down a whole node). DEMOTE_REQUEST frames from overloaded nodes
+// are queued during waits and surfaced via poll_demote_request().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "dist/protocol.hpp"
+#include "model/assembly_plan.hpp"
+#include "model/metamodel.hpp"
+#include "validate/distribution.hpp"
+#include "validate/report.hpp"
+
+namespace rtcf::dist {
+
+/// Runs two-phase transitions across the attached nodes.
+class ReconfigCoordinator {
+ public:
+  /// Coordinator knobs.
+  struct Options {
+    /// PREPARE phase deadline: a node that has not voted by then is a
+    /// straggler and the transition aborts globally.
+    rtsj::RelativeTime prepare_timeout =
+        rtsj::RelativeTime::milliseconds(1000);
+    /// COMMIT/ABORT acknowledgement deadline (bookkeeping only — the
+    /// decision is already durable when it is sent).
+    rtsj::RelativeTime decision_timeout =
+        rtsj::RelativeTime::milliseconds(1000);
+  };
+
+  /// One node's verdict inside an Outcome.
+  struct NodeResult {
+    std::string node;          ///< Node name.
+    bool prepared = false;     ///< Voted PREPARE_OK.
+    bool committed = false;    ///< Acknowledged COMMIT.
+    std::uint64_t epoch = 0;   ///< Node plan epoch after the transition.
+    std::uint64_t drained = 0; ///< Apply-time drain audit (reloads).
+    std::int64_t latency_ns = 0;  ///< Prepare-to-commit latency.
+    std::string detail;        ///< Failure reason / abort acknowledgement.
+  };
+
+  /// The result of one coordinated transition.
+  struct Outcome {
+    bool committed = false;    ///< True when every node committed.
+    std::uint64_t txn = 0;     ///< Transaction id.
+    std::string reason;        ///< Why the transition aborted (when it did).
+    validate::Report report;   ///< Global validation (reloads).
+    std::vector<NodeResult> nodes;  ///< Per-node results, cluster order.
+  };
+
+  /// A cluster over `map` with default options (every map node must be
+  /// attached before the first transition).
+  explicit ReconfigCoordinator(validate::NodeMap map);
+  /// A cluster over `map` with explicit options.
+  ReconfigCoordinator(validate::NodeMap map, Options options);
+
+  /// Attaches `node`'s control channel and records its launch-time
+  /// snapshot: the slice of `global` assembled when the node started
+  /// (the baseline every later reload is diffed against).
+  void attach(const std::string& node, std::shared_ptr<comm::Channel> channel,
+              const model::Architecture& global);
+
+  /// Coordinates one atomic cluster reload onto `global_target`. Returns
+  /// without touching any node when global validation (rule engine +
+  /// DIST-* rules) fails or a slice has no delta *anywhere* (a cluster
+  /// no-op).
+  Outcome coordinate_reload(const model::Architecture& global_target);
+
+  /// Coordinates one atomic cluster mode transition.
+  Outcome coordinate_transition(const std::string& mode);
+
+  /// Returns the oldest queued DEMOTE_REQUEST (scanning the channels for
+  /// up to `wait`), or nullopt. The caller answers it with
+  /// coordinate_transition(payload.mode).
+  std::optional<DemotePayload> poll_demote_request(rtsj::RelativeTime wait);
+
+  /// The coordinator's view of `node`'s running snapshot (advanced on
+  /// COMMITTED). Exposed for tests and tooling.
+  const model::AssemblyPlan& node_snapshot(const std::string& node) const;
+
+  /// The node map this cluster was built over.
+  const validate::NodeMap& node_map() const noexcept { return map_; }
+
+ private:
+  struct Peer {
+    std::shared_ptr<comm::Channel> channel;
+    model::AssemblyPlan snapshot;   ///< Last committed slice snapshot.
+    std::uint64_t epoch = 0;        ///< Last epoch the node reported.
+  };
+
+  /// Runs the decision phase shared by reloads and transitions: collects
+  /// PREPARE votes until `deadline`, then commits or aborts everywhere.
+  void decide(Outcome& outcome,
+              const std::vector<std::string>& participants);
+  /// Receives the next reply for transaction `txn` from `node` (stashing
+  /// demote requests, dropping replies of earlier transactions) until
+  /// `deadline`; false on timeout.
+  bool await_reply(const std::string& node, std::uint64_t txn,
+                   NodeReplyPayload& payload, std::uint16_t& type,
+                   rtsj::AbsoluteTime deadline);
+
+  validate::NodeMap map_;
+  Options options_;
+  std::map<std::string, Peer> peers_;
+  std::deque<DemotePayload> demote_queue_;
+  std::uint64_t next_txn_ = 1;
+  /// Staged post-commit snapshots of the transition in flight.
+  std::map<std::string, model::AssemblyPlan> staged_;
+};
+
+}  // namespace rtcf::dist

@@ -1,0 +1,73 @@
+#include "dist/gateway.hpp"
+
+#include "dist/protocol.hpp"
+#include "runtime/content_registry.hpp"
+
+namespace rtcf::dist {
+
+std::string gateway_exit_name(const std::string& client,
+                              const std::string& port) {
+  return "__gw.out." + client + "." + port;
+}
+
+std::string gateway_entry_name(const std::string& client,
+                               const std::string& port) {
+  return "__gw.in." + client + "." + port;
+}
+
+void GatewayExitContent::set_route(std::shared_ptr<comm::Channel> channel,
+                                   std::string client, std::string port) {
+  channel_ = std::move(channel);
+  client_ = std::move(client);
+  port_ = std::move(port);
+}
+
+void GatewayExitContent::on_message(const comm::Message& message) {
+  if (channel_ == nullptr) {
+    ++dropped_;
+    return;
+  }
+  DataPayload payload;
+  payload.client = client_;
+  payload.port = port_;
+  payload.message = message;
+  if (channel_->send(make_data(payload))) {
+    ++forwarded_;
+  } else {
+    ++dropped_;
+  }
+}
+
+bool GatewayEntryContent::inject(const std::string& port_name,
+                                 const comm::Message& message) {
+  for (std::size_t i = 0; i < port_count(); ++i) {
+    comm::OutPort& out = port(i);
+    if (out.name() != port_name) continue;
+    if (!out.bound()) break;
+    out.send(message);
+    ++injected_;
+    return true;
+  }
+  ++dropped_;
+  return false;
+}
+
+// Gateways are infrastructure, but they are instantiated through the same
+// registry path as user content so the DELTA-CONTENT-UNKNOWN rule and hot
+// admission treat them uniformly.
+RTCF_REGISTER_CONTENT(GatewayExitContent)
+RTCF_REGISTER_CONTENT(GatewayEntryContent)
+
+namespace {
+// Also register under the stable protocol-facing names used in slices
+// (kGatewayExitClass / kGatewayEntryClass), which are what a second
+// implementation would have to provide.
+const bool gateway_aliases_registered = [] {
+  auto& registry = runtime::ContentRegistry::instance();
+  registry.register_class<GatewayExitContent>(kGatewayExitClass);
+  registry.register_class<GatewayEntryContent>(kGatewayEntryClass);
+  return true;
+}();
+}  // namespace
+
+}  // namespace rtcf::dist

@@ -1,0 +1,520 @@
+#include "dist/node_runtime.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "dist/plan_codec.hpp"
+#include "validate/validator.hpp"
+
+namespace rtcf::dist {
+
+using reconfig::ModeManager;
+using reconfig::ReloadPlan;
+
+namespace {
+const rtsj::RelativeTime kPollZero = rtsj::RelativeTime::zero();
+
+/// Application::content() throws for unknown names; routing treats those
+/// as "not on this node" instead.
+comm::Content* find_content(soleil::Application& app,
+                            const std::string& name) {
+  if (app.assembly().find(name) == nullptr) return nullptr;
+  try {
+    return app.content(name);
+  } catch (const std::invalid_argument&) {
+    return nullptr;
+  }
+}
+
+}  // namespace
+
+NodeRuntime::NodeRuntime(const model::Architecture& global,
+                         const validate::NodeMap& map,
+                         const std::string& node)
+    : NodeRuntime(global, map, node, Options()) {}
+
+NodeRuntime::NodeRuntime(const model::Architecture& global,
+                         const validate::NodeMap& map,
+                         const std::string& node, Options options)
+    : node_(node),
+      options_(std::move(options)),
+      slice_(slice_architecture(global, map, node)) {
+  const validate::Report report = validate::validate(slice_);
+  if (!report.ok()) {
+    throw std::invalid_argument("node '" + node +
+                                "' slice fails validation:\n" +
+                                report.to_string());
+  }
+  app_ = soleil::build_application(slice_, soleil::Mode::Soleil,
+                                   /*partitions=*/1);
+  app_->start();
+  ModeManager::Options mm_options;
+  mm_options.initial_mode = options_.initial_mode;
+  // Demotion is a cluster decision here: the governor watch reports to
+  // the coordinator instead of transitioning locally.
+  mm_options.governor_demotion = !options_.cluster_demotion;
+  mode_manager_ = std::make_unique<ModeManager>(*app_, mm_options);
+  launcher_ = std::make_unique<runtime::Launcher>(*app_);
+  routes_ = compute_routes(global, map);
+  apply_routes(routes_);
+}
+
+NodeRuntime::~NodeRuntime() {
+  if (serving_.load() || serve_thread_.joinable() ||
+      executive_thread_.joinable()) {
+    stop();
+  }
+}
+
+void NodeRuntime::attach_control(std::shared_ptr<comm::Channel> channel) {
+  control_ = std::move(channel);
+  control_->send(make_hello(node_));
+}
+
+void NodeRuntime::connect_peer(const std::string& peer,
+                               std::shared_ptr<comm::Channel> channel) {
+  peers_[peer] = std::move(channel);
+  // Exits routed before the peer channel existed pick it up now.
+  apply_routes(routes_);
+}
+
+void NodeRuntime::start() {
+  if (!executive_done_.load()) return;
+  // A previous run may have finished without an intervening stop();
+  // reap its (joinable, already-exited) thread before starting anew.
+  if (executive_thread_.joinable()) executive_thread_.join();
+  executive_done_.store(false);
+  executive_thread_ = std::thread([this] { executive_loop(); });
+  if (!serving_.load()) {
+    serving_.store(true);
+    serve_thread_ = std::thread([this] { serve_loop(); });
+  }
+}
+
+void NodeRuntime::join_executive() {
+  if (executive_thread_.joinable()) executive_thread_.join();
+}
+
+void NodeRuntime::stop() {
+  join_executive();
+  serving_.store(false);
+  if (serve_thread_.joinable()) serve_thread_.join();
+
+  // Final drain: whatever is still in flight — peer queues, the inbox,
+  // local activation credits — is delivered single-threaded (both
+  // threads joined), so the conservation audit sees every message.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    comm::Frame frame;
+    for (auto& [peer, channel] : peers_) {
+      (void)peer;
+      while (channel->receive(frame, kPollZero)) {
+        if (frame.type == static_cast<std::uint16_t>(FrameType::Data)) {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          inbox_.push_back(parse_data(frame));
+          moved = true;
+        }
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (routes_dirty_) {
+        routes_dirty_ = false;
+        apply_routes(routes_);
+      }
+      if (!inbox_.empty()) moved = true;
+    }
+    drain_inbox();
+    if (!app_->activation_manager().idle()) {
+      app_->pump();
+      moved = true;
+    }
+  }
+  app_->stop();
+}
+
+void NodeRuntime::fail_next_prepare(std::string reason) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  forced_failure_ = std::move(reason);
+}
+
+NodeRuntime::GatewayStats NodeRuntime::gateway_stats() const {
+  GatewayStats stats;
+  for (const auto& spec : app_->assembly().components()) {
+    comm::Content* content = find_content(*app_, spec.name);
+    if (content == nullptr) continue;
+    if (const auto* exit = dynamic_cast<const GatewayExitContent*>(content)) {
+      stats.forwarded += exit->forwarded();
+      stats.exit_dropped += exit->dropped();
+    } else if (const auto* entry =
+                   dynamic_cast<const GatewayEntryContent*>(content)) {
+      stats.injected += entry->injected();
+      stats.entry_dropped += entry->dropped();
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats.entry_dropped += entry_drops_;
+  return stats;
+}
+
+std::size_t NodeRuntime::inbox_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return inbox_.size();
+}
+
+void NodeRuntime::executive_loop() {
+  runtime::Launcher::Options opts;
+  opts.duration = options_.run_duration;
+  opts.workers = 1;
+  opts.poll_interval = options_.poll_interval;
+  opts.mode_manager = mode_manager_.get();
+  opts.boundary_hook = [this] { boundary(); };
+  launcher_->run(opts);
+  executive_done_.store(true);
+}
+
+void NodeRuntime::serve_loop() {
+  const auto poll =
+      std::chrono::nanoseconds(options_.poll_interval.nanos());
+  while (serving_.load()) {
+    bool any = false;
+    comm::Frame frame;
+    if (control_ != nullptr) {
+      while (control_->receive(frame, kPollZero)) {
+        handle_control(frame);
+        any = true;
+      }
+    }
+    for (auto& [peer, channel] : peers_) {
+      (void)peer;
+      while (channel->receive(frame, kPollZero)) {
+        if (frame.type == static_cast<std::uint16_t>(FrameType::Data)) {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          inbox_.push_back(parse_data(frame));
+        }
+        any = true;
+      }
+    }
+    // Presumed abort: prepared but undecided past the deadline — release
+    // the executive unilaterally so a dead coordinator cannot wedge it.
+    {
+      std::uint64_t stale_txn = 0;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (staged_ &&
+            rtsj::SteadyClock::instance().now() > decision_deadline_) {
+          stale_txn = staged_txn_;
+          staged_ = false;
+          staged_routes_.clear();
+        }
+      }
+      if (stale_txn != 0) {
+        mode_manager_->abort_prepared();
+        reply(FrameType::Aborted, stale_txn, "decision timeout", 0, 0);
+      }
+    }
+    if (!any) std::this_thread::sleep_for(poll);
+  }
+}
+
+void NodeRuntime::boundary() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (routes_dirty_) {
+      routes_dirty_ = false;
+      apply_routes(routes_);
+    }
+  }
+  drain_inbox();
+  watch_governor();
+}
+
+void NodeRuntime::apply_routes(const std::vector<GatewayRoute>& routes) {
+  entries_.clear();
+  for (const GatewayRoute& route : routes) {
+    if (route.client_node == node_) {
+      comm::Content* content =
+          find_content(*app_, gateway_exit_name(route.client, route.port));
+      if (auto* exit = dynamic_cast<GatewayExitContent*>(content)) {
+        auto peer = peers_.find(route.server_node);
+        exit->set_route(peer == peers_.end() ? nullptr : peer->second,
+                        route.client, route.port);
+      }
+    }
+    if (route.server_node == node_) {
+      comm::Content* content =
+          find_content(*app_, gateway_entry_name(route.client, route.port));
+      if (auto* entry = dynamic_cast<GatewayEntryContent*>(content)) {
+        // The entry's single client port is named after the *client's*
+        // port (see slice_architecture), not the server's interface.
+        entries_[{route.client, route.port}] =
+            EntrySlot{entry, route.port};
+      }
+    }
+  }
+}
+
+void NodeRuntime::drain_inbox() {
+  std::deque<DataPayload> batch;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    batch.swap(inbox_);
+  }
+  for (const DataPayload& data : batch) {
+    auto it = entries_.find({data.client, data.port});
+    if (it == entries_.end() || it->second.content == nullptr) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++entry_drops_;
+      continue;
+    }
+    it->second.content->inject(it->second.port_name, data.message);
+  }
+}
+
+void NodeRuntime::watch_governor() {
+  if (!options_.cluster_demotion ||
+      demote_sent_.load(std::memory_order_relaxed) || control_ == nullptr) {
+    return;
+  }
+  const monitor::GovernorLevel level = app_->monitor().governor().level();
+  if (static_cast<int>(level) < static_cast<int>(options_.demote_at)) return;
+  const model::ModeDecl* degraded = mode_manager_->degraded_mode();
+  if (degraded == nullptr) return;
+  if (mode_manager_->current_mode() == degraded->name) return;
+  DemotePayload payload;
+  payload.node = node_;
+  payload.mode = degraded->name;
+  payload.level = static_cast<std::uint8_t>(level);
+  control_->send(make_demote(payload));
+  demote_sent_.store(true, std::memory_order_relaxed);
+}
+
+void NodeRuntime::reply(FrameType type, std::uint64_t txn,
+                        const std::string& reason, std::uint64_t drained,
+                        std::int64_t latency_ns) {
+  if (control_ == nullptr) return;
+  NodeReplyPayload payload;
+  payload.txn = txn;
+  payload.node = node_;
+  payload.epoch = mode_manager_->plan_epoch();
+  payload.reason = reason;
+  payload.drained = drained;
+  payload.latency_ns = latency_ns;
+  control_->send(make_node_reply(type, payload));
+}
+
+void NodeRuntime::handle_control(const comm::Frame& frame) {
+  switch (static_cast<FrameType>(frame.type)) {
+    case FrameType::PrepareReload:
+      handle_prepare_reload(frame);
+      break;
+    case FrameType::PrepareMode:
+      handle_prepare_mode(frame);
+      break;
+    case FrameType::Commit:
+    case FrameType::Abort:
+      handle_decision(frame);
+      break;
+    case FrameType::Data: {
+      // Star topologies may relay data over the control channel.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      inbox_.push_back(parse_data(frame));
+      break;
+    }
+    default:
+      break;  // Hello/replies are coordinator-bound; ignore.
+  }
+}
+
+void NodeRuntime::handle_prepare_reload(const comm::Frame& frame) {
+  PrepareReloadPayload payload;
+  try {
+    payload = parse_prepare_reload(frame);
+  } catch (const WireError& e) {
+    reply(FrameType::PrepareFail, 0, e.what(), 0, 0);
+    return;
+  }
+  const auto fail = [&](const std::string& reason) {
+    reply(FrameType::PrepareFail, payload.txn, reason, 0, 0);
+  };
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (staged_) {
+      fail("another transition is already prepared");
+      return;
+    }
+    if (!forced_failure_.empty()) {
+      const std::string reason = forced_failure_;
+      forced_failure_.clear();
+      fail(reason);
+      return;
+    }
+  }
+  if (payload.expect_epoch != 0 &&
+      payload.expect_epoch != mode_manager_->plan_epoch()) {
+    fail("stale epoch: coordinator diffed against epoch " +
+         std::to_string(payload.expect_epoch) + ", node is at " +
+         std::to_string(mode_manager_->plan_epoch()));
+    return;
+  }
+  ReloadPlan plan;
+  try {
+    plan.target = decode_plan(payload.plan);
+    // Agreement check: the node re-diffs its own running snapshot against
+    // the received target; the canonical delta encoding must match the
+    // coordinator's byte for byte, or its view of this node is stale.
+    plan.delta = reconfig::diff_plans(app_->assembly(), plan.target);
+    if (encode_delta(plan.delta) != payload.delta) {
+      fail("delta disagreement: coordinator view of this node is stale");
+      return;
+    }
+  } catch (const WireError& e) {
+    fail(e.what());
+    return;
+  }
+  // The node-local half of the rule engine: DELTA-* over the slice.
+  reconfig::check_delta_rules(plan.delta, app_->assembly(), plan.target,
+                              plan.report);
+  validate::Report report;
+  if (!mode_manager_->prepare_reload(std::move(plan), &report)) {
+    fail("slice rejected:\n" + report.to_string());
+    return;
+  }
+  if (!mode_manager_->wait_prepared(options_.quiesce_timeout)) {
+    mode_manager_->abort_prepared();
+    fail("quiescence timeout: executive did not park in time");
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    staged_ = true;
+    staged_is_reload_ = true;
+    staged_txn_ = payload.txn;
+    staged_routes_ = payload.routes;
+    decision_deadline_ =
+        rtsj::SteadyClock::instance().now() + options_.decision_timeout;
+  }
+  reply(FrameType::PrepareOk, payload.txn, "", 0, 0);
+}
+
+void NodeRuntime::handle_prepare_mode(const comm::Frame& frame) {
+  PrepareModePayload payload;
+  try {
+    payload = parse_prepare_mode(frame);
+  } catch (const WireError& e) {
+    reply(FrameType::PrepareFail, 0, e.what(), 0, 0);
+    return;
+  }
+  const auto fail = [&](const std::string& reason) {
+    reply(FrameType::PrepareFail, payload.txn, reason, 0, 0);
+  };
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (staged_) {
+      fail("another transition is already prepared");
+      return;
+    }
+    if (!forced_failure_.empty()) {
+      const std::string reason = forced_failure_;
+      forced_failure_.clear();
+      fail(reason);
+      return;
+    }
+  }
+  if (!mode_manager_->prepare_transition(payload.mode, "dist-mode")) {
+    fail("unknown mode '" + payload.mode + "' (or a transition is pending)");
+    return;
+  }
+  if (!mode_manager_->wait_prepared(options_.quiesce_timeout)) {
+    mode_manager_->abort_prepared();
+    fail("quiescence timeout: executive did not park in time");
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    staged_ = true;
+    staged_is_reload_ = false;
+    staged_txn_ = payload.txn;
+    staged_routes_.clear();
+    decision_deadline_ =
+        rtsj::SteadyClock::instance().now() + options_.decision_timeout;
+  }
+  reply(FrameType::PrepareOk, payload.txn, "", 0, 0);
+}
+
+void NodeRuntime::handle_decision(const comm::Frame& frame) {
+  DecisionPayload payload;
+  try {
+    payload = parse_decision(frame);
+  } catch (const WireError&) {
+    return;
+  }
+  bool known = false;
+  bool is_reload = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    known = staged_ && staged_txn_ == payload.txn;
+    is_reload = staged_is_reload_;
+  }
+  if (!known) {
+    // Unknown or already-timed-out transaction: decisions are idempotent,
+    // report the (unchanged) state.
+    reply(FrameType::Aborted, payload.txn, "no such prepared transaction",
+          0, 0);
+    return;
+  }
+  if (frame.type == static_cast<std::uint16_t>(FrameType::Commit)) {
+    const bool applied = mode_manager_->commit_prepared();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      staged_ = false;
+      if (applied && is_reload) {
+        // Adopt the staged table even when it is empty: a reload that
+        // removes the last cross-node binding must clear the old routes
+        // and entry map, or late DATA frames would be injected into
+        // retired gateways.
+        routes_ = std::move(staged_routes_);
+        routes_dirty_ = true;
+      }
+      staged_routes_.clear();
+      // A committed transition answered whatever overload triggered a
+      // demote request; allow a future escalation to report again.
+      if (applied) demote_sent_.store(false, std::memory_order_relaxed);
+    }
+    if (applied && executive_done_.load()) {
+      // No executive thread to run the boundary hook; apply routes here
+      // (single-threaded: the launcher run is over).
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (routes_dirty_) {
+        routes_dirty_ = false;
+        apply_routes(routes_);
+      }
+    }
+    const std::int64_t latency_ns =
+        mode_manager_->last_transition().latency.nanos();
+    if (applied) {
+      reply(FrameType::Committed, payload.txn, "",
+            is_reload ? mode_manager_->last_drain_audit() : 0, latency_ns);
+    } else {
+      // Commit arrived while quiescence had lapsed (e.g. a new launcher
+      // run started between the vote and the decision): the staged
+      // transition must be released, or the manager stays pending
+      // forever and wedges every later rendezvous.
+      mode_manager_->abort_prepared();
+      reply(FrameType::Aborted, payload.txn, "commit without quiescence", 0,
+            0);
+    }
+  } else {
+    mode_manager_->abort_prepared();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      staged_ = false;
+      staged_routes_.clear();
+    }
+    reply(FrameType::Aborted, payload.txn, payload.reason, 0, 0);
+  }
+}
+
+}  // namespace rtcf::dist

@@ -1,0 +1,402 @@
+#include "dist/plan_codec.hpp"
+
+namespace rtcf::dist {
+
+using model::AssemblyPlan;
+using model::AssemblyPlanBuilder;
+using model::BindingEnd;
+using model::BindingSpec;
+using model::ComponentSpec;
+using model::ModeDecl;
+using model::TimingContract;
+using reconfig::PlanDelta;
+using reconfig::RebindDelta;
+using reconfig::SettingDelta;
+
+namespace {
+
+/// Guards a decoded element count before any reserve()/loop: each element
+/// occupies at least `min_each` bytes, so a count the remaining input
+/// cannot possibly hold is corrupt — reject it as WireError instead of
+/// letting a hostile u32 drive a multi-gigabyte reserve into bad_alloc
+/// (which would escape the WireError-only handlers).
+void require_count(const WireReader& r, std::uint32_t count,
+                   std::size_t min_each, const char* what) {
+  if (static_cast<std::uint64_t>(count) * min_each > r.remaining()) {
+    throw WireError(std::string("implausible ") + what + " count " +
+                    std::to_string(count) + " for " +
+                    std::to_string(r.remaining()) + " remaining bytes");
+  }
+}
+
+void write_time(WireWriter& w, rtsj::RelativeTime t) { w.i64(t.nanos()); }
+
+rtsj::RelativeTime read_time(WireReader& r) {
+  return rtsj::RelativeTime::nanoseconds(r.i64());
+}
+
+void write_contract(WireWriter& w, const TimingContract& c) {
+  write_time(w, c.wcet_budget);
+  w.f64(c.miss_ratio_bound);
+  w.f64(c.max_arrival_rate_hz);
+  w.u32(c.window);
+}
+
+TimingContract read_contract(WireReader& r) {
+  TimingContract c;
+  c.wcet_budget = read_time(r);
+  c.miss_ratio_bound = r.f64();
+  c.max_arrival_rate_hz = r.f64();
+  c.window = r.u32();
+  return c;
+}
+
+void write_opt_contract(WireWriter& w,
+                        const std::optional<TimingContract>& c) {
+  w.u8(c.has_value() ? 1 : 0);
+  if (c) write_contract(w, *c);
+}
+
+std::optional<TimingContract> read_opt_contract(WireReader& r) {
+  if (r.u8() == 0) return std::nullopt;
+  return read_contract(r);
+}
+
+void write_end(WireWriter& w, const BindingEnd& end) {
+  w.str(end.component);
+  w.str(end.interface);
+}
+
+BindingEnd read_end(WireReader& r) {
+  BindingEnd end;
+  end.component = r.str();
+  end.interface = r.str();
+  return end;
+}
+
+void write_header(WireWriter& w, std::uint32_t magic) {
+  w.u32(magic);
+  w.u16(kCodecVersion);
+  w.u16(0);  // flags, reserved
+}
+
+void read_header(WireReader& r, std::uint32_t magic, const char* what) {
+  if (r.u32() != magic) {
+    throw WireError(std::string("bad magic for ") + what);
+  }
+  const std::uint16_t version = r.u16();
+  if (version != kCodecVersion) {
+    throw WireError(std::string("unsupported codec version ") +
+                    std::to_string(version) + " for " + what);
+  }
+  r.u16();  // flags, reserved
+}
+
+void write_mode(WireWriter& w, const ModeDecl& mode) {
+  const std::size_t block = w.begin_block();
+  w.str(mode.name);
+  w.u8(mode.degraded ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(mode.components.size()));
+  for (const auto& cfg : mode.components) {
+    const std::size_t entry = w.begin_block();
+    w.str(cfg.component);
+    write_time(w, cfg.period);
+    write_opt_contract(w, cfg.contract);
+    w.end_block(entry);
+  }
+  w.u32(static_cast<std::uint32_t>(mode.rebinds.size()));
+  for (const auto& rebind : mode.rebinds) {
+    const std::size_t entry = w.begin_block();
+    w.str(rebind.client);
+    w.str(rebind.port);
+    w.str(rebind.server);
+    w.end_block(entry);
+  }
+  w.end_block(block);
+}
+
+ModeDecl read_mode(WireReader& r) {
+  WireReader b = r.block();
+  ModeDecl mode;
+  mode.name = b.str();
+  mode.degraded = b.u8() != 0;
+  const std::uint32_t components = b.u32();
+  require_count(b, components, 4, "mode entry");
+  mode.components.reserve(components);
+  for (std::uint32_t i = 0; i < components; ++i) {
+    WireReader e = b.block();
+    model::ModeComponentConfig cfg;
+    cfg.component = e.str();
+    cfg.period = read_time(e);
+    cfg.contract = read_opt_contract(e);
+    mode.components.push_back(std::move(cfg));
+  }
+  const std::uint32_t rebinds = b.u32();
+  require_count(b, rebinds, 4, "mode rebind");
+  mode.rebinds.reserve(rebinds);
+  for (std::uint32_t i = 0; i < rebinds; ++i) {
+    WireReader e = b.block();
+    model::ModeRebind rebind;
+    rebind.client = e.str();
+    rebind.port = e.str();
+    rebind.server = e.str();
+    mode.rebinds.push_back(std::move(rebind));
+  }
+  return mode;
+}
+
+void write_setting(WireWriter& w, const SettingDelta& s) {
+  const std::size_t block = w.begin_block();
+  w.str(s.component);
+  w.u8(s.period_changed ? 1 : 0);
+  write_time(w, s.new_period);
+  w.u8(s.contract_changed ? 1 : 0);
+  write_opt_contract(w, s.contract);
+  w.end_block(block);
+}
+
+SettingDelta read_setting(WireReader& r) {
+  WireReader b = r.block();
+  SettingDelta s;
+  s.component = b.str();
+  s.period_changed = b.u8() != 0;
+  s.new_period = read_time(b);
+  s.contract_changed = b.u8() != 0;
+  s.contract = read_opt_contract(b);
+  return s;
+}
+
+void write_rebind(WireWriter& w, const RebindDelta& rb) {
+  const std::size_t block = w.begin_block();
+  write_end(w, rb.client);
+  w.str(rb.old_server);
+  w.str(rb.new_server);
+  w.u8(static_cast<std::uint8_t>(rb.protocol));
+  write_binding(w, rb.target);
+  w.end_block(block);
+}
+
+RebindDelta read_rebind(WireReader& r) {
+  WireReader b = r.block();
+  RebindDelta rb;
+  rb.client = read_end(b);
+  rb.old_server = b.str();
+  rb.new_server = b.str();
+  rb.protocol = static_cast<model::Protocol>(b.u8());
+  rb.target = read_binding(b);
+  return rb;
+}
+
+}  // namespace
+
+void write_component(WireWriter& w, const ComponentSpec& spec) {
+  const std::size_t block = w.begin_block();
+  w.str(spec.name);
+  w.u8(static_cast<std::uint8_t>(spec.kind));
+  w.u8(static_cast<std::uint8_t>(spec.activation));
+  write_time(w, spec.period);
+  write_time(w, spec.cost);
+  w.str(spec.content_class);
+  w.u8(static_cast<std::uint8_t>(spec.criticality));
+  write_opt_contract(w, spec.contract);
+  w.u8(spec.swappable ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(spec.interfaces.size()));
+  for (const auto& itf : spec.interfaces) {
+    const std::size_t entry = w.begin_block();
+    w.str(itf.name);
+    w.u8(static_cast<std::uint8_t>(itf.role));
+    w.str(itf.signature);
+    w.end_block(entry);
+  }
+  w.str(spec.memory_area);
+  w.u8(static_cast<std::uint8_t>(spec.area_type));
+  w.str(spec.thread_domain);
+  w.u8(static_cast<std::uint8_t>(spec.domain_type));
+  w.i64(spec.domain_priority);
+  w.u8(spec.executes_on_nhrt ? 1 : 0);
+  w.u64(spec.partition);
+  w.end_block(block);
+}
+
+ComponentSpec read_component(WireReader& r) {
+  WireReader b = r.block();
+  ComponentSpec spec;
+  spec.name = b.str();
+  spec.kind = static_cast<model::ComponentKind>(b.u8());
+  spec.activation = static_cast<model::ActivationKind>(b.u8());
+  spec.period = read_time(b);
+  spec.cost = read_time(b);
+  spec.content_class = b.str();
+  spec.criticality = static_cast<model::Criticality>(b.u8());
+  spec.contract = read_opt_contract(b);
+  spec.swappable = b.u8() != 0;
+  const std::uint32_t interfaces = b.u32();
+  require_count(b, interfaces, 4, "interface");
+  spec.interfaces.reserve(interfaces);
+  for (std::uint32_t i = 0; i < interfaces; ++i) {
+    WireReader e = b.block();
+    model::InterfaceDecl itf;
+    itf.name = e.str();
+    itf.role = static_cast<model::InterfaceRole>(e.u8());
+    itf.signature = e.str();
+    spec.interfaces.push_back(std::move(itf));
+  }
+  spec.memory_area = b.str();
+  spec.area_type = static_cast<model::AreaType>(b.u8());
+  spec.thread_domain = b.str();
+  spec.domain_type = static_cast<model::DomainType>(b.u8());
+  spec.domain_priority = static_cast<int>(b.i64());
+  spec.executes_on_nhrt = b.u8() != 0;
+  spec.partition = static_cast<std::size_t>(b.u64());
+  return spec;
+}
+
+void write_binding(WireWriter& w, const BindingSpec& spec) {
+  const std::size_t block = w.begin_block();
+  write_end(w, spec.client);
+  write_end(w, spec.server);
+  w.u8(static_cast<std::uint8_t>(spec.protocol));
+  w.u64(spec.buffer_size);
+  w.str(spec.pattern);
+  w.str(spec.staging_area);
+  w.str(spec.buffer_area);
+  w.u8(spec.cross_partition ? 1 : 0);
+  w.end_block(block);
+}
+
+BindingSpec read_binding(WireReader& r) {
+  WireReader b = r.block();
+  BindingSpec spec;
+  spec.client = read_end(b);
+  spec.server = read_end(b);
+  spec.protocol = static_cast<model::Protocol>(b.u8());
+  spec.buffer_size = static_cast<std::size_t>(b.u64());
+  spec.pattern = b.str();
+  spec.staging_area = b.str();
+  spec.buffer_area = b.str();
+  spec.cross_partition = b.u8() != 0;
+  return spec;
+}
+
+std::vector<std::uint8_t> encode_plan(const AssemblyPlan& plan) {
+  WireWriter w;
+  write_header(w, kPlanMagic);
+  w.u32(static_cast<std::uint32_t>(plan.components().size()));
+  for (const auto& spec : plan.components()) write_component(w, spec);
+  w.u32(static_cast<std::uint32_t>(plan.bindings().size()));
+  for (const auto& spec : plan.bindings()) write_binding(w, spec);
+  w.u32(static_cast<std::uint32_t>(plan.areas().size()));
+  for (const auto& area : plan.areas()) {
+    const std::size_t block = w.begin_block();
+    w.str(area.name);
+    w.u8(static_cast<std::uint8_t>(area.type));
+    w.u64(area.size_bytes);
+    w.end_block(block);
+  }
+  w.u32(static_cast<std::uint32_t>(plan.modes().size()));
+  for (const auto& mode : plan.modes()) write_mode(w, mode);
+  w.u64(plan.partition_count());
+  return w.take();
+}
+
+AssemblyPlan decode_plan(const std::vector<std::uint8_t>& data) {
+  WireReader r(data);
+  read_header(r, kPlanMagic, "AssemblyPlan");
+  AssemblyPlan plan;
+  AssemblyPlanBuilder builder{plan};
+  const std::uint32_t components = r.u32();
+  require_count(r, components, 4, "component");
+  builder.components().reserve(components);
+  for (std::uint32_t i = 0; i < components; ++i) {
+    builder.components().push_back(read_component(r));
+  }
+  const std::uint32_t bindings = r.u32();
+  require_count(r, bindings, 4, "binding");
+  builder.bindings().reserve(bindings);
+  for (std::uint32_t i = 0; i < bindings; ++i) {
+    builder.bindings().push_back(read_binding(r));
+  }
+  const std::uint32_t areas = r.u32();
+  require_count(r, areas, 4, "area");
+  builder.areas().reserve(areas);
+  for (std::uint32_t i = 0; i < areas; ++i) {
+    WireReader b = r.block();
+    model::AreaSpec area;
+    area.name = b.str();
+    area.type = static_cast<model::AreaType>(b.u8());
+    area.size_bytes = static_cast<std::size_t>(b.u64());
+    builder.areas().push_back(std::move(area));
+  }
+  const std::uint32_t modes = r.u32();
+  require_count(r, modes, 4, "mode");
+  builder.modes().reserve(modes);
+  for (std::uint32_t i = 0; i < modes; ++i) {
+    builder.modes().push_back(read_mode(r));
+  }
+  builder.set_partition_count(static_cast<std::size_t>(r.u64()));
+  return plan;
+}
+
+std::vector<std::uint8_t> encode_delta(const PlanDelta& delta) {
+  WireWriter w;
+  write_header(w, kDeltaMagic);
+  w.u32(static_cast<std::uint32_t>(delta.add_components.size()));
+  for (const auto& spec : delta.add_components) write_component(w, spec);
+  w.u32(static_cast<std::uint32_t>(delta.remove_components.size()));
+  for (const auto& spec : delta.remove_components) write_component(w, spec);
+  w.u32(static_cast<std::uint32_t>(delta.add_bindings.size()));
+  for (const auto& spec : delta.add_bindings) write_binding(w, spec);
+  w.u32(static_cast<std::uint32_t>(delta.remove_bindings.size()));
+  for (const auto& end : delta.remove_bindings) write_end(w, end);
+  w.u32(static_cast<std::uint32_t>(delta.rebinds.size()));
+  for (const auto& rb : delta.rebinds) write_rebind(w, rb);
+  w.u32(static_cast<std::uint32_t>(delta.settings.size()));
+  for (const auto& s : delta.settings) write_setting(w, s);
+  w.u32(static_cast<std::uint32_t>(delta.protocol_changes.size()));
+  for (const auto& end : delta.protocol_changes) write_end(w, end);
+  return w.take();
+}
+
+PlanDelta decode_delta(const std::vector<std::uint8_t>& data) {
+  WireReader r(data);
+  read_header(r, kDeltaMagic, "PlanDelta");
+  PlanDelta delta;
+  const std::uint32_t adds = r.u32();
+  require_count(r, adds, 4, "added component");
+  for (std::uint32_t i = 0; i < adds; ++i) {
+    delta.add_components.push_back(read_component(r));
+  }
+  const std::uint32_t removes = r.u32();
+  require_count(r, removes, 4, "removed component");
+  for (std::uint32_t i = 0; i < removes; ++i) {
+    delta.remove_components.push_back(read_component(r));
+  }
+  const std::uint32_t add_bindings = r.u32();
+  require_count(r, add_bindings, 4, "added binding");
+  for (std::uint32_t i = 0; i < add_bindings; ++i) {
+    delta.add_bindings.push_back(read_binding(r));
+  }
+  const std::uint32_t remove_bindings = r.u32();
+  require_count(r, remove_bindings, 8, "removed binding");
+  for (std::uint32_t i = 0; i < remove_bindings; ++i) {
+    delta.remove_bindings.push_back(read_end(r));
+  }
+  const std::uint32_t rebinds = r.u32();
+  require_count(r, rebinds, 4, "rebind");
+  for (std::uint32_t i = 0; i < rebinds; ++i) {
+    delta.rebinds.push_back(read_rebind(r));
+  }
+  const std::uint32_t settings = r.u32();
+  require_count(r, settings, 4, "setting");
+  for (std::uint32_t i = 0; i < settings; ++i) {
+    delta.settings.push_back(read_setting(r));
+  }
+  const std::uint32_t protocol_changes = r.u32();
+  require_count(r, protocol_changes, 8, "protocol change");
+  for (std::uint32_t i = 0; i < protocol_changes; ++i) {
+    delta.protocol_changes.push_back(read_end(r));
+  }
+  return delta;
+}
+
+}  // namespace rtcf::dist

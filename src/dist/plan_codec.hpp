@@ -1,0 +1,64 @@
+// Versioned binary serialization of the reconfiguration value types:
+// model::AssemblyPlan (the cluster's unit of agreement) and
+// reconfig::PlanDelta (one node's slice of a distributed transition).
+//
+// Design goals, in order:
+//
+//   1. *Round-trip exact*: decode(encode(p)) == p for every field the
+//      snapshot captures — the coordinator and the nodes must agree on the
+//      same plan bit for bit, and the canonical encoding doubles as the
+//      agreement check (two peers compare encoded bytes instead of
+//      implementing a second deep-equality).
+//   2. *Truncation-safe*: any torn buffer throws WireError; a half-decoded
+//      plan can never leak into a transition.
+//   3. *Forward-compatible*: every record is a length-prefixed block, so a
+//      version-1 decoder reads the fields it knows and skips trailing
+//      fields a newer encoder appended. Incompatible changes bump
+//      kCodecVersion, which the decoder rejects outright.
+//
+// The byte layout is specified normatively in docs/PROTOCOL.md; this
+// header is the reference implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/wire.hpp"
+#include "model/assembly_plan.hpp"
+#include "reconfig/plan_delta.hpp"
+
+namespace rtcf::dist {
+
+/// Codec version stamped after the magic of every encoded plan/delta.
+/// Decoders reject other versions; *compatible* evolution appends fields
+/// inside existing blocks instead of bumping this.
+inline constexpr std::uint16_t kCodecVersion = 1;
+
+/// Magic tag opening an encoded AssemblyPlan ("RTAP", little-endian).
+inline constexpr std::uint32_t kPlanMagic = 0x50415452u;
+/// Magic tag opening an encoded PlanDelta ("RTAD", little-endian).
+inline constexpr std::uint32_t kDeltaMagic = 0x44415452u;
+
+/// Encodes a plan into its canonical byte form.
+std::vector<std::uint8_t> encode_plan(const model::AssemblyPlan& plan);
+/// Decodes a plan; throws WireError on truncation, bad magic, or an
+/// unsupported codec version.
+model::AssemblyPlan decode_plan(const std::vector<std::uint8_t>& data);
+
+/// Encodes a delta into its canonical byte form.
+std::vector<std::uint8_t> encode_delta(const reconfig::PlanDelta& delta);
+/// Decodes a delta; throws WireError on truncation, bad magic, or an
+/// unsupported codec version.
+reconfig::PlanDelta decode_delta(const std::vector<std::uint8_t>& data);
+
+/// Appends one ComponentSpec block to `w` (exposed for the protocol
+/// payloads that embed specs outside a whole plan).
+void write_component(WireWriter& w, const model::ComponentSpec& spec);
+/// Reads one ComponentSpec block.
+model::ComponentSpec read_component(WireReader& r);
+/// Appends one BindingSpec block to `w`.
+void write_binding(WireWriter& w, const model::BindingSpec& spec);
+/// Reads one BindingSpec block.
+model::BindingSpec read_binding(WireReader& r);
+
+}  // namespace rtcf::dist

@@ -1,0 +1,223 @@
+#include "dist/protocol.hpp"
+
+#include "dist/plan_codec.hpp"
+
+namespace rtcf::dist {
+
+namespace {
+
+comm::Frame finish(FrameType type, WireWriter& w) {
+  comm::Frame frame;
+  frame.type = static_cast<std::uint16_t>(type);
+  frame.payload = w.take();
+  return frame;
+}
+
+void check_type(const comm::Frame& frame, FrameType expected,
+                const char* what) {
+  if (frame.type != static_cast<std::uint16_t>(expected)) {
+    throw WireError(std::string("frame is not a ") + what);
+  }
+}
+
+void write_message(WireWriter& w, const comm::Message& m) {
+  const std::size_t block = w.begin_block();
+  w.u32(m.type_id);
+  w.u32(m.size);
+  w.i64(m.timestamp_ns);
+  w.u64(m.sequence);
+  std::vector<std::uint8_t> payload(
+      reinterpret_cast<const std::uint8_t*>(m.payload),
+      reinterpret_cast<const std::uint8_t*>(m.payload) +
+          comm::Message::kPayloadCapacity);
+  w.bytes(payload);
+  w.end_block(block);
+}
+
+comm::Message read_message(WireReader& r) {
+  WireReader b = r.block();
+  comm::Message m;
+  m.type_id = b.u32();
+  m.size = b.u32();
+  m.timestamp_ns = b.i64();
+  m.sequence = b.u64();
+  const std::vector<std::uint8_t> payload = b.bytes();
+  const std::size_t count =
+      std::min<std::size_t>(payload.size(), comm::Message::kPayloadCapacity);
+  for (std::size_t i = 0; i < count; ++i) {
+    m.payload[i] = static_cast<std::byte>(payload[i]);
+  }
+  return m;
+}
+
+}  // namespace
+
+void write_routes(WireWriter& w, const std::vector<GatewayRoute>& routes) {
+  w.u32(static_cast<std::uint32_t>(routes.size()));
+  for (const GatewayRoute& route : routes) {
+    const std::size_t block = w.begin_block();
+    w.str(route.client);
+    w.str(route.port);
+    w.str(route.client_node);
+    w.str(route.server);
+    w.str(route.iface);
+    w.str(route.server_node);
+    w.end_block(block);
+  }
+}
+
+std::vector<GatewayRoute> read_routes(WireReader& r) {
+  const std::uint32_t count = r.u32();
+  // Bound the reserve by what the input could possibly hold (a route
+  // block is at least its 4-byte length prefix) — a corrupt count must
+  // fail as WireError, not bad_alloc.
+  if (static_cast<std::uint64_t>(count) * 4 > r.remaining()) {
+    throw WireError("implausible route count " + std::to_string(count));
+  }
+  std::vector<GatewayRoute> routes;
+  routes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    WireReader b = r.block();
+    GatewayRoute route;
+    route.client = b.str();
+    route.port = b.str();
+    route.client_node = b.str();
+    route.server = b.str();
+    route.iface = b.str();
+    route.server_node = b.str();
+    routes.push_back(std::move(route));
+  }
+  return routes;
+}
+
+comm::Frame make_prepare_reload(const PrepareReloadPayload& payload) {
+  WireWriter w;
+  w.u64(payload.txn);
+  w.u64(payload.expect_epoch);
+  w.bytes(payload.plan);
+  w.bytes(payload.delta);
+  write_routes(w, payload.routes);
+  return finish(FrameType::PrepareReload, w);
+}
+
+PrepareReloadPayload parse_prepare_reload(const comm::Frame& frame) {
+  check_type(frame, FrameType::PrepareReload, "PrepareReload");
+  WireReader r(frame.payload);
+  PrepareReloadPayload payload;
+  payload.txn = r.u64();
+  payload.expect_epoch = r.u64();
+  payload.plan = r.bytes();
+  payload.delta = r.bytes();
+  payload.routes = read_routes(r);
+  return payload;
+}
+
+comm::Frame make_prepare_mode(const PrepareModePayload& payload) {
+  WireWriter w;
+  w.u64(payload.txn);
+  w.str(payload.mode);
+  return finish(FrameType::PrepareMode, w);
+}
+
+PrepareModePayload parse_prepare_mode(const comm::Frame& frame) {
+  check_type(frame, FrameType::PrepareMode, "PrepareMode");
+  WireReader r(frame.payload);
+  PrepareModePayload payload;
+  payload.txn = r.u64();
+  payload.mode = r.str();
+  return payload;
+}
+
+comm::Frame make_node_reply(FrameType type, const NodeReplyPayload& payload) {
+  WireWriter w;
+  w.u64(payload.txn);
+  w.str(payload.node);
+  w.u64(payload.epoch);
+  w.str(payload.reason);
+  w.u64(payload.drained);
+  w.i64(payload.latency_ns);
+  return finish(type, w);
+}
+
+NodeReplyPayload parse_node_reply(const comm::Frame& frame) {
+  WireReader r(frame.payload);
+  NodeReplyPayload payload;
+  payload.txn = r.u64();
+  payload.node = r.str();
+  payload.epoch = r.u64();
+  payload.reason = r.str();
+  payload.drained = r.u64();
+  payload.latency_ns = r.i64();
+  return payload;
+}
+
+comm::Frame make_decision(FrameType type, const DecisionPayload& payload) {
+  WireWriter w;
+  w.u64(payload.txn);
+  w.str(payload.reason);
+  return finish(type, w);
+}
+
+DecisionPayload parse_decision(const comm::Frame& frame) {
+  WireReader r(frame.payload);
+  DecisionPayload payload;
+  payload.txn = r.u64();
+  payload.reason = r.str();
+  return payload;
+}
+
+comm::Frame make_data(const DataPayload& payload) {
+  WireWriter w;
+  w.str(payload.client);
+  w.str(payload.port);
+  write_message(w, payload.message);
+  return finish(FrameType::Data, w);
+}
+
+DataPayload parse_data(const comm::Frame& frame) {
+  check_type(frame, FrameType::Data, "Data");
+  WireReader r(frame.payload);
+  DataPayload payload;
+  payload.client = r.str();
+  payload.port = r.str();
+  payload.message = read_message(r);
+  return payload;
+}
+
+comm::Frame make_hello(const std::string& node) {
+  WireWriter w;
+  w.str(node);
+  w.u16(kCodecVersion);
+  return finish(FrameType::Hello, w);
+}
+
+std::string parse_hello(const comm::Frame& frame) {
+  check_type(frame, FrameType::Hello, "Hello");
+  WireReader r(frame.payload);
+  std::string node = r.str();
+  const std::uint16_t version = r.u16();
+  if (version != kCodecVersion) {
+    throw WireError("peer speaks codec version " + std::to_string(version));
+  }
+  return node;
+}
+
+comm::Frame make_demote(const DemotePayload& payload) {
+  WireWriter w;
+  w.str(payload.node);
+  w.str(payload.mode);
+  w.u8(payload.level);
+  return finish(FrameType::DemoteRequest, w);
+}
+
+DemotePayload parse_demote(const comm::Frame& frame) {
+  check_type(frame, FrameType::DemoteRequest, "DemoteRequest");
+  WireReader r(frame.payload);
+  DemotePayload payload;
+  payload.node = r.str();
+  payload.mode = r.str();
+  payload.level = r.u8();
+  return payload;
+}
+
+}  // namespace rtcf::dist

@@ -1,0 +1,156 @@
+// Frame types and payload helpers of the distributed reconfiguration
+// protocol. docs/PROTOCOL.md is the normative spec; this header is the
+// reference implementation of the payload encodings.
+//
+// The protocol has two planes sharing one frame format:
+//
+//   * control plane (coordinator <-> node): HELLO, the two-phase
+//     PREPARE/COMMIT/ABORT exchange, and DEMOTE_REQUEST;
+//   * data plane (node <-> node): DATA frames carrying one comm::Message
+//     across a bridged asynchronous binding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "comm/message.hpp"
+#include "dist/wire.hpp"
+
+namespace rtcf::dist {
+
+/// Frame type discriminators (comm::Frame::type).
+enum class FrameType : std::uint16_t {
+  /// Node -> coordinator on attach: node name + codec version.
+  Hello = 1,
+  /// Coordinator -> node: stage a reload slice and park at quiescence.
+  PrepareReload = 2,
+  /// Coordinator -> node: stage a mode transition and park at quiescence.
+  PrepareMode = 3,
+  /// Node -> coordinator: the slice validated and the node is quiescent.
+  PrepareOk = 4,
+  /// Node -> coordinator: the slice was rejected (reason enclosed).
+  PrepareFail = 5,
+  /// Coordinator -> node: apply the prepared transition.
+  Commit = 6,
+  /// Node -> coordinator: the transition applied (epoch, audit, latency).
+  Committed = 7,
+  /// Coordinator -> node: release the prepared transition unapplied.
+  Abort = 8,
+  /// Node -> coordinator: the transition was released; epoch unchanged.
+  Aborted = 9,
+  /// Node -> node: one message of a bridged asynchronous binding.
+  Data = 10,
+  /// Node -> coordinator: sustained overload; please demote the cluster.
+  DemoteRequest = 11,
+};
+
+/// One cross-node binding's routing entry: where the logical client end
+/// (client, port) lives, and which server it feeds on which node.
+struct GatewayRoute {
+  std::string client;  ///< Global client component (the exit's node).
+  std::string port;    ///< Client port name (the binding's identity).
+  std::string client_node;  ///< Node hosting the client and the exit.
+  std::string server;  ///< Global server component (the entry's node).
+  std::string iface;   ///< Server interface name.
+  std::string server_node;  ///< Node hosting the server and the entry.
+
+  /// Field-wise equality.
+  bool operator==(const GatewayRoute& o) const {
+    return client == o.client && port == o.port &&
+           client_node == o.client_node && server == o.server &&
+           iface == o.iface && server_node == o.server_node;
+  }
+};
+
+/// Payload of PrepareReload.
+struct PrepareReloadPayload {
+  std::uint64_t txn = 0;          ///< Transaction id (coordinator-unique).
+  std::uint64_t expect_epoch = 0; ///< Node plan epoch the slice was diffed
+                                  ///< against (stale-epoch guard).
+  std::vector<std::uint8_t> plan;  ///< encode_plan() of the target slice.
+  std::vector<std::uint8_t> delta; ///< encode_delta() of the slice delta.
+  std::vector<GatewayRoute> routes;  ///< Full post-commit route table.
+};
+
+/// Payload of PrepareMode.
+struct PrepareModePayload {
+  std::uint64_t txn = 0;  ///< Transaction id.
+  std::string mode;       ///< Target mode name (declared on every node).
+};
+
+/// Payload of PrepareOk / PrepareFail / Committed / Aborted.
+struct NodeReplyPayload {
+  std::uint64_t txn = 0;     ///< Transaction id echoed back.
+  std::string node;          ///< Replying node.
+  std::uint64_t epoch = 0;   ///< Node plan epoch after handling the frame.
+  std::string reason;        ///< PrepareFail: why the slice was rejected.
+  std::uint64_t drained = 0; ///< Committed: apply-time drain audit.
+  std::int64_t latency_ns = 0;  ///< Committed: prepare-to-commit latency.
+};
+
+/// Payload of Commit / Abort.
+struct DecisionPayload {
+  std::uint64_t txn = 0;  ///< Transaction id.
+  std::string reason;     ///< Abort: why (straggler timeout, veto, ...).
+};
+
+/// Payload of Data.
+struct DataPayload {
+  std::string client;   ///< Logical client end: component...
+  std::string port;     ///< ...and port (addresses the entry gateway).
+  comm::Message message;  ///< The bridged message, verbatim.
+};
+
+/// Payload of DemoteRequest.
+struct DemotePayload {
+  std::string node;   ///< Overloaded node.
+  std::string mode;   ///< Its declared degraded mode.
+  std::uint8_t level = 0;  ///< monitor::GovernorLevel at request time.
+};
+
+/// Encodes a route table (shared by PrepareReload and tooling).
+void write_routes(WireWriter& w, const std::vector<GatewayRoute>& routes);
+/// Decodes a route table.
+std::vector<GatewayRoute> read_routes(WireReader& r);
+
+/// Builds a PrepareReload frame.
+comm::Frame make_prepare_reload(const PrepareReloadPayload& payload);
+/// Parses a PrepareReload frame payload (throws WireError on truncation).
+PrepareReloadPayload parse_prepare_reload(const comm::Frame& frame);
+
+/// Builds a PrepareMode frame.
+comm::Frame make_prepare_mode(const PrepareModePayload& payload);
+/// Parses a PrepareMode frame payload.
+PrepareModePayload parse_prepare_mode(const comm::Frame& frame);
+
+/// Builds a node reply frame of the given type (PrepareOk, PrepareFail,
+/// Committed, or Aborted).
+comm::Frame make_node_reply(FrameType type, const NodeReplyPayload& payload);
+/// Parses a node reply frame payload.
+NodeReplyPayload parse_node_reply(const comm::Frame& frame);
+
+/// Builds a Commit or Abort frame.
+comm::Frame make_decision(FrameType type, const DecisionPayload& payload);
+/// Parses a Commit/Abort frame payload.
+DecisionPayload parse_decision(const comm::Frame& frame);
+
+/// Builds a Data frame.
+comm::Frame make_data(const DataPayload& payload);
+/// Parses a Data frame payload.
+DataPayload parse_data(const comm::Frame& frame);
+
+/// Builds a Hello frame carrying the node name and codec version.
+comm::Frame make_hello(const std::string& node);
+/// Parses a Hello frame payload; returns the node name (the codec version
+/// is checked and a mismatch throws WireError).
+std::string parse_hello(const comm::Frame& frame);
+
+/// Builds a DemoteRequest frame.
+comm::Frame make_demote(const DemotePayload& payload);
+/// Parses a DemoteRequest frame payload.
+DemotePayload parse_demote(const comm::Frame& frame);
+
+}  // namespace rtcf::dist

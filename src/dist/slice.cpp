@@ -1,0 +1,238 @@
+#include "dist/slice.hpp"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "dist/gateway.hpp"
+
+namespace rtcf::dist {
+
+using model::ActiveComponent;
+using model::Architecture;
+using model::Binding;
+using model::Component;
+using model::ComponentKind;
+using model::InterfaceDecl;
+using model::InterfaceRole;
+using model::MemoryAreaComponent;
+using model::PassiveComponent;
+using model::Protocol;
+using model::ThreadDomain;
+using validate::NodeMap;
+
+namespace {
+
+bool is_local_functional(const Component& c, const NodeMap& map,
+                         const std::string& node) {
+  return c.is_functional() && map.node_of(c.name()) == node;
+}
+
+/// True when `composite` (transitively) contains a functional component
+/// mapped to `node`.
+bool contains_local(const Component& composite, const NodeMap& map,
+                    const std::string& node) {
+  for (const Component* sub : composite.subs()) {
+    if (is_local_functional(*sub, map, node)) return true;
+    if (contains_local(*sub, map, node)) return true;
+  }
+  return false;
+}
+
+/// The client-side signature of a binding end (for synthesizing the
+/// matching gateway interface). Falls back to the server's signature, then
+/// to a placeholder, so slicing never throws on inconsistent declarations
+/// — validate() reports those properly.
+std::string end_signature(const Architecture& arch,
+                          const model::BindingEnd& end,
+                          const model::BindingEnd& fallback) {
+  if (const Component* c = arch.find(end.component)) {
+    if (const InterfaceDecl* itf = c->find_interface(end.interface)) {
+      return itf->signature;
+    }
+  }
+  if (const Component* c = arch.find(fallback.component)) {
+    if (const InterfaceDecl* itf = c->find_interface(fallback.interface)) {
+      return itf->signature;
+    }
+  }
+  return "IBridged";
+}
+
+}  // namespace
+
+std::vector<GatewayRoute> compute_routes(const Architecture& global,
+                                         const NodeMap& map) {
+  std::vector<GatewayRoute> routes;
+  for (const Binding& binding : global.bindings()) {
+    if (binding.desc.protocol != Protocol::Asynchronous) continue;
+    const std::string& client_node = map.node_of(binding.client.component);
+    const std::string& server_node = map.node_of(binding.server.component);
+    if (client_node.empty() || server_node.empty() ||
+        client_node == server_node) {
+      continue;
+    }
+    GatewayRoute route;
+    route.client = binding.client.component;
+    route.port = binding.client.interface;
+    route.client_node = client_node;
+    route.server = binding.server.component;
+    route.iface = binding.server.interface;
+    route.server_node = server_node;
+    routes.push_back(std::move(route));
+  }
+  return routes;
+}
+
+Architecture slice_architecture(const Architecture& global, const NodeMap& map,
+                                const std::string& node) {
+  if (!map.has_node(node)) {
+    throw std::invalid_argument("slice_architecture: undeclared node '" +
+                                node + "'");
+  }
+  Architecture slice;
+  std::map<const Component*, Component*> copied;
+
+  // 1. Local functional components, in declaration order.
+  for (const auto& c : global.components()) {
+    if (!is_local_functional(*c, map, node)) continue;
+    if (const auto* active = dynamic_cast<const ActiveComponent*>(c.get())) {
+      ActiveComponent& copy =
+          slice.add_active(active->name(), active->activation(),
+                           active->period());
+      copy.set_content_class(active->content_class());
+      copy.set_cost(active->cost());
+      if (active->criticality()) copy.set_criticality(*active->criticality());
+      if (active->timing_contract()) {
+        copy.set_timing_contract(*active->timing_contract());
+      }
+      copy.set_swappable(active->swappable());
+      for (const InterfaceDecl& itf : active->interfaces()) {
+        copy.add_interface(itf);
+      }
+      copied[c.get()] = &copy;
+    } else if (const auto* passive =
+                   dynamic_cast<const PassiveComponent*>(c.get())) {
+      PassiveComponent& copy = slice.add_passive(passive->name());
+      copy.set_content_class(passive->content_class());
+      copy.set_swappable(passive->swappable());
+      for (const InterfaceDecl& itf : passive->interfaces()) {
+        copy.add_interface(itf);
+      }
+      copied[c.get()] = &copy;
+    }
+  }
+
+  // 2. Composites containing local components, hierarchy preserved.
+  for (const auto& c : global.components()) {
+    if (c->is_functional() || !contains_local(*c, map, node)) continue;
+    if (const auto* domain = dynamic_cast<const ThreadDomain*>(c.get())) {
+      copied[c.get()] =
+          &slice.add_thread_domain(domain->name(), domain->type(),
+                                   domain->priority());
+    } else if (const auto* area =
+                   dynamic_cast<const MemoryAreaComponent*>(c.get())) {
+      copied[c.get()] = &slice.add_memory_area(area->name(), area->type(),
+                                               area->size_bytes(),
+                                               area->area_name());
+    }
+  }
+  for (const auto& c : global.components()) {
+    auto parent = copied.find(c.get());
+    if (parent == copied.end()) continue;
+    for (const Component* sub : c->subs()) {
+      auto child = copied.find(sub);
+      if (child == copied.end()) continue;
+      slice.add_child(*parent->second, *child->second);
+    }
+  }
+
+  // 3. Bindings: local ones verbatim; cross-node asynchronous ones as
+  //    bridge halves; cross-node synchronous ones omitted (rejected by
+  //    DIST-SYNC-CROSS-NODE upstream).
+  std::vector<const Binding*> exits;    // client local, server remote
+  std::vector<const Binding*> entries;  // server local, client remote
+  for (const Binding& binding : global.bindings()) {
+    const std::string& client_node = map.node_of(binding.client.component);
+    const std::string& server_node = map.node_of(binding.server.component);
+    const bool client_local = client_node == node;
+    const bool server_local = server_node == node;
+    if (client_local && server_local) {
+      slice.add_binding(binding);
+    } else if (binding.desc.protocol == Protocol::Asynchronous &&
+               client_local && !server_node.empty()) {
+      exits.push_back(&binding);
+    } else if (binding.desc.protocol == Protocol::Asynchronous &&
+               server_local && !client_node.empty()) {
+      entries.push_back(&binding);
+    }
+  }
+
+  // 4. Gateway synthesis: one immortal area for all gateway state, a
+  //    regular-priority domain for the (active) exits.
+  if (!exits.empty() || !entries.empty()) {
+    MemoryAreaComponent& area = slice.add_memory_area(
+        kGatewayArea, model::AreaType::Immortal, 256 * 1024);
+    ThreadDomain* domain = nullptr;
+    if (!exits.empty()) {
+      domain = &slice.add_thread_domain(kGatewayDomain,
+                                        model::DomainType::Regular, 1);
+      slice.add_child(area, *domain);
+    }
+    for (const Binding* binding : exits) {
+      const std::string name = gateway_exit_name(binding->client.component,
+                                                 binding->client.interface);
+      ActiveComponent& exit =
+          slice.add_active(name, model::ActivationKind::Sporadic);
+      exit.set_content_class(kGatewayExitClass);
+      exit.set_swappable(true);
+      exit.add_interface({binding->server.interface, InterfaceRole::Server,
+                          end_signature(global, binding->client,
+                                        binding->server)});
+      slice.add_child(*domain, exit);
+      Binding local;
+      local.client = binding->client;
+      local.server = {name, binding->server.interface};
+      local.desc = binding->desc;
+      slice.add_binding(std::move(local));
+    }
+    for (const Binding* binding : entries) {
+      const std::string name = gateway_entry_name(binding->client.component,
+                                                  binding->client.interface);
+      PassiveComponent& entry = slice.add_passive(name);
+      entry.set_content_class(kGatewayEntryClass);
+      entry.set_swappable(true);
+      entry.add_interface({binding->client.interface, InterfaceRole::Client,
+                           end_signature(global, binding->server,
+                                         binding->client)});
+      slice.add_child(area, entry);
+      Binding local;
+      local.client = {name, binding->client.interface};
+      local.server = binding->server;
+      local.desc = binding->desc;
+      slice.add_binding(std::move(local));
+    }
+  }
+
+  // 5. Modes, filtered to this node. Every mode survives by name (cluster
+  //    transitions address modes uniformly); only the local entries stay.
+  for (const model::ModeDecl& mode : global.modes()) {
+    model::ModeDecl local;
+    local.name = mode.name;
+    local.degraded = mode.degraded;
+    for (const model::ModeComponentConfig& cfg : mode.components) {
+      if (map.node_of(cfg.component) == node) local.components.push_back(cfg);
+    }
+    for (const model::ModeRebind& rebind : mode.rebinds) {
+      if (map.node_of(rebind.client) == node &&
+          map.node_of(rebind.server) == node) {
+        local.rebinds.push_back(rebind);
+      }
+    }
+    slice.add_mode(std::move(local));
+  }
+
+  return slice;
+}
+
+}  // namespace rtcf::dist

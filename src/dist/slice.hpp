@@ -1,0 +1,54 @@
+// Node slicing: from one global architecture + NodeMap to per-node
+// architectures with synthesized gateway bridges.
+//
+// The slice of node N contains:
+//   * every functional component mapped to N, with its declared
+//     attributes, interfaces, contract, and swappability;
+//   * every non-functional composite (ThreadDomain / MemoryArea) that
+//     contains at least one of those components, with the global
+//     hierarchy edges between included composites preserved;
+//   * every binding whose two ends live on N, verbatim;
+//   * for every cross-node asynchronous binding: the node-local bridge
+//     half (exit on the client's node, entry on the server's node — see
+//     dist/gateway.hpp), deployed in a synthesized immortal area
+//     `__gw.area` (exits in the regular-priority domain `__gw.domain`);
+//   * every mode declaration, with component entries and rebinds filtered
+//     to N (cluster transitions address modes by name, so every node keeps
+//     every mode — possibly with an empty local component set, which is
+//     how a cluster demotion shuts a whole node's components down);
+//   * cross-node *synchronous* bindings are omitted — DIST-SYNC-CROSS-NODE
+//     already rejects them at the global level.
+//
+// Determinism matters: the coordinator and the nodes both derive slices
+// (at launch and per reload), and the plan-delta agreement check compares
+// canonical encodings, so slicing is strictly declaration-ordered.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dist/protocol.hpp"
+#include "model/metamodel.hpp"
+#include "validate/distribution.hpp"
+
+namespace rtcf::dist {
+
+/// Name of the synthesized immortal area holding gateway components.
+inline constexpr const char* kGatewayArea = "__gw.area";
+/// Name of the synthesized regular-priority domain of gateway exits.
+inline constexpr const char* kGatewayDomain = "__gw.domain";
+
+/// Builds the slice of `global` for `node` under `map`. The result is
+/// self-contained (owns all its components) and independent of `global`'s
+/// lifetime. Throws std::invalid_argument for an undeclared node.
+model::Architecture slice_architecture(const model::Architecture& global,
+                                       const validate::NodeMap& map,
+                                       const std::string& node);
+
+/// The route table of `global` under `map`: one entry per cross-node
+/// asynchronous binding, in declaration order. Shared by launch-time
+/// bridge wiring and the PrepareReload payload.
+std::vector<GatewayRoute> compute_routes(const model::Architecture& global,
+                                         const validate::NodeMap& map);
+
+}  // namespace rtcf::dist

@@ -1,0 +1,135 @@
+#include "dist/wire.hpp"
+
+#include <cstring>
+
+namespace rtcf::dist {
+
+void WireWriter::u8(std::uint8_t v) { data_.push_back(v); }
+
+void WireWriter::u16(std::uint16_t v) {
+  data_.push_back(static_cast<std::uint8_t>(v));
+  data_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    data_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    data_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void WireWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void WireWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void WireWriter::str(const std::string& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  data_.insert(data_.end(), v.begin(), v.end());
+}
+
+void WireWriter::bytes(const std::vector<std::uint8_t>& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  data_.insert(data_.end(), v.begin(), v.end());
+}
+
+std::size_t WireWriter::begin_block() {
+  const std::size_t token = data_.size();
+  u32(0);  // patched by end_block
+  return token;
+}
+
+void WireWriter::end_block(std::size_t token) {
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(data_.size() - token - 4);
+  data_[token] = static_cast<std::uint8_t>(length);
+  data_[token + 1] = static_cast<std::uint8_t>(length >> 8);
+  data_[token + 2] = static_cast<std::uint8_t>(length >> 16);
+  data_[token + 3] = static_cast<std::uint8_t>(length >> 24);
+}
+
+void WireReader::require(std::size_t count) const {
+  if (size_ - pos_ < count) {
+    throw WireError("truncated input (need " + std::to_string(count) +
+                    " bytes, have " + std::to_string(size_ - pos_) + ")");
+  }
+}
+
+std::uint8_t WireReader::u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t WireReader::u16() {
+  require(2);
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(data_[pos_]) |
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(data_[pos_ + 1])
+                                 << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t WireReader::u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::int64_t WireReader::i64() { return static_cast<std::int64_t>(u64()); }
+
+double WireReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint32_t length = u32();
+  require(length);
+  std::string v(reinterpret_cast<const char*>(data_ + pos_), length);
+  pos_ += length;
+  return v;
+}
+
+std::vector<std::uint8_t> WireReader::bytes() {
+  const std::uint32_t length = u32();
+  require(length);
+  std::vector<std::uint8_t> v(data_ + pos_, data_ + pos_ + length);
+  pos_ += length;
+  return v;
+}
+
+WireReader WireReader::block() {
+  const std::uint32_t length = u32();
+  require(length);
+  WireReader sub(data_ + pos_, length);
+  pos_ += length;
+  return sub;
+}
+
+}  // namespace rtcf::dist

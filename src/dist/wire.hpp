@@ -1,0 +1,120 @@
+// Primitive wire encoding for the distributed reconfiguration protocol.
+//
+// Everything the cluster agrees on — assembly plans, plan deltas, frame
+// payloads — is encoded with these two classes, so docs/PROTOCOL.md only
+// has to specify one set of primitives:
+//
+//   * fixed-width little-endian integers (u8..u64, i64), IEEE-754 doubles
+//     transported as their u64 bit pattern;
+//   * strings and byte arrays as a u32 length followed by the raw bytes;
+//   * *blocks*: a u32 byte length followed by the block contents. Every
+//     versioned record is wrapped in a block, which is what buys forward
+//     compatibility: a reader that understands fewer fields than the
+//     writer reads what it knows and skips to the block end, so newer
+//     encoders interoperate with older decoders (exercised by the
+//     unknown-field tests under `ctest -L dist`).
+//
+// Decoding is strict about truncation: any read past the end of the buffer
+// (or past the enclosing block) throws WireError, so a torn or corrupt
+// frame is rejected as a whole instead of yielding a half-decoded plan.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rtcf::dist {
+
+/// Raised by WireReader on truncated or malformed input.
+class WireError : public std::runtime_error {
+ public:
+  /// An error with a "wire: "-prefixed description.
+  explicit WireError(const std::string& message)
+      : std::runtime_error("wire: " + message) {}
+};
+
+/// Append-only encoder over a growable byte vector.
+class WireWriter {
+ public:
+  /// Appends one unsigned byte.
+  void u8(std::uint8_t v);
+  /// Appends a 16-bit little-endian unsigned integer.
+  void u16(std::uint16_t v);
+  /// Appends a 32-bit little-endian unsigned integer.
+  void u32(std::uint32_t v);
+  /// Appends a 64-bit little-endian unsigned integer.
+  void u64(std::uint64_t v);
+  /// Appends a 64-bit little-endian two's-complement integer.
+  void i64(std::int64_t v);
+  /// Appends an IEEE-754 double as its 64-bit bit pattern.
+  void f64(double v);
+  /// Appends a u32 length followed by the string bytes (no terminator).
+  void str(const std::string& v);
+  /// Appends a u32 length followed by the raw bytes.
+  void bytes(const std::vector<std::uint8_t>& v);
+
+  /// Opens a length-prefixed block; returns a token for end_block. Blocks
+  /// may nest.
+  std::size_t begin_block();
+  /// Closes the innermost open block, patching its u32 length prefix.
+  void end_block(std::size_t token);
+
+  /// The encoded bytes so far.
+  const std::vector<std::uint8_t>& data() const noexcept { return data_; }
+  /// Moves the encoded bytes out (the writer is empty afterwards).
+  std::vector<std::uint8_t> take() { return std::move(data_); }
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+/// Bounds-checked decoder over a byte span. Every accessor throws WireError
+/// on truncation; block() returns a sub-reader confined to the block so a
+/// record's unknown trailing fields are skipped, not misread.
+class WireReader {
+ public:
+  /// Reads from `size` bytes at `data` (not owned; must outlive the
+  /// reader).
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  /// Reads from a byte vector (not owned; must outlive the reader).
+  explicit WireReader(const std::vector<std::uint8_t>& data)
+      : WireReader(data.data(), data.size()) {}
+
+  /// Reads one unsigned byte.
+  std::uint8_t u8();
+  /// Reads a 16-bit little-endian unsigned integer.
+  std::uint16_t u16();
+  /// Reads a 32-bit little-endian unsigned integer.
+  std::uint32_t u32();
+  /// Reads a 64-bit little-endian unsigned integer.
+  std::uint64_t u64();
+  /// Reads a 64-bit little-endian two's-complement integer.
+  std::int64_t i64();
+  /// Reads an IEEE-754 double from its 64-bit bit pattern.
+  double f64();
+  /// Reads a u32-length-prefixed string.
+  std::string str();
+  /// Reads a u32-length-prefixed byte array.
+  std::vector<std::uint8_t> bytes();
+
+  /// Reads a block header and returns a sub-reader confined to the block's
+  /// bytes; this reader advances past the whole block regardless of how
+  /// much of it the caller consumes (unknown-field tolerance).
+  WireReader block();
+
+  /// Bytes not yet consumed.
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+  /// True when every byte has been consumed.
+  bool at_end() const noexcept { return pos_ == size_; }
+
+ private:
+  void require(std::size_t count) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rtcf::dist

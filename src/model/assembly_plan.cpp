@@ -10,6 +10,31 @@ const InterfaceDecl* ComponentSpec::find_interface(
   return nullptr;
 }
 
+bool ComponentSpec::operator==(const ComponentSpec& o) const {
+  return name == o.name && kind == o.kind && activation == o.activation &&
+         period == o.period && cost == o.cost &&
+         content_class == o.content_class && criticality == o.criticality &&
+         contract == o.contract && swappable == o.swappable &&
+         interfaces == o.interfaces && memory_area == o.memory_area &&
+         area_type == o.area_type && thread_domain == o.thread_domain &&
+         domain_type == o.domain_type &&
+         domain_priority == o.domain_priority &&
+         executes_on_nhrt == o.executes_on_nhrt && partition == o.partition;
+}
+
+bool BindingSpec::operator==(const BindingSpec& o) const {
+  return client == o.client && server == o.server &&
+         protocol == o.protocol && buffer_size == o.buffer_size &&
+         pattern == o.pattern && staging_area == o.staging_area &&
+         buffer_area == o.buffer_area && cross_partition == o.cross_partition;
+}
+
+bool AssemblyPlan::operator==(const AssemblyPlan& o) const {
+  return components_ == o.components_ && bindings_ == o.bindings_ &&
+         areas_ == o.areas_ && modes_ == o.modes_ &&
+         partition_count_ == o.partition_count_;
+}
+
 const ComponentSpec* AssemblyPlan::find(const std::string& name) const
     noexcept {
   for (const auto& c : components_) {

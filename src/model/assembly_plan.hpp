@@ -28,27 +28,38 @@ namespace rtcf::model {
 
 /// Value snapshot of one functional component.
 struct ComponentSpec {
+  /// Component name (unique within the assembly).
   std::string name;
   /// Active or Passive (non-functional composites are captured as the
   /// per-component deployment fields below, not as specs of their own).
   ComponentKind kind = ComponentKind::Passive;
+  /// Activation policy of active components.
   ActivationKind activation = ActivationKind::Sporadic;
   /// Release period (periodic) / minimum interarrival (sporadic).
   rtsj::RelativeTime period{};
+  /// Modeled per-release execution cost (simulator substrate).
   rtsj::RelativeTime cost{};
+  /// Registered content-class name instantiated for this component.
   std::string content_class;
+  /// Declared criticality (High when the designer did not classify).
   Criticality criticality = Criticality::High;
+  /// Stochastic timing contract; empty means unmonitored.
   std::optional<TimingContract> contract;
+  /// True when runtime reconfiguration may touch this component.
   bool swappable = false;
+  /// Declared functional interfaces, in declaration order.
   std::vector<InterfaceDecl> interfaces;
 
   // -- deployment (the non-functional views, flattened) ---------------------
   /// Innermost enclosing MemoryArea component name; empty = heap.
   std::string memory_area;
+  /// Type of the enclosing memory area (Heap when undeployed).
   AreaType area_type = AreaType::Heap;
   /// Enclosing ThreadDomain (active components); empty for passives.
   std::string thread_domain;
+  /// Thread type of the enclosing domain.
   DomainType domain_type = DomainType::Regular;
+  /// Priority of the enclosing domain's threads.
   int domain_priority = 1;
   /// True when the component's code executes on a no-heap real-time thread
   /// (its own domain, or — for passives — any synchronous caller's).
@@ -57,17 +68,31 @@ struct ComponentSpec {
   /// Executive partition assigned by the planner.
   std::size_t partition = 0;
 
+  /// True for components with their own thread of control.
   bool is_active() const noexcept { return kind == ComponentKind::Active; }
+  /// The declared interface named `n`, or nullptr.
   const InterfaceDecl* find_interface(const std::string& n) const noexcept;
+
+  /// Field-wise equality over every captured field — the round-trip-exact
+  /// contract of the wire codec (dist/plan_codec.hpp) and the agreement
+  /// check of the distributed coordinator.
+  bool operator==(const ComponentSpec& o) const;
+  /// Negation of operator==.
+  bool operator!=(const ComponentSpec& o) const { return !(*this == o); }
 };
 
 /// Value snapshot of one binding, including the planner's RTSJ resolution
 /// (pattern + area placement, by area-component name so a later assembly
 /// can re-resolve them against its own substrate).
 struct BindingSpec {
+  /// Client end (component, interface) of the binding.
   BindingEnd client;
+  /// Server end (component, interface) of the binding.
   BindingEnd server;
+  /// Invocation protocol (synchronous request/response or asynchronous
+  /// one-way).
   Protocol protocol = Protocol::Synchronous;
+  /// Message-buffer capacity for asynchronous bindings.
   std::size_t buffer_size = 0;
   /// Resolved cross-scope communication pattern name (never empty after
   /// planning; planning fails where no RTSJ-legal pattern exists).
@@ -79,47 +104,82 @@ struct BindingSpec {
   std::string buffer_area = "@none";
   /// True when client and server sit on different executive partitions.
   bool cross_partition = false;
+
+  /// Field-wise equality over every captured field (see
+  /// ComponentSpec::operator==).
+  bool operator==(const BindingSpec& o) const;
+  /// Negation of operator==.
+  bool operator!=(const BindingSpec& o) const { return !(*this == o); }
 };
 
-/// Area-placement sentinels used by BindingSpec.
+/// Area-placement sentinel: no staged copy / no buffer.
 inline constexpr const char* kAreaNone = "@none";
+/// Area-placement sentinel: the immortal-memory singleton.
 inline constexpr const char* kAreaImmortal = "@immortal";
+/// Area-placement sentinel: the heap singleton.
 inline constexpr const char* kAreaHeap = "@heap";
 
 /// One declared MemoryArea of the assembly (the full inventory, including
 /// areas no component currently occupies — a reload may deploy into them).
 struct AreaSpec {
+  /// MemoryArea component name.
   std::string name;
+  /// RTSJ area type (immortal, scoped, or heap).
   AreaType type = AreaType::Heap;
+  /// Declared byte size (immortal/scoped; 0 for heap).
   std::size_t size_bytes = 0;
+
+  /// Field-wise equality.
+  bool operator==(const AreaSpec& o) const {
+    return name == o.name && type == o.type && size_bytes == o.size_bytes;
+  }
+  /// Negation of operator==.
+  bool operator!=(const AreaSpec& o) const { return !(*this == o); }
 };
 
 /// The immutable snapshot. Construction goes through the planner
 /// (soleil::snapshot_assembly); everything here is plain value data.
 class AssemblyPlan {
  public:
+  /// An empty plan (the builder fills it in).
   AssemblyPlan() = default;
 
+  /// Functional components, in declaration order.
   const std::vector<ComponentSpec>& components() const noexcept {
     return components_;
   }
+  /// Bindings with their planner resolution, in declaration order.
   const std::vector<BindingSpec>& bindings() const noexcept {
     return bindings_;
   }
+  /// Declared memory areas (the full inventory).
   const std::vector<AreaSpec>& areas() const noexcept { return areas_; }
+  /// Operational modes, in declaration order.
   const std::vector<ModeDecl>& modes() const noexcept { return modes_; }
+  /// Number of executive partitions the components are assigned across.
   std::size_t partition_count() const noexcept { return partition_count_; }
 
+  /// The component named `name`, or nullptr.
   const ComponentSpec* find(const std::string& name) const noexcept;
+  /// The area named `name`, or nullptr.
   const AreaSpec* find_area(const std::string& name) const noexcept;
   /// The binding whose client end is (component, interface); nullptr when
   /// the port is unbound.
   const BindingSpec* binding_for(const BindingEnd& client) const noexcept;
+  /// The mode named `name`, or nullptr.
   const ModeDecl* find_mode(const std::string& name) const noexcept;
   /// The mode flagged degraded, or nullptr.
   const ModeDecl* degraded_mode() const noexcept;
   /// True when `component` appears in at least one mode's component set.
   bool mode_managed(const std::string& component) const noexcept;
+
+  /// Deep field-wise equality (component, binding, area, and mode lists in
+  /// order, plus the partition count). Two plans produced by the same
+  /// planner inputs — or one plan round-tripped through the wire codec —
+  /// compare equal.
+  bool operator==(const AssemblyPlan& o) const;
+  /// Negation of operator==.
+  bool operator!=(const AssemblyPlan& o) const { return !(*this == o); }
 
  private:
   friend struct AssemblyPlanBuilder;
@@ -134,15 +194,22 @@ class AssemblyPlan {
 /// the single place an AssemblyPlan changes; everyone downstream sees the
 /// const interface above.
 struct AssemblyPlanBuilder {
+  /// The plan under construction.
   AssemblyPlan& plan;
 
+  /// Mutable component list.
   std::vector<ComponentSpec>& components() { return plan.components_; }
+  /// Mutable binding list.
   std::vector<BindingSpec>& bindings() { return plan.bindings_; }
+  /// Mutable area inventory.
   std::vector<AreaSpec>& areas() { return plan.areas_; }
+  /// Mutable mode list.
   std::vector<ModeDecl>& modes() { return plan.modes_; }
+  /// Sets the executive partition count (0 is clamped to 1).
   void set_partition_count(std::size_t count) {
     plan.partition_count_ = count == 0 ? 1 : count;
   }
+  /// Mutable lookup of the component named `name`, or nullptr.
   ComponentSpec* find(const std::string& name);
 };
 

@@ -64,6 +64,16 @@ struct TimingContract {
   double max_arrival_rate_hz = 0.0;
   /// Releases per observation window for the stochastic bounds.
   std::uint32_t window = 32;
+
+  /// Field-wise equality (contracts are value data; the plan-delta engine
+  /// and the wire codec compare them member by member).
+  bool operator==(const TimingContract& o) const {
+    return wcet_budget == o.wcet_budget &&
+           miss_ratio_bound == o.miss_ratio_bound &&
+           max_arrival_rate_hz == o.max_arrival_rate_hz && window == o.window;
+  }
+  /// Negation of operator==.
+  bool operator!=(const TimingContract& o) const { return !(*this == o); }
 };
 
 /// Per-mode configuration of one component enabled in that mode (the ADL
@@ -77,6 +87,16 @@ struct ModeComponentConfig {
   /// Timing-contract override for this mode; empty keeps the declared
   /// contract.
   std::optional<TimingContract> contract;
+
+  /// Field-wise equality (mode entries are value data for the wire codec).
+  bool operator==(const ModeComponentConfig& o) const {
+    return component == o.component && period == o.period &&
+           contract == o.contract;
+  }
+  /// Negation of operator==.
+  bool operator!=(const ModeComponentConfig& o) const {
+    return !(*this == o);
+  }
 };
 
 /// A client-port redirection applied on entry to a mode (the ADL
@@ -86,6 +106,13 @@ struct ModeRebind {
   std::string client;
   std::string port;
   std::string server;
+
+  /// Field-wise equality.
+  bool operator==(const ModeRebind& o) const {
+    return client == o.client && port == o.port && server == o.server;
+  }
+  /// Negation of operator==.
+  bool operator!=(const ModeRebind& o) const { return !(*this == o); }
 };
 
 /// An operational mode (the ADL `<Mode>` element): the set of active
@@ -107,6 +134,14 @@ struct ModeDecl {
   std::vector<ModeRebind> rebinds;
 
   const ModeComponentConfig* find(const std::string& component) const noexcept;
+
+  /// Field-wise equality (declaration order of entries is significant).
+  bool operator==(const ModeDecl& o) const {
+    return name == o.name && degraded == o.degraded &&
+           components == o.components && rebinds == o.rebinds;
+  }
+  /// Negation of operator==.
+  bool operator!=(const ModeDecl& o) const { return !(*this == o); }
 };
 
 const char* to_string(ComponentKind k) noexcept;
@@ -122,6 +157,13 @@ struct InterfaceDecl {
   std::string name;       ///< Port name, e.g. "iMonitor".
   InterfaceRole role{};   ///< Client (required) or server (provided).
   std::string signature;  ///< Interface type name, e.g. "IMonitor".
+
+  /// Field-wise equality.
+  bool operator==(const InterfaceDecl& o) const {
+    return name == o.name && role == o.role && signature == o.signature;
+  }
+  /// Negation of operator==.
+  bool operator!=(const InterfaceDecl& o) const { return !(*this == o); }
 };
 
 /// Abstract component (metamodel root).

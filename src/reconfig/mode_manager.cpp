@@ -1,5 +1,7 @@
 #include "reconfig/mode_manager.hpp"
 
+#include <chrono>
+
 #include "util/assert.hpp"
 
 namespace rtcf::reconfig {
@@ -8,6 +10,34 @@ using model::AssemblyPlan;
 using model::ComponentSpec;
 using model::ModeDecl;
 using model::Protocol;
+
+namespace {
+
+/// Reload preconditions shared by the local (request_reload) and
+/// distributed (prepare_reload) paths: the generation mode must support
+/// structural deltas when one is needed, and the running mode must
+/// survive in the target.
+void check_reload_preconditions(const soleil::Application& app,
+                                bool structural_needed,
+                                const std::string& mode_name,
+                                const model::AssemblyPlan& target,
+                                validate::Report& report) {
+  if (structural_needed && !app.supports_structural_reload()) {
+    report.add(validate::Severity::Error, "RELOAD-STATIC", app.mode_name(),
+               "generation mode cannot apply structural plan deltas "
+               "(only SOLEIL reifies the controllers a live reload "
+               "needs)");
+  }
+  if (target.modes().empty()) {
+    report.add(validate::Severity::Error, "DELTA-MODE-CURRENT", "-",
+               "target declares no modes");
+  } else if (target.find_mode(mode_name) == nullptr) {
+    report.add(validate::Severity::Error, "DELTA-MODE-CURRENT", mode_name,
+               "target no longer declares the running mode");
+  }
+}
+
+}  // namespace
 
 ModeManager::ModeManager(soleil::Application& app)
     : ModeManager(app, Options()) {}
@@ -86,6 +116,11 @@ std::vector<ModeManager::TransitionRecord> ModeManager::transitions() const {
   return records_;
 }
 
+ModeManager::TransitionRecord ModeManager::last_transition() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_.empty() ? TransitionRecord{} : records_.back();
+}
+
 void ModeManager::set_structure_hook(
     std::function<void(const StructureChange&)> hook) {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -127,22 +162,8 @@ bool ModeManager::request_reload(const model::Architecture& target,
     mode_name = modes_[current_.load(std::memory_order_relaxed)]->name;
   }
   ReloadPlan rp = plan_reload(running, target);
-  if (!app_.supports_structural_reload()) {
-    rp.report.add(validate::Severity::Error, "RELOAD-STATIC",
-                  app_.mode_name(),
-                  "generation mode cannot apply structural plan deltas "
-                  "(only SOLEIL reifies the controllers a live reload "
-                  "needs)");
-  }
-  if (rp.target.modes().empty()) {
-    rp.report.add(validate::Severity::Error, "DELTA-MODE-CURRENT", "-",
-                  "target architecture declares no modes");
-  } else if (rp.target.find_mode(mode_name) == nullptr) {
-    rp.report.add(validate::Severity::Error, "DELTA-MODE-CURRENT",
-                  mode_name,
-                  "target architecture no longer declares the running "
-                  "mode");
-  }
+  check_reload_preconditions(app_, /*structural_needed=*/true, mode_name,
+                             rp.target, rp.report);
   if (report != nullptr) *report = rp.report;
   if (!rp.report.ok()) return false;
   if (rp.delta.empty()) return false;  // no-op reload: nothing to stage
@@ -164,6 +185,99 @@ bool ModeManager::request_reload(const model::Architecture& target,
   return true;
 }
 
+void ModeManager::stage_two_phase_locked() {
+  two_phase_ = true;
+  quiescent_ = workers_ == 0;  // no executive: trivially quiescent
+  requested_at_ = rtsj::SteadyClock::instance().now();
+  pending_.store(true, std::memory_order_release);
+}
+
+bool ModeManager::prepare_transition(const std::string& mode,
+                                     const char* trigger) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t idx = mode_index(mode);
+  if (idx == modes_.size()) return false;
+  if (pending_.load(std::memory_order_relaxed)) return false;
+  // Unlike request_transition, idx == current_ is accepted: a cluster
+  // transition may be a local no-op, but the node still owes the global
+  // rendezvous its quiescence.
+  pending_kind_ = PendingKind::Mode;
+  pending_target_ = idx;
+  pending_trigger_ = trigger;
+  stage_two_phase_locked();
+  return true;
+}
+
+bool ModeManager::prepare_reload(ReloadPlan plan, validate::Report* report) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // An empty slice delta still parks for cluster atomicity, so the
+    // structural-support requirement only applies when something moves.
+    check_reload_preconditions(app_, !plan.delta.empty(),
+                               modes_[current_.load(
+                                   std::memory_order_relaxed)]->name,
+                               plan.target, plan.report);
+    if (report != nullptr) *report = plan.report;
+    if (!plan.report.ok()) return false;
+    if (pending_.load(std::memory_order_relaxed)) return false;
+    // Empty deltas are staged anyway: the cluster-wide commit is atomic
+    // only if every node — including untouched ones — parks and votes.
+    pending_kind_ = PendingKind::Reload;
+    pending_reload_ = std::move(plan);
+    pending_trigger_ = "dist-reload";
+    stage_two_phase_locked();
+  }
+  return true;
+}
+
+bool ModeManager::wait_prepared(rtsj::RelativeTime timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!pending_.load(std::memory_order_relaxed) || !two_phase_) return false;
+  cv_.wait_for(lock, std::chrono::nanoseconds(timeout.nanos()), [&] {
+    return quiescent_ || !pending_.load(std::memory_order_relaxed);
+  });
+  return two_phase_ && quiescent_ &&
+         pending_.load(std::memory_order_relaxed);
+}
+
+bool ModeManager::prepared() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return two_phase_ && quiescent_ &&
+         pending_.load(std::memory_order_relaxed);
+}
+
+bool ModeManager::commit_prepared() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!pending_.load(std::memory_order_relaxed) || !two_phase_ ||
+      !quiescent_) {
+    return false;
+  }
+  two_phase_ = false;
+  quiescent_ = false;
+  // The workers are parked (or none run); the caller's thread performs
+  // the swap and the barrier release wakes them into the new plan.
+  execute_pending_locked();
+  return true;
+}
+
+bool ModeManager::abort_prepared() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!pending_.load(std::memory_order_relaxed) || !two_phase_) {
+    return false;
+  }
+  // Drop the staged transition without touching the assembly: no epoch is
+  // published, so resuming workers re-read nothing and the old release
+  // plan stays in force.
+  pending_reload_ = ReloadPlan{};
+  two_phase_ = false;
+  quiescent_ = false;
+  arrived_ = 0;
+  pending_.store(false, std::memory_order_release);
+  ++generation_;
+  cv_.notify_all();
+  return true;
+}
+
 void ModeManager::begin_run(std::size_t workers) {
   const std::lock_guard<std::mutex> lock(mutex_);
   RTCF_REQUIRE(workers_ == 0, "one launcher run at a time per ModeManager");
@@ -171,6 +285,12 @@ void ModeManager::begin_run(std::size_t workers) {
   workers_ = workers;
   arrived_ = 0;
   retired_ = 0;
+  // A transition prepared while no launcher ran was trivially quiescent;
+  // with workers starting, quiescence must be re-earned at the rendezvous
+  // before any commit may apply.
+  if (pending_.load(std::memory_order_relaxed) && two_phase_) {
+    quiescent_ = false;
+  }
 }
 
 void ModeManager::poll(std::size_t worker) {
@@ -182,9 +302,17 @@ void ModeManager::poll(std::size_t worker) {
   const std::uint64_t gen = generation_;
   ++arrived_;
   if (arrived_ + retired_ >= workers_) {
-    // Last worker in: everyone else is parked below — the assembly is
-    // quiescent, so this thread performs the whole swap.
-    execute_pending_locked();
+    if (two_phase_) {
+      // Quiescence reached; the decision (commit/abort) comes from the
+      // coordinator side, so the last worker parks like everyone else.
+      quiescent_ = true;
+      cv_.notify_all();
+      cv_.wait(lock, [&] { return generation_ != gen; });
+    } else {
+      // Last worker in: everyone else is parked below — the assembly is
+      // quiescent, so this thread performs the whole swap.
+      execute_pending_locked();
+    }
   } else {
     cv_.wait(lock, [&] { return generation_ != gen; });
   }
@@ -195,18 +323,33 @@ void ModeManager::retire() {
   ++retired_;
   if (pending_.load(std::memory_order_relaxed) && workers_ != 0 &&
       arrived_ + retired_ >= workers_) {
-    // The workers still polling are all parked; the retiring worker
-    // completes the rendezvous so they are not stranded.
-    execute_pending_locked();
+    if (two_phase_) {
+      // The workers still polling are all parked — quiescent; the
+      // decision still belongs to the coordinator.
+      quiescent_ = true;
+      cv_.notify_all();
+    } else {
+      // The workers still polling are all parked; the retiring worker
+      // completes the rendezvous so they are not stranded.
+      execute_pending_locked();
+    }
   }
 }
 
 void ModeManager::end_run() {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (pending_.load(std::memory_order_relaxed)) {
-    // Requested after the last dispatch boundary; the workers are joined,
-    // so apply single-threaded.
-    execute_pending_locked();
+    if (two_phase_) {
+      // The run ended while a prepared transition awaited its decision:
+      // the workers are joined, so the staged transition stays prepared
+      // (trivially quiescent) and commit/abort applies inline later.
+      quiescent_ = true;
+      cv_.notify_all();
+    } else {
+      // Requested after the last dispatch boundary; the workers are
+      // joined, so apply single-threaded.
+      execute_pending_locked();
+    }
   }
   workers_ = 0;
   arrived_ = 0;

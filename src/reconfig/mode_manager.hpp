@@ -69,6 +69,7 @@ namespace rtcf::reconfig {
 /// Effective executive settings of one mode-managed component in the
 /// current mode, read by the launcher when the plan epoch changes.
 struct ComponentSetting {
+  /// Enabled in the current mode (disabled components release nothing).
   bool enabled = true;
   /// Effective release rate (mode override or declared period).
   rtsj::RelativeTime period{};
@@ -78,7 +79,9 @@ struct ComponentSetting {
 /// structure hook at the quiescence point so the per-worker release plans
 /// can grow and shrink before the workers resume.
 struct StructureChange {
+  /// Components the reload added.
   std::vector<std::string> added;
+  /// Components the reload removed.
   std::vector<std::string> removed;
 };
 
@@ -95,19 +98,24 @@ struct StructureChange {
 /// the Launcher, one poll per dispatch boundary.
 class ModeManager {
  public:
+  /// Manager behaviour knobs.
   struct Options {
     /// Starting mode; empty selects the first declared mode.
     std::string initial_mode;
     /// Demote into the architecture's degraded mode when the governor
     /// escalates to `demote_at` or beyond.
     bool governor_demotion = true;
+    /// Governor level at (or above) which the demotion fires.
     monitor::GovernorLevel demote_at = monitor::GovernorLevel::Shed;
   };
 
   /// One applied transition, for diagnostics and the latency bench.
   struct TransitionRecord {
+    /// Transition index (0-based, in application order).
     std::uint64_t seq = 0;
+    /// Mode left by the transition.
     std::string from;
+    /// Mode entered by the transition.
     std::string to;
     /// "request" for explicit transitions, "governor" for overload
     /// demotions.
@@ -116,12 +124,17 @@ class ModeManager {
     rtsj::RelativeTime latency{};
   };
 
+  /// Manages `app` with default options.
   explicit ModeManager(soleil::Application& app);
+  /// Manages `app` with explicit options.
   ModeManager(soleil::Application& app, Options options);
 
+  /// Not copyable (owns the rendezvous state).
   ModeManager(const ModeManager&) = delete;
+  /// Not assignable.
   ModeManager& operator=(const ModeManager&) = delete;
 
+  /// Name of the mode currently in force (lock-free).
   const std::string& current_mode() const noexcept;
   /// Bumped on every applied transition; the launcher re-reads its
   /// entries' settings when the epoch it last saw differs.
@@ -157,6 +170,53 @@ class ModeManager {
     return drain_audit_.load(std::memory_order_acquire);
   }
 
+  // ---- two-phase protocol (distributed transitions, src/dist) ------------
+  // A prepared transition splits the ordinary request in half: the
+  // PREPARE half stages the transition and *holds* the executive at the
+  // quiescence rendezvous (every worker parked, nothing applied, nothing
+  // published); the decision half either applies it (commit — the swap
+  // runs on the decision caller's thread while the workers stay parked)
+  // or releases the workers with the old plan and epoch fully intact
+  // (abort). This is what lets a coordinator make one logical transition
+  // atomic across nodes: every node quiesces first, and only a unanimous
+  // PREPARE vote commits anywhere.
+
+  /// Stages `mode` as a prepared transition. Unlike request_transition,
+  /// the current mode is accepted (a cluster transition may be a no-op on
+  /// this node — it still parks for the global rendezvous). Returns false
+  /// when the mode is unknown or another transition is pending.
+  bool prepare_transition(const std::string& mode,
+                          const char* trigger = "prepare");
+
+  /// Stages an externally planned reload (the distributed path: the slice
+  /// and delta arrived over the wire and were validated with
+  /// check_delta_rules). An empty delta is accepted — the node still
+  /// parks, so the cluster-wide commit stays atomic. Returns false (with
+  /// diagnostics in `report` when given) when the plan's report has
+  /// errors, the generation mode cannot reload structurally, the target
+  /// drops the running mode, or another transition is pending.
+  bool prepare_reload(ReloadPlan plan, validate::Report* report = nullptr);
+
+  /// Blocks until the prepared transition reached quiescence (every
+  /// executive worker parked; immediately true with no launcher running)
+  /// or `timeout` elapsed. Returns false on timeout or when nothing is
+  /// prepared (e.g. an abort raced ahead).
+  bool wait_prepared(rtsj::RelativeTime timeout);
+
+  /// True while a prepared transition is staged and quiescent, awaiting
+  /// commit_prepared() or abort_prepared().
+  bool prepared() const;
+
+  /// Applies the prepared transition on the caller's thread (the workers
+  /// are parked; quiescence is the caller's proof). Returns false when
+  /// nothing is prepared or quiescence was not reached.
+  bool commit_prepared();
+
+  /// Releases a prepared transition without applying anything: the staged
+  /// plan is dropped, no epoch is published, and the parked workers
+  /// resume on the old plan. Returns false when nothing is prepared.
+  bool abort_prepared();
+
   /// Installs the launcher's release-plan growth/shrink hook, invoked at
   /// the quiescence point of every applied reload (single-threaded, all
   /// workers parked). Pass nullptr to clear.
@@ -167,11 +227,20 @@ class ModeManager {
   /// transition is pending — the quiescence point) and retire() when it
   /// exits; end_run applies any still-pending transition single-threaded.
   void begin_run(std::size_t workers);
+  /// One worker's dispatch-boundary poll (parks while a transition is
+  /// pending — the quiescence point).
   void poll(std::size_t worker);
+  /// Declares one worker gone for good (it will poll no more).
   void retire();
+  /// Ends the launcher run; a still-pending transition applies inline.
   void end_run();
 
+  /// Every applied transition so far, in order.
   std::vector<TransitionRecord> transitions() const;
+  /// The most recent applied transition (a default record when none has
+  /// applied yet) — O(1), unlike copying the whole history.
+  TransitionRecord last_transition() const;
+  /// The declared degraded mode, or nullptr.
   const model::ModeDecl* degraded_mode() const noexcept {
     return degraded_;
   }
@@ -180,6 +249,9 @@ class ModeManager {
   enum class PendingKind { Mode, Reload };
 
   void maybe_demote();
+  /// Shared tail of prepare_transition/prepare_reload; caller holds
+  /// mutex_ and has filled the pending_* fields.
+  void stage_two_phase_locked();
   /// Applies the pending transition and releases the rendezvous (barrier
   /// counters, pending flag, generation, waiters) on every exit path —
   /// including a throwing swap, so parked workers are never stranded.
@@ -236,6 +308,12 @@ class ModeManager {
   std::size_t arrived_ = 0;
   std::size_t retired_ = 0;
   std::uint64_t generation_ = 0;
+  /// Two-phase state (guarded by mutex_): the pending transition holds at
+  /// the rendezvous instead of applying, until commit/abort.
+  bool two_phase_ = false;
+  /// All workers parked (or no launcher running): the PREPARE vote may be
+  /// cast.
+  bool quiescent_ = false;
   std::vector<TransitionRecord> records_;
   /// Current settings of every active component (declared rate overlaid
   /// with the current mode's overrides). Written only at quiescence

@@ -301,28 +301,13 @@ PlanDelta diff_plans(const AssemblyPlan& running, const AssemblyPlan& target) {
   return delta;
 }
 
-ReloadPlan plan_reload(const AssemblyPlan& running,
-                       const model::Architecture& target_arch) {
-  ReloadPlan rp;
-  // 1. The target architecture passes the full rule engine — RTA, pattern,
-  //    area, and mode rules run against the *target* plan.
-  rp.report = validate::validate(target_arch);
-
-  // 2. Snapshot + migration-constrained placement.
-  rp.target = soleil::snapshot_assembly(target_arch,
-                                        running.partition_count());
-  place_target(rp.target, running);
+void check_delta_rules(const PlanDelta& delta, const AssemblyPlan& running,
+                       const AssemblyPlan& target,
+                       validate::Report& report) {
   const std::set<std::string> areas = running_area_names(running);
-  normalize_placements(rp.target, target_arch, areas);
-
-  // 3. Diff.
-  rp.delta = diff_plans(running, rp.target);
-  const PlanDelta& delta = rp.delta;
-  validate::Report& report = rp.report;
-
-  // 4. DELTA-* rules: what only the transition (not the target
-  //    architecture alone) can violate.
-  for (const ComponentSpec& spec : rp.target.components()) {
+  // DELTA-* rules: what only the transition (not the target architecture
+  // alone) can violate.
+  for (const ComponentSpec& spec : target.components()) {
     const ComponentSpec* old = running.find(spec.name);
     if (old != nullptr && !same_shape(spec, *old)) {
       report.add(Severity::Error, "DELTA-COMPONENT-SHAPE", spec.name,
@@ -380,7 +365,7 @@ ReloadPlan plan_reload(const AssemblyPlan& running,
   const auto check_async_server = [&](const BindingSpec& spec,
                                       const std::string& subject) {
     if (spec.protocol != Protocol::Asynchronous) return;
-    const ComponentSpec* server = rp.target.find(spec.server.component);
+    const ComponentSpec* server = target.find(spec.server.component);
     if (server == nullptr || !server->is_active()) {
       report.add(Severity::Error, "DELTA-ASYNC-SERVER", subject,
                  "asynchronous binding server '" + spec.server.component +
@@ -425,12 +410,12 @@ ReloadPlan plan_reload(const AssemblyPlan& running,
                                      : "single-worker variant") +
                      ")");
     }
-    // 5. Partition awareness: the placement above co-locates added
-    //    components where it legally can; a rebind between two *pinned*
-    //    survivors on different partitions cannot be co-located and is
-    //    reported instead.
-    const ComponentSpec* tc = rp.target.find(rebind.client.component);
-    const ComponentSpec* ts = rp.target.find(rebind.new_server);
+    // Partition awareness: the migration-constrained placement co-locates
+    // added components where it legally can; a rebind between two *pinned*
+    // survivors on different partitions cannot be co-located and is
+    // reported instead.
+    const ComponentSpec* tc = target.find(rebind.client.component);
+    const ComponentSpec* ts = target.find(rebind.new_server);
     if (tc != nullptr && ts != nullptr && tc->partition != ts->partition) {
       report.add(
           Severity::Warning, "REBIND-CROSS-PARTITION", subject,
@@ -443,6 +428,26 @@ ReloadPlan plan_reload(const AssemblyPlan& running,
                 "re-targeted buffer uses the lock-free SPSC variant");
     }
   }
+}
+
+ReloadPlan plan_reload(const AssemblyPlan& running,
+                       const model::Architecture& target_arch) {
+  ReloadPlan rp;
+  // 1. The target architecture passes the full rule engine — RTA, pattern,
+  //    area, and mode rules run against the *target* plan.
+  rp.report = validate::validate(target_arch);
+
+  // 2. Snapshot + migration-constrained placement.
+  rp.target = soleil::snapshot_assembly(target_arch,
+                                        running.partition_count());
+  place_target(rp.target, running);
+  normalize_placements(rp.target, target_arch, running_area_names(running));
+
+  // 3. Diff.
+  rp.delta = diff_plans(running, rp.target);
+
+  // 4. The transition rules (shared with the distributed per-node path).
+  check_delta_rules(rp.delta, running, rp.target, rp.report);
   return rp;
 }
 

@@ -61,9 +61,13 @@ namespace rtcf::reconfig {
 
 /// One client-port re-target synthesized by the diff.
 struct RebindDelta {
+  /// The client end being re-targeted.
   model::BindingEnd client;
+  /// Server the port pointed at in the running assembly.
   std::string old_server;
+  /// Server the port points at after the transition.
   std::string new_server;
+  /// Protocol of the (unchanged) binding.
   model::Protocol protocol = model::Protocol::Synchronous;
   /// The target plan's full resolution for the new wiring (pattern, area
   /// placement, buffer size, cross-partition flag).
@@ -72,9 +76,13 @@ struct RebindDelta {
 
 /// Release-rate / contract change of a surviving component.
 struct SettingDelta {
+  /// The surviving component concerned.
   std::string component;
+  /// True when the release rate changed.
   bool period_changed = false;
+  /// The new release rate (valid when period_changed).
   rtsj::RelativeTime new_period{};
+  /// True when the timing contract changed.
   bool contract_changed = false;
   /// The new contract; nullopt drops contract monitoring.
   std::optional<model::TimingContract> contract;
@@ -82,14 +90,18 @@ struct SettingDelta {
 
 /// The synthesized transition between two assembly snapshots.
 struct PlanDelta {
+  /// Components to instantiate (specs captured by value from the target).
   std::vector<model::ComponentSpec> add_components;
+  /// Components to drain, stop, and retire.
   std::vector<model::ComponentSpec> remove_components;
   /// Bindings whose client end is new (added component, or a previously
   /// unbound port of a survivor).
   std::vector<model::BindingSpec> add_bindings;
   /// Client ends of survivors whose binding disappears entirely.
   std::vector<model::BindingEnd> remove_bindings;
+  /// Client-port re-targets between surviving or added servers.
   std::vector<RebindDelta> rebinds;
+  /// Release-rate / contract changes of surviving components.
   std::vector<SettingDelta> settings;
   /// Client ends whose protocol differs between the plans (always an
   /// error; kept here so the validator can name them).
@@ -104,12 +116,27 @@ struct PlanDelta {
 PlanDelta diff_plans(const model::AssemblyPlan& running,
                      const model::AssemblyPlan& target);
 
+/// Runs the DELTA-* rules (and REBIND-CROSS-PARTITION) of a synthesized
+/// transition against the running and *placed* target snapshots, appending
+/// to `report`. This is step 4 of plan_reload(), exposed on its own for
+/// the distributed path: the coordinator validates the global target
+/// architecture once, and every node re-validates only its received slice
+/// delta with exactly this rule set before voting PREPARE_OK.
+void check_delta_rules(const PlanDelta& delta,
+                       const model::AssemblyPlan& running,
+                       const model::AssemblyPlan& target,
+                       validate::Report& report);
+
 /// A staged reload: the delta, the placed target snapshot, and the
 /// combined validation report.
 struct ReloadPlan {
+  /// The synthesized transition.
   PlanDelta delta;
+  /// The placed target snapshot the transition commits to.
   model::AssemblyPlan target;
+  /// Combined diagnostics (target rules + DELTA-* rules).
   validate::Report report;
+  /// True when the report carries no errors.
   bool ok() const noexcept { return report.ok(); }
 };
 

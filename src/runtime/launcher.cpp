@@ -61,8 +61,11 @@ Launcher::Launcher(soleil::Application& app) : app_(app) {
     }
     add_entry(pc);
   }
-  RTCF_REQUIRE(!periodics_.empty(),
-               "launcher needs at least one periodic active component");
+  // An assembly without periodic components is legal under a mode manager
+  // (a distributed node may host only sporadic consumers fed over the
+  // bridge; a cluster demotion may disable every local timeline): run()
+  // then serves activations until the horizon. Without a mode manager a
+  // run would return immediately, which run() rejects.
 }
 
 void Launcher::reconcile_with_plan() {
@@ -92,6 +95,9 @@ void Launcher::run(const Options& options) {
   // Reloads applied while no run was active (inline quiescence) changed
   // the plan without a structure hook; catch up before dispatching.
   reconcile_with_plan();
+  RTCF_REQUIRE(!periodics_.empty() || options.mode_manager != nullptr,
+               "launcher needs at least one periodic active component (or "
+               "a mode manager driving a release-less assembly)");
   if (options.workers <= 1) {
     run_single(options);
     return;
@@ -243,12 +249,23 @@ void Launcher::run_single(const Options& options) {
   sync_mode();
   const auto poll = std::chrono::nanoseconds(
       std::max<std::int64_t>(options.poll_interval.nanos(), 1));
+  // With a boundary hook installed, each boundary also drains the
+  // activations the hook injected (a node hosting only sporadic consumers
+  // has no dispatch points of its own). Without a hook the classic
+  // single-core executive is untouched: activations drain run-to-
+  // completion inside dispatch_entry only.
+  const auto boundary = [&] {
+    if (!options.boundary_hook) return;
+    options.boundary_hook();
+    app_.pump();
+  };
 
   for (;;) {
     if (mm != nullptr) {
       mm->poll(0);  // dispatch boundary: pending transitions apply here
       sync_mode();
     }
+    boundary();
     // Earliest pending release across the enabled periodic components.
     AbsoluteTime next = end;
     for (const auto* entry : mine) {
@@ -270,6 +287,7 @@ void Launcher::run_single(const Options& options) {
           replanned = true;
           break;
         }
+        boundary();
       }
     } else if (clock.now() < next) {
       if (mm == nullptr) {
@@ -286,6 +304,7 @@ void Launcher::run_single(const Options& options) {
             replanned = true;
             break;
           }
+          boundary();
           const auto remaining =
               std::chrono::nanoseconds((next - clock.now()).nanos());
           if (remaining.count() > 0) {
@@ -419,11 +438,17 @@ void Launcher::worker_loop(std::size_t worker, const Options& options,
 
   const auto poll = std::chrono::nanoseconds(
       std::max<std::int64_t>(options.poll_interval.nanos(), 1));
+  const auto boundary = [&] {
+    if (worker != 0 || !options.boundary_hook) return;
+    options.boundary_hook();
+    app_.pump_partition(worker);
+  };
   for (;;) {
     if (mm != nullptr) {
       mm->poll(worker);  // dispatch boundary: the quiescence point
       sync_mode();
     }
+    boundary();
     AbsoluteTime next = end;
     for (const auto* entry : mine) {
       if (!entry->enabled) continue;
@@ -442,6 +467,7 @@ void Launcher::worker_loop(std::size_t worker, const Options& options,
           break;
         }
       }
+      boundary();
       const bool moved = app_.pump_partition(worker);
       if (moved || options.busy_wait) continue;
       const auto remaining =

@@ -71,6 +71,12 @@ class Launcher {
     /// on the run-start anchor grid (first release strictly in the
     /// future), removed ones retire with their accumulated stats intact.
     reconfig::ModeManager* mode_manager = nullptr;
+    /// Called by worker 0 (or the single-core executive) at every dispatch
+    /// boundary, next to the mode-manager poll and never mid-release — the
+    /// distribution layer's hook for injecting remote gateway messages
+    /// from an executive thread. Not called while the worker is parked at
+    /// a transition rendezvous, so injections never race a swap.
+    std::function<void()> boundary_hook;
   };
 
   struct ComponentStats {

@@ -1,0 +1,116 @@
+#include "validate/distribution.hpp"
+
+namespace rtcf::validate {
+
+using model::AssemblyPlan;
+using model::BindingSpec;
+using model::ComponentSpec;
+
+const std::string& NodeMap::node_of(const std::string& component) const {
+  static const std::string kEmpty;
+  auto it = assignment.find(component);
+  return it == assignment.end() ? kEmpty : it->second;
+}
+
+bool NodeMap::has_node(const std::string& name) const {
+  return node_index(name) != nodes.size();
+}
+
+std::size_t NodeMap::node_index(const std::string& name) const {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] == name) return i;
+  }
+  return nodes.size();
+}
+
+Report validate_distribution(const AssemblyPlan& plan, const NodeMap& map) {
+  Report report;
+
+  for (const ComponentSpec& spec : plan.components()) {
+    const std::string& node = map.node_of(spec.name);
+    if (node.empty()) {
+      report.add(Severity::Error, "DIST-NODE-UNKNOWN", spec.name,
+                 "component is not assigned to any node");
+    } else if (!map.has_node(node)) {
+      report.add(Severity::Error, "DIST-NODE-UNKNOWN", spec.name,
+                 "component is assigned to undeclared node '" + node + "'");
+    }
+  }
+
+  // Composites must not be torn by the cut. The snapshot records each
+  // component's *innermost* area and its thread domain; two components
+  // sharing either name must share a node.
+  const auto span_check = [&](const char* rule, const char* what,
+                              const std::string& (*key)(
+                                  const ComponentSpec&)) {
+    for (std::size_t i = 0; i < plan.components().size(); ++i) {
+      const ComponentSpec& a = plan.components()[i];
+      if (key(a).empty()) continue;
+      for (std::size_t j = i + 1; j < plan.components().size(); ++j) {
+        const ComponentSpec& b = plan.components()[j];
+        if (key(a) != key(b)) continue;
+        const std::string& na = map.node_of(a.name);
+        const std::string& nb = map.node_of(b.name);
+        if (!na.empty() && !nb.empty() && na != nb) {
+          report.add(Severity::Error, rule, key(a),
+                     std::string(what) + " deploys '" + a.name + "' on '" +
+                         na + "' and '" + b.name + "' on '" + nb +
+                         "' — one RTSJ composite cannot span nodes");
+        }
+      }
+    }
+  };
+  span_check("DIST-AREA-SPAN", "memory area",
+             [](const ComponentSpec& s) -> const std::string& {
+               return s.memory_area;
+             });
+  span_check("DIST-DOMAIN-SPAN", "thread domain",
+             [](const ComponentSpec& s) -> const std::string& {
+               return s.thread_domain;
+             });
+
+  for (const BindingSpec& binding : plan.bindings()) {
+    const std::string& client_node = map.node_of(binding.client.component);
+    const std::string& server_node = map.node_of(binding.server.component);
+    if (client_node.empty() || server_node.empty() ||
+        client_node == server_node) {
+      continue;
+    }
+    const std::string subject = binding.client.component + "." +
+                                binding.client.interface + " -> " +
+                                binding.server.component;
+    if (binding.protocol == model::Protocol::Synchronous) {
+      report.add(Severity::Error, "DIST-SYNC-CROSS-NODE", subject,
+                 "synchronous binding crosses nodes ('" + client_node +
+                     "' -> '" + server_node +
+                     "'); there is no synchronous bridge — declare the "
+                     "binding asynchronous to get a gateway pair");
+    } else {
+      report.add(Severity::Info, "DIST-ASYNC-BRIDGED", subject,
+                 "asynchronous binding crosses nodes ('" + client_node +
+                     "' -> '" + server_node +
+                     "'); a gateway pair bridges it over the data channel");
+    }
+  }
+
+  for (const model::ModeDecl& mode : plan.modes()) {
+    for (const model::ModeRebind& rebind : mode.rebinds) {
+      const std::string& client_node = map.node_of(rebind.client);
+      const std::string& server_node = map.node_of(rebind.server);
+      if (client_node.empty() || server_node.empty() ||
+          client_node == server_node) {
+        continue;
+      }
+      report.add(Severity::Error, "DIST-REBIND-CROSS-NODE",
+                 mode.name + ":" + rebind.client + "." + rebind.port,
+                 "mode rebind redirects the port to '" + rebind.server +
+                     "' on node '" + server_node +
+                     "' — mode rebinds are node-local; re-shape the "
+                     "cross-node wiring with a coordinated reload");
+    }
+  }
+
+  return report;
+}
+
+}  // namespace rtcf::validate

@@ -1,0 +1,64 @@
+// Distribution rules: what a multi-node deployment adds to the rule engine.
+//
+// A distributed assembly is one global architecture plus a NodeMap that
+// assigns every functional component to a node. Most RTSJ rules are
+// node-local and already covered by validate(); these rules check what
+// only the *cut* across nodes can violate. Like every other rule set, the
+// identifiers are stable and used by tests and tools:
+//
+//   DIST-NODE-UNKNOWN        a component is mapped to a node the cluster
+//                            does not declare, or not mapped at all
+//   DIST-SYNC-CROSS-NODE     a synchronous binding spans two nodes; there
+//                            is no synchronous bridge — redeclare the
+//                            binding asynchronous (the framework then
+//                            synthesizes the gateway pair)
+//   DIST-AREA-SPAN           one MemoryArea deploys components on
+//                            different nodes (an RTSJ area cannot span
+//                            address spaces)
+//   DIST-DOMAIN-SPAN         one ThreadDomain contains active components
+//                            on different nodes
+//   DIST-REBIND-CROSS-NODE   a mode <Rebind> redirects a port to a server
+//                            on another node (mode rebinds are node-local;
+//                            cross-node re-targeting goes through a
+//                            coordinated reload instead)
+//   DIST-ASYNC-BRIDGED       (info) an asynchronous binding crosses nodes
+//                            and will ride a synthesized gateway bridge
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/assembly_plan.hpp"
+#include "validate/report.hpp"
+
+namespace rtcf::validate {
+
+/// Assignment of functional components to named nodes — the deployment
+/// half of a distributed assembly (the global architecture is the other
+/// half). Non-functional composites (ThreadDomains, MemoryAreas) are not
+/// mapped; they follow the functional components they contain, and
+/// DIST-AREA-SPAN / DIST-DOMAIN-SPAN reject composites the cut would
+/// tear apart.
+struct NodeMap {
+  /// Declared node names, in cluster order (node index = position).
+  std::vector<std::string> nodes;
+  /// Component name -> node name.
+  std::map<std::string, std::string> assignment;
+
+  /// The node assigned to `component`, or an empty string when unmapped.
+  const std::string& node_of(const std::string& component) const;
+  /// True when `name` is a declared node.
+  bool has_node(const std::string& name) const;
+  /// Index of `name` in `nodes`; nodes.size() when unknown.
+  std::size_t node_index(const std::string& name) const;
+};
+
+/// Runs the DIST-* rules for `plan` under `map` and returns the report.
+/// `plan` is the *global* assembly snapshot (all nodes); run the ordinary
+/// validate() on the global architecture first — these rules only add the
+/// cut checks.
+Report validate_distribution(const model::AssemblyPlan& plan,
+                             const NodeMap& map);
+
+}  // namespace rtcf::validate

@@ -1,0 +1,246 @@
+// Node slicing and the DIST-* rules: gateway synthesis, hierarchy
+// preservation, mode filtering, cut violations (`ctest -L dist`).
+#include <gtest/gtest.h>
+
+#include "dist/gateway.hpp"
+#include "dist/slice.hpp"
+#include "soleil/plan.hpp"
+#include "validate/distribution.hpp"
+#include "validate/validator.hpp"
+
+namespace rtcf::dist {
+namespace {
+
+using model::ActivationKind;
+using model::Architecture;
+using model::Binding;
+using model::Criticality;
+using model::DomainType;
+using model::InterfaceRole;
+using model::Protocol;
+using validate::NodeMap;
+
+NodeMap two_node_map() {
+  NodeMap map;
+  map.nodes = {"alpha", "beta"};
+  map.assignment = {{"Producer", "alpha"}, {"Relay", "alpha"},
+                    {"Sink", "beta"}};
+  return map;
+}
+
+/// Producer@alpha --async--> Sink@beta, plus a local sync helper on alpha.
+Architecture two_node_arch() {
+  Architecture arch;
+  auto& producer = arch.add_active("Producer", ActivationKind::Periodic,
+                                   rtsj::RelativeTime::milliseconds(5));
+  producer.set_content_class("ProducerImpl");
+  producer.set_cost(rtsj::RelativeTime::microseconds(50));
+  producer.set_swappable(true);
+  producer.add_interface({"out", InterfaceRole::Client, "ISink"});
+  producer.add_interface({"relay", InterfaceRole::Client, "IRelay"});
+
+  auto& relay = arch.add_passive("Relay");
+  relay.set_content_class("RelayImpl");
+  relay.add_interface({"relay", InterfaceRole::Server, "IRelay"});
+
+  auto& sink = arch.add_active("Sink", ActivationKind::Sporadic);
+  sink.set_content_class("SinkImpl");
+  sink.set_criticality(Criticality::Low);
+  sink.set_swappable(true);
+  sink.add_interface({"in", InterfaceRole::Server, "ISink"});
+
+  Binding bridge;
+  bridge.client = {"Producer", "out"};
+  bridge.server = {"Sink", "in"};
+  bridge.desc.protocol = Protocol::Asynchronous;
+  bridge.desc.buffer_size = 16;
+  arch.add_binding(bridge);
+
+  Binding local;
+  local.client = {"Producer", "relay"};
+  local.server = {"Relay", "relay"};
+  local.desc.protocol = Protocol::Synchronous;
+  arch.add_binding(local);
+
+  auto& rt = arch.add_thread_domain("RT_A", DomainType::Realtime, 20);
+  arch.add_child(rt, producer);
+  auto& reg = arch.add_thread_domain("reg_B", DomainType::Regular, 5);
+  arch.add_child(reg, sink);
+
+  model::ModeDecl normal;
+  normal.name = "Normal";
+  normal.components.push_back({"Producer", rtsj::RelativeTime::zero(), {}});
+  normal.components.push_back({"Sink", rtsj::RelativeTime::zero(), {}});
+  arch.add_mode(std::move(normal));
+  model::ModeDecl degraded;
+  degraded.name = "Degraded";
+  degraded.degraded = true;
+  degraded.components.push_back(
+      {"Producer", rtsj::RelativeTime::milliseconds(20), {}});
+  arch.add_mode(std::move(degraded));
+  return arch;
+}
+
+TEST(DistRulesTest, CleanCutValidates) {
+  const Architecture arch = two_node_arch();
+  const auto plan = soleil::snapshot_assembly(arch, 1);
+  const auto report = validate_distribution(plan, two_node_map());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  // The bridged binding is reported informationally.
+  EXPECT_TRUE(report.has_rule("DIST-ASYNC-BRIDGED"));
+}
+
+TEST(DistRulesTest, UnmappedAndUnknownNodesAreErrors) {
+  const Architecture arch = two_node_arch();
+  const auto plan = soleil::snapshot_assembly(arch, 1);
+  NodeMap map = two_node_map();
+  map.assignment.erase("Relay");              // unmapped
+  map.assignment["Sink"] = "gamma";           // undeclared node
+  const auto report = validate_distribution(plan, map);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.by_rule("DIST-NODE-UNKNOWN").size(), 2u);
+}
+
+TEST(DistRulesTest, SyncBindingsMustNotCrossNodes) {
+  const Architecture arch = two_node_arch();
+  const auto plan = soleil::snapshot_assembly(arch, 1);
+  NodeMap map = two_node_map();
+  map.assignment["Relay"] = "beta";  // Producer -> Relay is synchronous
+  const auto report = validate_distribution(plan, map);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has_rule("DIST-SYNC-CROSS-NODE"));
+}
+
+TEST(DistRulesTest, CompositesMustNotSpanNodes) {
+  Architecture arch = two_node_arch();
+  // Tear a domain apart: move Sink into Producer's domain.
+  auto* rt = arch.find_as<model::ThreadDomain>("RT_A");
+  auto* sink = arch.find("Sink");
+  ASSERT_NE(rt, nullptr);
+  ASSERT_NE(sink, nullptr);
+  arch.add_child(*rt, *sink);
+  const auto plan = soleil::snapshot_assembly(arch, 1);
+  const auto report = validate_distribution(plan, two_node_map());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has_rule("DIST-DOMAIN-SPAN"));
+}
+
+TEST(DistRulesTest, CrossNodeModeRebindIsRejected) {
+  Architecture arch = two_node_arch();
+  model::ModeDecl weird;
+  weird.name = "Weird";
+  weird.components.push_back({"Producer", rtsj::RelativeTime::zero(), {}});
+  weird.rebinds.push_back({"Producer", "out", "Sink"});
+  arch.add_mode(std::move(weird));
+  const auto plan = soleil::snapshot_assembly(arch, 1);
+  const auto report = validate_distribution(plan, two_node_map());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has_rule("DIST-REBIND-CROSS-NODE"));
+}
+
+TEST(SliceTest, ClientSideGetsAnExitGateway) {
+  const Architecture arch = two_node_arch();
+  const Architecture slice = slice_architecture(arch, two_node_map(), "alpha");
+
+  EXPECT_NE(slice.find("Producer"), nullptr);
+  EXPECT_NE(slice.find("Relay"), nullptr);
+  EXPECT_EQ(slice.find("Sink"), nullptr);
+
+  const std::string exit_name = gateway_exit_name("Producer", "out");
+  const auto* exit = slice.find_as<model::ActiveComponent>(exit_name);
+  ASSERT_NE(exit, nullptr);
+  EXPECT_EQ(exit->activation(), ActivationKind::Sporadic);
+  EXPECT_EQ(exit->content_class(), kGatewayExitClass);
+  EXPECT_TRUE(exit->swappable());
+  const auto* itf = exit->find_interface("in");
+  ASSERT_NE(itf, nullptr);
+  EXPECT_EQ(itf->signature, "ISink");
+
+  // The bridge half re-targets the client port locally.
+  bool rewired = false;
+  for (const Binding& b : slice.bindings()) {
+    if (b.client.component == "Producer" && b.client.interface == "out") {
+      EXPECT_EQ(b.server.component, exit_name);
+      EXPECT_EQ(b.desc.buffer_size, 16u);
+      rewired = true;
+    }
+  }
+  EXPECT_TRUE(rewired);
+
+  // The synthesized deployment exists and the slice passes the full rule
+  // engine on its own.
+  EXPECT_NE(slice.find(kGatewayArea), nullptr);
+  EXPECT_NE(slice.find(kGatewayDomain), nullptr);
+  const auto report = validate::validate(slice);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(SliceTest, ServerSideGetsAnEntryGateway) {
+  const Architecture arch = two_node_arch();
+  const Architecture slice = slice_architecture(arch, two_node_map(), "beta");
+
+  EXPECT_NE(slice.find("Sink"), nullptr);
+  EXPECT_EQ(slice.find("Producer"), nullptr);
+
+  const std::string entry_name = gateway_entry_name("Producer", "out");
+  const auto* entry = slice.find_as<model::PassiveComponent>(entry_name);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->content_class(), kGatewayEntryClass);
+  const auto* itf = entry->find_interface("out");
+  ASSERT_NE(itf, nullptr);
+  EXPECT_EQ(itf->role, InterfaceRole::Client);
+
+  bool wired = false;
+  for (const Binding& b : slice.bindings()) {
+    if (b.client.component == entry_name) {
+      EXPECT_EQ(b.server.component, "Sink");
+      EXPECT_EQ(b.desc.protocol, Protocol::Asynchronous);
+      wired = true;
+    }
+  }
+  EXPECT_TRUE(wired);
+  const auto report = validate::validate(slice);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(SliceTest, ModesAreFilteredPerNodeButKeepEveryName) {
+  const Architecture arch = two_node_arch();
+  const Architecture alpha = slice_architecture(arch, two_node_map(), "alpha");
+  const Architecture beta = slice_architecture(arch, two_node_map(), "beta");
+
+  ASSERT_EQ(alpha.modes().size(), 2u);
+  ASSERT_EQ(beta.modes().size(), 2u);
+  const auto* alpha_degraded = alpha.find_mode("Degraded");
+  const auto* beta_degraded = beta.find_mode("Degraded");
+  ASSERT_NE(alpha_degraded, nullptr);
+  ASSERT_NE(beta_degraded, nullptr);
+  EXPECT_EQ(alpha_degraded->components.size(), 1u);
+  // A cluster demotion shuts down everything beta manages: the degraded
+  // mode exists there with an empty local component set.
+  EXPECT_TRUE(beta_degraded->components.empty());
+  EXPECT_TRUE(beta_degraded->degraded);
+}
+
+TEST(SliceTest, SlicingIsDeterministic) {
+  const Architecture arch = two_node_arch();
+  const auto a = soleil::snapshot_assembly(
+      slice_architecture(arch, two_node_map(), "alpha"), 1);
+  const auto b = soleil::snapshot_assembly(
+      slice_architecture(arch, two_node_map(), "alpha"), 1);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(SliceTest, RoutesEnumerateTheCut) {
+  const Architecture arch = two_node_arch();
+  const auto routes = compute_routes(arch, two_node_map());
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_EQ(routes[0].client, "Producer");
+  EXPECT_EQ(routes[0].port, "out");
+  EXPECT_EQ(routes[0].client_node, "alpha");
+  EXPECT_EQ(routes[0].server, "Sink");
+  EXPECT_EQ(routes[0].iface, "in");
+  EXPECT_EQ(routes[0].server_node, "beta");
+}
+
+}  // namespace
+}  // namespace rtcf::dist

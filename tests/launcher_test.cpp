@@ -55,7 +55,7 @@ TEST(LauncherTest, StatsForUnknownComponentThrow) {
   EXPECT_THROW((void)launcher.stats("Console"), std::invalid_argument);
 }
 
-TEST(LauncherTest, RequiresAPeriodicComponent) {
+TEST(LauncherTest, ReleaselessRunNeedsAModeManager) {
   using namespace model;
   Architecture arch;
   auto& a = arch.add_active("OnlySporadic", ActivationKind::Sporadic);
@@ -64,7 +64,11 @@ TEST(LauncherTest, RequiresAPeriodicComponent) {
   auto& d = arch.add_thread_domain("D", DomainType::Realtime, 20);
   arch.add_child(d, a);
   auto app = soleil::build_application(arch, soleil::Mode::MergeAll);
-  EXPECT_THROW(Launcher launcher(*app), std::invalid_argument);
+  // Sporadic-only assemblies are legal now (a distributed node may host
+  // only bridge-fed consumers) — but they need a mode manager to drive
+  // the run; a bare wall-clock run would return immediately.
+  Launcher launcher(*app);
+  EXPECT_THROW(launcher.run(Launcher::Options{}), std::invalid_argument);
 }
 
 }  // namespace
