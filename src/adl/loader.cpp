@@ -379,24 +379,30 @@ Architecture load_architecture(std::string_view adl_text) {
                    ">");
   }
   Architecture arch;
-  // Pass 1: functional component declarations and bindings.
+  // Pass 1: functional component declarations and bindings. Every loader
+  // runs under with_element_context, so a malformed element reports its
+  // element name and input line, not a bare parse failure.
   for (const XmlNode& child : root.children) {
     if (child.name == "ActiveComponent") {
-      load_active(child, arch);
+      with_element_context(child, [&] { load_active(child, arch); });
     } else if (child.name == "PassiveComponent") {
-      load_passive(child, arch);
+      with_element_context(child, [&] { load_passive(child, arch); });
     }
   }
   for (const XmlNode& child : root.children) {
-    if (child.name == "Binding") load_binding(child, arch);
+    if (child.name == "Binding") {
+      with_element_context(child, [&] { load_binding(child, arch); });
+    }
   }
   // Pass 2: non-functional composition and operational modes, both
   // referencing pass-1 components.
   for (const XmlNode& child : root.children) {
     if (child.name == "MemoryArea") {
-      load_memory_area(child, arch, nullptr);
+      with_element_context(child,
+                           [&] { load_memory_area(child, arch, nullptr); });
     } else if (child.name == "ThreadDomain") {
-      load_thread_domain(child, arch, nullptr);
+      with_element_context(child,
+                           [&] { load_thread_domain(child, arch, nullptr); });
     } else if (child.name == "Mode") {
       load_mode(child, arch);
     } else if (child.name != "ActiveComponent" &&

@@ -1,0 +1,553 @@
+#include "adversity/arch_gen.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "adversity/rng.hpp"
+#include "rtsj/threads/params.hpp"
+#include "util/assert.hpp"
+
+namespace rtcf::adversity {
+
+using model::ActivationKind;
+using model::AreaType;
+using model::Criticality;
+using model::DomainType;
+using model::InterfaceRole;
+using model::Protocol;
+using rtsj::AbsoluteTime;
+using rtsj::RelativeTime;
+
+namespace {
+
+RelativeTime us(std::int64_t micros) {
+  return RelativeTime::microseconds(micros);
+}
+
+// ---- intermediate representation ------------------------------------------
+// The generator builds a plain-data IR and materializes it into a
+// model::Architecture. Reload targets are IR mutations re-materialized, so
+// "the same architecture plus one change" is exact by construction (the
+// metamodel itself has no copy).
+
+struct AreaIR {
+  std::string name;
+  AreaType type = AreaType::Immortal;
+  std::size_t size = 0;
+  int parent = -1;  ///< Index into ArchIR::areas; -1 = top level.
+};
+
+struct DomainIR {
+  std::string name;
+  DomainType type = DomainType::Realtime;
+  int priority = rtsj::kMinRtPriority;
+};
+
+struct CompIR {
+  std::string name;
+  bool active = true;
+  bool sporadic = false;
+  std::int64_t rate_us = 0;  ///< Period (periodic) or MIT (sporadic).
+  std::int64_t cost_us = 0;
+  bool has_contract = false;
+  Criticality crit = Criticality::Low;
+  double miss_ratio = 1.0;
+  std::uint32_t window = 32;
+  std::string content;
+  int domain = -1;  ///< Index into ArchIR::domains (actives only).
+  int area = -1;    ///< Index into ArchIR::areas.
+  bool swappable = true;
+  std::size_t node = 0;
+  /// Standalone periodic active present in the *base* architecture with no
+  /// bindings and no mode membership — the only legal subject of reload
+  /// remove/re-period mutations (so an aborted reload chain can never
+  /// produce an accidental no-op delta).
+  bool base_leaf = false;
+  std::vector<model::InterfaceDecl> interfaces;
+};
+
+struct BindIR {
+  std::string client, cport, server, sport;
+  bool async = false;
+  std::size_t buffer = 0;
+};
+
+struct ModeCompIR {
+  std::string comp;
+  std::int64_t period_us = 0;  ///< 0 = no override.
+};
+
+struct ModeIR {
+  std::string name;
+  bool degraded = false;
+  std::vector<ModeCompIR> comps;
+  std::vector<model::ModeRebind> rebinds;
+};
+
+struct ArchIR {
+  std::vector<AreaIR> areas;
+  std::vector<DomainIR> domains;
+  std::vector<CompIR> comps;
+  std::vector<BindIR> binds;
+  std::vector<ModeIR> modes;
+
+  CompIR* find(const std::string& name) {
+    for (CompIR& c : comps) {
+      if (c.name == name) return &c;
+    }
+    return nullptr;
+  }
+};
+
+model::Architecture materialize(const ArchIR& ir) {
+  model::Architecture arch;
+  for (const CompIR& c : ir.comps) {
+    if (c.active) {
+      auto& active = arch.add_active(
+          c.name,
+          c.sporadic ? ActivationKind::Sporadic : ActivationKind::Periodic,
+          us(c.rate_us));
+      active.set_cost(us(c.cost_us));
+      active.set_content_class(c.content);
+      active.set_swappable(c.swappable);
+      active.set_criticality(c.crit);
+      if (c.has_contract) {
+        model::TimingContract tc;
+        tc.wcet_budget = us(c.cost_us * 4);
+        tc.miss_ratio_bound = c.miss_ratio;
+        tc.window = c.window;
+        if (c.sporadic && c.rate_us > 0) {
+          // Twice the declared MIT rate — a bound the workload's spikes
+          // probe but respectful bursts never reach.
+          tc.max_arrival_rate_hz = 2e6 / static_cast<double>(c.rate_us);
+        }
+        active.set_timing_contract(tc);
+      }
+      for (const model::InterfaceDecl& itf : c.interfaces) {
+        active.add_interface(itf);
+      }
+    } else {
+      auto& passive = arch.add_passive(c.name);
+      passive.set_content_class(c.content);
+      passive.set_swappable(c.swappable);
+      for (const model::InterfaceDecl& itf : c.interfaces) {
+        passive.add_interface(itf);
+      }
+    }
+  }
+  for (const BindIR& b : ir.binds) {
+    model::Binding binding;
+    binding.client = {b.client, b.cport};
+    binding.server = {b.server, b.sport};
+    binding.desc.protocol =
+        b.async ? Protocol::Asynchronous : Protocol::Synchronous;
+    binding.desc.buffer_size = b.buffer;
+    arch.add_binding(std::move(binding));
+  }
+  std::vector<model::MemoryAreaComponent*> areas;
+  for (const AreaIR& a : ir.areas) {
+    auto& area = arch.add_memory_area(a.name, a.type, a.size);
+    if (a.parent >= 0) {
+      arch.add_child(*areas[static_cast<std::size_t>(a.parent)], area);
+    }
+    areas.push_back(&area);
+  }
+  std::vector<model::ThreadDomain*> domains;
+  for (const DomainIR& d : ir.domains) {
+    domains.push_back(&arch.add_thread_domain(d.name, d.type, d.priority));
+  }
+  for (const CompIR& c : ir.comps) {
+    model::Component* comp = arch.find(c.name);
+    RTCF_ASSERT(comp != nullptr);
+    if (c.area >= 0) {
+      arch.add_child(*areas[static_cast<std::size_t>(c.area)], *comp);
+    }
+    if (c.active && c.domain >= 0) {
+      arch.add_child(*domains[static_cast<std::size_t>(c.domain)], *comp);
+    }
+  }
+  for (const ModeIR& m : ir.modes) {
+    model::ModeDecl mode;
+    mode.name = m.name;
+    mode.degraded = m.degraded;
+    for (const ModeCompIR& mc : m.comps) {
+      model::ModeComponentConfig cfg;
+      cfg.component = mc.comp;
+      if (mc.period_us > 0) cfg.period = us(mc.period_us);
+      mode.components.push_back(std::move(cfg));
+    }
+    mode.rebinds = m.rebinds;
+    arch.add_mode(std::move(mode));
+  }
+  return arch;
+}
+
+/// One reload-target mutation, applied to `ir` in place. Only base leaves
+/// are removed or re-perioded and added components are never touched
+/// again, so any two architectures along the mutation chain differ — a
+/// reload op can never degenerate into a no-op delta, whatever subset of
+/// earlier ops committed.
+void mutate(ArchIR& ir, Rng& rng, std::size_t serial, std::size_t nodes,
+            validate::NodeMap& map) {
+  std::vector<std::string> leaves;
+  for (const CompIR& c : ir.comps) {
+    if (c.base_leaf) leaves.push_back(c.name);
+  }
+  const std::uint64_t roll = rng.range(0, 2);
+  if (roll == 1 && !leaves.empty()) {  // remove a base leaf
+    const std::string victim = rng.pick(leaves);
+    ir.comps.erase(std::remove_if(ir.comps.begin(), ir.comps.end(),
+                                  [&](const CompIR& c) {
+                                    return c.name == victim;
+                                  }),
+                   ir.comps.end());
+    return;
+  }
+  if (roll == 2 && !leaves.empty()) {  // double a base leaf's period
+    CompIR* leaf = ir.find(rng.pick(leaves));
+    RTCF_ASSERT(leaf != nullptr);
+    leaf->rate_us *= 2;
+    return;
+  }
+  // Add a standalone periodic active on a random node, in that node's
+  // first area and domain.
+  const std::size_t node = rng.range(0, nodes - 1);
+  CompIR comp;
+  comp.name = "x" + std::to_string(serial);
+  comp.sporadic = false;
+  comp.rate_us = 20000;
+  comp.cost_us = static_cast<std::int64_t>(rng.range(20, 80));
+  comp.content = "adv.X" + std::to_string(serial);
+  comp.node = node;
+  for (std::size_t i = 0; i < ir.areas.size(); ++i) {
+    if (ir.areas[i].name.rfind("n" + std::to_string(node) + ".", 0) == 0) {
+      comp.area = static_cast<int>(i);
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < ir.domains.size(); ++i) {
+    if (ir.domains[i].name.rfind("n" + std::to_string(node) + ".", 0) == 0) {
+      comp.domain = static_cast<int>(i);
+      break;
+    }
+  }
+  map.assignment[comp.name] = map.nodes[node];
+  ir.comps.push_back(std::move(comp));
+}
+
+}  // namespace
+
+Scenario generate_scenario(std::uint64_t seed, const GenConfig& config) {
+  RTCF_REQUIRE(config.min_nodes >= 1 && config.max_nodes >= config.min_nodes,
+               "GenConfig node bounds are inverted");
+  const Rng root(seed);
+  Rng topo = root.split("topology");
+
+  Scenario scenario;
+  scenario.seed = seed;
+  scenario.horizon = config.horizon;
+
+  ArchIR ir;
+  const std::size_t nodes = topo.split("nodes").range(
+      config.min_nodes, config.max_nodes);
+  for (std::size_t k = 0; k < nodes; ++k) {
+    scenario.node_map.nodes.push_back("n" + std::to_string(k));
+  }
+
+  // Areas and domains are per-node composites: the cut can never tear one
+  // apart, so DIST-AREA-SPAN / DIST-DOMAIN-SPAN hold by construction.
+  std::vector<std::vector<int>> node_areas(nodes), node_domains(nodes);
+  for (std::size_t k = 0; k < nodes; ++k) {
+    const std::string prefix = "n" + std::to_string(k) + ".";
+    node_areas[k].push_back(static_cast<int>(ir.areas.size()));
+    ir.areas.push_back({prefix + "imm", AreaType::Immortal, 64 * 1024, -1});
+    if (topo.chance(1, 2)) {
+      const int parent = node_areas[k].front();
+      node_areas[k].push_back(static_cast<int>(ir.areas.size()));
+      ir.areas.push_back(
+          {prefix + "scope", AreaType::Scoped, 32 * 1024, parent});
+    }
+    node_domains[k].push_back(static_cast<int>(ir.domains.size()));
+    ir.domains.push_back({prefix + "rt", DomainType::Realtime,
+                          rtsj::kMinRtPriority + 2 * static_cast<int>(k)});
+    if (topo.chance(1, 3)) {
+      node_domains[k].push_back(static_cast<int>(ir.domains.size()));
+      ir.domains.push_back(
+          {prefix + "hi",
+           topo.chance(1, 2) ? DomainType::NoHeapRealtime
+                             : DomainType::Realtime,
+           rtsj::kMinRtPriority + 2 * static_cast<int>(k) + 1});
+    }
+  }
+
+  // Functional components. Cost divisors keep per-task utilization under
+  // ~0.5%, so even the whole cluster folded into one RTA (how
+  // MODE-SCHEDULABLE analyzes it) stays schedulable at any generated
+  // priority assignment.
+  static const std::vector<std::int64_t> kPeriods = {10000, 20000, 25000,
+                                                     40000, 50000};
+  static const std::vector<std::int64_t> kMits = {5000, 10000, 20000};
+  std::size_t serial = 0;
+  std::vector<std::string> periodics, sporadics, passives;
+  for (std::size_t k = 0; k < nodes; ++k) {
+    const std::size_t count = topo.range(config.min_components_per_node,
+                                         config.max_components_per_node);
+    for (std::size_t i = 0; i < count; ++i) {
+      CompIR comp;
+      comp.name = "n" + std::to_string(k) + "c" + std::to_string(i);
+      comp.content = "adv.C" + std::to_string(serial++);
+      comp.node = k;
+      comp.area = static_cast<int>(topo.pick(node_areas[k]));
+      // The first component of every node is periodic: it anchors the
+      // node's load and serves as a trigger client for sporadics.
+      const std::uint64_t roll = i == 0 ? 0 : topo.range(0, 99);
+      if (roll < 55) {
+        comp.sporadic = false;
+        comp.rate_us = topo.pick(kPeriods);
+        periodics.push_back(comp.name);
+      } else if (roll < 80) {
+        comp.sporadic = true;
+        comp.rate_us = topo.pick(kMits);
+        comp.interfaces.push_back(
+            {"in", InterfaceRole::Server, "I" + comp.name});
+        sporadics.push_back(comp.name);
+      } else {
+        comp.active = false;
+        comp.interfaces.push_back(
+            {"svc", InterfaceRole::Server, "S" + comp.name});
+        passives.push_back(comp.name);
+      }
+      if (comp.active) {
+        comp.cost_us = std::max<std::int64_t>(
+            1, comp.rate_us / static_cast<std::int64_t>(topo.range(200, 400)));
+        comp.domain = static_cast<int>(topo.pick(node_domains[k]));
+        comp.has_contract = topo.chance(1, 2);
+        comp.crit =
+            topo.chance(1, 4) ? Criticality::High : Criticality::Low;
+        comp.miss_ratio = topo.chance(1, 2) ? 1.0 : 0.5;
+        comp.window = topo.chance(1, 2) ? 16 : 32;
+      }
+      scenario.node_map.assignment[comp.name] =
+          scenario.node_map.nodes[k];
+      ir.comps.push_back(std::move(comp));
+    }
+    // 1-2 standalone leaves per node: reload-mutation subjects and, when
+    // left alone, prime subjects for the untouched-no-deadline-miss
+    // invariant (never mode-managed, never bound).
+    const std::size_t nleaves = topo.range(1, 2);
+    for (std::size_t i = 0; i < nleaves; ++i) {
+      CompIR leaf;
+      leaf.name = "n" + std::to_string(k) + "leaf" + std::to_string(i);
+      leaf.content = "adv.C" + std::to_string(serial++);
+      leaf.node = k;
+      leaf.area = node_areas[k].front();
+      leaf.domain = node_domains[k].front();
+      leaf.sporadic = false;
+      leaf.rate_us = topo.pick(kPeriods);
+      leaf.cost_us = std::max<std::int64_t>(
+          1, leaf.rate_us / static_cast<std::int64_t>(topo.range(200, 400)));
+      leaf.crit = Criticality::Low;
+      leaf.base_leaf = true;
+      scenario.node_map.assignment[leaf.name] =
+          scenario.node_map.nodes[k];
+      ir.comps.push_back(std::move(leaf));
+    }
+  }
+
+  // Every sporadic gets an incoming asynchronous trigger binding (no
+  // AC-SPORADIC-TRIGGER warnings); cross-node triggers become gateway
+  // bridges (DIST-ASYNC-BRIDGED).
+  Rng wiring = root.split("wiring");
+  for (const std::string& sname : sporadics) {
+    const CompIR* server = ir.find(sname);
+    std::vector<std::string> local, remote;
+    for (const std::string& pname : periodics) {
+      (ir.find(pname)->node == server->node ? local : remote)
+          .push_back(pname);
+    }
+    const bool go_local =
+        remote.empty() || (!local.empty() && wiring.chance(2, 3));
+    const std::string client =
+        go_local ? wiring.pick(local) : wiring.pick(remote);
+    ir.find(client)->interfaces.push_back(
+        {"t." + sname, InterfaceRole::Client, "I" + sname});
+    ir.binds.push_back(
+        {client, "t." + sname, sname, "in", true, wiring.range(4, 16)});
+  }
+  // Extra fan-in: some periodic actives spray a second sporadic.
+  for (const std::string& pname : periodics) {
+    if (sporadics.empty() || !wiring.chance(1, 4)) continue;
+    const std::string target = wiring.pick(sporadics);
+    CompIR* client = ir.find(pname);
+    const std::string port = "x." + target;
+    bool dup = false;
+    for (const model::InterfaceDecl& itf : client->interfaces) {
+      if (itf.name == port) dup = true;
+    }
+    if (dup) continue;
+    client->interfaces.push_back({port, InterfaceRole::Client, "I" + target});
+    ir.binds.push_back(
+        {pname, port, target, "in", true, wiring.range(4, 16)});
+  }
+  // Synchronous bindings stay intra-node and intra-area: the Same area
+  // relation always resolves to the 'direct' pattern, so every generated
+  // sync binding is RTSJ-legal. Half of them get an alternate same-area
+  // same-signature server — the degraded mode's rebind target.
+  std::vector<model::ModeRebind> rebinds;
+  for (const std::string& pname : periodics) {
+    CompIR* client = ir.find(pname);
+    if (!wiring.chance(1, 3)) continue;
+    std::vector<std::string> candidates;
+    for (const std::string& sv : passives) {
+      const CompIR* p = ir.find(sv);
+      if (p->node == client->node && p->area == client->area) {
+        candidates.push_back(sv);
+      }
+    }
+    if (candidates.empty()) continue;
+    const std::string server = wiring.pick(candidates);
+    const std::string port = "use." + server;
+    client->interfaces.push_back(
+        {port, InterfaceRole::Client, "S" + server});
+    ir.binds.push_back({pname, port, server, "svc", false, 0});
+    if (wiring.chance(1, 2)) {
+      // Two clients of the same server may both roll an alternate; the
+      // first roll creates it, later rolls reuse it (same node/area/
+      // signature by construction, so the rebind stays valid).
+      if (ir.find(server + ".alt") == nullptr) {
+        CompIR alt;
+        alt.name = server + ".alt";
+        alt.active = false;
+        alt.content = "adv.C" + std::to_string(serial++);
+        alt.node = client->node;
+        alt.area = client->area;
+        alt.interfaces.push_back(
+            {"svc", InterfaceRole::Server, "S" + server});
+        scenario.node_map.assignment[alt.name] =
+            scenario.node_map.nodes[alt.node];
+        ir.comps.push_back(std::move(alt));
+      }
+      rebinds.push_back({pname, port, server + ".alt"});
+    }
+  }
+
+  // Modes: "normal" first (the initial mode: everything managed enabled at
+  // declared rates), a degraded mode that thins the managed set and slows
+  // rates (overrides only ever *raise* periods, so every mode is at most
+  // as loaded as normal — RTA monotonicity), sometimes a third mode.
+  Rng modes = root.split("modes");
+  std::vector<std::string> managed;
+  for (const CompIR& c : ir.comps) {
+    if (c.active && !c.base_leaf && modes.chance(1, 2)) {
+      managed.push_back(c.name);
+    }
+  }
+  ModeIR normal;
+  normal.name = "normal";
+  for (const std::string& m : managed) normal.comps.push_back({m, 0});
+  ir.modes.push_back(std::move(normal));
+  ModeIR degraded;
+  degraded.name = "degraded";
+  degraded.degraded = true;
+  for (const std::string& m : managed) {
+    if (!modes.chance(2, 3)) continue;
+    const CompIR* c = ir.find(m);
+    const bool slow = !c->sporadic && modes.chance(1, 2);
+    degraded.comps.push_back({m, slow ? c->rate_us * 2 : 0});
+  }
+  degraded.rebinds = rebinds;
+  ir.modes.push_back(std::move(degraded));
+  if (modes.chance(1, 2)) {
+    ModeIR low;
+    low.name = "lowpower";
+    for (const std::string& m : managed) {
+      if (!modes.chance(1, 2)) continue;
+      const CompIR* c = ir.find(m);
+      low.comps.push_back(
+          {m, !c->sporadic && modes.chance(1, 2) ? c->rate_us * 2 : 0});
+    }
+    ir.modes.push_back(std::move(low));
+  }
+
+  // Workload: bursts for sporadics; spikes deliberately violate the MIT
+  // (rejections are a declared drop policy the drill accounts for).
+  Rng load = root.split("workload");
+  const std::int64_t horizon_us =
+      (scenario.horizon - AbsoluteTime()).to_micros();
+  for (const std::string& sname : sporadics) {
+    if (!load.chance(2, 3)) continue;
+    const CompIR* c = ir.find(sname);
+    ArrivalBurst burst;
+    burst.component = sname;
+    burst.start = AbsoluteTime() + us(static_cast<std::int64_t>(
+                                       load.range(20000, 100000)));
+    burst.count = static_cast<std::uint32_t>(load.range(3, 8));
+    const std::int64_t mit = c->rate_us;
+    const std::int64_t spacing_us =
+        load.chance(1, 2)
+            ? mit + static_cast<std::int64_t>(
+                        load.range(0, static_cast<std::uint64_t>(mit)))
+            : std::max<std::int64_t>(
+                  500, mit / static_cast<std::int64_t>(load.range(2, 4)));
+    burst.spacing = us(spacing_us);
+    // Keep the whole burst inside the first ~75% of the horizon so every
+    // delivery chain drains before the conservation audit.
+    while (burst.count > 1 &&
+           (burst.start - AbsoluteTime()).to_micros() +
+                   static_cast<std::int64_t>(burst.count) * spacing_us >
+               horizon_us * 3 / 4) {
+      --burst.count;
+    }
+    scenario.workload.bursts.push_back(std::move(burst));
+  }
+
+  // Reconfiguration ops. Spacing (>= 45 ms) strictly dominates one
+  // protocol round (prepare timeout + recovery + decision timeout), so a
+  // transition always settles before the next one starts.
+  Rng opsrng = root.split("ops");
+  const std::size_t nops = opsrng.range(1, std::max<std::size_t>(
+                                               1, config.max_ops));
+  ArchIR target_ir = ir;  // plain data: copyable
+  validate::NodeMap& map = scenario.node_map;
+  std::vector<std::string> mode_names;
+  for (const ModeIR& m : ir.modes) mode_names.push_back(m.name);
+  for (std::size_t i = 0; i < nops; ++i) {
+    ReconfigOp op;
+    op.at = AbsoluteTime() +
+            us(40000 + static_cast<std::int64_t>(i) * 45000 +
+               static_cast<std::int64_t>(opsrng.range(0, 5000)));
+    if (opsrng.chance(1, 2)) {
+      op.kind = ReconfigOp::Kind::ModeTransition;
+      op.mode = opsrng.pick(mode_names);
+    } else {
+      op.kind = ReconfigOp::Kind::Reload;
+      mutate(target_ir, opsrng, 100 + i, nodes, map);
+      scenario.reload_targets.push_back(materialize(target_ir));
+      op.target = scenario.reload_targets.size() - 1;
+    }
+    scenario.ops.push_back(std::move(op));
+  }
+
+  scenario.arch = materialize(ir);
+  return scenario;
+}
+
+std::vector<std::string> content_classes(const Scenario& scenario) {
+  std::set<std::string> seen;
+  const auto scan = [&seen](const model::Architecture& arch) {
+    for (const auto* a : arch.all_of<model::ActiveComponent>()) {
+      if (!a->content_class().empty()) seen.insert(a->content_class());
+    }
+    for (const auto* p : arch.all_of<model::PassiveComponent>()) {
+      if (!p->content_class().empty()) seen.insert(p->content_class());
+    }
+  };
+  scan(scenario.arch);
+  for (const model::Architecture& target : scenario.reload_targets) {
+    scan(target);
+  }
+  return std::vector<std::string>(seen.begin(), seen.end());
+}
+
+}  // namespace rtcf::adversity

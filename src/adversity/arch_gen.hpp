@@ -1,0 +1,106 @@
+// Seeded random architecture + workload generator (the drill's subject).
+//
+// From a single uint64 seed, emits an arbitrary-but-valid distributed
+// scenario: a component graph with sync/async bindings, scoped-memory
+// placements, thread-domain priorities, timing-contract mixes, a mode
+// graph with rebinds, a node map, a paired workload script (arrival
+// bursts, MIT-violating spikes), and a timeline of reconfiguration ops
+// (cluster mode transitions and reload targets mutated from the base
+// architecture). Reproducible bit-for-bit: the same seed yields a
+// byte-identical adl::save_architecture() rendering on every platform.
+//
+// Validity is by construction, not by retry: the generator's recipe keeps
+// every emitted architecture inside the rule engine's error-free region
+// (warnings are allowed, errors never) —
+//   * memory areas and thread domains are per-node (no DIST-*-SPAN cuts),
+//   * synchronous bindings stay intra-node and intra-area (a legal
+//     'direct' pattern always exists),
+//   * every sporadic active has an incoming asynchronous trigger binding,
+//   * utilization is kept low enough that every mode passes RTA,
+//   * mode-managed and reload-mutated components are declared swappable,
+//   * rebinds are node-local onto same-signature same-area servers.
+// The drill (drill.hpp) still *checks* validate() + the DIST-* rules on
+// every generated plan — a generator that drifts out of the valid region
+// is itself a finding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/metamodel.hpp"
+#include "rtsj/time/time.hpp"
+#include "validate/distribution.hpp"
+
+namespace rtcf::adversity {
+
+/// Generator knobs. Defaults produce 2-4 nodes with 2-5 functional
+/// components each — small enough for a 200-seed CI sweep, varied enough
+/// to exercise every rule family.
+struct GenConfig {
+  std::size_t min_nodes = 2;
+  std::size_t max_nodes = 4;
+  std::size_t min_components_per_node = 2;
+  std::size_t max_components_per_node = 5;
+  std::size_t max_ops = 3;
+  /// Virtual-time horizon of one drill.
+  rtsj::AbsoluteTime horizon =
+      rtsj::AbsoluteTime() + rtsj::RelativeTime::milliseconds(250);
+};
+
+/// One scripted arrival burst for a sporadic component. `spacing` below
+/// the component's minimum interarrival time is a deliberate spike — the
+/// excess arrivals are MIT-rejected, which the drill counts as a declared
+/// drop policy, not message loss.
+struct ArrivalBurst {
+  std::string component;
+  rtsj::AbsoluteTime start{};
+  rtsj::RelativeTime spacing{};
+  std::uint32_t count = 0;
+};
+
+/// The workload script paired with a generated architecture.
+struct Workload {
+  std::vector<ArrivalBurst> bursts;
+};
+
+/// One scheduled cluster reconfiguration.
+struct ReconfigOp {
+  enum class Kind {
+    ModeTransition,  ///< Two-phase transition to `mode`.
+    Reload,          ///< Two-phase reload onto reload_targets[target].
+  };
+  Kind kind = Kind::ModeTransition;
+  std::string mode;        ///< ModeTransition only.
+  std::size_t target = 0;  ///< Reload only: index into reload_targets.
+  rtsj::AbsoluteTime at{};  ///< Virtual instant the coordinator starts it.
+};
+
+/// Everything one seed generates.
+struct Scenario {
+  std::uint64_t seed = 0;
+  model::Architecture arch;  ///< Base (launch-time) global architecture.
+  validate::NodeMap node_map;
+  Workload workload;
+  /// Reconfiguration ops in ascending `at` order, spaced far enough apart
+  /// that one transition always settles (commit, abort, or presumed abort)
+  /// before the next begins.
+  std::vector<ReconfigOp> ops;
+  /// Reload targets, each mutated from its predecessor (targets[0] from
+  /// `arch`): add a standalone component, remove a swappable one, or
+  /// re-period one — always still valid, always a legal delta.
+  std::vector<model::Architecture> reload_targets;
+  rtsj::AbsoluteTime horizon{};
+};
+
+/// Generates the scenario for `seed`. Deterministic and platform-
+/// independent: same seed, same bytes.
+Scenario generate_scenario(std::uint64_t seed, const GenConfig& config = {});
+
+/// All content-class names referenced by the scenario (base architecture
+/// and every reload target) — the drill registers them in the
+/// ContentRegistry so the DELTA-CONTENT-UNKNOWN rule sees a truthful
+/// class set.
+std::vector<std::string> content_classes(const Scenario& scenario);
+
+}  // namespace rtcf::adversity

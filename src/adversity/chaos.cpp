@@ -1,0 +1,257 @@
+#include "adversity/chaos.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "adversity/rng.hpp"
+
+namespace rtcf::adversity {
+
+using rtsj::AbsoluteTime;
+using rtsj::RelativeTime;
+
+namespace {
+
+const std::vector<FaultKind>& all_kinds() {
+  static const std::vector<FaultKind> kinds = {
+      FaultKind::NodeCrash,          FaultKind::ChannelDrop,
+      FaultKind::ChannelDelay,       FaultKind::ChannelDuplicate,
+      FaultKind::Straggler,          FaultKind::CoordCrashMidPrepare,
+      FaultKind::CoordCrashMidCommit,
+  };
+  return kinds;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::NodeCrash:
+      return "crash";
+    case FaultKind::ChannelDrop:
+      return "drop";
+    case FaultKind::ChannelDelay:
+      return "delay";
+    case FaultKind::ChannelDuplicate:
+      return "dup";
+    case FaultKind::Straggler:
+      return "straggler";
+    case FaultKind::CoordCrashMidPrepare:
+      return "coord-prepare";
+    case FaultKind::CoordCrashMidCommit:
+      return "coord-commit";
+  }
+  return "?";
+}
+
+bool FaultMix::has(FaultKind kind) const noexcept {
+  for (const FaultKind k : kinds) {
+    if (k == kind) return true;
+  }
+  return false;
+}
+
+FaultMix FaultMix::all() {
+  FaultMix mix;
+  mix.kinds = all_kinds();
+  return mix;
+}
+
+FaultMix FaultMix::parse(const std::string& csv) {
+  if (csv.empty() || csv == "all") return all();
+  FaultMix mix;
+  const auto add = [&mix](FaultKind kind) {
+    if (!mix.has(kind)) mix.kinds.push_back(kind);
+  };
+  std::istringstream in(csv);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) continue;
+    if (token == "coord") {
+      add(FaultKind::CoordCrashMidPrepare);
+      add(FaultKind::CoordCrashMidCommit);
+      continue;
+    }
+    bool known = false;
+    for (const FaultKind kind : all_kinds()) {
+      if (token == adversity::to_string(kind)) {
+        add(kind);
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw std::invalid_argument("unknown fault kind '" + token +
+                                  "' (known: crash,drop,delay,dup,"
+                                  "straggler,coord-prepare,coord-commit)");
+    }
+  }
+  if (mix.kinds.empty()) return all();
+  return mix;
+}
+
+std::string FaultMix::to_string() const {
+  std::string out;
+  for (const FaultKind kind : kinds) {
+    if (!out.empty()) out += ",";
+    out += adversity::to_string(kind);
+  }
+  return out;
+}
+
+std::string ControlFault::describe() const {
+  std::ostringstream os;
+  os << adversity::to_string(kind);
+  switch (kind) {
+    case FaultKind::NodeCrash:
+      os << " node=" << node << " at=" << (at - AbsoluteTime()).to_micros()
+         << "us";
+      break;
+    case FaultKind::ChannelDrop:
+      os << " op=" << op << " node=" << node
+         << (drop_prepare ? " frame=prepare" : " frame=vote");
+      break;
+    case FaultKind::ChannelDelay:
+    case FaultKind::Straggler:
+      os << " op=" << op << " node=" << node
+         << " delay=" << delay.to_micros() << "us";
+      break;
+    case FaultKind::ChannelDuplicate:
+      os << " op=" << op << " node=" << node << " frame=vote";
+      break;
+    case FaultKind::CoordCrashMidPrepare:
+    case FaultKind::CoordCrashMidCommit:
+      os << " op=" << op << " after=" << after << " frames";
+      break;
+  }
+  return os.str();
+}
+
+std::string FaultTimeline::render() const {
+  std::ostringstream os;
+  os << "fault timeline (" << control.size() << " control fault"
+     << (control.size() == 1 ? "" : "s") << "):\n";
+  for (const ControlFault& fault : control) {
+    os << "  - " << fault.describe() << "\n";
+  }
+  os << "data-plane chaos: drop=" << data.drop_permille
+     << "/1000 dup=" << data.dup_permille
+     << "/1000 delay=" << data.delay_permille << "/1000 (max "
+     << data.max_delay.to_micros() << "us)\n";
+  return os.str();
+}
+
+FaultTimeline generate_timeline(const Scenario& scenario,
+                                const FaultMix& mix) {
+  FaultTimeline timeline;
+  Rng rng = Rng(scenario.seed).split("faults");
+
+  // Data-plane rates ride whatever op-scoped faults do not cover.
+  if (mix.has(FaultKind::ChannelDrop)) timeline.data.drop_permille = 30;
+  if (mix.has(FaultKind::ChannelDuplicate)) timeline.data.dup_permille = 30;
+  if (mix.has(FaultKind::ChannelDelay)) {
+    timeline.data.delay_permille = 100;
+    timeline.data.max_delay = RelativeTime::microseconds(1000);
+  }
+
+  // Op-scoped control faults. Magnitudes are sized against the protocol
+  // model's defaults (proto_sim.hpp): a straggler delay always blows the
+  // prepare deadline, a plain channel delay never does.
+  std::vector<FaultKind> op_kinds;
+  for (const FaultKind kind :
+       {FaultKind::Straggler, FaultKind::ChannelDrop, FaultKind::ChannelDelay,
+        FaultKind::ChannelDuplicate, FaultKind::CoordCrashMidPrepare,
+        FaultKind::CoordCrashMidCommit}) {
+    if (mix.has(kind)) op_kinds.push_back(kind);
+  }
+  const std::vector<std::string>& nodes = scenario.node_map.nodes;
+  for (std::size_t i = 0; i < scenario.ops.size(); ++i) {
+    if (op_kinds.empty() || !rng.chance(2, 5)) continue;
+    ControlFault fault;
+    fault.kind = rng.pick(op_kinds);
+    fault.op = i;
+    fault.node = rng.pick(nodes);
+    switch (fault.kind) {
+      case FaultKind::Straggler:
+        fault.delay = RelativeTime::microseconds(
+            static_cast<std::int64_t>(rng.range(6000, 12000)));
+        break;
+      case FaultKind::ChannelDelay:
+        fault.delay = RelativeTime::microseconds(
+            static_cast<std::int64_t>(rng.range(200, 2000)));
+        break;
+      case FaultKind::ChannelDrop:
+        fault.drop_prepare = rng.chance(1, 2);
+        break;
+      case FaultKind::CoordCrashMidPrepare:
+      case FaultKind::CoordCrashMidCommit:
+        fault.after = rng.range(0, nodes.size());
+        break;
+      default:
+        break;
+    }
+    timeline.control.push_back(std::move(fault));
+  }
+
+  // Node crashes are time-scoped, not op-scoped.
+  if (mix.has(FaultKind::NodeCrash) && rng.chance(1, 4)) {
+    const std::int64_t horizon_us =
+        (scenario.horizon - AbsoluteTime()).to_micros();
+    ControlFault fault;
+    fault.kind = FaultKind::NodeCrash;
+    fault.node = rng.pick(nodes);
+    fault.at = AbsoluteTime() + RelativeTime::microseconds(
+                                    static_cast<std::int64_t>(rng.range(
+                                        static_cast<std::uint64_t>(
+                                            horizon_us / 4),
+                                        static_cast<std::uint64_t>(
+                                            horizon_us * 3 / 5))));
+    timeline.control.push_back(std::move(fault));
+  }
+
+  // Single-kind mixes guarantee at least one fault of that kind — the
+  // per-kind scripted drills rely on it.
+  if (mix.kinds.size() == 1) {
+    const FaultKind kind = mix.kinds.front();
+    bool present = false;
+    for (const ControlFault& fault : timeline.control) {
+      if (fault.kind == kind) present = true;
+    }
+    const bool data_only = kind == FaultKind::ChannelDrop ||
+                           kind == FaultKind::ChannelDelay ||
+                           kind == FaultKind::ChannelDuplicate;
+    if (!present && !scenario.ops.empty()) {
+      ControlFault fault;
+      fault.kind = kind;
+      fault.op = 0;
+      fault.node = nodes.front();
+      switch (kind) {
+        case FaultKind::NodeCrash:
+          fault.at = AbsoluteTime() + RelativeTime::milliseconds(60);
+          break;
+        case FaultKind::Straggler:
+          fault.delay = RelativeTime::milliseconds(8);
+          break;
+        case FaultKind::ChannelDelay:
+          fault.delay = RelativeTime::microseconds(700);
+          break;
+        case FaultKind::ChannelDrop:
+          fault.drop_prepare = false;
+          break;
+        case FaultKind::CoordCrashMidPrepare:
+        case FaultKind::CoordCrashMidCommit:
+          fault.after = nodes.size() / 2;
+          break;
+        default:
+          break;
+      }
+      // Data-only kinds already act through the rates above; the forced
+      // control fault still makes the drill's op path exercise them once.
+      (void)data_only;
+      timeline.control.push_back(std::move(fault));
+    }
+  }
+  return timeline;
+}
+
+}  // namespace rtcf::adversity

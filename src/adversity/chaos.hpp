@@ -1,0 +1,98 @@
+// Chaos layer: a scripted fault timeline for the deterministic cluster.
+//
+// Faults are generated from the drill seed and applied through the shared
+// virtual clock, so a failing seed replays its exact fault schedule
+// bit-for-bit. The taxonomy respects the transport contract the protocol
+// is designed against (docs/PROTOCOL.md): the control channel is reliable
+// but delayable — control-plane faults are vote delays (stragglers),
+// dropped or duplicated control frames, and endpoint deaths (node crash,
+// coordinator crash mid-PREPARE / mid-COMMIT). Drop / delay / duplicate
+// rates apply to the *data plane* (bridged gateway traffic), where the
+// drill's conservation audit accounts for every lost or doubled message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adversity/arch_gen.hpp"
+#include "rtsj/time/time.hpp"
+
+namespace rtcf::adversity {
+
+/// Everything the chaos layer knows how to break.
+enum class FaultKind {
+  NodeCrash,            ///< A node dies at a virtual instant.
+  ChannelDrop,          ///< Control: lose one PREPARE or one vote.
+                        ///< Data: per-message loss rate.
+  ChannelDelay,         ///< Control: slow one node's link (sub-deadline).
+                        ///< Data: per-message extra latency.
+  ChannelDuplicate,     ///< Control: duplicate one vote frame.
+                        ///< Data: per-message duplication rate.
+  Straggler,            ///< One vote delayed past the prepare deadline.
+  CoordCrashMidPrepare, ///< Coordinator dies between PREPARE sends —
+                        ///< no decision exists; presumed abort territory.
+  CoordCrashMidCommit,  ///< Coordinator dies between decision sends —
+                        ///< the decision is durable; a standby finishes it.
+};
+
+const char* to_string(FaultKind kind) noexcept;
+
+/// Which fault kinds a drill may inject (the `--fault-mix` of tools/drill).
+struct FaultMix {
+  std::vector<FaultKind> kinds;  ///< Enabled kinds, canonical enum order.
+
+  bool has(FaultKind kind) const noexcept;
+  /// Every kind enabled (the default mix).
+  static FaultMix all();
+  /// Parses "crash,drop,delay,dup,straggler,coord-prepare,coord-commit"
+  /// ("coord" enables both coordinator kinds, "all"/"" everything);
+  /// throws std::invalid_argument on an unknown name.
+  static FaultMix parse(const std::string& csv);
+  std::string to_string() const;
+};
+
+/// One scripted control-plane fault.
+struct ControlFault {
+  FaultKind kind = FaultKind::Straggler;
+  std::size_t op = 0;          ///< Targeted reconfiguration op (op-scoped
+                               ///< kinds; unused for NodeCrash).
+  std::string node;            ///< Targeted node (straggler/drop/delay/dup/
+                               ///< crash).
+  bool drop_prepare = false;   ///< ChannelDrop: lose the PREPARE (true) or
+                               ///< the vote (false).
+  rtsj::RelativeTime delay{};  ///< Straggler / ChannelDelay magnitude.
+  std::size_t after = 0;       ///< Coordinator crashes: frames sent before
+                               ///< dying.
+  rtsj::AbsoluteTime at{};     ///< NodeCrash instant.
+
+  std::string describe() const;
+};
+
+/// Data-plane chaos rates, applied per bridged message from a per-route
+/// seeded stream.
+struct DataChaos {
+  std::uint32_t drop_permille = 0;
+  std::uint32_t dup_permille = 0;
+  std::uint32_t delay_permille = 0;
+  rtsj::RelativeTime max_delay{};
+};
+
+/// The full fault schedule of one drill.
+struct FaultTimeline {
+  std::vector<ControlFault> control;
+  DataChaos data;
+
+  /// Human-readable rendering — the artifact a red CI drill uploads.
+  std::string render() const;
+};
+
+/// Generates the fault timeline for `scenario` under `mix`, derived from
+/// the scenario seed (an independent stream: the same architecture is
+/// drilled under the same faults on every replay). When `mix` holds
+/// exactly one kind, at least one fault of that kind is guaranteed — the
+/// hook the per-kind scripted tests use.
+FaultTimeline generate_timeline(const Scenario& scenario,
+                                const FaultMix& mix);
+
+}  // namespace rtcf::adversity

@@ -1,0 +1,284 @@
+#include "adversity/drill.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "adversity/rng.hpp"
+#include "comm/content.hpp"
+#include "dist/cluster_sim.hpp"
+#include "dist/plan_codec.hpp"
+#include "dist/slice.hpp"
+#include "model/metamodel.hpp"
+#include "reconfig/sim_mirror.hpp"
+#include "runtime/content_registry.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rtcf::adversity {
+
+using rtsj::AbsoluteTime;
+using rtsj::RelativeTime;
+
+namespace {
+
+/// Trivial content implementation behind every generated content class —
+/// the drill exercises class *registration* (DELTA-CONTENT-UNKNOWN), not
+/// behaviour.
+struct AdvContent final : comm::Content {};
+
+const model::ModeDecl* find_mode(const model::Architecture& arch,
+                                 const std::string& name) {
+  for (const model::ModeDecl& mode : arch.modes()) {
+    if (mode.name == name) return &mode;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string DrillResult::summary() const {
+  std::ostringstream os;
+  os << "seed " << seed << " [" << mix.to_string() << "]: "
+     << (passed ? "PASS" : "FAIL") << " (" << nodes << " nodes, "
+     << components << " components, " << ops_committed << "/" << ops_total
+     << " ops committed";
+  if (route_messages != 0) {
+    os << ", " << route_messages << " bridged msgs, " << route_drops
+       << " dropped, " << route_dups << " duplicated";
+  }
+  os << ")";
+  if (!passed) os << " — " << violations.size() << " violation(s)";
+  return os.str();
+}
+
+std::string DrillResult::report() const {
+  std::ostringstream os;
+  os << summary() << "\n\n" << timeline;
+  if (!violations.empty()) {
+    os << "\nviolations:\n";
+    for (const Violation& v : violations) {
+      os << "  " << v.to_string() << "\n";
+    }
+  }
+  if (!proto_log.empty()) {
+    os << "\nprotocol log:\n";
+    for (const std::string& line : proto_log) {
+      os << "  " << line << "\n";
+    }
+  }
+  return os.str();
+}
+
+DrillResult run_drill(const DrillOptions& options) {
+  DrillResult result;
+  result.seed = options.seed;
+  result.mix = options.mix;
+
+  // 1. Generate.
+  const Scenario scenario = generate_scenario(options.seed, options.gen);
+  const FaultTimeline timeline = generate_timeline(scenario, options.mix);
+  result.timeline = timeline.render();
+  result.nodes = scenario.node_map.nodes.size();
+  result.components =
+      scenario.arch.all_of<model::ActiveComponent>().size() +
+      scenario.arch.all_of<model::PassiveComponent>().size();
+  result.ops_total = scenario.ops.size();
+
+  // 2. Register the generated content classes (the DELTA-CONTENT-UNKNOWN
+  // rule consults the registry during every PREPARE vote), then run the
+  // protocol model.
+  for (const std::string& cls : content_classes(scenario)) {
+    runtime::ContentRegistry::instance().register_class<AdvContent>(cls);
+  }
+  const ProtoResult proto =
+      run_protocol(scenario, timeline, options.proto);
+  for (const OpOutcome& op : proto.ops) {
+    if (op.committed) ++result.ops_committed;
+    if (options.trace) {
+      for (const std::string& line : op.log) {
+        result.proto_log.push_back(line);
+      }
+    }
+  }
+
+  // 3. Replay on the cluster simulator.
+  const validate::NodeMap& map = scenario.node_map;
+  sim::PreemptiveScheduler scheduler(map.nodes.size());
+
+  auto messages = std::make_shared<std::uint64_t>(0);
+  auto drops = std::make_shared<std::uint64_t>(0);
+  auto dups = std::make_shared<std::uint64_t>(0);
+  dist::LinkPolicy policy;
+  const DataChaos& data = timeline.data;
+  if (data.drop_permille != 0 || data.dup_permille != 0 ||
+      data.delay_permille != 0) {
+    const std::uint64_t seed = scenario.seed;
+    policy = [seed, data, messages, drops, dups](
+                 std::size_t route, std::uint64_t seq) {
+      // A pure function of (seed, route, seq): the fate of message #seq on
+      // a route never depends on how many messages other routes carried.
+      Rng rng = Rng(seed).split("data").split(std::to_string(route) + ":" +
+                                              std::to_string(seq));
+      dist::LinkFault fault;
+      ++*messages;
+      if (data.drop_permille != 0 && rng.chance(data.drop_permille, 1000)) {
+        fault.drop = true;
+        ++*drops;
+        return fault;
+      }
+      if (data.dup_permille != 0 && rng.chance(data.dup_permille, 1000)) {
+        fault.copies = 2;
+        ++*dups;
+      }
+      if (data.delay_permille != 0 &&
+          rng.chance(data.delay_permille, 1000)) {
+        fault.extra_delay = RelativeTime::microseconds(static_cast<
+            std::int64_t>(rng.range(
+            1, static_cast<std::uint64_t>(data.max_delay.nanos() / 1000))));
+      }
+      return fault;
+    };
+  }
+
+  std::vector<dist::NodeMirror> mirrors =
+      dist::map_cluster(scenario.arch, map, scheduler,
+                        RelativeTime::microseconds(200), policy);
+  std::vector<model::Architecture> slices;
+  slices.reserve(map.nodes.size());
+  for (const std::string& node : map.nodes) {
+    slices.push_back(dist::slice_architecture(scenario.arch, map, node));
+  }
+
+  // Committed ops replay at their virtual commit instants, through the
+  // same codec bytes the protocol transmitted.
+  std::vector<std::set<std::string>> delta_touched(map.nodes.size());
+  for (const OpOutcome& op : proto.ops) {
+    if (!op.committed) continue;
+    if (op.op.kind == ReconfigOp::Kind::ModeTransition) {
+      for (std::size_t k = 0; k < mirrors.size(); ++k) {
+        const model::ModeDecl* mode = find_mode(slices[k], op.op.mode);
+        if (mode == nullptr) continue;
+        reconfig::schedule_mode(scheduler, slices[k], *mode,
+                                mirrors[k].mapping, op.applied_at);
+      }
+    } else {
+      for (std::size_t k = 0; k < mirrors.size(); ++k) {
+        const auto it = op.node_deltas.find(map.nodes[k]);
+        if (it == op.node_deltas.end()) continue;
+        reconfig::PlanDelta delta = dist::decode_delta(it->second);
+        if (delta.empty()) continue;
+        for (const model::ComponentSpec& spec : delta.add_components) {
+          delta_touched[k].insert(spec.name);
+        }
+        for (const model::ComponentSpec& spec : delta.remove_components) {
+          delta_touched[k].insert(spec.name);
+        }
+        for (const reconfig::SettingDelta& setting : delta.settings) {
+          delta_touched[k].insert(setting.component);
+        }
+        dist::schedule_node_delta(scheduler, std::move(delta), mirrors[k],
+                                  op.applied_at, AbsoluteTime());
+      }
+    }
+  }
+
+  // Node crashes: mass disablement of the node's tasks at the crash
+  // instant (scheduled after the ops so delta-added tasks are covered).
+  std::vector<bool> node_crashed(map.nodes.size(), false);
+  for (const ControlFault& fault : timeline.control) {
+    if (fault.kind != FaultKind::NodeCrash) continue;
+    if (fault.at > scenario.horizon) continue;
+    const std::size_t k = map.node_index(fault.node);
+    if (k >= mirrors.size() || node_crashed[k]) continue;
+    node_crashed[k] = true;
+    std::vector<sim::PreemptiveScheduler::TaskMod> mods;
+    for (const auto& [name, id] : mirrors[k].mapping.tasks) {
+      (void)name;
+      sim::PreemptiveScheduler::TaskMod mod;
+      mod.task = id;
+      mod.enabled = false;
+      mods.push_back(mod);
+    }
+    scheduler.schedule_mode_change(fault.at, mods);
+  }
+
+  // Workload: arrival posts stepped through virtual time in order, so the
+  // sporadic MIT accounting matches the generator's burst script.
+  struct Post {
+    AbsoluteTime t;
+    sim::TaskId task;
+  };
+  std::vector<Post> posts;
+  for (const ArrivalBurst& burst : scenario.workload.bursts) {
+    sim::TaskId task = 0;
+    bool found = false;
+    for (const dist::NodeMirror& mirror : mirrors) {
+      if (mirror.mapping.has(burst.component)) {
+        task = mirror.mapping.task(burst.component);
+        found = true;
+        break;
+      }
+    }
+    if (!found) continue;
+    for (std::uint32_t k = 0; k < burst.count; ++k) {
+      posts.push_back({burst.start + burst.spacing * k, task});
+    }
+  }
+  std::stable_sort(posts.begin(), posts.end(),
+                   [](const Post& a, const Post& b) { return a.t < b.t; });
+  for (const Post& post : posts) {
+    scheduler.run_until(post.t);
+    scheduler.post_arrival(post.task, post.t);
+  }
+  scheduler.run_until(scenario.horizon);
+  result.route_messages = *messages;
+  result.route_drops = *drops;
+  result.route_dups = *dups;
+
+  // 4. Mechanical invariants.
+  check_generated_valid(scenario, result.violations);
+  check_codec_roundtrip(scenario, proto, result.violations);
+  check_adl_roundtrip(scenario, result.violations);
+  check_protocol(proto, result.violations);
+
+  SimAudit audit;
+  for (std::size_t k = 0; k < mirrors.size(); ++k) {
+    std::set<std::string> mode_managed;
+    for (const model::ModeDecl& mode : slices[k].modes()) {
+      for (const model::ModeComponentConfig& entry : mode.components) {
+        mode_managed.insert(entry.component);
+      }
+    }
+    for (const auto& [name, id] : mirrors[k].mapping.tasks) {
+      const sim::TaskConfig& config = scheduler.config(id);
+      const sim::TaskStats& stats = scheduler.stats(id);
+      SimAudit::TaskSample sample;
+      sample.node = map.nodes[k];
+      sample.component = name;
+      sample.sporadic = config.release != rtsj::ReleaseKind::Periodic;
+      sample.untouched_periodic =
+          !sample.sporadic && !node_crashed[k] &&
+          mode_managed.count(name) == 0 &&
+          delta_touched[k].count(name) == 0 &&
+          name.rfind("__gw", 0) != 0;
+      sample.arrivals_posted = stats.arrivals_posted;
+      sample.rejected_arrivals = stats.rejected_arrivals;
+      sample.disabled_arrivals = stats.disabled_arrivals;
+      sample.shed_releases = stats.shed_releases;
+      sample.releases_completed = stats.releases_completed;
+      sample.pending_arrivals = stats.pending_arrivals;
+      sample.queued_jobs = scheduler.queued_jobs(id);
+      sample.deadline_misses = stats.deadline_misses;
+      audit.tasks.push_back(std::move(sample));
+    }
+  }
+  check_sim(audit, result.violations);
+
+  result.passed = result.violations.empty();
+  return result;
+}
+
+}  // namespace rtcf::adversity

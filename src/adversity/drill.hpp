@@ -1,0 +1,74 @@
+// One adversity drill, end to end.
+//
+// run_drill() is the engine behind tools/drill and the CI drill job:
+//
+//   1. generate the scenario for the seed (arch_gen.hpp) and its fault
+//      timeline (chaos.hpp) — both pure functions of the seed;
+//   2. register every generated content class, then run the protocol
+//      model (proto_sim.hpp) over the reconfiguration ops under the
+//      control-plane faults;
+//   3. replay the workload on the deterministic cluster simulator
+//      (dist::map_cluster over one virtual clock): arrival bursts, node
+//      crashes as mass task disablement, data-plane chaos through the
+//      LinkPolicy hook, and every *committed* op applied at its virtual
+//      commit instant through the real codec and sim-mirror paths;
+//   4. run every mechanical invariant (drill_check.hpp) and report.
+//
+// Determinism contract: the same (seed, mix, options) produces the same
+// DrillResult bytes — a red CI drill replays locally with nothing but its
+// seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adversity/arch_gen.hpp"
+#include "adversity/chaos.hpp"
+#include "adversity/drill_check.hpp"
+#include "adversity/proto_sim.hpp"
+
+namespace rtcf::adversity {
+
+/// One drill's inputs.
+struct DrillOptions {
+  std::uint64_t seed = 1;
+  FaultMix mix = FaultMix::all();
+  GenConfig gen;
+  /// Protocol model knobs — including the deliberate-bug switch
+  /// (tools/drill --inject-bug skip-presumed-abort).
+  ProtoOptions proto;
+  /// Keep the full per-op protocol event log in the result (the replay
+  /// artifact of a red drill; off for bulk sweeps).
+  bool trace = false;
+};
+
+/// One drill's verdict.
+struct DrillResult {
+  std::uint64_t seed = 0;
+  FaultMix mix;
+  bool passed = false;
+  std::vector<Violation> violations;
+  std::string timeline;                 ///< Rendered fault timeline.
+  std::vector<std::string> proto_log;   ///< Per-op event log (trace only).
+  std::size_t nodes = 0;
+  std::size_t components = 0;
+  std::size_t ops_total = 0;
+  std::size_t ops_committed = 0;
+  std::uint64_t route_messages = 0;  ///< Bridged deliveries attempted.
+  std::uint64_t route_drops = 0;     ///< Declared data-plane drops.
+  std::uint64_t route_dups = 0;      ///< Declared data-plane duplicates.
+
+  /// One line: "seed 42 [all]: PASS (3 ops, 2 committed)".
+  std::string summary() const;
+  /// The full artifact text a red CI drill uploads: summary, timeline,
+  /// violations, protocol log.
+  std::string report() const;
+};
+
+/// Runs one drill. Never throws on a red drill — violations are data;
+/// throws only on engine-level failures (which are bugs in the drill
+/// itself).
+DrillResult run_drill(const DrillOptions& options = {});
+
+}  // namespace rtcf::adversity

@@ -1,0 +1,199 @@
+#include "adversity/drill_check.hpp"
+
+#include <exception>
+#include <sstream>
+
+#include "adl/loader.hpp"
+#include "dist/plan_codec.hpp"
+#include "model/assembly_plan.hpp"
+#include "soleil/plan.hpp"
+#include "validate/distribution.hpp"
+#include "validate/validator.hpp"
+
+namespace rtcf::adversity {
+
+std::string Violation::to_string() const {
+  return invariant + " [" + subject + "]: " + detail;
+}
+
+namespace {
+
+void check_one_valid(const model::Architecture& arch,
+                     const validate::NodeMap& map, const std::string& label,
+                     std::vector<Violation>& out) {
+  validate::Report report = validate::validate(arch);
+  const validate::Report dist_report = validate::validate_distribution(
+      soleil::snapshot_assembly(arch, /*partitions=*/1), map);
+  for (const validate::Diagnostic& d : dist_report.diagnostics()) {
+    report.add(d.severity, d.rule, d.subject, d.message);
+  }
+  if (report.ok()) return;
+  for (const validate::Diagnostic& d : report.diagnostics()) {
+    if (d.severity != validate::Severity::Error) continue;
+    out.push_back({"GEN-VALID", label,
+                   d.rule + " on " + d.subject + ": " + d.message});
+  }
+}
+
+void check_one_plan_roundtrip(const model::Architecture& arch,
+                              const std::string& label,
+                              std::vector<Violation>& out) {
+  try {
+    const std::vector<std::uint8_t> bytes =
+        dist::encode_plan(soleil::snapshot_assembly(arch, /*partitions=*/1));
+    const std::vector<std::uint8_t> again =
+        dist::encode_plan(dist::decode_plan(bytes));
+    if (again != bytes) {
+      out.push_back({"CODEC-ROUNDTRIP", label,
+                     "re-encoded plan differs from the original bytes ("
+                     + std::to_string(bytes.size()) + " vs "
+                     + std::to_string(again.size()) + " bytes)"});
+    }
+  } catch (const std::exception& e) {
+    out.push_back({"CODEC-ROUNDTRIP", label,
+                   std::string("plan codec threw: ") + e.what()});
+  }
+}
+
+void check_one_adl_roundtrip(const model::Architecture& arch,
+                             const std::string& label,
+                             std::vector<Violation>& out) {
+  try {
+    const std::string text = adl::save_architecture(arch);
+    const model::Architecture reloaded = adl::load_architecture(text);
+    const std::string again = adl::save_architecture(reloaded);
+    if (again != text) {
+      out.push_back({"ADL-ROUNDTRIP", label,
+                     "save(load(save(arch))) is not byte-identical"});
+    }
+  } catch (const std::exception& e) {
+    out.push_back({"ADL-ROUNDTRIP", label,
+                   std::string("round-trip threw: ") + e.what()});
+  }
+}
+
+}  // namespace
+
+void check_generated_valid(const Scenario& scenario,
+                           std::vector<Violation>& out) {
+  check_one_valid(scenario.arch, scenario.node_map, "base", out);
+  for (std::size_t i = 0; i < scenario.reload_targets.size(); ++i) {
+    check_one_valid(scenario.reload_targets[i], scenario.node_map,
+                    "target" + std::to_string(i), out);
+  }
+}
+
+void check_codec_roundtrip(const Scenario& scenario,
+                           const ProtoResult& proto,
+                           std::vector<Violation>& out) {
+  check_one_plan_roundtrip(scenario.arch, "base", out);
+  for (std::size_t i = 0; i < scenario.reload_targets.size(); ++i) {
+    check_one_plan_roundtrip(scenario.reload_targets[i],
+                             "target" + std::to_string(i), out);
+  }
+  for (const OpOutcome& op : proto.ops) {
+    for (const auto& [node, bytes] : op.node_deltas) {
+      const std::string label =
+          "op" + std::to_string(op.index) + "/" + node;
+      try {
+        const std::vector<std::uint8_t> again =
+            dist::encode_delta(dist::decode_delta(bytes));
+        if (again != bytes) {
+          out.push_back({"CODEC-ROUNDTRIP", label,
+                         "re-encoded slice delta differs from the "
+                         "transmitted bytes"});
+        }
+      } catch (const std::exception& e) {
+        out.push_back({"CODEC-ROUNDTRIP", label,
+                       std::string("delta codec threw: ") + e.what()});
+      }
+    }
+  }
+}
+
+void check_adl_roundtrip(const Scenario& scenario,
+                         std::vector<Violation>& out) {
+  check_one_adl_roundtrip(scenario.arch, "base", out);
+  for (std::size_t i = 0; i < scenario.reload_targets.size(); ++i) {
+    check_one_adl_roundtrip(scenario.reload_targets[i],
+                            "target" + std::to_string(i), out);
+  }
+}
+
+void check_protocol(const ProtoResult& proto, std::vector<Violation>& out) {
+  for (const OpOutcome& op : proto.ops) {
+    const std::string label = "op" + std::to_string(op.index);
+    bool first = true;
+    std::uint64_t epoch = 0;
+    for (const auto& [node, e] : op.epochs_after) {
+      if (first) {
+        epoch = e;
+        first = false;
+      } else if (e != epoch) {
+        std::ostringstream os;
+        os << "live nodes disagree after the op:";
+        for (const auto& [n2, e2] : op.epochs_after) {
+          os << " " << n2 << "=" << e2;
+        }
+        out.push_back({"PROTO-EPOCH-AGREEMENT", label, os.str()});
+        break;
+      }
+    }
+    if (op.commit_expected && !op.committed) {
+      out.push_back({"PROTO-COMMIT-EXPECTED", label,
+                     "no non-benign fault touched this op, yet it "
+                     "aborted: " + op.reason});
+    }
+  }
+  for (const ProtoNode& node : proto.nodes) {
+    if (node.wedged) {
+      out.push_back({"PROTO-WEDGED", node.name,
+                     "parked-prepared at drill end — the presumed-abort "
+                     "timer never fired"});
+    }
+    if (!node.alive) continue;
+    const auto epoch_it = proto.coord_epochs.find(node.name);
+    if (epoch_it != proto.coord_epochs.end() &&
+        epoch_it->second != node.epoch) {
+      out.push_back({"PROTO-EPOCH-AGREEMENT", node.name,
+                     "coordinator sees epoch " +
+                         std::to_string(epoch_it->second) +
+                         ", node reports " + std::to_string(node.epoch)});
+    }
+    const auto snap_it = proto.coord_snapshots.find(node.name);
+    if (snap_it != proto.coord_snapshots.end() &&
+        snap_it->second != node.snapshot) {
+      out.push_back({"PROTO-SNAPSHOT-AGREEMENT", node.name,
+                     "coordinator's snapshot bytes differ from the "
+                     "node's running snapshot"});
+    }
+  }
+}
+
+void check_sim(const SimAudit& audit, std::vector<Violation>& out) {
+  for (const SimAudit::TaskSample& t : audit.tasks) {
+    const std::string label = t.node + "/" + t.component;
+    if (t.sporadic) {
+      const std::uint64_t accounted =
+          t.rejected_arrivals + t.disabled_arrivals + t.shed_releases +
+          t.releases_completed + t.pending_arrivals + t.queued_jobs;
+      if (t.arrivals_posted != accounted) {
+        std::ostringstream os;
+        os << "posted " << t.arrivals_posted << " != rejected "
+           << t.rejected_arrivals << " + disabled " << t.disabled_arrivals
+           << " + shed " << t.shed_releases << " + completed "
+           << t.releases_completed << " + pending " << t.pending_arrivals
+           << " + queued " << t.queued_jobs << " (= " << accounted << ")";
+        out.push_back({"SIM-CONSERVATION", label, os.str()});
+      }
+    }
+    if (t.untouched_periodic && t.deadline_misses != 0) {
+      out.push_back({"SIM-DEADLINE-UNTOUCHED", label,
+                     std::to_string(t.deadline_misses) +
+                         " deadline miss(es) on a component no fault, "
+                         "mode, or delta touched"});
+    }
+  }
+}
+
+}  // namespace rtcf::adversity

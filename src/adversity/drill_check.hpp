@@ -1,0 +1,92 @@
+// Mechanical invariant checks of one adversity drill.
+//
+// Every check is a universal property that must hold *whatever* the fault
+// timeline did — that is what makes a violation a finding rather than a
+// flaky assertion:
+//
+//   GEN-VALID                 every generated architecture (base and every
+//                             reload target) passes the full rule engine
+//                             and the DIST-* cut rules error-free
+//   CODEC-ROUNDTRIP           decode(encode(x)) re-encodes to identical
+//                             bytes for every generated plan and every
+//                             transmitted slice delta
+//   ADL-ROUNDTRIP             save -> load -> save is byte-identical for
+//                             every generated architecture (also the hook
+//                             that drives the loader's error paths)
+//   PROTO-EPOCH-AGREEMENT     after every op, all live nodes report the
+//                             same epoch — and at drill end the
+//                             coordinator's per-node view matches
+//   PROTO-SNAPSHOT-AGREEMENT  at drill end, every live node's snapshot
+//                             bytes equal the coordinator's view
+//   PROTO-COMMIT-EXPECTED     an op no non-benign fault touched committed
+//   PROTO-WEDGED              no node is parked-prepared at drill end
+//                             (liveness: presumed abort must have fired)
+//   SIM-CONSERVATION          for every sporadic task: arrivals posted ==
+//                             rejected + disabled + shed + completed +
+//                             pending + queued (zero message loss outside
+//                             declared drop policies)
+//   SIM-DEADLINE-UNTOUCHED    periodic tasks on live nodes that no mode,
+//                             delta, or fault touches miss no deadline
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adversity/arch_gen.hpp"
+#include "adversity/proto_sim.hpp"
+
+namespace rtcf::adversity {
+
+/// One invariant violation — the unit a red drill reports.
+struct Violation {
+  std::string invariant;  ///< Stable tag (e.g. "PROTO-EPOCH-AGREEMENT").
+  std::string subject;    ///< Node / component / op concerned.
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+/// GEN-VALID over the base architecture and every reload target.
+void check_generated_valid(const Scenario& scenario,
+                           std::vector<Violation>& out);
+
+/// CODEC-ROUNDTRIP over every generated plan and every slice delta the
+/// protocol run transmitted.
+void check_codec_roundtrip(const Scenario& scenario,
+                           const ProtoResult& proto,
+                           std::vector<Violation>& out);
+
+/// ADL-ROUNDTRIP over the base architecture and every reload target.
+void check_adl_roundtrip(const Scenario& scenario,
+                         std::vector<Violation>& out);
+
+/// The PROTO-* invariants over a finished protocol run.
+void check_protocol(const ProtoResult& proto, std::vector<Violation>& out);
+
+/// Per-task observations the replay (drill.cpp) collects from the
+/// scheduler, reduced to what the SIM-* invariants need.
+struct SimAudit {
+  struct TaskSample {
+    std::string node;
+    std::string component;
+    bool sporadic = false;
+    /// Periodic, on a live node, untouched by every mode, committed
+    /// delta, and gateway role — the no-deadline-miss population.
+    bool untouched_periodic = false;
+    std::uint64_t arrivals_posted = 0;
+    std::uint64_t rejected_arrivals = 0;
+    std::uint64_t disabled_arrivals = 0;
+    std::uint64_t shed_releases = 0;
+    std::uint64_t releases_completed = 0;
+    std::uint64_t pending_arrivals = 0;
+    std::uint64_t queued_jobs = 0;
+    std::uint64_t deadline_misses = 0;
+  };
+  std::vector<TaskSample> tasks;
+};
+
+/// SIM-CONSERVATION and SIM-DEADLINE-UNTOUCHED over a replay audit.
+void check_sim(const SimAudit& audit, std::vector<Violation>& out);
+
+}  // namespace rtcf::adversity

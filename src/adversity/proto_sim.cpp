@@ -1,0 +1,400 @@
+#include "adversity/proto_sim.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "dist/plan_codec.hpp"
+#include "dist/slice.hpp"
+#include "model/assembly_plan.hpp"
+#include "reconfig/plan_delta.hpp"
+#include "soleil/plan.hpp"
+#include "util/assert.hpp"
+#include "validate/distribution.hpp"
+#include "validate/validator.hpp"
+
+namespace rtcf::adversity {
+
+using model::AssemblyPlan;
+using rtsj::AbsoluteTime;
+using rtsj::RelativeTime;
+
+namespace {
+
+std::string fmt_t(AbsoluteTime t) {
+  std::ostringstream os;
+  os << (t - AbsoluteTime()).nanos() / 1000 << "us";
+  return os.str();
+}
+
+std::vector<std::uint8_t> encode_slice(const model::Architecture& global,
+                                       const validate::NodeMap& map,
+                                       const std::string& node) {
+  return dist::encode_plan(soleil::snapshot_assembly(
+      dist::slice_architecture(global, map, node), /*partitions=*/1));
+}
+
+const ControlFault* find_op_fault(const FaultTimeline& timeline,
+                                  FaultKind kind, std::size_t op) {
+  for (const ControlFault& f : timeline.control) {
+    if (f.kind == kind && f.op == op) return &f;
+  }
+  return nullptr;
+}
+
+const ControlFault* find_op_node_fault(const FaultTimeline& timeline,
+                                       FaultKind kind, std::size_t op,
+                                       const std::string& node) {
+  for (const ControlFault& f : timeline.control) {
+    if (f.kind == kind && f.op == op && f.node == node) return &f;
+  }
+  return nullptr;
+}
+
+/// One node's behaviour during a PREPARE sweep.
+struct Vote {
+  bool voted = false;              ///< The node produced a vote.
+  bool ok = false;                 ///< PREPARE_OK.
+  bool lost = false;               ///< The vote frame was dropped.
+  AbsoluteTime voted_at{};         ///< When the node voted (parked since).
+  AbsoluteTime arrival{};          ///< Coordinator-side arrival.
+  std::string detail;              ///< Failure cause.
+};
+
+}  // namespace
+
+ProtoResult run_protocol(const Scenario& scenario,
+                         const FaultTimeline& timeline,
+                         const ProtoOptions& options) {
+  const validate::NodeMap& map = scenario.node_map;
+  ProtoResult result;
+
+  // Launch: the coordinator and every node snapshot the same slices.
+  const model::Architecture* running = &scenario.arch;
+  for (const std::string& node : map.nodes) {
+    ProtoNode n;
+    n.name = node;
+    n.snapshot = encode_slice(*running, map, node);
+    result.coord_snapshots[node] = n.snapshot;
+    result.coord_epochs[node] = 0;
+    result.nodes.push_back(std::move(n));
+  }
+  const auto node_state = [&result](const std::string& name) -> ProtoNode& {
+    for (ProtoNode& n : result.nodes) {
+      if (n.name == name) return n;
+    }
+    RTCF_ASSERT(false && "unknown node");
+    return result.nodes.front();
+  };
+
+  // Scheduled node deaths (honest time comparisons: an event at or after
+  // the crash instant never happens on that node).
+  std::map<std::string, AbsoluteTime> crash_at;
+  for (const ControlFault& f : timeline.control) {
+    if (f.kind != FaultKind::NodeCrash) continue;
+    const auto it = crash_at.find(f.node);
+    if (it == crash_at.end() || f.at < it->second) crash_at[f.node] = f.at;
+  }
+  const auto is_dead = [&crash_at](const std::string& node,
+                                   AbsoluteTime when) {
+    const auto it = crash_at.find(node);
+    return it != crash_at.end() && it->second <= when;
+  };
+
+  for (std::size_t i = 0; i < scenario.ops.size(); ++i) {
+    const ReconfigOp& op = scenario.ops[i];
+    OpOutcome out;
+    out.index = i;
+    out.op = op;
+    const AbsoluteTime t0 = op.at;
+    const auto log = [&out](AbsoluteTime t, const std::string& msg) {
+      out.log.push_back("[" + fmt_t(t) + "] " + msg);
+    };
+
+    // Faults scoped to this op.
+    const ControlFault* coord_prep =
+        find_op_fault(timeline, FaultKind::CoordCrashMidPrepare, i);
+    const ControlFault* coord_commit =
+        find_op_fault(timeline, FaultKind::CoordCrashMidCommit, i);
+    for (const ControlFault& f : timeline.control) {
+      const bool op_scoped = f.kind != FaultKind::NodeCrash && f.op == i;
+      const bool crash_scoped =
+          f.kind == FaultKind::NodeCrash &&
+          f.at < t0 + options.decision_timeout;
+      if (op_scoped || crash_scoped) out.faults.push_back(f.describe());
+    }
+
+    // Commit is expected unless something non-benign interferes: benign =
+    // channel delay, duplicate, and a mid-COMMIT coordinator crash (which
+    // recovery absorbs).
+    const bool any_wedged = std::any_of(
+        result.nodes.begin(), result.nodes.end(),
+        [](const ProtoNode& n) { return n.wedged; });
+    const bool any_dead_soon = std::any_of(
+        map.nodes.begin(), map.nodes.end(),
+        [&](const std::string& n) {
+          return is_dead(n, t0 + options.decision_timeout);
+        });
+    out.commit_expected =
+        coord_prep == nullptr && !any_wedged && !any_dead_soon &&
+        find_op_fault(timeline, FaultKind::Straggler, i) == nullptr &&
+        find_op_fault(timeline, FaultKind::ChannelDrop, i) == nullptr;
+
+    log(t0, (op.kind == ReconfigOp::Kind::ModeTransition
+                 ? "coordinate_transition('" + op.mode + "')"
+                 : "coordinate_reload(target " +
+                       std::to_string(op.target) + ")"));
+
+    // Phase 0 (reloads): global validation + per-node slice deltas.
+    std::map<std::string, std::vector<std::uint8_t>> target_bytes;
+    std::map<std::string, std::vector<std::uint8_t>> delta_bytes;
+    const model::Architecture* target_arch = nullptr;
+    bool pre_abort = false;
+    if (op.kind == ReconfigOp::Kind::Reload) {
+      target_arch = &scenario.reload_targets[op.target];
+      validate::Report global = validate::validate(*target_arch);
+      const AssemblyPlan global_plan =
+          soleil::snapshot_assembly(*target_arch, /*partitions=*/1);
+      const validate::Report dist_report =
+          validate::validate_distribution(global_plan, map);
+      if (!global.ok() || !dist_report.ok()) {
+        out.reason = "global validation failed";
+        log(t0, "abort: " + out.reason);
+        pre_abort = true;
+      } else {
+        bool any_delta = false;
+        for (const std::string& node : map.nodes) {
+          const AssemblyPlan target_plan = soleil::snapshot_assembly(
+              dist::slice_architecture(*target_arch, map, node),
+              /*partitions=*/1);
+          const reconfig::PlanDelta delta = reconfig::diff_plans(
+              dist::decode_plan(result.coord_snapshots.at(node)),
+              target_plan);
+          any_delta = any_delta || !delta.empty();
+          target_bytes[node] = dist::encode_plan(target_plan);
+          delta_bytes[node] = dist::encode_delta(delta);
+        }
+        if (!any_delta) {
+          out.reason = "cluster no-op";
+          log(t0, "abort: " + out.reason);
+          pre_abort = true;
+        }
+      }
+    }
+
+    if (!pre_abort) {
+      // PREPARE sweep.
+      std::map<std::string, Vote> votes;
+      for (std::size_t idx = 0; idx < map.nodes.size(); ++idx) {
+        const std::string& node = map.nodes[idx];
+        if (coord_prep != nullptr && idx >= coord_prep->after) {
+          log(t0, "coordinator crashed mid-PREPARE; " + node +
+                      " never receives PREPARE");
+          continue;
+        }
+        const ControlFault* drop = find_op_node_fault(
+            timeline, FaultKind::ChannelDrop, i, node);
+        if (drop != nullptr && drop->drop_prepare) {
+          log(t0, "PREPARE frame to " + node + " dropped");
+          continue;
+        }
+        const AbsoluteTime recv = t0 + options.link_latency;
+        if (is_dead(node, recv)) {
+          log(recv, node + " is down; PREPARE undeliverable");
+          continue;
+        }
+        Vote v;
+        v.voted = true;
+        v.voted_at = recv;
+        ProtoNode& state = node_state(node);
+        if (state.wedged) {
+          v.ok = false;
+          v.detail = "wedged (parked since an undecided transition)";
+        } else if (op.kind == ReconfigOp::Kind::Reload) {
+          // The real node-side checks: decode, re-derive, byte-compare,
+          // rule-check.
+          const AssemblyPlan my_running = dist::decode_plan(state.snapshot);
+          const AssemblyPlan target_plan =
+              dist::decode_plan(target_bytes.at(node));
+          const reconfig::PlanDelta my_delta =
+              reconfig::diff_plans(my_running, target_plan);
+          if (dist::encode_delta(my_delta) != delta_bytes.at(node)) {
+            v.ok = false;
+            v.detail = "delta disagreement";
+          } else {
+            validate::Report local;
+            reconfig::check_delta_rules(my_delta, my_running, target_plan,
+                                        local);
+            v.ok = local.ok();
+            if (!v.ok) v.detail = local.diagnostics().front().rule;
+          }
+        } else {
+          v.ok = true;
+        }
+        // Vote leg: straggler / benign delay / loss / duplication.
+        v.arrival = recv + options.link_latency;
+        if (const ControlFault* s = find_op_node_fault(
+                timeline, FaultKind::Straggler, i, node)) {
+          v.arrival = v.arrival + s->delay;
+          log(v.voted_at, node + " vote delayed " +
+                              std::to_string(s->delay.nanos() / 1000) +
+                              "us (straggler)");
+        }
+        if (const ControlFault* d = find_op_node_fault(
+                timeline, FaultKind::ChannelDelay, i, node)) {
+          v.arrival = v.arrival + d->delay;
+        }
+        if (drop != nullptr && !drop->drop_prepare) {
+          v.lost = true;
+          log(v.voted_at, node + " vote frame dropped");
+        }
+        if (find_op_node_fault(timeline, FaultKind::ChannelDuplicate, i,
+                               node) != nullptr) {
+          log(v.arrival, "duplicate vote from " + node +
+                             " filtered by txn id");
+        }
+        log(v.voted_at, node + (v.ok ? " votes PREPARE_OK"
+                                     : " votes PREPARE_FAIL (" + v.detail +
+                                           ")"));
+        votes[node] = v;
+      }
+
+      if (coord_prep != nullptr) {
+        // No decision exists. Prepared nodes run the presumed-abort timer
+        // — or wedge forever under the injected bug.
+        out.committed = false;
+        out.reason = "coordinator crashed mid-PREPARE; presumed abort";
+        for (const std::string& node : map.nodes) {
+          const auto it = votes.find(node);
+          if (it == votes.end() || !it->second.voted || !it->second.ok) {
+            continue;
+          }
+          ProtoNode& state = node_state(node);
+          if (options.bug_skip_presumed_abort) {
+            state.wedged = true;
+            log(it->second.voted_at,
+                node + " parked prepared; presumed-abort timer SKIPPED "
+                       "(injected bug) — node wedged");
+          } else {
+            log(it->second.voted_at + options.decision_timeout,
+                node + " presumed abort (no decision within timeout); "
+                       "released with old epoch");
+          }
+        }
+      } else {
+        // Decide.
+        const AbsoluteTime prepare_deadline = t0 + options.prepare_timeout;
+        AbsoluteTime t_decide = t0;
+        bool commit = true;
+        for (const std::string& node : map.nodes) {
+          const auto it = votes.find(node);
+          const Vote* v = it == votes.end() ? nullptr : &it->second;
+          if (v != nullptr && v->voted && !v->ok &&
+              v->arrival <= prepare_deadline && !v->lost) {
+            commit = false;
+            out.reason = "prepare-fail: " + node + " (" + v->detail + ")";
+            t_decide = std::max(t_decide, v->arrival);
+            break;
+          }
+          if (v == nullptr || !v->voted) {
+            commit = false;
+            out.reason = is_dead(node, t0 + options.link_latency)
+                             ? "unreachable: " + node
+                             : "no vote from " + node;
+            t_decide = prepare_deadline;
+            break;
+          }
+          if (v->lost || v->arrival > prepare_deadline) {
+            commit = false;
+            out.reason = v->lost ? "vote lost: " + node
+                                 : "straggler: " + node;
+            t_decide = prepare_deadline;
+            break;
+          }
+          t_decide = std::max(t_decide, v->arrival);
+        }
+        log(t_decide, commit
+                          ? "decision durable: COMMIT"
+                          : "decision durable: ABORT (" + out.reason + ")");
+
+        // Decision sweep. The decision is durable before the first frame
+        // leaves, so a mid-COMMIT coordinator crash is absorbed by a
+        // standby re-send — always inside every prepared node's
+        // presumed-abort window.
+        AbsoluteTime last_apply = t_decide;
+        for (std::size_t idx = 0; idx < map.nodes.size(); ++idx) {
+          const std::string& node = map.nodes[idx];
+          const bool primary_sent =
+              coord_commit == nullptr || idx < coord_commit->after;
+          AbsoluteTime arrival = t_decide + options.link_latency;
+          if (coord_commit != nullptr) {
+            out.recovery_used = true;
+            const AbsoluteTime standby_arrival =
+                t_decide + options.recovery_delay + options.link_latency;
+            if (!primary_sent) {
+              arrival = standby_arrival;
+            } else {
+              log(standby_arrival, "duplicate decision at " + node +
+                                       " filtered by txn id");
+            }
+          }
+          if (is_dead(node, arrival)) {
+            log(arrival, node + " is down; decision undeliverable");
+            continue;
+          }
+          ProtoNode& state = node_state(node);
+          const auto it = votes.find(node);
+          const bool was_prepared =
+              it != votes.end() && it->second.voted && it->second.ok;
+          if (commit) {
+            state.epoch += 1;
+            result.coord_epochs[node] = state.epoch;
+            if (op.kind == ReconfigOp::Kind::Reload) {
+              state.snapshot = target_bytes.at(node);
+              result.coord_snapshots[node] = target_bytes.at(node);
+            }
+            last_apply = std::max(last_apply, arrival);
+            log(arrival, node + " applies; epoch -> " +
+                             std::to_string(state.epoch));
+          } else if (was_prepared) {
+            log(arrival, node + " releases (abort); epoch unchanged");
+          }
+        }
+        if (coord_commit != nullptr) {
+          log(t_decide + options.recovery_delay,
+              "standby coordinator re-sends the durable decision");
+        }
+        out.committed = commit;
+        if (commit) {
+          out.reason = "committed";
+          out.applied_at = last_apply;
+          if (op.kind == ReconfigOp::Kind::Reload) {
+            running = target_arch;
+            out.node_deltas = delta_bytes;
+          } else {
+            result.final_mode = op.mode;
+          }
+        }
+      }
+    }
+
+    const AbsoluteTime settle = t0 + options.decision_timeout;
+    for (const ProtoNode& n : result.nodes) {
+      if (!is_dead(n.name, settle)) out.epochs_after[n.name] = n.epoch;
+    }
+    result.ops.push_back(std::move(out));
+  }
+
+  // Finalize node liveness over the drill horizon.
+  for (ProtoNode& n : result.nodes) {
+    const auto it = crash_at.find(n.name);
+    if (it != crash_at.end() && it->second <= scenario.horizon) {
+      n.alive = false;
+      n.crashed_at = it->second;
+    }
+  }
+  return result;
+}
+
+}  // namespace rtcf::adversity

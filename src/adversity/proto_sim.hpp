@@ -1,0 +1,111 @@
+// Analytic model of the two-phase reconfiguration protocol under faults.
+//
+// run_protocol() executes a scenario's reconfiguration ops against the
+// protocol rules of docs/PROTOCOL.md in pure virtual time: PREPARE frames
+// and votes are events with link latencies, the coordinator decides at the
+// prepare deadline, decisions are durable before the first decision frame
+// leaves, and a prepared node presumed-aborts when no decision arrives
+// within its decision timeout. The fault timeline perturbs exactly those
+// events — a straggler delays one vote past the deadline, a channel drop
+// loses one frame, a coordinator crash truncates a send sweep.
+//
+// Every vote runs the *real* node-side checks: the received slice delta is
+// decoded with the real codec, re-derived from the node's own snapshot
+// with reconfig::diff_plans, byte-compared against the coordinator's
+// encoding, and passed through check_delta_rules. The model's state (per
+// node: epoch + canonical snapshot bytes) feeds the drill's mechanical
+// invariants (drill_check.hpp): unanimous epoch agreement among live
+// nodes, snapshot agreement after every commit, fault-free ops always
+// commit, and no node left parked-prepared at drill end (the liveness
+// tripwire that catches a skipped presumed-abort timer).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "adversity/arch_gen.hpp"
+#include "adversity/chaos.hpp"
+#include "rtsj/time/time.hpp"
+#include "validate/report.hpp"
+
+namespace rtcf::adversity {
+
+/// Protocol timing model. Defaults are sized against the chaos layer's
+/// fault magnitudes: a straggler delay (6-12ms) always misses the prepare
+/// deadline, a benign channel delay (<=2ms) never does, and recovery of a
+/// durable decision (recovery_delay + link_latency) always lands before
+/// any prepared node's presumed-abort timer (decision_timeout) expires.
+struct ProtoOptions {
+  rtsj::RelativeTime link_latency = rtsj::RelativeTime::microseconds(200);
+  rtsj::RelativeTime prepare_timeout = rtsj::RelativeTime::milliseconds(5);
+  rtsj::RelativeTime decision_timeout = rtsj::RelativeTime::milliseconds(20);
+  /// Standby takeover delay after a coordinator crash with a durable
+  /// decision.
+  rtsj::RelativeTime recovery_delay = rtsj::RelativeTime::milliseconds(2);
+  /// Deliberate bug injection (tools/drill --inject-bug): a node that
+  /// voted PREPARE_OK never starts its presumed-abort timer. A
+  /// coordinator crash mid-PREPARE then wedges it forever — which the
+  /// PROTO-WEDGED invariant must catch.
+  bool bug_skip_presumed_abort = false;
+};
+
+/// Final state of one node after the drill.
+struct ProtoNode {
+  std::string name;
+  bool alive = true;
+  rtsj::AbsoluteTime crashed_at{};  ///< Valid when !alive.
+  std::uint64_t epoch = 0;
+  /// Parked-prepared with no decision and no presumed-abort timer — only
+  /// reachable under bug_skip_presumed_abort.
+  bool wedged = false;
+  /// Canonical encoding of the node's running slice snapshot.
+  std::vector<std::uint8_t> snapshot;
+};
+
+/// What happened to one reconfiguration op.
+struct OpOutcome {
+  std::size_t index = 0;
+  ReconfigOp op;
+  bool committed = false;
+  /// A standby coordinator finished a durable decision.
+  bool recovery_used = false;
+  /// Descriptions of the control faults applied to this op.
+  std::vector<std::string> faults;
+  /// True when nothing excuses an abort: no fault at all, or only benign
+  /// ones (channel delay / duplicate / coordinator crash mid-COMMIT, which
+  /// recovery must absorb), every node alive and none wedged. The
+  /// PROTO-COMMIT-EXPECTED invariant asserts committed whenever this is
+  /// set.
+  bool commit_expected = true;
+  std::string reason;               ///< "committed" or the abort cause.
+  rtsj::AbsoluteTime applied_at{};  ///< Last apply instant (committed).
+  /// Live-node epochs after the op settled (the agreement check input).
+  std::map<std::string, std::uint64_t> epochs_after;
+  /// Canonical per-node slice deltas (committed reloads) — replayed onto
+  /// the task simulator through the real codec.
+  std::map<std::string, std::vector<std::uint8_t>> node_deltas;
+  /// Virtual-time event log (the artifact of a red drill).
+  std::vector<std::string> log;
+};
+
+/// The protocol half of one drill.
+struct ProtoResult {
+  std::vector<ProtoNode> nodes;  ///< Cluster order, final states.
+  /// Coordinator's per-node epoch view after the last op.
+  std::map<std::string, std::uint64_t> coord_epochs;
+  /// Coordinator's per-node snapshot view (canonical bytes).
+  std::map<std::string, std::vector<std::uint8_t>> coord_snapshots;
+  std::vector<OpOutcome> ops;
+  /// Cluster mode after the last committed transition ("" = initial).
+  std::string final_mode;
+};
+
+/// Runs every op of `scenario` under `timeline`. Deterministic: pure
+/// virtual-time arithmetic, no clocks, no threads.
+ProtoResult run_protocol(const Scenario& scenario,
+                         const FaultTimeline& timeline,
+                         const ProtoOptions& options = {});
+
+}  // namespace rtcf::adversity

@@ -1,5 +1,7 @@
 #include "dist/cluster_sim.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 #include "dist/gateway.hpp"
@@ -11,7 +13,8 @@ namespace rtcf::dist {
 std::vector<NodeMirror> map_cluster(const model::Architecture& global,
                                     const validate::NodeMap& map,
                                     sim::PreemptiveScheduler& scheduler,
-                                    rtsj::RelativeTime link_latency) {
+                                    rtsj::RelativeTime link_latency,
+                                    LinkPolicy chaos) {
   RTCF_REQUIRE(scheduler.cpu_count() >= map.nodes.size(),
                "cluster mirror needs one simulated CPU per node");
   std::vector<NodeMirror> mirrors;
@@ -32,8 +35,12 @@ std::vector<NodeMirror> map_cluster(const model::Architecture& global,
   }
   // Chain bridged bindings: the exit task's completion posts an arrival
   // to the remote server task, link_latency later — one virtual clock,
-  // so the cluster-wide causality is exact and replayable.
-  for (const GatewayRoute& route : compute_routes(global, map)) {
+  // so the cluster-wide causality is exact and replayable. The chaos
+  // policy sees each delivery keyed by (route index, per-route sequence):
+  // the key is stable across runs, which keeps fault schedules replayable.
+  const std::vector<GatewayRoute> routes = compute_routes(global, map);
+  for (std::size_t r = 0; r < routes.size(); ++r) {
+    const GatewayRoute& route = routes[r];
     const std::size_t client_idx = map.node_index(route.client_node);
     const std::size_t server_idx = map.node_index(route.server_node);
     if (client_idx >= mirrors.size() || server_idx >= mirrors.size()) {
@@ -49,9 +56,19 @@ std::vector<NodeMirror> map_cluster(const model::Architecture& global,
     const sim::TaskId server_task =
         mirrors[server_idx].mapping.task(route.server);
     scheduler.set_on_complete(
-        exit_task, [&scheduler, server_task,
-                    link_latency](rtsj::AbsoluteTime completion) {
-          scheduler.post_arrival(server_task, completion + link_latency);
+        exit_task,
+        [&scheduler, server_task, link_latency, chaos, r,
+         seq = std::make_shared<std::uint64_t>(0)](
+            rtsj::AbsoluteTime completion) {
+          LinkFault fault;
+          if (chaos) fault = chaos(r, (*seq)++);
+          if (fault.drop) return;
+          const rtsj::AbsoluteTime arrival =
+              completion + link_latency + fault.extra_delay;
+          const std::uint32_t copies = std::max<std::uint32_t>(fault.copies, 1);
+          for (std::uint32_t c = 0; c < copies; ++c) {
+            scheduler.post_arrival(server_task, arrival);
+          }
         });
   }
   return mirrors;

@@ -10,6 +10,8 @@
 // link latency, the virtual-time stand-in for the DATA hop.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -29,15 +31,30 @@ struct NodeMirror {
   sim::SimMapping mapping;   ///< Task ids of the node's slice.
 };
 
+/// One bridged message's fate under a chaos policy.
+struct LinkFault {
+  bool drop = false;                 ///< Lose the message entirely.
+  std::uint32_t copies = 1;          ///< Delivered copies (2 = duplicate).
+  rtsj::RelativeTime extra_delay{};  ///< Added on top of the link latency.
+};
+
+/// Per-message chaos hook for the adversity drills: consulted once per
+/// bridged delivery with the route's index (compute_routes order) and the
+/// message sequence number on that route. Null = a perfect network.
+using LinkPolicy =
+    std::function<LinkFault(std::size_t route_index, std::uint64_t seq)>;
+
 /// Maps every node's slice of `global` onto `scheduler` (which must have
 /// at least map.nodes.size() CPUs): node k's tasks — including its
 /// gateway exits — run on CPU k. Cross-node asynchronous bindings are
 /// chained exit -> remote server with `link_latency` added to the arrival
-/// instant. Returns the per-node mirrors in cluster order.
+/// instant; `chaos` (when set) may drop, duplicate, or further delay each
+/// bridged message. Returns the per-node mirrors in cluster order.
 std::vector<NodeMirror> map_cluster(
     const model::Architecture& global, const validate::NodeMap& map,
     sim::PreemptiveScheduler& scheduler,
-    rtsj::RelativeTime link_latency = rtsj::RelativeTime::zero());
+    rtsj::RelativeTime link_latency = rtsj::RelativeTime::zero(),
+    LinkPolicy chaos = nullptr);
 
 /// Schedules one node's slice delta at virtual time `t` on its mirror —
 /// the virtual-time half of a coordinated commit: call it for every node

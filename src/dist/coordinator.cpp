@@ -97,6 +97,7 @@ ReconfigCoordinator::Outcome ReconfigCoordinator::coordinate_reload(
     const model::Architecture& global_target) {
   Outcome outcome;
   outcome.txn = next_txn_++;
+  crashed_ = false;  // a new transition = a (re)started coordinator
 
   // Phase 0: global validation — the full rule engine on the target
   // architecture, plus the DIST-* cut rules under the node map.
@@ -148,6 +149,12 @@ ReconfigCoordinator::Outcome ReconfigCoordinator::coordinate_reload(
     NodeResult result;
     result.node = node;
     outcome.nodes.push_back(std::move(result));
+    if (hooks_ != nullptr && !crashed_ && hooks_->before_prepare &&
+        !hooks_->before_prepare(node, outcome.txn)) {
+      crashed_ = true;
+      outcome.reason = "coordinator crashed mid-PREPARE";
+    }
+    if (crashed_) continue;
     if (!it->second.channel->send(make_prepare_reload(payload))) {
       outcome.reason = "node '" + node + "' is unreachable";
     }
@@ -164,6 +171,7 @@ ReconfigCoordinator::Outcome ReconfigCoordinator::coordinate_transition(
     const std::string& mode) {
   Outcome outcome;
   outcome.txn = next_txn_++;
+  crashed_ = false;  // a new transition = a (re)started coordinator
   staged_.clear();  // mode transitions do not move snapshots
 
   // All-attached check before the first PREPARE (see coordinate_reload).
@@ -183,6 +191,12 @@ ReconfigCoordinator::Outcome ReconfigCoordinator::coordinate_transition(
     NodeResult result;
     result.node = node;
     outcome.nodes.push_back(std::move(result));
+    if (hooks_ != nullptr && !crashed_ && hooks_->before_prepare &&
+        !hooks_->before_prepare(node, outcome.txn)) {
+      crashed_ = true;
+      outcome.reason = "coordinator crashed mid-PREPARE";
+    }
+    if (crashed_) continue;
     if (!it->second.channel->send(make_prepare_mode(payload))) {
       outcome.reason = "node '" + node + "' is unreachable";
     }
@@ -193,6 +207,14 @@ ReconfigCoordinator::Outcome ReconfigCoordinator::coordinate_transition(
 
 void ReconfigCoordinator::decide(Outcome& outcome,
                                  const std::vector<std::string>& participants) {
+  if (crashed_) {
+    // The coordinator died during the PREPARE sweep: no decision exists,
+    // nothing more is sent or awaited. Prepared nodes presumed-abort on
+    // their own; the staged snapshots never become a baseline.
+    outcome.committed = false;
+    staged_.clear();
+    return;
+  }
   auto& clock = rtsj::SteadyClock::instance();
   const rtsj::AbsoluteTime prepare_deadline =
       clock.now() + options_.prepare_timeout;
@@ -235,7 +257,24 @@ void ReconfigCoordinator::decide(Outcome& outcome,
       all_prepared ? FrameType::Commit : FrameType::Abort;
   if (!all_prepared) decision.reason = outcome.reason;
   for (const std::string& node : participants) {
+    if (hooks_ != nullptr && !crashed_ && hooks_->before_decision &&
+        !hooks_->before_decision(node, outcome.txn, all_prepared)) {
+      crashed_ = true;
+    }
+    if (crashed_) break;
     peers_.at(node).channel->send(make_decision(verdict, decision));
+  }
+  if (crashed_) {
+    // Died mid-decision sweep: the already-sent frames are out (those
+    // nodes apply or release), the rest presumed-abort — the divergence
+    // the next transition's delta-agreement votes detect. Nothing more is
+    // awaited and no snapshot advances.
+    outcome.committed = false;
+    if (outcome.reason.empty()) {
+      outcome.reason = "coordinator crashed mid-decision";
+    }
+    staged_.clear();
+    return;
   }
   const rtsj::AbsoluteTime decision_deadline =
       clock.now() + options_.decision_timeout;

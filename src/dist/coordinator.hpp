@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -99,6 +100,29 @@ class ReconfigCoordinator {
   /// Coordinates one atomic cluster mode transition.
   Outcome coordinate_transition(const std::string& mode);
 
+  /// Fault-injection points for the adversity drills. Each hook is
+  /// consulted immediately before the named frame is sent; returning
+  /// false simulates the coordinator process dying at that instant — no
+  /// further frames are sent and no replies are awaited for the rest of
+  /// the transition (the next coordinate_* call acts as the restarted
+  /// coordinator, which must resynchronize diverged nodes via attach()).
+  struct FaultHooks {
+    /// Before PREPARE is sent to `node` for transaction `txn`.
+    std::function<bool(const std::string& node, std::uint64_t txn)>
+        before_prepare;
+    /// Before the decision frame is sent to `node`; `commit` says which
+    /// verdict is being distributed.
+    std::function<bool(const std::string& node, std::uint64_t txn,
+                       bool commit)>
+        before_decision;
+  };
+
+  /// Installs (nullptr clears) the fault hooks; the pointee must outlive
+  /// every coordinate_* call made while installed. When unset, the send
+  /// paths pay exactly one raw-pointer null check and nothing else —
+  /// audited by bench_dist_reconfig_latency.
+  void set_fault_hooks(FaultHooks* hooks) noexcept { hooks_ = hooks; }
+
   /// Returns the oldest queued DEMOTE_REQUEST (scanning the channels for
   /// up to `wait`), or nullopt. The caller answers it with
   /// coordinate_transition(payload.mode).
@@ -134,6 +158,11 @@ class ReconfigCoordinator {
   std::map<std::string, Peer> peers_;
   std::deque<DemotePayload> demote_queue_;
   std::uint64_t next_txn_ = 1;
+  /// Unset in production: the send paths only null-check it.
+  FaultHooks* hooks_ = nullptr;
+  /// A hook reported the coordinator dead mid-transition; cleared when
+  /// the next transition starts (= coordinator restart).
+  bool crashed_ = false;
   /// Staged post-commit snapshots of the transition in flight.
   std::map<std::string, model::AssemblyPlan> staged_;
 };

@@ -94,6 +94,7 @@ void PreemptiveScheduler::post_arrival(TaskId task, AbsoluteTime t) {
   Task& tk = tasks_[task];
   RTCF_REQUIRE(tk.config.release != ReleaseKind::Periodic,
                "periodic tasks release on their own timeline");
+  ++tk.stats.arrivals_posted;
   if (tk.config.release == ReleaseKind::Sporadic &&
       !tk.config.min_interarrival.is_zero() && tk.has_arrival &&
       t - tk.last_arrival < tk.config.min_interarrival) {
@@ -102,7 +103,22 @@ void PreemptiveScheduler::post_arrival(TaskId task, AbsoluteTime t) {
   }
   tk.last_arrival = t;
   tk.has_arrival = true;
+  ++tk.stats.pending_arrivals;
   push_event(t, EventKind::TaskRelease, task);
+}
+
+std::size_t PreemptiveScheduler::queued_jobs(TaskId id) const {
+  RTCF_REQUIRE(id < tasks_.size(), "unknown task id");
+  std::size_t n = 0;
+  for (const std::vector<Job>& queue : ready_) {
+    for (const Job& job : queue) {
+      if (job.task == id) ++n;
+    }
+  }
+  for (const std::optional<Job>& running : running_) {
+    if (running && running->task == id) ++n;
+  }
+  return n;
 }
 
 void PreemptiveScheduler::schedule_mode_change(AbsoluteTime t,
@@ -211,6 +227,10 @@ void PreemptiveScheduler::dispatch(std::size_t cpu) {
 
 void PreemptiveScheduler::release_job(TaskId task, AbsoluteTime t) {
   Task& tk = tasks_[task];
+  if (tk.config.release != ReleaseKind::Periodic &&
+      tk.stats.pending_arrivals > 0) {
+    --tk.stats.pending_arrivals;
+  }
   // Mode gate: a task disabled by a mode change releases nothing. The
   // periodic timeline keeps ticking silently — no job, no sequence number,
   // no trace — so a later re-enabling change resumes on the original grid
@@ -218,6 +238,8 @@ void PreemptiveScheduler::release_job(TaskId task, AbsoluteTime t) {
   if (!tk.enabled) {
     if (tk.config.release == ReleaseKind::Periodic) {
       push_event(t + tk.config.period, EventKind::TaskRelease, task);
+    } else {
+      ++tk.stats.disabled_arrivals;
     }
     return;
   }

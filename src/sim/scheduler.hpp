@@ -113,12 +113,27 @@ struct TraceEvent {
 };
 
 /// Accumulated per-task results.
+///
+/// For sporadic/aperiodic tasks the arrival counters form a conservation
+/// identity at any observation instant — the adversity drills audit it
+/// mechanically (zero message loss outside declared drop policies):
+///
+///   arrivals_posted == rejected_arrivals + disabled_arrivals
+///                      + shed_releases + releases_completed
+///                      + pending_arrivals + queued_jobs(task)
 struct TaskStats {
   std::uint64_t releases_completed = 0;
   std::uint64_t deadline_misses = 0;
   std::uint64_t preemptions = 0;
   std::uint64_t rejected_arrivals = 0;  ///< Sporadic MIT violations.
   std::uint64_t shed_releases = 0;      ///< Admission-gate rejections.
+  std::uint64_t arrivals_posted = 0;    ///< Every accepted post_arrival()
+                                        ///< call (including MIT-rejected).
+  std::uint64_t disabled_arrivals = 0;  ///< Arrivals dropped because the
+                                        ///< task was disabled at release.
+  std::uint64_t pending_arrivals = 0;   ///< Posted arrivals whose release
+                                        ///< instant is still in the future
+                                        ///< (instantaneous, not cumulative).
   util::SampleSet response_times_us;    ///< Response time per release, µs.
 };
 
@@ -199,6 +214,9 @@ class PreemptiveScheduler {
 
   AbsoluteTime now() const noexcept { return now_; }
   std::size_t task_count() const noexcept { return tasks_.size(); }
+  /// Released-but-incomplete jobs of `id` (ready queues + running job) —
+  /// the live term of the TaskStats conservation identity.
+  std::size_t queued_jobs(TaskId id) const;
   const TaskConfig& config(TaskId id) const { return tasks_.at(id).config; }
   const TaskStats& stats(TaskId id) const { return tasks_.at(id).stats; }
 

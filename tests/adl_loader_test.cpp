@@ -262,6 +262,57 @@ TEST(AdlLoaderTest, ModeErrorsCarryLineAndElementContext) {
   }
 }
 
+TEST(AdlLoaderTest, TopLevelErrorsCarryLineAndElementContext) {
+  // Every top-level loader is anchored: a malformed element reports its
+  // element name and input line, never a bare parse failure.
+  const auto expect_anchor = [](const char* text, const char* element,
+                                unsigned line, const char* detail) {
+    try {
+      load_architecture(text);
+      FAIL() << "expected AdlError for " << element;
+    } catch (const AdlError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(element), std::string::npos) << what;
+      EXPECT_NE(what.find("line " + std::to_string(line)),
+                std::string::npos)
+          << what;
+      EXPECT_NE(what.find(detail), std::string::npos) << what;
+      EXPECT_EQ(e.line(), line);
+    }
+  };
+  expect_anchor(R"(<Architecture>
+  <ActiveComponent name="A" type="periodic" periodicity="soon"/>
+</Architecture>)",
+                "<ActiveComponent>", 2, "soon");
+  expect_anchor(R"(<Architecture>
+  <PassiveComponent name="P" swappable="maybe"/>
+</Architecture>)",
+                "<PassiveComponent>", 2, "maybe");
+  expect_anchor(R"(<Architecture>
+  <ActiveComponent name="A" type="periodic" periodicity="10ms"/>
+  <Binding/>
+</Architecture>)",
+                "<Binding>", 3, "client");
+  expect_anchor(R"(<Architecture>
+  <MemoryArea name="m">
+    <AreaDesc type="immortal" size="huge"/>
+  </MemoryArea>
+</Architecture>)",
+                "<MemoryArea>", 2, "huge");
+  expect_anchor(R"(<Architecture>
+  <ThreadDomain name="d"/>
+</Architecture>)",
+                "<ThreadDomain>", 2, "DomainDesc");
+  // A non-numeric domain priority used to escape as a raw
+  // std::invalid_argument from std::stoi; it is an anchored AdlError now.
+  expect_anchor(R"(<Architecture>
+  <ThreadDomain name="d">
+    <DomainDesc type="realtime" priority="high"/>
+  </ThreadDomain>
+</Architecture>)",
+                "<ThreadDomain>", 2, "stoi");
+}
+
 TEST(AdlLoaderTest, ModeWithRebindsRoundTrips) {
   const char* text = R"(<Architecture>
   <ActiveComponent name="A" type="periodic" periodicity="10ms"

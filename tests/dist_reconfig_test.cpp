@@ -303,6 +303,79 @@ TEST(DistReconfigTest, StragglerTimeoutProducesACleanGlobalAbort) {
   cluster.beta->stop();
 }
 
+TEST(DistReconfigTest, CoordinatorCrashMidDecisionDivergesThenResyncs) {
+  // The FaultHooks drill (the adversity engine's wall-clock anchor): the
+  // coordinator dies after the first COMMIT frame leaves. The node that
+  // received the decision applies it; the node left prepared presumed-
+  // aborts. The cluster is now diverged — which the next reload's
+  // delta-agreement vote must catch — until the diverged node is
+  // re-attached with what it actually runs.
+  // Margins are generous: sanitized runs on a small CI host can stall a
+  // serve thread for tens of milliseconds, and the COMMIT frame must land
+  // on one node well inside its presumed-abort window.
+  NodeRuntime::Options options;
+  options.run_duration = rtsj::RelativeTime::milliseconds(3500);
+  options.decision_timeout = rtsj::RelativeTime::milliseconds(400);
+  Cluster cluster(options);
+  // Rewire by hand so the test keeps the coordinator-side channel handles
+  // (re-attaching the diverged node needs them).
+  ReconfigCoordinator::Options copts;
+  copts.prepare_timeout = rtsj::RelativeTime::milliseconds(1500);
+  cluster.coordinator =
+      std::make_unique<ReconfigCoordinator>(cluster.map, copts);
+  auto [a_node, a_coord] = comm::LoopbackChannel::make_pair();
+  auto [b_node, b_coord] = comm::LoopbackChannel::make_pair();
+  cluster.alpha->attach_control(a_node);
+  cluster.beta->attach_control(b_node);
+  cluster.coordinator->attach("alpha", a_coord, cluster.global);
+  cluster.coordinator->attach("beta", b_coord, cluster.global);
+
+  cluster.alpha->start();
+  cluster.beta->start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+
+  int decision_frames = 0;
+  ReconfigCoordinator::FaultHooks hooks;
+  hooks.before_decision = [&](const std::string&, std::uint64_t, bool) {
+    return ++decision_frames == 1;  // die before the second COMMIT frame
+  };
+  cluster.coordinator->set_fault_hooks(&hooks);
+  const Architecture target = target_arch();
+  const auto crashed = cluster.coordinator->coordinate_reload(target);
+  cluster.coordinator->set_fault_hooks(nullptr);
+  EXPECT_FALSE(crashed.committed);
+  EXPECT_NE(crashed.reason.find("crashed mid-decision"), std::string::npos)
+      << crashed.reason;
+  EXPECT_EQ(decision_frames, 2);
+
+  // alpha applies the decision it received; beta's presumed-abort timer
+  // releases its executive.
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  EXPECT_NE(cluster.alpha->application().assembly().find("Watchdog"),
+            nullptr);
+  EXPECT_NE(cluster.beta->application().assembly().find("Sink"), nullptr);
+  EXPECT_EQ(cluster.beta->application().assembly().find("Sink2"), nullptr);
+
+  // The coordinator's view of alpha is stale (no snapshot advanced on the
+  // crashed transaction): alpha's agreement vote aborts the reload. The
+  // epoch guard trips first here; the byte-exact delta comparison is the
+  // backstop behind it.
+  const auto stale = cluster.coordinator->coordinate_reload(target);
+  EXPECT_FALSE(stale.committed);
+  EXPECT_NE(stale.reason.find("stale epoch"), std::string::npos)
+      << stale.reason;
+
+  // Resync: re-attach the diverged node with what it actually runs; the
+  // same reload now commits cluster-wide.
+  cluster.coordinator->attach("alpha", a_coord, target);
+  const auto resynced = cluster.coordinator->coordinate_reload(target);
+  EXPECT_TRUE(resynced.committed) << resynced.reason;
+  EXPECT_NE(cluster.beta->application().assembly().find("Sink2"), nullptr);
+
+  cluster.alpha->stop();
+  cluster.beta->stop();
+}
+
 TEST(DistReconfigTest, GovernorDemotionShutsDownAWholeNode) {
   NodeRuntime::Options options;
   options.run_duration = rtsj::RelativeTime::milliseconds(600);

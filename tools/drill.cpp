@@ -1,0 +1,211 @@
+// Adversity drill runner — the CLI behind the CI `drill` job.
+//
+//   drill --seed 42                       one drill, all fault kinds
+//   drill --seed 1 --count 200            a seed sweep (CI acceptance)
+//   drill --seed 7 --fault-mix coord      restrict the chaos taxonomy
+//   drill --corpus tests/drill_corpus.txt replay the committed corpus
+//   drill --seed 7 --add-corpus FILE      append this seed to a corpus
+//   drill --inject-bug skip-presumed-abort  deliberate-bug self-check:
+//                                         the run must go red
+//   drill --artifact-dir DIR              write failing drill reports
+//   drill --trace                         full protocol log per drill
+//
+// Every failure prints the exact command that replays it. Exit status: 0
+// when every drill passed, 1 on any violation, 2 on usage errors.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adversity/drill.hpp"
+
+namespace {
+
+using rtcf::adversity::DrillOptions;
+using rtcf::adversity::DrillResult;
+using rtcf::adversity::FaultMix;
+using rtcf::adversity::Violation;
+
+struct CliOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t count = 1;
+  std::string fault_mix = "all";
+  std::string corpus;
+  bool add_corpus = false;
+  std::string artifact_dir;
+  std::string inject_bug;
+  bool trace = false;
+};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --seed N          first seed (default 1)\n"
+      << "  --count N         consecutive seeds to drill (default 1)\n"
+      << "  --fault-mix CSV   crash,drop,delay,dup,straggler,coord-prepare,"
+         "coord-commit\n"
+      << "                    ('coord' = both coordinator kinds; default "
+         "'all')\n"
+      << "  --corpus FILE     replay 'seed [mix]' lines from FILE first\n"
+      << "  --add-corpus      append --seed/--fault-mix to --corpus FILE\n"
+      << "  --artifact-dir D  write failing drill reports into D\n"
+      << "  --inject-bug B    deliberate bug: 'skip-presumed-abort'\n"
+      << "  --trace           print the full drill report, pass or fail\n";
+  return 2;
+}
+
+std::string replay_command(std::uint64_t seed, const std::string& mix,
+                           const std::string& inject_bug) {
+  std::string cmd = "./build/drill --seed " + std::to_string(seed) +
+                    " --fault-mix " + mix + " --trace";
+  if (!inject_bug.empty()) cmd += " --inject-bug " + inject_bug;
+  return cmd;
+}
+
+/// Runs one drill; prints its summary (and report when asked); returns
+/// true when it passed.
+bool run_one(std::uint64_t seed, const std::string& mix,
+             const CliOptions& cli) {
+  DrillOptions options;
+  options.seed = seed;
+  options.mix = FaultMix::parse(mix);
+  options.trace = cli.trace;
+  options.proto.bug_skip_presumed_abort =
+      cli.inject_bug == "skip-presumed-abort";
+  DrillResult result = rtcf::adversity::run_drill(options);
+  std::cout << result.summary() << "\n";
+  if (cli.trace) std::cout << result.report();
+  if (result.passed) return true;
+  for (const Violation& v : result.violations) {
+    std::cout << "  " << v.to_string() << "\n";
+  }
+  std::cout << "  replay: " << replay_command(seed, mix, cli.inject_bug)
+            << "\n";
+  if (!cli.artifact_dir.empty()) {
+    const std::string path = cli.artifact_dir + "/drill-seed-" +
+                             std::to_string(seed) + ".txt";
+    std::ofstream out(path);
+    if (out) {
+      out << result.report() << "\nreplay: "
+          << replay_command(seed, mix, cli.inject_bug) << "\n";
+      std::cout << "  artifact: " << path << "\n";
+    } else {
+      std::cout << "  (could not write artifact " << path << ")\n";
+    }
+  }
+  return false;
+}
+
+/// Parses "seed [mix]" corpus lines ('#' comments, blank lines skipped).
+bool replay_corpus(const CliOptions& cli, std::size_t& drills,
+                   std::size_t& failures) {
+  std::ifstream in(cli.corpus);
+  if (!in) {
+    std::cerr << "drill: cannot read corpus '" << cli.corpus << "'\n";
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::uint64_t seed = 0;
+    if (!(fields >> seed)) continue;  // blank / comment-only line
+    std::string mix;
+    if (!(fields >> mix)) mix = "all";
+    ++drills;
+    if (!run_one(seed, mix, cli)) ++failures;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seed") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      cli.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--count") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      cli.count = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--fault-mix") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      cli.fault_mix = v;
+    } else if (arg == "--corpus") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      cli.corpus = v;
+    } else if (arg == "--add-corpus") {
+      cli.add_corpus = true;
+    } else if (arg == "--artifact-dir") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      cli.artifact_dir = v;
+    } else if (arg == "--inject-bug") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      cli.inject_bug = v;
+    } else if (arg == "--trace") {
+      cli.trace = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "drill: unknown option '" << arg << "'\n";
+      return usage(argv[0]);
+    }
+  }
+  if (!cli.inject_bug.empty() &&
+      cli.inject_bug != "skip-presumed-abort") {
+    std::cerr << "drill: unknown bug '" << cli.inject_bug
+              << "' (known: skip-presumed-abort)\n";
+    return 2;
+  }
+  try {
+    FaultMix::parse(cli.fault_mix);
+  } catch (const std::exception& e) {
+    std::cerr << "drill: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (cli.add_corpus) {
+    if (cli.corpus.empty()) {
+      std::cerr << "drill: --add-corpus needs --corpus FILE\n";
+      return 2;
+    }
+    std::ofstream out(cli.corpus, std::ios::app);
+    if (!out) {
+      std::cerr << "drill: cannot append to corpus '" << cli.corpus
+                << "'\n";
+      return 2;
+    }
+    out << cli.seed << " " << cli.fault_mix << "\n";
+    std::cout << "added 'seed " << cli.seed << " [" << cli.fault_mix
+              << "]' to " << cli.corpus << "\n";
+  }
+
+  std::size_t drills = 0;
+  std::size_t failures = 0;
+  if (!cli.corpus.empty() && !cli.add_corpus) {
+    if (!replay_corpus(cli, drills, failures)) return 2;
+  }
+  for (std::uint64_t s = cli.seed; s < cli.seed + cli.count; ++s) {
+    ++drills;
+    if (!run_one(s, cli.fault_mix, cli)) ++failures;
+  }
+
+  std::cout << drills << " drill(s), " << failures << " failure(s)\n";
+  return failures == 0 ? 0 : 1;
+}
