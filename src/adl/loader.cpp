@@ -290,6 +290,53 @@ void load_mode(const XmlNode& node, Architecture& arch) {
   arch.add_mode(std::move(mode));
 }
 
+/// `<Tenant name="acme" criticalityFloor="high">` with `<Budget>`,
+/// `<Member>`, `<Export>`, and `<Import>` children. The element's input
+/// line is kept on the declaration so validator/admission diagnostics can
+/// point back into the ADL source.
+void load_tenant(const XmlNode& node, Architecture& arch) {
+  model::TenantDecl tenant;
+  tenant.adl_line = node.line;
+  with_element_context(node, [&] {
+    tenant.name = node.require_attr("name");
+    if (auto f = node.attr("criticalityFloor")) {
+      tenant.criticality_floor = parse_criticality(*f);
+    }
+  });
+  for (const XmlNode& child : node.children) {
+    if (child.name == "Budget") {
+      with_element_context(child, [&] {
+        if (auto c = child.attr("cpu")) {
+          tenant.budget.cpu_utilization = parse_ratio(*c);
+        }
+        if (auto m = child.attr("memory")) {
+          tenant.budget.memory_bytes = parse_size(*m);
+        }
+      });
+    } else if (child.name == "Member") {
+      with_element_context(child, [&] {
+        tenant.members.push_back(child.require_attr("name"));
+      });
+    } else if (child.name == "Export") {
+      with_element_context(child, [&] {
+        tenant.exports.push_back({child.require_attr("capability"),
+                                  child.require_attr("component"),
+                                  child.require_attr("interface")});
+      });
+    } else if (child.name == "Import") {
+      with_element_context(child, [&] {
+        tenant.imports.push_back({child.require_attr("capability"),
+                                  child.require_attr("from")});
+      });
+    } else {
+      throw AdlError("unexpected <" + child.name + "> inside <Tenant> (line " +
+                         std::to_string(child.line) + ")",
+                     child.line);
+    }
+  }
+  arch.add_tenant(std::move(tenant));
+}
+
 void load_binding(const XmlNode& node, Architecture& arch) {
   const XmlNode* client = node.child("client");
   const XmlNode* server = node.child("server");
@@ -405,6 +452,8 @@ Architecture load_architecture(std::string_view adl_text) {
                            [&] { load_thread_domain(child, arch, nullptr); });
     } else if (child.name == "Mode") {
       load_mode(child, arch);
+    } else if (child.name == "Tenant") {
+      load_tenant(child, arch);
     } else if (child.name != "ActiveComponent" &&
                child.name != "PassiveComponent" && child.name != "Binding") {
       throw AdlError("unexpected top-level element <" + child.name + ">");
@@ -521,6 +570,55 @@ XmlNode serialize_mode(const model::ModeDecl& mode) {
   return node;
 }
 
+XmlNode serialize_tenant(const model::TenantDecl& tenant) {
+  XmlNode node;
+  node.name = "Tenant";
+  node.attributes.emplace_back("name", tenant.name);
+  if (tenant.criticality_floor != model::Criticality::Low) {
+    node.attributes.emplace_back("criticalityFloor",
+                                 model::to_string(tenant.criticality_floor));
+  }
+  if (tenant.budget != model::TenantBudget{}) {
+    XmlNode budget;
+    budget.name = "Budget";
+    if (tenant.budget.cpu_utilization > 0.0) {
+      // max_digits10 keeps the save/load round trip value-exact, matching
+      // the contract serializer.
+      std::ostringstream os;
+      os << std::setprecision(std::numeric_limits<double>::max_digits10)
+         << tenant.budget.cpu_utilization;
+      budget.attributes.emplace_back("cpu", os.str());
+    }
+    if (tenant.budget.memory_bytes != 0) {
+      budget.attributes.emplace_back("memory",
+                                     format_size(tenant.budget.memory_bytes));
+    }
+    node.children.push_back(std::move(budget));
+  }
+  for (const std::string& member : tenant.members) {
+    XmlNode m;
+    m.name = "Member";
+    m.attributes.emplace_back("name", member);
+    node.children.push_back(std::move(m));
+  }
+  for (const auto& e : tenant.exports) {
+    XmlNode x;
+    x.name = "Export";
+    x.attributes.emplace_back("capability", e.capability);
+    x.attributes.emplace_back("component", e.component);
+    x.attributes.emplace_back("interface", e.interface);
+    node.children.push_back(std::move(x));
+  }
+  for (const auto& i : tenant.imports) {
+    XmlNode x;
+    x.name = "Import";
+    x.attributes.emplace_back("capability", i.capability);
+    x.attributes.emplace_back("from", i.from_tenant);
+    node.children.push_back(std::move(x));
+  }
+  return node;
+}
+
 XmlNode serialize_nonfunctional(const Component& c) {
   XmlNode node;
   if (const auto* domain = dynamic_cast<const ThreadDomain*>(&c)) {
@@ -611,6 +709,9 @@ std::string save_architecture(const Architecture& arch) {
   }
   for (const model::ModeDecl& mode : arch.modes()) {
     root.children.push_back(serialize_mode(mode));
+  }
+  for (const model::TenantDecl& tenant : arch.tenants()) {
+    root.children.push_back(serialize_tenant(tenant));
   }
   return to_xml(root);
 }

@@ -85,15 +85,31 @@ struct ModeIR {
   std::vector<model::ModeRebind> rebinds;
 };
 
+/// A tenant as a union of whole nodes: membership, owned areas/domains,
+/// and budgets all derive from the node set at materialization time, so
+/// reload-target mutations (add/remove/re-period a component) keep the
+/// tenant declarations consistent without bookkeeping.
+struct TenantIR {
+  std::string name;
+  std::vector<std::size_t> nodes;
+};
+
 struct ArchIR {
   std::vector<AreaIR> areas;
   std::vector<DomainIR> domains;
   std::vector<CompIR> comps;
   std::vector<BindIR> binds;
   std::vector<ModeIR> modes;
+  std::vector<TenantIR> tenants;
 
   CompIR* find(const std::string& name) {
     for (CompIR& c : comps) {
+      if (c.name == name) return &c;
+    }
+    return nullptr;
+  }
+  const CompIR* find(const std::string& name) const {
+    for (const CompIR& c : comps) {
       if (c.name == name) return &c;
     }
     return nullptr;
@@ -180,6 +196,73 @@ model::Architecture materialize(const ArchIR& ir) {
     mode.rebinds = m.rebinds;
     arch.add_mode(std::move(mode));
   }
+  if (!ir.tenants.empty()) {
+    std::map<std::size_t, std::size_t> node_tenant;
+    for (std::size_t t = 0; t < ir.tenants.size(); ++t) {
+      for (const std::size_t node : ir.tenants[t].nodes) {
+        node_tenant.emplace(node, t);
+      }
+    }
+    std::vector<model::TenantDecl> decls(ir.tenants.size());
+    std::vector<double> utilization(ir.tenants.size(), 0.0);
+    for (std::size_t t = 0; t < ir.tenants.size(); ++t) {
+      decls[t].name = ir.tenants[t].name;
+    }
+    for (const CompIR& c : ir.comps) {
+      const auto it = node_tenant.find(c.node);
+      if (it == node_tenant.end()) continue;
+      decls[it->second].members.push_back(c.name);
+      if (c.active && c.rate_us > 0) {
+        utilization[it->second] += static_cast<double>(c.cost_us) /
+                                   static_cast<double>(c.rate_us);
+      }
+    }
+    // Memory budget: the exact sum of the tenant's node-local areas (owned
+    // areas are a subset, so the bound always holds); CPU budget: member
+    // utilization with 50% headroom, so a re-period mutation (which only
+    // ever halves load) can never trip TENANT-BUDGET-BOUNDS.
+    for (const AreaIR& a : ir.areas) {
+      const std::size_t dot = a.name.find('.');
+      RTCF_ASSERT(a.name.size() > 1 && a.name[0] == 'n' &&
+                  dot != std::string::npos);
+      const std::size_t node =
+          static_cast<std::size_t>(std::stoul(a.name.substr(1, dot - 1)));
+      const auto it = node_tenant.find(node);
+      if (it != node_tenant.end()) {
+        decls[it->second].budget.memory_bytes += a.size;
+      }
+    }
+    for (std::size_t t = 0; t < ir.tenants.size(); ++t) {
+      decls[t].budget.cpu_utilization = utilization[t] * 1.5 + 0.01;
+    }
+    // Every cross-tenant binding (async triggers may go cross-node, and a
+    // node boundary may be a tenant boundary) gets a matching capability
+    // route: the serving tenant exports the server port, the consuming
+    // tenant imports it.
+    for (const BindIR& b : ir.binds) {
+      const CompIR* client = ir.find(b.client);
+      const CompIR* server = ir.find(b.server);
+      RTCF_ASSERT(client != nullptr && server != nullptr);
+      const auto ct = node_tenant.find(client->node);
+      const auto st = node_tenant.find(server->node);
+      if (ct == node_tenant.end() || st == node_tenant.end() ||
+          ct->second == st->second) {
+        continue;
+      }
+      model::TenantDecl& serving = decls[st->second];
+      model::TenantDecl& consuming = decls[ct->second];
+      const std::string capability = "cap." + b.server + "." + b.sport;
+      if (serving.find_export(capability) == nullptr) {
+        serving.exports.push_back({capability, b.server, b.sport});
+      }
+      if (consuming.find_import(capability) == nullptr) {
+        consuming.imports.push_back({capability, serving.name});
+      }
+    }
+    for (model::TenantDecl& decl : decls) {
+      arch.add_tenant(std::move(decl));
+    }
+  }
   return arch;
 }
 
@@ -253,6 +336,31 @@ Scenario generate_scenario(std::uint64_t seed, const GenConfig& config) {
       config.min_nodes, config.max_nodes);
   for (std::size_t k = 0; k < nodes; ++k) {
     scenario.node_map.nodes.push_back("n" + std::to_string(k));
+  }
+
+  // Tenancy: 1-3 tenants, each owning a union of whole nodes. Whole-node
+  // ownership makes TENANT-AREA-SCOPED / TENANT-DOMAIN-EXCLUSIVE hold by
+  // construction (areas and domains are per-node), and reload mutations
+  // stay inside some tenant automatically. An independent RNG stream keeps
+  // every pre-tenancy draw — and so every previously pinned corpus seed's
+  // topology — byte-identical.
+  if (config.max_tenants > 0) {
+    Rng tenancy = root.split("tenancy");
+    static const char* kTenantNames[] = {"tenantA", "tenantB", "tenantC"};
+    const std::size_t count = tenancy.range(
+        1, std::min<std::size_t>({config.max_tenants, nodes, 3}));
+    ir.tenants.resize(count);
+    for (std::size_t t = 0; t < count; ++t) {
+      ir.tenants[t].name = kTenantNames[t];
+    }
+    for (std::size_t k = 0; k < nodes; ++k) {
+      // The first `count` nodes seed one tenant each (no empty tenants);
+      // the rest land anywhere.
+      const std::size_t t =
+          k < count ? k : static_cast<std::size_t>(
+                              tenancy.range(0, count - 1));
+      ir.tenants[t].nodes.push_back(k);
+    }
   }
 
   // Areas and domains are per-node composites: the cut can never tear one

@@ -18,7 +18,10 @@
 //   * every sporadic active has an incoming asynchronous trigger binding,
 //   * utilization is kept low enough that every mode passes RTA,
 //   * mode-managed and reload-mutated components are declared swappable,
-//   * rebinds are node-local onto same-signature same-area servers.
+//   * rebinds are node-local onto same-signature same-area servers,
+//   * tenants own whole nodes (scoping by construction), every
+//     cross-tenant binding gets a matching capability export/import, and
+//     budgets are derived from the members with headroom.
 // The drill (drill.hpp) still *checks* validate() + the DIST-* rules on
 // every generated plan — a generator that drifts out of the valid region
 // is itself a finding.
@@ -43,6 +46,10 @@ struct GenConfig {
   std::size_t min_components_per_node = 2;
   std::size_t max_components_per_node = 5;
   std::size_t max_ops = 3;
+  /// Upper bound on tenants per scenario (1-3 emitted; each tenant owns a
+  /// union of whole nodes, so area/domain scoping holds by construction).
+  /// 0 disables tenancy entirely.
+  std::size_t max_tenants = 3;
   /// Virtual-time horizon of one drill.
   rtsj::AbsoluteTime horizon =
       rtsj::AbsoluteTime() + rtsj::RelativeTime::milliseconds(250);

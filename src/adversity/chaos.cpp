@@ -17,7 +17,7 @@ const std::vector<FaultKind>& all_kinds() {
       FaultKind::NodeCrash,          FaultKind::ChannelDrop,
       FaultKind::ChannelDelay,       FaultKind::ChannelDuplicate,
       FaultKind::Straggler,          FaultKind::CoordCrashMidPrepare,
-      FaultKind::CoordCrashMidCommit,
+      FaultKind::CoordCrashMidCommit, FaultKind::TenantOverload,
   };
   return kinds;
 }
@@ -40,6 +40,8 @@ const char* to_string(FaultKind kind) noexcept {
       return "coord-prepare";
     case FaultKind::CoordCrashMidCommit:
       return "coord-commit";
+    case FaultKind::TenantOverload:
+      return "overload";
   }
   return "?";
 }
@@ -83,7 +85,8 @@ FaultMix FaultMix::parse(const std::string& csv) {
     if (!known) {
       throw std::invalid_argument("unknown fault kind '" + token +
                                   "' (known: crash,drop,delay,dup,"
-                                  "straggler,coord-prepare,coord-commit)");
+                                  "straggler,coord-prepare,coord-commit,"
+                                  "overload)");
     }
   }
   if (mix.kinds.empty()) return all();
@@ -122,6 +125,10 @@ std::string ControlFault::describe() const {
     case FaultKind::CoordCrashMidPrepare:
     case FaultKind::CoordCrashMidCommit:
       os << " op=" << op << " after=" << after << " frames";
+      break;
+    case FaultKind::TenantOverload:
+      os << " tenant=" << tenant
+         << " at=" << (at - AbsoluteTime()).to_micros() << "us";
       break;
   }
   return os.str();
@@ -209,6 +216,30 @@ FaultTimeline generate_timeline(const Scenario& scenario,
     timeline.control.push_back(std::move(fault));
   }
 
+  // Tenant overload is time-scoped like a crash: one tenant's envelope is
+  // driven bad mid-run, early enough that sheds are observable before the
+  // horizon. Drawn from the stream's tail so pre-tenancy fault schedules
+  // stay byte-identical for every existing seed.
+  std::vector<std::string> tenant_names;
+  for (const model::TenantDecl& tenant : scenario.arch.tenants()) {
+    tenant_names.push_back(tenant.name);
+  }
+  if (mix.has(FaultKind::TenantOverload) && !tenant_names.empty() &&
+      rng.chance(1, 3)) {
+    const std::int64_t horizon_us =
+        (scenario.horizon - AbsoluteTime()).to_micros();
+    ControlFault fault;
+    fault.kind = FaultKind::TenantOverload;
+    fault.tenant = rng.pick(tenant_names);
+    fault.at = AbsoluteTime() + RelativeTime::microseconds(
+                                    static_cast<std::int64_t>(rng.range(
+                                        static_cast<std::uint64_t>(
+                                            horizon_us / 5),
+                                        static_cast<std::uint64_t>(
+                                            horizon_us / 2))));
+    timeline.control.push_back(std::move(fault));
+  }
+
   // Single-kind mixes guarantee at least one fault of that kind — the
   // per-kind scripted drills rely on it.
   if (mix.kinds.size() == 1) {
@@ -220,7 +251,8 @@ FaultTimeline generate_timeline(const Scenario& scenario,
     const bool data_only = kind == FaultKind::ChannelDrop ||
                            kind == FaultKind::ChannelDelay ||
                            kind == FaultKind::ChannelDuplicate;
-    if (!present && !scenario.ops.empty()) {
+    if (!present && !scenario.ops.empty() &&
+        (kind != FaultKind::TenantOverload || !tenant_names.empty())) {
       ControlFault fault;
       fault.kind = kind;
       fault.op = 0;
@@ -228,6 +260,10 @@ FaultTimeline generate_timeline(const Scenario& scenario,
       switch (kind) {
         case FaultKind::NodeCrash:
           fault.at = AbsoluteTime() + RelativeTime::milliseconds(60);
+          break;
+        case FaultKind::TenantOverload:
+          fault.tenant = tenant_names.front();
+          fault.at = AbsoluteTime() + RelativeTime::milliseconds(50);
           break;
         case FaultKind::Straggler:
           fault.delay = RelativeTime::milliseconds(8);

@@ -34,6 +34,10 @@ enum class FaultKind {
                         ///< no decision exists; presumed abort territory.
   CoordCrashMidCommit,  ///< Coordinator dies between decision sends —
                         ///< the decision is durable; a standby finishes it.
+  TenantOverload,       ///< One tenant's contract windows go bad at a
+                        ///< virtual instant: its governor envelope
+                        ///< escalates to Shed. The TENANT-ISOLATION
+                        ///< invariant holds every *other* tenant harmless.
 };
 
 const char* to_string(FaultKind kind) noexcept;
@@ -64,7 +68,8 @@ struct ControlFault {
   rtsj::RelativeTime delay{};  ///< Straggler / ChannelDelay magnitude.
   std::size_t after = 0;       ///< Coordinator crashes: frames sent before
                                ///< dying.
-  rtsj::AbsoluteTime at{};     ///< NodeCrash instant.
+  rtsj::AbsoluteTime at{};     ///< NodeCrash / TenantOverload instant.
+  std::string tenant;          ///< TenantOverload: the envelope driven bad.
 
   std::string describe() const;
 };

@@ -13,6 +13,7 @@
 #include "dist/plan_codec.hpp"
 #include "dist/slice.hpp"
 #include "model/metamodel.hpp"
+#include "monitor/governor.hpp"
 #include "reconfig/sim_mirror.hpp"
 #include "runtime/content_registry.hpp"
 #include "sim/scheduler.hpp"
@@ -43,8 +44,14 @@ std::string DrillResult::summary() const {
   std::ostringstream os;
   os << "seed " << seed << " [" << mix.to_string() << "]: "
      << (passed ? "PASS" : "FAIL") << " (" << nodes << " nodes, "
-     << components << " components, " << ops_committed << "/" << ops_total
-     << " ops committed";
+     << components << " components, " << tenants << " tenant"
+     << (tenants == 1 ? "" : "s");
+  if (!overloaded_tenants.empty()) {
+    os << " [overloaded:";
+    for (const std::string& name : overloaded_tenants) os << " " << name;
+    os << "]";
+  }
+  os << ", " << ops_committed << "/" << ops_total << " ops committed";
   if (route_messages != 0) {
     os << ", " << route_messages << " bridged msgs, " << route_drops
        << " dropped, " << route_dups << " duplicated";
@@ -85,6 +92,7 @@ DrillResult run_drill(const DrillOptions& options) {
   result.components =
       scenario.arch.all_of<model::ActiveComponent>().size() +
       scenario.arch.all_of<model::PassiveComponent>().size();
+  result.tenants = scenario.arch.tenants().size();
   result.ops_total = scenario.ops.size();
 
   // 2. Register the generated content classes (the DELTA-CONTENT-UNKNOWN
@@ -185,6 +193,37 @@ DrillResult run_drill(const DrillOptions& options) {
     }
   }
 
+  // Per-tenant governance mirror: the same OverloadGovernor the wall-clock
+  // monitor drives, here fed by injected TenantOverload faults and gating
+  // every tenant-owned task's releases. Deterministic: gate verdicts
+  // depend only on per-task admission sequences and the tenant level at
+  // each virtual instant, so a red drill replays bit-for-bit.
+  monitor::OverloadGovernor governor;
+  std::map<std::string, std::size_t> tenant_ids;
+  std::map<std::string, std::string> component_tenant;
+  std::map<std::string, model::Criticality> component_crit;
+  const auto harvest_tenants = [&](const model::Architecture& arch) {
+    for (const model::TenantDecl& tenant : arch.tenants()) {
+      if (tenant_ids.count(tenant.name) == 0) {
+        tenant_ids.emplace(tenant.name,
+                           governor.add_tenant(tenant.name.c_str(),
+                                               tenant.criticality_floor));
+      }
+      for (const std::string& member : tenant.members) {
+        component_tenant[member] = tenant.name;
+      }
+    }
+    for (const auto* active : arch.all_of<model::ActiveComponent>()) {
+      if (active->criticality()) {
+        component_crit[active->name()] = *active->criticality();
+      }
+    }
+  };
+  harvest_tenants(scenario.arch);
+  for (const model::Architecture& target : scenario.reload_targets) {
+    harvest_tenants(target);
+  }
+
   // Node crashes: mass disablement of the node's tasks at the crash
   // instant (scheduled after the ops so delta-added tasks are covered).
   std::vector<bool> node_crashed(map.nodes.size(), false);
@@ -204,6 +243,68 @@ DrillResult run_drill(const DrillOptions& options) {
     }
     scheduler.schedule_mode_change(fault.at, mods);
   }
+
+  // Release gates for every tenant-owned task (set after the ops so
+  // delta-added tasks are covered too); the operator slice and synthesized
+  // gateways stay ungated.
+  std::map<std::string, std::size_t> governed;
+  for (const dist::NodeMirror& mirror : mirrors) {
+    for (const auto& [name, id] : mirror.mapping.tasks) {
+      const auto tenant_it = component_tenant.find(name);
+      if (tenant_it == component_tenant.end()) continue;
+      const auto crit_it = component_crit.find(name);
+      const model::Criticality crit = crit_it == component_crit.end()
+                                          ? model::Criticality::Low
+                                          : crit_it->second;
+      const std::size_t gid = governor.add_component(
+          tenant_it->first.c_str(), crit, tenant_ids.at(tenant_it->second));
+      governed.emplace(name, gid);
+      scheduler.set_release_gate(
+          id, [&governor, gid](sim::TaskId, std::uint64_t) {
+            return governor.admit_release(gid) ==
+                   monitor::OverloadGovernor::Admission::Run;
+          });
+    }
+  }
+
+  // Injected overloads, ordered: at each instant the targeted tenant's
+  // first Low-criticality member delivers enough bad contract windows to
+  // escalate its envelope to Shed.
+  struct OverloadEvent {
+    AbsoluteTime t;
+    std::string tenant;
+  };
+  std::vector<OverloadEvent> overload_events;
+  for (const ControlFault& fault : timeline.control) {
+    if (fault.kind != FaultKind::TenantOverload) continue;
+    if (fault.at > scenario.horizon) continue;
+    overload_events.push_back({fault.at, fault.tenant});
+  }
+  std::stable_sort(overload_events.begin(), overload_events.end(),
+                   [](const OverloadEvent& a, const OverloadEvent& b) {
+                     return a.t < b.t;
+                   });
+  std::set<std::string> overloaded_tenants;
+  std::size_t next_overload = 0;
+  const auto drive_overloads_until = [&](AbsoluteTime t) {
+    for (; next_overload < overload_events.size() &&
+           overload_events[next_overload].t <= t;
+         ++next_overload) {
+      const OverloadEvent& event = overload_events[next_overload];
+      scheduler.run_until(event.t);
+      for (const auto& [name, gid] : governed) {
+        if (component_tenant.at(name) != event.tenant) continue;
+        if (governor.component_criticality(gid) !=
+            model::Criticality::Low) {
+          continue;
+        }
+        // Two bad windows per escalation step, two steps to Shed.
+        for (int i = 0; i < 4; ++i) governor.on_window_violated(gid);
+        overloaded_tenants.insert(event.tenant);
+        break;
+      }
+    }
+  };
 
   // Workload: arrival posts stepped through virtual time in order, so the
   // sporadic MIT accounting matches the generator's burst script.
@@ -230,9 +331,11 @@ DrillResult run_drill(const DrillOptions& options) {
   std::stable_sort(posts.begin(), posts.end(),
                    [](const Post& a, const Post& b) { return a.t < b.t; });
   for (const Post& post : posts) {
+    drive_overloads_until(post.t);
     scheduler.run_until(post.t);
     scheduler.post_arrival(post.task, post.t);
   }
+  drive_overloads_until(scenario.horizon);
   scheduler.run_until(scenario.horizon);
   result.route_messages = *messages;
   result.route_drops = *drops;
@@ -258,12 +361,18 @@ DrillResult run_drill(const DrillOptions& options) {
       SimAudit::TaskSample sample;
       sample.node = map.nodes[k];
       sample.component = name;
+      const auto tenant_it = component_tenant.find(name);
+      if (tenant_it != component_tenant.end()) {
+        sample.tenant = tenant_it->second;
+        sample.tenant_overloaded =
+            overloaded_tenants.count(tenant_it->second) != 0;
+      }
       sample.sporadic = config.release != rtsj::ReleaseKind::Periodic;
       sample.untouched_periodic =
           !sample.sporadic && !node_crashed[k] &&
           mode_managed.count(name) == 0 &&
           delta_touched[k].count(name) == 0 &&
-          name.rfind("__gw", 0) != 0;
+          name.rfind("__gw", 0) != 0 && !sample.tenant_overloaded;
       sample.arrivals_posted = stats.arrivals_posted;
       sample.rejected_arrivals = stats.rejected_arrivals;
       sample.disabled_arrivals = stats.disabled_arrivals;
@@ -274,6 +383,12 @@ DrillResult run_drill(const DrillOptions& options) {
       sample.deadline_misses = stats.deadline_misses;
       audit.tasks.push_back(std::move(sample));
     }
+  }
+  audit.overloaded_tenants.assign(overloaded_tenants.begin(),
+                                  overloaded_tenants.end());
+  result.overloaded_tenants = audit.overloaded_tenants;
+  for (const auto& decision : governor.decisions()) {
+    audit.governor_transition_tenants.push_back(decision.tenant);
   }
   check_sim(audit, result.violations);
 

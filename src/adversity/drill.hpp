@@ -53,6 +53,9 @@ struct DrillResult {
   std::vector<std::string> proto_log;   ///< Per-op event log (trace only).
   std::size_t nodes = 0;
   std::size_t components = 0;
+  std::size_t tenants = 0;
+  /// Tenants an injected overload actually escalated (replay-audited).
+  std::vector<std::string> overloaded_tenants;
   std::size_t ops_total = 0;
   std::size_t ops_committed = 0;
   std::uint64_t route_messages = 0;  ///< Bridged deliveries attempted.

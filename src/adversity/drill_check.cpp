@@ -8,6 +8,7 @@
 #include "model/assembly_plan.hpp"
 #include "soleil/plan.hpp"
 #include "validate/distribution.hpp"
+#include "validate/tenancy.hpp"
 #include "validate/validator.hpp"
 
 namespace rtcf::adversity {
@@ -22,9 +23,17 @@ void check_one_valid(const model::Architecture& arch,
                      const validate::NodeMap& map, const std::string& label,
                      std::vector<Violation>& out) {
   validate::Report report = validate::validate(arch);
-  const validate::Report dist_report = validate::validate_distribution(
-      soleil::snapshot_assembly(arch, /*partitions=*/1), map);
+  const model::AssemblyPlan plan =
+      soleil::snapshot_assembly(arch, /*partitions=*/1);
+  const validate::Report dist_report =
+      validate::validate_distribution(plan, map);
   for (const validate::Diagnostic& d : dist_report.diagnostics()) {
+    report.add(d.severity, d.rule, d.subject, d.message);
+  }
+  // The TENANT-* rule family rides the same gate: a generated tenant
+  // topology that breaks isolation is a generator bug.
+  const validate::Report tenancy_report = validate::validate_tenancy(plan);
+  for (const validate::Diagnostic& d : tenancy_report.diagnostics()) {
     report.add(d.severity, d.rule, d.subject, d.message);
   }
   if (report.ok()) return;
@@ -171,6 +180,22 @@ void check_protocol(const ProtoResult& proto, std::vector<Violation>& out) {
 }
 
 void check_sim(const SimAudit& audit, std::vector<Violation>& out) {
+  const auto overloaded = [&audit](const std::string& tenant) {
+    for (const std::string& name : audit.overloaded_tenants) {
+      if (name == tenant) return true;
+    }
+    return false;
+  };
+  // TENANT-ISOLATION, governor side: degradation decisions may only name
+  // tenants an overload fault actually targeted.
+  for (const std::string& tenant : audit.governor_transition_tenants) {
+    if (!overloaded(tenant)) {
+      out.push_back({"TENANT-ISOLATION", tenant.empty() ? "<default>"
+                                                        : tenant,
+                     "governor level transition for a tenant no overload "
+                     "fault targeted"});
+    }
+  }
   for (const SimAudit::TaskSample& t : audit.tasks) {
     const std::string label = t.node + "/" + t.component;
     if (t.sporadic) {
@@ -192,6 +217,15 @@ void check_sim(const SimAudit& audit, std::vector<Violation>& out) {
                      std::to_string(t.deadline_misses) +
                          " deadline miss(es) on a component no fault, "
                          "mode, or delta touched"});
+    }
+    // TENANT-ISOLATION, task side: a bystander tenant's releases are
+    // never shed, whatever happened in the overloaded tenant.
+    if (!t.tenant.empty() && !t.tenant_overloaded && t.shed_releases != 0) {
+      out.push_back({"TENANT-ISOLATION", label,
+                     std::to_string(t.shed_releases) +
+                         " release(s) of tenant '" + t.tenant +
+                         "' shed while only other tenants were "
+                         "overloaded"});
     }
   }
 }

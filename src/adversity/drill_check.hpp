@@ -27,6 +27,12 @@
 //                             declared drop policies)
 //   SIM-DEADLINE-UNTOUCHED    periodic tasks on live nodes that no mode,
 //                             delta, or fault touches miss no deadline
+//   TENANT-ISOLATION          overload injected into tenant A stays in
+//                             tenant A: a task of a tenant that was never
+//                             overload-targeted sheds no release, and the
+//                             governor records no level transition for
+//                             such a tenant — degradation never crosses
+//                             the tenant boundary
 #pragma once
 
 #include <cstdint>
@@ -70,9 +76,14 @@ struct SimAudit {
   struct TaskSample {
     std::string node;
     std::string component;
+    /// Owning tenant; empty for the operator slice (gateways included).
+    std::string tenant;
+    /// True when an injected TenantOverload targeted this task's tenant.
+    bool tenant_overloaded = false;
     bool sporadic = false;
     /// Periodic, on a live node, untouched by every mode, committed
-    /// delta, and gateway role — the no-deadline-miss population.
+    /// delta, gateway role, and tenant overload — the no-deadline-miss
+    /// population.
     bool untouched_periodic = false;
     std::uint64_t arrivals_posted = 0;
     std::uint64_t rejected_arrivals = 0;
@@ -84,9 +95,15 @@ struct SimAudit {
     std::uint64_t deadline_misses = 0;
   };
   std::vector<TaskSample> tasks;
+  /// Tenants an injected TenantOverload fault actually escalated.
+  std::vector<std::string> overloaded_tenants;
+  /// Tenant of every governor level transition the replay recorded, in
+  /// decision order ("" = the implicit default envelope).
+  std::vector<std::string> governor_transition_tenants;
 };
 
-/// SIM-CONSERVATION and SIM-DEADLINE-UNTOUCHED over a replay audit.
+/// SIM-CONSERVATION, SIM-DEADLINE-UNTOUCHED, and TENANT-ISOLATION over a
+/// replay audit.
 void check_sim(const SimAudit& audit, std::vector<Violation>& out);
 
 }  // namespace rtcf::adversity

@@ -145,6 +145,84 @@ ModeDecl read_mode(WireReader& r) {
   return mode;
 }
 
+void write_string_list(WireWriter& w, const std::vector<std::string>& list) {
+  w.u32(static_cast<std::uint32_t>(list.size()));
+  for (const auto& s : list) w.str(s);
+}
+
+std::vector<std::string> read_string_list(WireReader& r, const char* what) {
+  const std::uint32_t count = r.u32();
+  require_count(r, count, 4, what);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) out.push_back(r.str());
+  return out;
+}
+
+void write_tenant(WireWriter& w, const model::TenantSpec& tenant) {
+  const std::size_t block = w.begin_block();
+  w.str(tenant.name);
+  w.f64(tenant.budget.cpu_utilization);
+  w.u64(tenant.budget.memory_bytes);
+  w.u8(static_cast<std::uint8_t>(tenant.criticality_floor));
+  write_string_list(w, tenant.components);
+  write_string_list(w, tenant.areas);
+  write_string_list(w, tenant.domains);
+  w.u32(static_cast<std::uint32_t>(tenant.exports.size()));
+  for (const auto& e : tenant.exports) {
+    const std::size_t entry = w.begin_block();
+    w.str(e.capability);
+    w.str(e.component);
+    w.str(e.interface);
+    w.end_block(entry);
+  }
+  w.u32(static_cast<std::uint32_t>(tenant.imports.size()));
+  for (const auto& i : tenant.imports) {
+    const std::size_t entry = w.begin_block();
+    w.str(i.capability);
+    w.str(i.from_tenant);
+    w.end_block(entry);
+  }
+  // adl_line is deliberately not encoded: it is diagnostic source context,
+  // and keeping it out preserves byte-agreement between a freshly planned
+  // tenant and one round-tripped through the wire.
+  w.end_block(block);
+}
+
+model::TenantSpec read_tenant(WireReader& r) {
+  WireReader b = r.block();
+  model::TenantSpec tenant;
+  tenant.name = b.str();
+  tenant.budget.cpu_utilization = b.f64();
+  tenant.budget.memory_bytes = static_cast<std::size_t>(b.u64());
+  tenant.criticality_floor = static_cast<model::Criticality>(b.u8());
+  tenant.components = read_string_list(b, "tenant component");
+  tenant.areas = read_string_list(b, "tenant area");
+  tenant.domains = read_string_list(b, "tenant domain");
+  const std::uint32_t exports = b.u32();
+  require_count(b, exports, 4, "tenant export");
+  tenant.exports.reserve(exports);
+  for (std::uint32_t i = 0; i < exports; ++i) {
+    WireReader e = b.block();
+    model::CapabilityExport x;
+    x.capability = e.str();
+    x.component = e.str();
+    x.interface = e.str();
+    tenant.exports.push_back(std::move(x));
+  }
+  const std::uint32_t imports = b.u32();
+  require_count(b, imports, 4, "tenant import");
+  tenant.imports.reserve(imports);
+  for (std::uint32_t i = 0; i < imports; ++i) {
+    WireReader e = b.block();
+    model::CapabilityImport x;
+    x.capability = e.str();
+    x.from_tenant = e.str();
+    tenant.imports.push_back(std::move(x));
+  }
+  return tenant;
+}
+
 void write_setting(WireWriter& w, const SettingDelta& s) {
   const std::size_t block = w.begin_block();
   w.str(s.component);
@@ -295,6 +373,8 @@ std::vector<std::uint8_t> encode_plan(const AssemblyPlan& plan) {
   }
   w.u32(static_cast<std::uint32_t>(plan.modes().size()));
   for (const auto& mode : plan.modes()) write_mode(w, mode);
+  w.u32(static_cast<std::uint32_t>(plan.tenants().size()));
+  for (const auto& tenant : plan.tenants()) write_tenant(w, tenant);
   w.u64(plan.partition_count());
   return w.take();
 }
@@ -332,6 +412,12 @@ AssemblyPlan decode_plan(const std::vector<std::uint8_t>& data) {
   builder.modes().reserve(modes);
   for (std::uint32_t i = 0; i < modes; ++i) {
     builder.modes().push_back(read_mode(r));
+  }
+  const std::uint32_t tenants = r.u32();
+  require_count(r, tenants, 4, "tenant");
+  builder.tenants().reserve(tenants);
+  for (std::uint32_t i = 0; i < tenants; ++i) {
+    builder.tenants().push_back(read_tenant(r));
   }
   builder.set_partition_count(static_cast<std::size_t>(r.u64()));
   return plan;

@@ -31,8 +31,10 @@ namespace rtcf::dist {
 
 /// Codec version stamped after the magic of every encoded plan/delta.
 /// Decoders reject other versions; *compatible* evolution appends fields
-/// inside existing blocks instead of bumping this.
-inline constexpr std::uint16_t kCodecVersion = 1;
+/// inside existing blocks instead of bumping this. Version 2 added the
+/// tenant table to encoded plans (a new top-level count, so version-1
+/// decoders cannot skip it).
+inline constexpr std::uint16_t kCodecVersion = 2;
 
 /// Magic tag opening an encoded AssemblyPlan ("RTAP", little-endian).
 inline constexpr std::uint32_t kPlanMagic = 0x50415452u;

@@ -29,9 +29,46 @@ bool BindingSpec::operator==(const BindingSpec& o) const {
          buffer_area == o.buffer_area && cross_partition == o.cross_partition;
 }
 
+bool TenantSpec::owns_component(const std::string& component) const noexcept {
+  for (const auto& c : components) {
+    if (c == component) return true;
+  }
+  return false;
+}
+
+bool TenantSpec::owns_area(const std::string& area) const noexcept {
+  for (const auto& a : areas) {
+    if (a == area) return true;
+  }
+  return false;
+}
+
+const CapabilityExport* TenantSpec::find_export(
+    const std::string& capability) const noexcept {
+  for (const auto& e : exports) {
+    if (e.capability == capability) return &e;
+  }
+  return nullptr;
+}
+
+const CapabilityImport* TenantSpec::find_import(
+    const std::string& capability) const noexcept {
+  for (const auto& i : imports) {
+    if (i.capability == capability) return &i;
+  }
+  return nullptr;
+}
+
+bool TenantSpec::operator==(const TenantSpec& o) const {
+  return name == o.name && budget == o.budget &&
+         criticality_floor == o.criticality_floor &&
+         components == o.components && areas == o.areas &&
+         domains == o.domains && exports == o.exports && imports == o.imports;
+}
+
 bool AssemblyPlan::operator==(const AssemblyPlan& o) const {
   return components_ == o.components_ && bindings_ == o.bindings_ &&
-         areas_ == o.areas_ && modes_ == o.modes_ &&
+         areas_ == o.areas_ && modes_ == o.modes_ && tenants_ == o.tenants_ &&
          partition_count_ == o.partition_count_;
 }
 
@@ -79,6 +116,22 @@ bool AssemblyPlan::mode_managed(const std::string& component) const noexcept {
     if (m.find(component) != nullptr) return true;
   }
   return false;
+}
+
+const TenantSpec* AssemblyPlan::find_tenant(const std::string& name) const
+    noexcept {
+  for (const auto& t : tenants_) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+const TenantSpec* AssemblyPlan::tenant_of(const std::string& component) const
+    noexcept {
+  for (const auto& t : tenants_) {
+    if (t.owns_component(component)) return &t;
+  }
+  return nullptr;
 }
 
 ComponentSpec* AssemblyPlanBuilder::find(const std::string& name) {

@@ -137,6 +137,51 @@ struct AreaSpec {
   bool operator!=(const AreaSpec& o) const { return !(*this == o); }
 };
 
+/// Value snapshot of one tenant with its membership fully resolved: the
+/// planner expands MemoryArea/ThreadDomain members into the functional
+/// components they enclose, so downstream consumers (validator, admission
+/// controller, governor wiring, sim mirror) never re-walk the component
+/// DAG.
+struct TenantSpec {
+  /// Tenant name (unique within the assembly).
+  std::string name;
+  /// Declared resource envelope.
+  TenantBudget budget;
+  /// Criticality floor applied to every member for governor purposes.
+  Criticality criticality_floor = Criticality::Low;
+  /// Functional member components (expanded; sorted by name).
+  std::vector<std::string> components;
+  /// MemoryArea members (declared directly or enclosing a member; sorted).
+  std::vector<std::string> areas;
+  /// ThreadDomain members (declared directly or enclosing a member;
+  /// sorted).
+  std::vector<std::string> domains;
+  /// Capabilities offered to other tenants.
+  std::vector<CapabilityExport> exports;
+  /// Capabilities consumed from other tenants.
+  std::vector<CapabilityImport> imports;
+  /// 1-based ADL source line of the `<Tenant>` element (0 when built
+  /// programmatically). Diagnostic context only: excluded from operator==
+  /// and from the wire codec, so it never perturbs plan agreement.
+  int adl_line = 0;
+
+  /// True when `component` is an (expanded) member.
+  bool owns_component(const std::string& component) const noexcept;
+  /// True when `area` is an owned MemoryArea.
+  bool owns_area(const std::string& area) const noexcept;
+  /// The export named `capability`, or nullptr.
+  const CapabilityExport* find_export(
+      const std::string& capability) const noexcept;
+  /// The import named `capability`, or nullptr.
+  const CapabilityImport* find_import(
+      const std::string& capability) const noexcept;
+
+  /// Field-wise equality over the resolved slice (adl_line excluded).
+  bool operator==(const TenantSpec& o) const;
+  /// Negation of operator==.
+  bool operator!=(const TenantSpec& o) const { return !(*this == o); }
+};
+
 /// The immutable snapshot. Construction goes through the planner
 /// (soleil::snapshot_assembly); everything here is plain value data.
 class AssemblyPlan {
@@ -156,6 +201,9 @@ class AssemblyPlan {
   const std::vector<AreaSpec>& areas() const noexcept { return areas_; }
   /// Operational modes, in declaration order.
   const std::vector<ModeDecl>& modes() const noexcept { return modes_; }
+  /// Tenants with resolved membership, in declaration order (empty for a
+  /// single-tenant assembly).
+  const std::vector<TenantSpec>& tenants() const noexcept { return tenants_; }
   /// Number of executive partitions the components are assigned across.
   std::size_t partition_count() const noexcept { return partition_count_; }
 
@@ -172,9 +220,13 @@ class AssemblyPlan {
   const ModeDecl* degraded_mode() const noexcept;
   /// True when `component` appears in at least one mode's component set.
   bool mode_managed(const std::string& component) const noexcept;
+  /// The tenant named `name`, or nullptr.
+  const TenantSpec* find_tenant(const std::string& name) const noexcept;
+  /// The tenant owning `component`, or nullptr for tenantless components.
+  const TenantSpec* tenant_of(const std::string& component) const noexcept;
 
-  /// Deep field-wise equality (component, binding, area, and mode lists in
-  /// order, plus the partition count). Two plans produced by the same
+  /// Deep field-wise equality (component, binding, area, mode, and tenant
+  /// lists in order, plus the partition count). Two plans produced by the same
   /// planner inputs — or one plan round-tripped through the wire codec —
   /// compare equal.
   bool operator==(const AssemblyPlan& o) const;
@@ -187,6 +239,7 @@ class AssemblyPlan {
   std::vector<BindingSpec> bindings_;
   std::vector<AreaSpec> areas_;
   std::vector<ModeDecl> modes_;
+  std::vector<TenantSpec> tenants_;
   std::size_t partition_count_ = 1;
 };
 
@@ -205,6 +258,8 @@ struct AssemblyPlanBuilder {
   std::vector<AreaSpec>& areas() { return plan.areas_; }
   /// Mutable mode list.
   std::vector<ModeDecl>& modes() { return plan.modes_; }
+  /// Mutable tenant list.
+  std::vector<TenantSpec>& tenants() { return plan.tenants_; }
   /// Sets the executive partition count (0 is clamped to 1).
   void set_partition_count(std::size_t count) {
     plan.partition_count_ = count == 0 ? 1 : count;

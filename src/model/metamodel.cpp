@@ -74,6 +74,26 @@ const ModeComponentConfig* ModeDecl::find(
   return nullptr;
 }
 
+bool TenantDecl::has_member(const std::string& component) const noexcept {
+  return std::find(members.begin(), members.end(), component) != members.end();
+}
+
+const CapabilityExport* TenantDecl::find_export(
+    const std::string& capability) const noexcept {
+  for (const auto& e : exports) {
+    if (e.capability == capability) return &e;
+  }
+  return nullptr;
+}
+
+const CapabilityImport* TenantDecl::find_import(
+    const std::string& capability) const noexcept {
+  for (const auto& i : imports) {
+    if (i.capability == capability) return &i;
+  }
+  return nullptr;
+}
+
 bool Component::has_ancestor(const Component* ancestor) const {
   for (const Component* super : supers_) {
     if (super == ancestor || super->has_ancestor(ancestor)) return true;
@@ -153,6 +173,41 @@ ModeDecl& Architecture::add_mode(ModeDecl mode) {
                "duplicate mode name '" + mode.name + "'");
   modes_.push_back(std::move(mode));
   return modes_.back();
+}
+
+TenantDecl& Architecture::add_tenant(TenantDecl tenant) {
+  RTCF_REQUIRE(!tenant.name.empty(), "tenant needs a name");
+  RTCF_REQUIRE(find_tenant(tenant.name) == nullptr,
+               "duplicate tenant name '" + tenant.name + "'");
+  tenants_.push_back(std::move(tenant));
+  return tenants_.back();
+}
+
+const TenantDecl* Architecture::find_tenant(
+    const std::string& name) const noexcept {
+  for (const auto& tenant : tenants_) {
+    if (tenant.name == name) return &tenant;
+  }
+  return nullptr;
+}
+
+const TenantDecl* Architecture::tenant_of(
+    const std::string& component) const noexcept {
+  for (const auto& tenant : tenants_) {
+    if (tenant.has_member(component)) return &tenant;
+  }
+  // Indirect membership: a component enclosed by a member MemoryArea or
+  // ThreadDomain belongs to that composite's tenant.
+  const Component* c = find(component);
+  if (c == nullptr) return nullptr;
+  for (const auto& tenant : tenants_) {
+    for (const auto& member : tenant.members) {
+      const Component* composite = find(member);
+      if (composite == nullptr || composite->is_functional()) continue;
+      if (c->has_ancestor(composite)) return &tenant;
+    }
+  }
+  return nullptr;
 }
 
 const ModeDecl* Architecture::find_mode(

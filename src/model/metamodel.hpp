@@ -144,6 +144,115 @@ struct ModeDecl {
   bool operator!=(const ModeDecl& o) const { return !(*this == o); }
 };
 
+/// Resource envelope of one tenant (the ADL `<Tenant><Budget>` element).
+/// The validator's TENANT-BUDGET-BOUNDS rule checks the declared envelope
+/// against the tenant's members, and the per-tenant overload governor
+/// enforces it at runtime: a tenant that exceeds its envelope is degraded
+/// strictly within its own member set.
+struct TenantBudget {
+  /// CPU budget as a utilization fraction (sum of member cost/period must
+  /// fit). Zero means unbudgeted — the tenant may use whatever RTA admits.
+  double cpu_utilization = 0.0;
+  /// Memory budget in bytes (sum of owned area sizes must fit). Zero means
+  /// unbudgeted.
+  std::size_t memory_bytes = 0;
+
+  /// Field-wise equality (budgets are value data for the wire codec).
+  bool operator==(const TenantBudget& o) const {
+    return cpu_utilization == o.cpu_utilization &&
+           memory_bytes == o.memory_bytes;
+  }
+  /// Negation of operator==.
+  bool operator!=(const TenantBudget& o) const { return !(*this == o); }
+};
+
+/// A capability a tenant offers to other tenants (the ADL
+/// `<Tenant><Export>` element): a named route to one server interface of a
+/// member component. Cross-tenant bindings are only legal through a
+/// matching export/import pair (TENANT-CAPABILITY-ROUTED).
+struct CapabilityExport {
+  /// Capability name, unique within the exporting tenant.
+  std::string capability;
+  /// Member component providing the capability.
+  std::string component;
+  /// Server interface on that component.
+  std::string interface;
+
+  /// Field-wise equality.
+  bool operator==(const CapabilityExport& o) const {
+    return capability == o.capability && component == o.component &&
+           interface == o.interface;
+  }
+  /// Negation of operator==.
+  bool operator!=(const CapabilityExport& o) const { return !(*this == o); }
+};
+
+/// A capability a tenant consumes from another tenant (the ADL
+/// `<Tenant><Import>` element). The named tenant must export a capability
+/// of the same name; members of the importing tenant may then bind to the
+/// exported interface.
+struct CapabilityImport {
+  /// Capability name, matching an export of `from_tenant`.
+  std::string capability;
+  /// Exporting tenant.
+  std::string from_tenant;
+
+  /// Field-wise equality.
+  bool operator==(const CapabilityImport& o) const {
+    return capability == o.capability && from_tenant == o.from_tenant;
+  }
+  /// Negation of operator==.
+  bool operator!=(const CapabilityImport& o) const { return !(*this == o); }
+};
+
+/// One tenant of a multi-tenant assembly (the ADL `<Tenant>` element): a
+/// named slice of the architecture — member components, memory areas, and
+/// thread domains — with a resource budget, a criticality floor, and the
+/// capabilities it exports to / imports from other tenants.
+///
+/// Members are listed by component name; listing a MemoryArea or
+/// ThreadDomain pulls every component it encloses into the tenant.
+/// Components never listed belong to no tenant (the "operator" slice) and
+/// keep the pre-tenancy free-binding semantics among themselves.
+struct TenantDecl {
+  /// Tenant name (unique within the assembly).
+  std::string name;
+  /// Declared resource envelope.
+  TenantBudget budget;
+  /// Criticality floor: members run at at least this criticality for
+  /// governor purposes, whatever they individually declare.
+  Criticality criticality_floor = Criticality::Low;
+  /// Member names (functional components, MemoryAreas, ThreadDomains).
+  std::vector<std::string> members;
+  /// Capabilities offered to other tenants.
+  std::vector<CapabilityExport> exports;
+  /// Capabilities consumed from other tenants.
+  std::vector<CapabilityImport> imports;
+  /// 1-based ADL source line of the `<Tenant>` element (0 when the tenant
+  /// was built programmatically). Diagnostic only: excluded from
+  /// operator== so it never perturbs plan agreement.
+  int adl_line = 0;
+
+  /// True when `component` is listed as a direct member.
+  bool has_member(const std::string& component) const noexcept;
+  /// The export named `capability`, or nullptr.
+  const CapabilityExport* find_export(
+      const std::string& capability) const noexcept;
+  /// The import named `capability`, or nullptr.
+  const CapabilityImport* find_import(
+      const std::string& capability) const noexcept;
+
+  /// Field-wise equality over the declaration (adl_line excluded — it is
+  /// diagnostic context, not identity).
+  bool operator==(const TenantDecl& o) const {
+    return name == o.name && budget == o.budget &&
+           criticality_floor == o.criticality_floor && members == o.members &&
+           exports == o.exports && imports == o.imports;
+  }
+  /// Negation of operator==.
+  bool operator!=(const TenantDecl& o) const { return !(*this == o); }
+};
+
 const char* to_string(ComponentKind k) noexcept;
 const char* to_string(ActivationKind k) noexcept;
 const char* to_string(InterfaceRole r) noexcept;
@@ -370,6 +479,11 @@ class Architecture {
   /// first mode is the initial mode of a launched assembly.
   ModeDecl& add_mode(ModeDecl mode);
 
+  /// Declares a tenant. Tenant names must be unique; membership rules
+  /// (exclusivity, area/domain scoping) are the validator's TENANT-*
+  /// family, not construction-time checks.
+  TenantDecl& add_tenant(TenantDecl tenant);
+
   // ---- queries ----------------------------------------------------------
   Component* find(const std::string& name) const noexcept;
   /// find() + kind check; throws std::invalid_argument on mismatch.
@@ -418,6 +532,14 @@ class Architecture {
   /// i.e. mode transitions may quiesce or reconfigure it.
   bool mode_managed(const std::string& component) const noexcept;
 
+  /// Declared tenants, in declaration order.
+  const std::vector<TenantDecl>& tenants() const noexcept { return tenants_; }
+  /// The tenant named `name`, or nullptr.
+  const TenantDecl* find_tenant(const std::string& name) const noexcept;
+  /// The tenant owning `component` — directly, or through an enclosing
+  /// MemoryArea/ThreadDomain member — or nullptr for tenantless components.
+  const TenantDecl* tenant_of(const std::string& component) const noexcept;
+
  private:
   template <typename T, typename... Args>
   T& emplace(Args&&... args);
@@ -425,6 +547,7 @@ class Architecture {
   std::vector<std::unique_ptr<Component>> components_;
   std::vector<Binding> bindings_;
   std::vector<ModeDecl> modes_;
+  std::vector<TenantDecl> tenants_;
 };
 
 }  // namespace rtcf::model

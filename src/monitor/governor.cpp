@@ -23,13 +23,39 @@ OverloadGovernor::OverloadGovernor(Options options) : options_(options) {
   if (options_.clear_windows == 0) options_.clear_windows = 1;
   if (options_.rate_limit_divisor < 2) options_.rate_limit_divisor = 2;
   decisions_.reserve(64);  // Transitions are rare; avoid hot-path growth.
+  // Tenant 0: the implicit default envelope every pre-tenancy caller
+  // registers into. A Low floor keeps the original semantics — declared
+  // component criticality alone decides who is degradable.
+  tenants_.emplace_back("", model::Criticality::Low);
+}
+
+std::size_t OverloadGovernor::add_tenant(const char* name,
+                                         model::Criticality floor) {
+  RTCF_REQUIRE(name != nullptr, "governor tenant needs a name");
+  tenants_.emplace_back(name, floor);
+  return tenants_.size() - 1;
 }
 
 std::size_t OverloadGovernor::add_component(const char* name,
                                             model::Criticality criticality) {
+  return add_component(name, criticality, 0);
+}
+
+std::size_t OverloadGovernor::add_component(const char* name,
+                                            model::Criticality criticality,
+                                            std::size_t tenant) {
   RTCF_REQUIRE(name != nullptr, "governor component needs a name");
-  components_.emplace_back(name, criticality);
+  RTCF_REQUIRE(tenant < tenants_.size(),
+               "governor component registered under unknown tenant");
+  components_.emplace_back(name, criticality, tenant);
   return components_.size() - 1;
+}
+
+model::Criticality OverloadGovernor::effective_criticality(
+    const ComponentState& c) const noexcept {
+  const model::Criticality floor = tenants_[c.tenant].floor;
+  return floor == model::Criticality::High ? model::Criticality::High
+                                           : c.criticality;
 }
 
 OverloadGovernor::Admission OverloadGovernor::admit_release(
@@ -37,10 +63,10 @@ OverloadGovernor::Admission OverloadGovernor::admit_release(
   ComponentState& c = components_[id];
   const std::uint64_t seq =
       c.admissions.fetch_add(1, std::memory_order_relaxed);
-  const auto level =
-      static_cast<GovernorLevel>(level_.load(std::memory_order_relaxed));
+  const auto level = static_cast<GovernorLevel>(
+      tenants_[c.tenant].level.load(std::memory_order_relaxed));
   if (level == GovernorLevel::Normal ||
-      c.criticality == model::Criticality::High) {
+      effective_criticality(c) == model::Criticality::High) {
     return Admission::Run;
   }
   if (level == GovernorLevel::RateLimit) {
@@ -52,17 +78,21 @@ OverloadGovernor::Admission OverloadGovernor::admit_release(
 
 void OverloadGovernor::on_window_violated(std::size_t id) {
   ComponentState& c = components_[id];
+  // A High-floor tenant has no degradable members: escalating its level
+  // could never shed anything, so violations there stay telemetry-only
+  // and the decision log records no phantom transitions.
+  if (tenants_[c.tenant].floor == model::Criticality::High) return;
   c.clean_streak = 0;
   ++c.violated_streak;
   if (c.violated_streak < options_.sustain_windows) return;
   c.violated_streak = 0;  // Re-arm for the next escalation step.
   c.violator.store(true, std::memory_order_relaxed);
-  const auto level =
-      static_cast<GovernorLevel>(level_.load(std::memory_order_relaxed));
+  const auto level = static_cast<GovernorLevel>(
+      tenants_[c.tenant].level.load(std::memory_order_relaxed));
   if (level == GovernorLevel::Normal) {
-    transition(GovernorLevel::RateLimit, c.name);
+    transition(c.tenant, GovernorLevel::RateLimit, c.name);
   } else if (level == GovernorLevel::RateLimit) {
-    transition(GovernorLevel::Shed, c.name);
+    transition(c.tenant, GovernorLevel::Shed, c.name);
   }
 }
 
@@ -73,23 +103,41 @@ void OverloadGovernor::on_window_clean(std::size_t id) {
   ++c.clean_streak;
   if (c.clean_streak < options_.clear_windows) return;
   c.clean_streak = 0;
-  const auto level =
-      static_cast<GovernorLevel>(level_.load(std::memory_order_relaxed));
+  const auto level = static_cast<GovernorLevel>(
+      tenants_[c.tenant].level.load(std::memory_order_relaxed));
   if (level == GovernorLevel::Shed) {
-    transition(GovernorLevel::RateLimit, c.name);
+    transition(c.tenant, GovernorLevel::RateLimit, c.name);
   } else if (level == GovernorLevel::RateLimit) {
     c.violator.store(false, std::memory_order_relaxed);
-    transition(GovernorLevel::Normal, c.name);
+    transition(c.tenant, GovernorLevel::Normal, c.name);
   }
 }
 
-void OverloadGovernor::transition(GovernorLevel to, const char* trigger) {
+GovernorLevel OverloadGovernor::level() const noexcept {
+  int max = static_cast<int>(GovernorLevel::Normal);
+  for (const TenantState& t : tenants_) {
+    const int level = t.level.load(std::memory_order_relaxed);
+    if (level > max) max = level;
+  }
+  return static_cast<GovernorLevel>(max);
+}
+
+GovernorLevel OverloadGovernor::tenant_level(std::size_t tenant) const
+    noexcept {
+  if (tenant >= tenants_.size()) return GovernorLevel::Normal;
+  return static_cast<GovernorLevel>(
+      tenants_[tenant].level.load(std::memory_order_relaxed));
+}
+
+void OverloadGovernor::transition(std::size_t tenant, GovernorLevel to,
+                                  const char* trigger) {
   const std::lock_guard<std::mutex> lock(transition_mutex_);
+  TenantState& t = tenants_[tenant];
   const auto current =
-      static_cast<GovernorLevel>(level_.load(std::memory_order_relaxed));
+      static_cast<GovernorLevel>(t.level.load(std::memory_order_relaxed));
   if (current == to) return;  // Lost a race with a concurrent transition.
-  level_.store(static_cast<int>(to), std::memory_order_relaxed);
-  decisions_.push_back(Decision{decisions_.size(), to, trigger});
+  t.level.store(static_cast<int>(to), std::memory_order_relaxed);
+  decisions_.push_back(Decision{decisions_.size(), to, trigger, t.name});
 }
 
 std::vector<OverloadGovernor::Decision> OverloadGovernor::decisions() const {
@@ -103,8 +151,10 @@ void OverloadGovernor::reset() {
     c.clean_streak = 0;
     c.violator.store(false, std::memory_order_relaxed);
   }
-  if (level() != GovernorLevel::Normal) {
-    transition(GovernorLevel::Normal, "reset");
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    if (tenant_level(t) != GovernorLevel::Normal) {
+      transition(t, GovernorLevel::Normal, "reset");
+    }
   }
 }
 

@@ -1,23 +1,32 @@
-// The overload governor: criticality-aware load shedding.
+// The overload governor: criticality-aware, tenant-scoped load shedding.
 //
 // When a component violates its stochastic timing contract for several
-// consecutive observation windows, the assembly is overloaded and someone
-// has to give. The governor implements the mixed-criticality answer: it
-// degrades only components declared Criticality::Low — first rate-limiting
-// them (admit one release in N), then shedding them outright — so
-// high-criticality components keep meeting their deadlines. De-escalation
-// is driven by the violating components themselves: once a component that
-// triggered the overload delivers enough consecutive clean windows, the
-// governor steps the degradation level back down. A fully shed violator
-// can no longer produce windows, so a Shed level is sticky until reset()
-// — the conservative safe-mode choice for a real-time system.
+// consecutive observation windows, its slice of the assembly is overloaded
+// and someone has to give. The governor implements the mixed-criticality
+// answer *per tenant*: it degrades only components of effective
+// Criticality::Low — first rate-limiting them (admit one release in N),
+// then shedding them outright — so high-criticality components keep
+// meeting their deadlines. Since PR 7 the degradation level is per tenant:
+// a violation in tenant A escalates only A's level, and only A's Low
+// components are degraded — overload in one tenant can never shed a
+// bystander tenant's releases. A tenant's declared criticality floor
+// raises every member's effective criticality, so a High-floor tenant is
+// never degraded at all. Components registered without a tenant share the
+// implicit default tenant 0 (the pre-tenancy single-envelope behaviour).
+//
+// De-escalation is driven by the violating components themselves: once a
+// component that triggered its tenant's overload delivers enough
+// consecutive clean windows, the governor steps that tenant's level back
+// down. A fully shed violator can no longer produce windows, so a Shed
+// level is sticky until reset() — the conservative safe-mode choice for a
+// real-time system.
 //
 // Determinism: admit_release() depends only on the per-component admission
-// sequence number and the current level, and level transitions depend only
-// on the order of window outcomes fed in. Driving the same feed through
-// the governor — wall-clock executive or virtual-time simulator — yields
-// the same decision log, which is what makes governed behaviour replayable
-// in sim::PreemptiveScheduler.
+// sequence number and the component's tenant level, and level transitions
+// depend only on the order of window outcomes fed in. Driving the same
+// feed through the governor — wall-clock executive or virtual-time
+// simulator — yields the same decision log, which is what makes governed
+// behaviour replayable in sim::PreemptiveScheduler.
 //
 // Hot path (admit_release) is lock-free and allocation-free; level
 // transitions are rare and take a small mutex only to append the decision
@@ -34,7 +43,7 @@
 
 namespace rtcf::monitor {
 
-/// System-wide degradation level.
+/// Per-tenant degradation level.
 enum class GovernorLevel : int { Normal = 0, RateLimit = 1, Shed = 2 };
 
 const char* to_string(GovernorLevel level) noexcept;
@@ -57,29 +66,42 @@ class OverloadGovernor {
   OverloadGovernor();
   explicit OverloadGovernor(Options options);
 
-  /// Registers a component; returns its governor id. Registration happens
-  /// at assembly time, before any execution.
-  std::size_t add_component(const char* name, model::Criticality criticality);
+  /// Registers a tenant envelope; returns its tenant id. The floor raises
+  /// every member's effective criticality (a High floor makes the whole
+  /// tenant undegradable). Registration happens at assembly time.
+  std::size_t add_tenant(const char* name, model::Criticality floor);
 
-  /// Hot path: admission decision for the next release of `id`. Lock-free;
-  /// deterministic in the per-component call sequence and current level.
+  /// Registers a component under the implicit default tenant (id 0);
+  /// returns its governor id. Registration happens at assembly time,
+  /// before any execution.
+  std::size_t add_component(const char* name, model::Criticality criticality);
+  /// Registers a component under `tenant` (an id from add_tenant).
+  std::size_t add_component(const char* name, model::Criticality criticality,
+                            std::size_t tenant);
+
+  /// Hot path: admission decision for the next release of `id`, against
+  /// the component's tenant level. Lock-free; deterministic in the
+  /// per-component call sequence and that level.
   Admission admit_release(std::size_t id) noexcept;
 
   /// Feeds one closed observation window of `id` (from its contract
-  /// monitor). Not hot: called once per `window` releases.
+  /// monitor). Not hot: called once per `window` releases. Escalation is
+  /// scoped to the component's tenant.
   void on_window_violated(std::size_t id);
   void on_window_clean(std::size_t id);
 
-  GovernorLevel level() const noexcept {
-    return static_cast<GovernorLevel>(
-        level_.load(std::memory_order_relaxed));
-  }
+  /// The assembly-wide level: the maximum across tenants (the pre-tenancy
+  /// signal — node demotion watchers and single-tenant callers key on it).
+  GovernorLevel level() const noexcept;
+  /// One tenant's level.
+  GovernorLevel tenant_level(std::size_t tenant) const noexcept;
 
   /// One level transition, for replay comparison and diagnostics.
   struct Decision {
     std::uint64_t seq = 0;          ///< Transition index (0-based).
     GovernorLevel level{};          ///< Level after the transition.
     const char* trigger = nullptr;  ///< Component whose windows drove it.
+    const char* tenant = nullptr;   ///< Tenant whose level changed.
   };
   /// Snapshot of the decision log (copies under the transition mutex).
   std::vector<Decision> decisions() const;
@@ -91,15 +113,34 @@ class OverloadGovernor {
   model::Criticality component_criticality(std::size_t id) const {
     return components_.at(id).criticality;
   }
+  /// Tenant id the component was registered under (0 = default tenant).
+  std::size_t component_tenant(std::size_t id) const {
+    return components_.at(id).tenant;
+  }
+  std::size_t tenant_count() const noexcept { return tenants_.size(); }
+  const char* tenant_name(std::size_t tenant) const {
+    return tenants_.at(tenant).name;
+  }
 
-  /// Operator escape hatch: clears every streak and returns to Normal
-  /// (recorded in the decision log with trigger "reset").
+  /// Operator escape hatch: clears every streak and returns every tenant
+  /// to Normal (recorded in the decision log with trigger "reset").
   void reset();
 
  private:
+  struct TenantState {
+    const char* name = nullptr;
+    model::Criticality floor = model::Criticality::Low;
+    std::atomic<int> level{static_cast<int>(GovernorLevel::Normal)};
+
+    TenantState(const char* n, model::Criticality f) : name(n), floor(f) {}
+    TenantState(TenantState&& o) noexcept
+        : name(o.name), floor(o.floor), level(o.level.load()) {}
+  };
+
   struct ComponentState {
     const char* name = nullptr;
     model::Criticality criticality = model::Criticality::High;
+    std::size_t tenant = 0;
     /// Admission sequence; drives the deterministic rate-limit pattern.
     std::atomic<std::uint64_t> admissions{0};
     // Streaks are only touched by the worker that owns the component.
@@ -109,22 +150,27 @@ class OverloadGovernor {
     /// components may drive de-escalation.
     std::atomic<bool> violator{false};
 
-    ComponentState(const char* n, model::Criticality c)
-        : name(n), criticality(c) {}
+    ComponentState(const char* n, model::Criticality c, std::size_t t)
+        : name(n), criticality(c), tenant(t) {}
     ComponentState(ComponentState&& o) noexcept
         : name(o.name),
           criticality(o.criticality),
+          tenant(o.tenant),
           admissions(o.admissions.load()),
           violated_streak(o.violated_streak),
           clean_streak(o.clean_streak),
           violator(o.violator.load()) {}
   };
 
-  void transition(GovernorLevel to, const char* trigger);
+  /// Effective criticality of a component under its tenant's floor.
+  model::Criticality effective_criticality(
+      const ComponentState& c) const noexcept;
+
+  void transition(std::size_t tenant, GovernorLevel to, const char* trigger);
 
   Options options_;
+  std::vector<TenantState> tenants_;
   std::vector<ComponentState> components_;
-  std::atomic<int> level_{static_cast<int>(GovernorLevel::Normal)};
   mutable std::mutex transition_mutex_;
   std::vector<Decision> decisions_;
 };

@@ -7,6 +7,24 @@ namespace rtcf::monitor {
 RuntimeMonitor::RuntimeMonitor(OverloadGovernor::Options options)
     : governor_(options) {}
 
+void RuntimeMonitor::adopt_tenants(const model::AssemblyPlan& plan) {
+  for (const model::TenantSpec& tenant : plan.tenants()) {
+    auto it = tenant_ids_.find(tenant.name);
+    std::size_t id;
+    if (it != tenant_ids_.end()) {
+      id = it->second;
+    } else {
+      tenant_names_.push_back(tenant.name);
+      id = governor_.add_tenant(tenant_names_.back().c_str(),
+                                tenant.criticality_floor);
+      tenant_ids_.emplace(tenant.name, id);
+    }
+    for (const std::string& component : tenant.components) {
+      component_tenants_[component] = id;
+    }
+  }
+}
+
 RuntimeMonitor::Entry& RuntimeMonitor::add_component(
     const char* name, rtsj::MemoryArea& area, model::Criticality criticality,
     const model::TimingContract* contract, rtsj::RelativeTime deadline,
@@ -23,7 +41,10 @@ RuntimeMonitor::Entry& RuntimeMonitor::add_component(
   entry->criticality = criticality;
   entry->deadline = deadline;
   entry->release_driven = release_driven;
-  entry->governor_id = governor_.add_component(name, criticality);
+  const auto tenant_it = component_tenants_.find(name);
+  const std::size_t tenant =
+      tenant_it == component_tenants_.end() ? 0 : tenant_it->second;
+  entry->governor_id = governor_.add_component(name, criticality, tenant);
   entry->owner = this;
   entries_.push_back(std::move(entry));
   Entry& ref = *entries_.back();

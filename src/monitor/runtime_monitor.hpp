@@ -22,11 +22,13 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "model/assembly_plan.hpp"
 #include "model/metamodel.hpp"
 #include "monitor/contract.hpp"
 #include "monitor/governor.hpp"
@@ -65,6 +67,15 @@ class RuntimeMonitor {
 
   RuntimeMonitor(const RuntimeMonitor&) = delete;
   RuntimeMonitor& operator=(const RuntimeMonitor&) = delete;
+
+  /// Registers the plan's tenant envelopes with the governor and records
+  /// which tenant each planned component belongs to, so subsequent
+  /// add_component() calls land in their tenant's degradation scope.
+  /// Idempotent per tenant name (re-adoption after a live reload only
+  /// registers tenants the governor has not seen yet) — call it before
+  /// registering the plan's components. Components outside every tenant
+  /// stay in the governor's implicit default envelope.
+  void adopt_tenants(const model::AssemblyPlan& plan);
 
   /// Registers one component: telemetry storage is carved from `area`
   /// (RTSJ newInstance), the contract checker from the heap (assembly
@@ -136,6 +147,13 @@ class RuntimeMonitor {
   std::vector<std::unique_ptr<Entry>> entries_;
   std::map<std::string, Entry*> by_name_;
   std::vector<std::unique_ptr<ContractMonitor>> contracts_;
+  /// Stable storage for tenant name strings handed to the governor
+  /// (which keeps only const char*); deque never relocates elements.
+  std::deque<std::string> tenant_names_;
+  /// Tenant name -> governor tenant id (for idempotent re-adoption).
+  std::map<std::string, std::size_t> tenant_ids_;
+  /// Component name -> governor tenant id of its owning tenant.
+  std::map<std::string, std::size_t> component_tenants_;
   OverloadGovernor governor_;
   ViolationFn violation_fn_ = nullptr;
   void* violation_arg_ = nullptr;

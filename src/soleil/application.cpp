@@ -142,6 +142,8 @@ Application::Application(const model::Architecture& arch,
   // Telemetry is part of the assembly, whatever the generation mode: every
   // functional component gets its block inside its own memory area, plus a
   // contract checker and a governor slot when the metamodel declares them.
+  // Tenant envelopes first, so each slot lands in its tenant's scope.
+  monitor_->adopt_tenants(assembly_);
   for (const PlannedComponent& pc : plan_.components) {
     rtsj::RelativeTime deadline;
     bool release_driven = false;

@@ -118,6 +118,9 @@ class SoleilApplication final : public Application {
   std::uint64_t apply_plan_delta(const reconfig::PlanDelta& delta,
                                  const model::AssemblyPlan& target) override {
     std::uint64_t drained = 0;
+    // Tenant envelopes before hot-adds: an admitted tenant's components
+    // must register into *their* governor scope, not the default one.
+    monitor().adopt_tenants(target);
     for (const auto& spec : delta.add_components) {
       PlannedComponent& pc = admit_component(spec);
       wire_component(pc);

@@ -345,6 +345,71 @@ AssemblyPlan snapshot_assembly(const Architecture& arch,
         model::AreaSpec{area->name(), area->type(), area->size_bytes()});
   }
   builder.modes() = arch.modes();
+
+  // Tenants snapshot with membership expanded: a MemoryArea/ThreadDomain
+  // member pulls in every functional component it (transitively) encloses,
+  // so downstream consumers never re-walk the component DAG. Unknown
+  // member names are kept out of the expansion — the validator's
+  // TENANT-MEMBER-UNKNOWN rule reports them against the declaration.
+  for (const model::TenantDecl& decl : arch.tenants()) {
+    model::TenantSpec tenant;
+    tenant.name = decl.name;
+    tenant.budget = decl.budget;
+    tenant.criticality_floor = decl.criticality_floor;
+    tenant.exports = decl.exports;
+    tenant.imports = decl.imports;
+    tenant.adl_line = decl.adl_line;
+    for (const std::string& member : decl.members) {
+      const Component* c = arch.find(member);
+      if (c == nullptr) {
+        // Unknown members ride along as component names so the validator's
+        // TENANT-MEMBER-UNKNOWN rule can report them against the plan.
+        tenant.components.push_back(member);
+        continue;
+      }
+      switch (c->kind()) {
+        case model::ComponentKind::MemoryArea:
+          tenant.areas.push_back(member);
+          break;
+        case model::ComponentKind::ThreadDomain:
+          tenant.domains.push_back(member);
+          break;
+        default:
+          tenant.components.push_back(member);
+          break;
+      }
+    }
+    for (const auto& owned : arch.components()) {
+      if (!owned->is_functional()) continue;
+      if (decl.has_member(owned->name())) continue;
+      const model::TenantDecl* owner = arch.tenant_of(owned->name());
+      if (owner != nullptr && owner->name == decl.name) {
+        tenant.components.push_back(owned->name());
+      }
+    }
+    // Composites that enclose a member are part of the slice even when not
+    // listed (the area/domain-scoping rules reason over the full set).
+    for (const std::string& comp : tenant.components) {
+      const Component* c = arch.find(comp);
+      if (c == nullptr) continue;
+      if (const auto* area = arch.memory_area_of(*c)) {
+        if (!tenant.owns_area(area->name())) {
+          tenant.areas.push_back(area->name());
+        }
+      }
+      if (const auto* domain = arch.thread_domain_of(*c)) {
+        if (std::find(tenant.domains.begin(), tenant.domains.end(),
+                      domain->name()) == tenant.domains.end()) {
+          tenant.domains.push_back(domain->name());
+        }
+      }
+    }
+    std::sort(tenant.components.begin(), tenant.components.end());
+    std::sort(tenant.areas.begin(), tenant.areas.end());
+    std::sort(tenant.domains.begin(), tenant.domains.end());
+    builder.tenants().push_back(std::move(tenant));
+  }
+
   assign_partitions(plan, partitions);
   return plan;
 }

@@ -1,0 +1,124 @@
+#include "tenant/compose.hpp"
+
+namespace rtcf::tenant {
+
+using model::ActiveComponent;
+using model::Architecture;
+using model::Component;
+using model::MemoryAreaComponent;
+using model::PassiveComponent;
+using model::ThreadDomain;
+using validate::Report;
+using validate::Severity;
+
+namespace {
+
+/// Re-declares one component of `from` into `into` with all its value
+/// attributes (containment is wired afterwards, once every node exists).
+void clone_component(Architecture& into, const Component& c) {
+  Component* copy = nullptr;
+  switch (c.kind()) {
+    case model::ComponentKind::Active: {
+      const auto& active = static_cast<const ActiveComponent&>(c);
+      auto& a = into.add_active(active.name(), active.activation(),
+                                active.period());
+      a.set_cost(active.cost());
+      a.set_content_class(active.content_class());
+      if (active.criticality()) a.set_criticality(*active.criticality());
+      if (active.timing_contract()) {
+        a.set_timing_contract(*active.timing_contract());
+      }
+      copy = &a;
+      break;
+    }
+    case model::ComponentKind::Passive: {
+      const auto& passive = static_cast<const PassiveComponent&>(c);
+      auto& p = into.add_passive(passive.name());
+      p.set_content_class(passive.content_class());
+      copy = &p;
+      break;
+    }
+    case model::ComponentKind::ThreadDomain: {
+      const auto& domain = static_cast<const ThreadDomain&>(c);
+      copy = &into.add_thread_domain(domain.name(), domain.type(),
+                                     domain.priority());
+      break;
+    }
+    case model::ComponentKind::MemoryArea: {
+      const auto& area = static_cast<const MemoryAreaComponent&>(c);
+      copy = &into.add_memory_area(area.name(), area.type(),
+                                   area.size_bytes(), area.area_name());
+      break;
+    }
+  }
+  copy->set_swappable(c.swappable());
+  for (const auto& itf : c.interfaces()) copy->add_interface(itf);
+}
+
+}  // namespace
+
+void append_architecture(Architecture& into, const Architecture& from,
+                         Report& report) {
+  // Pass 1: declarations. A name already present in `into` is a
+  // cross-slice collision — report it and skip the overlay declaration so
+  // composition can keep going and surface every conflict at once.
+  std::vector<const Component*> cloned;
+  for (const auto& owned : from.components()) {
+    if (into.find(owned->name()) != nullptr) {
+      report.add(Severity::Error, "TENANT-COMPOSE-CONFLICT", owned->name(),
+                 "component '" + owned->name() +
+                     "' is declared by more than one tenant slice");
+      continue;
+    }
+    clone_component(into, *owned);
+    cloned.push_back(owned.get());
+  }
+  // Pass 2: containment among the cloned declarations.
+  for (const Component* original : cloned) {
+    Component* parent = into.find(original->name());
+    for (const Component* sub : original->subs()) {
+      Component* child = into.find(sub->name());
+      if (parent != nullptr && child != nullptr) {
+        into.add_child(*parent, *child);
+      }
+    }
+  }
+  for (const auto& binding : from.bindings()) {
+    into.add_binding(binding);
+  }
+  // Modes merge by name: each slice contributes its configs/rebinds to the
+  // shared mode. The degraded flag is sticky — flagged by any slice means
+  // flagged in the composition (MODE-DEGRADED-UNIQUE still polices
+  // conflicting flags on *different* modes).
+  for (const auto& mode : from.modes()) {
+    const model::ModeDecl* existing = into.find_mode(mode.name);
+    if (existing == nullptr) {
+      into.add_mode(mode);
+      continue;
+    }
+    auto& merged = const_cast<model::ModeDecl&>(*existing);
+    merged.degraded = merged.degraded || mode.degraded;
+    for (const auto& cfg : mode.components) merged.components.push_back(cfg);
+    for (const auto& rebind : mode.rebinds) merged.rebinds.push_back(rebind);
+  }
+  for (const auto& tenant : from.tenants()) {
+    if (into.find_tenant(tenant.name) != nullptr) {
+      report.add(Severity::Error, "TENANT-COMPOSE-CONFLICT", tenant.name,
+                 "tenant '" + tenant.name +
+                     "' is declared by more than one slice");
+      continue;
+    }
+    into.add_tenant(tenant);
+  }
+}
+
+Architecture merge_architectures(const Architecture& base,
+                                 const Architecture& overlay,
+                                 Report& report) {
+  Architecture merged;
+  append_architecture(merged, base, report);
+  append_architecture(merged, overlay, report);
+  return merged;
+}
+
+}  // namespace rtcf::tenant

@@ -1,0 +1,37 @@
+// Architecture composition for multi-tenant admission.
+//
+// Admission control needs the *composed* assembly — every resident
+// tenant's slice plus the candidate's — as one Architecture, because both
+// the rule engine and the response-time analysis reason over whole
+// assemblies. Architecture owns its components (non-copyable), so
+// composition re-declares everything by value into a fresh instance.
+//
+// Name collisions between the slices are composition errors, reported
+// under the stable rule id TENANT-COMPOSE-CONFLICT: two tenants declaring
+// the same component, area, domain, or tenant name cannot coexist on one
+// cluster. Modes are merged by name — each slice contributes its own
+// component configs and rebinds to the shared mode, which is what lets a
+// candidate tenant join an assembly that already declares `normal` and
+// `degraded` modes.
+#pragma once
+
+#include "model/metamodel.hpp"
+#include "validate/report.hpp"
+
+namespace rtcf::tenant {
+
+/// Re-declares every component, binding, mode, and tenant of `from` into
+/// `into`. Collisions (component or tenant names already present) are
+/// appended to `report` as TENANT-COMPOSE-CONFLICT errors and the
+/// colliding declaration is skipped; same-name modes are merged.
+void append_architecture(model::Architecture& into,
+                         const model::Architecture& from,
+                         validate::Report& report);
+
+/// Composes `base` and `overlay` into a fresh Architecture (both inputs
+/// are only read). Collision diagnostics land in `report`.
+model::Architecture merge_architectures(const model::Architecture& base,
+                                        const model::Architecture& overlay,
+                                        validate::Report& report);
+
+}  // namespace rtcf::tenant

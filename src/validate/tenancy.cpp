@@ -1,0 +1,264 @@
+#include "validate/tenancy.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace rtcf::validate {
+
+using model::AssemblyPlan;
+using model::ComponentSpec;
+using model::TenantSpec;
+
+namespace {
+
+/// " (line N)" when the tenant carries ADL source context, else "".
+std::string line_context(const TenantSpec& tenant) {
+  if (tenant.adl_line == 0) return "";
+  return " (line " + std::to_string(tenant.adl_line) + ")";
+}
+
+void check_membership(const AssemblyPlan& plan, Report& report) {
+  std::map<std::string, const TenantSpec*> owner;
+  for (const TenantSpec& tenant : plan.tenants()) {
+    for (const std::string& member : tenant.components) {
+      if (plan.find(member) == nullptr) {
+        report.add(Severity::Error, "TENANT-MEMBER-UNKNOWN", tenant.name,
+                   "tenant '" + tenant.name + "' lists member '" + member +
+                       "' which the architecture does not declare" +
+                       line_context(tenant));
+        continue;
+      }
+      const auto [it, inserted] = owner.emplace(member, &tenant);
+      if (!inserted && it->second != &tenant) {
+        report.add(Severity::Error, "TENANT-MEMBER-EXCLUSIVE", tenant.name,
+                   "component '" + member + "' belongs to both tenant '" +
+                       it->second->name + "' and tenant '" + tenant.name +
+                       "'; tenant membership must partition the assembly" +
+                       line_context(tenant));
+      }
+    }
+  }
+}
+
+/// Checks one cross-tenant route client->server: the serving tenant must
+/// export the server interface as a capability, and the consuming tenant
+/// must import that capability from it. `what` names the route kind for
+/// the message ("binding" or "mode rebind").
+void check_route(const TenantSpec& client_tenant,
+                 const TenantSpec& server_tenant,
+                 const model::BindingEnd& client,
+                 const model::BindingEnd& server, const char* what,
+                 Report& report) {
+  const model::CapabilityExport* exported = nullptr;
+  for (const auto& e : server_tenant.exports) {
+    if (e.component == server.component && e.interface == server.interface) {
+      exported = &e;
+      break;
+    }
+  }
+  std::ostringstream os;
+  os << what << " " << client.component << "." << client.interface << " -> "
+     << server.component << "." << server.interface
+     << " crosses from tenant '" << client_tenant.name << "' into tenant '"
+     << server_tenant.name << "'";
+  if (exported == nullptr) {
+    os << ", which exports no capability for " << server.component << "."
+       << server.interface << line_context(server_tenant);
+    report.add(Severity::Error, "TENANT-CAPABILITY-ROUTED",
+               client_tenant.name, os.str());
+    return;
+  }
+  const model::CapabilityImport* imported =
+      client_tenant.find_import(exported->capability);
+  if (imported == nullptr || imported->from_tenant != server_tenant.name) {
+    os << ", but tenant '" << client_tenant.name
+       << "' does not import capability '" << exported->capability
+       << "' from it" << line_context(client_tenant);
+    report.add(Severity::Error, "TENANT-CAPABILITY-ROUTED",
+               client_tenant.name, os.str());
+  }
+}
+
+void check_capability_routing(const AssemblyPlan& plan, Report& report) {
+  for (const auto& binding : plan.bindings()) {
+    const TenantSpec* ct = plan.tenant_of(binding.client.component);
+    const TenantSpec* st = plan.tenant_of(binding.server.component);
+    // Tenantless endpoints are the operator slice (including synthesized
+    // gateways); only tenant-to-tenant edges are capability-routed.
+    if (ct == nullptr || st == nullptr || ct == st) continue;
+    check_route(*ct, *st, binding.client, binding.server, "binding", report);
+  }
+  // Mode rebinds re-target a client port at transition time; a redirect
+  // into another tenant needs the same export/import route as a static
+  // binding, or a mode change would pierce the isolation boundary.
+  for (const auto& mode : plan.modes()) {
+    for (const auto& rebind : mode.rebinds) {
+      const TenantSpec* ct = plan.tenant_of(rebind.client);
+      const TenantSpec* st = plan.tenant_of(rebind.server);
+      if (ct == nullptr || st == nullptr || ct == st) continue;
+      const model::BindingEnd client{rebind.client, rebind.port};
+      std::string interface = rebind.port;
+      if (const auto* bound = plan.binding_for(client)) {
+        interface = bound->server.interface;
+      }
+      check_route(*ct, *st, client, {rebind.server, interface},
+                  "mode rebind", report);
+    }
+  }
+}
+
+void check_area_and_domain_scoping(const AssemblyPlan& plan, Report& report) {
+  // area/domain name -> tenants (by name) plus a marker for tenantless
+  // occupants.
+  std::map<std::string, std::set<std::string>> area_tenants;
+  std::map<std::string, std::set<std::string>> domain_tenants;
+  for (const ComponentSpec& spec : plan.components()) {
+    const TenantSpec* tenant = plan.tenant_of(spec.name);
+    const std::string tag = tenant != nullptr ? tenant->name : std::string();
+    if (!spec.memory_area.empty()) area_tenants[spec.memory_area].insert(tag);
+    if (!spec.thread_domain.empty()) {
+      domain_tenants[spec.thread_domain].insert(tag);
+    }
+  }
+  const auto flag = [&](const std::map<std::string, std::set<std::string>>&
+                            occupancy,
+                        const char* rule, const char* kind) {
+    for (const auto& [name, tenants] : occupancy) {
+      std::set<std::string> owned = tenants;
+      const bool has_tenantless = owned.erase(std::string()) != 0;
+      if (owned.size() > 1) {
+        std::ostringstream os;
+        os << kind << " '" << name << "' is shared by tenants";
+        for (const auto& t : owned) os << " '" << t << "'";
+        os << "; no " << kind
+           << " may span a tenant isolation boundary";
+        report.add(Severity::Error, rule, name, os.str());
+      } else if (owned.size() == 1 && has_tenantless) {
+        report.add(Severity::Warning, rule, name,
+                   std::string(kind) + " '" + name + "' of tenant '" +
+                       *owned.begin() +
+                       "' also hosts tenantless operator components");
+      }
+    }
+  };
+  flag(area_tenants, "TENANT-AREA-SCOPED", "memory area");
+  flag(domain_tenants, "TENANT-DOMAIN-EXCLUSIVE", "thread domain");
+}
+
+void check_budgets(const AssemblyPlan& plan, Report& report) {
+  for (const TenantSpec& tenant : plan.tenants()) {
+    if (tenant.budget.cpu_utilization < 0.0) {
+      report.add(Severity::Error, "TENANT-BUDGET-BOUNDS", tenant.name,
+                 "tenant '" + tenant.name +
+                     "' declares a negative CPU budget" +
+                     line_context(tenant));
+      continue;
+    }
+    if (tenant.budget.cpu_utilization > 0.0) {
+      double utilization = 0.0;
+      for (const std::string& member : tenant.components) {
+        const ComponentSpec* spec = plan.find(member);
+        if (spec == nullptr || !spec->is_active()) continue;
+        if (spec->period.is_zero() || spec->cost.is_zero()) continue;
+        utilization += static_cast<double>(spec->cost.nanos()) /
+                       static_cast<double>(spec->period.nanos());
+      }
+      if (utilization > tenant.budget.cpu_utilization + 1e-9) {
+        std::ostringstream os;
+        os << "tenant '" << tenant.name << "' members need utilization "
+           << utilization << " but the declared CPU budget is "
+           << tenant.budget.cpu_utilization << line_context(tenant);
+        report.add(Severity::Error, "TENANT-BUDGET-BOUNDS", tenant.name,
+                   os.str());
+      }
+    }
+    if (tenant.budget.memory_bytes > 0) {
+      std::size_t bytes = 0;
+      for (const std::string& area : tenant.areas) {
+        if (const auto* spec = plan.find_area(area)) {
+          bytes += spec->size_bytes;
+        }
+      }
+      if (bytes > tenant.budget.memory_bytes) {
+        std::ostringstream os;
+        os << "tenant '" << tenant.name << "' owns areas totalling " << bytes
+           << " bytes but the declared memory budget is "
+           << tenant.budget.memory_bytes << " bytes" << line_context(tenant);
+        report.add(Severity::Error, "TENANT-BUDGET-BOUNDS", tenant.name,
+                   os.str());
+      }
+    }
+  }
+}
+
+void check_capability_declarations(const AssemblyPlan& plan, Report& report) {
+  for (const TenantSpec& tenant : plan.tenants()) {
+    std::set<std::string> names;
+    for (const auto& e : tenant.exports) {
+      if (!names.insert(e.capability).second) {
+        report.add(Severity::Error, "TENANT-EXPORT-UNKNOWN", tenant.name,
+                   "tenant '" + tenant.name +
+                       "' exports capability '" + e.capability +
+                       "' more than once" + line_context(tenant));
+        continue;
+      }
+      if (!tenant.owns_component(e.component)) {
+        report.add(Severity::Error, "TENANT-EXPORT-UNKNOWN", tenant.name,
+                   "tenant '" + tenant.name + "' exports capability '" +
+                       e.capability + "' from component '" + e.component +
+                       "' it does not own" + line_context(tenant));
+        continue;
+      }
+      const ComponentSpec* spec = plan.find(e.component);
+      const model::InterfaceDecl* itf =
+          spec != nullptr ? spec->find_interface(e.interface) : nullptr;
+      if (itf == nullptr || itf->role != model::InterfaceRole::Server) {
+        report.add(Severity::Error, "TENANT-EXPORT-UNKNOWN", tenant.name,
+                   "tenant '" + tenant.name + "' exports capability '" +
+                       e.capability + "' on '" + e.component + "." +
+                       e.interface +
+                       "', which is not a server interface" +
+                       line_context(tenant));
+      }
+    }
+    for (const auto& i : tenant.imports) {
+      if (i.from_tenant == tenant.name) {
+        report.add(Severity::Error, "TENANT-IMPORT-UNKNOWN", tenant.name,
+                   "tenant '" + tenant.name + "' imports capability '" +
+                       i.capability + "' from itself" +
+                       line_context(tenant));
+        continue;
+      }
+      const TenantSpec* from = plan.find_tenant(i.from_tenant);
+      if (from == nullptr) {
+        report.add(Severity::Error, "TENANT-IMPORT-UNKNOWN", tenant.name,
+                   "tenant '" + tenant.name + "' imports capability '" +
+                       i.capability + "' from unknown tenant '" +
+                       i.from_tenant + "'" + line_context(tenant));
+        continue;
+      }
+      if (from->find_export(i.capability) == nullptr) {
+        report.add(Severity::Error, "TENANT-IMPORT-UNKNOWN", tenant.name,
+                   "tenant '" + tenant.name + "' imports capability '" +
+                       i.capability + "' which tenant '" + i.from_tenant +
+                       "' does not export" + line_context(tenant));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Report validate_tenancy(const AssemblyPlan& plan) {
+  Report report;
+  if (plan.tenants().empty()) return report;
+  check_membership(plan, report);
+  check_capability_declarations(plan, report);
+  check_capability_routing(plan, report);
+  check_area_and_domain_scoping(plan, report);
+  check_budgets(plan, report);
+  return report;
+}
+
+}  // namespace rtcf::validate

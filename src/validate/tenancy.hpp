@@ -1,0 +1,51 @@
+// Tenancy rules: what a multi-tenant deployment adds to the rule engine.
+//
+// A multi-tenant assembly is one architecture whose tenants partition the
+// functional components into mutually-isolated slices. The ordinary
+// validate() rules stay tenant-blind; these rules check what only the
+// tenant boundaries can violate. Like every other rule set, the
+// identifiers are stable and used by tests and tools:
+//
+//   TENANT-MEMBER-UNKNOWN      a tenant lists a member the architecture
+//                              does not declare
+//   TENANT-MEMBER-EXCLUSIVE    a component belongs to two tenants (tenant
+//                              membership must partition the assembly)
+//   TENANT-CAPABILITY-ROUTED   a binding crosses a tenant boundary without
+//                              a matching capability export on the serving
+//                              tenant and import on the consuming tenant
+//                              (Fuchsia-style: a route exists only when
+//                              both sides declare it)
+//   TENANT-AREA-SCOPED         one MemoryArea hosts components of two
+//                              tenants, or of a tenant and the tenantless
+//                              operator slice (shared memory across the
+//                              isolation boundary)
+//   TENANT-DOMAIN-EXCLUSIVE    one ThreadDomain contains active components
+//                              of different tenants (a shared thread bank
+//                              lets one tenant starve another below the
+//                              governor's reach)
+//   TENANT-BUDGET-BOUNDS       a tenant's members exceed its declared CPU
+//                              utilization or memory envelope, or the
+//                              envelope itself is malformed
+//   TENANT-EXPORT-UNKNOWN      an exported capability names a component or
+//                              server interface the tenant does not own
+//   TENANT-IMPORT-UNKNOWN      an imported capability names a tenant that
+//                              does not exist or does not export it
+//
+// Diagnostics carry the tenant name as the subject and, when the tenant
+// came from ADL, the `<Tenant>` element's source line in the message — the
+// admission controller forwards both as its machine-readable rejection
+// reason.
+#pragma once
+
+#include "model/assembly_plan.hpp"
+#include "validate/report.hpp"
+
+namespace rtcf::validate {
+
+/// Runs the TENANT-* rules for `plan` and returns the report. `plan` is
+/// the whole assembly snapshot; run the ordinary validate() on the source
+/// architecture first — these rules only add the tenant-boundary checks.
+/// A plan with no tenants passes vacuously.
+Report validate_tenancy(const model::AssemblyPlan& plan);
+
+}  // namespace rtcf::validate

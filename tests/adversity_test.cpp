@@ -119,8 +119,16 @@ TEST(AdversityDrillTest, FullDrillsPassSeeds1To25) {
 }
 
 TEST(AdversityDrillTest, ScriptedDrillPerFaultKind) {
-  const char* kinds[] = {"crash",     "drop",          "delay",       "dup",
-                         "straggler", "coord-prepare", "coord-commit"};
+  const char* kinds[] = {
+      "crash",
+      "drop",
+      "delay",
+      "dup",
+      "straggler",
+      "coord-prepare",
+      "coord-commit",
+      "overload",
+  };
   for (const char* kind : kinds) {
     DrillOptions options;
     options.seed = 11;
