@@ -1,0 +1,315 @@
+// Saturating throughput of the gateway data plane, per transport,
+// before/after batching (docs/DATAPLANE.md §6 is the companion runbook).
+//
+// For each transport (loopback, TCP over localhost, shm ring) the bench
+// drives a dist::DataPlane at saturating load — the sender offers as fast
+// as the flow-control window allows — in two modes:
+//
+//   * unbatched: the peer announced protocol version 2, so every message
+//     goes out as its own DATA frame (one channel write — one syscall on
+//     TCP — per message: the pre-v3 hot path);
+//   * batched:   the peer is v3, so messages coalesce into BATCH frames
+//     under the credit window, with the bench's receiver granting CREDIT
+//     back as it consumes.
+//
+// Reported per variant: sustained messages/sec, end-to-end p99 latency at
+// that load (producer timestamp to receive instant), and messages per
+// channel write. A final phase points the batched plane at a stalled
+// receiver that never grants credit, proving sender memory stays bounded
+// by the route queue cap (drop-newest beyond it).
+//
+// Two properties are asserted hard, so a regression fails the bench run:
+// batched TCP must beat unbatched TCP by >= 3x messages/sec, and batched
+// TCP at saturation must average >= 8 messages per channel write (i.e.
+// the per-message-syscall exit path stays dead).
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "comm/message.hpp"
+#include "comm/shm_ring.hpp"
+#include "dist/dataplane.hpp"
+#include "dist/protocol.hpp"
+#include "fig7_harness.hpp"
+#include "rtsj/time/time.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using rtcf::bench::JsonRow;
+using rtcf::comm::Frame;
+using rtcf::dist::DataPlane;
+using rtcf::dist::FrameType;
+using rtcf::rtsj::AbsoluteTime;
+using rtcf::rtsj::RelativeTime;
+
+std::int64_t now_ns() {
+  return (rtcf::rtsj::SteadyClock::instance().now() - AbsoluteTime())
+      .nanos();
+}
+
+struct VariantOutcome {
+  double msgs_per_sec = 0.0;
+  double p99_us = 0.0;
+  double median_us = 0.0;
+  double msgs_per_frame = 0.0;
+  std::uint64_t frames = 0;
+};
+
+/// Drives `count` messages through a fresh DataPlane from `near` to
+/// `far`. `batched` selects the peer's announced protocol version.
+VariantOutcome run_variant(const std::shared_ptr<rtcf::comm::Channel>& near,
+                           const std::shared_ptr<rtcf::comm::Channel>& far,
+                           bool batched, std::size_t count) {
+  rtcf::dist::DataPlaneConfig config;
+  config.batch_max = 32;
+  config.flush_interval = RelativeTime::microseconds(200);
+  config.credit_window = 1024;
+  config.route_queue_cap = 4096;
+  DataPlane plane(config);
+  plane.set_peer_version("peer",
+                         batched ? rtcf::dist::kProtocolVersion
+                                 : std::uint16_t{2});
+  const std::size_t route = plane.add_route("C", "out", near, "peer");
+
+  rtcf::util::SampleSet latency_us(count);
+  std::atomic<std::int64_t> end_ns{0};
+
+  std::thread receiver([&] {
+    std::uint64_t received = 0;
+    std::uint64_t pending_credits = 0;
+    Frame frame;
+    while (received < count) {
+      if (!far->receive(frame, RelativeTime::milliseconds(200))) continue;
+      const std::int64_t arrival = now_ns();
+      if (frame.type == static_cast<std::uint16_t>(FrameType::Data)) {
+        const rtcf::dist::DataPayload data = rtcf::dist::parse_data(frame);
+        latency_us.add(static_cast<double>(arrival -
+                                           data.message.timestamp_ns) /
+                       1e3);
+        ++received;
+      } else if (frame.type == static_cast<std::uint16_t>(FrameType::Batch)) {
+        const rtcf::dist::BatchPayload batch =
+            rtcf::dist::parse_batch(frame);
+        for (const rtcf::dist::BatchRoute& r : batch.routes) {
+          for (const rtcf::comm::Message& m : r.messages) {
+            latency_us.add(
+                static_cast<double>(arrival - m.timestamp_ns) / 1e3);
+            ++received;
+            ++pending_credits;
+          }
+        }
+      }
+      // Replenish-on-consume, as a real entry gateway would
+      // (docs/DATAPLANE.md §3): grant once half a window accumulates.
+      if (batched && pending_credits >= config.credit_window / 2) {
+        far->send(rtcf::dist::make_credit({"C", "out", pending_credits}));
+        pending_credits = 0;
+      }
+    }
+    end_ns.store(now_ns());
+  });
+
+  const auto poll_credits = [&] {
+    Frame frame;
+    while (near->receive(frame, RelativeTime::zero())) {
+      if (frame.type == static_cast<std::uint16_t>(FrameType::Credit)) {
+        plane.on_credit(rtcf::dist::parse_credit(frame));
+      }
+    }
+  };
+
+  rtcf::comm::Message msg;
+  msg.type_id = 7;
+  msg.size = 16;
+  const std::int64_t start = now_ns();
+  for (std::size_t i = 0; i < count; ++i) {
+    msg.sequence = i;
+    msg.timestamp_ns = now_ns();
+    while (plane.offer(route, msg) == DataPlane::Offer::Dropped) {
+      // Route queue full: the window is exhausted and the receiver is
+      // behind. Pick up grants, push a deadline flush, try again.
+      poll_credits();
+      plane.flush(false);
+      std::this_thread::yield();
+      msg.timestamp_ns = now_ns();
+    }
+    if (batched && (i & 0x3F) == 0) poll_credits();
+  }
+  while (plane.stats().queued != 0) {
+    poll_credits();
+    plane.flush(true);
+    std::this_thread::yield();
+  }
+  receiver.join();
+
+  const rtcf::dist::DataPlaneStats stats = plane.stats();
+  VariantOutcome out;
+  const double elapsed_s =
+      static_cast<double>(end_ns.load() - start) / 1e9;
+  out.msgs_per_sec =
+      elapsed_s > 0.0 ? static_cast<double>(count) / elapsed_s : 0.0;
+  out.p99_us = latency_us.percentile(99);
+  out.median_us = latency_us.median();
+  out.frames = stats.batches + stats.legacy_sends;
+  out.msgs_per_frame =
+      out.frames != 0
+          ? static_cast<double>(stats.sent) /
+                static_cast<double>(out.frames)
+          : 0.0;
+  return out;
+}
+
+JsonRow to_row(const std::string& name, const VariantOutcome& v) {
+  JsonRow row;
+  row.name = name;
+  row.metrics = {{"msgs_per_sec", v.msgs_per_sec},
+                 {"median_us", v.median_us},
+                 {"p99_us", v.p99_us},
+                 {"msgs_per_frame", v.msgs_per_frame}};
+  return row;
+}
+
+/// A batched plane facing a receiver that never grants credit: the window
+/// drains once, then everything queues. Sender memory must stay bounded
+/// by route_queue_cap, with the overflow declared as drop-newest.
+JsonRow run_stalled_receiver(std::size_t offers, bool& ok) {
+  rtcf::dist::DataPlaneConfig config;
+  config.batch_max = 32;
+  config.flush_interval = RelativeTime::microseconds(200);
+  config.credit_window = 64;
+  config.route_queue_cap = 256;
+  DataPlane plane(config);
+  plane.set_peer_version("peer", rtcf::dist::kProtocolVersion);
+  auto [near, far] = rtcf::comm::LoopbackChannel::make_pair();
+  const std::size_t route = plane.add_route("C", "out", near, "peer");
+
+  rtcf::comm::Message msg;
+  for (std::size_t i = 0; i < offers; ++i) {
+    msg.sequence = i;
+    msg.timestamp_ns = now_ns();
+    plane.offer(route, msg);
+  }
+  const rtcf::dist::DataPlaneStats stats = plane.stats();
+  if (stats.queued > config.route_queue_cap) {
+    std::fprintf(stderr,
+                 "FAIL: stalled receiver queued %llu > cap %zu\n",
+                 static_cast<unsigned long long>(stats.queued),
+                 config.route_queue_cap);
+    ok = false;
+  }
+  if (stats.offered != stats.sent + stats.queued + stats.overflow_drops) {
+    std::fprintf(stderr, "FAIL: stalled receiver loses messages silently\n");
+    ok = false;
+  }
+  far->close();
+  JsonRow row;
+  row.name = "stalled-receiver";
+  row.metrics = {
+      {"offered", static_cast<double>(stats.offered)},
+      {"sent", static_cast<double>(stats.sent)},
+      {"queued", static_cast<double>(stats.queued)},
+      {"overflow_drops", static_cast<double>(stats.overflow_drops)},
+      {"queue_cap", static_cast<double>(config.route_queue_cap)}};
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // argv[1]: thousands of messages per variant (default 200).
+  std::size_t kilo = 200;
+  if (argc > 1) kilo = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
+  if (kilo == 0) kilo = 1;
+  const std::size_t count = kilo * 1000;
+
+  std::vector<JsonRow> rows;
+  bool ok = true;
+  double tcp_unbatched = 0.0;
+  double tcp_batched = 0.0;
+  double tcp_batched_per_frame = 0.0;
+
+  for (const bool batched : {false, true}) {
+    const char* mode = batched ? "batched" : "unbatched";
+
+    {
+      auto [near, far] = rtcf::comm::LoopbackChannel::make_pair();
+      const VariantOutcome v = run_variant(near, far, batched, count);
+      rows.push_back(to_row(std::string("loopback/") + mode, v));
+      near->close();
+    }
+
+    {
+      std::shared_ptr<rtcf::comm::TcpChannel> server =
+          rtcf::comm::TcpChannel::listen(0);
+      if (server == nullptr) {
+        std::fprintf(stderr, "FAIL: cannot listen on localhost\n");
+        return 1;
+      }
+      std::shared_ptr<rtcf::comm::TcpChannel> client =
+          rtcf::comm::TcpChannel::connect("127.0.0.1",
+                                          server->bound_port());
+      if (client == nullptr) {
+        std::fprintf(stderr, "FAIL: cannot connect to localhost\n");
+        return 1;
+      }
+      const VariantOutcome v = run_variant(client, server, batched, count);
+      rows.push_back(to_row(std::string("tcp/") + mode, v));
+      if (batched) {
+        tcp_batched = v.msgs_per_sec;
+        tcp_batched_per_frame = v.msgs_per_frame;
+      } else {
+        tcp_unbatched = v.msgs_per_sec;
+      }
+      client->close();
+      server->close();
+    }
+
+    {
+      const std::string token =
+          "/rtcf-bench-dp." + std::to_string(::getpid());
+      std::shared_ptr<rtcf::comm::ShmRingChannel> creator =
+          rtcf::comm::ShmRingChannel::create(token, std::size_t{1} << 20);
+      std::shared_ptr<rtcf::comm::ShmRingChannel> attacher =
+          creator == nullptr ? nullptr
+                             : rtcf::comm::ShmRingChannel::attach(token);
+      if (creator == nullptr || attacher == nullptr) {
+        std::fprintf(stderr, "note: shm ring unavailable, skipping %s\n",
+                     mode);
+      } else {
+        const VariantOutcome v =
+            run_variant(creator, attacher, batched, count);
+        rows.push_back(to_row(std::string("shm/") + mode, v));
+        attacher->close();
+      }
+    }
+  }
+
+  rows.push_back(run_stalled_receiver(10'000, ok));
+
+  // The two hard acceptance properties of the batched exit path.
+  if (tcp_unbatched > 0.0 && tcp_batched < 3.0 * tcp_unbatched) {
+    std::fprintf(stderr,
+                 "FAIL: batched TCP %.0f msg/s < 3x unbatched %.0f msg/s\n",
+                 tcp_batched, tcp_unbatched);
+    ok = false;
+  }
+  if (tcp_batched_per_frame < 8.0) {
+    std::fprintf(stderr,
+                 "FAIL: batched TCP averaged %.2f msgs per channel write "
+                 "(< 8): the per-message-syscall path is back\n",
+                 tcp_batched_per_frame);
+    ok = false;
+  }
+
+  rtcf::bench::emit_json("dist_throughput", rows);
+  return ok ? 0 : 1;
+}

@@ -18,6 +18,7 @@ const std::vector<FaultKind>& all_kinds() {
       FaultKind::ChannelDelay,       FaultKind::ChannelDuplicate,
       FaultKind::Straggler,          FaultKind::CoordCrashMidPrepare,
       FaultKind::CoordCrashMidCommit, FaultKind::TenantOverload,
+      FaultKind::CreditStarvation,
   };
   return kinds;
 }
@@ -42,6 +43,8 @@ const char* to_string(FaultKind kind) noexcept {
       return "coord-commit";
     case FaultKind::TenantOverload:
       return "overload";
+    case FaultKind::CreditStarvation:
+      return "starve";
   }
   return "?";
 }
@@ -86,7 +89,7 @@ FaultMix FaultMix::parse(const std::string& csv) {
       throw std::invalid_argument("unknown fault kind '" + token +
                                   "' (known: crash,drop,delay,dup,"
                                   "straggler,coord-prepare,coord-commit,"
-                                  "overload)");
+                                  "overload,starve)");
     }
   }
   if (mix.kinds.empty()) return all();
@@ -129,6 +132,10 @@ std::string ControlFault::describe() const {
     case FaultKind::TenantOverload:
       os << " tenant=" << tenant
          << " at=" << (at - AbsoluteTime()).to_micros() << "us";
+      break;
+    case FaultKind::CreditStarvation:
+      os << " node=" << node << " at=" << (at - AbsoluteTime()).to_micros()
+         << "us window=" << delay.to_micros() << "us";
       break;
   }
   return os.str();
@@ -240,6 +247,28 @@ FaultTimeline generate_timeline(const Scenario& scenario,
     timeline.control.push_back(std::move(fault));
   }
 
+  // Credit starvation is time-scoped: one node's entry side withholds
+  // data-plane credit grants for a window mid-run. Drawn after the
+  // tenant-overload draw — the same stream-tail precedent — so every
+  // pre-dataplane fault schedule stays byte-identical per seed.
+  if (mix.has(FaultKind::CreditStarvation) && rng.chance(1, 3)) {
+    const std::int64_t horizon_us =
+        (scenario.horizon - AbsoluteTime()).to_micros();
+    ControlFault fault;
+    fault.kind = FaultKind::CreditStarvation;
+    fault.node = rng.pick(nodes);
+    fault.at = AbsoluteTime() + RelativeTime::microseconds(
+                                    static_cast<std::int64_t>(rng.range(
+                                        static_cast<std::uint64_t>(
+                                            horizon_us / 5),
+                                        static_cast<std::uint64_t>(
+                                            horizon_us / 2))));
+    fault.delay = RelativeTime::microseconds(static_cast<std::int64_t>(
+        rng.range(static_cast<std::uint64_t>(horizon_us / 8),
+                  static_cast<std::uint64_t>(horizon_us / 3))));
+    timeline.control.push_back(std::move(fault));
+  }
+
   // Single-kind mixes guarantee at least one fault of that kind — the
   // per-kind scripted drills rely on it.
   if (mix.kinds.size() == 1) {
@@ -264,6 +293,10 @@ FaultTimeline generate_timeline(const Scenario& scenario,
         case FaultKind::TenantOverload:
           fault.tenant = tenant_names.front();
           fault.at = AbsoluteTime() + RelativeTime::milliseconds(50);
+          break;
+        case FaultKind::CreditStarvation:
+          fault.at = AbsoluteTime() + RelativeTime::milliseconds(50);
+          fault.delay = RelativeTime::milliseconds(30);
           break;
         case FaultKind::Straggler:
           fault.delay = RelativeTime::milliseconds(8);

@@ -38,6 +38,11 @@ enum class FaultKind {
                         ///< virtual instant: its governor envelope
                         ///< escalates to Shed. The TENANT-ISOLATION
                         ///< invariant holds every *other* tenant harmless.
+  CreditStarvation,     ///< One node's entry side stops granting data-plane
+                        ///< credits for a window: routes into it
+                        ///< backpressure into their bounded queues. The
+                        ///< DATA-CONSERVATION invariant accounts for every
+                        ///< queued or dropped message.
 };
 
 const char* to_string(FaultKind kind) noexcept;
@@ -49,9 +54,9 @@ struct FaultMix {
   bool has(FaultKind kind) const noexcept;
   /// Every kind enabled (the default mix).
   static FaultMix all();
-  /// Parses "crash,drop,delay,dup,straggler,coord-prepare,coord-commit"
-  /// ("coord" enables both coordinator kinds, "all"/"" everything);
-  /// throws std::invalid_argument on an unknown name.
+  /// Parses "crash,drop,delay,dup,straggler,coord-prepare,coord-commit,
+  /// overload,starve" ("coord" enables both coordinator kinds, "all"/""
+  /// everything); throws std::invalid_argument on an unknown name.
   static FaultMix parse(const std::string& csv);
   std::string to_string() const;
 };
@@ -65,10 +70,12 @@ struct ControlFault {
                                ///< crash).
   bool drop_prepare = false;   ///< ChannelDrop: lose the PREPARE (true) or
                                ///< the vote (false).
-  rtsj::RelativeTime delay{};  ///< Straggler / ChannelDelay magnitude.
+  rtsj::RelativeTime delay{};  ///< Straggler / ChannelDelay magnitude;
+                               ///< CreditStarvation window length.
   std::size_t after = 0;       ///< Coordinator crashes: frames sent before
                                ///< dying.
-  rtsj::AbsoluteTime at{};     ///< NodeCrash / TenantOverload instant.
+  rtsj::AbsoluteTime at{};     ///< NodeCrash / TenantOverload /
+                               ///< CreditStarvation instant.
   std::string tenant;          ///< TenantOverload: the envelope driven bad.
 
   std::string describe() const;

@@ -56,6 +56,12 @@ std::string DrillResult::summary() const {
     os << ", " << route_messages << " bridged msgs, " << route_drops
        << " dropped, " << route_dups << " duplicated";
   }
+  if (route_batches != 0) {
+    os << ", " << route_batches << " batches";
+    if (route_overflow_drops != 0) {
+      os << ", " << route_overflow_drops << " overflow-dropped";
+    }
+  }
   os << ")";
   if (!passed) os << " — " << violations.size() << " violation(s)";
   return os.str();
@@ -151,9 +157,33 @@ DrillResult run_drill(const DrillOptions& options) {
     };
   }
 
+  // Mirrored data plane (docs/DATAPLANE.md §8): knobs small enough that
+  // batching, the credit window, and the bounded queue all engage at
+  // drill scale. CreditStarvation faults become starvation windows on
+  // every route whose entry side sits on the starved node.
+  dist::SimDataPlane data_plane;
+  data_plane.batch_max = 4;
+  data_plane.flush_interval = RelativeTime::microseconds(500);
+  data_plane.credit_window = 8;
+  data_plane.credit_rtt = RelativeTime::microseconds(400);
+  data_plane.route_queue_cap = 64;
+  data_plane.stats = std::make_shared<std::vector<dist::RouteSimStats>>();
+  const std::vector<dist::GatewayRoute> routes =
+      dist::compute_routes(scenario.arch, map);
+  for (const ControlFault& fault : timeline.control) {
+    if (fault.kind != FaultKind::CreditStarvation) continue;
+    if (fault.at > scenario.horizon) continue;
+    for (std::size_t r = 0; r < routes.size(); ++r) {
+      if (routes[r].server_node != fault.node) continue;
+      data_plane.starvations.push_back(
+          {r, fault.at, fault.at + fault.delay});
+    }
+  }
+
   std::vector<dist::NodeMirror> mirrors =
       dist::map_cluster(scenario.arch, map, scheduler,
-                        RelativeTime::microseconds(200), policy);
+                        RelativeTime::microseconds(200), policy,
+                        data_plane);
   std::vector<model::Architecture> slices;
   slices.reserve(map.nodes.size());
   for (const std::string& node : map.nodes) {
@@ -340,6 +370,10 @@ DrillResult run_drill(const DrillOptions& options) {
   result.route_messages = *messages;
   result.route_drops = *drops;
   result.route_dups = *dups;
+  for (const dist::RouteSimStats& s : *data_plane.stats) {
+    result.route_batches += s.batches;
+    result.route_overflow_drops += s.overflow_dropped;
+  }
 
   // 4. Mechanical invariants.
   check_generated_valid(scenario, result.violations);
@@ -384,6 +418,7 @@ DrillResult run_drill(const DrillOptions& options) {
       audit.tasks.push_back(std::move(sample));
     }
   }
+  audit.routes = *data_plane.stats;
   audit.overloaded_tenants.assign(overloaded_tenants.begin(),
                                   overloaded_tenants.end());
   result.overloaded_tenants = audit.overloaded_tenants;

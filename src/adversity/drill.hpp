@@ -61,6 +61,11 @@ struct DrillResult {
   std::uint64_t route_messages = 0;  ///< Bridged deliveries attempted.
   std::uint64_t route_drops = 0;     ///< Declared data-plane drops.
   std::uint64_t route_dups = 0;      ///< Declared data-plane duplicates.
+  std::uint64_t route_batches = 0;   ///< Mirrored data-plane flushes that
+                                     ///< delivered at least one message.
+  std::uint64_t route_overflow_drops = 0;  ///< Drop-newest at full route
+                                           ///< queues (bounded-buffer
+                                           ///< policy, DATAPLANE.md §4).
 
   /// One line: "seed 42 [all]: PASS (3 ops, 2 committed)".
   std::string summary() const;

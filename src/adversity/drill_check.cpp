@@ -228,6 +228,23 @@ void check_sim(const SimAudit& audit, std::vector<Violation>& out) {
                          "overloaded"});
     }
   }
+  // DATA-CONSERVATION: every message a route accepted is delivered,
+  // declaredly dropped, or still queued — at any instant, including a
+  // horizon that cuts a starved queue mid-flight.
+  for (std::size_t r = 0; r < audit.routes.size(); ++r) {
+    const dist::RouteSimStats& s = audit.routes[r];
+    const std::uint64_t accounted =
+        s.delivered + s.chaos_dropped + s.overflow_dropped + s.queued;
+    if (s.offered != accounted) {
+      std::ostringstream os;
+      os << "offered " << s.offered << " != delivered " << s.delivered
+         << " + chaos-dropped " << s.chaos_dropped << " + overflow-dropped "
+         << s.overflow_dropped << " + queued " << s.queued << " (= "
+         << accounted << ")";
+      out.push_back({"DATA-CONSERVATION", "route" + std::to_string(r),
+                     os.str()});
+    }
+  }
 }
 
 }  // namespace rtcf::adversity

@@ -33,6 +33,12 @@
 //                             governor records no level transition for
 //                             such a tenant — degradation never crosses
 //                             the tenant boundary
+//   DATA-CONSERVATION         for every bridged route of the mirrored
+//                             data plane: offered == delivered +
+//                             chaos_dropped + overflow_dropped + queued —
+//                             batching, credit stalls, and starvation
+//                             windows may delay or (declaredly) drop
+//                             messages, never lose them silently
 #pragma once
 
 #include <cstdint>
@@ -41,6 +47,7 @@
 
 #include "adversity/arch_gen.hpp"
 #include "adversity/proto_sim.hpp"
+#include "dist/cluster_sim.hpp"
 
 namespace rtcf::adversity {
 
@@ -100,10 +107,13 @@ struct SimAudit {
   /// Tenant of every governor level transition the replay recorded, in
   /// decision order ("" = the implicit default envelope).
   std::vector<std::string> governor_transition_tenants;
+  /// Per-route counters of the mirrored data plane, in compute_routes
+  /// order (the DATA-CONSERVATION input).
+  std::vector<dist::RouteSimStats> routes;
 };
 
-/// SIM-CONSERVATION, SIM-DEADLINE-UNTOUCHED, and TENANT-ISOLATION over a
-/// replay audit.
+/// SIM-CONSERVATION, SIM-DEADLINE-UNTOUCHED, TENANT-ISOLATION, and
+/// DATA-CONSERVATION over a replay audit.
 void check_sim(const SimAudit& audit, std::vector<Violation>& out);
 
 }  // namespace rtcf::adversity

@@ -1,0 +1,264 @@
+#include "comm/shm_ring.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <thread>
+
+namespace rtcf::comm {
+
+namespace {
+
+/// One direction's positions: monotonic byte counters, so `head - tail`
+/// is the unread byte count and wrap is a plain modulo on access.
+struct Ring {
+  std::atomic<std::uint64_t> head;  ///< Bytes published by the writer.
+  std::atomic<std::uint64_t> tail;  ///< Bytes consumed by the reader.
+};
+
+/// The region header (offsets are normative; docs/DATAPLANE.md §5).
+struct Region {
+  std::atomic<std::uint64_t> magic;  // offset 0
+  std::uint32_t layout_version;     // offset 8
+  std::uint32_t capacity;           // offset 12
+  std::atomic<std::uint32_t> closed;  // offset 16
+  std::uint32_t reserved;           // offset 20
+  Ring rings[2];                    // offset 24: [0] creator->attacher,
+                                    // offset 40: [1] attacher->creator
+  std::uint64_t pad;                // offset 56; data begins at 64
+};
+
+static_assert(sizeof(Region) == ShmRingChannel::kHeaderBytes,
+              "region header layout is normative");
+static_assert(offsetof(Region, closed) == 16, "closed flag at offset 16");
+static_assert(offsetof(Region, rings) == 24, "ring block at offset 24");
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "shared-memory ring positions must be lock-free");
+
+/// Record header: identical bytes to the TCP framing.
+constexpr std::size_t kRecordHeader = 8;
+
+void store_u32(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t load_u32(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         static_cast<std::uint32_t>(in[1]) << 8 |
+         static_cast<std::uint32_t>(in[2]) << 16 |
+         static_cast<std::uint32_t>(in[3]) << 24;
+}
+
+void store_u16(std::uint8_t* out, std::uint16_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+std::uint16_t load_u16(const std::uint8_t* in) {
+  return static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(in[0]) |
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(in[1]) << 8));
+}
+
+/// Copies `count` bytes into the ring at logical position `pos`,
+/// wrapping at `capacity`.
+void ring_write(std::uint8_t* data, std::size_t capacity, std::uint64_t pos,
+                const std::uint8_t* src, std::size_t count) {
+  const std::size_t at = static_cast<std::size_t>(pos % capacity);
+  const std::size_t first = std::min(count, capacity - at);
+  std::memcpy(data + at, src, first);
+  if (first < count) std::memcpy(data, src + first, count - first);
+}
+
+/// Copies `count` bytes out of the ring at logical position `pos`.
+void ring_read(const std::uint8_t* data, std::size_t capacity,
+               std::uint64_t pos, std::uint8_t* dst, std::size_t count) {
+  const std::size_t at = static_cast<std::size_t>(pos % capacity);
+  const std::size_t first = std::min(count, capacity - at);
+  std::memcpy(dst, data + at, first);
+  if (first < count) std::memcpy(dst + first, data, count - first);
+}
+
+}  // namespace
+
+std::unique_ptr<ShmRingChannel> ShmRingChannel::create(
+    const std::string& name, std::size_t capacity,
+    rtsj::RelativeTime send_stall) {
+  if (capacity < 2 * kRecordHeader) return nullptr;
+  const int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) return nullptr;
+  const std::size_t bytes = kHeaderBytes + 2 * capacity;
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    return nullptr;
+  }
+  void* region =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the region alive
+  if (region == MAP_FAILED) {
+    ::shm_unlink(name.c_str());
+    return nullptr;
+  }
+  auto* hdr = new (region) Region();
+  hdr->layout_version = kLayoutVersion;
+  hdr->capacity = static_cast<std::uint32_t>(capacity);
+  hdr->closed.store(0, std::memory_order_relaxed);
+  hdr->rings[0].head.store(0, std::memory_order_relaxed);
+  hdr->rings[0].tail.store(0, std::memory_order_relaxed);
+  hdr->rings[1].head.store(0, std::memory_order_relaxed);
+  hdr->rings[1].tail.store(0, std::memory_order_relaxed);
+  // The magic is published last (release): an attacher that sees it sees
+  // an initialized header.
+  hdr->magic.store(kMagic, std::memory_order_release);
+  auto channel = std::unique_ptr<ShmRingChannel>(new ShmRingChannel());
+  channel->name_ = name;
+  channel->region_ = region;
+  channel->mapped_bytes_ = bytes;
+  channel->creator_ = true;
+  channel->send_stall_ = send_stall;
+  return channel;
+}
+
+std::unique_ptr<ShmRingChannel> ShmRingChannel::attach(
+    const std::string& name, rtsj::RelativeTime send_stall) {
+  const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) return nullptr;
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 ||
+      static_cast<std::size_t>(st.st_size) < kHeaderBytes) {
+    ::close(fd);
+    return nullptr;
+  }
+  const std::size_t bytes = static_cast<std::size_t>(st.st_size);
+  void* region =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (region == MAP_FAILED) return nullptr;
+  auto* hdr = static_cast<Region*>(region);
+  const std::uint64_t magic = hdr->magic.load(std::memory_order_acquire);
+  if (magic != kMagic || hdr->layout_version != kLayoutVersion ||
+      bytes != kHeaderBytes + 2 * static_cast<std::size_t>(hdr->capacity)) {
+    ::munmap(region, bytes);
+    return nullptr;
+  }
+  auto channel = std::unique_ptr<ShmRingChannel>(new ShmRingChannel());
+  channel->name_ = name;
+  channel->region_ = region;
+  channel->mapped_bytes_ = bytes;
+  channel->creator_ = false;
+  channel->send_stall_ = send_stall;
+  return channel;
+}
+
+ShmRingChannel::~ShmRingChannel() {
+  close();
+  if (region_ != nullptr) {
+    ::munmap(region_, mapped_bytes_);
+    region_ = nullptr;
+  }
+  if (creator_) ::shm_unlink(name_.c_str());
+}
+
+std::size_t ShmRingChannel::capacity() const noexcept {
+  return static_cast<const Region*>(region_)->capacity;
+}
+
+bool ShmRingChannel::send(const Frame& frame) {
+  auto* hdr = static_cast<Region*>(region_);
+  Ring& ring = hdr->rings[creator_ ? 0 : 1];
+  std::uint8_t* data = static_cast<std::uint8_t*>(region_) + kHeaderBytes +
+                       (creator_ ? 0 : hdr->capacity);
+  const std::size_t capacity = hdr->capacity;
+  const std::size_t total = kRecordHeader + frame.payload.size();
+  if (total > capacity) return false;  // can never fit
+  auto& clock = rtsj::SteadyClock::instance();
+  const auto deadline = clock.now() + send_stall_;
+  std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+  while (true) {
+    if (hdr->closed.load(std::memory_order_acquire) != 0) return false;
+    const std::uint64_t tail = ring.tail.load(std::memory_order_acquire);
+    if (capacity - static_cast<std::size_t>(head - tail) >= total) break;
+    if (clock.now() >= deadline) {
+      // The reader has stalled past the bound; fail loudly rather than
+      // wedge the sender (mirrors the TCP transport's stall deadline).
+      close();
+      return false;
+    }
+    std::this_thread::yield();
+  }
+  std::uint8_t header[kRecordHeader];
+  store_u32(header, static_cast<std::uint32_t>(4 + frame.payload.size()));
+  store_u16(header + 4, kWireVersion);
+  store_u16(header + 6, frame.type);
+  ring_write(data, capacity, head, header, kRecordHeader);
+  if (!frame.payload.empty()) {
+    ring_write(data, capacity, head + kRecordHeader, frame.payload.data(),
+               frame.payload.size());
+  }
+  ring.head.store(head + total, std::memory_order_release);
+  return true;
+}
+
+bool ShmRingChannel::receive(Frame& frame, rtsj::RelativeTime timeout) {
+  auto* hdr = static_cast<Region*>(region_);
+  Ring& ring = hdr->rings[creator_ ? 1 : 0];
+  const std::uint8_t* data = static_cast<const std::uint8_t*>(region_) +
+                             kHeaderBytes + (creator_ ? hdr->capacity : 0);
+  const std::size_t capacity = hdr->capacity;
+  auto& clock = rtsj::SteadyClock::instance();
+  const auto deadline = clock.now() + timeout;
+  const std::uint64_t tail = ring.tail.load(std::memory_order_relaxed);
+  while (true) {
+    const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+    const std::size_t available = static_cast<std::size_t>(head - tail);
+    if (available >= kRecordHeader) {
+      std::uint8_t header[kRecordHeader];
+      ring_read(data, capacity, tail, header, kRecordHeader);
+      const std::uint32_t length = load_u32(header);
+      // Torn-size / corruption guard: a record the writer could not have
+      // published legally desynchronizes the stream for good — close,
+      // exactly like the TCP framing-violation rule.
+      if (length < 4 || length + 4 > capacity ||
+          load_u16(header + 4) != kWireVersion ||
+          available < 4 + static_cast<std::size_t>(length)) {
+        close();
+        return false;
+      }
+      frame.type = load_u16(header + 6);
+      frame.payload.resize(length - 4);
+      if (!frame.payload.empty()) {
+        ring_read(data, capacity, tail + kRecordHeader, frame.payload.data(),
+                  frame.payload.size());
+      }
+      ring.tail.store(tail + 4 + length, std::memory_order_release);
+      return true;
+    }
+    if (hdr->closed.load(std::memory_order_acquire) != 0) return false;
+    if (clock.now() >= deadline) return false;
+    std::this_thread::yield();
+  }
+}
+
+void ShmRingChannel::close() {
+  if (region_ == nullptr) return;
+  static_cast<Region*>(region_)->closed.store(1, std::memory_order_release);
+}
+
+bool ShmRingChannel::open() const {
+  if (region_ == nullptr) return false;
+  return static_cast<const Region*>(region_)->closed.load(
+             std::memory_order_acquire) == 0;
+}
+
+}  // namespace rtcf::comm

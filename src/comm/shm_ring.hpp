@@ -1,0 +1,89 @@
+// Shared-memory ring transport: the co-located fast path of the data
+// plane (docs/DATAPLANE.md §5).
+//
+// A ShmRingChannel is a comm::Channel over one POSIX shared-memory region
+// holding two SPSC byte rings, one per direction. Records reuse the TCP
+// framing byte-for-byte (u32 length, u16 framing version, u16 frame type,
+// payload), so the layer above cannot tell the transports apart — but a
+// frame crosses the "wire" as two memcpys and two atomic stores, no
+// syscalls on the hot path.
+//
+// Roles are asymmetric only at setup: create() makes and truncates the
+// region (and unlinks it on destruction), attach() maps an existing one
+// and validates its magic/layout. Each endpoint writes exactly one ring
+// and reads the other, which is what keeps the rings single-producer/
+// single-consumer without locks. A reader that finds an implausible
+// record header (torn size, bad framing version) closes the channel —
+// the stream position is unrecoverable, exactly like the TCP transport's
+// framing-violation rule.
+//
+// Peers negotiate the region name at HELLO time (dist::HelloInfo's
+// shm_token); the region layout is normative in docs/DATAPLANE.md so a
+// second implementation can map it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "comm/channel.hpp"
+
+namespace rtcf::comm {
+
+/// A comm::Channel over a shared-memory region with two SPSC byte rings.
+class ShmRingChannel final : public Channel {
+ public:
+  /// Fixed region-header size; ring 0's data starts at this offset and
+  /// ring 1's at kHeaderBytes + capacity (layout: docs/DATAPLANE.md §5).
+  static constexpr std::size_t kHeaderBytes = 64;
+  /// Region magic ("RTCFsmr1" little-endian) at offset 0.
+  static constexpr std::uint64_t kMagic = 0x31726d7366435452ull;
+  /// Region layout version at offset 8; attach() rejects others.
+  static constexpr std::uint32_t kLayoutVersion = 1;
+
+  /// Creates the region under `name` (a shm_open name, "/rtcf...."),
+  /// with `capacity` data bytes per direction, and returns the creator
+  /// endpoint. `send_stall` bounds how long a send spins on a full ring
+  /// before failing (and closing). Returns nullptr when the region cannot
+  /// be created (exists already, no /dev/shm, ...).
+  static std::unique_ptr<ShmRingChannel> create(
+      const std::string& name, std::size_t capacity,
+      rtsj::RelativeTime send_stall = rtsj::RelativeTime::milliseconds(2000));
+  /// Maps an existing region and returns the attacher endpoint. Returns
+  /// nullptr when the region does not exist (yet) or fails validation —
+  /// callers retry while the creator races them (HELLO negotiation).
+  static std::unique_ptr<ShmRingChannel> attach(
+      const std::string& name,
+      rtsj::RelativeTime send_stall = rtsj::RelativeTime::milliseconds(2000));
+
+  /// Unmaps; the creator endpoint also unlinks the region name.
+  ~ShmRingChannel() override;
+
+  /// Sends one frame: spins (yielding) while the ring lacks space, up to
+  /// the send-stall bound, then fails and closes. Returns false when the
+  /// frame can never fit or the channel is closed.
+  bool send(const Frame& frame) override;
+  /// Receives the next frame, waiting up to `timeout` (zero = one poll).
+  /// A torn or implausible record header closes the channel.
+  bool receive(Frame& frame, rtsj::RelativeTime timeout) override;
+  /// Marks the region closed; both endpoints observe it.
+  void close() override;
+  /// True until either endpoint closes.
+  bool open() const override;
+
+  /// The region's shm_open name.
+  const std::string& name() const noexcept { return name_; }
+  /// Data bytes per direction.
+  std::size_t capacity() const noexcept;
+
+ private:
+  ShmRingChannel() = default;
+
+  std::string name_;
+  void* region_ = nullptr;
+  std::size_t mapped_bytes_ = 0;
+  bool creator_ = false;
+  rtsj::RelativeTime send_stall_{};
+};
+
+}  // namespace rtcf::comm

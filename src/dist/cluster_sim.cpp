@@ -1,8 +1,10 @@
 #include "dist/cluster_sim.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "dist/gateway.hpp"
 #include "dist/slice.hpp"
@@ -10,11 +12,119 @@
 
 namespace rtcf::dist {
 
+namespace {
+
+/// One bridged route's mirrored data-plane state, shared between the
+/// exit-completion closure and the flush/replenish callbacks it plants.
+struct SimRoute {
+  sim::PreemptiveScheduler* scheduler = nullptr;
+  sim::TaskId server_task = 0;
+  rtsj::RelativeTime link_latency{};
+  LinkPolicy chaos;
+  std::size_t index = 0;
+  SimDataPlane cfg;                       ///< Knobs (starvations filtered).
+  std::deque<LinkFault> queue;            ///< Accepted, awaiting flush.
+  std::uint64_t credits = 0;
+  std::uint64_t seq = 0;
+  bool armed = false;                     ///< A deadline flush is planted.
+
+  RouteSimStats* stats() {
+    return cfg.stats == nullptr ? nullptr : &(*cfg.stats)[index];
+  }
+
+  /// Starvation windows push a replenish instant to their far edge.
+  rtsj::AbsoluteTime defer_past_starvation(rtsj::AbsoluteTime t) const {
+    for (const SimStarvation& window : cfg.starvations) {
+      if (window.route == index && t >= window.from && t < window.to) {
+        t = window.to;
+      }
+    }
+    return t;
+  }
+
+  void offer(std::shared_ptr<SimRoute> self, rtsj::AbsoluteTime t) {
+    RouteSimStats* st = stats();
+    if (st != nullptr) ++st->offered;
+    LinkFault fault;
+    if (chaos) fault = chaos(index, seq++);
+    if (fault.drop) {
+      if (st != nullptr) ++st->chaos_dropped;
+      return;
+    }
+    if (cfg.route_queue_cap > 0 && queue.size() >= cfg.route_queue_cap) {
+      if (st != nullptr) ++st->overflow_dropped;
+      return;
+    }
+    queue.push_back(fault);
+    if (st != nullptr) st->queued = queue.size();
+    if (queue.size() >= cfg.batch_max &&
+        (cfg.credit_window == 0 || credits > 0)) {
+      flush(self, t);
+    } else if (!armed) {
+      arm(self, t);
+    }
+  }
+
+  void arm(std::shared_ptr<SimRoute> self, rtsj::AbsoluteTime t) {
+    armed = true;
+    scheduler->schedule_callback(t + cfg.flush_interval, [self] {
+      self->armed = false;
+      if (!self->queue.empty()) {
+        self->flush(self, self->scheduler->now());
+      }
+    });
+  }
+
+  void flush(std::shared_ptr<SimRoute> self, rtsj::AbsoluteTime t) {
+    const std::uint64_t allowance =
+        cfg.credit_window == 0
+            ? queue.size()
+            : std::min<std::uint64_t>(credits, queue.size());
+    std::uint64_t sent = 0;
+    for (; sent < allowance; ++sent) {
+      const LinkFault fault = queue.front();
+      queue.pop_front();
+      const rtsj::AbsoluteTime arrival =
+          t + link_latency + fault.extra_delay;
+      const std::uint32_t copies = std::max<std::uint32_t>(fault.copies, 1);
+      for (std::uint32_t c = 0; c < copies; ++c) {
+        scheduler->post_arrival(server_task, arrival);
+      }
+    }
+    RouteSimStats* st = stats();
+    if (st != nullptr) st->queued = queue.size();
+    if (sent > 0) {
+      if (st != nullptr) {
+        st->delivered += sent;
+        ++st->batches;
+      }
+      if (cfg.credit_window > 0) {
+        credits -= sent;
+        // The entry side grants back what it consumed, one round trip
+        // later — unless a starvation window holds the grant hostage.
+        const rtsj::AbsoluteTime replenish =
+            defer_past_starvation(t + link_latency + cfg.credit_rtt);
+        scheduler->schedule_callback(replenish, [self, sent] {
+          self->credits += sent;
+          if (!self->queue.empty() && !self->armed) {
+            self->arm(self, self->scheduler->now());
+          }
+        });
+      }
+    }
+    // Credit-starved leftovers re-arm so the deadline path retries.
+    if (!queue.empty() && !armed) arm(self, t);
+  }
+};
+
+}  // namespace
+
 std::vector<NodeMirror> map_cluster(const model::Architecture& global,
                                     const validate::NodeMap& map,
                                     sim::PreemptiveScheduler& scheduler,
                                     rtsj::RelativeTime link_latency,
-                                    LinkPolicy chaos) {
+                                    LinkPolicy chaos,
+                                    SimDataPlane data_plane) {
   RTCF_REQUIRE(scheduler.cpu_count() >= map.nodes.size(),
                "cluster mirror needs one simulated CPU per node");
   std::vector<NodeMirror> mirrors;
@@ -39,6 +149,9 @@ std::vector<NodeMirror> map_cluster(const model::Architecture& global,
   // policy sees each delivery keyed by (route index, per-route sequence):
   // the key is stable across runs, which keeps fault schedules replayable.
   const std::vector<GatewayRoute> routes = compute_routes(global, map);
+  if (data_plane.stats != nullptr) {
+    data_plane.stats->assign(routes.size(), RouteSimStats{});
+  }
   for (std::size_t r = 0; r < routes.size(); ++r) {
     const GatewayRoute& route = routes[r];
     const std::size_t client_idx = map.node_index(route.client_node);
@@ -55,20 +168,44 @@ std::vector<NodeMirror> map_cluster(const model::Architecture& global,
     const sim::TaskId exit_task = mirrors[client_idx].mapping.task(exit_name);
     const sim::TaskId server_task =
         mirrors[server_idx].mapping.task(route.server);
+    if (data_plane.batched()) {
+      // The mirrored data plane: batching, credits, and the bounded
+      // queue replayed in virtual time through scheduler callbacks.
+      auto state = std::make_shared<SimRoute>();
+      state->scheduler = &scheduler;
+      state->server_task = server_task;
+      state->link_latency = link_latency;
+      state->chaos = chaos;
+      state->index = r;
+      state->cfg = data_plane;
+      state->credits = data_plane.credit_window;
+      scheduler.set_on_complete(
+          exit_task, [state](rtsj::AbsoluteTime completion) {
+            state->offer(state, completion);
+          });
+      continue;
+    }
     scheduler.set_on_complete(
         exit_task,
         [&scheduler, server_task, link_latency, chaos, r,
+         stats = data_plane.stats,
          seq = std::make_shared<std::uint64_t>(0)](
             rtsj::AbsoluteTime completion) {
+          RouteSimStats* st = stats == nullptr ? nullptr : &(*stats)[r];
+          if (st != nullptr) ++st->offered;
           LinkFault fault;
           if (chaos) fault = chaos(r, (*seq)++);
-          if (fault.drop) return;
+          if (fault.drop) {
+            if (st != nullptr) ++st->chaos_dropped;
+            return;
+          }
           const rtsj::AbsoluteTime arrival =
               completion + link_latency + fault.extra_delay;
           const std::uint32_t copies = std::max<std::uint32_t>(fault.copies, 1);
           for (std::uint32_t c = 0; c < copies; ++c) {
             scheduler.post_arrival(server_task, arrival);
           }
+          if (st != nullptr) ++st->delivered;
         });
   }
   return mirrors;

@@ -1,0 +1,278 @@
+#include "dist/dataplane.hpp"
+
+#include <algorithm>
+
+namespace rtcf::dist {
+
+namespace {
+constexpr std::uint16_t kLegacyVersion = 2;
+}  // namespace
+
+void DataPlane::set_counters(monitor::DataPlaneCounters* counters) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_ = counters;
+}
+
+void DataPlane::set_peer_version(const std::string& peer,
+                                 std::uint16_t version) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  peer_versions_[peer] = version;
+}
+
+std::uint16_t DataPlane::peer_version(const std::string& peer) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = peer_versions_.find(peer);
+  return it == peer_versions_.end() ? kLegacyVersion : it->second;
+}
+
+void DataPlane::clear_routes() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (ExitRoute& route : exits_) {
+    route.active = false;
+    route.channel = nullptr;
+  }
+  for (EntryRoute& route : entries_) {
+    route.active = false;
+    route.reverse = nullptr;
+  }
+}
+
+std::size_t DataPlane::add_route(const std::string& client,
+                                 const std::string& port,
+                                 std::shared_ptr<comm::Channel> channel,
+                                 const std::string& peer) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto key = std::make_pair(client, port);
+  auto it = exit_index_.find(key);
+  if (it == exit_index_.end()) {
+    ExitRoute route;
+    route.client = client;
+    route.port = port;
+    route.credits = config_.credit_window;
+    exits_.push_back(std::move(route));
+    it = exit_index_.emplace(key, exits_.size() - 1).first;
+  }
+  ExitRoute& route = exits_[it->second];
+  route.peer = peer;
+  route.channel = std::move(channel);
+  route.active = route.channel != nullptr;
+  return it->second;
+}
+
+std::size_t DataPlane::add_entry_route(const std::string& client,
+                                       const std::string& port,
+                                       std::shared_ptr<comm::Channel> reverse,
+                                       const std::string& peer) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto key = std::make_pair(client, port);
+  auto it = entry_index_.find(key);
+  if (it == entry_index_.end()) {
+    EntryRoute route;
+    route.client = client;
+    route.port = port;
+    entries_.push_back(std::move(route));
+    it = entry_index_.emplace(key, entries_.size() - 1).first;
+  }
+  EntryRoute& route = entries_[it->second];
+  route.peer = peer;
+  route.reverse = std::move(reverse);
+  route.active = route.reverse != nullptr;
+  return it->second;
+}
+
+DataPlane::Offer DataPlane::offer(std::size_t route_id,
+                                  const comm::Message& message) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_.offered += 1;
+  if (counters_ != nullptr) {
+    counters_->offered.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (route_id >= exits_.size()) return Offer::Dropped;
+  ExitRoute& route = exits_[route_id];
+  if (!route.active || route.channel == nullptr) return Offer::Dropped;
+
+  const auto vit = peer_versions_.find(route.peer);
+  const std::uint16_t version =
+      vit == peer_versions_.end() ? kLegacyVersion : vit->second;
+  if (version < kProtocolVersion) {
+    // Pre-v3 peer: the original one-frame-per-message path, verbatim.
+    DataPayload payload;
+    payload.client = route.client;
+    payload.port = route.port;
+    payload.message = message;
+    if (!route.channel->send(make_data(payload))) {
+      stats_.send_failures += 1;
+      if (counters_ != nullptr) {
+        counters_->send_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Offer::Dropped;
+    }
+    stats_.sent += 1;
+    stats_.legacy_sends += 1;
+    if (counters_ != nullptr) {
+      counters_->sent.fetch_add(1, std::memory_order_relaxed);
+      counters_->legacy_sends.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Offer::Sent;
+  }
+
+  if (route.queue.size() >= config_.route_queue_cap) {
+    // Overflow is decided here, at the route: drop-newest, the same
+    // policy the local bounded buffer applies (docs/DATAPLANE.md §4).
+    stats_.overflow_drops += 1;
+    if (counters_ != nullptr) {
+      counters_->overflow_drops.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Offer::Dropped;
+  }
+  if (route.queue.empty()) {
+    route.oldest = rtsj::SteadyClock::instance().now();
+  }
+  route.queue.push_back(message);
+  stats_.queued += 1;
+  stats_.peak_queue_depth =
+      std::max<std::uint64_t>(stats_.peak_queue_depth, route.queue.size());
+  if (route.queue.size() >= config_.batch_max && route.credits > 0) {
+    stats_.size_flushes += 1;
+    if (counters_ != nullptr) {
+      counters_->size_flushes.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::map<comm::Channel*, PendingFlush> groups;
+    stage_route(route, route.credits, groups);
+    send_groups(groups);
+    return route.queue.empty() ? Offer::Sent : Offer::Queued;
+  }
+  return Offer::Queued;
+}
+
+std::size_t DataPlane::stage_route(
+    ExitRoute& route, std::size_t limit,
+    std::map<comm::Channel*, PendingFlush>& groups) {
+  const std::size_t take = std::min(route.queue.size(), limit);
+  if (take == 0) return 0;
+  PendingFlush& group = groups[route.channel.get()];
+  group.channel = route.channel;
+  BatchRoute entry;
+  entry.client = route.client;
+  entry.port = route.port;
+  entry.messages.assign(route.queue.begin(),
+                        route.queue.begin() +
+                            static_cast<std::ptrdiff_t>(take));
+  group.payload.routes.push_back(std::move(entry));
+  group.messages += take;
+  route.queue.erase(route.queue.begin(),
+                    route.queue.begin() + static_cast<std::ptrdiff_t>(take));
+  route.credits -= std::min<std::uint64_t>(route.credits, take);
+  stats_.queued -= take;
+  if (!route.queue.empty()) {
+    route.oldest = rtsj::SteadyClock::instance().now();
+  }
+  return take;
+}
+
+std::size_t DataPlane::send_groups(
+    std::map<comm::Channel*, PendingFlush>& groups) {
+  std::size_t sent = 0;
+  for (auto& [raw, group] : groups) {
+    (void)raw;
+    if (group.channel->send(make_batch(group.payload))) {
+      sent += group.messages;
+      stats_.sent += group.messages;
+      stats_.batches += 1;
+      if (counters_ != nullptr) {
+        counters_->sent.fetch_add(group.messages, std::memory_order_relaxed);
+        counters_->batches.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      stats_.send_failures += 1;
+      if (counters_ != nullptr) {
+        counters_->send_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  return sent;
+}
+
+std::size_t DataPlane::flush(bool force) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const rtsj::AbsoluteTime now = rtsj::SteadyClock::instance().now();
+  std::map<comm::Channel*, PendingFlush> groups;
+  for (ExitRoute& route : exits_) {
+    if (route.queue.empty() || route.channel == nullptr) continue;
+    if (!force && now - route.oldest < config_.flush_interval) continue;
+    // The stop() drain (`force`) must empty the node even when the peer's
+    // grants are still in flight, so it ignores the credit balance; a
+    // deadline flush respects it — that is the backpressure.
+    const std::size_t limit =
+        force ? route.queue.size()
+              : static_cast<std::size_t>(
+                    std::min<std::uint64_t>(route.credits, route.queue.size()));
+    if (limit == 0) continue;
+    if (!force) {
+      stats_.deadline_flushes += 1;
+      if (counters_ != nullptr) {
+        counters_->deadline_flushes.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    stage_route(route, limit, groups);
+  }
+  return send_groups(groups);
+}
+
+void DataPlane::on_credit(const CreditPayload& credit) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = exit_index_.find({credit.client, credit.port});
+  if (it == exit_index_.end()) return;
+  exits_[it->second].credits += credit.credits;
+}
+
+void DataPlane::note_injected(std::size_t entry_route, std::uint64_t n) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (entry_route >= entries_.size()) return;
+  EntryRoute& route = entries_[entry_route];
+  route.pending += n;
+  const std::uint64_t threshold =
+      std::max<std::uint64_t>(1, config_.credit_window / 2);
+  if (route.pending >= threshold && route.active &&
+      route.reverse != nullptr) {
+    send_grant(route);
+  }
+}
+
+std::size_t DataPlane::grant_all() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t grants = 0;
+  for (EntryRoute& route : entries_) {
+    if (route.pending == 0 || route.reverse == nullptr) continue;
+    if (send_grant(route)) ++grants;
+  }
+  return grants;
+}
+
+bool DataPlane::send_grant(EntryRoute& route) {
+  CreditPayload payload;
+  payload.client = route.client;
+  payload.port = route.port;
+  payload.credits = route.pending;
+  if (!route.reverse->send(make_credit(payload))) {
+    stats_.send_failures += 1;
+    if (counters_ != nullptr) {
+      counters_->send_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+    return false;
+  }
+  stats_.credits_granted += route.pending;
+  if (counters_ != nullptr) {
+    counters_->credits_granted.fetch_add(route.pending,
+                                         std::memory_order_relaxed);
+  }
+  route.pending = 0;
+  return true;
+}
+
+DataPlaneStats DataPlane::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace rtcf::dist

@@ -1,0 +1,200 @@
+// The gateway data plane: per-route batching and credit-based flow
+// control for bridged asynchronous bindings (docs/DATAPLANE.md is the
+// normative spec).
+//
+// PR-sized history: the first data plane sent one DATA frame — one
+// channel write, one syscall on TCP — per forwarded message. This class
+// replaces that hot path. Exit gateways offer() messages into bounded
+// per-route queues; flush() coalesces everything pending toward a peer
+// into one BATCH frame per channel, triggered by queue depth (batch_max)
+// or age (flush_interval). A per-route credit window caps how many
+// messages may be on the wire ahead of the consuming entry gateway: the
+// entry side grants credits back (CREDIT frames) as it injects, so a slow
+// node backpressures the bridge into the route queue, and overflow is
+// decided *at the route* (drop-newest, mirroring the local bounded
+// buffer's policy) instead of inside a wedged TCP write.
+//
+// Peers that never announced protocol version 3 in their HELLO fall back
+// to the per-message DATA path — no batching, no credits — so a v3 node
+// interoperates with a v2 cluster frame-for-frame.
+//
+// Threading discipline (the channel contracts depend on it): every
+// channel WRITE — batch flush, legacy DATA send, CREDIT grant — happens
+// on the executive thread (offer/flush from the launcher boundary hook,
+// note_injected from the inbox drain, or the single-threaded stop()
+// drain). The serve thread only tops up credits (on_credit) and version
+// facts (set_peer_version) under the internal mutex. One writer per
+// channel is exactly what keeps the shm-ring transport SPSC.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "comm/message.hpp"
+#include "dist/protocol.hpp"
+#include "monitor/runtime_monitor.hpp"
+
+namespace rtcf::dist {
+
+/// Data-plane tuning knobs (docs/DATAPLANE.md §6 is the runbook).
+struct DataPlaneConfig {
+  /// Queue depth at which a route flushes immediately (size flush).
+  std::size_t batch_max = 32;
+  /// Maximum age of a queued message before the next flush(false) sends
+  /// it (deadline flush) — the latency bound batching may add.
+  rtsj::RelativeTime flush_interval = rtsj::RelativeTime::microseconds(200);
+  /// Initial per-route sender credit: messages allowed on the wire ahead
+  /// of the entry side's grants. Zero disables sending entirely (useful
+  /// only in tests).
+  std::uint64_t credit_window = 256;
+  /// Bound on a route's send queue; the newest message is dropped when
+  /// it is full (the bounded-buffer drop-newest policy, decided here).
+  std::size_t route_queue_cap = 1024;
+};
+
+/// Point-in-time counter snapshot (also mirrored into the runtime
+/// monitor's DataPlaneCounters when attached).
+struct DataPlaneStats {
+  std::uint64_t offered = 0;        ///< Messages handed to offer().
+  std::uint64_t sent = 0;           ///< Messages put on a channel.
+  std::uint64_t batches = 0;        ///< BATCH frames written.
+  std::uint64_t legacy_sends = 0;   ///< Per-message DATA frames (v2 peers).
+  std::uint64_t size_flushes = 0;   ///< Route flushes on batch_max.
+  std::uint64_t deadline_flushes = 0;  ///< Route flushes on flush_interval.
+  std::uint64_t overflow_drops = 0;    ///< Drop-newest at a full queue.
+  std::uint64_t send_failures = 0;     ///< Channel writes refused.
+  std::uint64_t credits_granted = 0;   ///< Credits granted entry-side.
+  std::uint64_t peak_queue_depth = 0;  ///< Largest single-route queue seen.
+  std::uint64_t queued = 0;            ///< Messages queued right now.
+};
+
+/// The per-node data plane: exit routes (sending side) and entry routes
+/// (credit-granting side), owned by the NodeRuntime.
+class DataPlane {
+ public:
+  /// What became of an offered message.
+  enum class Offer {
+    Sent,     ///< On the wire (flushed immediately or legacy DATA).
+    Queued,   ///< Accepted, waiting for a flush or for credit.
+    Dropped,  ///< Unrouted, queue full, or the channel refused it.
+  };
+
+  /// A data plane with the given knobs.
+  explicit DataPlane(DataPlaneConfig config = {}) : config_(config) {}
+
+  DataPlane(const DataPlane&) = delete;
+  DataPlane& operator=(const DataPlane&) = delete;
+
+  /// Attaches the runtime monitor's counter block; every stat increment
+  /// is mirrored there from now on. Pass nullptr to detach.
+  void set_counters(monitor::DataPlaneCounters* counters);
+
+  /// Records the protocol version `peer` announced in its HELLO. Routes
+  /// toward unannounced peers assume version 2 (per-message DATA).
+  void set_peer_version(const std::string& peer, std::uint16_t version);
+  /// The recorded version of `peer` (2 when never announced).
+  std::uint16_t peer_version(const std::string& peer) const;
+
+  /// Deactivates every route (null channel) without forgetting it: queued
+  /// messages and credit balances survive a route-table refresh, and
+  /// add_route() with the same (client, port) re-activates in place.
+  void clear_routes();
+  /// Registers/re-activates the exit route for (client, port) toward
+  /// `peer` over `channel` (null = stays inactive). Returns the stable
+  /// route id offer() takes.
+  std::size_t add_route(const std::string& client, const std::string& port,
+                        std::shared_ptr<comm::Channel> channel,
+                        const std::string& peer);
+  /// Registers/re-activates the entry route for (client, port): grants
+  /// flow back toward `peer` over `reverse` (the channel to the client's
+  /// node). Returns the id note_injected() takes.
+  std::size_t add_entry_route(const std::string& client,
+                              const std::string& port,
+                              std::shared_ptr<comm::Channel> reverse,
+                              const std::string& peer);
+
+  /// Offers one message to an exit route (executive thread). May write
+  /// the channel (legacy path, or a size-triggered flush).
+  Offer offer(std::size_t route, const comm::Message& message);
+
+  /// Flushes pending queues (executive thread): every route whose oldest
+  /// queued message is older than flush_interval — or every route with
+  /// anything pending when `force` — sends up to its credit balance
+  /// (`force` ignores credits: the stop() drain must empty the node).
+  /// Routes flushing toward the same channel share one BATCH frame.
+  /// Returns the number of messages put on the wire.
+  std::size_t flush(bool force);
+
+  /// Credits granted by a peer's entry side (serve thread; no sends).
+  void on_credit(const CreditPayload& credit);
+
+  /// Records `n` messages consumed from the wire on an entry route
+  /// (executive thread); sends a CREDIT grant once enough accumulate
+  /// (max(1, credit_window / 2) — replenish-on-consume).
+  void note_injected(std::size_t entry_route, std::uint64_t n = 1);
+
+  /// Sends every pending grant regardless of threshold (stop() drain).
+  /// Returns the number of CREDIT frames written.
+  std::size_t grant_all();
+
+  /// Counter snapshot (any thread).
+  DataPlaneStats stats() const;
+  /// The knobs this plane runs with.
+  const DataPlaneConfig& config() const noexcept { return config_; }
+
+ private:
+  struct ExitRoute {
+    std::string client;
+    std::string port;
+    std::string peer;
+    std::shared_ptr<comm::Channel> channel;
+    std::deque<comm::Message> queue;
+    std::uint64_t credits = 0;
+    rtsj::AbsoluteTime oldest{};  ///< Enqueue time of queue.front().
+    bool active = false;
+  };
+
+  struct EntryRoute {
+    std::string client;
+    std::string port;
+    std::string peer;
+    std::shared_ptr<comm::Channel> reverse;
+    std::uint64_t pending = 0;  ///< Consumed but not yet granted.
+    bool active = false;
+  };
+
+  /// One route's contribution to a grouped flush (mutex held).
+  struct PendingFlush {
+    std::shared_ptr<comm::Channel> channel;
+    BatchPayload payload;
+    std::size_t messages = 0;
+  };
+
+  /// Moves up to `limit` messages of `route` into the per-channel group
+  /// map (mutex held). Returns how many it took.
+  std::size_t stage_route(ExitRoute& route, std::size_t limit,
+                          std::map<comm::Channel*, PendingFlush>& groups);
+  /// Sends the grouped BATCH frames and books the stats (mutex held).
+  std::size_t send_groups(std::map<comm::Channel*, PendingFlush>& groups);
+  /// Sends one entry route's pending grant (mutex held). True on success.
+  bool send_grant(EntryRoute& route);
+
+  const DataPlaneConfig config_;
+  mutable std::mutex mutex_;
+  std::vector<ExitRoute> exits_;
+  std::vector<EntryRoute> entries_;
+  std::map<std::pair<std::string, std::string>, std::size_t> exit_index_;
+  std::map<std::pair<std::string, std::string>, std::size_t> entry_index_;
+  std::map<std::string, std::uint16_t> peer_versions_;
+  DataPlaneStats stats_;
+  monitor::DataPlaneCounters* counters_ = nullptr;
+};
+
+}  // namespace rtcf::dist

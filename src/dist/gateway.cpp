@@ -1,6 +1,6 @@
 #include "dist/gateway.hpp"
 
-#include "dist/protocol.hpp"
+#include "dist/dataplane.hpp"
 #include "runtime/content_registry.hpp"
 
 namespace rtcf::dist {
@@ -15,26 +15,20 @@ std::string gateway_entry_name(const std::string& client,
   return "__gw.in." + client + "." + port;
 }
 
-void GatewayExitContent::set_route(std::shared_ptr<comm::Channel> channel,
-                                   std::string client, std::string port) {
-  channel_ = std::move(channel);
-  client_ = std::move(client);
-  port_ = std::move(port);
+void GatewayExitContent::set_route(DataPlane* plane, std::size_t route_id) {
+  plane_ = plane;
+  route_id_ = route_id;
 }
 
 void GatewayExitContent::on_message(const comm::Message& message) {
-  if (channel_ == nullptr) {
+  if (plane_ == nullptr) {
     ++dropped_;
     return;
   }
-  DataPayload payload;
-  payload.client = client_;
-  payload.port = port_;
-  payload.message = message;
-  if (channel_->send(make_data(payload))) {
-    ++forwarded_;
-  } else {
+  if (plane_->offer(route_id_, message) == DataPlane::Offer::Dropped) {
     ++dropped_;
+  } else {
+    ++forwarded_;
   }
 }
 

@@ -31,6 +31,8 @@
 
 namespace rtcf::dist {
 
+class DataPlane;
+
 /// Content-class name of gateway exits (registered at static-init time).
 inline constexpr const char* kGatewayExitClass = "DistGatewayExit";
 /// Content-class name of gateway entries (registered at static-init time).
@@ -43,31 +45,30 @@ std::string gateway_exit_name(const std::string& client,
 std::string gateway_entry_name(const std::string& client,
                                const std::string& port);
 
-/// Exit content: forwards every delivered message to the peer node as a
-/// DATA frame addressed by the logical client end (client, port) — the
+/// Exit content: offers every delivered message to the node's DataPlane,
+/// which batches it toward the peer (or falls back to one DATA frame for
+/// a v2 peer) addressed by the logical client end (client, port) — the
 /// stable identity of the bridged binding. Unrouted exits (before the node
 /// runtime configures them, or after an abort discarded a staged route)
 /// count drops instead of sending.
 class GatewayExitContent final : public comm::Content {
  public:
-  /// Installs the route: frames go to `channel` carrying (client, port).
-  /// Pass a null channel to un-route.
-  void set_route(std::shared_ptr<comm::Channel> channel, std::string client,
-                 std::string port);
+  /// Installs the route: messages are offered to `plane` under
+  /// `route_id`. Pass a null plane to un-route.
+  void set_route(DataPlane* plane, std::size_t route_id);
 
   /// Forwards one message (the sporadic activation body).
   void on_message(const comm::Message& message) override;
 
-  /// Messages forwarded to the peer so far.
+  /// Messages accepted by the data plane so far (sent or queued).
   std::uint64_t forwarded() const noexcept { return forwarded_; }
-  /// Messages dropped because no route was configured or the channel
-  /// rejected the send.
+  /// Messages dropped because no route was configured, the route queue
+  /// overflowed, or the channel rejected the send.
   std::uint64_t dropped() const noexcept { return dropped_; }
 
  private:
-  std::shared_ptr<comm::Channel> channel_;
-  std::string client_;
-  std::string port_;
+  DataPlane* plane_ = nullptr;
+  std::size_t route_id_ = 0;
   std::uint64_t forwarded_ = 0;
   std::uint64_t dropped_ = 0;
 };

@@ -1,9 +1,11 @@
 #include "dist/node_runtime.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <utility>
 
+#include "comm/shm_ring.hpp"
 #include "dist/plan_codec.hpp"
 #include "validate/validator.hpp"
 
@@ -39,7 +41,8 @@ NodeRuntime::NodeRuntime(const model::Architecture& global,
                          const std::string& node, Options options)
     : node_(node),
       options_(std::move(options)),
-      slice_(slice_architecture(global, map, node)) {
+      slice_(slice_architecture(global, map, node)),
+      dataplane_(options_.data_plane) {
   const validate::Report report = validate::validate(slice_);
   if (!report.ok()) {
     throw std::invalid_argument("node '" + node +
@@ -56,6 +59,7 @@ NodeRuntime::NodeRuntime(const model::Architecture& global,
   mm_options.governor_demotion = !options_.cluster_demotion;
   mode_manager_ = std::make_unique<ModeManager>(*app_, mm_options);
   launcher_ = std::make_unique<runtime::Launcher>(*app_);
+  dataplane_.set_counters(&app_->monitor().data_plane());
   routes_ = compute_routes(global, map);
   apply_routes(routes_);
 }
@@ -75,6 +79,9 @@ void NodeRuntime::attach_control(std::shared_ptr<comm::Channel> channel) {
 void NodeRuntime::connect_peer(const std::string& peer,
                                std::shared_ptr<comm::Channel> channel) {
   peers_[peer] = std::move(channel);
+  // Announce ourselves on the data channel: the version (and any shm
+  // offer) a v3 peer needs to switch this link off the per-message path.
+  peers_[peer]->send(make_hello(node_, shm_token_for(peer)));
   // Exits routed before the peer channel existed pick it up now.
   apply_routes(routes_);
 }
@@ -101,23 +108,23 @@ void NodeRuntime::stop() {
   serving_.store(false);
   if (serve_thread_.joinable()) serve_thread_.join();
 
-  // Final drain: whatever is still in flight — peer queues, the inbox,
-  // local activation credits — is delivered single-threaded (both
-  // threads joined), so the conservation audit sees every message.
+  // Final drain: whatever is still in flight — peer queues, batched
+  // route queues, the inbox, local activation credits — is delivered
+  // single-threaded (both threads joined), so the conservation audit
+  // sees every message. The forced flush ignores credit balances: the
+  // peer's remaining grants may never arrive once it stops serving.
   bool moved = true;
   while (moved) {
     moved = false;
     comm::Frame frame;
-    for (auto& [peer, channel] : peers_) {
-      (void)peer;
-      while (channel->receive(frame, kPollZero)) {
-        if (frame.type == static_cast<std::uint16_t>(FrameType::Data)) {
-          const std::lock_guard<std::mutex> lock(mutex_);
-          inbox_.push_back(parse_data(frame));
-          moved = true;
-        }
+    const auto pump = [&](const std::string& peer, comm::Channel& channel) {
+      while (channel.receive(frame, kPollZero)) {
+        handle_peer_frame(peer, frame);
+        moved = true;
       }
-    }
+    };
+    for (auto& [peer, channel] : peers_) pump(peer, *channel);
+    for (auto& [peer, channel] : shm_links_) pump(peer, *channel);
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (routes_dirty_) {
@@ -127,6 +134,8 @@ void NodeRuntime::stop() {
       if (!inbox_.empty()) moved = true;
     }
     drain_inbox();
+    if (dataplane_.flush(/*force=*/true) > 0) moved = true;
+    if (dataplane_.grant_all() > 0) moved = true;
     if (!app_->activation_manager().idle()) {
       app_->pump();
       moved = true;
@@ -188,15 +197,34 @@ void NodeRuntime::serve_loop() {
       }
     }
     for (auto& [peer, channel] : peers_) {
-      (void)peer;
       while (channel->receive(frame, kPollZero)) {
-        if (frame.type == static_cast<std::uint16_t>(FrameType::Data)) {
-          const std::lock_guard<std::mutex> lock(mutex_);
-          inbox_.push_back(parse_data(frame));
-        }
+        handle_peer_frame(peer, frame);
         any = true;
       }
     }
+    {
+      // Negotiated rings are pumped like any other data channel. Copy
+      // the list out so handle_peer_frame never runs under mutex_.
+      std::vector<std::pair<std::string, std::shared_ptr<comm::Channel>>>
+          links;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        links.assign(shm_links_.begin(), shm_links_.end());
+      }
+      for (auto& [peer, channel] : links) {
+        while (channel->receive(frame, kPollZero)) {
+          handle_peer_frame(peer, frame);
+          any = true;
+        }
+      }
+    }
+    // Attach retries: the creator may still be racing us to the region.
+    pending_shm_attach_.erase(
+        std::remove_if(pending_shm_attach_.begin(), pending_shm_attach_.end(),
+                       [&](const std::string& peer) {
+                         return try_shm_attach(peer);
+                       }),
+        pending_shm_attach_.end());
     // Presumed abort: prepared but undecided past the deadline — release
     // the executive unilaterally so a dead coordinator cannot wedge it.
     {
@@ -228,19 +256,43 @@ void NodeRuntime::boundary() {
     }
   }
   drain_inbox();
+  // Deadline flushes ride the dispatch boundary: this is the only place
+  // (besides offer itself and the stop drain) that writes data channels,
+  // which keeps every transport single-writer.
+  dataplane_.flush(/*force=*/false);
   watch_governor();
 }
 
 void NodeRuntime::apply_routes(const std::vector<GatewayRoute>& routes) {
   entries_.clear();
+  // Un-route every exit first: a refresh must not leave a retired exit
+  // holding a route id the table below no longer assigns.
+  for (const auto& spec : app_->assembly().components()) {
+    comm::Content* content = find_content(*app_, spec.name);
+    if (auto* exit = dynamic_cast<GatewayExitContent*>(content)) {
+      exit->set_route(nullptr, 0);
+    }
+  }
+  dataplane_.clear_routes();
+  // Data-plane channel per peer: a negotiated shm ring wins over the
+  // attached channel (that is the whole point of negotiating it).
+  const auto data_channel =
+      [this](const std::string& peer) -> std::shared_ptr<comm::Channel> {
+    const auto shm = shm_links_.find(peer);
+    if (shm != shm_links_.end()) return shm->second;
+    const auto tcp = peers_.find(peer);
+    return tcp == peers_.end() ? nullptr : tcp->second;
+  };
   for (const GatewayRoute& route : routes) {
     if (route.client_node == node_) {
       comm::Content* content =
           find_content(*app_, gateway_exit_name(route.client, route.port));
       if (auto* exit = dynamic_cast<GatewayExitContent*>(content)) {
-        auto peer = peers_.find(route.server_node);
-        exit->set_route(peer == peers_.end() ? nullptr : peer->second,
-                        route.client, route.port);
+        const std::size_t id =
+            dataplane_.add_route(route.client, route.port,
+                                 data_channel(route.server_node),
+                                 route.server_node);
+        exit->set_route(&dataplane_, id);
       }
     }
     if (route.server_node == node_) {
@@ -249,8 +301,11 @@ void NodeRuntime::apply_routes(const std::vector<GatewayRoute>& routes) {
       if (auto* entry = dynamic_cast<GatewayEntryContent*>(content)) {
         // The entry's single client port is named after the *client's*
         // port (see slice_architecture), not the server's interface.
+        const std::size_t id = dataplane_.add_entry_route(
+            route.client, route.port, data_channel(route.client_node),
+            route.client_node);
         entries_[{route.client, route.port}] =
-            EntrySlot{entry, route.port};
+            EntrySlot{entry, route.port, id};
       }
     }
   }
@@ -270,7 +325,90 @@ void NodeRuntime::drain_inbox() {
       continue;
     }
     it->second.content->inject(it->second.port_name, data.message);
+    // Consumed from the wire either way — replenish the sender's window
+    // (an unbound port is the entry's drop to count, not backpressure).
+    dataplane_.note_injected(it->second.entry_route);
   }
+}
+
+void NodeRuntime::handle_peer_frame(const std::string& peer,
+                                    const comm::Frame& frame) {
+  try {
+    switch (static_cast<FrameType>(frame.type)) {
+      case FrameType::Data: {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        inbox_.push_back(parse_data(frame));
+        break;
+      }
+      case FrameType::Batch: {
+        BatchPayload payload = parse_batch(frame);
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (BatchRoute& route : payload.routes) {
+          for (comm::Message& message : route.messages) {
+            DataPayload data;
+            data.client = route.client;
+            data.port = route.port;
+            data.message = message;
+            inbox_.push_back(std::move(data));
+          }
+        }
+        break;
+      }
+      case FrameType::Credit:
+        dataplane_.on_credit(parse_credit(frame));
+        break;
+      case FrameType::Hello:
+        handle_peer_hello(peer, parse_hello_info(frame));
+        break;
+      default:
+        break;  // Unknown data-plane types are ignored (PROTOCOL.md §7).
+    }
+  } catch (const WireError&) {
+    // A malformed frame is dropped; the framing layer stays in sync.
+  }
+}
+
+void NodeRuntime::handle_peer_hello(const std::string& peer,
+                                    const HelloInfo& info) {
+  dataplane_.set_peer_version(peer, info.protocol_version);
+  if (info.protocol_version < kProtocolVersion) return;
+  const std::string token = shm_token_for(peer);
+  if (token.empty() || token != info.shm_token) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (shm_links_.count(peer) != 0) return;
+  }
+  if (node_ < peer) {
+    auto ring = comm::ShmRingChannel::create(token, options_.shm_capacity);
+    if (ring != nullptr) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      shm_links_[peer] = std::move(ring);
+      routes_dirty_ = true;
+    }
+  } else if (!try_shm_attach(peer)) {
+    pending_shm_attach_.push_back(peer);
+  }
+}
+
+std::string NodeRuntime::shm_token_for(const std::string& peer) const {
+  if (options_.shm_namespace.empty()) return std::string();
+  const std::string& a = std::min(node_, peer);
+  const std::string& b = std::max(node_, peer);
+  return "/" + options_.shm_namespace + "." + a + "." + b;
+}
+
+bool NodeRuntime::try_shm_attach(const std::string& peer) {
+  auto ring = comm::ShmRingChannel::attach(shm_token_for(peer));
+  if (ring == nullptr) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  shm_links_[peer] = std::move(ring);
+  routes_dirty_ = true;
+  return true;
+}
+
+bool NodeRuntime::shm_linked(const std::string& peer) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return shm_links_.count(peer) != 0;
 }
 
 void NodeRuntime::watch_governor() {

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "comm/channel.hpp"
+#include "dist/dataplane.hpp"
 #include "dist/gateway.hpp"
 #include "dist/protocol.hpp"
 #include "dist/slice.hpp"
@@ -75,6 +76,15 @@ class NodeRuntime {
     monitor::GovernorLevel demote_at = monitor::GovernorLevel::Shed;
     /// Starting mode; empty selects the first declared mode.
     std::string initial_mode;
+    /// Data-plane batching/credit knobs (docs/DATAPLANE.md §6).
+    DataPlaneConfig data_plane;
+    /// Non-empty enables the shm-ring transport toward co-located peers:
+    /// both nodes configured with the same namespace derive the same
+    /// region token per peer pair and negotiate it at HELLO time
+    /// (docs/DATAPLANE.md §5). Empty disables the offer.
+    std::string shm_namespace;
+    /// Data bytes per direction of a negotiated shm ring.
+    std::size_t shm_capacity = std::size_t{1} << 20;
   };
 
   /// Aggregate gateway counters (zero-loss audit input).
@@ -139,11 +149,29 @@ class NodeRuntime {
   GatewayStats gateway_stats() const;
   /// Remote messages still queued in the inbox (0 after stop()).
   std::size_t inbox_depth() const;
+  /// The node's data plane (batching/credit counters for tests and ops;
+  /// the same numbers feed the runtime monitor's DataPlaneCounters).
+  const DataPlane& data_plane() const noexcept { return dataplane_; }
+  /// True when the data path toward `peer` runs over a negotiated
+  /// shm ring instead of the attached channel.
+  bool shm_linked(const std::string& peer) const;
 
  private:
   void serve_loop();
   void executive_loop();
-  void boundary();  // launcher hook: inbox drain + route refresh + governor
+  void boundary();  // launcher hook: inbox drain + flush + governor
+  /// One frame off a peer data channel: DATA/BATCH to the inbox, CREDIT
+  /// to the data plane, HELLO to version/shm negotiation; unknown types
+  /// are ignored (docs/PROTOCOL.md §7). Serve thread, or the stop drain.
+  void handle_peer_frame(const std::string& peer, const comm::Frame& frame);
+  /// Peer HELLO: records the announced version and, when both sides
+  /// offered the same shm token, establishes the ring (the
+  /// lexicographically smaller node creates, the larger attaches).
+  void handle_peer_hello(const std::string& peer, const HelloInfo& info);
+  /// The shm region token shared with `peer` ("" when shm is disabled).
+  std::string shm_token_for(const std::string& peer) const;
+  /// One attach attempt toward `peer`'s region; true once linked.
+  bool try_shm_attach(const std::string& peer);
   void handle_control(const comm::Frame& frame);
   void handle_prepare_reload(const comm::Frame& frame);
   void handle_prepare_mode(const comm::Frame& frame);
@@ -166,6 +194,14 @@ class NodeRuntime {
 
   std::shared_ptr<comm::Channel> control_;
   std::map<std::string, std::shared_ptr<comm::Channel>> peers_;
+  /// Negotiated shm rings by peer (guarded by mutex_ once serving; the
+  /// serve thread inserts, apply_routes points routes at them).
+  std::map<std::string, std::shared_ptr<comm::Channel>> shm_links_;
+  /// Peers whose region we could not attach yet (serve thread only;
+  /// retried every tick until the creator wins the race).
+  std::vector<std::string> pending_shm_attach_;
+
+  DataPlane dataplane_;
 
   std::thread serve_thread_;
   std::thread executive_thread_;
@@ -190,10 +226,12 @@ class NodeRuntime {
   /// two threads never share a lock here.
   std::atomic<bool> demote_sent_{false};
 
-  /// Entry-gateway lookup: (client, port) -> content + port name.
+  /// Entry-gateway lookup: (client, port) -> content + port name + the
+  /// data plane's entry route (credit grants).
   struct EntrySlot {
     GatewayEntryContent* content = nullptr;
     std::string port_name;
+    std::size_t entry_route = 0;
   };
   std::map<std::pair<std::string, std::string>, EntrySlot> entries_;
 };

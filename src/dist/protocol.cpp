@@ -184,10 +184,77 @@ DataPayload parse_data(const comm::Frame& frame) {
   return payload;
 }
 
-comm::Frame make_hello(const std::string& node) {
+comm::Frame make_batch(const BatchPayload& payload) {
+  WireWriter w;
+  w.u32(static_cast<std::uint32_t>(payload.routes.size()));
+  for (const BatchRoute& route : payload.routes) {
+    const std::size_t block = w.begin_block();
+    w.str(route.client);
+    w.str(route.port);
+    w.u32(static_cast<std::uint32_t>(route.messages.size()));
+    for (const comm::Message& m : route.messages) {
+      write_message(w, m);
+    }
+    w.end_block(block);
+  }
+  return finish(FrameType::Batch, w);
+}
+
+BatchPayload parse_batch(const comm::Frame& frame) {
+  check_type(frame, FrameType::Batch, "Batch");
+  WireReader r(frame.payload);
+  BatchPayload payload;
+  const std::uint32_t count = r.u32();
+  if (static_cast<std::uint64_t>(count) * 4 > r.remaining()) {
+    throw WireError("implausible batch route count " + std::to_string(count));
+  }
+  payload.routes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    WireReader b = r.block();
+    BatchRoute route;
+    route.client = b.str();
+    route.port = b.str();
+    const std::uint32_t messages = b.u32();
+    if (static_cast<std::uint64_t>(messages) * 4 > b.remaining()) {
+      throw WireError("implausible batch message count " +
+                      std::to_string(messages));
+    }
+    route.messages.reserve(messages);
+    for (std::uint32_t m = 0; m < messages; ++m) {
+      route.messages.push_back(read_message(b));
+    }
+    payload.routes.push_back(std::move(route));
+  }
+  return payload;
+}
+
+comm::Frame make_credit(const CreditPayload& payload) {
+  WireWriter w;
+  w.str(payload.client);
+  w.str(payload.port);
+  w.u64(payload.credits);
+  return finish(FrameType::Credit, w);
+}
+
+CreditPayload parse_credit(const comm::Frame& frame) {
+  check_type(frame, FrameType::Credit, "Credit");
+  WireReader r(frame.payload);
+  CreditPayload payload;
+  payload.client = r.str();
+  payload.port = r.str();
+  payload.credits = r.u64();
+  return payload;
+}
+
+comm::Frame make_hello(const std::string& node,
+                       const std::string& shm_token) {
   WireWriter w;
   w.str(node);
   w.u16(kCodecVersion);
+  // Version-3 extension, append-only: version-2 receivers stop after the
+  // codec version and never see these fields.
+  w.u16(kProtocolVersion);
+  w.str(shm_token);
   return finish(FrameType::Hello, w);
 }
 
@@ -200,6 +267,24 @@ std::string parse_hello(const comm::Frame& frame) {
     throw WireError("peer speaks codec version " + std::to_string(version));
   }
   return node;
+}
+
+HelloInfo parse_hello_info(const comm::Frame& frame) {
+  check_type(frame, FrameType::Hello, "Hello");
+  WireReader r(frame.payload);
+  HelloInfo info;
+  info.node = r.str();
+  info.codec_version = r.u16();
+  if (info.codec_version != kCodecVersion) {
+    throw WireError("peer speaks codec version " +
+                    std::to_string(info.codec_version));
+  }
+  // A version-2 HELLO ends here; the defaults (protocol_version = 2, no
+  // shm offer) describe such a peer exactly.
+  if (r.at_end()) return info;
+  info.protocol_version = r.u16();
+  info.shm_token = r.str();
+  return info;
 }
 
 comm::Frame make_demote(const DemotePayload& payload) {

@@ -7,7 +7,9 @@
 //   * control plane (coordinator <-> node): HELLO, the two-phase
 //     PREPARE/COMMIT/ABORT exchange, and DEMOTE_REQUEST;
 //   * data plane (node <-> node): DATA frames carrying one comm::Message
-//     across a bridged asynchronous binding.
+//     across a bridged asynchronous binding, or — between v3 peers —
+//     BATCH frames coalescing many messages per route and CREDIT frames
+//     replenishing the per-route flow-control window (docs/DATAPLANE.md).
 #pragma once
 
 #include <cstdint>
@@ -20,6 +22,13 @@
 #include "dist/wire.hpp"
 
 namespace rtcf::dist {
+
+/// Wire-format version announced in HELLO (docs/PROTOCOL.md §1). Version 3
+/// adds the BATCH/CREDIT data plane and the shm-ring transport offer; a
+/// peer whose HELLO carries no version field is treated as version 2
+/// (per-message DATA, no credits). The u16 in the frame *header* is the
+/// framing version (comm::kWireVersion) and is unchanged.
+inline constexpr std::uint16_t kProtocolVersion = 3;
 
 /// Frame type discriminators (comm::Frame::type).
 enum class FrameType : std::uint16_t {
@@ -45,6 +54,10 @@ enum class FrameType : std::uint16_t {
   Data = 10,
   /// Node -> coordinator: sustained overload; please demote the cluster.
   DemoteRequest = 11,
+  /// Node -> node (v3): coalesced data-plane messages, grouped per route.
+  Batch = 12,
+  /// Node -> node (v3): replenish a route's sender credit window.
+  Credit = 13,
 };
 
 /// One cross-node binding's routing entry: where the logical client end
@@ -104,6 +117,42 @@ struct DataPayload {
   comm::Message message;  ///< The bridged message, verbatim.
 };
 
+/// One route's share of a BATCH frame: the logical client end that
+/// addresses the entry gateway, plus its coalesced messages in send order.
+struct BatchRoute {
+  std::string client;  ///< Logical client component of the bridged binding.
+  std::string port;    ///< Client port name.
+  std::vector<comm::Message> messages;  ///< Coalesced messages, in order.
+};
+
+/// Payload of Batch: every route the sender flushed toward this peer in
+/// one frame — one channel write however many messages were pending.
+struct BatchPayload {
+  std::vector<BatchRoute> routes;  ///< Flushed routes (each non-empty).
+};
+
+/// Payload of Credit: the entry side has consumed `credits` messages of
+/// the route and the sender may put that many more on the wire.
+struct CreditPayload {
+  std::string client;          ///< Logical client end: component...
+  std::string port;            ///< ...and port (the route's identity).
+  std::uint64_t credits = 0;   ///< Messages newly permitted on the wire.
+};
+
+/// Everything a HELLO announces. Version-2 peers stop after
+/// `codec_version`; version-3 peers append the wire-format version and an
+/// optional shm-ring transport offer (docs/DATAPLANE.md §5).
+struct HelloInfo {
+  std::string node;                 ///< Announcing endpoint's node name.
+  std::uint16_t codec_version = 0;  ///< Plan codec (kCodecVersion).
+  /// Announced wire-format version; 2 when the HELLO carried no version
+  /// field (a pre-v3 peer).
+  std::uint16_t protocol_version = 2;
+  /// Shm-ring region name the sender is willing to share with a
+  /// co-located peer; empty = no offer.
+  std::string shm_token;
+};
+
 /// Payload of DemoteRequest.
 struct DemotePayload {
   std::string node;   ///< Overloaded node.
@@ -142,11 +191,29 @@ comm::Frame make_data(const DataPayload& payload);
 /// Parses a Data frame payload.
 DataPayload parse_data(const comm::Frame& frame);
 
-/// Builds a Hello frame carrying the node name and codec version.
-comm::Frame make_hello(const std::string& node);
+/// Builds a Batch frame.
+comm::Frame make_batch(const BatchPayload& payload);
+/// Parses a Batch frame payload (throws WireError on truncation).
+BatchPayload parse_batch(const comm::Frame& frame);
+
+/// Builds a Credit frame.
+comm::Frame make_credit(const CreditPayload& payload);
+/// Parses a Credit frame payload.
+CreditPayload parse_credit(const comm::Frame& frame);
+
+/// Builds a Hello frame announcing the node name, codec version, wire
+/// version kProtocolVersion, and (when non-empty) a shm-ring offer.
+/// Version-2 receivers read the leading fields and ignore the rest —
+/// HELLO extension is append-only (docs/PROTOCOL.md §7).
+comm::Frame make_hello(const std::string& node,
+                       const std::string& shm_token = std::string());
 /// Parses a Hello frame payload; returns the node name (the codec version
 /// is checked and a mismatch throws WireError).
 std::string parse_hello(const comm::Frame& frame);
+/// Parses every field a Hello carries, tolerating version-2 frames (the
+/// trailing version/shm fields default as documented on HelloInfo). A
+/// codec mismatch still throws WireError.
+HelloInfo parse_hello_info(const comm::Frame& frame);
 
 /// Builds a DemoteRequest frame.
 comm::Frame make_demote(const DemotePayload& payload);

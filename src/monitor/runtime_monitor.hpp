@@ -21,6 +21,7 @@
 // executive workers.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -36,6 +37,52 @@
 #include "rtsj/memory/memory_area.hpp"
 
 namespace rtcf::monitor {
+
+/// Gateway data-plane telemetry, fed by dist::DataPlane when a node
+/// runtime owns the assembly (docs/DATAPLANE.md §7). All counters are
+/// monotonic and relaxed-atomic: writers are the executive and serve
+/// threads, readers are operator tooling polling across threads, and no
+/// counter orders anything.
+struct DataPlaneCounters {
+  std::atomic<std::uint64_t> offered{0};    ///< Messages handed to offer().
+  std::atomic<std::uint64_t> sent{0};       ///< Messages put on a channel.
+  std::atomic<std::uint64_t> batches{0};    ///< BATCH frames written.
+  std::atomic<std::uint64_t> legacy_sends{0};  ///< Per-message DATA frames
+                                               ///< (v2 peers).
+  std::atomic<std::uint64_t> size_flushes{0};  ///< Flushes on batch_max.
+  std::atomic<std::uint64_t> deadline_flushes{0};  ///< Flushes on interval.
+  std::atomic<std::uint64_t> overflow_drops{0};  ///< Route-queue drop-newest.
+  std::atomic<std::uint64_t> send_failures{0};   ///< Channel writes refused.
+  std::atomic<std::uint64_t> credits_granted{0};  ///< Credits sent entry-side.
+
+  /// A torn-free point read of every counter (plain integers).
+  struct Snapshot {
+    std::uint64_t offered = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t legacy_sends = 0;
+    std::uint64_t size_flushes = 0;
+    std::uint64_t deadline_flushes = 0;
+    std::uint64_t overflow_drops = 0;
+    std::uint64_t send_failures = 0;
+    std::uint64_t credits_granted = 0;
+  };
+
+  /// Reads each counter once (relaxed; counters are independent).
+  Snapshot snapshot() const noexcept {
+    Snapshot s;
+    s.offered = offered.load(std::memory_order_relaxed);
+    s.sent = sent.load(std::memory_order_relaxed);
+    s.batches = batches.load(std::memory_order_relaxed);
+    s.legacy_sends = legacy_sends.load(std::memory_order_relaxed);
+    s.size_flushes = size_flushes.load(std::memory_order_relaxed);
+    s.deadline_flushes = deadline_flushes.load(std::memory_order_relaxed);
+    s.overflow_drops = overflow_drops.load(std::memory_order_relaxed);
+    s.send_failures = send_failures.load(std::memory_order_relaxed);
+    s.credits_granted = credits_granted.load(std::memory_order_relaxed);
+    return s;
+  }
+};
 
 class RuntimeMonitor {
  public:
@@ -105,6 +152,11 @@ class RuntimeMonitor {
   OverloadGovernor& governor() noexcept { return governor_; }
   const OverloadGovernor& governor() const noexcept { return governor_; }
 
+  /// Gateway data-plane counters. Stays all-zero on assemblies that are
+  /// not hosted by a node runtime (nothing else feeds it).
+  DataPlaneCounters& data_plane() noexcept { return data_plane_; }
+  const DataPlaneCounters& data_plane() const noexcept { return data_plane_; }
+
   void set_violation_callback(ViolationFn fn, void* arg) noexcept {
     violation_fn_ = fn;
     violation_arg_ = arg;
@@ -155,6 +207,7 @@ class RuntimeMonitor {
   /// Component name -> governor tenant id of its owning tenant.
   std::map<std::string, std::size_t> component_tenants_;
   OverloadGovernor governor_;
+  DataPlaneCounters data_plane_;
   ViolationFn violation_fn_ = nullptr;
   void* violation_arg_ = nullptr;
   std::size_t telemetry_bytes_ = 0;

@@ -158,6 +158,14 @@ std::vector<TaskId> PreemptiveScheduler::schedule_plan_change(
   return plan_changes_[index].added;
 }
 
+void PreemptiveScheduler::schedule_callback(AbsoluteTime t,
+                                            std::function<void()> fn) {
+  RTCF_REQUIRE(t >= now_, "callback scheduled in the simulated past");
+  RTCF_REQUIRE(static_cast<bool>(fn), "callback must be callable");
+  callbacks_.push_back(std::move(fn));
+  push_event(t, EventKind::Callback, callbacks_.size() - 1);
+}
+
 void PreemptiveScheduler::push_event(AbsoluteTime t, EventKind kind,
                                      TaskId task) {
   events_.push(Event{t, event_order_++, kind, task});
@@ -364,6 +372,12 @@ void PreemptiveScheduler::handle_event(const Event& ev) {
       record(TraceKind::PlanChange, TraceEvent::kNoTask, ev.task);
       break;
     }
+    case EventKind::Callback:
+      // Deliberately untraced: schedules that use no callbacks replay
+      // their historical traces bit-for-bit, and the data-plane mirror's
+      // flush/credit timers leave no scheduling footprint of their own.
+      callbacks_[ev.task]();
+      break;
   }
 }
 

@@ -204,6 +204,15 @@ class PreemptiveScheduler {
   /// replays bit-for-bit.
   std::vector<TaskId> schedule_plan_change(AbsoluteTime t, PlanChange change);
 
+  /// Schedules an arbitrary callback at virtual time `t` (>= now). The
+  /// callback runs at that instant, ordered against same-instant events by
+  /// posting order like every other event, and may post arrivals or
+  /// schedule further callbacks. No trace event is recorded, so schedules
+  /// that use no callbacks keep their traces bit-for-bit unchanged — this
+  /// is what the data-plane mirror's flush/credit timers hang off
+  /// (dist::SimDataPlane).
+  void schedule_callback(AbsoluteTime t, std::function<void()> fn);
+
   bool task_enabled(TaskId id) const { return tasks_.at(id).enabled; }
 
   void set_gc_model(GcModel model) { gc_ = model; }
@@ -245,7 +254,14 @@ class PreemptiveScheduler {
     bool enabled = true;  ///< Cleared/set by mode-change events.
   };
 
-  enum class EventKind { TaskRelease, GcStart, GcEnd, ModeChange, PlanChange };
+  enum class EventKind {
+    TaskRelease,
+    GcStart,
+    GcEnd,
+    ModeChange,
+    PlanChange,
+    Callback,
+  };
 
   struct PlanChangeRec {
     std::vector<TaskMod> mods;
@@ -283,6 +299,8 @@ class PreemptiveScheduler {
   std::vector<std::vector<TaskMod>> mode_changes_;
   /// Scheduled plan changes, indexed by Event::task for PlanChange events.
   std::vector<PlanChangeRec> plan_changes_;
+  /// Scheduled callbacks, indexed by Event::task for Callback events.
+  std::vector<std::function<void()>> callbacks_;
   std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
   /// Per-CPU ready queue and running job (partitioned dispatching).
   std::vector<std::vector<Job>> ready_;

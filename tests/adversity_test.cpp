@@ -128,6 +128,7 @@ TEST(AdversityDrillTest, ScriptedDrillPerFaultKind) {
       "coord-prepare",
       "coord-commit",
       "overload",
+      "starve",
   };
   for (const char* kind : kinds) {
     DrillOptions options;

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Checks intra-repo markdown links in docs/ and README.md.
+
+Every `[text](target)` whose target is a relative path must resolve to an
+existing file (anchors are stripped; external schemes are skipped). A doc
+that names a moved or deleted file fails CI — the docs are normative
+specs (PROTOCOL.md, DATAPLANE.md), so a dead cross-reference means the
+spec and the tree disagree.
+
+Usage: python3 tools/check_links.py [repo_root]
+Exits non-zero listing every dead link.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline markdown links: [text](target). Reference-style definitions are
+# rare in this repo's docs; inline is the normative form here.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files(root: Path):
+    yield root / "README.md"
+    yield from sorted((root / "docs").glob("**/*.md"))
+
+
+def check_file(root: Path, doc: Path):
+    dead = []
+    in_fence = False
+    for lineno, line in enumerate(doc.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+        if in_fence:
+            continue  # code blocks illustrate syntax, not references
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue  # pure in-page anchor
+            resolved = (doc.parent / target).resolve()
+            if not resolved.exists():
+                rel = doc.relative_to(root)
+                dead.append(f"{rel}:{lineno}: dead link -> {match.group(1)}")
+    return dead
+
+
+def main() -> int:
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    dead = []
+    checked = 0
+    for doc in doc_files(root):
+        if not doc.exists():
+            dead.append(f"{doc.relative_to(root)}: file missing")
+            continue
+        checked += 1
+        dead.extend(check_file(root, doc))
+    if dead:
+        print("\n".join(dead), file=sys.stderr)
+        print(f"FAIL: {len(dead)} dead link(s) across {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"OK: {checked} markdown file(s), no dead intra-repo links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,7 +46,7 @@ int usage(const char* argv0) {
       << "  --seed N          first seed (default 1)\n"
       << "  --count N         consecutive seeds to drill (default 1)\n"
       << "  --fault-mix CSV   crash,drop,delay,dup,straggler,coord-prepare,"
-         "coord-commit,overload\n"
+         "coord-commit,overload,starve\n"
       << "                    ('coord' = both coordinator kinds; default "
          "'all')\n"
       << "  --corpus FILE     replay 'seed [mix]' lines from FILE first\n"
