@@ -1,0 +1,64 @@
+#include "comm/buffer_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rtcf::comm {
+
+std::size_t BufferPool::class_for(std::size_t size) {
+  for (std::size_t c = 0; c < kClassCount; ++c) {
+    if (size <= kClassSizes[c]) return c;
+  }
+  return kClassCount;
+}
+
+std::vector<std::uint8_t> BufferPool::acquire(std::size_t size) {
+  const std::size_t c = class_for(size);
+  std::vector<std::uint8_t> buffer;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.outstanding;
+    stats_.high_water = std::max(stats_.high_water, stats_.outstanding);
+    if (c < kClassCount && !free_[c].empty()) {
+      ++stats_.hits;
+      buffer = std::move(free_[c].back());
+      free_[c].pop_back();
+    } else {
+      ++stats_.misses;
+      if (c == kClassCount) ++stats_.oversize;
+    }
+  }
+  if (buffer.capacity() == 0 && c < kClassCount) {
+    buffer.reserve(kClassSizes[c]);
+  }
+  buffer.resize(size);
+  return buffer;
+}
+
+void BufferPool::release(std::vector<std::uint8_t>&& buffer) {
+  const std::size_t capacity = buffer.capacity();
+  // Class the buffer by what it can hold: the largest class it fully
+  // covers, so a recycled buffer always satisfies the class it sits in.
+  std::size_t c = kClassCount;
+  for (std::size_t i = kClassCount; i-- > 0;) {
+    if (capacity >= kClassSizes[i]) {
+      c = i;
+      break;
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (stats_.outstanding > 0) --stats_.outstanding;
+  if (c == kClassCount || free_[c].size() >= max_free_per_class_) {
+    ++stats_.discarded;
+    return;  // buffer frees on scope exit
+  }
+  buffer.clear();
+  free_[c].push_back(std::move(buffer));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace rtcf::comm

@@ -1,0 +1,77 @@
+// Recycling arena for frame payload buffers (docs/DATAPLANE.md "Zero-copy
+// path"). The data plane's fallback send path and the inbox's deferred
+// BATCH frames both need byte vectors at high rates; without a pool every
+// frame costs a malloc/free pair on the hot path. The pool keeps freed
+// buffers in per-size-class freelists (the sysmem-style negotiated-pool
+// idea scaled down to one process), so steady-state traffic runs entirely
+// on recycled memory — `misses` stops moving, which is exactly what the
+// bench's `allocs_per_msg == 0` gate measures.
+//
+// Design points:
+//   * fixed slab classes (256 B .. 1 MiB): a request rounds up to the
+//     smallest class that fits, so recycled capacity is always reusable;
+//   * oversize requests (> largest class) are allocated exactly and
+//     counted, never pooled — they indicate a misconfigured batch size;
+//   * bounded freelists: at most `max_free_per_class` parked buffers per
+//     class, the rest is returned to the allocator (`discarded`);
+//   * thread-safe: acquire/release take a mutex — the pool is shared by
+//     the executive (flush path) and serve (receive path) threads, and a
+//     single uncontended lock is far cheaper than the allocator round it
+//     replaces.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace rtcf::comm {
+
+/// A recycling pool of payload byte vectors with fixed slab classes.
+class BufferPool {
+ public:
+  /// Slab capacities a request is rounded up to.
+  static constexpr std::size_t kClassSizes[] = {256, 4096, 65536,
+                                                1u << 20};
+  /// Number of slab classes.
+  static constexpr std::size_t kClassCount =
+      sizeof(kClassSizes) / sizeof(kClassSizes[0]);
+
+  /// Pool counters; all monotonically increasing except outstanding.
+  struct Stats {
+    std::uint64_t hits = 0;       ///< Acquires served from a freelist.
+    std::uint64_t misses = 0;     ///< Acquires that had to allocate.
+    std::uint64_t oversize = 0;   ///< Misses beyond the largest class.
+    std::uint64_t discarded = 0;  ///< Releases dropped (freelist full or
+                                  ///< capacity below every class).
+    std::uint64_t outstanding = 0;  ///< Buffers acquired and not released.
+    std::uint64_t high_water = 0;   ///< Max outstanding ever observed.
+  };
+
+  /// A pool keeping at most `max_free_per_class` parked buffers per class.
+  explicit BufferPool(std::size_t max_free_per_class = 32)
+      : max_free_per_class_(max_free_per_class) {}
+
+  /// Returns a vector of exactly `size` bytes whose capacity is the
+  /// enclosing slab class (or exactly `size` when oversize). Contents are
+  /// unspecified-but-zeroed per vector semantics; callers encode over it.
+  std::vector<std::uint8_t> acquire(std::size_t size);
+
+  /// Returns a buffer to its slab class's freelist (classed by capacity).
+  /// Buffers the pool cannot reuse are freed and counted as discarded.
+  void release(std::vector<std::uint8_t>&& buffer);
+
+  /// A snapshot of the counters.
+  Stats stats() const;
+
+ private:
+  /// Index of the smallest class with capacity >= size, or kClassCount
+  /// when oversize.
+  static std::size_t class_for(std::size_t size);
+
+  const std::size_t max_free_per_class_;
+  mutable std::mutex mutex_;
+  std::vector<std::vector<std::uint8_t>> free_[kClassCount];
+  Stats stats_;
+};
+
+}  // namespace rtcf::comm

@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -12,6 +13,32 @@
 #include <cstring>
 
 namespace rtcf::comm {
+
+// ---- Channel defaults ------------------------------------------------------
+
+bool Channel::send_spans(std::uint16_t type, const ByteSpan* spans,
+                         std::size_t count) {
+  Frame frame;
+  frame.type = type;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < count; ++i) total += spans[i].size;
+  frame.payload.reserve(total);
+  for (std::size_t i = 0; i < count; ++i) {
+    frame.payload.insert(frame.payload.end(), spans[i].data,
+                         spans[i].data + spans[i].size);
+  }
+  return send(std::move(frame));
+}
+
+bool Channel::reserve_frame(std::uint16_t /*type*/,
+                            std::size_t /*payload_size*/,
+                            FrameReservation& /*out*/) {
+  return false;  // transport has no caller-addressable memory
+}
+
+bool Channel::commit_frame(std::size_t /*used*/) { return false; }
+
+void Channel::abort_frame() {}
 
 // ---- LoopbackChannel -------------------------------------------------------
 
@@ -41,6 +68,14 @@ bool LoopbackChannel::send(const Frame& frame) {
   const std::lock_guard<std::mutex> lock(shared_->mutex);
   if (shared_->closed) return false;
   shared_->queues[side_ ? 1 : 0].push_back(frame);
+  shared_->cv.notify_all();
+  return true;
+}
+
+bool LoopbackChannel::send(Frame&& frame) {
+  const std::lock_guard<std::mutex> lock(shared_->mutex);
+  if (shared_->closed) return false;
+  shared_->queues[side_ ? 1 : 0].push_back(std::move(frame));
   shared_->cv.notify_all();
   return true;
 }
@@ -202,6 +237,51 @@ bool TcpChannel::send(const Frame& frame) {
   return true;
 }
 
+bool TcpChannel::send_spans(std::uint16_t type, const ByteSpan* spans,
+                            std::size_t count) {
+  const std::lock_guard<std::mutex> lock(send_mutex_);
+  if (closed_ || !ensure_peer()) return false;
+  std::size_t payload_size = 0;
+  for (std::size_t i = 0; i < count; ++i) payload_size += spans[i].size;
+  // Same wire layout as send(): the header is the only byte staging this
+  // path does; payload spans go to the socket from where they already are.
+  std::uint8_t header[8];
+  store_u32(header, static_cast<std::uint32_t>(4 + payload_size));
+  store_u16(header + 4, kWireVersion);
+  store_u16(header + 6, type);
+  constexpr std::size_t kMaxIov = 16;
+  iovec iov[kMaxIov];
+  std::size_t iov_count = 0;
+  iov[iov_count++] = {header, sizeof(header)};
+  for (std::size_t i = 0; i < count; ++i) {
+    if (spans[i].size == 0) continue;
+    if (iov_count == kMaxIov) return false;  // caller exceeded the contract
+    iov[iov_count++] = {const_cast<std::uint8_t*>(spans[i].data),
+                        spans[i].size};
+  }
+  // Partial writes restart the vector at the first unfinished iovec with
+  // an adjusted base, exactly like the byte loop in send(). sendmsg
+  // rather than writev so MSG_NOSIGNAL still suppresses SIGPIPE.
+  std::size_t at = 0;
+  while (at < iov_count) {
+    msghdr msg{};
+    msg.msg_iov = iov + at;
+    msg.msg_iovlen = iov_count - at;
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    std::size_t done = static_cast<std::size_t>(n);
+    while (at < iov_count && done >= iov[at].iov_len) {
+      done -= iov[at].iov_len;
+      ++at;
+    }
+    if (at < iov_count && done > 0) {
+      iov[at].iov_base = static_cast<std::uint8_t*>(iov[at].iov_base) + done;
+      iov[at].iov_len -= done;
+    }
+  }
+  return true;
+}
+
 bool TcpChannel::read_exact(std::uint8_t* data, std::size_t size,
                             rtsj::RelativeTime timeout) {
   std::size_t got = 0;
@@ -253,8 +333,8 @@ bool TcpChannel::receive(Frame& frame, rtsj::RelativeTime timeout) {
     if (::poll(&pfd, 1, wait_ms) <= 0) return false;
     if (!accept_one()) return false;
   }
-  std::uint8_t header[4];
-  if (!read_exact(header, sizeof(header), timeout)) return false;
+  std::uint8_t header[8];
+  if (!read_exact(header, 4, timeout)) return false;
   const std::uint32_t length = load_u32(header);
   if (length < 4 || length > kMaxFrameBytes) {
     // Framing violation: the stream position is lost for good (the next
@@ -263,17 +343,23 @@ bool TcpChannel::receive(Frame& frame, rtsj::RelativeTime timeout) {
     close();
     return false;
   }
-  std::vector<std::uint8_t> body(length);
-  if (!read_exact(body.data(), body.size(),
-                  rtsj::RelativeTime::milliseconds(1000))) {
+  if (!read_exact(header + 4, 4, rtsj::RelativeTime::milliseconds(1000))) {
     return false;
   }
-  if (load_u16(body.data()) != kWireVersion) {
+  if (load_u16(header + 4) != kWireVersion) {
     close();  // same: version mismatch mid-stream is unrecoverable
     return false;
   }
-  frame.type = load_u16(body.data() + 2);
-  frame.payload.assign(body.begin() + 4, body.end());
+  frame.type = load_u16(header + 6);
+  // Read the payload straight into the caller's frame: a caller that
+  // recycles its Frame (the serve loops do) reuses the vector's capacity
+  // and the steady-state receive path stops allocating.
+  frame.payload.resize(length - 4);
+  if (!frame.payload.empty() &&
+      !read_exact(frame.payload.data(), frame.payload.size(),
+                  rtsj::RelativeTime::milliseconds(1000))) {
+    return false;
+  }
   return true;
 }
 

@@ -47,6 +47,32 @@ struct Frame {
   std::vector<std::uint8_t> payload;
 };
 
+/// A non-owning view of contiguous payload bytes: one piece of a
+/// scatter-gather send. The bytes must stay valid until the send returns.
+struct ByteSpan {
+  const std::uint8_t* data = nullptr;  ///< First byte.
+  std::size_t size = 0;                ///< Byte count.
+};
+
+/// A frame payload view: type plus payload span, the zero-copy analogue of
+/// Frame for callers that already hold the encoded bytes.
+struct FrameView {
+  std::uint16_t type = 0;  ///< Frame type discriminator.
+  ByteSpan payload;        ///< Encoded payload bytes (not owned).
+};
+
+/// Transport memory handed out by Channel::reserve_frame: the caller
+/// encodes a frame payload directly at `data` and then commits. When
+/// `in_place` is true, `data` points into the transport's own memory (a
+/// shm ring) and committing publishes with zero further copies; when
+/// false, the transport lent a bounce buffer and commit performs the one
+/// unavoidable copy (a wrapped ring reservation).
+struct FrameReservation {
+  std::uint8_t* data = nullptr;  ///< Where the payload must be encoded.
+  std::size_t size = 0;          ///< Reserved payload capacity.
+  bool in_place = false;         ///< True: data is transport memory.
+};
+
 /// A reliable, ordered, bidirectional frame channel between two endpoints.
 class Channel {
  public:
@@ -58,6 +84,41 @@ class Channel {
   /// peer is unreachable; blocking behaviour is transport-specific (the
   /// loopback never blocks, TCP may block on a full socket buffer).
   virtual bool send(const Frame& frame) = 0;
+
+  /// Move-enabled send: transports that queue frames (the loopback) steal
+  /// the payload instead of deep-copying it. The default forwards to the
+  /// copying overload, so transports that serialize to a wire lose
+  /// nothing by not overriding.
+  virtual bool send(Frame&& frame) {
+    return send(static_cast<const Frame&>(frame));
+  }
+
+  /// Scatter-gather send: one frame whose payload is the concatenation of
+  /// `count` spans, byte-identical on the wire to send() with the
+  /// assembled payload. The default assembles a Frame; TcpChannel
+  /// overrides with writev so the payload bytes go from the caller's
+  /// buffer to the socket with no intermediate copy.
+  virtual bool send_spans(std::uint16_t type, const ByteSpan* spans,
+                          std::size_t count);
+
+  /// Reserves transport memory for one frame of `payload_size` bytes so
+  /// the caller can encode directly into it (shm ring: the frame is built
+  /// in the ring). Returns false when the transport does not support
+  /// reservations or is closed — the caller falls back to send_spans with
+  /// its own buffer. A successful reservation MUST be resolved with
+  /// commit_frame or abort_frame before any other send on this channel;
+  /// channels have a single writer (docs/DATAPLANE.md §7) so no further
+  /// locking is implied.
+  virtual bool reserve_frame(std::uint16_t type, std::size_t payload_size,
+                             FrameReservation& out);
+
+  /// Publishes the reserved frame with its first `used` payload bytes
+  /// (used <= reserved size). Returns false when the channel closed
+  /// between reserve and commit.
+  virtual bool commit_frame(std::size_t used);
+
+  /// Releases the current reservation without publishing anything.
+  virtual void abort_frame();
 
   /// Receives the next frame, waiting up to `timeout` (zero = poll without
   /// waiting). Returns false on timeout or when the channel is closed and
@@ -80,7 +141,11 @@ class LoopbackChannel final : public Channel {
                    std::shared_ptr<LoopbackChannel>>
   make_pair();
 
+  using Channel::send;
   bool send(const Frame& frame) override;
+  /// Moves the payload into the queue — no deep copy for callers done
+  /// with the frame (the control plane's make_*() temporaries).
+  bool send(Frame&& frame) override;
   bool receive(Frame& frame, rtsj::RelativeTime timeout) override;
   void close() override;
   bool open() const override;
@@ -116,7 +181,12 @@ class TcpChannel final : public Channel {
   /// failure or when already connected.
   bool accept_one();
 
+  using Channel::send;
   bool send(const Frame& frame) override;
+  /// Gathers the 8-byte frame header and the payload spans into one
+  /// writev so nothing is re-staged in user space before the socket.
+  bool send_spans(std::uint16_t type, const ByteSpan* spans,
+                  std::size_t count) override;
   bool receive(Frame& frame, rtsj::RelativeTime timeout) override;
   /// Thread-safe shutdown: marks the channel closed and shuts the socket
   /// down so a blocked receiver unblocks, but defers the actual ::close

@@ -174,21 +174,20 @@ std::size_t ShmRingChannel::capacity() const noexcept {
   return static_cast<const Region*>(region_)->capacity;
 }
 
-bool ShmRingChannel::send(const Frame& frame) {
+bool ShmRingChannel::wait_for_space(std::size_t total, std::uint64_t& head) {
   auto* hdr = static_cast<Region*>(region_);
   Ring& ring = hdr->rings[creator_ ? 0 : 1];
-  std::uint8_t* data = static_cast<std::uint8_t*>(region_) + kHeaderBytes +
-                       (creator_ ? 0 : hdr->capacity);
   const std::size_t capacity = hdr->capacity;
-  const std::size_t total = kRecordHeader + frame.payload.size();
   if (total > capacity) return false;  // can never fit
   auto& clock = rtsj::SteadyClock::instance();
   const auto deadline = clock.now() + send_stall_;
-  std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+  head = ring.head.load(std::memory_order_relaxed);
   while (true) {
     if (hdr->closed.load(std::memory_order_acquire) != 0) return false;
     const std::uint64_t tail = ring.tail.load(std::memory_order_acquire);
-    if (capacity - static_cast<std::size_t>(head - tail) >= total) break;
+    if (capacity - static_cast<std::size_t>(head - tail) >= total) {
+      return true;
+    }
     if (clock.now() >= deadline) {
       // The reader has stalled past the bound; fail loudly rather than
       // wedge the sender (mirrors the TCP transport's stall deadline).
@@ -197,6 +196,17 @@ bool ShmRingChannel::send(const Frame& frame) {
     }
     std::this_thread::yield();
   }
+}
+
+bool ShmRingChannel::send(const Frame& frame) {
+  auto* hdr = static_cast<Region*>(region_);
+  Ring& ring = hdr->rings[creator_ ? 0 : 1];
+  std::uint8_t* data = static_cast<std::uint8_t*>(region_) + kHeaderBytes +
+                       (creator_ ? 0 : hdr->capacity);
+  const std::size_t capacity = hdr->capacity;
+  const std::size_t total = kRecordHeader + frame.payload.size();
+  std::uint64_t head = 0;
+  if (!wait_for_space(total, head)) return false;
   std::uint8_t header[kRecordHeader];
   store_u32(header, static_cast<std::uint32_t>(4 + frame.payload.size()));
   store_u16(header + 4, kWireVersion);
@@ -209,6 +219,61 @@ bool ShmRingChannel::send(const Frame& frame) {
   ring.head.store(head + total, std::memory_order_release);
   return true;
 }
+
+bool ShmRingChannel::reserve_frame(std::uint16_t type,
+                                   std::size_t payload_size,
+                                   FrameReservation& out) {
+  auto* hdr = static_cast<Region*>(region_);
+  std::uint8_t* data = static_cast<std::uint8_t*>(region_) + kHeaderBytes +
+                       (creator_ ? 0 : hdr->capacity);
+  const std::size_t capacity = hdr->capacity;
+  std::uint64_t head = 0;
+  if (!wait_for_space(kRecordHeader + payload_size, head)) return false;
+  pending_active_ = true;
+  pending_head_ = head;
+  pending_type_ = type;
+  // The payload starts right after the record header. When those bytes
+  // are contiguous (no wrap across the ring edge) the caller encodes
+  // straight into shared memory; otherwise it encodes into the scratch
+  // bounce buffer and commit performs the ring's wrap-aware copy.
+  const std::size_t at =
+      static_cast<std::size_t>((head + kRecordHeader) % capacity);
+  pending_in_place_ = at + payload_size <= capacity;
+  if (pending_in_place_) {
+    out.data = data + at;
+  } else {
+    if (scratch_.size() < payload_size) scratch_.resize(payload_size);
+    out.data = scratch_.data();
+  }
+  out.size = payload_size;
+  out.in_place = pending_in_place_;
+  return true;
+}
+
+bool ShmRingChannel::commit_frame(std::size_t used) {
+  if (!pending_active_) return false;
+  pending_active_ = false;
+  auto* hdr = static_cast<Region*>(region_);
+  if (hdr->closed.load(std::memory_order_acquire) != 0) return false;
+  Ring& ring = hdr->rings[creator_ ? 0 : 1];
+  std::uint8_t* data = static_cast<std::uint8_t*>(region_) + kHeaderBytes +
+                       (creator_ ? 0 : hdr->capacity);
+  const std::size_t capacity = hdr->capacity;
+  std::uint8_t header[kRecordHeader];
+  store_u32(header, static_cast<std::uint32_t>(4 + used));
+  store_u16(header + 4, kWireVersion);
+  store_u16(header + 6, pending_type_);
+  ring_write(data, capacity, pending_head_, header, kRecordHeader);
+  if (!pending_in_place_ && used > 0) {
+    ring_write(data, capacity, pending_head_ + kRecordHeader,
+               scratch_.data(), used);
+  }
+  ring.head.store(pending_head_ + kRecordHeader + used,
+                  std::memory_order_release);
+  return true;
+}
+
+void ShmRingChannel::abort_frame() { pending_active_ = false; }
 
 bool ShmRingChannel::receive(Frame& frame, rtsj::RelativeTime timeout) {
   auto* hdr = static_cast<Region*>(region_);

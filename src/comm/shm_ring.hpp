@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "comm/channel.hpp"
 
@@ -63,6 +64,17 @@ class ShmRingChannel final : public Channel {
   /// the send-stall bound, then fails and closes. Returns false when the
   /// frame can never fit or the channel is closed.
   bool send(const Frame& frame) override;
+  /// Reserves ring space for one frame so the caller encodes the payload
+  /// *in the ring* (zero further copies when the reservation does not
+  /// wrap; a wrapping reservation hands out a bounce buffer that commit
+  /// copies in, still one copy total). Waits for space like send().
+  bool reserve_frame(std::uint16_t type, std::size_t payload_size,
+                     FrameReservation& out) override;
+  /// Writes the record header and publishes the reserved frame's first
+  /// `used` payload bytes.
+  bool commit_frame(std::size_t used) override;
+  /// Drops the reservation; the ring's published position is untouched.
+  void abort_frame() override;
   /// Receives the next frame, waiting up to `timeout` (zero = one poll).
   /// A torn or implausible record header closes the channel.
   bool receive(Frame& frame, rtsj::RelativeTime timeout) override;
@@ -79,11 +91,24 @@ class ShmRingChannel final : public Channel {
  private:
   ShmRingChannel() = default;
 
+  /// Waits (yielding) until the send ring has `total` free bytes; returns
+  /// the head position to write at, or false on close/stall.
+  bool wait_for_space(std::size_t total, std::uint64_t& head);
+
   std::string name_;
   void* region_ = nullptr;
   std::size_t mapped_bytes_ = 0;
   bool creator_ = false;
   rtsj::RelativeTime send_stall_{};
+
+  // In-flight reservation (single writer per channel; no locking).
+  bool pending_active_ = false;
+  bool pending_in_place_ = false;
+  std::uint64_t pending_head_ = 0;
+  std::uint16_t pending_type_ = 0;
+  /// Bounce buffer for reservations that would wrap the ring edge; keeps
+  /// its capacity across frames so the fallback does not allocate either.
+  std::vector<std::uint8_t> scratch_;
 };
 
 }  // namespace rtcf::comm

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "dist/batch_view.hpp"
+
 namespace rtcf::dist {
 
 namespace {
@@ -17,6 +19,12 @@ void DataPlane::set_peer_version(const std::string& peer,
                                  std::uint16_t version) {
   const std::lock_guard<std::mutex> lock(mutex_);
   peer_versions_[peer] = version;
+  // Refresh the cached copy on every route toward this peer — a HELLO
+  // can upgrade a peer mid-run (the unannounced-peer-upgrades test) and
+  // offer() only ever reads the cache.
+  for (ExitRoute& route : exits_) {
+    if (route.peer == peer) route.protocol = version;
+  }
 }
 
 std::uint16_t DataPlane::peer_version(const std::string& peer) const {
@@ -56,6 +64,8 @@ std::size_t DataPlane::add_route(const std::string& client,
   route.peer = peer;
   route.channel = std::move(channel);
   route.active = route.channel != nullptr;
+  const auto vit = peer_versions_.find(peer);
+  route.protocol = vit == peer_versions_.end() ? kLegacyVersion : vit->second;
   return it->second;
 }
 
@@ -80,6 +90,57 @@ std::size_t DataPlane::add_entry_route(const std::string& client,
   return it->second;
 }
 
+template <typename Encode>
+bool DataPlane::send_encoded(comm::Channel& channel, FrameType type,
+                             std::size_t payload_size, Encode&& encode) {
+  const std::uint16_t type16 = static_cast<std::uint16_t>(type);
+  comm::FrameReservation reservation;
+  if (channel.reserve_frame(type16, payload_size, reservation)) {
+    // The frame is encoded where the transport wants it — in the shm
+    // ring itself when the reservation did not wrap. commit publishes it.
+    const std::size_t used =
+        encode(WireSpan{reservation.data, reservation.size});
+    const bool ok = channel.commit_frame(used);
+    if (ok) {
+      if (reservation.in_place) {
+        stats_.ring_frames += 1;
+        if (counters_ != nullptr) {
+          counters_->ring_frames.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        stats_.bytes_copied += used;
+        if (counters_ != nullptr) {
+          counters_->bytes_copied.fetch_add(used, std::memory_order_relaxed);
+        }
+      }
+    }
+    return ok;
+  }
+  // No reservations on this transport: encode into a pooled buffer and
+  // hand the span to the scatter-gather send — one staging copy total,
+  // zero allocations once the pool is warm.
+  std::vector<std::uint8_t> buffer = pool_.acquire(payload_size);
+  const std::size_t used = encode(WireSpan{buffer.data(), buffer.size()});
+  const comm::ByteSpan span{buffer.data(), used};
+  const bool ok = channel.send_spans(type16, &span, 1);
+  stats_.bytes_copied += used;
+  if (counters_ != nullptr) {
+    counters_->bytes_copied.fetch_add(used, std::memory_order_relaxed);
+  }
+  pool_.release(std::move(buffer));
+  sync_pool_counters();
+  return ok;
+}
+
+void DataPlane::sync_pool_counters() {
+  if (counters_ == nullptr) return;
+  const comm::BufferPool::Stats pool = pool_.stats();
+  counters_->pool_hits.store(pool.hits, std::memory_order_relaxed);
+  counters_->pool_misses.store(pool.misses, std::memory_order_relaxed);
+  counters_->pool_high_water.store(pool.high_water,
+                                   std::memory_order_relaxed);
+}
+
 DataPlane::Offer DataPlane::offer(std::size_t route_id,
                                   const comm::Message& message) {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -91,16 +152,18 @@ DataPlane::Offer DataPlane::offer(std::size_t route_id,
   ExitRoute& route = exits_[route_id];
   if (!route.active || route.channel == nullptr) return Offer::Dropped;
 
-  const auto vit = peer_versions_.find(route.peer);
-  const std::uint16_t version =
-      vit == peer_versions_.end() ? kLegacyVersion : vit->second;
-  if (version < kProtocolVersion) {
-    // Pre-v3 peer: the original one-frame-per-message path, verbatim.
-    DataPayload payload;
-    payload.client = route.client;
-    payload.port = route.port;
-    payload.message = message;
-    if (!route.channel->send(make_data(payload))) {
+  if (route.protocol < kProtocolVersion) {
+    // Pre-v3 peer: the original one-frame-per-message path — same wire
+    // bytes, but encoded into a pooled buffer instead of a fresh vector.
+    const bool ok = send_encoded(
+        *route.channel, FrameType::Data,
+        data_payload_wire_bytes(route.client, route.port),
+        [&](WireSpan span) {
+          SpanWriter w(span);
+          encode_data_payload(w, route.client, route.port, message);
+          return w.used();
+        });
+    if (!ok) {
       stats_.send_failures += 1;
       if (counters_ != nullptr) {
         counters_->send_failures.fetch_add(1, std::memory_order_relaxed);
@@ -137,45 +200,72 @@ DataPlane::Offer DataPlane::offer(std::size_t route_id,
     if (counters_ != nullptr) {
       counters_->size_flushes.fetch_add(1, std::memory_order_relaxed);
     }
-    std::map<comm::Channel*, PendingFlush> groups;
-    stage_route(route, route.credits, groups);
-    send_groups(groups);
-    return route.queue.empty() ? Offer::Sent : Offer::Queued;
+    stage_route(route_id, route.credits);
+    send_groups();
+    return exits_[route_id].queue.empty() ? Offer::Sent : Offer::Queued;
   }
   return Offer::Queued;
 }
 
-std::size_t DataPlane::stage_route(
-    ExitRoute& route, std::size_t limit,
-    std::map<comm::Channel*, PendingFlush>& groups) {
+DataPlane::FlushGroup& DataPlane::group_for(
+    const std::shared_ptr<comm::Channel>& channel) {
+  for (std::size_t i = 0; i < group_count_; ++i) {
+    if (groups_[i].channel.get() == channel.get()) return groups_[i];
+  }
+  if (group_count_ == groups_.size()) groups_.emplace_back();
+  FlushGroup& group = groups_[group_count_++];
+  group.channel = channel;
+  group.routes.clear();
+  group.messages = 0;
+  group.payload_bytes = 0;
+  return group;
+}
+
+std::size_t DataPlane::stage_route(std::size_t route_index,
+                                   std::size_t limit) {
+  ExitRoute& route = exits_[route_index];
   const std::size_t take = std::min(route.queue.size(), limit);
   if (take == 0) return 0;
-  PendingFlush& group = groups[route.channel.get()];
-  group.channel = route.channel;
-  BatchRoute entry;
-  entry.client = route.client;
-  entry.port = route.port;
-  entry.messages.assign(route.queue.begin(),
-                        route.queue.begin() +
-                            static_cast<std::ptrdiff_t>(take));
-  group.payload.routes.push_back(std::move(entry));
+  FlushGroup& group = group_for(route.channel);
+  group.routes.push_back(StagedRoute{route_index, take});
   group.messages += take;
-  route.queue.erase(route.queue.begin(),
-                    route.queue.begin() + static_cast<std::ptrdiff_t>(take));
+  group.payload_bytes +=
+      batch_route_wire_bytes(route.client, route.port, take);
   route.credits -= std::min<std::uint64_t>(route.credits, take);
   stats_.queued -= take;
-  if (!route.queue.empty()) {
-    route.oldest = rtsj::SteadyClock::instance().now();
-  }
   return take;
 }
 
-std::size_t DataPlane::send_groups(
-    std::map<comm::Channel*, PendingFlush>& groups) {
+std::size_t DataPlane::send_groups() {
   std::size_t sent = 0;
-  for (auto& [raw, group] : groups) {
-    (void)raw;
-    if (group.channel->send(make_batch(group.payload))) {
+  for (std::size_t gi = 0; gi < group_count_; ++gi) {
+    FlushGroup& group = groups_[gi];
+    const bool ok = send_encoded(
+        *group.channel, FrameType::Batch,
+        kBatchHeaderBytes + group.payload_bytes, [&](WireSpan span) {
+          // Drain each staged route's queue front straight into the
+          // frame: the message's only copy is queue -> transport memory.
+          BatchSpanEncoder enc(span,
+                               static_cast<std::uint32_t>(
+                                   group.routes.size()));
+          for (const StagedRoute& staged : group.routes) {
+            ExitRoute& route = exits_[staged.route];
+            enc.begin_route(route.client, route.port,
+                            static_cast<std::uint32_t>(staged.take));
+            for (std::size_t i = 0; i < staged.take; ++i) {
+              enc.add_message(route.queue[i]);
+            }
+            enc.end_route();
+            route.queue.erase(route.queue.begin(),
+                              route.queue.begin() +
+                                  static_cast<std::ptrdiff_t>(staged.take));
+            if (!route.queue.empty()) {
+              route.oldest = rtsj::SteadyClock::instance().now();
+            }
+          }
+          return enc.used();
+        });
+    if (ok) {
       sent += group.messages;
       stats_.sent += group.messages;
       stats_.batches += 1;
@@ -189,15 +279,17 @@ std::size_t DataPlane::send_groups(
         counters_->send_failures.fetch_add(1, std::memory_order_relaxed);
       }
     }
+    group.channel.reset();
   }
+  group_count_ = 0;
   return sent;
 }
 
 std::size_t DataPlane::flush(bool force) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const rtsj::AbsoluteTime now = rtsj::SteadyClock::instance().now();
-  std::map<comm::Channel*, PendingFlush> groups;
-  for (ExitRoute& route : exits_) {
+  for (std::size_t i = 0; i < exits_.size(); ++i) {
+    ExitRoute& route = exits_[i];
     if (route.queue.empty() || route.channel == nullptr) continue;
     if (!force && now - route.oldest < config_.flush_interval) continue;
     // The stop() drain (`force`) must empty the node even when the peer's
@@ -214,9 +306,9 @@ std::size_t DataPlane::flush(bool force) {
         counters_->deadline_flushes.fetch_add(1, std::memory_order_relaxed);
       }
     }
-    stage_route(route, limit, groups);
+    stage_route(i, limit);
   }
-  return send_groups(groups);
+  return send_groups();
 }
 
 void DataPlane::on_credit(const CreditPayload& credit) {
@@ -250,11 +342,15 @@ std::size_t DataPlane::grant_all() {
 }
 
 bool DataPlane::send_grant(EntryRoute& route) {
-  CreditPayload payload;
-  payload.client = route.client;
-  payload.port = route.port;
-  payload.credits = route.pending;
-  if (!route.reverse->send(make_credit(payload))) {
+  const bool ok = send_encoded(
+      *route.reverse, FrameType::Credit,
+      credit_payload_wire_bytes(route.client, route.port),
+      [&](WireSpan span) {
+        SpanWriter w(span);
+        encode_credit_payload(w, route.client, route.port, route.pending);
+        return w.used();
+      });
+  if (!ok) {
     stats_.send_failures += 1;
     if (counters_ != nullptr) {
       counters_->send_failures.fetch_add(1, std::memory_order_relaxed);
@@ -272,7 +368,12 @@ bool DataPlane::send_grant(EntryRoute& route) {
 
 DataPlaneStats DataPlane::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  DataPlaneStats s = stats_;
+  const comm::BufferPool::Stats pool = pool_.stats();
+  s.pool_hits = pool.hits;
+  s.pool_misses = pool.misses;
+  s.pool_high_water = pool.high_water;
+  return s;
 }
 
 }  // namespace rtcf::dist

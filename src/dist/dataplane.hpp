@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "comm/buffer_pool.hpp"
 #include "comm/channel.hpp"
 #include "comm/message.hpp"
 #include "dist/protocol.hpp"
@@ -73,6 +74,14 @@ struct DataPlaneStats {
   std::uint64_t credits_granted = 0;   ///< Credits granted entry-side.
   std::uint64_t peak_queue_depth = 0;  ///< Largest single-route queue seen.
   std::uint64_t queued = 0;            ///< Messages queued right now.
+  // Zero-copy path (docs/DATAPLANE.md "Zero-copy path"):
+  std::uint64_t ring_frames = 0;   ///< Frames encoded directly in a ring.
+  std::uint64_t bytes_copied = 0;  ///< Payload bytes staged in a user-space
+                                   ///< buffer before the transport (0 for
+                                   ///< in-ring frames).
+  std::uint64_t pool_hits = 0;       ///< BufferPool freelist hits.
+  std::uint64_t pool_misses = 0;     ///< BufferPool allocations.
+  std::uint64_t pool_high_water = 0; ///< Max pool buffers outstanding.
 };
 
 /// The per-node data plane: exit routes (sending side) and entry routes
@@ -148,6 +157,9 @@ class DataPlane {
   DataPlaneStats stats() const;
   /// The knobs this plane runs with.
   const DataPlaneConfig& config() const noexcept { return config_; }
+  /// The payload buffer pool (shared with the owning runtime's receive
+  /// path so send and inbox buffers recycle through one arena).
+  comm::BufferPool& pool() noexcept { return pool_; }
 
  private:
   struct ExitRoute {
@@ -159,6 +171,10 @@ class DataPlane {
     std::uint64_t credits = 0;
     rtsj::AbsoluteTime oldest{};  ///< Enqueue time of queue.front().
     bool active = false;
+    /// The peer's announced protocol version, cached here so offer()
+    /// never does a map lookup per message; refreshed by add_route() and
+    /// set_peer_version().
+    std::uint16_t protocol = 2;
   };
 
   struct EntryRoute {
@@ -170,21 +186,48 @@ class DataPlane {
     bool active = false;
   };
 
-  /// One route's contribution to a grouped flush (mutex held).
-  struct PendingFlush {
-    std::shared_ptr<comm::Channel> channel;
-    BatchPayload payload;
-    std::size_t messages = 0;
+  /// One route's share of a staged flush: which route and how many
+  /// messages from its queue front. Routes are staged by *index* — route
+  /// storage may move if add_route grows exits_, indices are stable.
+  struct StagedRoute {
+    std::size_t route = 0;
+    std::size_t take = 0;
   };
 
-  /// Moves up to `limit` messages of `route` into the per-channel group
-  /// map (mutex held). Returns how many it took.
-  std::size_t stage_route(ExitRoute& route, std::size_t limit,
-                          std::map<comm::Channel*, PendingFlush>& groups);
-  /// Sends the grouped BATCH frames and books the stats (mutex held).
-  std::size_t send_groups(std::map<comm::Channel*, PendingFlush>& groups);
+  /// One channel's share of a flush: every staged route that will encode
+  /// into a single BATCH frame (mutex held). The group vector and its
+  /// route vectors are reused across flushes so steady-state flushing
+  /// does not allocate.
+  struct FlushGroup {
+    std::shared_ptr<comm::Channel> channel;
+    std::vector<StagedRoute> routes;
+    std::size_t messages = 0;
+    std::size_t payload_bytes = 0;  ///< Sum of the routes' encoded sizes.
+  };
+
+  /// The active flush group for `channel`, creating one if needed
+  /// (mutex held).
+  FlushGroup& group_for(const std::shared_ptr<comm::Channel>& channel);
+  /// Stages up to `limit` messages of `route` into its channel's group
+  /// (mutex held): books credits/queued, but leaves the messages on the
+  /// queue until send_groups() encodes them straight into the frame.
+  /// Returns how many it staged.
+  std::size_t stage_route(std::size_t route_index, std::size_t limit);
+  /// Encodes and sends one BATCH frame per staged group — into reserved
+  /// transport memory when the channel supports it, else through a pooled
+  /// buffer — and books the stats (mutex held). Returns messages sent.
+  std::size_t send_groups();
+  /// Encodes one frame of `payload_size` bytes via `encode(WireSpan) ->
+  /// used` and sends it with zero avoidable copies: reserved transport
+  /// memory first, pooled buffer + scatter-gather send as the fallback
+  /// (mutex held).
+  template <typename Encode>
+  bool send_encoded(comm::Channel& channel, FrameType type,
+                    std::size_t payload_size, Encode&& encode);
   /// Sends one entry route's pending grant (mutex held). True on success.
   bool send_grant(EntryRoute& route);
+  /// Mirrors the pool's counters into the attached monitor (mutex held).
+  void sync_pool_counters();
 
   const DataPlaneConfig config_;
   mutable std::mutex mutex_;
@@ -193,6 +236,11 @@ class DataPlane {
   std::map<std::pair<std::string, std::string>, std::size_t> exit_index_;
   std::map<std::pair<std::string, std::string>, std::size_t> entry_index_;
   std::map<std::string, std::uint16_t> peer_versions_;
+  /// Staged flush groups; `group_count_` of them are live. Elements keep
+  /// their vector capacity between flushes (a clear() would free it).
+  std::vector<FlushGroup> groups_;
+  std::size_t group_count_ = 0;
+  comm::BufferPool pool_;
   DataPlaneStats stats_;
   monitor::DataPlaneCounters* counters_ = nullptr;
 };

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "comm/shm_ring.hpp"
+#include "dist/batch_view.hpp"
 #include "dist/plan_codec.hpp"
 #include "validate/validator.hpp"
 
@@ -170,7 +171,11 @@ NodeRuntime::GatewayStats NodeRuntime::gateway_stats() const {
 
 std::size_t NodeRuntime::inbox_depth() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return inbox_.size();
+  std::size_t depth = 0;
+  for (const InboxItem& item : inbox_) {
+    depth += item.batch.empty() ? 1 : item.batch_messages;
+  }
+  return depth;
 }
 
 void NodeRuntime::executive_loop() {
@@ -312,46 +317,80 @@ void NodeRuntime::apply_routes(const std::vector<GatewayRoute>& routes) {
 }
 
 void NodeRuntime::drain_inbox() {
-  std::deque<DataPayload> batch;
+  std::deque<InboxItem> batch;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     batch.swap(inbox_);
   }
-  for (const DataPayload& data : batch) {
-    auto it = entries_.find({data.client, data.port});
-    if (it == entries_.end() || it->second.content == nullptr) {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      ++entry_drops_;
+  for (InboxItem& item : batch) {
+    if (item.batch.empty()) {
+      const DataPayload& data = item.data;
+      auto it = entries_.find({data.client, data.port});
+      if (it == entries_.end() || it->second.content == nullptr) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++entry_drops_;
+        continue;
+      }
+      it->second.content->inject(it->second.port_name, data.message);
+      // Consumed from the wire either way — replenish the sender's window
+      // (an unbound port is the entry's drop to count, not backpressure).
+      dataplane_.note_injected(it->second.entry_route);
       continue;
     }
-    it->second.content->inject(it->second.port_name, data.message);
-    // Consumed from the wire either way — replenish the sender's window
-    // (an unbound port is the entry's drop to count, not backpressure).
-    dataplane_.note_injected(it->second.entry_route);
+    // Deferred BATCH: decode in place, injecting straight out of the
+    // receive buffer. The payload was fully validated at enqueue time,
+    // so a WireError here is impossible by construction — the view's
+    // bounds checks stay on as a backstop.
+    BatchView view(item.batch);
+    BatchView::Route route;
+    comm::Message message;
+    while (view.next_route(route)) {
+      const auto it = entries_.find(
+          {std::string(route.client), std::string(route.port)});
+      if (it == entries_.end() || it->second.content == nullptr) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        entry_drops_ += route.messages;
+        for (std::uint32_t i = 0; i < route.messages; ++i) {
+          view.next_message(message);
+        }
+        continue;
+      }
+      for (std::uint32_t i = 0; i < route.messages; ++i) {
+        view.next_message(message);
+        it->second.content->inject(it->second.port_name, message);
+      }
+      dataplane_.note_injected(it->second.entry_route, route.messages);
+    }
+    // The buffer goes back to the shared pool, where the receive loop's
+    // replacement buffers come from.
+    dataplane_.pool().release(std::move(item.batch));
   }
 }
 
 void NodeRuntime::handle_peer_frame(const std::string& peer,
-                                    const comm::Frame& frame) {
+                                    comm::Frame& frame) {
   try {
     switch (static_cast<FrameType>(frame.type)) {
       case FrameType::Data: {
+        InboxItem item;
+        item.data = parse_data(frame);
         const std::lock_guard<std::mutex> lock(mutex_);
-        inbox_.push_back(parse_data(frame));
+        inbox_.push_back(std::move(item));
         break;
       }
       case FrameType::Batch: {
-        BatchPayload payload = parse_batch(frame);
+        // Validate now (truncation throws out of this scope), defer the
+        // decode: the executive injects from these bytes in place.
+        InboxItem item;
+        item.batch_messages =
+            batch_message_count(frame.payload.data(), frame.payload.size());
+        item.batch = std::move(frame.payload);
+        // Re-arm the receive frame with a recycled buffer of the same
+        // class so the channel's capacity-reuse keeps working.
+        frame.payload = dataplane_.pool().acquire(item.batch.size());
+        frame.payload.clear();
         const std::lock_guard<std::mutex> lock(mutex_);
-        for (BatchRoute& route : payload.routes) {
-          for (comm::Message& message : route.messages) {
-            DataPayload data;
-            data.client = route.client;
-            data.port = route.port;
-            data.message = message;
-            inbox_.push_back(std::move(data));
-          }
-        }
+        inbox_.push_back(std::move(item));
         break;
       }
       case FrameType::Credit:
@@ -457,8 +496,10 @@ void NodeRuntime::handle_control(const comm::Frame& frame) {
       break;
     case FrameType::Data: {
       // Star topologies may relay data over the control channel.
+      InboxItem item;
+      item.data = parse_data(frame);
       const std::lock_guard<std::mutex> lock(mutex_);
-      inbox_.push_back(parse_data(frame));
+      inbox_.push_back(std::move(item));
       break;
     }
     default:

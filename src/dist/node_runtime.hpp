@@ -163,7 +163,11 @@ class NodeRuntime {
   /// One frame off a peer data channel: DATA/BATCH to the inbox, CREDIT
   /// to the data plane, HELLO to version/shm negotiation; unknown types
   /// are ignored (docs/PROTOCOL.md §7). Serve thread, or the stop drain.
-  void handle_peer_frame(const std::string& peer, const comm::Frame& frame);
+  /// Takes the frame by mutable reference: a BATCH payload is *moved*
+  /// into the inbox (validated, decoded in place at drain time) and the
+  /// frame gets a recycled pool buffer back so the receive loop keeps
+  /// its capacity-reuse property.
+  void handle_peer_frame(const std::string& peer, comm::Frame& frame);
   /// Peer HELLO: records the announced version and, when both sides
   /// offered the same shm token, establishes the ring (the
   /// lexicographically smaller node creates, the larger attaches).
@@ -208,10 +212,21 @@ class NodeRuntime {
   std::atomic<bool> serving_{false};
   std::atomic<bool> executive_done_{true};
 
+  /// One inbox entry: either a legacy DATA payload (batch empty) or a
+  /// whole BATCH frame payload held raw. BATCH frames are validated once
+  /// on the serve thread (batch_message_count) and decoded *in place* by
+  /// the executive's drain — entry gateways inject straight out of the
+  /// receive buffer, no per-message DataPayload materialization.
+  struct InboxItem {
+    DataPayload data;                 ///< Legacy DATA (batch empty).
+    std::vector<std::uint8_t> batch;  ///< Raw BATCH payload bytes.
+    std::size_t batch_messages = 0;   ///< Messages inside `batch`.
+  };
+
   mutable std::mutex mutex_;
   // Guarded by mutex_: inbox, staged transaction, route state, fault
   // injection.
-  std::deque<DataPayload> inbox_;
+  std::deque<InboxItem> inbox_;
   std::vector<GatewayRoute> routes_;         ///< In force.
   std::vector<GatewayRoute> staged_routes_;  ///< Applied at commit.
   bool routes_dirty_ = false;

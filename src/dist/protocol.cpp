@@ -1,5 +1,8 @@
 #include "dist/protocol.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "dist/plan_codec.hpp"
 
 namespace rtcf::dist {
@@ -26,11 +29,9 @@ void write_message(WireWriter& w, const comm::Message& m) {
   w.u32(m.size);
   w.i64(m.timestamp_ns);
   w.u64(m.sequence);
-  std::vector<std::uint8_t> payload(
-      reinterpret_cast<const std::uint8_t*>(m.payload),
-      reinterpret_cast<const std::uint8_t*>(m.payload) +
-          comm::Message::kPayloadCapacity);
-  w.bytes(payload);
+  w.u32(static_cast<std::uint32_t>(comm::Message::kPayloadCapacity));
+  w.raw(reinterpret_cast<const std::uint8_t*>(m.payload),
+        comm::Message::kPayloadCapacity);
   w.end_block(block);
 }
 
@@ -41,12 +42,11 @@ comm::Message read_message(WireReader& r) {
   m.size = b.u32();
   m.timestamp_ns = b.i64();
   m.sequence = b.u64();
-  const std::vector<std::uint8_t> payload = b.bytes();
+  const std::uint32_t length = b.u32();
+  const std::uint8_t* payload = b.raw(length);
   const std::size_t count =
-      std::min<std::size_t>(payload.size(), comm::Message::kPayloadCapacity);
-  for (std::size_t i = 0; i < count; ++i) {
-    m.payload[i] = static_cast<std::byte>(payload[i]);
-  }
+      std::min<std::size_t>(length, comm::Message::kPayloadCapacity);
+  std::memcpy(m.payload, payload, count);
   return m;
 }
 

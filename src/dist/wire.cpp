@@ -42,6 +42,10 @@ void WireWriter::bytes(const std::vector<std::uint8_t>& v) {
   data_.insert(data_.end(), v.begin(), v.end());
 }
 
+void WireWriter::raw(const std::uint8_t* data, std::size_t count) {
+  data_.insert(data_.end(), data, data + count);
+}
+
 std::size_t WireWriter::begin_block() {
   const std::size_t token = data_.size();
   u32(0);  // patched by end_block
@@ -51,6 +55,84 @@ std::size_t WireWriter::begin_block() {
 void WireWriter::end_block(std::size_t token) {
   const std::uint32_t length =
       static_cast<std::uint32_t>(data_.size() - token - 4);
+  data_[token] = static_cast<std::uint8_t>(length);
+  data_[token + 1] = static_cast<std::uint8_t>(length >> 8);
+  data_[token + 2] = static_cast<std::uint8_t>(length >> 16);
+  data_[token + 3] = static_cast<std::uint8_t>(length >> 24);
+}
+
+void SpanWriter::require(std::size_t count) const {
+  if (size_ - pos_ < count) {
+    throw WireError("span overflow (need " + std::to_string(count) +
+                    " bytes, have " + std::to_string(size_ - pos_) + ")");
+  }
+}
+
+void SpanWriter::u8(std::uint8_t v) {
+  require(1);
+  data_[pos_++] = v;
+}
+
+void SpanWriter::u16(std::uint16_t v) {
+  require(2);
+  data_[pos_] = static_cast<std::uint8_t>(v);
+  data_[pos_ + 1] = static_cast<std::uint8_t>(v >> 8);
+  pos_ += 2;
+}
+
+void SpanWriter::u32(std::uint32_t v) {
+  require(4);
+  for (int i = 0; i < 4; ++i) {
+    data_[pos_ + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  pos_ += 4;
+}
+
+void SpanWriter::u64(std::uint64_t v) {
+  require(8);
+  for (int i = 0; i < 8; ++i) {
+    data_[pos_ + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  pos_ += 8;
+}
+
+void SpanWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void SpanWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void SpanWriter::str(const std::string& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  require(v.size());
+  std::memcpy(data_ + pos_, v.data(), v.size());
+  pos_ += v.size();
+}
+
+void SpanWriter::bytes(const std::uint8_t* data, std::size_t count) {
+  u32(static_cast<std::uint32_t>(count));
+  raw(data, count);
+}
+
+void SpanWriter::raw(const std::uint8_t* data, std::size_t count) {
+  require(count);
+  std::memcpy(data_ + pos_, data, count);
+  pos_ += count;
+}
+
+std::size_t SpanWriter::begin_block() {
+  const std::size_t token = pos_;
+  u32(0);  // patched by end_block
+  return token;
+}
+
+void SpanWriter::end_block(std::size_t token) {
+  const std::uint32_t length = static_cast<std::uint32_t>(pos_ - token - 4);
   data_[token] = static_cast<std::uint8_t>(length);
   data_[token + 1] = static_cast<std::uint8_t>(length >> 8);
   data_[token + 2] = static_cast<std::uint8_t>(length >> 16);
@@ -114,6 +196,21 @@ std::string WireReader::str() {
   std::string v(reinterpret_cast<const char*>(data_ + pos_), length);
   pos_ += length;
   return v;
+}
+
+std::string_view WireReader::str_view() {
+  const std::uint32_t length = u32();
+  require(length);
+  std::string_view v(reinterpret_cast<const char*>(data_ + pos_), length);
+  pos_ += length;
+  return v;
+}
+
+const std::uint8_t* WireReader::raw(std::size_t count) {
+  require(count);
+  const std::uint8_t* p = data_ + pos_;
+  pos_ += count;
+  return p;
 }
 
 std::vector<std::uint8_t> WireReader::bytes() {

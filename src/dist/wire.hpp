@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace rtcf::dist {
@@ -32,6 +33,14 @@ class WireError : public std::runtime_error {
   /// An error with a "wire: "-prefixed description.
   explicit WireError(const std::string& message)
       : std::runtime_error("wire: " + message) {}
+};
+
+/// A non-owning mutable byte span: where a zero-copy encoder writes. The
+/// memory is caller-provided — a transport's reserved ring region, a
+/// pooled buffer — and must outlive every writer over it.
+struct WireSpan {
+  std::uint8_t* data = nullptr;  ///< First writable byte.
+  std::size_t size = 0;          ///< Writable bytes.
 };
 
 /// Append-only encoder over a growable byte vector.
@@ -53,6 +62,10 @@ class WireWriter {
   void str(const std::string& v);
   /// Appends a u32 length followed by the raw bytes.
   void bytes(const std::vector<std::uint8_t>& v);
+  /// Appends `count` raw bytes with no length prefix. For callers that
+  /// emit a hand-rolled length (zero-copy encoders staging fixed-layout
+  /// records); the result must stay byte-identical to the prefixed forms.
+  void raw(const std::uint8_t* data, std::size_t count);
 
   /// Opens a length-prefixed block; returns a token for end_block. Blocks
   /// may nest.
@@ -67,6 +80,55 @@ class WireWriter {
 
  private:
   std::vector<std::uint8_t> data_;
+};
+
+/// Fixed-capacity encoder over a caller-provided WireSpan. Emits the exact
+/// byte sequence WireWriter would (same primitives, same block framing) but
+/// never allocates: the destination is transport memory — a shm ring
+/// reservation or a pooled buffer — and overflow throws WireError instead
+/// of growing. Callers size the span with the *_wire_bytes helpers first,
+/// so an overflow is a logic error surfaced loudly, not a truncated frame.
+class SpanWriter {
+ public:
+  /// Writes into `span` (not owned; must outlive the writer).
+  explicit SpanWriter(WireSpan span) : data_(span.data), size_(span.size) {}
+
+  /// Appends one unsigned byte.
+  void u8(std::uint8_t v);
+  /// Appends a 16-bit little-endian unsigned integer.
+  void u16(std::uint16_t v);
+  /// Appends a 32-bit little-endian unsigned integer.
+  void u32(std::uint32_t v);
+  /// Appends a 64-bit little-endian unsigned integer.
+  void u64(std::uint64_t v);
+  /// Appends a 64-bit little-endian two's-complement integer.
+  void i64(std::int64_t v);
+  /// Appends an IEEE-754 double as its 64-bit bit pattern.
+  void f64(double v);
+  /// Appends a u32 length followed by the string bytes (no terminator).
+  void str(const std::string& v);
+  /// Appends a u32 length followed by the raw bytes.
+  void bytes(const std::uint8_t* data, std::size_t count);
+  /// Appends `count` raw bytes with no length prefix.
+  void raw(const std::uint8_t* data, std::size_t count);
+
+  /// Opens a length-prefixed block; returns a token for end_block. Blocks
+  /// may nest.
+  std::size_t begin_block();
+  /// Closes the innermost open block, patching its u32 length prefix.
+  void end_block(std::size_t token);
+
+  /// Bytes written so far.
+  std::size_t used() const noexcept { return pos_; }
+  /// Bytes still available in the span.
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+
+ private:
+  void require(std::size_t count) const;
+
+  std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
 };
 
 /// Bounds-checked decoder over a byte span. Every accessor throws WireError
@@ -96,8 +158,14 @@ class WireReader {
   double f64();
   /// Reads a u32-length-prefixed string.
   std::string str();
+  /// Reads a u32-length-prefixed string as a view into the underlying
+  /// buffer — no copy. The view is valid only while the buffer lives.
+  std::string_view str_view();
   /// Reads a u32-length-prefixed byte array.
   std::vector<std::uint8_t> bytes();
+  /// Reads `count` raw bytes with no length prefix and returns a pointer
+  /// into the underlying buffer — no copy. Valid while the buffer lives.
+  const std::uint8_t* raw(std::size_t count);
 
   /// Reads a block header and returns a sub-reader confined to the block's
   /// bytes; this reader advances past the whole block regardless of how

@@ -54,6 +54,15 @@ struct DataPlaneCounters {
   std::atomic<std::uint64_t> overflow_drops{0};  ///< Route-queue drop-newest.
   std::atomic<std::uint64_t> send_failures{0};   ///< Channel writes refused.
   std::atomic<std::uint64_t> credits_granted{0};  ///< Credits sent entry-side.
+  // Zero-copy path (docs/DATAPLANE.md "Zero-copy path"):
+  std::atomic<std::uint64_t> ring_frames{0};  ///< Frames encoded in the ring.
+  std::atomic<std::uint64_t> bytes_copied{0};  ///< Payload bytes staged in a
+                                               ///< user-space buffer before
+                                               ///< the transport.
+  std::atomic<std::uint64_t> pool_hits{0};    ///< BufferPool freelist hits.
+  std::atomic<std::uint64_t> pool_misses{0};  ///< BufferPool allocations.
+  std::atomic<std::uint64_t> pool_high_water{0};  ///< Gauge: max buffers
+                                                  ///< outstanding at once.
 
   /// A torn-free point read of every counter (plain integers).
   struct Snapshot {
@@ -66,6 +75,11 @@ struct DataPlaneCounters {
     std::uint64_t overflow_drops = 0;
     std::uint64_t send_failures = 0;
     std::uint64_t credits_granted = 0;
+    std::uint64_t ring_frames = 0;
+    std::uint64_t bytes_copied = 0;
+    std::uint64_t pool_hits = 0;
+    std::uint64_t pool_misses = 0;
+    std::uint64_t pool_high_water = 0;
   };
 
   /// Reads each counter once (relaxed; counters are independent).
@@ -80,6 +94,11 @@ struct DataPlaneCounters {
     s.overflow_drops = overflow_drops.load(std::memory_order_relaxed);
     s.send_failures = send_failures.load(std::memory_order_relaxed);
     s.credits_granted = credits_granted.load(std::memory_order_relaxed);
+    s.ring_frames = ring_frames.load(std::memory_order_relaxed);
+    s.bytes_copied = bytes_copied.load(std::memory_order_relaxed);
+    s.pool_hits = pool_hits.load(std::memory_order_relaxed);
+    s.pool_misses = pool_misses.load(std::memory_order_relaxed);
+    s.pool_high_water = pool_high_water.load(std::memory_order_relaxed);
     return s;
   }
 };

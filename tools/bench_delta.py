@@ -34,6 +34,8 @@ REPORTED_SUBSTRINGS = (
     "bytes",
     "transitions",
     "reloads",
+    "allocs",
+    "copied",
 )
 
 
