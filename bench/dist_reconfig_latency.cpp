@@ -11,6 +11,12 @@
 // nodes measured themselves. Emits BENCH_dist_reconfig_latency.json
 // (honors RTCF_BENCH_OUT).
 //
+// A second phase measures membership cost: join-to-converged, the full
+// admission handshake (candidate JOIN request -> coordinator poll ->
+// admit_node: epoch-advancing admission plus the committed re-shard that
+// moves the sink onto the joiner) against a fresh two-node cluster per
+// sample. Reported as the "join_to_converged" row.
+//
 //   bench_dist_reconfig_latency [duration_ms]
 #include <chrono>
 #include <cstdio>
@@ -91,6 +97,22 @@ validate::NodeMap make_map() {
   return map;
 }
 
+/// Pre-join view: "c" declared but holding the empty slice — what the
+/// candidate NodeRuntime boots with.
+validate::NodeMap candidate_map() {
+  auto map = make_map();
+  map.nodes.push_back("c");
+  return map;
+}
+
+/// Post-admission target: the re-shard moves SinkA onto the joiner.
+validate::NodeMap joined_map() {
+  validate::NodeMap map;
+  map.nodes = {"a", "b", "c"};
+  map.assignment = {{"Producer", "a"}, {"SinkA", "c"}, {"SinkB", "b"}};
+  return map;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -165,6 +187,77 @@ int main(int argc, char** argv) {
                  util::Table::num(node_median, 1)});
   std::printf("%s\n", table.to_string().c_str());
 
+  // --- Join-to-converged: time the full admission handshake against a
+  // fresh two-node cluster per sample, so every admission starts from
+  // the same two-node baseline. The clock runs from the candidate's
+  // JOIN request until admit_node returns with the re-shard committed
+  // and the membership view containing the joiner.
+  util::SampleSet join_sample_us(16);
+  std::uint64_t join_commits = 0;
+  const int join_samples = 5;
+  for (int i = 0; i < join_samples; ++i) {
+    dist::NodeRuntime::Options join_options;
+    join_options.run_duration = rtsj::RelativeTime::milliseconds(700);
+    dist::NodeRuntime ja(global, map, "a", join_options);
+    dist::NodeRuntime jb(global, map, "b", join_options);
+    dist::NodeRuntime jc(global, candidate_map(), "c", join_options);
+    dist::ReconfigCoordinator join_coord(map);
+    auto [ja_node, ja_coord] = comm::LoopbackChannel::make_pair();
+    auto [jb_node, jb_coord] = comm::LoopbackChannel::make_pair();
+    auto [jc_node, jc_coord] = comm::LoopbackChannel::make_pair();
+    ja.attach_control(ja_node);
+    jb.attach_control(jb_node);
+    jc.attach_control(jc_node);
+    join_coord.attach("a", ja_coord, global);
+    join_coord.attach("b", jb_coord, global);
+    join_coord.stage_candidate("c", jc_coord);
+    auto [jab, jba] = comm::LoopbackChannel::make_pair();
+    ja.connect_peer("b", jab);
+    jb.connect_peer("a", jba);
+    auto [jac, jca] = comm::LoopbackChannel::make_pair();
+    ja.connect_peer("c", jac);
+    jc.connect_peer("a", jca);
+    auto [jbc, jcb] = comm::LoopbackChannel::make_pair();
+    jb.connect_peer("c", jbc);
+    jc.connect_peer("b", jcb);
+    ja.start();
+    jb.start();
+    jc.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    const auto join_start = std::chrono::steady_clock::now();
+    const bool requested = jc.request_join();
+    const auto request = join_coord.poll_membership_request(
+        rtsj::RelativeTime::milliseconds(500));
+    bool converged = false;
+    if (requested && request.has_value() && request->join) {
+      const auto outcome = join_coord.admit_node("c", global, joined_map());
+      converged =
+          outcome.committed && join_coord.membership().map.has_node("c");
+    }
+    const auto join_elapsed =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - join_start);
+    if (converged) {
+      ++join_commits;
+      join_sample_us.add(static_cast<double>(join_elapsed.count()) / 1000.0);
+    }
+    ja.join_executive();
+    jb.join_executive();
+    jc.join_executive();
+    ja.stop();
+    jb.stop();
+    jc.stop();
+  }
+
+  const double join_median = join_commits > 0 ? join_sample_us.median() : 0.0;
+  const double join_worst = join_commits > 0 ? join_sample_us.max() : 0.0;
+  util::Table join_table({"join_commits", "join_median_us", "join_worst_us"});
+  join_table.add_row({std::to_string(join_commits),
+                      util::Table::num(join_median, 1),
+                      util::Table::num(join_worst, 1)});
+  std::printf("%s\n", join_table.to_string().c_str());
+
   bench::JsonRow row;
   row.name = "two_node_loopback";
   row.metrics = {
@@ -175,6 +268,13 @@ int main(int argc, char** argv) {
       {"worst_us", worst},
       {"node_median_us", node_median},
   };
-  bench::emit_json("dist_reconfig_latency", {row});
+  bench::JsonRow join_row;
+  join_row.name = "join_to_converged";
+  join_row.metrics = {
+      {"join_commits", static_cast<double>(join_commits)},
+      {"join_median_us", join_median},
+      {"join_worst_us", join_worst},
+  };
+  bench::emit_json("dist_reconfig_latency", {row, join_row});
   return 0;
 }

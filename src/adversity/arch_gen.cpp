@@ -376,23 +376,34 @@ Scenario generate_scenario(std::uint64_t seed, const GenConfig& config) {
       ir.areas.push_back(
           {prefix + "scope", AreaType::Scoped, 32 * 1024, parent});
     }
+    // Priorities wrap inside the RT band so clusters wider than half the
+    // band (the elastic-cluster drills go to 16+ nodes) still generate
+    // TD-PRIORITY-RANGE-clean domains. Identity for small clusters, so
+    // every existing seed's architecture is byte-identical.
+    const int band = rtsj::kMaxRtPriority - rtsj::kMinRtPriority + 1;
     node_domains[k].push_back(static_cast<int>(ir.domains.size()));
-    ir.domains.push_back({prefix + "rt", DomainType::Realtime,
-                          rtsj::kMinRtPriority + 2 * static_cast<int>(k)});
+    ir.domains.push_back(
+        {prefix + "rt", DomainType::Realtime,
+         rtsj::kMinRtPriority + (2 * static_cast<int>(k)) % band});
     if (topo.chance(1, 3)) {
       node_domains[k].push_back(static_cast<int>(ir.domains.size()));
       ir.domains.push_back(
           {prefix + "hi",
            topo.chance(1, 2) ? DomainType::NoHeapRealtime
                              : DomainType::Realtime,
-           rtsj::kMinRtPriority + 2 * static_cast<int>(k) + 1});
+           rtsj::kMinRtPriority + (2 * static_cast<int>(k) + 1) % band});
     }
   }
 
   // Functional components. Cost divisors keep per-task utilization under
   // ~0.5%, so even the whole cluster folded into one RTA (how
   // MODE-SCHEDULABLE analyzes it) stays schedulable at any generated
-  // priority assignment.
+  // priority assignment. Beyond 4 nodes the cost scale shrinks every
+  // task proportionally, keeping the folded total bounded for the
+  // elastic-cluster drills (16+ nodes) — identity at the default sizes,
+  // so existing seeds stay byte-identical.
+  const auto cost_scale = static_cast<std::int64_t>(
+      std::max<std::size_t>(1, nodes / 4));
   static const std::vector<std::int64_t> kPeriods = {10000, 20000, 25000,
                                                      40000, 50000};
   static const std::vector<std::int64_t> kMits = {5000, 10000, 20000};
@@ -428,7 +439,9 @@ Scenario generate_scenario(std::uint64_t seed, const GenConfig& config) {
       }
       if (comp.active) {
         comp.cost_us = std::max<std::int64_t>(
-            1, comp.rate_us / static_cast<std::int64_t>(topo.range(200, 400)));
+            1, comp.rate_us /
+                   static_cast<std::int64_t>(topo.range(200, 400)) /
+                   cost_scale);
         comp.domain = static_cast<int>(topo.pick(node_domains[k]));
         comp.has_contract = topo.chance(1, 2);
         comp.crit =
@@ -454,7 +467,9 @@ Scenario generate_scenario(std::uint64_t seed, const GenConfig& config) {
       leaf.sporadic = false;
       leaf.rate_us = topo.pick(kPeriods);
       leaf.cost_us = std::max<std::int64_t>(
-          1, leaf.rate_us / static_cast<std::int64_t>(topo.range(200, 400)));
+          1, leaf.rate_us /
+                 static_cast<std::int64_t>(topo.range(200, 400)) /
+                 cost_scale);
       leaf.crit = Criticality::Low;
       leaf.base_leaf = true;
       scenario.node_map.assignment[leaf.name] =

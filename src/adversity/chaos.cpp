@@ -18,7 +18,8 @@ const std::vector<FaultKind>& all_kinds() {
       FaultKind::ChannelDelay,       FaultKind::ChannelDuplicate,
       FaultKind::Straggler,          FaultKind::CoordCrashMidPrepare,
       FaultKind::CoordCrashMidCommit, FaultKind::TenantOverload,
-      FaultKind::CreditStarvation,
+      FaultKind::CreditStarvation,    FaultKind::MemberJoin,
+      FaultKind::MemberLeave,
   };
   return kinds;
 }
@@ -45,6 +46,10 @@ const char* to_string(FaultKind kind) noexcept {
       return "overload";
     case FaultKind::CreditStarvation:
       return "starve";
+    case FaultKind::MemberJoin:
+      return "join";
+    case FaultKind::MemberLeave:
+      return "leave";
   }
   return "?";
 }
@@ -77,6 +82,16 @@ FaultMix FaultMix::parse(const std::string& csv) {
       add(FaultKind::CoordCrashMidCommit);
       continue;
     }
+    if (token == "churn") {
+      // The membership mix: live joins and drains plus every way the
+      // cluster loses an endpoint mid-reconfiguration.
+      add(FaultKind::MemberJoin);
+      add(FaultKind::MemberLeave);
+      add(FaultKind::NodeCrash);
+      add(FaultKind::CoordCrashMidPrepare);
+      add(FaultKind::CoordCrashMidCommit);
+      continue;
+    }
     bool known = false;
     for (const FaultKind kind : all_kinds()) {
       if (token == adversity::to_string(kind)) {
@@ -89,7 +104,7 @@ FaultMix FaultMix::parse(const std::string& csv) {
       throw std::invalid_argument("unknown fault kind '" + token +
                                   "' (known: crash,drop,delay,dup,"
                                   "straggler,coord-prepare,coord-commit,"
-                                  "overload,starve)");
+                                  "overload,starve,join,leave)");
     }
   }
   if (mix.kinds.empty()) return all();
@@ -136,6 +151,11 @@ std::string ControlFault::describe() const {
     case FaultKind::CreditStarvation:
       os << " node=" << node << " at=" << (at - AbsoluteTime()).to_micros()
          << "us window=" << delay.to_micros() << "us";
+      break;
+    case FaultKind::MemberJoin:
+    case FaultKind::MemberLeave:
+      os << " node=" << node << " at=" << (at - AbsoluteTime()).to_micros()
+         << "us";
       break;
   }
   return os.str();
@@ -269,6 +289,41 @@ FaultTimeline generate_timeline(const Scenario& scenario,
     timeline.control.push_back(std::move(fault));
   }
 
+  // Membership churn is time-scoped: a spare admission and an orderly
+  // drain-leave. Drawn after the credit-starvation draw — the same
+  // stream-tail precedent — so every pre-membership fault schedule stays
+  // byte-identical per seed. A leave never targets the last remaining
+  // member.
+  if (mix.has(FaultKind::MemberJoin) && rng.chance(1, 3)) {
+    const std::int64_t horizon_us =
+        (scenario.horizon - AbsoluteTime()).to_micros();
+    ControlFault fault;
+    fault.kind = FaultKind::MemberJoin;
+    fault.node = "spare" + std::to_string(rng.range(0, 2));
+    fault.at = AbsoluteTime() + RelativeTime::microseconds(
+                                    static_cast<std::int64_t>(rng.range(
+                                        static_cast<std::uint64_t>(
+                                            horizon_us / 6),
+                                        static_cast<std::uint64_t>(
+                                            horizon_us / 2))));
+    timeline.control.push_back(std::move(fault));
+  }
+  if (mix.has(FaultKind::MemberLeave) && nodes.size() > 1 &&
+      rng.chance(1, 3)) {
+    const std::int64_t horizon_us =
+        (scenario.horizon - AbsoluteTime()).to_micros();
+    ControlFault fault;
+    fault.kind = FaultKind::MemberLeave;
+    fault.node = rng.pick(nodes);
+    fault.at = AbsoluteTime() + RelativeTime::microseconds(
+                                    static_cast<std::int64_t>(rng.range(
+                                        static_cast<std::uint64_t>(
+                                            horizon_us / 2),
+                                        static_cast<std::uint64_t>(
+                                            horizon_us * 3 / 4))));
+    timeline.control.push_back(std::move(fault));
+  }
+
   // Single-kind mixes guarantee at least one fault of that kind — the
   // per-kind scripted drills rely on it.
   if (mix.kinds.size() == 1) {
@@ -281,7 +336,8 @@ FaultTimeline generate_timeline(const Scenario& scenario,
                            kind == FaultKind::ChannelDelay ||
                            kind == FaultKind::ChannelDuplicate;
     if (!present && !scenario.ops.empty() &&
-        (kind != FaultKind::TenantOverload || !tenant_names.empty())) {
+        (kind != FaultKind::TenantOverload || !tenant_names.empty()) &&
+        (kind != FaultKind::MemberLeave || nodes.size() > 1)) {
       ControlFault fault;
       fault.kind = kind;
       fault.op = 0;
@@ -297,6 +353,14 @@ FaultTimeline generate_timeline(const Scenario& scenario,
         case FaultKind::CreditStarvation:
           fault.at = AbsoluteTime() + RelativeTime::milliseconds(50);
           fault.delay = RelativeTime::milliseconds(30);
+          break;
+        case FaultKind::MemberJoin:
+          fault.node = "spare0";
+          fault.at = AbsoluteTime() + RelativeTime::milliseconds(40);
+          break;
+        case FaultKind::MemberLeave:
+          fault.node = nodes.back();
+          fault.at = AbsoluteTime() + RelativeTime::milliseconds(70);
           break;
         case FaultKind::Straggler:
           fault.delay = RelativeTime::milliseconds(8);

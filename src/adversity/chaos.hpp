@@ -43,6 +43,16 @@ enum class FaultKind {
                         ///< backpressure into their bounded queues. The
                         ///< DATA-CONSERVATION invariant accounts for every
                         ///< queued or dropped message.
+  MemberJoin,           ///< A spare node joins the live membership at a
+                        ///< virtual instant: the coordinator admits it
+                        ///< with an empty slice (docs/MEMBERSHIP.md §2).
+                        ///< The MEMBERSHIP-CONVERGES invariant holds the
+                        ///< final view consistent with every applied
+                        ///< event.
+  MemberLeave,          ///< A member drains its slice and leaves the
+                        ///< membership at a virtual instant — unlike
+                        ///< NodeCrash, an orderly epoch-bumped eviction
+                        ///< with a zero-loss drain audit.
 };
 
 const char* to_string(FaultKind kind) noexcept;
@@ -55,8 +65,10 @@ struct FaultMix {
   /// Every kind enabled (the default mix).
   static FaultMix all();
   /// Parses "crash,drop,delay,dup,straggler,coord-prepare,coord-commit,
-  /// overload,starve" ("coord" enables both coordinator kinds, "all"/""
-  /// everything); throws std::invalid_argument on an unknown name.
+  /// overload,starve,join,leave" ("coord" enables both coordinator kinds,
+  /// "churn" the membership mix — join, leave, node crash, and both
+  /// coordinator kills — "all"/"" everything); throws
+  /// std::invalid_argument on an unknown name.
   static FaultMix parse(const std::string& csv);
   std::string to_string() const;
 };
@@ -75,7 +87,8 @@ struct ControlFault {
   std::size_t after = 0;       ///< Coordinator crashes: frames sent before
                                ///< dying.
   rtsj::AbsoluteTime at{};     ///< NodeCrash / TenantOverload /
-                               ///< CreditStarvation instant.
+                               ///< CreditStarvation / MemberJoin /
+                               ///< MemberLeave instant.
   std::string tenant;          ///< TenantOverload: the envelope driven bad.
 
   std::string describe() const;

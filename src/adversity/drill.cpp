@@ -52,6 +52,10 @@ std::string DrillResult::summary() const {
     os << "]";
   }
   os << ", " << ops_committed << "/" << ops_total << " ops committed";
+  if (members_joined != 0 || members_left != 0) {
+    os << ", churn +" << members_joined << "/-" << members_left
+       << " (membership epoch " << membership_epoch << ")";
+  }
   if (route_messages != 0) {
     os << ", " << route_messages << " bridged msgs, " << route_drops
        << " dropped, " << route_dups << " duplicated";
@@ -74,6 +78,12 @@ std::string DrillResult::report() const {
     os << "\nviolations:\n";
     for (const Violation& v : violations) {
       os << "  " << v.to_string() << "\n";
+    }
+  }
+  if (!membership_log.empty()) {
+    os << "\nmembership events:\n";
+    for (const std::string& line : membership_log) {
+      os << "  " << line << "\n";
     }
   }
   if (!proto_log.empty()) {
@@ -115,6 +125,16 @@ DrillResult run_drill(const DrillOptions& options) {
       for (const std::string& line : op.log) {
         result.proto_log.push_back(line);
       }
+    }
+  }
+  result.membership_epoch = proto.membership_epoch;
+  result.membership_log = proto.membership_log;
+  for (const ProtoNode& n : proto.nodes) {
+    if (!n.member) {
+      ++result.members_left;
+    } else if (scenario.node_map.node_index(n.name) >=
+               scenario.node_map.nodes.size()) {
+      ++result.members_joined;  // a member the launch map never declared
     }
   }
 
@@ -254,24 +274,22 @@ DrillResult run_drill(const DrillOptions& options) {
     harvest_tenants(target);
   }
 
-  // Node crashes: mass disablement of the node's tasks at the crash
-  // instant (scheduled after the ops so delta-added tasks are covered).
+  // Node departures: a crash and an orderly drain-leave replay the same
+  // way — mass disablement of the node's tasks at the departure instant
+  // (scheduled after the ops so delta-added tasks are covered). The
+  // difference lives in the protocol model: a leave is an epoch-bumped
+  // eviction the MEMBERSHIP-CONVERGES invariant audits, a crash is not.
   std::vector<bool> node_crashed(map.nodes.size(), false);
   for (const ControlFault& fault : timeline.control) {
-    if (fault.kind != FaultKind::NodeCrash) continue;
+    if (fault.kind != FaultKind::NodeCrash &&
+        fault.kind != FaultKind::MemberLeave) {
+      continue;
+    }
     if (fault.at > scenario.horizon) continue;
     const std::size_t k = map.node_index(fault.node);
     if (k >= mirrors.size() || node_crashed[k]) continue;
     node_crashed[k] = true;
-    std::vector<sim::PreemptiveScheduler::TaskMod> mods;
-    for (const auto& [name, id] : mirrors[k].mapping.tasks) {
-      (void)name;
-      sim::PreemptiveScheduler::TaskMod mod;
-      mod.task = id;
-      mod.enabled = false;
-      mods.push_back(mod);
-    }
-    scheduler.schedule_mode_change(fault.at, mods);
+    dist::schedule_node_down(scheduler, mirrors[k], fault.at);
   }
 
   // Release gates for every tenant-owned task (set after the ops so
@@ -380,6 +398,7 @@ DrillResult run_drill(const DrillOptions& options) {
   check_codec_roundtrip(scenario, proto, result.violations);
   check_adl_roundtrip(scenario, result.violations);
   check_protocol(proto, result.violations);
+  check_membership(proto, result.violations);
 
   SimAudit audit;
   for (std::size_t k = 0; k < mirrors.size(); ++k) {

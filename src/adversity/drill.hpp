@@ -58,6 +58,11 @@ struct DrillResult {
   std::vector<std::string> overloaded_tenants;
   std::size_t ops_total = 0;
   std::size_t ops_committed = 0;
+  std::size_t members_joined = 0;  ///< Applied MemberJoin admissions.
+  std::size_t members_left = 0;    ///< Applied drain-leave evictions.
+  std::uint64_t membership_epoch = 0;  ///< Final membership view epoch.
+  /// Virtual-time membership event log (part of the artifact).
+  std::vector<std::string> membership_log;
   std::uint64_t route_messages = 0;  ///< Bridged deliveries attempted.
   std::uint64_t route_drops = 0;     ///< Declared data-plane drops.
   std::uint64_t route_dups = 0;      ///< Declared data-plane duplicates.

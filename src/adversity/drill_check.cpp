@@ -160,7 +160,9 @@ void check_protocol(const ProtoResult& proto, std::vector<Violation>& out) {
                      "parked-prepared at drill end — the presumed-abort "
                      "timer never fired"});
     }
-    if (!node.alive) continue;
+    // A drained-and-evicted node legitimately keeps its last epoch and
+    // snapshot; only members are held to the coordinator's view.
+    if (!node.alive || !node.member) continue;
     const auto epoch_it = proto.coord_epochs.find(node.name);
     if (epoch_it != proto.coord_epochs.end() &&
         epoch_it->second != node.epoch) {
@@ -175,6 +177,58 @@ void check_protocol(const ProtoResult& proto, std::vector<Violation>& out) {
       out.push_back({"PROTO-SNAPSHOT-AGREEMENT", node.name,
                      "coordinator's snapshot bytes differ from the "
                      "node's running snapshot"});
+    }
+  }
+}
+
+void check_membership(const ProtoResult& proto,
+                      std::vector<Violation>& out) {
+  // Every applied event must have passed the MEMBER-* rules.
+  for (const std::string& err : proto.membership_errors) {
+    out.push_back({"MEMBERSHIP-CONVERGES", "membership", err});
+  }
+  // The final view, the per-node member flags, and the coordinator's
+  // per-node view must tell one story.
+  const auto in_view = [&proto](const std::string& name) {
+    for (const std::string& member : proto.final_members) {
+      if (member == name) return true;
+    }
+    return false;
+  };
+  for (const ProtoNode& node : proto.nodes) {
+    if (in_view(node.name) != node.member) {
+      out.push_back({"MEMBERSHIP-CONVERGES", node.name,
+                     node.member
+                         ? "node believes it is a member but the final "
+                           "view does not list it"
+                         : "final view lists a node that was evicted"});
+    }
+    if (node.member && proto.coord_epochs.count(node.name) == 0) {
+      out.push_back({"MEMBERSHIP-CONVERGES", node.name,
+                     "member missing from the coordinator's epoch view"});
+    }
+    if (!node.member && proto.coord_epochs.count(node.name) != 0) {
+      out.push_back({"MEMBERSHIP-CONVERGES", node.name,
+                     "evicted node still in the coordinator's epoch "
+                     "view"});
+    }
+  }
+  // Live members converge on one cluster epoch, whatever churn happened.
+  bool first = true;
+  std::uint64_t epoch = 0;
+  for (const ProtoNode& node : proto.nodes) {
+    if (!node.alive || !node.member) continue;
+    if (first) {
+      epoch = node.epoch;
+      first = false;
+    } else if (node.epoch != epoch) {
+      std::ostringstream os;
+      os << "live members disagree at drill end:";
+      for (const ProtoNode& n : proto.nodes) {
+        if (n.alive && n.member) os << " " << n.name << "=" << n.epoch;
+      }
+      out.push_back({"MEMBERSHIP-CONVERGES", node.name, os.str()});
+      break;
     }
   }
 }

@@ -21,6 +21,12 @@
 //   PROTO-COMMIT-EXPECTED     an op no non-benign fault touched committed
 //   PROTO-WEDGED              no node is parked-prepared at drill end
 //                             (liveness: presumed abort must have fired)
+//   MEMBERSHIP-CONVERGES      every applied join/leave passed the
+//                             MEMBER-* rules, the final view agrees with
+//                             every node's member flag and the
+//                             coordinator's per-node view, and all live
+//                             members converge on one cluster epoch —
+//                             whatever churn the timeline injected
 //   SIM-CONSERVATION          for every sporadic task: arrivals posted ==
 //                             rejected + disabled + shed + completed +
 //                             pending + queued (zero message loss outside
@@ -76,6 +82,10 @@ void check_adl_roundtrip(const Scenario& scenario,
 
 /// The PROTO-* invariants over a finished protocol run.
 void check_protocol(const ProtoResult& proto, std::vector<Violation>& out);
+
+/// MEMBERSHIP-CONVERGES over a finished protocol run's membership churn.
+void check_membership(const ProtoResult& proto,
+                      std::vector<Violation>& out);
 
 /// Per-task observations the replay (drill.cpp) collects from the
 /// scheduler, reduced to what the SIM-* invariants need.

@@ -102,12 +102,138 @@ ProtoResult run_protocol(const Scenario& scenario,
     return it != crash_at.end() && it->second <= when;
   };
 
+  // Membership churn: joins and drain-leaves applied at op boundaries in
+  // virtual time, each one through the real MembershipView transitions
+  // and the MEMBER-* rules (docs/MEMBERSHIP.md).
+  validate::MembershipView view;
+  view.map = map;
+  struct MemberEvent {
+    bool join = false;
+    std::string node;
+    AbsoluteTime at{};
+  };
+  std::vector<MemberEvent> member_events;
+  for (const ControlFault& f : timeline.control) {
+    if (f.kind == FaultKind::MemberJoin) {
+      member_events.push_back({true, f.node, f.at});
+    } else if (f.kind == FaultKind::MemberLeave) {
+      member_events.push_back({false, f.node, f.at});
+    }
+  }
+  std::stable_sort(member_events.begin(), member_events.end(),
+                   [](const MemberEvent& a, const MemberEvent& b) {
+                     return a.at < b.at;
+                   });
+  const auto record_member_errors = [&result](const validate::Report& rep,
+                                              const std::string& what) {
+    for (const validate::Diagnostic& d : rep.diagnostics()) {
+      if (d.severity != validate::Severity::Error) continue;
+      result.membership_errors.push_back(what + ": " + d.rule + " on " +
+                                         d.subject + ": " + d.message);
+    }
+  };
+  // Every membership change is an epoch-bumping reconfiguration for the
+  // whole cluster (the re-shard commit): live members move to a common
+  // next epoch, which keeps the agreement invariant meaningful across
+  // churn.
+  const auto bump_members = [&result]() {
+    std::uint64_t next = 0;
+    for (const ProtoNode& n : result.nodes) {
+      if (n.alive && n.member) next = std::max(next, n.epoch);
+    }
+    ++next;
+    for (ProtoNode& n : result.nodes) {
+      if (!n.alive || !n.member) continue;
+      n.epoch = next;
+      result.coord_epochs[n.name] = next;
+    }
+    return next;
+  };
+  bool leave_applied = false;
+  std::size_t next_member_event = 0;
+  const auto apply_membership_until = [&](AbsoluteTime t) {
+    for (; next_member_event < member_events.size() &&
+           member_events[next_member_event].at <= t;
+         ++next_member_event) {
+      const MemberEvent& event = member_events[next_member_event];
+      const bool is_member =
+          std::find(view.map.nodes.begin(), view.map.nodes.end(),
+                    event.node) != view.map.nodes.end();
+      if (event.join) {
+        if (is_member) continue;  // duplicate join: a no-op
+        const validate::MembershipView proposed = view.admit(event.node);
+        const validate::Report rep = validate_membership(view, proposed);
+        if (!rep.ok()) {
+          record_member_errors(rep, "admit " + event.node);
+          continue;
+        }
+        view = proposed;
+        ProtoNode n;
+        n.name = event.node;
+        n.snapshot = encode_slice(*running, view.map, event.node);
+        result.coord_snapshots[event.node] = n.snapshot;
+        result.nodes.push_back(std::move(n));
+        // The admission re-shard: every member (the joiner included, its
+        // epoch resynced from the committed snapshot) lands on the next
+        // common cluster epoch.
+        const std::uint64_t epoch = bump_members();
+        ++result.membership_events_applied;
+        result.membership_log.push_back(
+            "[" + fmt_t(event.at) + "] admit " + event.node +
+            " (empty slice); membership epoch -> " +
+            std::to_string(view.epoch) + ", cluster epoch -> " +
+            std::to_string(epoch));
+      } else {
+        if (!is_member || view.map.nodes.size() <= 1) continue;
+        // Drain first: the leaver keeps membership while its assignments
+        // are re-sharded away; only the empty node is evicted.
+        validate::NodeMap drained = view.map;
+        for (auto it = drained.assignment.begin();
+             it != drained.assignment.end();) {
+          if (it->second == event.node) {
+            it = drained.assignment.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        const validate::MembershipView after_drain = view.reshard(drained);
+        const validate::Report drain_rep =
+            validate_membership(view, after_drain);
+        if (!drain_rep.ok()) {
+          record_member_errors(drain_rep, "drain " + event.node);
+          continue;
+        }
+        const validate::MembershipView after_evict =
+            after_drain.evict(event.node);
+        const validate::Report evict_rep =
+            validate_membership(after_drain, after_evict);
+        if (!evict_rep.ok()) {
+          record_member_errors(evict_rep, "evict " + event.node);
+          continue;
+        }
+        view = after_evict;
+        node_state(event.node).member = false;
+        result.coord_epochs.erase(event.node);
+        result.coord_snapshots.erase(event.node);
+        const std::uint64_t epoch = bump_members();
+        leave_applied = true;
+        ++result.membership_events_applied;
+        result.membership_log.push_back(
+            "[" + fmt_t(event.at) + "] drain and evict " + event.node +
+            "; membership epoch -> " + std::to_string(view.epoch) +
+            ", cluster epoch -> " + std::to_string(epoch));
+      }
+    }
+  };
+
   for (std::size_t i = 0; i < scenario.ops.size(); ++i) {
     const ReconfigOp& op = scenario.ops[i];
     OpOutcome out;
     out.index = i;
     out.op = op;
     const AbsoluteTime t0 = op.at;
+    apply_membership_until(t0);
+    const std::vector<std::string> members = view.map.nodes;
     const auto log = [&out](AbsoluteTime t, const std::string& msg) {
       out.log.push_back("[" + fmt_t(t) + "] " + msg);
     };
@@ -132,12 +258,16 @@ ProtoResult run_protocol(const Scenario& scenario,
         result.nodes.begin(), result.nodes.end(),
         [](const ProtoNode& n) { return n.wedged; });
     const bool any_dead_soon = std::any_of(
-        map.nodes.begin(), map.nodes.end(),
+        members.begin(), members.end(),
         [&](const std::string& n) {
           return is_dead(n, t0 + options.decision_timeout);
         });
+    // A drain-leave retires the leaver's slice; reload targets generated
+    // against the full cluster may no longer be placeable, so an abort
+    // after a leave is a legitimate verdict, not a finding.
     out.commit_expected =
         coord_prep == nullptr && !any_wedged && !any_dead_soon &&
+        !(leave_applied && op.kind == ReconfigOp::Kind::Reload) &&
         find_op_fault(timeline, FaultKind::Straggler, i) == nullptr &&
         find_op_fault(timeline, FaultKind::ChannelDrop, i) == nullptr;
 
@@ -157,16 +287,16 @@ ProtoResult run_protocol(const Scenario& scenario,
       const AssemblyPlan global_plan =
           soleil::snapshot_assembly(*target_arch, /*partitions=*/1);
       const validate::Report dist_report =
-          validate::validate_distribution(global_plan, map);
+          validate::validate_distribution(global_plan, view.map);
       if (!global.ok() || !dist_report.ok()) {
         out.reason = "global validation failed";
         log(t0, "abort: " + out.reason);
         pre_abort = true;
       } else {
         bool any_delta = false;
-        for (const std::string& node : map.nodes) {
+        for (const std::string& node : members) {
           const AssemblyPlan target_plan = soleil::snapshot_assembly(
-              dist::slice_architecture(*target_arch, map, node),
+              dist::slice_architecture(*target_arch, view.map, node),
               /*partitions=*/1);
           const reconfig::PlanDelta delta = reconfig::diff_plans(
               dist::decode_plan(result.coord_snapshots.at(node)),
@@ -186,8 +316,8 @@ ProtoResult run_protocol(const Scenario& scenario,
     if (!pre_abort) {
       // PREPARE sweep.
       std::map<std::string, Vote> votes;
-      for (std::size_t idx = 0; idx < map.nodes.size(); ++idx) {
-        const std::string& node = map.nodes[idx];
+      for (std::size_t idx = 0; idx < members.size(); ++idx) {
+        const std::string& node = members[idx];
         if (coord_prep != nullptr && idx >= coord_prep->after) {
           log(t0, "coordinator crashed mid-PREPARE; " + node +
                       " never receives PREPARE");
@@ -265,7 +395,7 @@ ProtoResult run_protocol(const Scenario& scenario,
         // — or wedge forever under the injected bug.
         out.committed = false;
         out.reason = "coordinator crashed mid-PREPARE; presumed abort";
-        for (const std::string& node : map.nodes) {
+        for (const std::string& node : members) {
           const auto it = votes.find(node);
           if (it == votes.end() || !it->second.voted || !it->second.ok) {
             continue;
@@ -287,7 +417,7 @@ ProtoResult run_protocol(const Scenario& scenario,
         const AbsoluteTime prepare_deadline = t0 + options.prepare_timeout;
         AbsoluteTime t_decide = t0;
         bool commit = true;
-        for (const std::string& node : map.nodes) {
+        for (const std::string& node : members) {
           const auto it = votes.find(node);
           const Vote* v = it == votes.end() ? nullptr : &it->second;
           if (v != nullptr && v->voted && !v->ok &&
@@ -323,8 +453,8 @@ ProtoResult run_protocol(const Scenario& scenario,
         // standby re-send — always inside every prepared node's
         // presumed-abort window.
         AbsoluteTime last_apply = t_decide;
-        for (std::size_t idx = 0; idx < map.nodes.size(); ++idx) {
-          const std::string& node = map.nodes[idx];
+        for (std::size_t idx = 0; idx < members.size(); ++idx) {
+          const std::string& node = members[idx];
           const bool primary_sent =
               coord_commit == nullptr || idx < coord_commit->after;
           AbsoluteTime arrival = t_decide + options.link_latency;
@@ -381,10 +511,17 @@ ProtoResult run_protocol(const Scenario& scenario,
 
     const AbsoluteTime settle = t0 + options.decision_timeout;
     for (const ProtoNode& n : result.nodes) {
-      if (!is_dead(n.name, settle)) out.epochs_after[n.name] = n.epoch;
+      if (n.member && !is_dead(n.name, settle)) {
+        out.epochs_after[n.name] = n.epoch;
+      }
     }
     result.ops.push_back(std::move(out));
   }
+
+  // Membership events after the last op still apply before the horizon.
+  apply_membership_until(scenario.horizon);
+  result.membership_epoch = view.epoch;
+  result.final_members = view.map.nodes;
 
   // Finalize node liveness over the drill horizon.
   for (ProtoNode& n : result.nodes) {

@@ -18,6 +18,14 @@
 // nodes, snapshot agreement after every commit, fault-free ops always
 // commit, and no node left parked-prepared at drill end (the liveness
 // tripwire that catches a skipped presumed-abort timer).
+//
+// Membership churn (MemberJoin / MemberLeave faults) runs through the
+// real validate::MembershipView transitions: a join admits a spare with
+// an empty slice and resyncs its epoch from the cluster, a leave drains
+// the node's assignments and evicts it — each step validated by the
+// MEMBER-* rules, each adoption bumping the membership epoch. Events are
+// applied at op boundaries in virtual time; the MEMBERSHIP-CONVERGES
+// invariant audits the final view (docs/MEMBERSHIP.md).
 #pragma once
 
 #include <cstdint>
@@ -55,6 +63,9 @@ struct ProtoOptions {
 struct ProtoNode {
   std::string name;
   bool alive = true;
+  /// Still in the membership view: false after an applied drain-leave
+  /// (unlike a crash, which kills the node but keeps it a member).
+  bool member = true;
   rtsj::AbsoluteTime crashed_at{};  ///< Valid when !alive.
   std::uint64_t epoch = 0;
   /// Parked-prepared with no decision and no presumed-abort timer — only
@@ -100,6 +111,19 @@ struct ProtoResult {
   std::vector<OpOutcome> ops;
   /// Cluster mode after the last committed transition ("" = initial).
   std::string final_mode;
+  /// Membership epoch after every applied join/leave event (0 = the
+  /// launch view was never changed; docs/MEMBERSHIP.md §1).
+  std::uint64_t membership_epoch = 0;
+  /// The final membership view's node list.
+  std::vector<std::string> final_members;
+  /// Join/leave events actually applied (each one validated through the
+  /// MEMBER-* rules before adoption).
+  std::size_t membership_events_applied = 0;
+  /// MEMBER-* failures raised while applying events. Must be empty — the
+  /// MEMBERSHIP-CONVERGES invariant treats any entry as a finding.
+  std::vector<std::string> membership_errors;
+  /// Virtual-time membership event log (joins the drill artifact).
+  std::vector<std::string> membership_log;
 };
 
 /// Runs every op of `scenario` under `timeline`. Deterministic: pure

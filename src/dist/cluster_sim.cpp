@@ -222,4 +222,18 @@ void schedule_node_delta(sim::PreemptiveScheduler& scheduler,
   reconfig::schedule_plan_delta(scheduler, delta, mirror.mapping, t, anchor);
 }
 
+void schedule_node_down(sim::PreemptiveScheduler& scheduler,
+                        const NodeMirror& mirror, rtsj::AbsoluteTime at) {
+  std::vector<sim::PreemptiveScheduler::TaskMod> mods;
+  mods.reserve(mirror.mapping.tasks.size());
+  for (const auto& [name, id] : mirror.mapping.tasks) {
+    (void)name;
+    sim::PreemptiveScheduler::TaskMod mod;
+    mod.task = id;
+    mod.enabled = false;
+    mods.push_back(mod);
+  }
+  scheduler.schedule_mode_change(at, mods);
+}
+
 }  // namespace rtcf::dist

@@ -123,4 +123,11 @@ void schedule_node_delta(sim::PreemptiveScheduler& scheduler,
                          reconfig::PlanDelta delta, NodeMirror& mirror,
                          rtsj::AbsoluteTime t, rtsj::AbsoluteTime anchor);
 
+/// Disables every task of `mirror`'s slice at virtual time `at` — the
+/// replay of an endpoint going away, whether a crash or an orderly
+/// drain-leave. Arrivals after `at` are counted as disabled, which keeps
+/// the conservation audit exact (no message silently lost).
+void schedule_node_down(sim::PreemptiveScheduler& scheduler,
+                        const NodeMirror& mirror, rtsj::AbsoluteTime at);
+
 }  // namespace rtcf::dist

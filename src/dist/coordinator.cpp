@@ -20,20 +20,46 @@ ReconfigCoordinator::ReconfigCoordinator(NodeMap map)
     : ReconfigCoordinator(std::move(map), Options()) {}
 
 ReconfigCoordinator::ReconfigCoordinator(NodeMap map, Options options)
-    : map_(std::move(map)), options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  view_.map = std::move(map);
+}
 
 void ReconfigCoordinator::attach(const std::string& node,
                                  std::shared_ptr<comm::Channel> channel,
                                  const model::Architecture& global) {
-  if (!map_.has_node(node)) {
+  if (!view_.map.has_node(node)) {
     throw std::invalid_argument("attach: undeclared node '" + node + "'");
   }
   Peer peer;
   peer.channel = std::move(channel);
   peer.snapshot =
-      soleil::snapshot_assembly(slice_architecture(global, map_, node),
+      soleil::snapshot_assembly(slice_architecture(global, view_.map, node),
                                 /*partitions=*/1);
   peers_[node] = std::move(peer);
+}
+
+void ReconfigCoordinator::stage_candidate(
+    const std::string& node, std::shared_ptr<comm::Channel> channel) {
+  candidates_[node] = std::move(channel);
+}
+
+void ReconfigCoordinator::resync(const std::string& node,
+                                 std::shared_ptr<comm::Channel> channel,
+                                 model::AssemblyPlan snapshot,
+                                 std::uint64_t resync_epoch) {
+  if (!view_.map.has_node(node)) {
+    throw std::invalid_argument("resync: undeclared node '" + node + "'");
+  }
+  Peer peer;
+  peer.channel = std::move(channel);
+  peer.snapshot = std::move(snapshot);
+  peer.epoch = resync_epoch;
+  peers_[node] = std::move(peer);
+}
+
+void ReconfigCoordinator::attach_standby(
+    std::shared_ptr<comm::Channel> channel) {
+  standby_ = std::move(channel);
 }
 
 const AssemblyPlan& ReconfigCoordinator::node_snapshot(
@@ -62,6 +88,21 @@ bool ReconfigCoordinator::await_reply(const std::string& node,
       case FrameType::DemoteRequest:
         try {
           demote_queue_.push_back(parse_demote(frame));
+        } catch (const WireError&) {
+        }
+        continue;
+      case FrameType::Join:
+        try {
+          const JoinPayload join = parse_join(frame);
+          membership_queue_.push_back(
+              {true, join.node, join.resync_epoch, std::string()});
+        } catch (const WireError&) {
+        }
+        continue;
+      case FrameType::Leave:
+        try {
+          const LeavePayload leave = parse_leave(frame);
+          membership_queue_.push_back({false, leave.node, 0, leave.reason});
         } catch (const WireError&) {
         }
         continue;
@@ -95,9 +136,85 @@ bool ReconfigCoordinator::await_reply(const std::string& node,
 
 ReconfigCoordinator::Outcome ReconfigCoordinator::coordinate_reload(
     const model::Architecture& global_target) {
+  return reload_under(global_target, view_.map, std::nullopt);
+}
+
+ReconfigCoordinator::Outcome ReconfigCoordinator::reshard(
+    const model::Architecture& global_target, NodeMap target_map) {
+  const validate::MembershipView proposed =
+      view_.reshard(std::move(target_map));
+  const validate::Report member_report = validate_membership(view_, proposed);
+  if (!member_report.ok()) {
+    Outcome outcome;
+    outcome.report = member_report;
+    outcome.reason = "membership validation failed";
+    return outcome;
+  }
+  return reload_under(global_target, proposed.map, proposed);
+}
+
+ReconfigCoordinator::Outcome ReconfigCoordinator::admit_node(
+    const std::string& node, const model::Architecture& global_target,
+    NodeMap target_map) {
+  Outcome outcome;
+  auto candidate = candidates_.find(node);
+  if (candidate == candidates_.end()) {
+    outcome.reason = "no staged candidate '" + node + "'";
+    return outcome;
+  }
+  const validate::MembershipView admitted = view_.admit(node);
+  outcome.report = validate_membership(view_, admitted);
+  if (!outcome.report.ok()) {
+    outcome.reason = "membership validation failed";
+    return outcome;
+  }
+  // Admission itself is epoch-advancing and unconditional: the joiner
+  // becomes a member holding the empty slice — exactly the baseline the
+  // re-shard below diffs its target against.
+  view_ = admitted;
+  Peer peer;
+  peer.channel = std::move(candidate->second);
+  peer.snapshot = soleil::snapshot_assembly(
+      slice_architecture(global_target, view_.map, node), /*partitions=*/1);
+  peers_[node] = std::move(peer);
+  candidates_.erase(candidate);
+  return reshard(global_target, std::move(target_map));
+}
+
+ReconfigCoordinator::Outcome ReconfigCoordinator::drain_node(
+    const std::string& node, const model::Architecture& global_target,
+    NodeMap drained_map) {
+  Outcome outcome;
+  if (!view_.map.has_node(node)) {
+    outcome.reason = "drain_node: '" + node + "' is not a member";
+    return outcome;
+  }
+  for (const auto& [component, owner] : drained_map.assignment) {
+    if (owner == node) {
+      outcome.reason = "drained map still assigns '" + component + "' to '" +
+                       node + "'";
+      return outcome;
+    }
+  }
+  // Step 1: re-shard the departing node's slice away (it stays a member
+  // so the two-phase reload still reaches it and empties it).
+  outcome = reshard(global_target, std::move(drained_map));
+  if (!outcome.committed) return outcome;
+  // Step 2: evict the drained member — a pure view change, no slices
+  // move. MEMBER-DRAIN-FIRST is satisfied by construction now.
+  view_ = view_.evict(node);
+  peers_.erase(node);
+  return outcome;
+}
+
+ReconfigCoordinator::Outcome ReconfigCoordinator::reload_under(
+    const model::Architecture& global_target, const NodeMap& map,
+    const std::optional<validate::MembershipView>& adopt_on_commit) {
   Outcome outcome;
   outcome.txn = next_txn_++;
   crashed_ = false;  // a new transition = a (re)started coordinator
+  staged_view_ = adopt_on_commit;
+  txn_map_ = &map;
 
   // Phase 0: global validation — the full rule engine on the target
   // architecture, plus the DIST-* cut rules under the node map.
@@ -105,21 +222,25 @@ ReconfigCoordinator::Outcome ReconfigCoordinator::coordinate_reload(
   const AssemblyPlan global_plan =
       soleil::snapshot_assembly(global_target, /*partitions=*/1);
   const validate::Report dist_report =
-      validate_distribution(global_plan, map_);
+      validate_distribution(global_plan, map);
   for (const auto& d : dist_report.diagnostics()) {
     outcome.report.add(d.severity, d.rule, d.subject, d.message);
   }
   if (!outcome.report.ok()) {
     outcome.reason = "global validation failed";
+    staged_view_.reset();
+    txn_map_ = nullptr;
     return outcome;
   }
 
   // Every node must be attached *before* the first PREPARE goes out: a
   // transition partially announced and then dropped would leave the
   // early nodes parked at the rendezvous with nobody to decide.
-  for (const std::string& node : map_.nodes) {
+  for (const std::string& node : map.nodes) {
     if (peers_.find(node) == peers_.end()) {
       outcome.reason = "node '" + node + "' is not attached";
+      staged_view_.reset();
+      txn_map_ = nullptr;
       return outcome;
     }
   }
@@ -128,13 +249,13 @@ ReconfigCoordinator::Outcome ReconfigCoordinator::coordinate_reload(
   // baseline only when the whole cluster commits.
   staged_.clear();
   const std::vector<GatewayRoute> routes =
-      compute_routes(global_target, map_);
+      compute_routes(global_target, map);
   bool any_delta = false;
   std::vector<std::string> participants;
-  for (const std::string& node : map_.nodes) {
+  for (const std::string& node : map.nodes) {
     auto it = peers_.find(node);
     AssemblyPlan target = soleil::snapshot_assembly(
-        slice_architecture(global_target, map_, node), /*partitions=*/1);
+        slice_architecture(global_target, map, node), /*partitions=*/1);
     const reconfig::PlanDelta delta =
         reconfig::diff_plans(it->second.snapshot, target);
     if (!delta.empty()) any_delta = true;
@@ -144,6 +265,7 @@ ReconfigCoordinator::Outcome ReconfigCoordinator::coordinate_reload(
     payload.plan = encode_plan(target);
     payload.delta = encode_delta(delta);
     payload.routes = routes;
+    payload.coord_epoch = coord_epoch_;
     staged_[node] = std::move(target);
     participants.push_back(node);
     NodeResult result;
@@ -164,6 +286,11 @@ ReconfigCoordinator::Outcome ReconfigCoordinator::coordinate_reload(
     outcome.reason = "empty delta on every node (no-op reload)";
   }
   decide(outcome, participants);
+  if (outcome.committed && staged_view_.has_value()) {
+    view_ = std::move(*staged_view_);
+  }
+  staged_view_.reset();
+  txn_map_ = nullptr;
   return outcome;
 }
 
@@ -173,20 +300,24 @@ ReconfigCoordinator::Outcome ReconfigCoordinator::coordinate_transition(
   outcome.txn = next_txn_++;
   crashed_ = false;  // a new transition = a (re)started coordinator
   staged_.clear();  // mode transitions do not move snapshots
+  staged_view_.reset();
+  txn_map_ = &view_.map;
 
   // All-attached check before the first PREPARE (see coordinate_reload).
-  for (const std::string& node : map_.nodes) {
+  for (const std::string& node : view_.map.nodes) {
     if (peers_.find(node) == peers_.end()) {
       outcome.reason = "node '" + node + "' is not attached";
+      txn_map_ = nullptr;
       return outcome;
     }
   }
   std::vector<std::string> participants;
-  for (const std::string& node : map_.nodes) {
+  for (const std::string& node : view_.map.nodes) {
     auto it = peers_.find(node);
     PrepareModePayload payload;
     payload.txn = outcome.txn;
     payload.mode = mode;
+    payload.coord_epoch = coord_epoch_;
     participants.push_back(node);
     NodeResult result;
     result.node = node;
@@ -202,6 +333,7 @@ ReconfigCoordinator::Outcome ReconfigCoordinator::coordinate_transition(
     }
   }
   decide(outcome, participants);
+  txn_map_ = nullptr;
   return outcome;
 }
 
@@ -253,9 +385,14 @@ void ReconfigCoordinator::decide(Outcome& outcome,
   // Decide.
   DecisionPayload decision;
   decision.txn = outcome.txn;
+  decision.coord_epoch = coord_epoch_;
   const FrameType verdict =
       all_prepared ? FrameType::Commit : FrameType::Abort;
   if (!all_prepared) decision.reason = outcome.reason;
+  // Decision durable first: the standby's log record goes out before any
+  // decision frame, so a coordinator that dies mid-sweep leaves a record
+  // the promoted standby can redrive (docs/MEMBERSHIP.md §4).
+  stream_decision(outcome, all_prepared, participants);
   for (const std::string& node : participants) {
     if (hooks_ != nullptr && !crashed_ && hooks_->before_decision &&
         !hooks_->before_decision(node, outcome.txn, all_prepared)) {
@@ -333,6 +470,207 @@ void ReconfigCoordinator::decide(Outcome& outcome,
   staged_.clear();
 }
 
+void ReconfigCoordinator::stream_decision(
+    const Outcome& outcome, bool commit,
+    const std::vector<std::string>& participants) {
+  if (standby_ == nullptr) return;
+  StandbySyncPayload record;
+  record.txn = outcome.txn;
+  record.committed = commit ? 1 : 0;
+  record.reason = outcome.reason;
+  record.coord_epoch = coord_epoch_;
+  record.membership_epoch =
+      staged_view_.has_value() ? staged_view_->epoch : view_.epoch;
+  record.members = participants;
+  const NodeMap& map = txn_map_ != nullptr ? *txn_map_ : view_.map;
+  for (const auto& [component, owner] : map.assignment) {
+    record.assignment.emplace_back(component, owner);
+  }
+  for (const std::string& node : participants) {
+    auto peer = peers_.find(node);
+    if (peer == peers_.end()) continue;
+    StandbyNodeRecord entry;
+    entry.node = node;
+    entry.epoch = peer->second.epoch;
+    // On commit the staged snapshot is what every node is about to run;
+    // on abort the old baseline stands.
+    auto staged = staged_.find(node);
+    entry.snapshot = encode_plan(commit && staged != staged_.end()
+                                     ? staged->second
+                                     : peer->second.snapshot);
+    record.nodes.push_back(std::move(entry));
+  }
+  standby_->send(make_standby_sync(record));
+}
+
+void ReconfigCoordinator::announce_takeover(const std::string& name,
+                                            rtsj::RelativeTime wait) {
+  // Sweep every queued frame first: a predecessor that died mid-PREPARE
+  // never collected votes, so attach-time greetings, votes, and
+  // presumed-abort notices of its transaction may still be queued. The
+  // channels are FIFO, so everything stale precedes the HELLO each node
+  // sends in reply to the TAKEOVER below — draining now guarantees the
+  // wait loop adopts that reply and not a leftover greeting, and that no
+  // stale vote can be mistaken for a reply to a reused transaction id.
+  for (auto& [node, peer] : peers_) {
+    (void)node;
+    comm::Frame stale;
+    while (peer.channel->receive(stale, rtsj::RelativeTime::zero())) {
+      if (stale.type ==
+          static_cast<std::uint16_t>(FrameType::DemoteRequest)) {
+        try {
+          demote_queue_.push_back(parse_demote(stale));
+        } catch (const WireError&) {
+        }
+      }
+    }
+  }
+  TakeoverPayload takeover;
+  takeover.coordinator = name;
+  takeover.coord_epoch = coord_epoch_;
+  for (auto& [node, peer] : peers_) {
+    (void)node;
+    peer.channel->send(make_takeover(takeover));
+  }
+  auto& clock = rtsj::SteadyClock::instance();
+  for (auto& [node, peer] : peers_) {
+    (void)node;
+    const rtsj::AbsoluteTime deadline = clock.now() + wait;
+    for (;;) {
+      const rtsj::AbsoluteTime now = clock.now();
+      if (now >= deadline) break;
+      comm::Frame frame;
+      if (!peer.channel->receive(frame, deadline - now)) break;
+      if (frame.type == static_cast<std::uint16_t>(FrameType::Hello)) {
+        try {
+          peer.epoch = parse_hello_info(frame).resync_epoch;
+        } catch (const WireError&) {
+        }
+        break;
+      }
+      if (frame.type ==
+          static_cast<std::uint16_t>(FrameType::DemoteRequest)) {
+        try {
+          demote_queue_.push_back(parse_demote(frame));
+        } catch (const WireError&) {
+        }
+      }
+      // Anything else is a straggler of the fenced coordinator's
+      // transaction — dropped; the node re-announces itself below.
+    }
+  }
+}
+
+ReconfigCoordinator::Outcome ReconfigCoordinator::redrive_decision(
+    std::uint64_t txn, bool commit, const std::string& reason) {
+  Outcome outcome;
+  outcome.txn = txn;
+  outcome.reason = reason;
+  if (next_txn_ <= txn) next_txn_ = txn + 1;
+  DecisionPayload decision;
+  decision.txn = txn;
+  decision.reason = reason;
+  decision.coord_epoch = coord_epoch_;
+  const FrameType verdict = commit ? FrameType::Commit : FrameType::Abort;
+  std::vector<std::string> participants;
+  for (const std::string& node : view_.map.nodes) {
+    auto it = peers_.find(node);
+    if (it == peers_.end()) continue;
+    participants.push_back(node);
+    NodeResult result;
+    result.node = node;
+    outcome.nodes.push_back(std::move(result));
+    it->second.channel->send(make_decision(verdict, decision));
+  }
+  auto& clock = rtsj::SteadyClock::instance();
+  const rtsj::AbsoluteTime deadline =
+      clock.now() + options_.decision_timeout;
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    NodeResult& result = outcome.nodes[i];
+    NodeReplyPayload payload;
+    std::uint16_t type = 0;
+    if (!await_reply(participants[i], txn, payload, type, deadline)) {
+      result.detail = "no decision acknowledgement";
+      continue;
+    }
+    result.epoch = payload.epoch;
+    if (commit && type == static_cast<std::uint16_t>(FrameType::Committed)) {
+      result.committed = true;
+      result.drained = payload.drained;
+      result.latency_ns = payload.latency_ns;
+    } else {
+      // "no such prepared transaction" = the node already handled (or
+      // presumed-aborted) the decision — the idempotent absorb.
+      result.detail = payload.reason;
+    }
+  }
+  // The verdict was durable before the original coordinator died; the
+  // redrive only re-distributes it.
+  outcome.committed = commit;
+  return outcome;
+}
+
+std::optional<ReconfigCoordinator::MembershipRequest>
+ReconfigCoordinator::poll_membership_request(rtsj::RelativeTime wait) {
+  const auto pop = [this]() -> std::optional<MembershipRequest> {
+    if (membership_queue_.empty()) return std::nullopt;
+    MembershipRequest request = membership_queue_.front();
+    membership_queue_.pop_front();
+    return request;
+  };
+  if (auto request = pop()) return request;
+  auto& clock = rtsj::SteadyClock::instance();
+  const rtsj::AbsoluteTime deadline = clock.now() + wait;
+  for (;;) {
+    bool any = false;
+    const auto pump = [&](comm::Channel& channel) {
+      comm::Frame frame;
+      while (channel.receive(frame, rtsj::RelativeTime::zero())) {
+        any = true;
+        switch (static_cast<FrameType>(frame.type)) {
+          case FrameType::Join:
+            try {
+              const JoinPayload join = parse_join(frame);
+              membership_queue_.push_back(
+                  {true, join.node, join.resync_epoch, std::string()});
+            } catch (const WireError&) {
+            }
+            break;
+          case FrameType::Leave:
+            try {
+              const LeavePayload leave = parse_leave(frame);
+              membership_queue_.push_back(
+                  {false, leave.node, 0, leave.reason});
+            } catch (const WireError&) {
+            }
+            break;
+          case FrameType::DemoteRequest:
+            try {
+              demote_queue_.push_back(parse_demote(frame));
+            } catch (const WireError&) {
+            }
+            break;
+          default:
+            break;  // greetings and stale replies carry no state here
+        }
+      }
+    };
+    for (auto& [node, peer] : peers_) {
+      (void)node;
+      pump(*peer.channel);
+    }
+    for (auto& [node, channel] : candidates_) {
+      (void)node;
+      pump(*channel);
+    }
+    if (auto request = pop()) return request;
+    if (clock.now() >= deadline) return std::nullopt;
+    if (!any) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
 std::optional<DemotePayload> ReconfigCoordinator::poll_demote_request(
     rtsj::RelativeTime wait) {
   if (!demote_queue_.empty()) {
@@ -353,6 +691,21 @@ std::optional<DemotePayload> ReconfigCoordinator::poll_demote_request(
             static_cast<std::uint16_t>(FrameType::DemoteRequest)) {
           try {
             demote_queue_.push_back(parse_demote(frame));
+          } catch (const WireError&) {
+          }
+        } else if (frame.type ==
+                   static_cast<std::uint16_t>(FrameType::Join)) {
+          try {
+            const JoinPayload join = parse_join(frame);
+            membership_queue_.push_back(
+                {true, join.node, join.resync_epoch, std::string()});
+          } catch (const WireError&) {
+          }
+        } else if (frame.type ==
+                   static_cast<std::uint16_t>(FrameType::Leave)) {
+          try {
+            const LeavePayload leave = parse_leave(frame);
+            membership_queue_.push_back({false, leave.node, 0, leave.reason});
           } catch (const WireError&) {
           }
         }

@@ -24,6 +24,15 @@
 // components quiesces everything it manages — how a cluster demotion
 // shuts down a whole node). DEMOTE_REQUEST frames from overloaded nodes
 // are queued during waits and surfaced via poll_demote_request().
+//
+// Live membership (docs/MEMBERSHIP.md) rides the same machinery too: the
+// coordinator holds an epoch-versioned validate::MembershipView instead
+// of a frozen NodeMap, admits a joiner by re-slicing under the proposed
+// map and driving an ordinary two-phase reload (the joiner's baseline is
+// the empty slice), and drains a leaver symmetrically. Every decision is
+// streamed as a durable STANDBY_SYNC record *before* the decision frames
+// go out, so a promoted standby can redrive the last decision under a
+// raised coordinator epoch; nodes fence anything older.
 #pragma once
 
 #include <cstdint>
@@ -128,12 +137,101 @@ class ReconfigCoordinator {
   /// coordinate_transition(payload.mode).
   std::optional<DemotePayload> poll_demote_request(rtsj::RelativeTime wait);
 
+  /// One queued membership request: a candidate's JOIN or a member's
+  /// LEAVE, surfaced by poll_membership_request().
+  struct MembershipRequest {
+    bool join = false;              ///< True for JOIN, false for LEAVE.
+    std::string node;               ///< Requesting node.
+    std::uint64_t resync_epoch = 0; ///< JOIN: the joiner's snapshot epoch.
+    std::string reason;             ///< LEAVE: operator-visible reason.
+  };
+
+  /// Registers a not-yet-admitted node's control channel so its JOIN can
+  /// be received; admit_node() adopts the channel on admission.
+  void stage_candidate(const std::string& node,
+                       std::shared_ptr<comm::Channel> channel);
+
+  /// Returns the oldest queued JOIN/LEAVE (scanning member and candidate
+  /// channels for up to `wait`), or nullopt. The caller answers a JOIN
+  /// with admit_node() and a LEAVE with drain_node().
+  std::optional<MembershipRequest> poll_membership_request(
+      rtsj::RelativeTime wait);
+
+  /// Admits a staged candidate: validates the single-step membership
+  /// transition (MEMBER-* rules), adopts the candidate's channel with an
+  /// empty-slice baseline, then drives an ordinary two-phase reload of
+  /// `global_target` under `target_map` (which may assign components to
+  /// the joiner — the re-shard). The membership view advances even when
+  /// the re-shard aborts: the node is then a member holding the empty
+  /// slice, and a later reload re-shards onto it.
+  Outcome admit_node(const std::string& node,
+                     const model::Architecture& global_target,
+                     validate::NodeMap target_map);
+
+  /// Drains a member out of the cluster: two-phase reload of
+  /// `global_target` under `drained_map` — which must still declare the
+  /// node but assign it nothing — then, on commit, evicts the node from
+  /// the membership view and detaches it. On abort the node keeps its
+  /// slice and its membership.
+  Outcome drain_node(const std::string& node,
+                     const model::Architecture& global_target,
+                     validate::NodeMap drained_map);
+
+  /// Re-shards the cluster onto `target_map` (same member set) with a
+  /// two-phase reload of `global_target`; the membership epoch advances
+  /// only on commit.
+  Outcome reshard(const model::Architecture& global_target,
+                  validate::NodeMap target_map);
+
+  /// Re-attaches a restarted node from its replicated canonical snapshot
+  /// (dist/plan_codec bytes, decoded by the caller): the decoded plan
+  /// becomes the diff baseline and `resync_epoch` (from the node's HELLO)
+  /// its epoch. The resync path of docs/MEMBERSHIP.md §3.
+  void resync(const std::string& node, std::shared_ptr<comm::Channel> channel,
+              model::AssemblyPlan snapshot, std::uint64_t resync_epoch);
+
+  /// Attaches the standby coordinator's feed channel. Every decision is
+  /// streamed to it as a STANDBY_SYNC record before the decision frames
+  /// go out (decision durable first).
+  void attach_standby(std::shared_ptr<comm::Channel> channel);
+
+  /// Fences every older coordinator: sends TAKEOVER carrying this
+  /// coordinator's epoch to all attached nodes and adopts the resync
+  /// epoch each node answers with (HELLO), waiting up to `wait` per node.
+  /// Called by a promoted standby before redriving the last decision.
+  void announce_takeover(const std::string& name, rtsj::RelativeTime wait);
+
+  /// Re-distributes a durable decision after fail-over (presumed-abort
+  /// recovery): sends COMMIT/ABORT for `txn` to every node and collects
+  /// acknowledgements. Nodes that already handled or presumed-aborted the
+  /// transaction answer Aborted("no such prepared transaction") — the
+  /// idempotent absorb.
+  Outcome redrive_decision(std::uint64_t txn, bool commit,
+                           const std::string& reason);
+
   /// The coordinator's view of `node`'s running snapshot (advanced on
   /// COMMITTED). Exposed for tests and tooling.
   const model::AssemblyPlan& node_snapshot(const std::string& node) const;
 
-  /// The node map this cluster was built over.
-  const validate::NodeMap& node_map() const noexcept { return map_; }
+  /// The node map this cluster currently agrees on.
+  const validate::NodeMap& node_map() const noexcept { return view_.map; }
+
+  /// The epoch-versioned membership view (docs/MEMBERSHIP.md §1).
+  const validate::MembershipView& membership() const noexcept {
+    return view_;
+  }
+
+  /// This coordinator's fencing epoch, stamped into every v4 frame.
+  std::uint64_t coord_epoch() const noexcept { return coord_epoch_; }
+  /// Raises the fencing epoch — the promotion step of a standby takeover.
+  void set_coord_epoch(std::uint64_t epoch) noexcept { coord_epoch_ = epoch; }
+  /// Continues the transaction sequence of a failed predecessor.
+  void set_next_txn(std::uint64_t txn) noexcept { next_txn_ = txn; }
+  /// Replaces the membership view — a promoted standby installs the view
+  /// from the last durable decision record.
+  void set_membership(validate::MembershipView view) {
+    view_ = std::move(view);
+  }
 
  private:
   struct Peer {
@@ -142,22 +240,40 @@ class ReconfigCoordinator {
     std::uint64_t epoch = 0;        ///< Last epoch the node reported.
   };
 
+  /// The shared two-phase body: slice `global_target` under `map`, diff,
+  /// PREPARE, decide. When `adopt_on_commit` is set, the committed
+  /// transition installs it as the new membership view.
+  Outcome reload_under(const model::Architecture& global_target,
+                       const validate::NodeMap& map,
+                       const std::optional<validate::MembershipView>&
+                           adopt_on_commit);
   /// Runs the decision phase shared by reloads and transitions: collects
   /// PREPARE votes until `deadline`, then commits or aborts everywhere.
   void decide(Outcome& outcome,
               const std::vector<std::string>& participants);
+  /// Streams the decided verdict to the standby feed (no-op when none).
+  void stream_decision(const Outcome& outcome, bool commit,
+                       const std::vector<std::string>& participants);
   /// Receives the next reply for transaction `txn` from `node` (stashing
-  /// demote requests, dropping replies of earlier transactions) until
-  /// `deadline`; false on timeout.
+  /// demote and membership requests, dropping replies of earlier
+  /// transactions) until `deadline`; false on timeout.
   bool await_reply(const std::string& node, std::uint64_t txn,
                    NodeReplyPayload& payload, std::uint16_t& type,
                    rtsj::AbsoluteTime deadline);
 
-  validate::NodeMap map_;
+  validate::MembershipView view_;
   Options options_;
   std::map<std::string, Peer> peers_;
+  /// Not-yet-admitted candidates' control channels (stage_candidate).
+  std::map<std::string, std::shared_ptr<comm::Channel>> candidates_;
   std::deque<DemotePayload> demote_queue_;
+  std::deque<MembershipRequest> membership_queue_;
+  /// The standby coordinator's feed; null when no standby shadows us.
+  std::shared_ptr<comm::Channel> standby_;
   std::uint64_t next_txn_ = 1;
+  /// Fencing epoch (docs/MEMBERSHIP.md §5); the first coordinator of a
+  /// cluster is epoch 1, every promotion claims a higher one.
+  std::uint64_t coord_epoch_ = 1;
   /// Unset in production: the send paths only null-check it.
   FaultHooks* hooks_ = nullptr;
   /// A hook reported the coordinator dead mid-transition; cleared when
@@ -165,6 +281,10 @@ class ReconfigCoordinator {
   bool crashed_ = false;
   /// Staged post-commit snapshots of the transition in flight.
   std::map<std::string, model::AssemblyPlan> staged_;
+  /// Membership view the in-flight transition installs on commit.
+  std::optional<validate::MembershipView> staged_view_;
+  /// Assignment the in-flight transition runs under (for STANDBY_SYNC).
+  const validate::NodeMap* txn_map_ = nullptr;
 };
 
 }  // namespace rtcf::dist

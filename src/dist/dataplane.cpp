@@ -152,7 +152,7 @@ DataPlane::Offer DataPlane::offer(std::size_t route_id,
   ExitRoute& route = exits_[route_id];
   if (!route.active || route.channel == nullptr) return Offer::Dropped;
 
-  if (route.protocol < kProtocolVersion) {
+  if (route.protocol < kBatchProtocolVersion) {
     // Pre-v3 peer: the original one-frame-per-message path — same wire
     // bytes, but encoded into a pooled buffer instead of a fresh vector.
     const bool ok = send_encoded(

@@ -74,7 +74,25 @@ NodeRuntime::~NodeRuntime() {
 
 void NodeRuntime::attach_control(std::shared_ptr<comm::Channel> channel) {
   control_ = std::move(channel);
-  control_->send(make_hello(node_));
+  // The resync epoch tells a coordinator recovering this node which plan
+  // snapshot the node restarted from (docs/MEMBERSHIP.md §3).
+  control_->send(make_hello(node_, std::string(), mode_manager_->plan_epoch()));
+}
+
+bool NodeRuntime::request_join() {
+  if (control_ == nullptr) return false;
+  JoinPayload payload;
+  payload.node = node_;
+  payload.resync_epoch = mode_manager_->plan_epoch();
+  return control_->send(make_join(payload));
+}
+
+bool NodeRuntime::request_leave(const std::string& reason) {
+  if (control_ == nullptr) return false;
+  LeavePayload payload;
+  payload.node = node_;
+  payload.reason = reason;
+  return control_->send(make_leave(payload));
 }
 
 void NodeRuntime::connect_peer(const std::string& peer,
@@ -410,7 +428,7 @@ void NodeRuntime::handle_peer_frame(const std::string& peer,
 void NodeRuntime::handle_peer_hello(const std::string& peer,
                                     const HelloInfo& info) {
   dataplane_.set_peer_version(peer, info.protocol_version);
-  if (info.protocol_version < kProtocolVersion) return;
+  if (info.protocol_version < kBatchProtocolVersion) return;
   const std::string token = shm_token_for(peer);
   if (token.empty() || token != info.shm_token) return;
   {
@@ -502,8 +520,55 @@ void NodeRuntime::handle_control(const comm::Frame& frame) {
       inbox_.push_back(std::move(item));
       break;
     }
+    case FrameType::Takeover:
+      handle_takeover(frame);
+      break;
     default:
-      break;  // Hello/replies are coordinator-bound; ignore.
+      // Hello/replies are coordinator-bound; count the drop so a
+      // misrouted control plane is visible in the monitor instead of
+      // silently swallowed.
+      app_->monitor().control_plane().ignored_frames.fetch_add(
+          1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+bool NodeRuntime::fenced(std::uint64_t coord_epoch,
+                         std::atomic<std::uint64_t>& counter) {
+  if (coord_epoch == 0) return false;  // pre-v4 coordinator: never fenced
+  const std::uint64_t seen = coord_epoch_seen_.load(std::memory_order_relaxed);
+  if (coord_epoch < seen) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (coord_epoch > seen) {
+    coord_epoch_seen_.store(coord_epoch, std::memory_order_relaxed);
+  }
+  return false;
+}
+
+void NodeRuntime::handle_takeover(const comm::Frame& frame) {
+  TakeoverPayload payload;
+  try {
+    payload = parse_takeover(frame);
+  } catch (const WireError&) {
+    return;
+  }
+  auto& counters = app_->monitor().control_plane();
+  const std::uint64_t seen = coord_epoch_seen_.load(std::memory_order_relaxed);
+  if (payload.coord_epoch < seen) {
+    // A stale pretender announcing itself after a newer coordinator has
+    // already spoken: the fence holds, no reply.
+    counters.ignored_frames.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  coord_epoch_seen_.store(payload.coord_epoch, std::memory_order_relaxed);
+  counters.takeovers.fetch_add(1, std::memory_order_relaxed);
+  // Answer with HELLO so the promoted coordinator learns this node's
+  // current plan epoch — the resync half of the takeover handshake.
+  if (control_ != nullptr) {
+    control_->send(
+        make_hello(node_, std::string(), mode_manager_->plan_epoch()));
   }
 }
 
@@ -518,6 +583,12 @@ void NodeRuntime::handle_prepare_reload(const comm::Frame& frame) {
   const auto fail = [&](const std::string& reason) {
     reply(FrameType::PrepareFail, payload.txn, reason, 0, 0);
   };
+  if (fenced(payload.coord_epoch,
+             app_->monitor().control_plane().fenced_prepares)) {
+    fail("fenced: stale coordinator epoch " +
+         std::to_string(payload.coord_epoch));
+    return;
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (staged_) {
@@ -566,6 +637,17 @@ void NodeRuntime::handle_prepare_reload(const comm::Frame& frame) {
     fail("quiescence timeout: executive did not park in time");
     return;
   }
+  // Every worker is parked, so no exit can enqueue again before the
+  // decision: force-flush the queued tail now, before the vote. The
+  // boundary's deadline flush may have left messages younger than the
+  // flush age queued when the executive parked; two-phase ordering turns
+  // this flush into a cluster-wide barrier — no peer can commit (and
+  // retire its old entry table) until every node has voted — so
+  // everything flushed here is drained through the old entries at commit
+  // time and a committed re-shard loses nothing. Single-writer holds: the
+  // parked executive cannot touch the transports (same argument as the
+  // stop() drain).
+  dataplane_.flush(/*force=*/true);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     staged_ = true;
@@ -589,6 +671,12 @@ void NodeRuntime::handle_prepare_mode(const comm::Frame& frame) {
   const auto fail = [&](const std::string& reason) {
     reply(FrameType::PrepareFail, payload.txn, reason, 0, 0);
   };
+  if (fenced(payload.coord_epoch,
+             app_->monitor().control_plane().fenced_prepares)) {
+    fail("fenced: stale coordinator epoch " +
+         std::to_string(payload.coord_epoch));
+    return;
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (staged_) {
@@ -630,6 +718,13 @@ void NodeRuntime::handle_decision(const comm::Frame& frame) {
   } catch (const WireError&) {
     return;
   }
+  if (fenced(payload.coord_epoch,
+             app_->monitor().control_plane().fenced_decisions)) {
+    // A decision from a fenced coordinator is dropped without a reply:
+    // answering would let the stale coordinator believe it still drives
+    // the cluster (docs/MEMBERSHIP.md §5).
+    return;
+  }
   bool known = false;
   bool is_reload = false;
   {
@@ -645,6 +740,33 @@ void NodeRuntime::handle_decision(const comm::Frame& frame) {
     return;
   }
   if (frame.type == static_cast<std::uint16_t>(FrameType::Commit)) {
+    // Deliver everything the old wiring still owes before the swap. A
+    // peer's executive flushes its route queues at the boundary where it
+    // parks, so a data frame can be in the channel (or already in the
+    // inbox) when the decision arrives; committing first would retire
+    // the old entry table and count that in-flight tail as entry drops.
+    // The executive is parked at the rendezvous, so this thread owns the
+    // inbox and the entries exactly as the stop() drain does.
+    {
+      comm::Frame data;
+      std::vector<std::pair<std::string, std::shared_ptr<comm::Channel>>>
+          links;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        links.assign(shm_links_.begin(), shm_links_.end());
+      }
+      for (auto& [peer, channel] : peers_) {
+        while (channel->receive(data, kPollZero)) {
+          handle_peer_frame(peer, data);
+        }
+      }
+      for (auto& [peer, channel] : links) {
+        while (channel->receive(data, kPollZero)) {
+          handle_peer_frame(peer, data);
+        }
+      }
+    }
+    drain_inbox();
     const bool applied = mode_manager_->commit_prepared();
     {
       const std::lock_guard<std::mutex> lock(mutex_);

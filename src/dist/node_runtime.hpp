@@ -133,6 +133,20 @@ class NodeRuntime {
   /// `reason` (a drill for the cluster-wide abort path).
   void fail_next_prepare(std::string reason);
 
+  /// Sends JOIN on the control channel: ask the coordinator to admit
+  /// this node into the live membership, announcing the plan epoch of
+  /// the snapshot it restarted from. False when no control channel is
+  /// attached or the send failed.
+  bool request_join();
+  /// Sends LEAVE on the control channel: ask the coordinator to drain
+  /// this node's slice away and remove it from the membership.
+  bool request_leave(const std::string& reason);
+  /// Highest coordinator epoch this node has seen (frames from lower
+  /// epochs are fenced; 0 until a v4 coordinator speaks).
+  std::uint64_t coord_epoch_seen() const noexcept {
+    return coord_epoch_seen_.load(std::memory_order_relaxed);
+  }
+
   /// Node name.
   const std::string& name() const noexcept { return node_; }
   /// The running node-local assembly.
@@ -180,6 +194,13 @@ class NodeRuntime {
   void handle_prepare_reload(const comm::Frame& frame);
   void handle_prepare_mode(const comm::Frame& frame);
   void handle_decision(const comm::Frame& frame);
+  /// TAKEOVER: adopt the (not-lower) coordinator epoch and answer with
+  /// HELLO carrying this node's resync epoch (docs/MEMBERSHIP.md §5).
+  void handle_takeover(const comm::Frame& frame);
+  /// True (and counted) when `coord_epoch` is below the highest seen; a
+  /// non-zero higher epoch is adopted first.
+  bool fenced(std::uint64_t coord_epoch,
+              std::atomic<std::uint64_t>& counter);
   void reply(FrameType type, std::uint64_t txn, const std::string& reason,
              std::uint64_t drained, std::int64_t latency_ns);
   /// Applies `routes` to the gateway contents (exit channels + entry
@@ -240,6 +261,9 @@ class NodeRuntime {
   /// reset by the serve thread on a committed transition — atomic, the
   /// two threads never share a lock here.
   std::atomic<bool> demote_sent_{false};
+  /// Highest coordinator epoch seen on the control channel (serve thread
+  /// writes, tests/ops read — atomic, no lock shared).
+  std::atomic<std::uint64_t> coord_epoch_seen_{0};
 
   /// Entry-gateway lookup: (client, port) -> content + port name + the
   /// data plane's entry route (credit grants).

@@ -97,6 +97,9 @@ comm::Frame make_prepare_reload(const PrepareReloadPayload& payload) {
   w.bytes(payload.plan);
   w.bytes(payload.delta);
   write_routes(w, payload.routes);
+  // Version-4 extension, append-only: pre-v4 receivers stop at the route
+  // table and treat the sender as epoch 0 (never fenced).
+  w.u64(payload.coord_epoch);
   return finish(FrameType::PrepareReload, w);
 }
 
@@ -109,6 +112,8 @@ PrepareReloadPayload parse_prepare_reload(const comm::Frame& frame) {
   payload.plan = r.bytes();
   payload.delta = r.bytes();
   payload.routes = read_routes(r);
+  if (r.at_end()) return payload;  // pre-v4 coordinator
+  payload.coord_epoch = r.u64();
   return payload;
 }
 
@@ -116,6 +121,8 @@ comm::Frame make_prepare_mode(const PrepareModePayload& payload) {
   WireWriter w;
   w.u64(payload.txn);
   w.str(payload.mode);
+  // Version-4 extension, append-only (see make_prepare_reload).
+  w.u64(payload.coord_epoch);
   return finish(FrameType::PrepareMode, w);
 }
 
@@ -125,6 +132,8 @@ PrepareModePayload parse_prepare_mode(const comm::Frame& frame) {
   PrepareModePayload payload;
   payload.txn = r.u64();
   payload.mode = r.str();
+  if (r.at_end()) return payload;  // pre-v4 coordinator
+  payload.coord_epoch = r.u64();
   return payload;
 }
 
@@ -155,6 +164,8 @@ comm::Frame make_decision(FrameType type, const DecisionPayload& payload) {
   WireWriter w;
   w.u64(payload.txn);
   w.str(payload.reason);
+  // Version-4 extension, append-only (see make_prepare_reload).
+  w.u64(payload.coord_epoch);
   return finish(type, w);
 }
 
@@ -163,6 +174,8 @@ DecisionPayload parse_decision(const comm::Frame& frame) {
   DecisionPayload payload;
   payload.txn = r.u64();
   payload.reason = r.str();
+  if (r.at_end()) return payload;  // pre-v4 coordinator
+  payload.coord_epoch = r.u64();
   return payload;
 }
 
@@ -247,7 +260,8 @@ CreditPayload parse_credit(const comm::Frame& frame) {
 }
 
 comm::Frame make_hello(const std::string& node,
-                       const std::string& shm_token) {
+                       const std::string& shm_token,
+                       std::uint64_t resync_epoch) {
   WireWriter w;
   w.str(node);
   w.u16(kCodecVersion);
@@ -255,6 +269,9 @@ comm::Frame make_hello(const std::string& node,
   // codec version and never see these fields.
   w.u16(kProtocolVersion);
   w.str(shm_token);
+  // Version-4 extension, append-only: version-3 receivers stop after the
+  // shm offer and treat the sender as resync epoch 0.
+  w.u64(resync_epoch);
   return finish(FrameType::Hello, w);
 }
 
@@ -284,6 +301,10 @@ HelloInfo parse_hello_info(const comm::Frame& frame) {
   if (r.at_end()) return info;
   info.protocol_version = r.u16();
   info.shm_token = r.str();
+  // A version-3 HELLO ends here; the default (resync_epoch = 0)
+  // describes a peer that never held a committed slice.
+  if (r.at_end()) return info;
+  info.resync_epoch = r.u64();
   return info;
 }
 
@@ -302,6 +323,125 @@ DemotePayload parse_demote(const comm::Frame& frame) {
   payload.node = r.str();
   payload.mode = r.str();
   payload.level = r.u8();
+  return payload;
+}
+
+comm::Frame make_join(const JoinPayload& payload) {
+  WireWriter w;
+  w.str(payload.node);
+  w.u64(payload.resync_epoch);
+  return finish(FrameType::Join, w);
+}
+
+JoinPayload parse_join(const comm::Frame& frame) {
+  check_type(frame, FrameType::Join, "Join");
+  WireReader r(frame.payload);
+  JoinPayload payload;
+  payload.node = r.str();
+  payload.resync_epoch = r.u64();
+  return payload;
+}
+
+comm::Frame make_leave(const LeavePayload& payload) {
+  WireWriter w;
+  w.str(payload.node);
+  w.str(payload.reason);
+  return finish(FrameType::Leave, w);
+}
+
+LeavePayload parse_leave(const comm::Frame& frame) {
+  check_type(frame, FrameType::Leave, "Leave");
+  WireReader r(frame.payload);
+  LeavePayload payload;
+  payload.node = r.str();
+  payload.reason = r.str();
+  return payload;
+}
+
+comm::Frame make_standby_sync(const StandbySyncPayload& payload) {
+  WireWriter w;
+  w.u64(payload.txn);
+  w.u8(payload.committed);
+  w.str(payload.reason);
+  w.u64(payload.coord_epoch);
+  w.u64(payload.membership_epoch);
+  w.u32(static_cast<std::uint32_t>(payload.members.size()));
+  for (const std::string& member : payload.members) {
+    w.str(member);
+  }
+  w.u32(static_cast<std::uint32_t>(payload.assignment.size()));
+  for (const auto& [component, node] : payload.assignment) {
+    w.str(component);
+    w.str(node);
+  }
+  w.u32(static_cast<std::uint32_t>(payload.nodes.size()));
+  for (const StandbyNodeRecord& record : payload.nodes) {
+    const std::size_t block = w.begin_block();
+    w.str(record.node);
+    w.u64(record.epoch);
+    w.bytes(record.snapshot);
+    w.end_block(block);
+  }
+  return finish(FrameType::StandbySync, w);
+}
+
+StandbySyncPayload parse_standby_sync(const comm::Frame& frame) {
+  check_type(frame, FrameType::StandbySync, "StandbySync");
+  WireReader r(frame.payload);
+  StandbySyncPayload payload;
+  payload.txn = r.u64();
+  payload.committed = r.u8();
+  payload.reason = r.str();
+  payload.coord_epoch = r.u64();
+  payload.membership_epoch = r.u64();
+  const std::uint32_t members = r.u32();
+  if (static_cast<std::uint64_t>(members) * 4 > r.remaining()) {
+    throw WireError("implausible member count " + std::to_string(members));
+  }
+  payload.members.reserve(members);
+  for (std::uint32_t i = 0; i < members; ++i) {
+    payload.members.push_back(r.str());
+  }
+  const std::uint32_t assignments = r.u32();
+  if (static_cast<std::uint64_t>(assignments) * 8 > r.remaining()) {
+    throw WireError("implausible assignment count " +
+                    std::to_string(assignments));
+  }
+  payload.assignment.reserve(assignments);
+  for (std::uint32_t i = 0; i < assignments; ++i) {
+    std::string component = r.str();
+    std::string node = r.str();
+    payload.assignment.emplace_back(std::move(component), std::move(node));
+  }
+  const std::uint32_t nodes = r.u32();
+  if (static_cast<std::uint64_t>(nodes) * 4 > r.remaining()) {
+    throw WireError("implausible node record count " + std::to_string(nodes));
+  }
+  payload.nodes.reserve(nodes);
+  for (std::uint32_t i = 0; i < nodes; ++i) {
+    WireReader b = r.block();
+    StandbyNodeRecord record;
+    record.node = b.str();
+    record.epoch = b.u64();
+    record.snapshot = b.bytes();
+    payload.nodes.push_back(std::move(record));
+  }
+  return payload;
+}
+
+comm::Frame make_takeover(const TakeoverPayload& payload) {
+  WireWriter w;
+  w.str(payload.coordinator);
+  w.u64(payload.coord_epoch);
+  return finish(FrameType::Takeover, w);
+}
+
+TakeoverPayload parse_takeover(const comm::Frame& frame) {
+  check_type(frame, FrameType::Takeover, "Takeover");
+  WireReader r(frame.payload);
+  TakeoverPayload payload;
+  payload.coordinator = r.str();
+  payload.coord_epoch = r.u64();
   return payload;
 }
 

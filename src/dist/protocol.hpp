@@ -5,7 +5,9 @@
 // The protocol has two planes sharing one frame format:
 //
 //   * control plane (coordinator <-> node): HELLO, the two-phase
-//     PREPARE/COMMIT/ABORT exchange, and DEMOTE_REQUEST;
+//     PREPARE/COMMIT/ABORT exchange, DEMOTE_REQUEST, and — since v4 —
+//     the membership plane: JOIN/LEAVE requests, STANDBY_SYNC decision
+//     records, and TAKEOVER fencing (docs/MEMBERSHIP.md);
 //   * data plane (node <-> node): DATA frames carrying one comm::Message
 //     across a bridged asynchronous binding, or — between v3 peers —
 //     BATCH frames coalescing many messages per route and CREDIT frames
@@ -15,6 +17,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "comm/channel.hpp"
@@ -24,11 +27,19 @@
 namespace rtcf::dist {
 
 /// Wire-format version announced in HELLO (docs/PROTOCOL.md §1). Version 3
-/// adds the BATCH/CREDIT data plane and the shm-ring transport offer; a
-/// peer whose HELLO carries no version field is treated as version 2
-/// (per-message DATA, no credits). The u16 in the frame *header* is the
-/// framing version (comm::kWireVersion) and is unchanged.
-inline constexpr std::uint16_t kProtocolVersion = 3;
+/// adds the BATCH/CREDIT data plane and the shm-ring transport offer;
+/// version 4 adds the membership plane (JOIN/LEAVE/STANDBY_SYNC/TAKEOVER,
+/// the HELLO resync epoch, and coordinator-epoch fencing). A peer whose
+/// HELLO carries no version field is treated as version 2 (per-message
+/// DATA, no credits). The u16 in the frame *header* is the framing version
+/// (comm::kWireVersion) and is unchanged.
+inline constexpr std::uint16_t kProtocolVersion = 4;
+
+/// First protocol version with the BATCH/CREDIT data plane and the shm
+/// transport offer — the gate for batching toward a peer. Kept separate
+/// from kProtocolVersion so later dialect bumps (v4 membership) never
+/// silently downgrade a v3 peer to per-message DATA.
+inline constexpr std::uint16_t kBatchProtocolVersion = 3;
 
 /// Frame type discriminators (comm::Frame::type).
 enum class FrameType : std::uint16_t {
@@ -58,6 +69,14 @@ enum class FrameType : std::uint16_t {
   Batch = 12,
   /// Node -> node (v3): replenish a route's sender credit window.
   Credit = 13,
+  /// Node -> coordinator (v4): admit me into the live membership.
+  Join = 14,
+  /// Node -> coordinator (v4): drain my slice and remove me.
+  Leave = 15,
+  /// Coordinator -> standby (v4): one durable decision-log record.
+  StandbySync = 16,
+  /// Promoted standby -> node (v4): fence older coordinator epochs.
+  Takeover = 17,
 };
 
 /// One cross-node binding's routing entry: where the logical client end
@@ -86,12 +105,17 @@ struct PrepareReloadPayload {
   std::vector<std::uint8_t> plan;  ///< encode_plan() of the target slice.
   std::vector<std::uint8_t> delta; ///< encode_delta() of the slice delta.
   std::vector<GatewayRoute> routes;  ///< Full post-commit route table.
+  /// Coordinator epoch of the sender (appended in v4; 0 from older
+  /// coordinators, which nodes never fence).
+  std::uint64_t coord_epoch = 0;
 };
 
 /// Payload of PrepareMode.
 struct PrepareModePayload {
   std::uint64_t txn = 0;  ///< Transaction id.
   std::string mode;       ///< Target mode name (declared on every node).
+  /// Coordinator epoch of the sender (appended in v4; 0 = never fenced).
+  std::uint64_t coord_epoch = 0;
 };
 
 /// Payload of PrepareOk / PrepareFail / Committed / Aborted.
@@ -108,6 +132,8 @@ struct NodeReplyPayload {
 struct DecisionPayload {
   std::uint64_t txn = 0;  ///< Transaction id.
   std::string reason;     ///< Abort: why (straggler timeout, veto, ...).
+  /// Coordinator epoch of the sender (appended in v4; 0 = never fenced).
+  std::uint64_t coord_epoch = 0;
 };
 
 /// Payload of Data.
@@ -151,6 +177,10 @@ struct HelloInfo {
   /// Shm-ring region name the sender is willing to share with a
   /// co-located peer; empty = no offer.
   std::string shm_token;
+  /// Plan epoch of the sender's committed snapshot (appended in v4) — a
+  /// rejoining node announces where its resync must start from; 0 from
+  /// pre-v4 peers and fresh joiners.
+  std::uint64_t resync_epoch = 0;
 };
 
 /// Payload of DemoteRequest.
@@ -158,6 +188,54 @@ struct DemotePayload {
   std::string node;   ///< Overloaded node.
   std::string mode;   ///< Its declared degraded mode.
   std::uint8_t level = 0;  ///< monitor::GovernorLevel at request time.
+};
+
+/// Payload of Join: a running node asks the coordinator to admit it into
+/// the live membership. Admission is an ordinary two-phase re-shard — the
+/// joiner's baseline is the empty slice (docs/MEMBERSHIP.md §2).
+struct JoinPayload {
+  std::string node;  ///< Joining node's name (its HELLO identity).
+  /// Plan epoch of the committed snapshot the joiner restarted from; 0
+  /// for a node that has never held a slice.
+  std::uint64_t resync_epoch = 0;
+};
+
+/// Payload of Leave: a node asks the coordinator to drain its slice away
+/// and remove it from the membership.
+struct LeavePayload {
+  std::string node;    ///< Departing node's name.
+  std::string reason;  ///< Operator-visible reason (maintenance, ...).
+};
+
+/// One node's share of a STANDBY_SYNC decision record: the canonical
+/// plan-codec snapshot and plan epoch the coordinator holds for it.
+struct StandbyNodeRecord {
+  std::string node;          ///< Node name.
+  std::uint64_t epoch = 0;   ///< Node plan epoch after the decision.
+  std::vector<std::uint8_t> snapshot;  ///< encode_plan() of its slice.
+};
+
+/// Payload of StandbySync: one durable decision-log record, streamed to
+/// the standby *before* the decision frames go out so a promoted standby
+/// can re-drive the last decision (docs/MEMBERSHIP.md §4).
+struct StandbySyncPayload {
+  std::uint64_t txn = 0;        ///< Decided transaction id.
+  std::uint8_t committed = 0;   ///< 1 = Commit, 0 = Abort.
+  std::string reason;           ///< Abort reason (empty on commit).
+  std::uint64_t coord_epoch = 0;  ///< Epoch of the deciding coordinator.
+  std::uint64_t membership_epoch = 0;  ///< Membership view version.
+  std::vector<std::string> members;    ///< Member nodes at decision time.
+  /// Component-to-node assignment at decision time (the NodeMap body).
+  std::vector<std::pair<std::string, std::string>> assignment;
+  std::vector<StandbyNodeRecord> nodes;  ///< Per-node snapshots/epochs.
+};
+
+/// Payload of Takeover: a promoted standby announces a raised coordinator
+/// epoch. Nodes fence every lower-epoch coordinator from then on and
+/// answer with HELLO carrying their resync epoch (docs/MEMBERSHIP.md §5).
+struct TakeoverPayload {
+  std::string coordinator;        ///< Promoted coordinator's name.
+  std::uint64_t coord_epoch = 0;  ///< Newly claimed epoch (monotonic).
 };
 
 /// Encodes a route table (shared by PrepareReload and tooling).
@@ -202,11 +280,12 @@ comm::Frame make_credit(const CreditPayload& payload);
 CreditPayload parse_credit(const comm::Frame& frame);
 
 /// Builds a Hello frame announcing the node name, codec version, wire
-/// version kProtocolVersion, and (when non-empty) a shm-ring offer.
-/// Version-2 receivers read the leading fields and ignore the rest —
-/// HELLO extension is append-only (docs/PROTOCOL.md §7).
+/// version kProtocolVersion, (when non-empty) a shm-ring offer, and the
+/// sender's resync epoch. Version-2 receivers read the leading fields and
+/// ignore the rest — HELLO extension is append-only (docs/PROTOCOL.md §7).
 comm::Frame make_hello(const std::string& node,
-                       const std::string& shm_token = std::string());
+                       const std::string& shm_token = std::string(),
+                       std::uint64_t resync_epoch = 0);
 /// Parses a Hello frame payload; returns the node name (the codec version
 /// is checked and a mismatch throws WireError).
 std::string parse_hello(const comm::Frame& frame);
@@ -219,5 +298,25 @@ HelloInfo parse_hello_info(const comm::Frame& frame);
 comm::Frame make_demote(const DemotePayload& payload);
 /// Parses a DemoteRequest frame payload.
 DemotePayload parse_demote(const comm::Frame& frame);
+
+/// Builds a Join frame.
+comm::Frame make_join(const JoinPayload& payload);
+/// Parses a Join frame payload.
+JoinPayload parse_join(const comm::Frame& frame);
+
+/// Builds a Leave frame.
+comm::Frame make_leave(const LeavePayload& payload);
+/// Parses a Leave frame payload.
+LeavePayload parse_leave(const comm::Frame& frame);
+
+/// Builds a StandbySync frame.
+comm::Frame make_standby_sync(const StandbySyncPayload& payload);
+/// Parses a StandbySync frame payload (throws WireError on truncation).
+StandbySyncPayload parse_standby_sync(const comm::Frame& frame);
+
+/// Builds a Takeover frame.
+comm::Frame make_takeover(const TakeoverPayload& payload);
+/// Parses a Takeover frame payload.
+TakeoverPayload parse_takeover(const comm::Frame& frame);
 
 }  // namespace rtcf::dist

@@ -1,0 +1,122 @@
+#include "dist/standby.hpp"
+
+#include <utility>
+
+#include "dist/plan_codec.hpp"
+
+namespace rtcf::dist {
+
+StandbyCoordinator::StandbyCoordinator(std::string name,
+                                       validate::MembershipView initial)
+    : StandbyCoordinator(std::move(name), std::move(initial), Options{}) {}
+
+StandbyCoordinator::StandbyCoordinator(std::string name,
+                                       validate::MembershipView initial,
+                                       Options options)
+    : name_(std::move(name)),
+      initial_(std::move(initial)),
+      options_(std::move(options)) {}
+
+void StandbyCoordinator::attach_feed(std::shared_ptr<comm::Channel> channel) {
+  feed_ = std::move(channel);
+  last_heard_ = rtsj::SteadyClock::instance().now();
+}
+
+void StandbyCoordinator::attach_node(const std::string& node,
+                                     std::shared_ptr<comm::Channel> channel) {
+  node_channels_[node] = std::move(channel);
+}
+
+std::size_t StandbyCoordinator::pump(rtsj::RelativeTime wait) {
+  if (feed_ == nullptr) return 0;
+  std::size_t consumed = 0;
+  auto& clock = rtsj::SteadyClock::instance();
+  const rtsj::AbsoluteTime deadline = clock.now() + wait;
+  for (;;) {
+    const rtsj::AbsoluteTime now = clock.now();
+    comm::Frame frame;
+    const rtsj::RelativeTime budget =
+        now < deadline ? deadline - now : rtsj::RelativeTime::zero();
+    if (!feed_->receive(frame, budget)) break;
+    if (frame.type != static_cast<std::uint16_t>(FrameType::StandbySync)) {
+      continue;  // unknown frame types are ignored (PROTOCOL.md §7)
+    }
+    try {
+      last_record_ = parse_standby_sync(frame);
+    } catch (const WireError&) {
+      continue;  // a torn record is dropped whole
+    }
+    ++records_seen_;
+    ++consumed;
+    last_heard_ = clock.now();
+    if (last_record_->coord_epoch > observed_epoch_) {
+      observed_epoch_ = last_record_->coord_epoch;
+    }
+    if (clock.now() >= deadline) break;
+  }
+  return consumed;
+}
+
+bool StandbyCoordinator::lease_expired() const {
+  return rtsj::SteadyClock::instance().now() > last_heard_ + options_.lease;
+}
+
+ReconfigCoordinator& StandbyCoordinator::promote(
+    const model::Architecture& global, rtsj::RelativeTime takeover_wait) {
+  if (promoted_ != nullptr) return *promoted_;
+  // One last drain: a record already in flight must not be lost to the
+  // promotion race (the active streamed it before any decision frame).
+  pump(rtsj::RelativeTime::zero());
+
+  validate::MembershipView view;
+  if (last_record_.has_value()) {
+    view.epoch = last_record_->membership_epoch;
+    view.map.nodes = last_record_->members;
+    for (const auto& [component, owner] : last_record_->assignment) {
+      view.map.assignment.emplace(component, owner);
+    }
+  } else {
+    view = initial_;
+  }
+
+  promoted_ = std::make_unique<ReconfigCoordinator>(view.map,
+                                                    options_.coordinator);
+  promoted_->set_membership(view);
+  promoted_->set_coord_epoch(observed_epoch_ + 1);
+  if (last_record_.has_value()) {
+    promoted_->set_next_txn(last_record_->txn + 1);
+  }
+  for (const std::string& node : view.map.nodes) {
+    auto channel = node_channels_.find(node);
+    if (channel == node_channels_.end()) continue;  // unreachable member
+    const StandbyNodeRecord* record = nullptr;
+    if (last_record_.has_value()) {
+      for (const StandbyNodeRecord& entry : last_record_->nodes) {
+        if (entry.node == node) {
+          record = &entry;
+          break;
+        }
+      }
+    }
+    if (record != nullptr) {
+      // The record's snapshot is the canonical plan-codec byte sequence
+      // of what the node runs after the recorded decision — the resync
+      // baseline. Epoch 0 until the TAKEOVER sweep refreshes it.
+      promoted_->resync(node, channel->second, decode_plan(record->snapshot),
+                        0);
+    } else {
+      promoted_->attach(node, channel->second, global);
+    }
+  }
+  promoted_->announce_takeover(name_, takeover_wait);
+  return *promoted_;
+}
+
+std::optional<ReconfigCoordinator::Outcome> StandbyCoordinator::redrive_last() {
+  if (promoted_ == nullptr || !last_record_.has_value()) return std::nullopt;
+  return promoted_->redrive_decision(last_record_->txn,
+                                     last_record_->committed != 0,
+                                     last_record_->reason);
+}
+
+}  // namespace rtcf::dist

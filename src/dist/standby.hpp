@@ -1,0 +1,112 @@
+// The standby coordinator: a warm spare that shadows the active
+// coordinator's decisions and takes over without a cluster restart.
+//
+// While the active coordinator is healthy it streams one STANDBY_SYNC
+// record per decided transaction over the feed channel *before* the
+// decision frames go out (decision durable first). The standby pumps the
+// feed, renewing a lease on every record; when the lease lapses it
+// promotes itself (docs/MEMBERSHIP.md §4):
+//
+//   1. rebuild a ReconfigCoordinator from the last durable record — the
+//      membership view and every node's canonical plan-codec snapshot are
+//      in the record, so no node has to be asked anything;
+//   2. claim coordinator epoch = (highest observed) + 1 and fence the
+//      predecessor with a TAKEOVER sweep; nodes answer HELLO with their
+//      resync epoch;
+//   3. redrive the last durable decision. Nodes that already handled it
+//      answer Aborted("no such prepared transaction") — the idempotent
+//      absorb — and nodes still parked apply or release. A transaction
+//      the dead coordinator never decided has no record, so its nodes
+//      presumed-abort on their own: exactly the presumed-abort rule the
+//      two-phase protocol already guarantees.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "comm/channel.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/protocol.hpp"
+
+namespace rtcf::dist {
+
+/// Shadows an active ReconfigCoordinator and promotes on lease expiry.
+class StandbyCoordinator {
+ public:
+  /// Standby knobs.
+  struct Options {
+    /// Lease: how long the feed may stay silent before the active
+    /// coordinator is presumed dead. Must be shorter than the nodes'
+    /// decision timeout or a redriven COMMIT can race their presumed
+    /// abort (docs/MEMBERSHIP.md §4).
+    rtsj::RelativeTime lease = rtsj::RelativeTime::milliseconds(250);
+    /// Options for the coordinator built at promotion.
+    ReconfigCoordinator::Options coordinator;
+  };
+
+  /// A standby named `name` (the TAKEOVER announcement) whose fallback
+  /// membership is `initial` — used only when promotion happens before
+  /// the first decision record arrived.
+  StandbyCoordinator(std::string name, validate::MembershipView initial);
+  /// Same, with explicit standby knobs.
+  StandbyCoordinator(std::string name, validate::MembershipView initial,
+                     Options options);
+
+  /// Attaches the feed channel the active coordinator streams records to.
+  /// Starts the lease clock.
+  void attach_feed(std::shared_ptr<comm::Channel> channel);
+
+  /// Registers the control channel this standby will own toward `node`
+  /// after promotion (the active coordinator keeps its own channels).
+  void attach_node(const std::string& node,
+                   std::shared_ptr<comm::Channel> channel);
+
+  /// Drains the feed for up to `wait`, renewing the lease per record.
+  /// Returns the number of records consumed.
+  std::size_t pump(rtsj::RelativeTime wait);
+
+  /// True when the feed has been silent longer than the lease.
+  bool lease_expired() const;
+
+  /// Promotes this standby: builds the coordinator from the last durable
+  /// record (or from `global` + the initial view when none arrived),
+  /// raises the coordinator epoch, and fences the predecessor with a
+  /// TAKEOVER sweep waiting up to `takeover_wait` per node. Idempotent —
+  /// a second call returns the already-promoted coordinator.
+  ReconfigCoordinator& promote(const model::Architecture& global,
+                               rtsj::RelativeTime takeover_wait);
+
+  /// Redrives the last durable decision through the promoted coordinator
+  /// (promote() first); nullopt when no record ever arrived — the
+  /// predecessor died mid-PREPARE and the nodes presumed-abort alone.
+  std::optional<ReconfigCoordinator::Outcome> redrive_last();
+
+  /// The promoted coordinator, or null before promote().
+  ReconfigCoordinator* coordinator() noexcept { return promoted_.get(); }
+
+  /// Decision records consumed so far.
+  std::uint64_t records_seen() const noexcept { return records_seen_; }
+
+  /// The last decision record, or nullopt before the first.
+  const std::optional<StandbySyncPayload>& last_record() const noexcept {
+    return last_record_;
+  }
+
+ private:
+  std::string name_;
+  validate::MembershipView initial_;
+  Options options_;
+  std::shared_ptr<comm::Channel> feed_;
+  std::map<std::string, std::shared_ptr<comm::Channel>> node_channels_;
+  std::optional<StandbySyncPayload> last_record_;
+  std::uint64_t records_seen_ = 0;
+  /// Highest coordinator epoch observed on the feed (1 = the initial
+  /// active coordinator, before any record names a higher one).
+  std::uint64_t observed_epoch_ = 1;
+  rtsj::AbsoluteTime last_heard_{};
+  std::unique_ptr<ReconfigCoordinator> promoted_;
+};
+
+}  // namespace rtcf::dist

@@ -103,6 +103,43 @@ struct DataPlaneCounters {
   }
 };
 
+/// Control-plane telemetry, fed by dist::NodeRuntime's serve thread.
+/// Counts what the two-phase handler does with frames that are *not*
+/// protocol work for this node — silently dropping them hid real routing
+/// bugs (a peer's HELLO looping back, a stale coordinator's decision).
+/// Same discipline as DataPlaneCounters: monotonic, relaxed, read by
+/// operator tooling across threads.
+struct ControlPlaneCounters {
+  /// Frames whose type is not addressed to a node (coordinator-bound
+  /// replies, unknown types) and were dropped per PROTOCOL.md §7.
+  std::atomic<std::uint64_t> ignored_frames{0};
+  /// Prepare frames refused because the sending coordinator's epoch was
+  /// below the highest this node has seen (docs/MEMBERSHIP.md §5).
+  std::atomic<std::uint64_t> fenced_prepares{0};
+  /// Commit/Abort frames dropped for the same staleness reason.
+  std::atomic<std::uint64_t> fenced_decisions{0};
+  /// Takeover frames accepted (the node raised its coordinator epoch).
+  std::atomic<std::uint64_t> takeovers{0};
+
+  /// A torn-free point read of every counter (plain integers).
+  struct Snapshot {
+    std::uint64_t ignored_frames = 0;
+    std::uint64_t fenced_prepares = 0;
+    std::uint64_t fenced_decisions = 0;
+    std::uint64_t takeovers = 0;
+  };
+
+  /// Reads each counter once (relaxed; counters are independent).
+  Snapshot snapshot() const noexcept {
+    Snapshot s;
+    s.ignored_frames = ignored_frames.load(std::memory_order_relaxed);
+    s.fenced_prepares = fenced_prepares.load(std::memory_order_relaxed);
+    s.fenced_decisions = fenced_decisions.load(std::memory_order_relaxed);
+    s.takeovers = takeovers.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
 class RuntimeMonitor {
  public:
   /// Violation callback: function pointer + opaque arg, so firing from a
@@ -176,6 +213,12 @@ class RuntimeMonitor {
   DataPlaneCounters& data_plane() noexcept { return data_plane_; }
   const DataPlaneCounters& data_plane() const noexcept { return data_plane_; }
 
+  /// Control-plane counters (same ownership rule as data_plane()).
+  ControlPlaneCounters& control_plane() noexcept { return control_plane_; }
+  const ControlPlaneCounters& control_plane() const noexcept {
+    return control_plane_;
+  }
+
   void set_violation_callback(ViolationFn fn, void* arg) noexcept {
     violation_fn_ = fn;
     violation_arg_ = arg;
@@ -227,6 +270,7 @@ class RuntimeMonitor {
   std::map<std::string, std::size_t> component_tenants_;
   OverloadGovernor governor_;
   DataPlaneCounters data_plane_;
+  ControlPlaneCounters control_plane_;
   ViolationFn violation_fn_ = nullptr;
   void* violation_arg_ = nullptr;
   std::size_t telemetry_bytes_ = 0;

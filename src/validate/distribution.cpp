@@ -1,5 +1,7 @@
 #include "validate/distribution.hpp"
 
+#include <utility>
+
 namespace rtcf::validate {
 
 using model::AssemblyPlan;
@@ -107,6 +109,109 @@ Report validate_distribution(const AssemblyPlan& plan, const NodeMap& map) {
                      "' on node '" + server_node +
                      "' — mode rebinds are node-local; re-shape the "
                      "cross-node wiring with a coordinated reload");
+    }
+  }
+
+  return report;
+}
+
+MembershipView MembershipView::admit(const std::string& node) const {
+  MembershipView next = *this;
+  next.epoch = epoch + 1;
+  if (!next.map.has_node(node)) {
+    next.map.nodes.push_back(node);
+  }
+  return next;
+}
+
+MembershipView MembershipView::evict(const std::string& node) const {
+  MembershipView next;
+  next.epoch = epoch + 1;
+  for (const std::string& name : map.nodes) {
+    if (name != node) next.map.nodes.push_back(name);
+  }
+  for (const auto& [component, owner] : map.assignment) {
+    if (owner != node) next.map.assignment.emplace(component, owner);
+  }
+  return next;
+}
+
+MembershipView MembershipView::reshard(NodeMap next_map) const {
+  MembershipView next;
+  next.epoch = epoch + 1;
+  next.map = std::move(next_map);
+  return next;
+}
+
+Report validate_membership(const MembershipView& current,
+                           const MembershipView& proposed) {
+  Report report;
+
+  if (proposed.epoch <= current.epoch) {
+    report.add(Severity::Error, "MEMBER-EPOCH-STALE",
+               std::to_string(proposed.epoch),
+               "proposed view does not advance the membership epoch "
+               "(current " +
+                   std::to_string(current.epoch) + ")");
+  }
+
+  for (std::size_t i = 0; i < proposed.map.nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < proposed.map.nodes.size(); ++j) {
+      if (proposed.map.nodes[i] == proposed.map.nodes[j]) {
+        report.add(Severity::Error, "MEMBER-NODE-DUP", proposed.map.nodes[i],
+                   "proposed view declares the node twice");
+      }
+    }
+  }
+
+  std::vector<std::string> added;
+  std::vector<std::string> removed;
+  for (const std::string& node : proposed.map.nodes) {
+    if (!current.map.has_node(node)) added.push_back(node);
+  }
+  for (const std::string& node : current.map.nodes) {
+    if (!proposed.map.has_node(node)) removed.push_back(node);
+  }
+  if (added.size() + removed.size() > 1) {
+    std::string subject;
+    for (const std::string& node : added) {
+      subject += (subject.empty() ? "+" : ", +") + node;
+    }
+    for (const std::string& node : removed) {
+      subject += (subject.empty() ? "-" : ", -") + node;
+    }
+    report.add(Severity::Error, "MEMBER-NODE-FLAP", subject,
+               "membership changes are single-step: admit or remove one "
+               "node per transition");
+  }
+
+  for (const std::string& node : added) {
+    for (const auto& [component, owner] : proposed.map.assignment) {
+      if (owner == node) {
+        report.add(Severity::Error, "MEMBER-JOIN-EMPTY", node,
+                   "joining node already holds '" + component +
+                       "' — admit with an empty slice, then re-shard with "
+                       "a coordinated reload");
+      }
+    }
+  }
+
+  for (const std::string& node : removed) {
+    for (const auto& [component, owner] : current.map.assignment) {
+      if (owner == node) {
+        report.add(Severity::Error, "MEMBER-DRAIN-FIRST", node,
+                   "departing node still holds '" + component +
+                       "' in the current view — drain its slice before "
+                       "removing it");
+      }
+    }
+  }
+
+  for (const auto& [component, owner] : proposed.map.assignment) {
+    if (!proposed.map.has_node(owner)) {
+      report.add(Severity::Error, "MEMBER-ASSIGN-ORPHAN", component,
+                 "assigned to node '" + owner +
+                     "' which the proposed view does not declare");
     }
   }
 

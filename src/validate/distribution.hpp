@@ -23,8 +23,27 @@
 //                            coordinated reload instead)
 //   DIST-ASYNC-BRIDGED       (info) an asynchronous binding crosses nodes
 //                            and will ride a synthesized gateway bridge
+//
+// Live membership adds the MEMBER-* family: the cluster's NodeMap is no
+// longer fixed at deploy time but carried by an epoch-versioned
+// MembershipView, and every proposed transition old-view -> new-view is
+// checked before the coordinator drives it (docs/MEMBERSHIP.md):
+//
+//   MEMBER-EPOCH-STALE       the proposed view does not advance the epoch
+//   MEMBER-NODE-DUP          the proposed view declares a node twice
+//   MEMBER-NODE-FLAP         more than one node added or removed at once
+//                            (membership changes are single-step)
+//   MEMBER-JOIN-EMPTY        a node added by this transition already holds
+//                            assignments — joiners are admitted with an
+//                            empty slice and re-sharded by a later reload
+//   MEMBER-DRAIN-FIRST       a node removed by this transition still held
+//                            assignments in the current view — drain its
+//                            slice before removing it
+//   MEMBER-ASSIGN-ORPHAN     the proposed map assigns a component to a
+//                            node the proposed view does not declare
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -60,5 +79,33 @@ struct NodeMap {
 /// cut checks.
 Report validate_distribution(const model::AssemblyPlan& plan,
                              const NodeMap& map);
+
+/// Epoch-versioned membership: the NodeMap the cluster currently agrees
+/// on plus a monotonically increasing version. Every committed admission,
+/// drain, or re-shard produces the next epoch, so two views are ordered
+/// by a single integer and a resyncing node can tell at a glance whether
+/// its snapshot is current (docs/MEMBERSHIP.md §1).
+struct MembershipView {
+  std::uint64_t epoch = 0;  ///< Bumps by one on every committed change.
+  NodeMap map;              ///< The agreed assignment at this epoch.
+
+  /// The view after admitting `node` with an empty slice: the node is
+  /// appended to the member list, nothing is assigned to it, epoch + 1.
+  MembershipView admit(const std::string& node) const;
+  /// The view after evicting `node`: the node leaves the member list and
+  /// every assignment it still held is dropped, epoch + 1. Callers drain
+  /// the slice first — MEMBER-DRAIN-FIRST rejects an undrained eviction.
+  MembershipView evict(const std::string& node) const;
+  /// The view after re-sharding onto `map` (same or different member
+  /// list), epoch + 1.
+  MembershipView reshard(NodeMap next) const;
+};
+
+/// Runs the MEMBER-* rules for the transition `current` -> `proposed` and
+/// returns the report. Pure view-level checks — run validate_distribution
+/// on the global plan under `proposed.map` as well before driving the
+/// two-phase reconfiguration.
+Report validate_membership(const MembershipView& current,
+                           const MembershipView& proposed);
 
 }  // namespace rtcf::validate

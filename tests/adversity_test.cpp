@@ -129,6 +129,8 @@ TEST(AdversityDrillTest, ScriptedDrillPerFaultKind) {
       "coord-commit",
       "overload",
       "starve",
+      "join",
+      "leave",
   };
   for (const char* kind : kinds) {
     DrillOptions options;
@@ -146,6 +148,30 @@ TEST(AdversityDrillTest, ScriptedDrillPerFaultKind) {
     }
     EXPECT_TRUE(present) << "kind " << kind;
   }
+}
+
+TEST(AdversityDrillTest, ChurnMixExercisesMembershipAndConverges) {
+  // The churn mix layers joins and drain-leaves over node and coordinator
+  // crashes; MEMBERSHIP-CONVERGES audits the final view against every
+  // node's member flag and per-member epoch, and the ordinary
+  // conservation invariants must still hold with members coming and
+  // going. The seeds are pinned in tests/drill_corpus.txt.
+  const std::uint64_t seeds[] = {3, 4, 28, 33};
+  std::size_t joined = 0;
+  std::size_t left = 0;
+  for (const std::uint64_t seed : seeds) {
+    DrillOptions options;
+    options.seed = seed;
+    options.mix = FaultMix::parse("churn");
+    const DrillResult result = run_drill(options);
+    EXPECT_TRUE(result.passed) << "seed " << seed << "\n" << result.report();
+    EXPECT_GT(result.membership_epoch, 0u) << "seed " << seed;
+    joined += result.members_joined;
+    left += result.members_left;
+  }
+  // Across the pinned seeds both directions of churn must be exercised.
+  EXPECT_GT(joined, 0u);
+  EXPECT_GT(left, 0u);
 }
 
 TEST(AdversityDrillTest, FaultKindsShapeTheProtocolOutcome) {

@@ -318,5 +318,198 @@ TEST(ProtocolTest, RepliesDecisionsHelloDemoteRoundTrip) {
   EXPECT_EQ(parsed_demote.level, 2);
 }
 
+TEST(ProtocolTest, HelloParsesAtEveryProtocolVersionBoundary) {
+  // A v2 peer's HELLO stops after the codec version; a v3 peer appends
+  // the protocol version and shm-ring offer; v4 appends the resync
+  // epoch. Each older dialect must keep parsing, with the absent fields
+  // at their documented defaults (docs/PROTOCOL.md §7).
+  WireWriter v2;
+  v2.str("gamma");
+  v2.u16(kCodecVersion);
+  comm::Frame hello_v2;
+  hello_v2.type = static_cast<std::uint16_t>(FrameType::Hello);
+  hello_v2.payload = v2.data();
+  const HelloInfo info_v2 = parse_hello_info(hello_v2);
+  EXPECT_EQ(info_v2.node, "gamma");
+  EXPECT_EQ(info_v2.protocol_version, 2);
+  EXPECT_EQ(info_v2.shm_token, "");
+  EXPECT_EQ(info_v2.resync_epoch, 0u);
+
+  WireWriter v3;
+  v3.str("gamma");
+  v3.u16(kCodecVersion);
+  v3.u16(3);
+  v3.str("ring-token");
+  comm::Frame hello_v3;
+  hello_v3.type = static_cast<std::uint16_t>(FrameType::Hello);
+  hello_v3.payload = v3.data();
+  const HelloInfo info_v3 = parse_hello_info(hello_v3);
+  EXPECT_EQ(info_v3.node, "gamma");
+  EXPECT_EQ(info_v3.protocol_version, 3);
+  EXPECT_EQ(info_v3.shm_token, "ring-token");
+  EXPECT_EQ(info_v3.resync_epoch, 0u);
+
+  const comm::Frame hello_v4 = make_hello("gamma", "ring-token", 42);
+  const HelloInfo info_v4 = parse_hello_info(hello_v4);
+  EXPECT_EQ(info_v4.node, "gamma");
+  EXPECT_EQ(info_v4.protocol_version, kProtocolVersion);
+  EXPECT_EQ(info_v4.shm_token, "ring-token");
+  EXPECT_EQ(info_v4.resync_epoch, 42u);
+
+  // Every prefix of the full v4 payload must parse at exactly the three
+  // dialect boundaries and be rejected everywhere else — the appended
+  // membership fields must not have opened any torn-frame acceptance.
+  WireWriter boundary_v3;
+  boundary_v3.str("gamma");
+  boundary_v3.u16(kCodecVersion);
+  boundary_v3.u16(kProtocolVersion);
+  boundary_v3.str("ring-token");
+  const std::size_t v2_len = v2.data().size();
+  const std::size_t v3_len = boundary_v3.data().size();
+  for (std::size_t cut = 0; cut < hello_v4.payload.size(); ++cut) {
+    comm::Frame torn;
+    torn.type = static_cast<std::uint16_t>(FrameType::Hello);
+    torn.payload.assign(hello_v4.payload.begin(),
+                        hello_v4.payload.begin() + cut);
+    if (cut == v2_len || cut == v3_len) {
+      EXPECT_EQ(parse_hello_info(torn).node, "gamma")
+          << "dialect boundary at " << cut;
+    } else {
+      EXPECT_THROW(parse_hello_info(torn), WireError)
+          << "prefix length " << cut;
+    }
+  }
+}
+
+TEST(ProtocolTest, PreV4FramesParseWithCoordinatorEpochZero) {
+  // Fencing is an appended v4 field: a frame from a pre-v4 sender stops
+  // before it, and the receiver must default the epoch to 0 — the
+  // never-fenced marker (docs/MEMBERSHIP.md §6).
+  WireWriter d;
+  d.u64(9);
+  d.str("late straggler");
+  comm::Frame decision;
+  decision.type = static_cast<std::uint16_t>(FrameType::Abort);
+  decision.payload = d.data();
+  const DecisionPayload parsed_decision = parse_decision(decision);
+  EXPECT_EQ(parsed_decision.txn, 9u);
+  EXPECT_EQ(parsed_decision.reason, "late straggler");
+  EXPECT_EQ(parsed_decision.coord_epoch, 0u);
+
+  WireWriter m;
+  m.u64(4);
+  m.str("Degraded");
+  comm::Frame mode;
+  mode.type = static_cast<std::uint16_t>(FrameType::PrepareMode);
+  mode.payload = m.data();
+  const PrepareModePayload parsed_mode = parse_prepare_mode(mode);
+  EXPECT_EQ(parsed_mode.txn, 4u);
+  EXPECT_EQ(parsed_mode.mode, "Degraded");
+  EXPECT_EQ(parsed_mode.coord_epoch, 0u);
+
+  WireWriter p;
+  p.u64(42);
+  p.u64(7);
+  p.bytes(encode_plan(sample_plan()));
+  p.bytes(encode_delta(sample_delta()));
+  write_routes(p, {});
+  comm::Frame prepare;
+  prepare.type = static_cast<std::uint16_t>(FrameType::PrepareReload);
+  prepare.payload = p.data();
+  const PrepareReloadPayload parsed_prepare = parse_prepare_reload(prepare);
+  EXPECT_EQ(parsed_prepare.txn, 42u);
+  EXPECT_EQ(parsed_prepare.expect_epoch, 7u);
+  EXPECT_EQ(parsed_prepare.coord_epoch, 0u);
+
+  // A v4 sender's epoch survives the round trip on all three frames.
+  DecisionPayload v4_decision;
+  v4_decision.txn = 9;
+  v4_decision.coord_epoch = 3;
+  EXPECT_EQ(parse_decision(make_decision(FrameType::Commit, v4_decision))
+                .coord_epoch,
+            3u);
+  PrepareModePayload v4_mode;
+  v4_mode.txn = 4;
+  v4_mode.mode = "Degraded";
+  v4_mode.coord_epoch = 3;
+  EXPECT_EQ(parse_prepare_mode(make_prepare_mode(v4_mode)).coord_epoch, 3u);
+}
+
+TEST(ProtocolTest, MembershipFramesRoundTrip) {
+  JoinPayload join;
+  join.node = "gamma";
+  join.resync_epoch = 7;
+  const JoinPayload parsed_join = parse_join(make_join(join));
+  EXPECT_EQ(parsed_join.node, "gamma");
+  EXPECT_EQ(parsed_join.resync_epoch, 7u);
+
+  LeavePayload leave;
+  leave.node = "beta";
+  leave.reason = "maintenance window";
+  const LeavePayload parsed_leave = parse_leave(make_leave(leave));
+  EXPECT_EQ(parsed_leave.node, "beta");
+  EXPECT_EQ(parsed_leave.reason, "maintenance window");
+
+  TakeoverPayload takeover;
+  takeover.coordinator = "standby-1";
+  takeover.coord_epoch = 5;
+  const TakeoverPayload parsed_takeover =
+      parse_takeover(make_takeover(takeover));
+  EXPECT_EQ(parsed_takeover.coordinator, "standby-1");
+  EXPECT_EQ(parsed_takeover.coord_epoch, 5u);
+
+  StandbySyncPayload sync;
+  sync.txn = 11;
+  sync.committed = 1;
+  sync.reason = "";
+  sync.coord_epoch = 2;
+  sync.membership_epoch = 9;
+  sync.members = {"alpha", "beta"};
+  sync.assignment = {{"Producer", "alpha"}, {"Sink", "beta"}};
+  StandbyNodeRecord record;
+  record.node = "alpha";
+  record.epoch = 4;
+  record.snapshot = encode_plan(sample_plan());
+  sync.nodes.push_back(record);
+  const comm::Frame frame = make_standby_sync(sync);
+  const StandbySyncPayload parsed = parse_standby_sync(frame);
+  EXPECT_EQ(parsed.txn, 11u);
+  EXPECT_EQ(parsed.committed, 1);
+  EXPECT_EQ(parsed.coord_epoch, 2u);
+  EXPECT_EQ(parsed.membership_epoch, 9u);
+  ASSERT_EQ(parsed.members.size(), 2u);
+  EXPECT_EQ(parsed.members[0], "alpha");
+  ASSERT_EQ(parsed.assignment.size(), 2u);
+  EXPECT_EQ(parsed.assignment[1].first, "Sink");
+  EXPECT_EQ(parsed.assignment[1].second, "beta");
+  ASSERT_EQ(parsed.nodes.size(), 1u);
+  EXPECT_EQ(parsed.nodes[0].node, "alpha");
+  EXPECT_EQ(parsed.nodes[0].epoch, 4u);
+  EXPECT_EQ(parsed.nodes[0].snapshot, record.snapshot);
+
+  // The decision-log record is the durability anchor of a takeover: a
+  // torn record must never parse (every strict prefix is rejected).
+  for (std::size_t cut = 0; cut < frame.payload.size(); ++cut) {
+    comm::Frame torn;
+    torn.type = static_cast<std::uint16_t>(FrameType::StandbySync);
+    torn.payload.assign(frame.payload.begin(), frame.payload.begin() + cut);
+    EXPECT_THROW(parse_standby_sync(torn), WireError)
+        << "prefix length " << cut;
+  }
+
+  // An implausible member count must surface as WireError, not bad_alloc.
+  WireWriter w;
+  w.u64(1);
+  w.u8(1);
+  w.str("");
+  w.u64(1);
+  w.u64(1);
+  w.u32(0xFFFFFFFFu);  // member count the remaining bytes cannot hold
+  comm::Frame hostile;
+  hostile.type = static_cast<std::uint16_t>(FrameType::StandbySync);
+  hostile.payload = w.data();
+  EXPECT_THROW(parse_standby_sync(hostile), WireError);
+}
+
 }  // namespace
 }  // namespace rtcf::dist

@@ -38,6 +38,8 @@ struct CliOptions {
   std::string artifact_dir;
   std::string inject_bug;
   bool trace = false;
+  std::size_t min_nodes = 0;  ///< 0 = generator default.
+  std::size_t max_nodes = 0;  ///< 0 = generator default.
 };
 
 int usage(const char* argv0) {
@@ -46,9 +48,12 @@ int usage(const char* argv0) {
       << "  --seed N          first seed (default 1)\n"
       << "  --count N         consecutive seeds to drill (default 1)\n"
       << "  --fault-mix CSV   crash,drop,delay,dup,straggler,coord-prepare,"
-         "coord-commit,overload,starve\n"
-      << "                    ('coord' = both coordinator kinds; default "
-         "'all')\n"
+         "coord-commit,overload,starve,join,leave\n"
+      << "                    ('coord' = both coordinator kinds, 'churn' = "
+         "join+leave+crash+coord; default 'all')\n"
+      << "  --min-nodes N     lower node-count bound for the generator\n"
+      << "  --max-nodes N     upper node-count bound (e.g. "
+         "--min-nodes 16 --max-nodes 16 for the elastic-cluster drill)\n"
       << "  --corpus FILE     replay 'seed [mix]' lines from FILE first\n"
       << "  --add-corpus      append --seed/--fault-mix to --corpus FILE\n"
       << "  --artifact-dir D  write failing drill reports into D\n"
@@ -58,10 +63,16 @@ int usage(const char* argv0) {
 }
 
 std::string replay_command(std::uint64_t seed, const std::string& mix,
-                           const std::string& inject_bug) {
+                           const CliOptions& cli) {
   std::string cmd = "./build/drill --seed " + std::to_string(seed) +
                     " --fault-mix " + mix + " --trace";
-  if (!inject_bug.empty()) cmd += " --inject-bug " + inject_bug;
+  if (cli.min_nodes != 0) {
+    cmd += " --min-nodes " + std::to_string(cli.min_nodes);
+  }
+  if (cli.max_nodes != 0) {
+    cmd += " --max-nodes " + std::to_string(cli.max_nodes);
+  }
+  if (!cli.inject_bug.empty()) cmd += " --inject-bug " + cli.inject_bug;
   return cmd;
 }
 
@@ -73,6 +84,11 @@ bool run_one(std::uint64_t seed, const std::string& mix,
   options.seed = seed;
   options.mix = FaultMix::parse(mix);
   options.trace = cli.trace;
+  if (cli.min_nodes != 0) options.gen.min_nodes = cli.min_nodes;
+  if (cli.max_nodes != 0) options.gen.max_nodes = cli.max_nodes;
+  if (options.gen.max_nodes < options.gen.min_nodes) {
+    options.gen.max_nodes = options.gen.min_nodes;
+  }
   options.proto.bug_skip_presumed_abort =
       cli.inject_bug == "skip-presumed-abort";
   DrillResult result = rtcf::adversity::run_drill(options);
@@ -82,15 +98,14 @@ bool run_one(std::uint64_t seed, const std::string& mix,
   for (const Violation& v : result.violations) {
     std::cout << "  " << v.to_string() << "\n";
   }
-  std::cout << "  replay: " << replay_command(seed, mix, cli.inject_bug)
-            << "\n";
+  std::cout << "  replay: " << replay_command(seed, mix, cli) << "\n";
   if (!cli.artifact_dir.empty()) {
     const std::string path = cli.artifact_dir + "/drill-seed-" +
                              std::to_string(seed) + ".txt";
     std::ofstream out(path);
     if (out) {
       out << result.report() << "\nreplay: "
-          << replay_command(seed, mix, cli.inject_bug) << "\n";
+          << replay_command(seed, mix, cli) << "\n";
       std::cout << "  artifact: " << path << "\n";
     } else {
       std::cout << "  (could not write artifact " << path << ")\n";
@@ -157,6 +172,14 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       cli.inject_bug = v;
+    } else if (arg == "--min-nodes") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      cli.min_nodes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--max-nodes") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      cli.max_nodes = std::strtoull(v, nullptr, 10);
     } else if (arg == "--trace") {
       cli.trace = true;
     } else if (arg == "--help" || arg == "-h") {
